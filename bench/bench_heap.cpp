@@ -1,0 +1,104 @@
+//===- bench/bench_heap.cpp - F5: laid-out node operations (Fig. 5) ---------===//
+//
+// Micro-benchmarks of the symbolic heap: structural field access, the
+// Fig. 5 laid-out split/overwrite, and a scaling sweep over segment count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/LaidOut.h"
+#include "heap/SymHeap.h"
+#include "sym/ExprBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gilr;
+using namespace gilr::heap;
+using namespace gilr::rmir;
+
+namespace {
+
+struct HeapFixture {
+  HeapFixture() : Ctx{Solv, PC, VG, Ty} {
+    U64 = Ty.intTy(IntKind::U64);
+    S = Ty.declareStruct("S", {FieldDef{"a", U64}, FieldDef{"b", U64},
+                               FieldDef{"c", U64}, FieldDef{"d", U64}});
+    T = Ty.param("T");
+  }
+  TyCtx Ty;
+  Solver Solv;
+  PathCondition PC;
+  VarGen VG;
+  HeapCtx Ctx;
+  TypeRef U64, S, T;
+};
+
+} // namespace
+
+static void BM_StructFieldStoreLoad(benchmark::State &State) {
+  HeapFixture F;
+  SymHeap H;
+  Expr P = H.alloc(F.S, F.Ctx);
+  H.store(P, F.S, mkTuple({mkInt(1), mkInt(2), mkInt(3), mkInt(4)}), F.Ctx);
+  Expr FieldPtr = appendProjElem(P, ProjElem::field(F.S, 2));
+  for (auto _ : State) {
+    H.store(FieldPtr, F.U64, mkInt(9), F.Ctx);
+    auto V = H.load(FieldPtr, F.U64, false, F.Ctx);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_StructFieldStoreLoad);
+
+static void BM_Fig5_SplitWrite(benchmark::State &State) {
+  // The push-with-spare-capacity write of Fig. 5, on fresh state each time.
+  for (auto _ : State) {
+    HeapFixture F;
+    SymHeap H;
+    Expr N = F.VG.fresh("n", Sort::Int);
+    Expr K = F.VG.fresh("k", Sort::Int);
+    F.PC.add(mkLe(mkInt(0), K));
+    F.PC.add(mkLt(K, N));
+    Expr Vs = F.VG.fresh("vs", Sort::Seq);
+    Expr P = F.VG.fresh("buf", Sort::Tuple);
+    H.produceArray(P, F.T, K, Vs, F.Ctx);
+    Expr Rest = appendProjElem(P, ProjElem::offset(F.T, K));
+    H.produceArrayUninit(Rest, F.T, mkSub(N, K), F.Ctx);
+    auto R = H.store(Rest, F.T, F.VG.fresh("v", Sort::Any), F.Ctx);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_Fig5_SplitWrite)->Unit(benchmark::kMicrosecond);
+
+static void BM_LaidOutSegmentsScaling(benchmark::State &State) {
+  // Cost of element access as the number of segments grows.
+  const int Segments = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    HeapFixture F;
+    SymHeap H;
+    Expr P = F.VG.fresh("buf", Sort::Tuple);
+    for (int I = 0; I != Segments; ++I) {
+      Expr Ptr = appendProjElem(P, ProjElem::offset(F.T, mkInt(I)));
+      H.producePointsTo(Ptr, F.T, F.VG.fresh("v", Sort::Any), F.Ctx);
+    }
+    Expr Target =
+        appendProjElem(P, ProjElem::offset(F.T, mkInt(Segments / 2)));
+    State.ResumeTiming();
+    auto V = H.load(Target, F.T, false, F.Ctx);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_LaidOutSegmentsScaling)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_ConsumeProduceRoundTrip(benchmark::State &State) {
+  HeapFixture F;
+  SymHeap H;
+  Expr P = H.alloc(F.U64, F.Ctx);
+  H.store(P, F.U64, mkInt(1), F.Ctx);
+  for (auto _ : State) {
+    auto V = H.consumePointsTo(P, F.U64, F.Ctx);
+    H.producePointsTo(P, F.U64, V.value(), F.Ctx);
+  }
+}
+BENCHMARK(BM_ConsumeProduceRoundTrip);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+//===- bench/bench_lifetime.cpp - F6: lifetime token rules (Fig. 6) ---------===//
+
+#include "lifetime/LifetimeCtx.h"
+#include "sym/ExprBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gilr;
+using namespace gilr::lifetime;
+
+static void BM_ProduceConsumeAlive(benchmark::State &State) {
+  Solver S;
+  Expr K = mkLftVar("'a");
+  Expr Half = mkReal(Rational(1, 2));
+  for (auto _ : State) {
+    PathCondition PC;
+    LifetimeCtx Lft;
+    Lft.produceAlive(K, Half, S, PC);
+    Lft.consumeAlive(K, Half, S, PC);
+  }
+}
+BENCHMARK(BM_ProduceConsumeAlive);
+
+static void BM_FractionSplitMerge(benchmark::State &State) {
+  // Lftl-tok-fract both directions.
+  Solver S;
+  Expr K = mkLftVar("'a");
+  Expr Quarter = mkReal(Rational(1, 4));
+  Expr Half = mkReal(Rational(1, 2));
+  for (auto _ : State) {
+    PathCondition PC;
+    LifetimeCtx Lft;
+    Lft.produceAlive(K, Quarter, S, PC);
+    Lft.produceAlive(K, Quarter, S, PC);
+    Lft.consumeAlive(K, Half, S, PC);
+  }
+}
+BENCHMARK(BM_FractionSplitMerge);
+
+static void BM_NotOwnEndVanish(benchmark::State &State) {
+  // Lftl-not-own-end: the producer vanishes on dead lifetimes.
+  Solver S;
+  Expr K = mkLftVar("'a");
+  for (auto _ : State) {
+    PathCondition PC;
+    LifetimeCtx Lft;
+    Lft.produceDead(K, S, PC);
+    auto R = Lft.produceAlive(K, mkReal(Rational(1, 2)), S, PC);
+    benchmark::DoNotOptimize(R.vanished());
+  }
+}
+BENCHMARK(BM_NotOwnEndVanish);
+
+static void BM_ManyLifetimes(benchmark::State &State) {
+  // Context lookup scaling (the backend supports multiple lifetimes §7.1).
+  const int N = static_cast<int>(State.range(0));
+  Solver S;
+  for (auto _ : State) {
+    PathCondition PC;
+    LifetimeCtx Lft;
+    for (int I = 0; I != N; ++I)
+      Lft.produceAlive(mkLftVar("'k" + std::to_string(I)),
+                       mkReal(Rational(1, 2)), S, PC);
+    for (int I = N - 1; I >= 0; --I)
+      Lft.consumeAlive(mkLftVar("'k" + std::to_string(I)),
+                       mkReal(Rational(1, 2)), S, PC);
+  }
+}
+BENCHMARK(BM_ManyLifetimes)->Arg(2)->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

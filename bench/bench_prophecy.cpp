@@ -1,0 +1,92 @@
+//===- bench/bench_prophecy.cpp - F10/F11: observations and prophecies ------===//
+
+#include "proph/ObsCtx.h"
+#include "proph/ProphecyCtx.h"
+#include "sym/ExprBuilder.h"
+#include "sym/VarGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gilr;
+using namespace gilr::proph;
+
+static void BM_ObservationProduce(benchmark::State &State) {
+  Solver S;
+  VarGen VG;
+  Expr X = VG.freshProphecy("x", Sort::Int);
+  for (auto _ : State) {
+    PathCondition PC;
+    ObsCtx Obs;
+    Obs.produce(mkLt(mkInt(0), X), S, PC);
+    benchmark::DoNotOptimize(Obs);
+  }
+}
+BENCHMARK(BM_ObservationProduce);
+
+static void BM_ObservationConsume(benchmark::State &State) {
+  Solver S;
+  VarGen VG;
+  PathCondition PC;
+  ObsCtx Obs;
+  Expr X = VG.freshProphecy("x", Sort::Int);
+  Obs.produce(mkEq(X, mkInt(5)), S, PC);
+  for (auto _ : State) {
+    auto R = Obs.consume(mkLt(X, mkInt(6)), S, PC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ObservationConsume);
+
+static void BM_MutAgree(benchmark::State &State) {
+  // Fig. 11: producing the missing half equates values automatically.
+  Solver S;
+  for (auto _ : State) {
+    PathCondition PC;
+    ProphecyCtx Pcy;
+    Pcy.produceVO("x", mkVar("a", Sort::Int), S, PC);
+    Pcy.producePC("x", mkVar("b", Sort::Int), S, PC);
+    benchmark::DoNotOptimize(PC);
+  }
+}
+BENCHMARK(BM_MutAgree);
+
+static void BM_FullResolutionCycle(benchmark::State &State) {
+  // Open, update (Mut-Update), close, resolve (MutRef-Resolve).
+  Solver S;
+  VarGen VG;
+  for (auto _ : State) {
+    PathCondition PC;
+    ObsCtx Obs;
+    ProphecyCtx Pcy;
+    Expr X = VG.freshProphecy("x", Sort::Seq);
+    Pcy.produceVO(X->Name, mkVar("cur", Sort::Seq), S, PC);
+    Pcy.producePC(X->Name, mkVar("a", Sort::Seq), S, PC);
+    Pcy.update(X->Name, mkVar("a2", Sort::Seq));
+    Pcy.consumePC(X->Name);
+    auto Final = Pcy.consumeVO(X->Name);
+    Obs.produce(mkEq(Final.value(), X), S, PC);
+    benchmark::DoNotOptimize(Obs);
+  }
+}
+BENCHMARK(BM_FullResolutionCycle);
+
+static void BM_ObservationAccumulation(benchmark::State &State) {
+  // Cost of consuming against a growing observation context.
+  const int N = static_cast<int>(State.range(0));
+  Solver S;
+  VarGen VG;
+  PathCondition PC;
+  ObsCtx Obs;
+  std::vector<Expr> Xs;
+  for (int I = 0; I != N; ++I) {
+    Xs.push_back(VG.freshProphecy("x", Sort::Int));
+    Obs.produce(mkEq(Xs.back(), mkInt(I)), S, PC);
+  }
+  for (auto _ : State) {
+    auto R = Obs.consume(mkEq(Xs.front(), mkInt(0)), S, PC);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ObservationAccumulation)->Arg(4)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+//===- bench/bench_solver.cpp - The SMT-lite substrate ----------------------===//
+//
+// Micro-benchmarks of the solver standing in for Z3 (DESIGN.md
+// Substitutions): the query mix the verifier actually issues.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rmir/Type.h"
+#include "solver/Solver.h"
+#include "sym/ExprBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gilr;
+
+static void BM_EqualityChain(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  Solver S;
+  std::vector<Expr> Ctx;
+  for (int I = 0; I + 1 < N; ++I)
+    Ctx.push_back(mkEq(mkVar("x" + std::to_string(I), Sort::Int),
+                       mkVar("x" + std::to_string(I + 1), Sort::Int)));
+  Expr Goal = mkEq(mkVar("x0", Sort::Int),
+                   mkVar("x" + std::to_string(N - 1), Sort::Int));
+  for (auto _ : State) {
+    bool R = S.entails(Ctx, Goal);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_EqualityChain)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_LinearChain(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  Solver S;
+  std::vector<Expr> Ctx;
+  for (int I = 0; I + 1 < N; ++I)
+    Ctx.push_back(mkLt(mkVar("x" + std::to_string(I), Sort::Int),
+                       mkVar("x" + std::to_string(I + 1), Sort::Int)));
+  Expr Goal = mkLt(mkVar("x0", Sort::Int),
+                   mkVar("x" + std::to_string(N - 1), Sort::Int));
+  for (auto _ : State) {
+    bool R = S.entails(Ctx, Goal);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_LinearChain)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_SequenceConsInjectivity(benchmark::State &State) {
+  Solver S;
+  Expr X = mkVar("x", Sort::Any);
+  Expr Y = mkVar("y", Sort::Any);
+  Expr S1 = mkVar("s1", Sort::Seq);
+  Expr S2 = mkVar("s2", Sort::Seq);
+  std::vector<Expr> Ctx = {mkEq(mkSeqCons(X, S1), mkSeqCons(Y, S2))};
+  for (auto _ : State) {
+    bool R = S.entails(Ctx, mkEq(X, Y));
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SequenceConsInjectivity);
+
+static void BM_OptionCaseSplit(benchmark::State &State) {
+  Solver S;
+  Expr O = mkVar("o", Sort::Opt);
+  Expr X = mkVar("x", Sort::Int);
+  std::vector<Expr> Ctx = {
+      mkOr(mkEq(O, mkNone()), mkEq(O, mkSome(X))),
+      mkIsSome(O)};
+  for (auto _ : State) {
+    bool R = S.entails(Ctx, mkEq(mkUnwrap(O), X));
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_OptionCaseSplit);
+
+static void BM_VerifierQueryMix(benchmark::State &State) {
+  // A representative pop_front-flavoured query: list structure facts plus a
+  // length obligation.
+  Solver S;
+  Expr A = mkVar("a", Sort::Seq);
+  Expr RV = mkVar("rv", Sort::Any);
+  Expr RT = mkVar("rt", Sort::Seq);
+  Expr Len = mkVar("len", Sort::Int);
+  std::vector<Expr> Ctx = {
+      mkEq(A, mkSeqCons(RV, RT)), mkEq(Len, mkSeqLen(A)),
+      mkLe(Len, mkInt(rmir::intMaxValue(rmir::IntKind::USize)))};
+  Expr Goal = mkAnd(mkLe(mkInt(0), mkSub(Len, mkInt(1))),
+                    mkEq(mkSub(Len, mkInt(1)), mkSeqLen(RT)));
+  for (auto _ : State) {
+    bool R = S.entails(Ctx, Goal);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_VerifierQueryMix);
+
+BENCHMARK_MAIN();

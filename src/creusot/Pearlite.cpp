@@ -1,0 +1,304 @@
+//===- creusot/Pearlite.cpp -------------------------------------------------------===//
+
+#include "creusot/Pearlite.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+
+using namespace gilr;
+using namespace gilr::creusot;
+
+static std::shared_ptr<PTerm> make(PKind K) {
+  return std::make_shared<PTerm>(K);
+}
+
+PTermP gilr::creusot::pVar(std::string Name) {
+  auto T = make(PKind::Var);
+  T->Name = std::move(Name);
+  return T;
+}
+
+PTermP gilr::creusot::pResult() { return make(PKind::Result); }
+
+PTermP gilr::creusot::pFinal(PTermP X) {
+  auto T = make(PKind::Final);
+  T->Kids = {std::move(X)};
+  return T;
+}
+
+PTermP gilr::creusot::pModel(PTermP X) {
+  auto T = make(PKind::Model);
+  T->Kids = {std::move(X)};
+  return T;
+}
+
+PTermP gilr::creusot::pInt(__int128 V) {
+  auto T = make(PKind::IntLit);
+  T->IntVal = V;
+  return T;
+}
+
+PTermP gilr::creusot::pBool(bool B) {
+  auto T = make(PKind::BoolLit);
+  T->BoolVal = B;
+  return T;
+}
+
+PTermP gilr::creusot::pNone() { return make(PKind::NoneLit); }
+
+PTermP gilr::creusot::pSome(PTermP X) {
+  auto T = make(PKind::SomeCtor);
+  T->Kids = {std::move(X)};
+  return T;
+}
+
+PTermP gilr::creusot::pSeqEmpty() { return make(PKind::SeqEmpty); }
+
+static PTermP binary(PKind K, PTermP A, PTermP B) {
+  auto T = make(K);
+  T->Kids = {std::move(A), std::move(B)};
+  return T;
+}
+
+PTermP gilr::creusot::pSeqCons(PTermP H, PTermP T) {
+  return binary(PKind::SeqCons, std::move(H), std::move(T));
+}
+PTermP gilr::creusot::pSeqLen(PTermP X) {
+  auto T = make(PKind::SeqLen);
+  T->Kids = {std::move(X)};
+  return T;
+}
+PTermP gilr::creusot::pSeqNth(PTermP X, PTermP I) {
+  return binary(PKind::SeqNth, std::move(X), std::move(I));
+}
+PTermP gilr::creusot::pEq(PTermP A, PTermP B) {
+  return binary(PKind::Eq, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pNe(PTermP A, PTermP B) {
+  return binary(PKind::Ne, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pLt(PTermP A, PTermP B) {
+  return binary(PKind::Lt, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pLe(PTermP A, PTermP B) {
+  return binary(PKind::Le, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pAdd(PTermP A, PTermP B) {
+  return binary(PKind::Add, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pSub(PTermP A, PTermP B) {
+  return binary(PKind::Sub, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pAnd(PTermP A, PTermP B) {
+  return binary(PKind::And, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pOr(PTermP A, PTermP B) {
+  return binary(PKind::Or, std::move(A), std::move(B));
+}
+PTermP gilr::creusot::pNot(PTermP A) {
+  auto T = make(PKind::Not);
+  T->Kids = {std::move(A)};
+  return T;
+}
+PTermP gilr::creusot::pImplies(PTermP A, PTermP B) {
+  return binary(PKind::Implies, std::move(A), std::move(B));
+}
+
+PTermP gilr::creusot::pMatchOpt(PTermP Scrut, PTermP NoneBody,
+                                std::string Binder, PTermP SomeBody) {
+  auto T = make(PKind::MatchOpt);
+  T->Name = std::move(Binder);
+  T->Kids = {std::move(Scrut), std::move(NoneBody), std::move(SomeBody)};
+  return T;
+}
+
+std::string PTerm::str() const {
+  switch (Kind) {
+  case PKind::Var:
+    return Name;
+  case PKind::Result:
+    return "result";
+  case PKind::Final:
+    return "^" + Kids[0]->str();
+  case PKind::Model:
+    return Kids[0]->str() + "@";
+  case PKind::IntLit:
+    return int128ToString(IntVal);
+  case PKind::BoolLit:
+    return BoolVal ? "true" : "false";
+  case PKind::NoneLit:
+    return "None";
+  case PKind::SomeCtor:
+    return "Some(" + Kids[0]->str() + ")";
+  case PKind::SeqEmpty:
+    return "Seq::EMPTY";
+  case PKind::SeqCons:
+    return "Seq::cons(" + Kids[0]->str() + ", " + Kids[1]->str() + ")";
+  case PKind::SeqLen:
+    return Kids[0]->str() + ".len()";
+  case PKind::SeqNth:
+    return Kids[0]->str() + "[" + Kids[1]->str() + "]";
+  case PKind::Eq:
+    return "(" + Kids[0]->str() + " == " + Kids[1]->str() + ")";
+  case PKind::Ne:
+    return "(" + Kids[0]->str() + " != " + Kids[1]->str() + ")";
+  case PKind::Lt:
+    return "(" + Kids[0]->str() + " < " + Kids[1]->str() + ")";
+  case PKind::Le:
+    return "(" + Kids[0]->str() + " <= " + Kids[1]->str() + ")";
+  case PKind::Add:
+    return "(" + Kids[0]->str() + " + " + Kids[1]->str() + ")";
+  case PKind::Sub:
+    return "(" + Kids[0]->str() + " - " + Kids[1]->str() + ")";
+  case PKind::And:
+    return "(" + Kids[0]->str() + " && " + Kids[1]->str() + ")";
+  case PKind::Or:
+    return "(" + Kids[0]->str() + " || " + Kids[1]->str() + ")";
+  case PKind::Not:
+    return "!" + Kids[0]->str();
+  case PKind::Implies:
+    return "(" + Kids[0]->str() + " ==> " + Kids[1]->str() + ")";
+  case PKind::MatchOpt:
+    return "match " + Kids[0]->str() + " { None => " + Kids[1]->str() +
+           ", Some(" + Name + ") => " + Kids[2]->str() + " }";
+  }
+  GILR_UNREACHABLE("unknown pearlite kind");
+}
+
+namespace {
+
+/// Internal lowering with a scope for match binders.
+Outcome<Expr> lower(const PTermP &T, const LowerEnv &Env,
+                    std::map<std::string, Expr> &Scope) {
+  auto lowerKid = [&](std::size_t I) { return lower(T->Kids[I], Env, Scope); };
+
+  switch (T->Kind) {
+  case PKind::Var: {
+    auto SIt = Scope.find(T->Name);
+    if (SIt != Scope.end())
+      return Outcome<Expr>::success(SIt->second);
+    auto It = Env.Values.find(T->Name);
+    if (It == Env.Values.end())
+      return Outcome<Expr>::failure("unknown Pearlite variable " + T->Name);
+    auto MIt = Env.IsMutRef.find(T->Name);
+    if (MIt != Env.IsMutRef.end() && MIt->second)
+      return Outcome<Expr>::failure(
+          "mutable reference " + T->Name +
+          " used directly; apply @ (current) or ^ (final)");
+    return Outcome<Expr>::success(It->second);
+  }
+  case PKind::Result:
+    if (!Env.ResultVal)
+      return Outcome<Expr>::failure("`result` used outside a postcondition");
+    return Outcome<Expr>::success(Env.ResultVal);
+  case PKind::Final: {
+    // ^x: the second component of the reference's representation pair.
+    const PTermP &Inner = T->Kids[0];
+    if (Inner->Kind != PKind::Var)
+      return Outcome<Expr>::failure("^ applies to a reference variable");
+    auto It = Env.Values.find(Inner->Name);
+    if (It == Env.Values.end())
+      return Outcome<Expr>::failure("unknown variable " + Inner->Name);
+    return Outcome<Expr>::success(mkTupleGet(It->second, 1));
+  }
+  case PKind::Model: {
+    // t@: models coincide with representations; on references project the
+    // current component, and (^x)@ projects the final one.
+    const PTermP &Inner = T->Kids[0];
+    if (Inner->Kind == PKind::Final)
+      return lower(Inner, Env, Scope);
+    if (Inner->Kind == PKind::Var) {
+      auto MIt = Env.IsMutRef.find(Inner->Name);
+      if (MIt != Env.IsMutRef.end() && MIt->second) {
+        auto It = Env.Values.find(Inner->Name);
+        if (It == Env.Values.end())
+          return Outcome<Expr>::failure("unknown variable " + Inner->Name);
+        return Outcome<Expr>::success(mkTupleGet(It->second, 0));
+      }
+    }
+    return lower(Inner, Env, Scope);
+  }
+  case PKind::IntLit:
+    return Outcome<Expr>::success(mkInt(T->IntVal));
+  case PKind::BoolLit:
+    return Outcome<Expr>::success(mkBool(T->BoolVal));
+  case PKind::NoneLit:
+    return Outcome<Expr>::success(mkNone());
+  case PKind::SeqEmpty:
+    return Outcome<Expr>::success(mkSeqNil());
+  default:
+    break;
+  }
+
+  // Uniform kid lowering for the remaining operators.
+  std::vector<Expr> Ks;
+  if (T->Kind != PKind::MatchOpt) {
+    for (std::size_t I = 0; I != T->Kids.size(); ++I) {
+      Outcome<Expr> K = lowerKid(I);
+      if (!K.ok())
+        return K;
+      Ks.push_back(K.value());
+    }
+  }
+
+  switch (T->Kind) {
+  case PKind::SomeCtor:
+    return Outcome<Expr>::success(mkSome(Ks[0]));
+  case PKind::SeqCons:
+    return Outcome<Expr>::success(mkSeqCons(Ks[0], Ks[1]));
+  case PKind::SeqLen:
+    return Outcome<Expr>::success(mkSeqLen(Ks[0]));
+  case PKind::SeqNth:
+    return Outcome<Expr>::success(mkSeqNth(Ks[0], Ks[1]));
+  case PKind::Eq:
+    return Outcome<Expr>::success(mkEq(Ks[0], Ks[1]));
+  case PKind::Ne:
+    return Outcome<Expr>::success(mkNe(Ks[0], Ks[1]));
+  case PKind::Lt:
+    return Outcome<Expr>::success(mkLt(Ks[0], Ks[1]));
+  case PKind::Le:
+    return Outcome<Expr>::success(mkLe(Ks[0], Ks[1]));
+  case PKind::Add:
+    return Outcome<Expr>::success(mkAdd(Ks[0], Ks[1]));
+  case PKind::Sub:
+    return Outcome<Expr>::success(mkSub(Ks[0], Ks[1]));
+  case PKind::And:
+    return Outcome<Expr>::success(mkAnd(Ks[0], Ks[1]));
+  case PKind::Or:
+    return Outcome<Expr>::success(mkOr(Ks[0], Ks[1]));
+  case PKind::Not:
+    return Outcome<Expr>::success(mkNot(Ks[0]));
+  case PKind::Implies:
+    return Outcome<Expr>::success(mkImplies(Ks[0], Ks[1]));
+  case PKind::MatchOpt: {
+    Outcome<Expr> Scrut = lower(T->Kids[0], Env, Scope);
+    if (!Scrut.ok())
+      return Scrut;
+    Outcome<Expr> NoneB = lower(T->Kids[1], Env, Scope);
+    if (!NoneB.ok())
+      return NoneB;
+    auto [It, Inserted] = Scope.emplace(T->Name, mkUnwrap(Scrut.value()));
+    Expr Saved = Inserted ? nullptr : It->second;
+    It->second = mkUnwrap(Scrut.value());
+    Outcome<Expr> SomeB = lower(T->Kids[2], Env, Scope);
+    if (Saved)
+      It->second = Saved;
+    else
+      Scope.erase(T->Name);
+    if (!SomeB.ok())
+      return SomeB;
+    return Outcome<Expr>::success(
+        mkIte(mkIsSome(Scrut.value()), SomeB.value(), NoneB.value()));
+  }
+  default:
+    GILR_UNREACHABLE("unhandled pearlite kind in lowering");
+  }
+}
+
+} // namespace
+
+Outcome<Expr> gilr::creusot::lowerPearlite(const PTermP &T,
+                                           const LowerEnv &Env) {
+  std::map<std::string, Expr> Scope;
+  return lower(T, Env, Scope);
+}

@@ -1,0 +1,114 @@
+//===- creusot/Pearlite.h - The Pearlite specification language ------------===//
+///
+/// \file
+/// Pearlite is Creusot's first-order assertion language (§5.4): the usual
+/// connectives plus the prophetic *final* operator ^ (the value a mutable
+/// reference will have when it expires) and the shallow-model operator @.
+/// Terms here are a thin AST lowered into solver expressions over
+/// *representations*: a non-reference variable denotes its model, a mutable
+/// reference denotes the pair (current model, final model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_CREUSOT_PEARLITE_H
+#define GILR_CREUSOT_PEARLITE_H
+
+#include "support/Outcome.h"
+#include "sym/Expr.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace creusot {
+
+class PTerm;
+using PTermP = std::shared_ptr<const PTerm>;
+
+/// Pearlite term kinds.
+enum class PKind : uint8_t {
+  Var,      ///< A program variable by name.
+  Result,   ///< The distinguished `result`.
+  Final,    ///< ^t: the final value of a mutable reference.
+  Model,    ///< t@: the shallow model of t.
+  IntLit,
+  BoolLit,
+  NoneLit,
+  SomeCtor,
+  SeqEmpty, ///< Seq::EMPTY.
+  SeqCons,  ///< Seq::cons(h, t).
+  SeqLen,   ///< t.len().
+  SeqNth,   ///< t[i].
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Add,
+  Sub,
+  And,
+  Or,
+  Not,
+  Implies,
+  MatchOpt, ///< match t { None => a, Some(binder) => b }.
+};
+
+/// A Pearlite term.
+class PTerm {
+public:
+  PKind Kind;
+  std::string Name;          ///< Var / MatchOpt binder.
+  __int128 IntVal = 0;       ///< IntLit.
+  bool BoolVal = false;      ///< BoolLit.
+  std::vector<PTermP> Kids;
+
+  explicit PTerm(PKind K) : Kind(K) {}
+
+  std::string str() const;
+};
+
+// Constructors.
+PTermP pVar(std::string Name);
+PTermP pResult();
+PTermP pFinal(PTermP T);
+PTermP pModel(PTermP T);
+PTermP pInt(__int128 V);
+PTermP pBool(bool B);
+PTermP pNone();
+PTermP pSome(PTermP T);
+PTermP pSeqEmpty();
+PTermP pSeqCons(PTermP H, PTermP T);
+PTermP pSeqLen(PTermP T);
+PTermP pSeqNth(PTermP T, PTermP I);
+PTermP pEq(PTermP A, PTermP B);
+PTermP pNe(PTermP A, PTermP B);
+PTermP pLt(PTermP A, PTermP B);
+PTermP pLe(PTermP A, PTermP B);
+PTermP pAdd(PTermP A, PTermP B);
+PTermP pSub(PTermP A, PTermP B);
+PTermP pAnd(PTermP A, PTermP B);
+PTermP pOr(PTermP A, PTermP B);
+PTermP pNot(PTermP A);
+PTermP pImplies(PTermP A, PTermP B);
+PTermP pMatchOpt(PTermP Scrut, PTermP NoneBody, std::string Binder,
+                 PTermP SomeBody);
+
+/// The lowering environment: each program variable maps to its
+/// representation value; mutable references map to (current, final) pairs
+/// and are flagged so @ and ^ project correctly.
+struct LowerEnv {
+  std::map<std::string, Expr> Values;
+  std::map<std::string, bool> IsMutRef;
+  Expr ResultVal;
+};
+
+/// Lowers a Pearlite term to a solver expression over representations
+/// (§5.4: "substituting occurrences of Rust variables with their
+/// corresponding representation values").
+Outcome<Expr> lowerPearlite(const PTermP &T, const LowerEnv &Env);
+
+} // namespace creusot
+} // namespace gilr
+
+#endif // GILR_CREUSOT_PEARLITE_H

@@ -1,0 +1,535 @@
+//===- creusot/PearliteParser.cpp ------------------------------------------===//
+
+#include "creusot/PearliteParser.h"
+
+#include "rmir/Type.h"
+
+#include <cctype>
+
+using namespace gilr;
+using namespace gilr::creusot;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind : uint8_t {
+  End,
+  Int,        // 123
+  Ident,      // self, x, Seq::EMPTY, usize::MAX (:: is part of the token)
+  LParen,     // (
+  RParen,     // )
+  LBracket,   // [
+  RBracket,   // ]
+  LBrace,     // {
+  RBrace,     // }
+  Comma,      // ,
+  Dot,        // .
+  At,         // @
+  Caret,      // ^
+  Bang,       // !
+  Plus,       // +
+  Minus,      // -
+  EqEq,       // ==
+  NotEq,      // !=
+  Lt,         // <
+  Le,         // <=
+  Gt,         // >
+  Ge,         // >=
+  AndAnd,     // &&
+  OrOr,       // ||
+  Implies,    // ==>
+  FatArrow,   // =>
+  HashLBrack, // #[
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;
+  __int128 IntVal = 0;
+  std::size_t Pos = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  Outcome<std::vector<Token>> run() {
+    std::vector<Token> Toks;
+    while (true) {
+      skipWhitespace();
+      if (I == Src.size())
+        break;
+      Token T;
+      T.Pos = I;
+      char C = Src[I];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        __int128 V = 0;
+        while (I != Src.size() &&
+               (std::isdigit(static_cast<unsigned char>(Src[I])) ||
+                Src[I] == '_')) {
+          if (Src[I] != '_')
+            V = V * 10 + (Src[I] - '0');
+          ++I;
+        }
+        T.Kind = TokKind::Int;
+        T.IntVal = V;
+      } else if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        std::size_t Start = I;
+        while (I != Src.size() && (isIdentChar(Src[I]) ||
+                                   (Src[I] == ':' && I + 1 != Src.size() &&
+                                    Src[I + 1] == ':'))) {
+          if (Src[I] == ':')
+            I += 2; // Consume `::` and keep lexing the path segment.
+          else
+            ++I;
+        }
+        T.Kind = TokKind::Ident;
+        T.Text = Src.substr(Start, I - Start);
+      } else if (startsWith("==>")) {
+        T.Kind = TokKind::Implies;
+        I += 3;
+      } else if (startsWith("==")) {
+        T.Kind = TokKind::EqEq;
+        I += 2;
+      } else if (startsWith("=>")) {
+        T.Kind = TokKind::FatArrow;
+        I += 2;
+      } else if (startsWith("!=")) {
+        T.Kind = TokKind::NotEq;
+        I += 2;
+      } else if (startsWith("<=")) {
+        T.Kind = TokKind::Le;
+        I += 2;
+      } else if (startsWith(">=")) {
+        T.Kind = TokKind::Ge;
+        I += 2;
+      } else if (startsWith("&&")) {
+        T.Kind = TokKind::AndAnd;
+        I += 2;
+      } else if (startsWith("||")) {
+        T.Kind = TokKind::OrOr;
+        I += 2;
+      } else if (startsWith("#[")) {
+        T.Kind = TokKind::HashLBrack;
+        I += 2;
+      } else {
+        switch (C) {
+        case '(':
+          T.Kind = TokKind::LParen;
+          break;
+        case ')':
+          T.Kind = TokKind::RParen;
+          break;
+        case '[':
+          T.Kind = TokKind::LBracket;
+          break;
+        case ']':
+          T.Kind = TokKind::RBracket;
+          break;
+        case '{':
+          T.Kind = TokKind::LBrace;
+          break;
+        case '}':
+          T.Kind = TokKind::RBrace;
+          break;
+        case ',':
+          T.Kind = TokKind::Comma;
+          break;
+        case '.':
+          T.Kind = TokKind::Dot;
+          break;
+        case '@':
+          T.Kind = TokKind::At;
+          break;
+        case '^':
+          T.Kind = TokKind::Caret;
+          break;
+        case '!':
+          T.Kind = TokKind::Bang;
+          break;
+        case '+':
+          T.Kind = TokKind::Plus;
+          break;
+        case '-':
+          T.Kind = TokKind::Minus;
+          break;
+        case '<':
+          T.Kind = TokKind::Lt;
+          break;
+        case '>':
+          T.Kind = TokKind::Gt;
+          break;
+        default:
+          return Outcome<std::vector<Token>>::failure(
+              "Pearlite: unexpected character '" + std::string(1, C) +
+              "' at offset " + std::to_string(I));
+        }
+        ++I;
+      }
+      Toks.push_back(std::move(T));
+    }
+    Token End;
+    End.Pos = I;
+    Toks.push_back(End);
+    return Outcome<std::vector<Token>>::success(std::move(Toks));
+  }
+
+private:
+  static bool isIdentChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  }
+  bool startsWith(const char *S) const {
+    return Src.compare(I, std::string::traits_type::length(S), S) == 0;
+  }
+  void skipWhitespace() {
+    while (I != Src.size() &&
+           std::isspace(static_cast<unsigned char>(Src[I])))
+      ++I;
+  }
+
+  const std::string &Src;
+  std::size_t I = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  Outcome<PTermP> parseWholeTerm() {
+    Outcome<PTermP> T = parseTerm();
+    if (!T.ok())
+      return T;
+    if (peek().Kind != TokKind::End)
+      return err("trailing input after term");
+    return T;
+  }
+
+  Outcome<ParsedContract> parseContract() {
+    ParsedContract C;
+    while (peek().Kind == TokKind::HashLBrack) {
+      next();
+      const Token &Name = peek();
+      if (Name.Kind != TokKind::Ident ||
+          (Name.Text != "requires" && Name.Text != "ensures"))
+        return Outcome<ParsedContract>::failure(
+            "Pearlite: expected 'requires' or 'ensures' after '#['");
+      bool IsPre = Name.Text == "requires";
+      next();
+      if (!expect(TokKind::LParen))
+        return Outcome<ParsedContract>::failure(
+            "Pearlite: expected '(' after #[" + Name.Text);
+      Outcome<PTermP> T = parseTerm();
+      if (!T.ok())
+        return Outcome<ParsedContract>::failure(T.error());
+      if (!expect(TokKind::RParen) || !expect(TokKind::RBracket))
+        return Outcome<ParsedContract>::failure(
+            "Pearlite: expected ')]' closing the attribute");
+      PTermP &Slot = IsPre ? C.Pre : C.Post;
+      Slot = Slot ? pAnd(Slot, T.value()) : T.value();
+    }
+    if (peek().Kind != TokKind::End)
+      return Outcome<ParsedContract>::failure(
+          "Pearlite: expected '#[' attribute");
+    return Outcome<ParsedContract>::success(std::move(C));
+  }
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    std::size_t J = Pos + Ahead;
+    return J < Toks.size() ? Toks[J] : Toks.back();
+  }
+  const Token &next() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+  bool expect(TokKind K) {
+    if (peek().Kind != K)
+      return false;
+    next();
+    return true;
+  }
+  Outcome<PTermP> err(const std::string &Msg) const {
+    return Outcome<PTermP>::failure("Pearlite: " + Msg + " at offset " +
+                                    std::to_string(peek().Pos));
+  }
+
+  // term := or ( '==>' term )?   (right associative).
+  Outcome<PTermP> parseTerm() {
+    Outcome<PTermP> L = parseOr();
+    if (!L.ok())
+      return L;
+    if (peek().Kind == TokKind::Implies) {
+      next();
+      Outcome<PTermP> R = parseTerm();
+      if (!R.ok())
+        return R;
+      return Outcome<PTermP>::success(pImplies(L.value(), R.value()));
+    }
+    return L;
+  }
+
+  Outcome<PTermP> parseOr() {
+    Outcome<PTermP> L = parseAnd();
+    while (L.ok() && peek().Kind == TokKind::OrOr) {
+      next();
+      Outcome<PTermP> R = parseAnd();
+      if (!R.ok())
+        return R;
+      L = Outcome<PTermP>::success(pOr(L.value(), R.value()));
+    }
+    return L;
+  }
+
+  Outcome<PTermP> parseAnd() {
+    Outcome<PTermP> L = parseCmp();
+    while (L.ok() && peek().Kind == TokKind::AndAnd) {
+      next();
+      Outcome<PTermP> R = parseCmp();
+      if (!R.ok())
+        return R;
+      L = Outcome<PTermP>::success(pAnd(L.value(), R.value()));
+    }
+    return L;
+  }
+
+  Outcome<PTermP> parseCmp() {
+    Outcome<PTermP> L = parseAdd();
+    if (!L.ok())
+      return L;
+    TokKind K = peek().Kind;
+    if (K != TokKind::EqEq && K != TokKind::NotEq && K != TokKind::Lt &&
+        K != TokKind::Le && K != TokKind::Gt && K != TokKind::Ge)
+      return L;
+    next();
+    Outcome<PTermP> R = parseAdd();
+    if (!R.ok())
+      return R;
+    PTermP A = L.value(), B = R.value();
+    switch (K) {
+    case TokKind::EqEq:
+      return Outcome<PTermP>::success(pEq(A, B));
+    case TokKind::NotEq:
+      return Outcome<PTermP>::success(pNe(A, B));
+    case TokKind::Lt:
+      return Outcome<PTermP>::success(pLt(A, B));
+    case TokKind::Le:
+      return Outcome<PTermP>::success(pLe(A, B));
+    case TokKind::Gt:
+      return Outcome<PTermP>::success(pLt(B, A));
+    default:
+      return Outcome<PTermP>::success(pLe(B, A));
+    }
+  }
+
+  Outcome<PTermP> parseAdd() {
+    Outcome<PTermP> L = parseUnary();
+    while (L.ok() &&
+           (peek().Kind == TokKind::Plus || peek().Kind == TokKind::Minus)) {
+      bool IsAdd = next().Kind == TokKind::Plus;
+      Outcome<PTermP> R = parseUnary();
+      if (!R.ok())
+        return R;
+      L = Outcome<PTermP>::success(IsAdd ? pAdd(L.value(), R.value())
+                                         : pSub(L.value(), R.value()));
+    }
+    return L;
+  }
+
+  Outcome<PTermP> parseUnary() {
+    if (peek().Kind == TokKind::Bang) {
+      next();
+      Outcome<PTermP> T = parseUnary();
+      if (!T.ok())
+        return T;
+      return Outcome<PTermP>::success(pNot(T.value()));
+    }
+    if (peek().Kind == TokKind::Caret) {
+      next();
+      Outcome<PTermP> T = parseUnary();
+      if (!T.ok())
+        return T;
+      return Outcome<PTermP>::success(pFinal(T.value()));
+    }
+    return parsePostfix();
+  }
+
+  Outcome<PTermP> parsePostfix() {
+    Outcome<PTermP> T = parsePrimary();
+    while (T.ok()) {
+      if (peek().Kind == TokKind::At) {
+        next();
+        T = Outcome<PTermP>::success(pModel(T.value()));
+        continue;
+      }
+      if (peek().Kind == TokKind::Dot) {
+        if (peek(1).Kind != TokKind::Ident || peek(1).Text != "len")
+          return err("only '.len()' is supported after '.'");
+        next();
+        next();
+        if (!expect(TokKind::LParen) || !expect(TokKind::RParen))
+          return err("expected '()' after '.len'");
+        T = Outcome<PTermP>::success(pSeqLen(T.value()));
+        continue;
+      }
+      if (peek().Kind == TokKind::LBracket) {
+        next();
+        Outcome<PTermP> Idx = parseTerm();
+        if (!Idx.ok())
+          return Idx;
+        if (!expect(TokKind::RBracket))
+          return err("expected ']'");
+        T = Outcome<PTermP>::success(pSeqNth(T.value(), Idx.value()));
+        continue;
+      }
+      break;
+    }
+    return T;
+  }
+
+  Outcome<PTermP> parsePrimary() {
+    const Token &T = peek();
+    switch (T.Kind) {
+    case TokKind::Int: {
+      __int128 V = T.IntVal;
+      next();
+      return Outcome<PTermP>::success(pInt(V));
+    }
+    case TokKind::LParen: {
+      next();
+      Outcome<PTermP> Inner = parseTerm();
+      if (!Inner.ok())
+        return Inner;
+      if (!expect(TokKind::RParen))
+        return err("expected ')'");
+      return Inner;
+    }
+    case TokKind::Ident:
+      return parseIdentish();
+    default:
+      return err("expected a term");
+    }
+  }
+
+  Outcome<PTermP> parseIdentish() {
+    std::string Name = next().Text;
+    if (Name == "true")
+      return Outcome<PTermP>::success(pBool(true));
+    if (Name == "false")
+      return Outcome<PTermP>::success(pBool(false));
+    if (Name == "None")
+      return Outcome<PTermP>::success(pNone());
+    if (Name == "result")
+      return Outcome<PTermP>::success(pResult());
+    if (Name == "Seq::EMPTY")
+      return Outcome<PTermP>::success(pSeqEmpty());
+    if (Name == "usize::MAX")
+      return Outcome<PTermP>::success(
+          pInt(rmir::intMaxValue(rmir::IntKind::USize)));
+    if (Name == "Some") {
+      if (!expect(TokKind::LParen))
+        return err("expected '(' after Some");
+      Outcome<PTermP> Inner = parseTerm();
+      if (!Inner.ok())
+        return Inner;
+      if (!expect(TokKind::RParen))
+        return err("expected ')' closing Some");
+      return Outcome<PTermP>::success(pSome(Inner.value()));
+    }
+    if (Name == "Seq::cons") {
+      if (!expect(TokKind::LParen))
+        return err("expected '(' after Seq::cons");
+      Outcome<PTermP> H = parseTerm();
+      if (!H.ok())
+        return H;
+      if (!expect(TokKind::Comma))
+        return err("expected ',' in Seq::cons");
+      Outcome<PTermP> Tl = parseTerm();
+      if (!Tl.ok())
+        return Tl;
+      if (!expect(TokKind::RParen))
+        return err("expected ')' closing Seq::cons");
+      return Outcome<PTermP>::success(pSeqCons(H.value(), Tl.value()));
+    }
+    if (Name == "match")
+      return parseMatch();
+    // A plain program variable.
+    return Outcome<PTermP>::success(pVar(std::move(Name)));
+  }
+
+  // match t { None => a, Some(x) => b ,? }   (either arm order).
+  Outcome<PTermP> parseMatch() {
+    Outcome<PTermP> Scrut = parseTerm();
+    if (!Scrut.ok())
+      return Scrut;
+    if (!expect(TokKind::LBrace))
+      return err("expected '{' after match scrutinee");
+    PTermP NoneBody, SomeBody;
+    std::string Binder;
+    for (unsigned Arm = 0; Arm != 2; ++Arm) {
+      const Token &Hd = peek();
+      if (Hd.Kind != TokKind::Ident)
+        return err("expected 'None' or 'Some' arm");
+      if (Hd.Text == "None") {
+        if (NoneBody)
+          return err("duplicate None arm");
+        next();
+        if (!expect(TokKind::FatArrow))
+          return err("expected '=>' after None");
+        Outcome<PTermP> B = parseTerm();
+        if (!B.ok())
+          return B;
+        NoneBody = B.value();
+      } else if (Hd.Text == "Some") {
+        if (SomeBody)
+          return err("duplicate Some arm");
+        next();
+        if (!expect(TokKind::LParen) || peek().Kind != TokKind::Ident)
+          return err("expected 'Some(binder)'");
+        Binder = next().Text;
+        if (!expect(TokKind::RParen) || !expect(TokKind::FatArrow))
+          return err("expected ') =>' after Some binder");
+        Outcome<PTermP> B = parseTerm();
+        if (!B.ok())
+          return B;
+        SomeBody = B.value();
+      } else {
+        return err("expected 'None' or 'Some' arm");
+      }
+      if (Arm == 0 && !expect(TokKind::Comma))
+        return err("expected ',' between match arms");
+    }
+    expect(TokKind::Comma); // Optional trailing comma.
+    if (!expect(TokKind::RBrace))
+      return err("expected '}' closing match");
+    return Outcome<PTermP>::success(
+        pMatchOpt(Scrut.value(), NoneBody, Binder, SomeBody));
+  }
+
+  std::vector<Token> Toks;
+  std::size_t Pos = 0;
+};
+
+} // namespace
+
+Outcome<PTermP> gilr::creusot::parsePearliteTerm(const std::string &Src) {
+  Lexer L(Src);
+  Outcome<std::vector<Token>> Toks = L.run();
+  if (!Toks.ok())
+    return Outcome<PTermP>::failure(Toks.error());
+  Parser P(std::move(Toks.value()));
+  return P.parseWholeTerm();
+}
+
+Outcome<ParsedContract>
+gilr::creusot::parsePearliteContract(const std::string &Src) {
+  Lexer L(Src);
+  Outcome<std::vector<Token>> Toks = L.run();
+  if (!Toks.ok())
+    return Outcome<ParsedContract>::failure(Toks.error());
+  Parser P(std::move(Toks.value()));
+  return P.parseContract();
+}

@@ -1,0 +1,61 @@
+//===- creusot/PearliteParser.h - Textual Pearlite front-end ---------------===//
+///
+/// \file
+/// A recursive-descent parser for the concrete Pearlite syntax the paper
+/// writes its contracts in (Fig. 3), e.g.
+///
+///   #[requires(self@.len() < usize::MAX)]
+///   #[ensures((^self)@ == Seq::cons(x@, self@))]
+///
+/// Contracts can thus be authored as text — the form they take in a real
+/// Creusot crate — instead of through the pVar/pEq builder API. The parser
+/// produces the same PTerm trees the builders do, so everything downstream
+/// (lowering, the §5.4 encoding, both verifier sides) is shared.
+///
+/// Grammar (precedence low→high):
+///   term    := or ( '==>' term )?                         (right assoc)
+///   or      := and ( '||' and )*
+///   and     := cmp ( '&&' cmp )*
+///   cmp     := add ( ('=='|'!='|'<'|'<='|'>'|'>=') add )?
+///   add     := unary ( ('+'|'-') unary )*
+///   unary   := '!' unary | '^' unary | postfix
+///   postfix := primary ( '@' | '.len()' | '[' term ']' )*
+///   primary := int | 'true' | 'false' | 'None' | 'Some(' term ')'
+///            | 'Seq::EMPTY' | 'Seq::cons(' term ',' term ')'
+///            | 'usize::MAX' | 'result' | ident | '(' term ')'
+///            | 'match' term '{' 'None' '=>' term ','
+///                               'Some(' ident ')' '=>' term ','? '}'
+///
+/// Note `^` binds looser than postfix `@`, matching the paper's spelling
+/// `(^self)@` (the final value's model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_CREUSOT_PEARLITEPARSER_H
+#define GILR_CREUSOT_PEARLITEPARSER_H
+
+#include "creusot/Pearlite.h"
+
+namespace gilr {
+namespace creusot {
+
+/// Parses a single Pearlite term. Errors carry a position and what was
+/// expected.
+Outcome<PTermP> parsePearliteTerm(const std::string &Src);
+
+/// A parsed `#[requires(..)]* #[ensures(..)]*` attribute block. Multiple
+/// clauses of the same kind are conjoined; an absent kind is nullptr
+/// (meaning `true`).
+struct ParsedContract {
+  PTermP Pre;
+  PTermP Post;
+};
+
+/// Parses a full contract attribute block, e.g.
+/// `#[requires(a < b)] #[ensures(result == a)]`.
+Outcome<ParsedContract> parsePearliteContract(const std::string &Src);
+
+} // namespace creusot
+} // namespace gilr
+
+#endif // GILR_CREUSOT_PEARLITEPARSER_H

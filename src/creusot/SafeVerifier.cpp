@@ -1,0 +1,152 @@
+//===- creusot/SafeVerifier.cpp ---------------------------------------------------===//
+
+#include "creusot/SafeVerifier.h"
+
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gilr;
+using namespace gilr::creusot;
+
+SafeReport SafeVerifier::verify(const SafeFn &F) {
+  SafeReport Report;
+  Report.Func = F.Name;
+  auto Start = std::chrono::steady_clock::now();
+
+  VarGen VG;
+  std::vector<Expr> Facts; // The accumulated verification context.
+  LowerEnv Env;            // Variable models (mutrefs resolved on the fly).
+
+  auto fail = [&](const std::string &Msg) {
+    Report.Ok = false;
+    Report.Errors.push_back("in " + F.Name + ": " + Msg);
+  };
+  auto check = [&](const std::string &Where, const Expr &Goal) {
+    SafeObligation O;
+    O.Where = Where;
+    O.What = exprToString(Goal);
+    O.Ok = Solv.entails(Facts, Goal);
+    if (!O.Ok) {
+      fail(Where + ": cannot prove " + O.What);
+      if (getenv("GILR_DUMP_ON_FAIL")) {
+        std::fprintf(stderr, "facts at failure:\n");
+        for (const Expr &F : Facts)
+          std::fprintf(stderr, "  %s\n", exprToString(F).c_str());
+      }
+    }
+    Report.Obligations.push_back(std::move(O));
+    return O.Ok;
+  };
+
+  for (const std::string &P : F.Params)
+    Env.Values[P] = VG.fresh("model$" + P, Sort::Any);
+
+  for (std::size_t SI = 0; SI != F.Body.size(); ++SI) {
+    const SafeStmt &S = F.Body[SI];
+    std::string Where = F.Name + " stmt " + std::to_string(SI);
+    switch (S.Kind) {
+    case SafeStmt::Let: {
+      Outcome<Expr> V = lowerPearlite(S.Term, Env);
+      if (!V.ok()) {
+        fail(V.error());
+        return Report;
+      }
+      Env.Values[S.Dest] = V.value();
+      Env.IsMutRef[S.Dest] = false;
+      break;
+    }
+    case SafeStmt::Assert: {
+      Outcome<Expr> G = lowerPearlite(S.Term, Env);
+      if (!G.ok()) {
+        fail(G.error());
+        return Report;
+      }
+      check(Where + " assert", G.value());
+      break;
+    }
+    case SafeStmt::Call: {
+      const PearliteSpec *Spec = Specs.lookup(S.Callee);
+      if (!Spec) {
+        fail("no contract for " + S.Callee);
+        return Report;
+      }
+      if (Spec->Params.size() != S.Args.size()) {
+        fail("arity mismatch calling " + S.Callee);
+        return Report;
+      }
+      // Build the callee's lowering environment: mutref parameters become
+      // (current, fresh final) pairs — the RustHorn prophecy threading.
+      LowerEnv CalleeEnv;
+      std::vector<std::pair<std::string, Expr>> MutUpdates;
+      for (std::size_t I = 0; I != S.Args.size(); ++I) {
+        const PearliteParam &P = Spec->Params[I];
+        auto It = Env.Values.find(S.Args[I]);
+        if (It == Env.Values.end()) {
+          fail("unknown variable " + S.Args[I] + " passed to " + S.Callee);
+          return Report;
+        }
+        bool ArgIsRef = I < S.ByMutRef.size() && S.ByMutRef[I];
+        if (P.IsMutRef != ArgIsRef) {
+          fail("mutability mismatch on argument " + S.Args[I]);
+          return Report;
+        }
+        if (P.IsMutRef) {
+          Expr Final = VG.fresh("final$" + S.Args[I], Sort::Any);
+          CalleeEnv.Values[P.Name] = mkTuple({It->second, Final});
+          CalleeEnv.IsMutRef[P.Name] = true;
+          MutUpdates.push_back({S.Args[I], Final});
+        } else {
+          CalleeEnv.Values[P.Name] = It->second;
+          CalleeEnv.IsMutRef[P.Name] = false;
+        }
+      }
+
+      // Check the precondition in the current context.
+      if (Spec->Pre) {
+        Outcome<Expr> Pre = lowerPearlite(Spec->Pre, CalleeEnv);
+        if (!Pre.ok()) {
+          fail(Pre.error());
+          return Report;
+        }
+        if (!check(Where + " pre of " + S.Callee, Pre.value()))
+          return Report;
+      }
+
+      // Havoc the result and assume the postcondition.
+      if (Spec->HasResult) {
+        Expr Ret = VG.fresh("ret$" + S.Callee, Sort::Any);
+        CalleeEnv.ResultVal = Ret;
+        if (!S.Dest.empty()) {
+          Env.Values[S.Dest] = Ret;
+          Env.IsMutRef[S.Dest] = false;
+        }
+      }
+      if (Spec->Post) {
+        Outcome<Expr> Post = lowerPearlite(Spec->Post, CalleeEnv);
+        if (!Post.ok()) {
+          fail(Post.error());
+          return Report;
+        }
+        Facts.push_back(Post.value());
+      }
+      // The borrows expire at the end of the call: models advance to the
+      // prophesied final values.
+      for (auto &[Var, Final] : MutUpdates)
+        Env.Values[Var] = Final;
+      break;
+    }
+    }
+    if (!Report.Ok)
+      break;
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  Report.Seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count();
+  return Report;
+}

@@ -1,0 +1,84 @@
+//===- creusot/SafeVerifier.h - Creusot-style verification of safe code ----===//
+///
+/// \file
+/// The safe half of the hybrid approach (§2.1): verification of safe Rust
+/// client code against the axiomatised Pearlite contracts, without any
+/// separation logic. Clients are straight-line programs over *pure
+/// representations* — exactly the view Creusot takes of code using
+/// LinkedList: the list is a sequence, calls update it, prophecies thread
+/// the mutable-borrow updates (RustHorn-style: a call taking &mut x
+/// instantiates the contract at (current, fresh-final) and the variable's
+/// model becomes the final value afterwards).
+///
+/// Obligations (call preconditions and user asserts) are discharged by the
+/// same SMT-lite solver the unsafe side uses, mirroring Creusot's SMT
+/// backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_CREUSOT_SAFEVERIFIER_H
+#define GILR_CREUSOT_SAFEVERIFIER_H
+
+#include "creusot/StdSpecs.h"
+#include "solver/Solver.h"
+#include "sym/VarGen.h"
+
+namespace gilr {
+namespace creusot {
+
+/// A statement of a safe client function.
+struct SafeStmt {
+  enum SKind : uint8_t {
+    Let,    ///< let Dest = Term (pure).
+    Call,   ///< Dest = Callee(Args...); mutref args are updated in place.
+    Assert, ///< assert!(Term).
+  } Kind = Let;
+
+  std::string Dest;              ///< Let / Call result binding ("" if none).
+  PTermP Term;                   ///< Let / Assert.
+  std::string Callee;            ///< Call.
+  std::vector<std::string> Args; ///< Call argument variables.
+  /// Call arguments passed by mutable reference (parallel to Args).
+  std::vector<bool> ByMutRef;
+};
+
+/// A safe client function.
+struct SafeFn {
+  std::string Name;
+  std::vector<std::string> Params; ///< Plain parameters (models are havoced).
+  std::vector<SafeStmt> Body;
+};
+
+/// A verification-condition record, for reporting.
+struct SafeObligation {
+  std::string Where;
+  std::string What;
+  bool Ok = false;
+};
+
+/// Result of verifying one safe function.
+struct SafeReport {
+  std::string Func;
+  bool Ok = true;
+  double Seconds = 0.0;
+  std::vector<SafeObligation> Obligations;
+  std::vector<std::string> Errors;
+};
+
+/// The Creusot-side verifier.
+class SafeVerifier {
+public:
+  SafeVerifier(const PearliteSpecTable &Specs, Solver &S)
+      : Specs(Specs), Solv(S) {}
+
+  SafeReport verify(const SafeFn &F);
+
+private:
+  const PearliteSpecTable &Specs;
+  Solver &Solv;
+};
+
+} // namespace creusot
+} // namespace gilr
+
+#endif // GILR_CREUSOT_SAFEVERIFIER_H

@@ -1,0 +1,205 @@
+//===- creusot/StdSpecs.cpp -------------------------------------------------------===//
+
+#include "creusot/StdSpecs.h"
+
+#include "creusot/PearliteParser.h"
+
+#include "rmir/Type.h"
+#include "support/Diagnostics.h"
+
+using namespace gilr;
+using namespace gilr::creusot;
+
+void PearliteSpecTable::add(PearliteSpec S) {
+  auto [It, Inserted] = Map.emplace(S.Func, std::move(S));
+  if (!Inserted)
+    fatalError("Pearlite spec for '" + It->first + "' declared twice");
+}
+
+const PearliteSpec *PearliteSpecTable::lookup(const std::string &Func) const {
+  auto It = Map.find(Func);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+PearliteSpecTable gilr::creusot::makeLinkedListSpecs() {
+  PearliteSpecTable T;
+  __int128 UsizeMax = rmir::intMaxValue(rmir::IntKind::USize);
+
+  // fn new() -> LinkedList<T>;  ensures result@ == Seq::EMPTY.
+  {
+    PearliteSpec S;
+    S.Func = "LinkedList::new";
+    S.HasResult = true;
+    S.Post = pEq(pModel(pResult()), pSeqEmpty());
+    S.Doc = "#[ensures(result@ == Seq::EMPTY)]";
+    T.add(std::move(S));
+  }
+
+  // fn push_front(&mut self, x: T);
+  //   requires self@.len() < usize::MAX
+  //   ensures (^self)@ == Seq::cons(x, self@).
+  {
+    PearliteSpec S;
+    S.Func = "LinkedList::push_front";
+    S.Params = {{"self", /*IsMutRef=*/true}, {"x", false}};
+    S.Pre = pLt(pSeqLen(pModel(pVar("self"))), pInt(UsizeMax));
+    S.Post = pEq(pModel(pFinal(pVar("self"))),
+                 pSeqCons(pVar("x"), pModel(pVar("self"))));
+    S.Doc = "#[requires(self@.len() < usize::MAX)] "
+            "#[ensures((^self)@ == Seq::cons(x@, self@))]";
+    T.add(std::move(S));
+  }
+
+  // fn pop_front(&mut self) -> Option<T>;  Fig. 3 of the paper.
+  {
+    PearliteSpec S;
+    S.Func = "LinkedList::pop_front";
+    S.Params = {{"self", true}};
+    S.HasResult = true;
+    // The None case additionally pins self@ == Seq::EMPTY (the strengthening
+    // Creusot's real std contract carries; Fig. 3 of the paper shows only
+    // the final-value half). Clients need it to conclude pop succeeds on
+    // non-empty lists, and the Gillian-Rust side proves it.
+    S.Post = pMatchOpt(
+        pResult(),
+        /*None=>*/
+        pAnd(pEq(pModel(pVar("self")), pSeqEmpty()),
+             pEq(pModel(pFinal(pVar("self"))), pSeqEmpty())),
+        /*Some binder*/ "x",
+        /*Some=>*/
+        pEq(pModel(pVar("self")),
+            pSeqCons(pVar("x"), pModel(pFinal(pVar("self"))))));
+    S.Doc = "#[ensures(match result { None => self@ == Seq::EMPTY && "
+            "(^self)@ == Seq::EMPTY, Some(x) => self@ == Seq::cons(x, "
+            "(^self)@) })]";
+    T.add(std::move(S));
+  }
+
+  // fn front_mut(&mut self) -> Option<&mut T>: a *partial* functional
+  // contract (emptiness behaviour). The paper cannot verify any functional
+  // front_mut spec (§6); our prophecy-aware extraction (§7.1 extension)
+  // verifies this one. The full contract — relating *result and ^self
+  // through the extracted borrow — remains future work here too.
+  {
+    PearliteSpec S;
+    S.Func = "LinkedList::front_mut";
+    S.Params = {{"self", true}};
+    S.HasResult = true;
+    S.Post = pMatchOpt(
+        pResult(),
+        pAnd(pEq(pModel(pVar("self")), pSeqEmpty()),
+             pEq(pModel(pFinal(pVar("self"))), pSeqEmpty())),
+        "r", pLt(pInt(0), pSeqLen(pModel(pVar("self")))));
+    S.Doc = "partial: None iff empty (paper: functional front_mut "
+            "unverifiable; enabled by the prophecy-aware extraction)";
+    T.add(std::move(S));
+  }
+
+  // fn is_empty(&mut self) -> bool: an observationally read-only borrow —
+  // the result reflects the model and the final model equals the current
+  // one.
+  {
+    PearliteSpec S;
+    S.Func = "LinkedList::is_empty";
+    S.Params = {{"self", true}};
+    S.HasResult = true;
+    S.Post = pAnd(pEq(pResult(), pEq(pModel(pVar("self")), pSeqEmpty())),
+                  pEq(pModel(pFinal(pVar("self"))), pModel(pVar("self"))));
+    S.Doc = "#[ensures(result == (self@ == Seq::EMPTY) && (^self)@ == "
+            "self@)]";
+    T.add(std::move(S));
+  }
+
+  // The node-level variants carry the same contracts (the paper verifies
+  // functional correctness of push_front_node / pop_front_node).
+  {
+    PearliteSpec S;
+    S.Func = "LinkedList::push_front_node";
+    S.Params = {{"self", true}, {"x", false}};
+    S.Pre = pLt(pSeqLen(pModel(pVar("self"))), pInt(UsizeMax));
+    S.Post = pEq(pModel(pFinal(pVar("self"))),
+                 pSeqCons(pVar("x"), pModel(pVar("self"))));
+    S.Doc = "node-level push (Fig. 3 discussion, §7.3 precondition)";
+    T.add(std::move(S));
+  }
+  {
+    PearliteSpec S;
+    S.Func = "LinkedList::pop_front_node";
+    S.Params = {{"self", true}};
+    S.HasResult = true;
+    S.Post = pMatchOpt(
+        pResult(),
+        pAnd(pEq(pModel(pVar("self")), pSeqEmpty()),
+             pEq(pModel(pFinal(pVar("self"))), pSeqEmpty())),
+        "x",
+        pEq(pModel(pVar("self")),
+            pSeqCons(pVar("x"), pModel(pFinal(pVar("self"))))));
+    S.Doc = "node-level pop (Fig. 3)";
+    T.add(std::move(S));
+  }
+
+  return T;
+}
+
+PearliteSpecTable gilr::creusot::makeLinkedListSpecsFromText() {
+  // The contracts in their concrete syntax, exactly as a Creusot crate
+  // would carry them in #[requires]/#[ensures] attributes (Fig. 3).
+  struct TextEntry {
+    const char *Func;
+    std::vector<PearliteParam> Params;
+    bool HasResult;
+    const char *Text;
+  };
+  const TextEntry Entries[] = {
+      {"LinkedList::new", {}, true, "#[ensures(result@ == Seq::EMPTY)]"},
+      {"LinkedList::push_front",
+       {{"self", true}, {"x", false}},
+       false,
+       "#[requires(self@.len() < usize::MAX)] "
+       "#[ensures((^self)@ == Seq::cons(x, self@))]"},
+      {"LinkedList::pop_front",
+       {{"self", true}},
+       true,
+       "#[ensures(match result { "
+       "None => self@ == Seq::EMPTY && (^self)@ == Seq::EMPTY, "
+       "Some(x) => self@ == Seq::cons(x, (^self)@) })]"},
+      {"LinkedList::front_mut",
+       {{"self", true}},
+       true,
+       "#[ensures(match result { "
+       "None => self@ == Seq::EMPTY && (^self)@ == Seq::EMPTY, "
+       "Some(r) => 0 < self@.len() })]"},
+      {"LinkedList::is_empty",
+       {{"self", true}},
+       true,
+       "#[ensures(result == (self@ == Seq::EMPTY) && (^self)@ == self@)]"},
+      {"LinkedList::push_front_node",
+       {{"self", true}, {"x", false}},
+       false,
+       "#[requires(self@.len() < usize::MAX)] "
+       "#[ensures((^self)@ == Seq::cons(x, self@))]"},
+      {"LinkedList::pop_front_node",
+       {{"self", true}},
+       true,
+       "#[ensures(match result { "
+       "None => self@ == Seq::EMPTY && (^self)@ == Seq::EMPTY, "
+       "Some(x) => self@ == Seq::cons(x, (^self)@) })]"},
+  };
+
+  PearliteSpecTable T;
+  for (const TextEntry &E : Entries) {
+    Outcome<ParsedContract> R = parsePearliteContract(E.Text);
+    if (!R.ok())
+      fatalError("parsing contract of " + std::string(E.Func) + ": " +
+                 R.error());
+    PearliteSpec S;
+    S.Func = E.Func;
+    S.Params = E.Params;
+    S.HasResult = E.HasResult;
+    S.Pre = R.value().Pre;
+    S.Post = R.value().Post;
+    S.Doc = E.Text;
+    T.add(std::move(S));
+  }
+  return T;
+}

@@ -1,0 +1,74 @@
+//===- creusot/StdSpecs.h - Axiomatised standard-library specs (§5.4) ------===//
+///
+/// \file
+/// Creusot treats unsafe types like LinkedList<T> as opaque, axiomatising
+/// their APIs with Pearlite specifications (§5.4). These are the shared
+/// contracts of the hybrid approach: *assumed* by the safe-code verifier
+/// and *proved* by Gillian-Rust after the systematic encoding of
+/// hybrid/Encode.h. This module declares the spec format and the LinkedList
+/// API table matching the paper's examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_CREUSOT_STDSPECS_H
+#define GILR_CREUSOT_STDSPECS_H
+
+#include "creusot/Pearlite.h"
+
+#include <map>
+
+namespace gilr {
+namespace creusot {
+
+/// One parameter of a Pearlite-specified function.
+struct PearliteParam {
+  std::string Name;
+  bool IsMutRef = false;
+};
+
+/// A Pearlite function contract.
+struct PearliteSpec {
+  std::string Func;
+  std::vector<PearliteParam> Params;
+  PTermP Pre;  ///< nullptr means `true`.
+  PTermP Post; ///< nullptr means `true`.
+  bool HasResult = false;
+  std::string Doc;
+};
+
+/// Spec storage.
+class PearliteSpecTable {
+public:
+  void add(PearliteSpec S);
+  const PearliteSpec *lookup(const std::string &Func) const;
+  const std::map<std::string, PearliteSpec> &all() const { return Map; }
+
+private:
+  std::map<std::string, PearliteSpec> Map;
+};
+
+/// Builds the LinkedList API contracts used throughout the evaluation:
+///
+///   new()                 ensures result@ == Seq::EMPTY
+///   push_front(&mut self, x)
+///                         requires self@.len() < usize::MAX
+///                         ensures (^self)@ == Seq::cons(x, self@)
+///   pop_front(&mut self) -> Option<T>
+///                         ensures match result {
+///                           None => self@ == Seq::EMPTY && (^self)@ == Seq::EMPTY,
+///                           Some(x) => self@ == Seq::cons(x, (^self)@) }
+///   push_front_node / pop_front_node: the node-level variants with the
+///   same contracts (Fig. 3).
+PearliteSpecTable makeLinkedListSpecs();
+
+/// The same contract table, but built by *parsing* the concrete Pearlite
+/// syntax (creusot/PearliteParser.h) — the form contracts take in a real
+/// Creusot crate. Lowered term-for-term equivalent to makeLinkedListSpecs()
+/// (tests/pearlite_parser_test.cpp checks this); either table can drive the
+/// hybrid pipeline.
+PearliteSpecTable makeLinkedListSpecsFromText();
+
+} // namespace creusot
+} // namespace gilr
+
+#endif // GILR_CREUSOT_STDSPECS_H

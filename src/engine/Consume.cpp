@@ -1,0 +1,386 @@
+//===- engine/Consume.cpp ---------------------------------------------------------===//
+
+#include "engine/Consume.h"
+
+#include "engine/Heuristics.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::engine;
+using gilsonite::AsrtKind;
+using gilsonite::AssertionP;
+using gilsonite::PredDecl;
+
+bool MatchCtx::fullyBound(const Expr &E) const {
+  if (!E)
+    return true;
+  std::set<std::string> Vars;
+  collectVars(E, Vars);
+  for (const std::string &V : Vars)
+    if (isUnbound(V))
+      return false;
+  return true;
+}
+
+Outcome<Unit> gilr::engine::unify(const Expr &Pattern, const Expr &Value,
+                                  SymState &St, VerifEnv &Env, MatchCtx &M) {
+  Expr P = M.resolve(Pattern);
+
+  // Fully bound: a residual equality check against the path condition.
+  if (M.fullyBound(P)) {
+    Expr EqF = mkEq(P, Value);
+    if (isTrueLit(EqF))
+      return Outcome<Unit>::success(Unit());
+    if (St.PC.entails(Env.Solv, EqF))
+      return Outcome<Unit>::success(Unit());
+    return Outcome<Unit>::failure("match failure: " + exprToString(P) +
+                                  " != " + exprToString(Value));
+  }
+
+  switch (P->Kind) {
+  case ExprKind::Var:
+    M.Bindings.bind(P->Name, Value);
+    return Outcome<Unit>::success(Unit());
+  case ExprKind::TupleLit: {
+    for (std::size_t I = 0, E = P->Kids.size(); I != E; ++I) {
+      Expr Component = Value->Kind == ExprKind::TupleLit &&
+                               Value->Kids.size() == P->Kids.size()
+                           ? Value->Kids[I]
+                           : mkTupleGet(Value, static_cast<unsigned>(I));
+      Outcome<Unit> R = unify(P->Kids[I], Component, St, Env, M);
+      if (!R.ok())
+        return R;
+    }
+    return Outcome<Unit>::success(Unit());
+  }
+  case ExprKind::Some: {
+    if (Value->Kind == ExprKind::NoneLit)
+      return Outcome<Unit>::failure("match failure: Some pattern vs None");
+    Expr Inner;
+    if (Value->Kind == ExprKind::Some) {
+      Inner = Value->Kids[0];
+    } else {
+      if (!St.PC.entails(Env.Solv, mkIsSome(Value)))
+        return Outcome<Unit>::failure(
+            "match failure: cannot prove value is Some: " +
+            exprToString(Value));
+      Inner = mkUnwrap(Value);
+    }
+    return unify(P->Kids[0], Inner, St, Env, M);
+  }
+  case ExprKind::SeqUnit: {
+    if (!St.PC.entails(Env.Solv, mkEq(mkSeqLen(Value), mkInt(1))))
+      return Outcome<Unit>::failure(
+          "match failure: cannot prove singleton sequence");
+    return unify(P->Kids[0], mkSeqNth(Value, mkInt(0)), St, Env, M);
+  }
+  case ExprKind::SeqConcat: {
+    // Support the cons pattern [h] ++ rest (and its n-ary prefix variant).
+    Expr Rest = Value;
+    __int128 Consumed = 0;
+    for (std::size_t I = 0, E = P->Kids.size(); I != E; ++I) {
+      const Expr &Part = P->Kids[I];
+      if (Part->Kind == ExprKind::SeqUnit) {
+        if (!St.PC.entails(Env.Solv,
+                           mkLe(mkInt(1), mkSeqLen(Rest))))
+          return Outcome<Unit>::failure(
+              "match failure: sequence too short for cons pattern");
+        Outcome<Unit> R =
+            unify(Part->Kids[0], mkSeqNth(Rest, mkInt(0)), St, Env, M);
+        if (!R.ok())
+          return R;
+        Rest = mkSeqSub(Rest, mkInt(1),
+                        mkSub(mkSeqLen(Rest), mkInt(1)));
+        ++Consumed;
+        continue;
+      }
+      if (I + 1 == P->Kids.size()) {
+        // Trailing part absorbs the remainder.
+        return unify(Part, Rest, St, Env, M);
+      }
+      return Outcome<Unit>::failure(
+          "unsupported sequence pattern in unification");
+    }
+    // All parts were units; the remainder must be empty.
+    (void)Consumed;
+    if (!St.PC.entails(Env.Solv, mkEq(mkSeqLen(Rest), mkInt(0))))
+      return Outcome<Unit>::failure(
+          "match failure: sequence has trailing elements");
+    return Outcome<Unit>::success(Unit());
+  }
+  default:
+    return Outcome<Unit>::failure(
+        "unlearnable pattern in unification: " + exprToString(P));
+  }
+}
+
+namespace {
+
+/// Consumes a predicate call, trying folded instances first and falling
+/// back to clause-by-clause definition consumption with backtracking.
+Outcome<Unit> consumePredCall(const AssertionP &A, SymState &St,
+                              VerifEnv &Env, MatchCtx &M) {
+  const PredDecl *Decl = Env.Preds.lookup(A->Name);
+  if (!Decl)
+    return Outcome<Unit>::failure("consume of undeclared predicate " +
+                                  A->Name);
+  if (Decl->Params.size() != A->Args.size())
+    return Outcome<Unit>::failure("arity mismatch consuming " + A->Name);
+
+  // Resolve arguments and decide which positions can drive the match.
+  std::vector<Expr> Args;
+  std::vector<bool> MustMatch;
+  Args.reserve(A->Args.size());
+  for (std::size_t I = 0, E = A->Args.size(); I != E; ++I) {
+    Expr R = M.resolve(A->Args[I]);
+    MustMatch.push_back(Decl->Params[I].In && M.fullyBound(R));
+    Args.push_back(std::move(R));
+  }
+
+  // 1. A folded instance. Guarded predicates (borrows) can *only* be
+  // consumed folded — their body is not owned by the current state.
+  if (A->Kind == AsrtKind::GuardedCall) {
+    SymState Snapshot = St;
+    MatchCtx MSnapshot = M;
+    Expr Kappa = M.resolve(A->Kappa);
+    Outcome<pred::GuardedPred> G = St.Guarded.consumeGuarded(
+        A->Name, M.fullyBound(Kappa) ? Kappa : nullptr, Args, MustMatch,
+        Env.Solv, St.PC);
+    if (G.ok()) {
+      bool AllOk = unify(A->Kappa, G.value().Kappa, St, Env, M).ok();
+      for (std::size_t I = 0; AllOk && I != G.value().Args.size(); ++I)
+        AllOk = unify(A->Args[I], G.value().Args[I], St, Env, M).ok();
+      if (AllOk)
+        return Outcome<Unit>::success(Unit());
+    }
+    St = std::move(Snapshot);
+    M = std::move(MSnapshot);
+    return Outcome<Unit>::failure("no matching guarded instance of " +
+                                  A->Name);
+  }
+  {
+    SymState Snapshot = St;
+    MatchCtx MSnapshot = M;
+    Outcome<std::vector<Expr>> Got =
+        St.Folded.consume(A->Name, Args, MustMatch, Env.Solv, St.PC);
+    if (Got.ok()) {
+      bool AllOk = true;
+      for (std::size_t I = 0; AllOk && I != Got.value().size(); ++I)
+        AllOk = unify(A->Args[I], Got.value()[I], St, Env, M).ok();
+      if (AllOk)
+        return Outcome<Unit>::success(Unit());
+      St = std::move(Snapshot);
+      M = std::move(MSnapshot);
+    }
+  }
+
+  // 2. Definition fallback (fold-free consumption).
+  if (Decl->Abstract || Decl->Clauses.empty())
+    return Outcome<Unit>::failure("no folded instance of abstract predicate " +
+                                  A->Name);
+  std::string Errors;
+  for (std::size_t CI = 0, CE = Decl->Clauses.size(); CI != CE; ++CI) {
+    SymState Snapshot = St;
+    MatchCtx MSnapshot = M;
+    AssertionP Clause =
+        gilsonite::instantiateClause(*Decl, CI, A->Args, nullptr, St.VG);
+    Outcome<Unit> R = consume(Clause, St, Env, M);
+    if (R.ok()) {
+      // The clause's pure facts must actually be consistent here; a clause
+      // whose checks passed only because the branch is infeasible is fine
+      // too (the state is then vacuous).
+      return R;
+    }
+    Errors += " [clause " + std::to_string(CI) + ": " +
+              (R.failed() ? R.error() : "vanished") + "]";
+    St = std::move(Snapshot);
+    M = std::move(MSnapshot);
+  }
+  return Outcome<Unit>::failure("cannot consume " + A->Name +
+                                " (no folded instance; definition fallback "
+                                "failed:" +
+                                Errors + ")");
+}
+
+} // namespace
+
+Outcome<Unit> gilr::engine::consume(const AssertionP &A, SymState &St,
+                                    VerifEnv &Env, MatchCtx &M) {
+  heap::HeapCtx Ctx = St.heapCtx(Env);
+  switch (A->Kind) {
+  case AsrtKind::Star: {
+    for (const AssertionP &P : A->Parts) {
+      Outcome<Unit> R = consume(P, St, Env, M);
+      if (!R.ok())
+        return R;
+    }
+    return Outcome<Unit>::success(Unit());
+  }
+  case AsrtKind::Exists: {
+    for (const gilsonite::Binder &B : A->Binders)
+      M.Pending.insert(B.Name);
+    return consume(A->Body, St, Env, M);
+  }
+  case AsrtKind::Pure: {
+    Expr F = M.resolve(A->Formula);
+    // Conjunctions arise when substitution decomposes a tuple equality;
+    // consume each conjunct so learning still happens component-wise.
+    if (F->Kind == ExprKind::And) {
+      for (const Expr &Part : F->Kids) {
+        Outcome<Unit> R = consume(gilsonite::pure(Part), St, Env, M);
+        if (!R.ok())
+          return R;
+      }
+      return Outcome<Unit>::success(Unit());
+    }
+    if (M.fullyBound(F)) {
+      if (isTrueLit(F) || St.PC.entails(Env.Solv, F))
+        return Outcome<Unit>::success(Unit());
+      return Outcome<Unit>::failure("pure fact not entailed: " +
+                                    exprToString(F));
+    }
+    // Learn from an oriented equality.
+    if (F->Kind == ExprKind::Eq) {
+      const Expr &L = F->Kids[0];
+      const Expr &R = F->Kids[1];
+      if (M.fullyBound(L))
+        return unify(R, L, St, Env, M);
+      if (M.fullyBound(R))
+        return unify(L, R, St, Env, M);
+    }
+    return Outcome<Unit>::failure("pure fact with unlearnable unknowns: " +
+                                  exprToString(F));
+  }
+  case AsrtKind::PointsTo: {
+    Expr Ptr = M.resolve(A->Ptr);
+    if (!M.fullyBound(Ptr))
+      return Outcome<Unit>::failure("points-to with unbound pointer");
+    Outcome<Expr> V = St.Heap.consumePointsTo(Ptr, A->Ty, Ctx);
+    if (!V.ok())
+      return V.forward<Unit>();
+    return unify(A->Val, V.value(), St, Env, M);
+  }
+  case AsrtKind::UninitPT: {
+    Expr Ptr = M.resolve(A->Ptr);
+    Outcome<Expr> V = St.Heap.consumeMaybeUninit(Ptr, A->Ty, Ctx);
+    if (!V.ok())
+      return V.forward<Unit>();
+    if (V.value()->Kind != ExprKind::NoneLit)
+      return Outcome<Unit>::failure(
+          "uninit points-to consumed initialised memory");
+    return Outcome<Unit>::success(Unit());
+  }
+  case AsrtKind::MaybeUninit: {
+    Expr Ptr = M.resolve(A->Ptr);
+    Outcome<Expr> V = St.Heap.consumeMaybeUninit(Ptr, A->Ty, Ctx);
+    if (!V.ok())
+      return V.forward<Unit>();
+    return unify(A->Val, V.value(), St, Env, M);
+  }
+  case AsrtKind::ArrayPT: {
+    Expr Ptr = M.resolve(A->Ptr);
+    Expr Count = M.resolve(A->Count);
+    if (!M.fullyBound(Ptr) || !M.fullyBound(Count))
+      return Outcome<Unit>::failure("array points-to with unbound bounds");
+    Outcome<Expr> V = St.Heap.consumeArray(Ptr, A->Ty, Count, Ctx);
+    if (!V.ok())
+      return V.forward<Unit>();
+    return unify(A->Seq, V.value(), St, Env, M);
+  }
+  case AsrtKind::ArrayUninit: {
+    Expr Ptr = M.resolve(A->Ptr);
+    Expr Count = M.resolve(A->Count);
+    if (!M.fullyBound(Ptr) || !M.fullyBound(Count))
+      return Outcome<Unit>::failure("uninit array with unbound bounds");
+    return St.Heap.consumeArrayUninit(Ptr, A->Ty, Count, Ctx);
+  }
+  case AsrtKind::PredCall:
+  case AsrtKind::GuardedCall:
+    return consumePredCall(A, St, Env, M);
+  case AsrtKind::LftAlive: {
+    // Call-site instantiation: an unbound lifetime matches the first alive
+    // entry (the single-lifetime restriction of §7.1 makes this exact);
+    // an unbound fraction takes everything owned.
+    Expr K = M.resolve(A->Kappa);
+    if (!M.fullyBound(K)) {
+      std::optional<Expr> Any = St.Lft.someAliveLifetime();
+      if (!Any)
+        return Outcome<Unit>::failure(
+            "no alive lifetime to instantiate the spec lifetime with");
+      Outcome<Unit> R = unify(A->Kappa, *Any, St, Env, M);
+      if (!R.ok())
+        return R;
+      K = M.resolve(A->Kappa);
+    }
+    Expr Q = M.resolve(A->Frac);
+    if (!M.fullyBound(Q)) {
+      std::optional<Expr> Owned = St.Lft.ownedFraction(K, Env.Solv, St.PC);
+      if (!Owned)
+        return Outcome<Unit>::failure("no alive token owned for lifetime");
+      Outcome<Unit> R = unify(A->Frac, *Owned, St, Env, M);
+      if (!R.ok())
+        return R;
+      Q = M.resolve(A->Frac);
+    }
+    return St.Lft.consumeAlive(K, Q, Env.Solv, St.PC);
+  }
+  case AsrtKind::LftDead:
+    return St.Lft.consumeDead(M.resolve(A->Kappa), Env.Solv, St.PC);
+  case AsrtKind::Observation: {
+    Expr F = M.resolve(A->Formula);
+    if (!M.fullyBound(F))
+      return Outcome<Unit>::failure("observation with unbound variables: " +
+                                    exprToString(F));
+    return St.Obs.consume(F, Env.Solv, St.PC);
+  }
+  case AsrtKind::ValueObs: {
+    Expr X = reduceWithPC(M.resolve(A->PcyVar), St.PC);
+    if (X->Kind != ExprKind::Var)
+      return Outcome<Unit>::failure("value observer of non-variable");
+    Outcome<Expr> V = St.Pcy.consumeVO(X->Name);
+    if (!V.ok())
+      return V.forward<Unit>();
+    return unify(A->Val, V.value(), St, Env, M);
+  }
+  case AsrtKind::ProphCtrl: {
+    Expr X = reduceWithPC(M.resolve(A->PcyVar), St.PC);
+    if (X->Kind != ExprKind::Var)
+      return Outcome<Unit>::failure("prophecy controller of non-variable");
+    Expr Pattern = M.resolve(A->Val);
+    if (M.fullyBound(Pattern)) {
+      std::optional<Expr> Cur = St.Pcy.currentValue(X->Name);
+      if (Cur && !St.PC.entails(Env.Solv, mkEq(*Cur, Pattern))) {
+        // Mut-Auto-Update (§5.3): when enabled, the prophecy's value is
+        // updated to whatever lets the borrow close again.
+        if (St.AutoProphecyUpdate && St.Pcy.hasVO(X->Name) &&
+            St.Pcy.hasPC(X->Name)) {
+          Outcome<Unit> U = St.Pcy.update(X->Name, Pattern);
+          if (!U.ok())
+            return U;
+        } else {
+          return Outcome<Unit>::failure(
+              "prophecy controller value mismatch for " + X->Name);
+        }
+      }
+    }
+    Outcome<Expr> V = St.Pcy.consumePC(X->Name);
+    if (!V.ok())
+      return V.forward<Unit>();
+    return unify(A->Val, V.value(), St, Env, M);
+  }
+  }
+  return Outcome<Unit>::failure("unknown assertion kind in consume");
+}
+
+Outcome<Unit> gilr::engine::consumeAll(const AssertionP &A, SymState &St,
+                                       VerifEnv &Env, MatchCtx &M) {
+  Outcome<Unit> R = consume(A, St, Env, M);
+  if (!R.ok())
+    return R;
+  for (const std::string &P : M.Pending)
+    if (!M.Bindings.contains(P))
+      return Outcome<Unit>::failure("existential '" + P +
+                                    "' was never learned during consumption");
+  return Outcome<Unit>::success(Unit());
+}

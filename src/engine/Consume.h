@@ -1,0 +1,58 @@
+//===- engine/Consume.h - Assertion consumption and matching ---------------===//
+///
+/// \file
+/// Consuming an assertion removes the corresponding resource from the
+/// symbolic state (the cons_ρ actions of §2.3), while *learning* the values
+/// of existentially bound variables and spec out-variables by unification:
+/// a points-to consumption matches its value pattern against the value
+/// found in the heap, a predicate consumption matches its out-parameters
+/// against the folded instance found, etc. When no folded instance of a
+/// predicate exists, consumption falls back to consuming the predicate's
+/// definition clause-by-clause with backtracking — this is what lets a
+/// postcondition mentioning own$LinkedList be consumed out of a heap in
+/// which the list predicate was unfolded during execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ENGINE_CONSUME_H
+#define GILR_ENGINE_CONSUME_H
+
+#include "engine/SymState.h"
+
+#include <set>
+
+namespace gilr {
+namespace engine {
+
+/// Unification bindings threaded through a consumption.
+struct MatchCtx {
+  Subst Bindings;
+  std::set<std::string> Pending; ///< Names awaiting a binding.
+
+  bool isUnbound(const std::string &Name) const {
+    return Pending.count(Name) && !Bindings.contains(Name);
+  }
+  /// Applies current bindings to \p E.
+  Expr resolve(const Expr &E) const { return Bindings.apply(E); }
+  /// True if no pending variable remains free in \p E.
+  bool fullyBound(const Expr &E) const;
+};
+
+/// Unifies \p Pattern (a constructor tree over possibly-unbound variables)
+/// against \p Value: binds unbound variables, checks bound residue against
+/// the path condition.
+Outcome<Unit> unify(const Expr &Pattern, const Expr &Value, SymState &St,
+                    VerifEnv &Env, MatchCtx &M);
+
+/// Consumes \p A from \p St, learning bindings into \p M.
+Outcome<Unit> consume(const gilsonite::AssertionP &A, SymState &St,
+                      VerifEnv &Env, MatchCtx &M);
+
+/// Consumes \p A and then verifies that every pending variable was learned.
+Outcome<Unit> consumeAll(const gilsonite::AssertionP &A, SymState &St,
+                         VerifEnv &Env, MatchCtx &M);
+
+} // namespace engine
+} // namespace gilr
+
+#endif // GILR_ENGINE_CONSUME_H

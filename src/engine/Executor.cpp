@@ -1,0 +1,1013 @@
+//===- engine/Executor.cpp --------------------------------------------------------===//
+
+#include "engine/Executor.h"
+
+#include "engine/Heuristics.h"
+#include "engine/Produce.h"
+#include "heap/Projection.h"
+#include "solver/Simplify.h"
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::engine;
+using namespace gilr::rmir;
+using gilsonite::AssertionP;
+
+Sort gilr::engine::valueSort(TypeRef Ty) {
+  switch (Ty->Kind) {
+  case TypeKind::Bool:
+    return Sort::Bool;
+  case TypeKind::Int:
+    return Sort::Int;
+  case TypeKind::Unit:
+    return Sort::Unit;
+  case TypeKind::Struct:
+  case TypeKind::RawPtr: // (loc, projection) tuples.
+  case TypeKind::Ref:    // (pointer, prophecy) tuples.
+    return Sort::Tuple;
+  case TypeKind::Enum:
+    return Ty->isOption() ? Sort::Opt : Sort::Tuple;
+  case TypeKind::Array:
+    return Sort::Seq;
+  case TypeKind::Param:
+    return Sort::Any;
+  }
+  GILR_UNREACHABLE("unknown type kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+void Executor::harvestObservations(SymState &St) {
+  if (!Env.Auto.ObsExtraction)
+    return;
+  // Prophecy-free observations are plain facts (the RustHornBelt rule the
+  // paper leaves unautomated in §7.3): move them into the path condition.
+  for (const Expr &Fact : St.Obs.facts())
+    if (!mentionsProphecy(Fact))
+      St.PC.add(Fact);
+}
+
+void Executor::pathFail(const Frame &Fr, const std::string &Msg) {
+  Result.Ok = false;
+  Result.Errors.push_back("in " + F->Name + " (bb" + std::to_string(Fr.BB) +
+                          "): " + Msg);
+  if (getenv("GILR_DUMP_ON_FAIL")) {
+    std::fprintf(stderr, "=== path failure state ===\n%s\n",
+                 Fr.St.dump().c_str());
+    for (const auto &[Id, V] : Fr.Locals)
+      std::fprintf(stderr, "local %s = %s\n", F->Locals[Id].Name.c_str(),
+                   exprToString(V).c_str());
+  }
+}
+
+void Executor::enqueue(Frame Fr) { Work.push_back(std::move(Fr)); }
+
+ExecResult Executor::run(const rmir::Function &Fn,
+                         const gilsonite::Spec &S) {
+  F = &Fn;
+  Spec = &S;
+  Result = ExecResult();
+  Work.clear();
+
+  Frame Init;
+  for (unsigned I = 0; I != Fn.NumParams; ++I) {
+    const Local &P = Fn.Locals[1 + I];
+    Expr V = mkVar(P.Name, valueSort(P.Ty));
+    Init.Locals[1 + I] = V;
+    // Parameters arrive as valid representations of their type (§3.2
+    // validity invariants): a u32 argument is in range by construction.
+    Init.St.PC.add(heap::validityInvariant(P.Ty, V));
+  }
+
+  Outcome<Unit> Pre = produce(S.Pre, Init.St, Env);
+  if (Pre.failed()) {
+    Result.Ok = false;
+    Result.Errors.push_back("producing precondition of " + Fn.Name + ": " +
+                            Pre.error());
+    return Result;
+  }
+  if (Pre.vanished() || !Init.St.viable(Env.Solv))
+    return Result; // Vacuous: the precondition is unsatisfiable.
+  harvestObservations(Init.St);
+
+  enqueue(std::move(Init));
+
+  unsigned Steps = 0;
+  while (!Work.empty()) {
+    if (++Steps > StepLimit) {
+      Result.Ok = false;
+      Result.Errors.push_back("step limit exceeded in " + Fn.Name);
+      break;
+    }
+    Frame Fr = std::move(Work.back());
+    Work.pop_back();
+    ++Result.StatesExplored;
+
+    const BasicBlock &Block = Fn.Blocks.at(Fr.BB);
+    if (Fr.StmtIdx < Block.Stmts.size()) {
+      const Statement &St = Block.Stmts[Fr.StmtIdx];
+      execStatement(std::move(Fr), St, [this](Frame Next) {
+        ++Next.StmtIdx;
+        enqueue(std::move(Next));
+      });
+      continue;
+    }
+    execTerminator(std::move(Fr), Block.Term);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Heap actions with automation retries
+//===----------------------------------------------------------------------===//
+
+void Executor::withLoad(Frame Fr, const Expr &Ptr, TypeRef Ty, bool Move,
+                        unsigned Fuel, const ExprCont &K) {
+  Frame Attempt = Fr;
+  heap::HeapCtx Ctx = Attempt.St.heapCtx(Env);
+  Outcome<Expr> R = Attempt.St.Heap.load(Ptr, Ty, Move, Ctx);
+  if (R.ok()) {
+    K(std::move(Attempt), R.value());
+    return;
+  }
+  if (Fuel != 0) {
+    std::vector<SymState> Succs = unfoldForPointer(Fr.St, Env, Ptr);
+    if (!Succs.empty()) {
+      for (SymState &SS : Succs) {
+        Frame Next = Fr;
+        Next.St = std::move(SS);
+        withLoad(std::move(Next), Ptr, Ty, Move, Fuel - 1, K);
+      }
+      return;
+    }
+  }
+  pathFail(Fr, "load at type " + Ty->str() + " from " + exprToString(Ptr) +
+                   ": " + (R.failed() ? R.error() : "vanished"));
+}
+
+void Executor::withStore(Frame Fr, const Expr &Ptr, TypeRef Ty,
+                         const Expr &Val, unsigned Fuel, const Cont &K) {
+  Frame Attempt = Fr;
+  heap::HeapCtx Ctx = Attempt.St.heapCtx(Env);
+  Outcome<Unit> R = Attempt.St.Heap.store(Ptr, Ty, Val, Ctx);
+  if (R.ok()) {
+    K(std::move(Attempt));
+    return;
+  }
+  if (Fuel != 0) {
+    std::vector<SymState> Succs = unfoldForPointer(Fr.St, Env, Ptr);
+    if (!Succs.empty()) {
+      for (SymState &SS : Succs) {
+        Frame Next = Fr;
+        Next.St = std::move(SS);
+        withStore(std::move(Next), Ptr, Ty, Val, Fuel - 1, K);
+      }
+      return;
+    }
+  }
+  pathFail(Fr, "store at type " + Ty->str() + " to " + exprToString(Ptr) +
+                   ": " + (R.failed() ? R.error() : "vanished"));
+}
+
+void Executor::withFree(Frame Fr, const Expr &Ptr, TypeRef Ty, unsigned Fuel,
+                        const Cont &K) {
+  Frame Attempt = Fr;
+  heap::HeapCtx Ctx = Attempt.St.heapCtx(Env);
+  Outcome<Unit> R = Attempt.St.Heap.freeTyped(Ptr, Ty, Ctx);
+  if (R.ok()) {
+    K(std::move(Attempt));
+    return;
+  }
+  if (Fuel != 0) {
+    std::vector<SymState> Succs = unfoldForPointer(Fr.St, Env, Ptr);
+    if (!Succs.empty()) {
+      for (SymState &SS : Succs) {
+        Frame Next = Fr;
+        Next.St = std::move(SS);
+        withFree(std::move(Next), Ptr, Ty, Fuel - 1, K);
+      }
+      return;
+    }
+  }
+  pathFail(Fr, "free at type " + Ty->str() + " of " + exprToString(Ptr) +
+                   ": " + (R.failed() ? R.error() : "vanished"));
+}
+
+//===----------------------------------------------------------------------===//
+// Places and operands
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Index of the first Deref element, or npos.
+std::size_t firstDeref(const std::vector<PlaceElem> &Elems) {
+  for (std::size_t I = 0; I != Elems.size(); ++I)
+    if (Elems[I].Kind == PlaceElem::Deref)
+      return I;
+  return std::string::npos;
+}
+
+} // namespace
+
+/// Projects a local's pure value through non-deref place elements
+/// [0, End), tracking the type. Returns failure for unsupported shapes.
+static Outcome<std::pair<Expr, TypeRef>>
+projectPure(const rmir::Function &F, Expr V, TypeRef Ty,
+            const std::vector<PlaceElem> &Elems, std::size_t End) {
+  unsigned Variant = 0;
+  bool Down = false;
+  for (std::size_t I = 0; I != End; ++I) {
+    const PlaceElem &E = Elems[I];
+    switch (E.Kind) {
+    case PlaceElem::Deref:
+      GILR_UNREACHABLE("deref in pure projection");
+    case PlaceElem::Downcast:
+      Variant = E.Index;
+      Down = true;
+      break;
+    case PlaceElem::Field:
+      if (Ty->Kind == TypeKind::Struct) {
+        V = mkTupleGet(V, E.Index);
+        Ty = Ty->Fields.at(E.Index).Ty;
+      } else if (Ty->Kind == TypeKind::Enum && Down) {
+        if (Ty->isOption()) {
+          assert(Variant == 1 && E.Index == 0 && "bad option downcast");
+          V = mkUnwrap(V);
+          Ty = Ty->optionPayload();
+        } else {
+          V = mkTupleGet(mkTupleGet(V, 1), E.Index);
+          Ty = Ty->Variants.at(Variant).Fields.at(E.Index).Ty;
+        }
+        Down = false;
+      } else {
+        return Outcome<std::pair<Expr, TypeRef>>::failure(
+            "unsupported pure projection");
+      }
+      break;
+    }
+  }
+  return Outcome<std::pair<Expr, TypeRef>>::success({V, Ty});
+}
+
+/// Rebuilds a local's pure value with the sub-place [I, End) replaced by
+/// NewV.
+static Outcome<Expr> updatePure(Expr Old, TypeRef Ty,
+                                const std::vector<PlaceElem> &Elems,
+                                std::size_t I, std::size_t End, Expr NewV) {
+  if (I == End)
+    return Outcome<Expr>::success(NewV);
+  const PlaceElem &E = Elems[I];
+  if (E.Kind == PlaceElem::Field && Ty->Kind == TypeKind::Struct) {
+    std::vector<Expr> Parts;
+    for (std::size_t J = 0; J != Ty->Fields.size(); ++J) {
+      if (J == E.Index) {
+        Outcome<Expr> Sub =
+            updatePure(mkTupleGet(Old, E.Index), Ty->Fields[J].Ty, Elems,
+                       I + 1, End, NewV);
+        if (!Sub.ok())
+          return Sub;
+        Parts.push_back(Sub.value());
+      } else {
+        Parts.push_back(mkTupleGet(Old, static_cast<unsigned>(J)));
+      }
+    }
+    return Outcome<Expr>::success(mkTuple(std::move(Parts)));
+  }
+  if (E.Kind == PlaceElem::Downcast && Ty->isOption() && I + 1 < End &&
+      Elems[I + 1].Kind == PlaceElem::Field) {
+    Outcome<Expr> Sub = updatePure(mkUnwrap(Old), Ty->optionPayload(), Elems,
+                                   I + 2, End, NewV);
+    if (!Sub.ok())
+      return Sub;
+    return Outcome<Expr>::success(mkSome(Sub.value()));
+  }
+  return Outcome<Expr>::failure("unsupported pure place update");
+}
+
+void Executor::placeAddress(
+    Frame Fr, const Place &P,
+    const std::function<void(Frame, Expr, TypeRef)> &K) {
+  std::size_t D = firstDeref(P.Elems);
+  if (D == std::string::npos) {
+    pathFail(Fr, "address of a non-deref place is not supported");
+    return;
+  }
+  auto It = Fr.Locals.find(P.Local);
+  if (It == Fr.Locals.end()) {
+    pathFail(Fr, "use of uninitialised local " + F->Locals[P.Local].Name);
+    return;
+  }
+  Outcome<std::pair<Expr, TypeRef>> Base =
+      projectPure(*F, It->second, F->Locals[P.Local].Ty, P.Elems, D);
+  if (!Base.ok()) {
+    pathFail(Fr, Base.error());
+    return;
+  }
+  auto [V, Ty] = Base.value();
+  if (!Ty->isPointerLike()) {
+    pathFail(Fr, "deref of non-pointer place");
+    return;
+  }
+  Expr Ptr = Ty->Kind == TypeKind::Ref ? mkTupleGet(V, 0) : V;
+
+  // Walk the post-deref elements, loading through further derefs.
+  std::function<void(Frame, Expr, TypeRef, std::size_t)> Walk =
+      [this, &P, K, &Walk](Frame Fr2, Expr Cur, TypeRef CurTy,
+                           std::size_t I) {
+        TypeRef Ty2 = CurTy;
+        Expr Addr = Cur;
+        unsigned Variant = 0;
+        bool Down = false;
+        for (; I < P.Elems.size(); ++I) {
+          const PlaceElem &E = P.Elems[I];
+          switch (E.Kind) {
+          case PlaceElem::Field:
+            if (Ty2->Kind == TypeKind::Struct) {
+              Addr = heap::appendProjElem(
+                  Addr, heap::ProjElem::field(Ty2, E.Index));
+              Ty2 = Ty2->Fields.at(E.Index).Ty;
+            } else if (Ty2->Kind == TypeKind::Enum && Down) {
+              Addr = heap::appendProjElem(
+                  Addr,
+                  heap::ProjElem::variantField(Ty2, Variant, E.Index));
+              Ty2 = Ty2->Variants.at(Variant).Fields.at(E.Index).Ty;
+              Down = false;
+            } else {
+              pathFail(Fr2, "unsupported field projection in address");
+              return;
+            }
+            break;
+          case PlaceElem::Downcast:
+            Variant = E.Index;
+            Down = true;
+            break;
+          case PlaceElem::Deref: {
+            // Load the pointer stored at the current address and continue.
+            std::size_t Next = I + 1;
+            TypeRef PtrTy = Ty2;
+            withLoad(std::move(Fr2), Addr, PtrTy, /*Move=*/false,
+                     Env.Auto.HeuristicFuel,
+                     [&Walk, PtrTy, Next](Frame Fr3, Expr PV) {
+                       Expr NB = PtrTy->Kind == TypeKind::Ref
+                                     ? mkTupleGet(PV, 0)
+                                     : PV;
+                       Walk(std::move(Fr3), NB, PtrTy->Pointee, Next);
+                     });
+            return;
+          }
+          }
+        }
+        K(std::move(Fr2), Addr, Ty2);
+      };
+  Walk(std::move(Fr), Ptr, Ty->Pointee, D + 1);
+}
+
+void Executor::readPlace(Frame Fr, const Place &P, bool Move,
+                         const ExprCont &K) {
+  std::size_t D = firstDeref(P.Elems);
+  if (D == std::string::npos) {
+    auto It = Fr.Locals.find(P.Local);
+    if (It == Fr.Locals.end()) {
+      pathFail(Fr, "use of uninitialised local " + F->Locals[P.Local].Name);
+      return;
+    }
+    Outcome<std::pair<Expr, TypeRef>> R =
+        projectPure(*F, It->second, F->Locals[P.Local].Ty, P.Elems,
+                    P.Elems.size());
+    if (!R.ok()) {
+      pathFail(Fr, R.error());
+      return;
+    }
+    if (Move && P.Elems.empty())
+      Fr.Locals.erase(P.Local);
+    K(std::move(Fr), R.value().first);
+    return;
+  }
+  placeAddress(std::move(Fr), P,
+               [this, Move, K](Frame Fr2, Expr Addr, TypeRef SlotTy) {
+                 withLoad(std::move(Fr2), Addr, SlotTy, Move,
+                          Env.Auto.HeuristicFuel, K);
+               });
+}
+
+void Executor::writePlace(Frame Fr, const Place &P, const Expr &Val,
+                          const Cont &K) {
+  std::size_t D = firstDeref(P.Elems);
+  if (D == std::string::npos) {
+    if (P.Elems.empty()) {
+      Fr.Locals[P.Local] = Val;
+      K(std::move(Fr));
+      return;
+    }
+    auto It = Fr.Locals.find(P.Local);
+    if (It == Fr.Locals.end()) {
+      pathFail(Fr, "partial write into uninitialised local " +
+                       F->Locals[P.Local].Name);
+      return;
+    }
+    Outcome<Expr> Updated =
+        updatePure(It->second, F->Locals[P.Local].Ty, P.Elems, 0,
+                   P.Elems.size(), Val);
+    if (!Updated.ok()) {
+      pathFail(Fr, Updated.error());
+      return;
+    }
+    Fr.Locals[P.Local] = Updated.value();
+    K(std::move(Fr));
+    return;
+  }
+  placeAddress(std::move(Fr), P,
+               [this, Val, K](Frame Fr2, Expr Addr, TypeRef SlotTy) {
+                 withStore(std::move(Fr2), Addr, SlotTy, Val,
+                           Env.Auto.HeuristicFuel, K);
+               });
+}
+
+void Executor::evalOperand(Frame Fr, const Operand &Op, const ExprCont &K) {
+  switch (Op.Kind) {
+  case Operand::Const:
+    K(std::move(Fr), Op.ConstVal);
+    return;
+  case Operand::Copy:
+    readPlace(std::move(Fr), Op.P, /*Move=*/false, K);
+    return;
+  case Operand::Move:
+    readPlace(std::move(Fr), Op.P, /*Move=*/true, K);
+    return;
+  }
+}
+
+void Executor::evalOperands(
+    Frame Fr, const std::vector<Operand> &Ops, std::vector<Expr> Acc,
+    const std::function<void(Frame, std::vector<Expr>)> &K) {
+  if (Acc.size() == Ops.size()) {
+    K(std::move(Fr), std::move(Acc));
+    return;
+  }
+  const Operand &Next = Ops[Acc.size()];
+  evalOperand(std::move(Fr), Next,
+              [this, &Ops, Acc = std::move(Acc), K](Frame Fr2,
+                                                    Expr V) mutable {
+                Acc.push_back(std::move(V));
+                evalOperands(std::move(Fr2), Ops, std::move(Acc), K);
+              });
+}
+
+//===----------------------------------------------------------------------===//
+// Rvalues
+//===----------------------------------------------------------------------===//
+
+void Executor::evalRvalue(Frame Fr, const Rvalue &RV, const ExprCont &K) {
+  switch (RV.Kind) {
+  case Rvalue::Use:
+    evalOperand(std::move(Fr), RV.Ops[0], K);
+    return;
+  case Rvalue::BinaryOp: {
+    TypeRef Ty = operandType(*F, RV.Ops[0]);
+    BinOp Op = RV.BOp;
+    evalOperands(std::move(Fr), RV.Ops, {},
+                 [this, Ty, Op, K](Frame Fr2, std::vector<Expr> Vs) {
+                   const Expr &A = Vs[0];
+                   const Expr &B = Vs[1];
+                   switch (Op) {
+                   case BinOp::Eq:
+                     K(std::move(Fr2), mkEq(A, B));
+                     return;
+                   case BinOp::Ne:
+                     K(std::move(Fr2), mkNe(A, B));
+                     return;
+                   case BinOp::Lt:
+                     K(std::move(Fr2), mkLt(A, B));
+                     return;
+                   case BinOp::Le:
+                     K(std::move(Fr2), mkLe(A, B));
+                     return;
+                   case BinOp::Gt:
+                     K(std::move(Fr2), mkGt(A, B));
+                     return;
+                   case BinOp::Ge:
+                     K(std::move(Fr2), mkGe(A, B));
+                     return;
+                   case BinOp::Add:
+                   case BinOp::Sub:
+                   case BinOp::Mul: {
+                     if (!Ty->isInt()) {
+                       pathFail(Fr2, "checked arithmetic on non-integer");
+                       return;
+                     }
+                     Expr Raw = Op == BinOp::Add   ? mkAdd(A, B)
+                                : Op == BinOp::Sub ? mkSub(A, B)
+                                                   : mkMul(A, B);
+                     // Rust semantics: overflow panics. A panic is safe
+                     // (type-safety proofs tolerate the aborting branch);
+                     // functional proofs must rule it out. A failed bound
+                     // may be provable once folded invariants (e.g. the
+                     // list's len = |repr| equation) are unfolded.
+                     Expr InRange = heap::validityInvariant(Ty, Raw);
+                     if (!Fr2.St.PC.entails(Env.Solv, InRange))
+                       Fr2.St = saturateUnfolds(std::move(Fr2.St), Env);
+                     if (!Fr2.St.PC.entails(Env.Solv, InRange)) {
+                       if (!Env.Auto.PanicsAllowed) {
+                         pathFail(Fr2,
+                                  "possible arithmetic overflow at type " +
+                                      Ty->str() + ": " + exprToString(Raw));
+                         return;
+                       }
+                       // The overflowing branch aborts (nothing to prove);
+                       // continue on the in-range branch.
+                       Frame PanicFr = Fr2;
+                       if (PanicFr.St.PC.add(negate(InRange)) &&
+                           PanicFr.St.viable(Env.Solv))
+                         ++Result.PathsCompleted; // Safe abort.
+                       if (!Fr2.St.PC.add(InRange) ||
+                           !Fr2.St.viable(Env.Solv))
+                         return; // Always panics: no normal continuation.
+                     }
+                     K(std::move(Fr2), Raw);
+                     return;
+                   }
+                   }
+                 });
+    return;
+  }
+  case Rvalue::UnaryOp: {
+    UnOp Op = RV.UOp;
+    TypeRef Ty = operandType(*F, RV.Ops[0]);
+    evalOperand(std::move(Fr), RV.Ops[0],
+                [this, Op, Ty, K](Frame Fr2, Expr V) {
+                  if (Op == UnOp::Not) {
+                    K(std::move(Fr2), mkNot(V));
+                    return;
+                  }
+                  Expr Raw = mkNeg(V);
+                  Expr InRange = heap::validityInvariant(Ty, Raw);
+                  if (!Fr2.St.PC.entails(Env.Solv, InRange)) {
+                    pathFail(Fr2, "possible negation overflow");
+                    return;
+                  }
+                  K(std::move(Fr2), Raw);
+                });
+    return;
+  }
+  case Rvalue::Aggregate: {
+    TypeRef Ty = RV.AggTy;
+    unsigned Variant = RV.Variant;
+    evalOperands(std::move(Fr), RV.Ops, {},
+                 [Ty, Variant, K](Frame Fr2, std::vector<Expr> Vs) {
+                   if (Ty->Kind == TypeKind::Struct) {
+                     K(std::move(Fr2), mkTuple(std::move(Vs)));
+                     return;
+                   }
+                   if (Ty->isOption()) {
+                     K(std::move(Fr2),
+                       Variant == 0 ? mkNone() : mkSome(Vs.at(0)));
+                     return;
+                   }
+                   K(std::move(Fr2),
+                     mkTuple({mkInt(Variant), mkTuple(std::move(Vs))}));
+                 });
+    return;
+  }
+  case Rvalue::Discriminant: {
+    TypeRef Ty = placeType(*F, RV.P);
+    readPlace(std::move(Fr), RV.P, /*Move=*/false,
+              [Ty, K](Frame Fr2, Expr V) {
+                if (Ty->isOption()) {
+                  K(std::move(Fr2),
+                    mkIte(mkIsSome(V), mkInt(1), mkInt(0)));
+                  return;
+                }
+                K(std::move(Fr2), mkTupleGet(V, 0));
+              });
+    return;
+  }
+  case Rvalue::RefOf: {
+    placeAddress(std::move(Fr), RV.P,
+                 [K](Frame Fr2, Expr Addr, TypeRef) {
+                   Expr Pcy = Fr2.St.VG.freshProphecy("ref");
+                   K(std::move(Fr2), mkTuple({Addr, Pcy}));
+                 });
+    return;
+  }
+  case Rvalue::AddrOf: {
+    placeAddress(std::move(Fr), RV.P,
+                 [K](Frame Fr2, Expr Addr, TypeRef) {
+                   K(std::move(Fr2), Addr);
+                 });
+    return;
+  }
+  case Rvalue::PtrOffset: {
+    TypeRef PtrTy = operandType(*F, RV.Ops[0]);
+    assert(PtrTy->Kind == TypeKind::RawPtr && "offset of non-raw pointer");
+    TypeRef Pointee = PtrTy->Pointee;
+    evalOperands(std::move(Fr), RV.Ops, {},
+                 [Pointee, K](Frame Fr2, std::vector<Expr> Vs) {
+                   K(std::move(Fr2),
+                     heap::appendProjElem(
+                         Vs[0], heap::ProjElem::offset(Pointee, Vs[1])));
+                 });
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Executor::execStatement(Frame Fr, const Statement &S, const Cont &K) {
+  switch (S.Kind) {
+  case Statement::Assign:
+    evalRvalue(std::move(Fr), S.RV, [this, &S, K](Frame Fr2, Expr V) {
+      writePlace(std::move(Fr2), S.Dest, V, K);
+    });
+    return;
+  case Statement::Alloc: {
+    heap::HeapCtx Ctx = Fr.St.heapCtx(Env);
+    Expr Ptr = Fr.St.Heap.alloc(S.AllocTy, Ctx);
+    writePlace(std::move(Fr), S.Dest, Ptr, K);
+    return;
+  }
+  case Statement::Free: {
+    TypeRef Ty = S.AllocTy;
+    evalOperand(std::move(Fr), S.FreeArg,
+                [this, Ty, K](Frame Fr2, Expr Ptr) {
+                  withFree(std::move(Fr2), Ptr, Ty,
+                           Env.Auto.HeuristicFuel, K);
+                });
+    return;
+  }
+  case Statement::GhostStmt:
+    execGhost(std::move(Fr), S.G, K);
+    return;
+  case Statement::Nop:
+    K(std::move(Fr));
+    return;
+  }
+}
+
+void Executor::execGhost(Frame Fr, const Ghost &G, const Cont &K) {
+  switch (G.Kind) {
+  case GhostKind::Unfold:
+  case GhostKind::GUnfold: {
+    bool IsGuarded = G.Kind == GhostKind::GUnfold;
+    std::string Name = G.Name;
+    evalOperands(
+        std::move(Fr), G.Args, {},
+        [this, Name, IsGuarded, K](Frame Fr2, std::vector<Expr> Ins) {
+          // Locate the instance whose leading arguments match.
+          auto matches = [&](const std::vector<Expr> &Args) {
+            if (Args.size() < Ins.size())
+              return false;
+            for (std::size_t I = 0; I != Ins.size(); ++I)
+              if (!exprEquals(Args[I], Ins[I]) &&
+                  !Fr2.St.PC.entails(Env.Solv, mkEq(Args[I], Ins[I])))
+                return false;
+            return true;
+          };
+          std::vector<SymState> Succs;
+          if (IsGuarded) {
+            for (const pred::GuardedPred &GP : Fr2.St.Guarded.guarded())
+              if (GP.Name == Name && matches(GP.Args)) {
+                Succs = gunfoldGuarded(Fr2.St, Env, GP);
+                break;
+              }
+          } else {
+            for (const pred::FoldedPred &FP : Fr2.St.Folded.entries())
+              if (FP.Name == Name && matches(FP.Args)) {
+                Succs = unfoldFolded(Fr2.St, Env, FP.Name, FP.Args);
+                break;
+              }
+          }
+          if (Succs.empty()) {
+            pathFail(Fr2, "ghost unfold: no matching instance of " + Name);
+            return;
+          }
+          for (SymState &SS : Succs) {
+            Frame Next = Fr2;
+            Next.St = std::move(SS);
+            K(std::move(Next));
+          }
+        });
+    return;
+  }
+  case GhostKind::Fold: {
+    std::string Name = G.Name;
+    evalOperands(std::move(Fr), G.Args, {},
+                 [this, Name, K](Frame Fr2, std::vector<Expr> Ins) {
+                   Outcome<Unit> R = foldPred(Fr2.St, Env, Name, Ins);
+                   if (!R.ok()) {
+                     pathFail(Fr2, R.failed() ? R.error()
+                                              : "fold vanished");
+                     return;
+                   }
+                   K(std::move(Fr2));
+                 });
+    return;
+  }
+  case GhostKind::GFold: {
+    std::string Name = G.Name;
+    evalOperands(
+        std::move(Fr), G.Args, {},
+        [this, Name, K](Frame Fr2, std::vector<Expr> Ins) {
+          for (const pred::ClosingToken &Tok : Fr2.St.Guarded.closing()) {
+            if (Tok.Name != Name)
+              continue;
+            if (!Ins.empty() &&
+                !pred::argsMatch(Tok.Args, Ins, {}, Env.Solv, Fr2.St.PC))
+              continue;
+            pred::ClosingToken Copy = Tok;
+            Outcome<Unit> R =
+                gfoldBorrow(Fr2.St, Env, Copy, Copy.Name, Copy.Args);
+            if (!R.ok()) {
+              pathFail(Fr2, R.failed() ? R.error() : "gfold vanished");
+              return;
+            }
+            K(std::move(Fr2));
+            return;
+          }
+          pathFail(Fr2, "ghost gfold: no open borrow of " + Name);
+        });
+    return;
+  }
+  case GhostKind::ApplyLemma: {
+    std::string Name = G.Name;
+    evalOperands(std::move(Fr), G.Args, {},
+                 [this, Name, K](Frame Fr2, std::vector<Expr> Args) {
+                   // Materialise deterministic invariant knowledge first:
+                   // freezing/extraction often needs facts (lengths, node
+                   // shapes) hidden in folded ownership predicates.
+                   Fr2.St = saturateUnfolds(std::move(Fr2.St), Env);
+                   Outcome<Unit> R =
+                       Env.Lemmas.apply(Name, Args, Fr2.St, Env);
+                   if (!R.ok()) {
+                     pathFail(Fr2, R.failed() ? R.error()
+                                              : "lemma vanished");
+                     return;
+                   }
+                   K(std::move(Fr2));
+                 });
+    return;
+  }
+  case GhostKind::MutRefAutoResolve: {
+    TypeRef Ty = operandType(*F, G.Args.at(0));
+    evalOperand(std::move(Fr), G.Args.at(0),
+                [Ty, K](Frame Fr2, Expr V) {
+                  Fr2.St.AutoResolve.push_back({V, Ty});
+                  Fr2.St.AutoProphecyUpdate = true;
+                  K(std::move(Fr2));
+                });
+    return;
+  }
+  case GhostKind::ProphecyAutoUpdate: {
+    Fr.St.AutoProphecyUpdate = true;
+    K(std::move(Fr));
+    return;
+  }
+  case GhostKind::AssertPure: {
+    // Ghost assertions are written over local names.
+    Subst S;
+    for (const auto &[Id, V] : Fr.Locals)
+      S.bind(F->Locals[Id].Name, V);
+    Expr Fact = S.apply(G.PureArg);
+    if (!Fr.St.PC.entails(Env.Solv, Fact)) {
+      pathFail(Fr, "ghost assertion not entailed: " + exprToString(Fact));
+      return;
+    }
+    K(std::move(Fr));
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Terminators
+//===----------------------------------------------------------------------===//
+
+void Executor::execTerminator(Frame Fr, const Terminator &T) {
+  switch (T.Kind) {
+  case Terminator::Goto: {
+    Fr.BB = T.Target;
+    Fr.StmtIdx = 0;
+    enqueue(std::move(Fr));
+    return;
+  }
+  case Terminator::SwitchInt: {
+    bool IsBool =
+        operandType(*F, T.Discr)->Kind == TypeKind::Bool;
+    evalOperand(std::move(Fr), T.Discr, [this, &T, IsBool](Frame Fr2,
+                                                           Expr D) {
+      std::vector<Expr> NotArms;
+      for (const auto &[Val, BB] : T.Arms) {
+        Frame Branch = Fr2;
+        // MIR switches on bools with integer arms: 0 is false.
+        Expr Cond = IsBool ? (Val == 0 ? negate(D) : D)
+                           : mkEq(D, mkInt(Val));
+        NotArms.push_back(mkNot(Cond));
+        if (!Branch.St.PC.add(Cond))
+          continue;
+        if (!Branch.St.viable(Env.Solv))
+          continue;
+        Branch.BB = BB;
+        Branch.StmtIdx = 0;
+        enqueue(std::move(Branch));
+      }
+      Frame Other = std::move(Fr2);
+      if (!Other.St.PC.add(mkAnd(std::move(NotArms))))
+        return;
+      if (!Other.St.viable(Env.Solv))
+        return;
+      Other.BB = T.Otherwise;
+      Other.StmtIdx = 0;
+      enqueue(std::move(Other));
+    });
+    return;
+  }
+  case Terminator::Call:
+    execCall(std::move(Fr), T);
+    return;
+  case Terminator::Return:
+    execReturn(std::move(Fr));
+    return;
+  case Terminator::Unreachable:
+    if (Fr.St.viable(Env.Solv))
+      pathFail(Fr, "reachable 'unreachable' terminator");
+    return;
+  }
+}
+
+void Executor::execCall(Frame Fr, const Terminator &T) {
+  const gilsonite::Spec *CalleeSpec = Env.Specs.lookup(T.Callee);
+  const rmir::Function *Callee = Env.Prog.lookup(T.Callee);
+  if (!CalleeSpec || !Callee) {
+    pathFail(Fr, "call to " + T.Callee + " without a spec/definition");
+    return;
+  }
+  evalOperands(std::move(Fr), T.Args, {}, [this, &T, CalleeSpec, Callee](
+                                              Frame Fr2,
+                                              std::vector<Expr> Args) {
+    // Rename the callee's spec variables apart and bind its parameters.
+    Subst Ren;
+    MatchCtx M;
+    for (const gilsonite::Binder &SV : CalleeSpec->SpecVars) {
+      Expr Fresh = Fr2.St.VG.fresh("cs$" + SV.Name, SV.S);
+      Ren.bind(SV.Name, Fresh);
+      M.Pending.insert(Fresh->Name);
+    }
+    for (unsigned I = 0; I != Callee->NumParams; ++I)
+      Ren.bind(Callee->Locals[1 + I].Name, Args.at(I));
+
+    AssertionP PreI = substAssertion(CalleeSpec->Pre, Ren);
+    Outcome<Unit> Consumed =
+        consumeWithHeuristics(PreI, Fr2.St, Env, M, Env.Auto.HeuristicFuel);
+    if (!Consumed.ok()) {
+      pathFail(Fr2, "precondition of callee " + T.Callee + ": " +
+                        (Consumed.failed() ? Consumed.error() : "vanished"));
+      return;
+    }
+
+    Expr RetV = Fr2.St.VG.fresh("ret$" + T.Callee,
+                                valueSort(Callee->returnType()));
+    Subst PostS;
+    PostS.bind(gilsonite::retVarName(), RetV);
+    AssertionP PostI = substAssertion(
+        substAssertion(CalleeSpec->Post, Ren), M.Bindings);
+    PostI = substAssertion(PostI, PostS);
+    Outcome<Unit> Produced = produce(PostI, Fr2.St, Env);
+    if (Produced.failed()) {
+      pathFail(Fr2, "producing postcondition of callee " + T.Callee + ": " +
+                        Produced.error());
+      return;
+    }
+    if (Produced.vanished() || !Fr2.St.viable(Env.Solv))
+      return; // Infeasible call result; path pruned.
+    harvestObservations(Fr2.St);
+
+    writePlace(std::move(Fr2), T.Dest, RetV, [this, &T](Frame Fr3) {
+      Fr3.BB = T.Target;
+      Fr3.StmtIdx = 0;
+      enqueue(std::move(Fr3));
+    });
+  });
+}
+
+Outcome<Unit> Executor::resolveMutRef(Frame &Fr, const Expr &RefVal,
+                                      TypeRef RefTy) {
+  if (RefTy->Kind != TypeKind::Ref)
+    return Outcome<Unit>::failure("mutref_auto_resolve of non-reference");
+  TypeRef Pointee = RefTy->Pointee;
+  std::string Inner = gilsonite::OwnableRegistry::mutRefInnerName(Pointee);
+  Expr P = simplify(mkTupleGet(RefVal, 0));
+  Expr X = simplify(mkTupleGet(RefVal, 1));
+
+  // Close this reference's borrow if it is open.
+  bool SavedUpdate = Fr.St.AutoProphecyUpdate;
+  Fr.St.AutoProphecyUpdate = true;
+  for (const pred::ClosingToken &Tok : Fr.St.Guarded.closing()) {
+    if (Tok.Name != Inner)
+      continue;
+    if (!pred::argsMatch(Tok.Args, {P, X}, {}, Env.Solv, Fr.St.PC))
+      continue;
+    pred::ClosingToken Copy = Tok;
+    Outcome<Unit> Closed = gfoldBorrow(Fr.St, Env, Copy, Copy.Name,
+                                       Copy.Args);
+    Fr.St.AutoProphecyUpdate = SavedUpdate;
+    if (!Closed.ok())
+      return Closed;
+    break;
+  }
+  Fr.St.AutoProphecyUpdate = SavedUpdate;
+
+  // MutRef-Resolve: consume the reference's ownership and observe that the
+  // final value of the prophecy equals the value at expiry.
+  std::string OwnName = Env.Ownables.ownPred(RefTy);
+  Expr ReprHole = Fr.St.VG.fresh("resolve$repr", Sort::Any);
+  Expr KappaHole = Fr.St.VG.freshLifetime("resolve$k");
+  MatchCtx M;
+  M.Pending.insert(ReprHole->Name);
+  M.Pending.insert(KappaHole->Name);
+  AssertionP OwnCall =
+      gilsonite::predCall(OwnName, {RefVal, ReprHole, KappaHole});
+  Outcome<Unit> Consumed =
+      consumeWithHeuristics(OwnCall, Fr.St, Env, M, Env.Auto.HeuristicFuel);
+  if (!Consumed.ok())
+    return Outcome<Unit>::failure(
+        "mutref_auto_resolve: cannot consume reference ownership: " +
+        (Consumed.failed() ? Consumed.error() : "vanished"));
+  Expr Repr = M.resolve(ReprHole);
+  Expr Obs = mkEq(mkTupleGet(Repr, 0), mkTupleGet(Repr, 1));
+  Outcome<Unit> ObsOk = Fr.St.Obs.produce(simplify(Obs), Env.Solv, Fr.St.PC);
+  if (ObsOk.failed())
+    return ObsOk;
+  return Outcome<Unit>::success(Unit());
+}
+
+void Executor::execReturn(Frame Fr) {
+  // Materialise deterministic predicate knowledge (e.g. dllSeg's empty
+  // case) before borrows close and seal it away.
+  Fr.St = saturateUnfolds(std::move(Fr.St), Env);
+
+  // Resolve the references registered by mutref_auto_resolve!. The list is
+  // copied out: resolution rewrites the state (snapshot/rollback would
+  // otherwise invalidate the iteration).
+  std::vector<std::pair<Expr, TypeRef>> ToResolve = Fr.St.AutoResolve;
+  Fr.St.AutoResolve.clear();
+  for (const auto &[RefVal, RefTy] : ToResolve) {
+    Outcome<Unit> R = resolveMutRef(Fr, RefVal, RefTy);
+    if (!R.ok()) {
+      pathFail(Fr, R.failed() ? R.error() : "mutref resolution vanished");
+      return;
+    }
+  }
+
+  // Close any remaining open borrows (Mut-Auto-Update enabled: the closing
+  // value is chosen to let the borrow close, §5.3).
+  if (Env.Auto.AutoCloseAtReturn) {
+    bool Saved = Fr.St.AutoProphecyUpdate;
+    Fr.St.AutoProphecyUpdate = true;
+    closeAllBorrows(Fr.St, Env);
+    Fr.St.AutoProphecyUpdate = Saved;
+  }
+
+  Expr RetVal = mkUnit();
+  auto It = Fr.Locals.find(0);
+  if (It != Fr.Locals.end())
+    RetVal = It->second;
+  else if (F->returnType()->Kind != TypeKind::Unit) {
+    pathFail(Fr, "return without initialising the return place");
+    return;
+  }
+
+  Subst RetS;
+  RetS.bind(gilsonite::retVarName(), RetVal);
+  AssertionP PostI = substAssertion(Spec->Post, RetS);
+  MatchCtx M;
+  Outcome<Unit> R =
+      consumeWithHeuristics(PostI, Fr.St, Env, M, Env.Auto.HeuristicFuel);
+  if (!R.ok()) {
+    std::string Msg = "postcondition: " +
+                      (R.failed() ? R.error() : "consumption vanished");
+    // A postcondition failure is often the shadow of a borrow that could
+    // not be closed (the invariant does not reform): surface that cause.
+    if (!Fr.St.Guarded.closing().empty()) {
+      pred::ClosingToken Tok = Fr.St.Guarded.closing().front();
+      bool Saved = Fr.St.AutoProphecyUpdate;
+      Fr.St.AutoProphecyUpdate = true;
+      Outcome<Unit> Close = gfoldBorrow(Fr.St, Env, Tok, Tok.Name, Tok.Args);
+      Fr.St.AutoProphecyUpdate = Saved;
+      if (!Close.ok())
+        Msg += " [root cause: the borrow &" + exprToString(Tok.Kappa) + " " +
+               Tok.Name + " cannot be closed: " +
+               (Close.failed() ? Close.error() : "vanished") + "]";
+    }
+    pathFail(Fr, Msg);
+    return;
+  }
+  ++Result.PathsCompleted;
+}

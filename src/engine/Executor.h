@@ -1,0 +1,111 @@
+//===- engine/Executor.h - Compositional symbolic execution of RMIR --------===//
+///
+/// \file
+/// The symbolic executor: runs an RMIR function over symbolic states,
+/// branching at switches and at predicate unfoldings, calling other
+/// functions by their specs (compositional verification), and discharging
+/// the function's own specification — produce the precondition, execute,
+/// consume the postcondition on every return path.
+///
+/// Heap actions that miss (resource hidden in a folded predicate or behind
+/// a closed borrow) are retried after the automation layer unfolds/opens
+/// the relevant predicate (§4.2); execution continues in every viable
+/// branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ENGINE_EXECUTOR_H
+#define GILR_ENGINE_EXECUTOR_H
+
+#include "engine/Lemma.h"
+#include "engine/SymState.h"
+
+#include <functional>
+
+namespace gilr {
+namespace engine {
+
+/// Result of verifying one function against its spec.
+struct ExecResult {
+  bool Ok = true;
+  std::vector<std::string> Errors;
+  unsigned PathsCompleted = 0;
+  unsigned StatesExplored = 0;
+};
+
+/// Executes one function against one spec.
+class Executor {
+public:
+  explicit Executor(VerifEnv &Env) : Env(Env) {}
+
+  /// Verifies \p F against \p S. All return paths must establish the
+  /// postcondition.
+  ExecResult run(const rmir::Function &F, const gilsonite::Spec &S);
+
+private:
+  struct Frame {
+    SymState St;
+    std::map<rmir::LocalId, Expr> Locals;
+    rmir::BlockId BB = 0;
+    std::size_t StmtIdx = 0;
+  };
+
+  using Cont = std::function<void(Frame)>;
+  using ExprCont = std::function<void(Frame, Expr)>;
+
+  void pathFail(const Frame &Fr, const std::string &Msg);
+  void enqueue(Frame Fr);
+  /// §7.3 extension: prophecy-free observations become path facts.
+  void harvestObservations(SymState &St);
+
+  // Heap actions with automation retries (may fan out).
+  void withLoad(Frame Fr, const Expr &Ptr, rmir::TypeRef Ty, bool Move,
+                unsigned Fuel, const ExprCont &K);
+  void withStore(Frame Fr, const Expr &Ptr, rmir::TypeRef Ty,
+                 const Expr &Val, unsigned Fuel, const Cont &K);
+  void withFree(Frame Fr, const Expr &Ptr, rmir::TypeRef Ty, unsigned Fuel,
+                const Cont &K);
+
+  // Operand / place evaluation.
+  void evalOperand(Frame Fr, const rmir::Operand &Op, const ExprCont &K);
+  void evalOperands(Frame Fr, const std::vector<rmir::Operand> &Ops,
+                    std::vector<Expr> Acc, const
+                    std::function<void(Frame, std::vector<Expr>)> &K);
+  void readPlace(Frame Fr, const rmir::Place &P, bool Move, const ExprCont &K);
+  void writePlace(Frame Fr, const rmir::Place &P, const Expr &Val,
+                  const Cont &K);
+  /// Resolves the address denoted by a place containing a Deref; \p K also
+  /// receives the type of the addressed slot.
+  void placeAddress(Frame Fr, const rmir::Place &P,
+                    const std::function<void(Frame, Expr, rmir::TypeRef)> &K);
+
+  void evalRvalue(Frame Fr, const rmir::Rvalue &RV, const ExprCont &K);
+
+  // Statement / terminator dispatch.
+  void execStatement(Frame Fr, const rmir::Statement &S, const Cont &K);
+  void execGhost(Frame Fr, const rmir::Ghost &G, const Cont &K);
+  void execTerminator(Frame Fr, const rmir::Terminator &T);
+  void execReturn(Frame Fr);
+  void execCall(Frame Fr, const rmir::Terminator &T);
+
+  /// MutRef-Resolve at return: closes the reference's borrow (with
+  /// Mut-Auto-Update), consumes its ownership and produces the resolution
+  /// observation <cur = fut>.
+  Outcome<Unit> resolveMutRef(Frame &Fr, const Expr &RefVal,
+                              rmir::TypeRef RefTy);
+
+  VerifEnv &Env;
+  const rmir::Function *F = nullptr;
+  const gilsonite::Spec *Spec = nullptr;
+  ExecResult Result;
+  std::vector<Frame> Work;
+  unsigned StepLimit = 200000;
+};
+
+/// The symbolic value sort used for locals of an RMIR type.
+Sort valueSort(rmir::TypeRef Ty);
+
+} // namespace engine
+} // namespace gilr
+
+#endif // GILR_ENGINE_EXECUTOR_H

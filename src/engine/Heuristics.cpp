@@ -1,0 +1,394 @@
+//===- engine/Heuristics.cpp ------------------------------------------------------===//
+
+#include "engine/Heuristics.h"
+
+#include "engine/Consume.h"
+#include "engine/Produce.h"
+#include "heap/Projection.h"
+#include "solver/Simplify.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gilr;
+using namespace gilr::engine;
+using gilsonite::AsrtKind;
+using gilsonite::AssertionP;
+using gilsonite::PredDecl;
+
+//===----------------------------------------------------------------------===//
+// Path-condition-directed reduction
+//===----------------------------------------------------------------------===//
+
+static bool containsSubexpr(const Expr &Hay, const Expr &Needle) {
+  if (exprEquals(Hay, Needle))
+    return true;
+  for (const Expr &Kid : Hay->Kids)
+    if (containsSubexpr(Kid, Needle))
+      return true;
+  return false;
+}
+
+Expr gilr::engine::reduceWithPC(const Expr &E, const PathCondition &PC) {
+  return reduceWithFacts(E, PC.facts());
+}
+
+//===----------------------------------------------------------------------===//
+// Unfold candidates
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Extracts the location id of a decodable pointer, if any.
+std::optional<uint64_t> ptrLocOf(const Expr &E, VerifEnv &Env) {
+  auto DP = heap::decodePtr(E, Env.Prog.Types);
+  if (DP && DP->Loc->Kind == ExprKind::LocLit)
+    return DP->Loc->LocId;
+  return std::nullopt;
+}
+
+/// Does some subexpression of \p E decode to a pointer at location \p Loc?
+bool mentionsLoc(const Expr &E, uint64_t Loc, VerifEnv &Env) {
+  if (auto L = ptrLocOf(E, Env))
+    if (*L == Loc)
+      return true;
+  for (const Expr &Kid : E->Kids)
+    if (mentionsLoc(Kid, Loc, Env))
+      return true;
+  return false;
+}
+
+bool sharesVariable(const Expr &A, const Expr &B) {
+  std::set<std::string> VA, VB;
+  collectVars(A, VA);
+  collectVars(B, VB);
+  for (const std::string &V : VA)
+    if (VB.count(V))
+      return true;
+  return false;
+}
+
+/// Relatedness of a predicate argument to the failing pointer: 2 = same
+/// location, 1 = shares structure/variables, 0 = unrelated.
+int relatedness(const Expr &ArgIn, const Expr &PtrReduced,
+                std::optional<uint64_t> TargetLoc, const SymState &St,
+                VerifEnv &Env) {
+  Expr Arg = reduceWithPC(ArgIn, St.PC);
+  if (TargetLoc && mentionsLoc(Arg, *TargetLoc, Env))
+    return 2;
+  if (containsSubexpr(PtrReduced, Arg) || containsSubexpr(Arg, PtrReduced))
+    return 1;
+  if (sharesVariable(Arg, PtrReduced))
+    return 1;
+  return 0;
+}
+
+} // namespace
+
+std::vector<SymState> gilr::engine::unfoldFolded(const SymState &St,
+                                                 VerifEnv &Env,
+                                                 const std::string &Name,
+                                                 const std::vector<Expr> &Args) {
+  const PredDecl *Decl = Env.Preds.lookup(Name);
+  if (!Decl || Decl->Abstract)
+    return {};
+  SymState Base = St;
+  MatchCtx M;
+  Outcome<std::vector<Expr>> Removed =
+      Base.Folded.consume(Name, Args, {}, Env.Solv, Base.PC);
+  if (!Removed.ok())
+    return {};
+  return produceClauses(Base, Env, *Decl, Removed.value(), nullptr);
+}
+
+std::vector<SymState> gilr::engine::gunfoldGuarded(const SymState &St,
+                                                   VerifEnv &Env,
+                                                   const pred::GuardedPred &G) {
+  const PredDecl *Decl = Env.Preds.lookup(G.Name);
+  if (!Decl || Decl->Abstract)
+    return {};
+  SymState Base = St;
+  std::optional<Expr> Frac =
+      Base.Lft.ownedFraction(G.Kappa, Env.Solv, Base.PC);
+  if (!Frac)
+    return {}; // No token: the borrow cannot be opened here.
+  Outcome<Unit> TokOk = Base.Lft.consumeAlive(G.Kappa, *Frac, Env.Solv,
+                                              Base.PC);
+  if (!TokOk.ok())
+    return {};
+  Outcome<pred::GuardedPred> Removed = Base.Guarded.consumeGuarded(
+      G.Name, G.Kappa, G.Args, {}, Env.Solv, Base.PC);
+  if (!Removed.ok())
+    return {};
+  // Mint the closing token C_δ(κ, q, x̄) (Unfold-Guarded).
+  Base.Guarded.produceClosing(
+      pred::ClosingToken{G.Name, G.Kappa, *Frac, G.Args});
+  return produceClauses(Base, Env, *Decl, G.Args, G.Kappa);
+}
+
+std::vector<SymState> gilr::engine::unfoldForPointer(const SymState &St,
+                                                     VerifEnv &Env,
+                                                     const Expr &Ptr) {
+  Expr Reduced = reduceWithPC(Ptr, St.PC);
+  std::optional<uint64_t> TargetLoc = ptrLocOf(Reduced, Env);
+
+  // Rank candidates; prefer location matches, then structural relatedness.
+  struct Candidate {
+    bool IsGuarded;
+    std::size_t Index;
+    int Score;
+  };
+  std::vector<Candidate> Cands;
+
+  const auto &FoldedPreds = St.Folded.entries();
+  for (std::size_t I = 0; I != FoldedPreds.size(); ++I) {
+    int Best = 0;
+    for (const Expr &Arg : FoldedPreds[I].Args)
+      Best = std::max(Best, relatedness(Arg, Reduced, TargetLoc, St, Env));
+    if (Best > 0)
+      Cands.push_back({false, I, Best});
+  }
+  const auto &GuardedPreds = St.Guarded.guarded();
+  for (std::size_t I = 0; I != GuardedPreds.size(); ++I) {
+    int Best = 0;
+    for (const Expr &Arg : GuardedPreds[I].Args)
+      Best = std::max(Best, relatedness(Arg, Reduced, TargetLoc, St, Env));
+    if (Best > 0)
+      Cands.push_back({true, I, Best});
+  }
+  std::stable_sort(Cands.begin(), Cands.end(),
+                   [](const Candidate &A, const Candidate &B) {
+                     return A.Score > B.Score;
+                   });
+
+  for (const Candidate &C : Cands) {
+    std::vector<SymState> Succs;
+    if (C.IsGuarded) {
+      if (!Env.Auto.AutoBorrow)
+        continue;
+      Succs = gunfoldGuarded(St, Env, GuardedPreds[C.Index]);
+    } else {
+      if (!Env.Auto.AutoUnfold)
+        continue;
+      Succs = unfoldFolded(St, Env, FoldedPreds[C.Index].Name,
+                           FoldedPreds[C.Index].Args);
+    }
+    if (!Succs.empty())
+      return Succs;
+  }
+  return {};
+}
+
+SymState gilr::engine::saturateUnfolds(SymState St, VerifEnv &Env,
+                                       unsigned Fuel) {
+  for (unsigned Round = 0; Round != Fuel; ++Round) {
+    bool Changed = false;
+    std::vector<pred::FoldedPred> Entries = St.Folded.entries();
+    for (const pred::FoldedPred &FP : Entries) {
+      const PredDecl *Decl = Env.Preds.lookup(FP.Name);
+      if (!Decl || Decl->Abstract)
+        continue;
+      // Single-clause predicates are deterministic by definition; multi-
+      // clause ones only when the path condition rules out all but one.
+      std::vector<SymState> Succs = unfoldFolded(St, Env, FP.Name, FP.Args);
+      if (Succs.size() != 1)
+        continue; // Ambiguous (or impossible): keep folded.
+      St = std::move(Succs.front());
+      Changed = true;
+      break;
+    }
+    if (!Changed)
+      break;
+  }
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Closing (gfold) and folding
+//===----------------------------------------------------------------------===//
+
+Outcome<Unit> gilr::engine::gfoldBorrow(SymState &St, VerifEnv &Env,
+                                        const pred::ClosingToken &Tok,
+                                        const std::string &AsPred,
+                                        const std::vector<Expr> &AsArgs) {
+  const PredDecl *Decl = Env.Preds.lookup(AsPred);
+  if (!Decl)
+    return Outcome<Unit>::failure("gfold of undeclared predicate " + AsPred);
+
+  // Assemble arguments: provided ins in order, fresh pending outs.
+  std::vector<Expr> Args;
+  MatchCtx M;
+  std::size_t NextIn = 0;
+  for (const gilsonite::PredParam &P : Decl->Params) {
+    if (P.In) {
+      if (NextIn >= AsArgs.size())
+        return Outcome<Unit>::failure("gfold of " + AsPred +
+                                      ": missing in-argument " + P.Name);
+      Args.push_back(AsArgs[NextIn++]);
+    } else {
+      Expr Hole = St.VG.fresh("gfold$" + P.Name, P.S);
+      M.Pending.insert(Hole->Name);
+      Args.push_back(Hole);
+    }
+  }
+
+  std::string FirstError = "predicate has no clauses";
+  for (std::size_t CI = 0, CE = Decl->Clauses.size(); CI != CE; ++CI) {
+    SymState Snapshot = St;
+    MatchCtx MC = M;
+    gilsonite::AssertionP Clause =
+        gilsonite::instantiateClause(*Decl, CI, Args, Tok.Kappa, St.VG);
+    Outcome<Unit> R = consumeWithHeuristics(Clause, St, Env, MC, 6);
+    if (R.ok()) {
+      std::vector<Expr> Final;
+      Final.reserve(Args.size());
+      for (const Expr &A : Args)
+        Final.push_back(MC.resolve(A));
+      St.Guarded.produceGuarded(AsPred, Tok.Kappa, std::move(Final));
+      // Remove the closing token and restore the guard token.
+      Outcome<pred::ClosingToken> Gone =
+          St.Guarded.consumeClosing(Tok.Name, Tok.Args, Env.Solv, St.PC);
+      if (!Gone.ok())
+        return Gone.forward<Unit>();
+      return St.Lft.produceAlive(Tok.Kappa, Tok.Fraction, Env.Solv, St.PC);
+    }
+    FirstError = R.failed() ? R.error() : "clause vanished";
+    St = std::move(Snapshot);
+  }
+  return Outcome<Unit>::failure("cannot close borrow as " + AsPred + ": " +
+                                FirstError);
+}
+
+Outcome<Unit> gilr::engine::closeAllBorrows(SymState &St, VerifEnv &Env) {
+  // Tokens are processed newest-first so nested opens close inside-out.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    std::vector<pred::ClosingToken> Tokens = St.Guarded.closing();
+    for (auto It = Tokens.rbegin(); It != Tokens.rend(); ++It) {
+      Outcome<Unit> R = gfoldBorrow(St, Env, *It, It->Name, It->Args);
+      if (R.ok()) {
+        Progress = true;
+        break;
+      }
+    }
+  }
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> gilr::engine::foldPred(SymState &St, VerifEnv &Env,
+                                     const std::string &Name,
+                                     const std::vector<Expr> &Args) {
+  const PredDecl *Decl = Env.Preds.lookup(Name);
+  if (!Decl)
+    return Outcome<Unit>::failure("fold of undeclared predicate " + Name);
+  if (Decl->Abstract)
+    return Outcome<Unit>::failure("fold of abstract predicate " + Name);
+
+  std::vector<Expr> Full;
+  MatchCtx M;
+  std::size_t NextIn = 0;
+  for (const gilsonite::PredParam &P : Decl->Params) {
+    if (P.In && NextIn < Args.size()) {
+      Full.push_back(Args[NextIn++]);
+    } else {
+      Expr Hole = St.VG.fresh("fold$" + P.Name, P.S);
+      M.Pending.insert(Hole->Name);
+      Full.push_back(Hole);
+    }
+  }
+
+  std::string FirstError = "predicate has no clauses";
+  for (std::size_t CI = 0, CE = Decl->Clauses.size(); CI != CE; ++CI) {
+    SymState Snapshot = St;
+    MatchCtx MC = M;
+    gilsonite::AssertionP Clause =
+        gilsonite::instantiateClause(*Decl, CI, Full, nullptr, St.VG);
+    Outcome<Unit> R = consumeWithHeuristics(Clause, St, Env, MC, 6);
+    if (R.ok()) {
+      std::vector<Expr> Final;
+      for (const Expr &A : Full)
+        Final.push_back(MC.resolve(A));
+      St.Folded.produce(Name, std::move(Final));
+      return Outcome<Unit>::success(Unit());
+    }
+    FirstError = R.failed() ? R.error() : "clause vanished";
+    St = std::move(Snapshot);
+  }
+  return Outcome<Unit>::failure("cannot fold " + Name + ": " + FirstError);
+}
+
+//===----------------------------------------------------------------------===//
+// Heuristic consumption (postconditions, borrow closing, lemma proofs)
+//===----------------------------------------------------------------------===//
+
+/// Collects the (resolved) pointers of the points-to atoms of \p A, which
+/// are the natural unfolding targets when consumption gets stuck.
+static void collectAtomPtrs(const AssertionP &A, const MatchCtx &M,
+                            std::vector<Expr> &Out) {
+  switch (A->Kind) {
+  case AsrtKind::Star:
+    for (const AssertionP &P : A->Parts)
+      collectAtomPtrs(P, M, Out);
+    return;
+  case AsrtKind::Exists:
+    collectAtomPtrs(A->Body, M, Out);
+    return;
+  case AsrtKind::PointsTo:
+  case AsrtKind::UninitPT:
+  case AsrtKind::MaybeUninit:
+  case AsrtKind::ArrayPT:
+    Out.push_back(M.resolve(A->Ptr));
+    return;
+  case AsrtKind::PredCall:
+  case AsrtKind::GuardedCall:
+    for (const Expr &Arg : A->Args)
+      Out.push_back(M.resolve(Arg));
+    return;
+  case AsrtKind::Pure:
+  case AsrtKind::Observation:
+    // A failing pure/observation check may be unblocked by unfolding a
+    // predicate sharing its variables (e.g. learning dllSeg's empty case).
+    Out.push_back(M.resolve(A->Formula));
+    return;
+  default:
+    return;
+  }
+}
+
+Outcome<Unit> gilr::engine::consumeWithHeuristics(const AssertionP &A,
+                                                  SymState &St, VerifEnv &Env,
+                                                  MatchCtx &M,
+                                                  unsigned Fuel) {
+  SymState StSnap = St;
+  MatchCtx MSnap = M;
+  Outcome<Unit> R = consume(A, St, Env, M);
+  if (R.ok() || Fuel == 0)
+    return R;
+  St = StSnap;
+  M = MSnap;
+
+  std::vector<Expr> Ptrs;
+  collectAtomPtrs(A, M, Ptrs);
+  for (const Expr &Ptr : Ptrs) {
+    if (!M.fullyBound(Ptr))
+      continue;
+    std::vector<SymState> Succs = unfoldForPointer(St, Env, Ptr);
+    if (Succs.empty())
+      continue;
+    if (Succs.size() > 1)
+      continue; // Ambiguous unfold: a consumption check cannot branch.
+    SymState Next = std::move(Succs.front());
+    MatchCtx MNext = M;
+    Outcome<Unit> R2 = consumeWithHeuristics(A, Next, Env, MNext, Fuel - 1);
+    if (R2.ok()) {
+      St = std::move(Next);
+      M = std::move(MNext);
+      return R2;
+    }
+  }
+  return R.failed() ? R : Outcome<Unit>::failure("consumption vanished");
+}
+

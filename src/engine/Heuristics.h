@@ -1,0 +1,88 @@
+//===- engine/Heuristics.h - Fold/unfold and borrow automation (§4.2) ------===//
+///
+/// \file
+/// The automation layer that makes Gillian-Rust "semi"-automated rather
+/// than manual: when a heap access misses (the resource is hidden inside a
+/// folded predicate or behind a closed borrow), the engine
+///
+///  1. looks for a folded predicate whose arguments are related to the
+///     failing pointer and unfolds it (branching over its clauses), or
+///  2. looks for a *guarded* predicate (a full borrow) related to the
+///     pointer and opens it with gunfold — consuming the guard lifetime's
+///     token and minting a closing token (the Unfold-Guarded rule) —
+///     thereby reusing years of Gillian fold/unfold heuristics for borrows,
+///     the key insight of §4.2.
+///
+/// The dual automation closes borrows: gfold consumes the body and the
+/// closing token and restores the guarded predicate plus the lifetime
+/// token. At function returns every open borrow is closed automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ENGINE_HEURISTICS_H
+#define GILR_ENGINE_HEURISTICS_H
+
+#include "engine/SymState.h"
+
+namespace gilr {
+namespace engine {
+
+/// Rewrites \p E using the equalities recorded in the path condition
+/// (variable/projection chains to constructor forms), normalising pointer
+/// expressions like Unwrap(TupleGet(v, 0)) into decodable encodings.
+Expr reduceWithPC(const Expr &E, const PathCondition &PC);
+
+/// Unfolds one folded or guarded predicate related to \p Ptr. Returns the
+/// successor states (one per viable clause); an empty vector means no
+/// applicable candidate was found.
+std::vector<SymState> unfoldForPointer(const SymState &St, VerifEnv &Env,
+                                       const Expr &Ptr);
+
+/// Opens guarded predicate \p G: consumes the guard token, removes the
+/// instance, produces a closing token and the body (per clause).
+std::vector<SymState> gunfoldGuarded(const SymState &St, VerifEnv &Env,
+                                     const pred::GuardedPred &G);
+
+/// Unfolds folded predicate instance \p Name(\p Args): removes it and
+/// produces its definition (per clause).
+std::vector<SymState> unfoldFolded(const SymState &St, VerifEnv &Env,
+                                   const std::string &Name,
+                                   const std::vector<Expr> &Args);
+
+/// Closes the borrow recorded by closing token \p Tok (gfold): consumes
+/// the body of \p AsPred (defaults to the token's own predicate; a freeze
+/// lemma may substitute a stronger predicate), restores the guarded
+/// predicate and the lifetime token.
+Outcome<Unit> gfoldBorrow(SymState &St, VerifEnv &Env,
+                          const pred::ClosingToken &Tok,
+                          const std::string &AsPred,
+                          const std::vector<Expr> &AsArgs);
+
+/// Closes every open borrow (used at function return when enabled).
+Outcome<Unit> closeAllBorrows(SymState &St, VerifEnv &Env);
+
+/// Folds predicate \p Name(\p Args) by consuming its definition from the
+/// state (first clause that fits) and producing the folded instance.
+Outcome<Unit> foldPred(SymState &St, VerifEnv &Env, const std::string &Name,
+                       const std::vector<Expr> &Args);
+
+/// Saturation: repeatedly unfolds folded predicates that have exactly one
+/// viable clause under the current path condition, so their pure content
+/// (e.g. dllSeg's empty-case equations) becomes path-condition knowledge.
+/// Sound (the other clauses were infeasible) and bounded. Run before
+/// borrow closing at returns.
+SymState saturateUnfolds(SymState St, VerifEnv &Env, unsigned Fuel = 8);
+
+/// Consume with unfolding support: on failure, heuristically unfolds
+/// predicates related to the assertion's pointers/arguments and retries.
+/// Only unambiguous unfolds (a single viable clause) are taken, since a
+/// consumption check cannot branch. Used by postcondition consumption,
+/// borrow closing and the lemma hypothesis proofs.
+Outcome<Unit> consumeWithHeuristics(const gilsonite::AssertionP &A,
+                                    SymState &St, VerifEnv &Env,
+                                    struct MatchCtx &M, unsigned Fuel);
+
+} // namespace engine
+} // namespace gilr
+
+#endif // GILR_ENGINE_HEURISTICS_H

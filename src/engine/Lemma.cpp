@@ -1,0 +1,285 @@
+//===- engine/Lemma.cpp -----------------------------------------------------------===//
+
+#include "engine/Lemma.h"
+
+#include "engine/Heuristics.h"
+#include "engine/Produce.h"
+#include "solver/Simplify.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::engine;
+using gilsonite::AssertionP;
+using gilsonite::AsrtKind;
+using gilsonite::PredDecl;
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+/// Removes the Exists binders of an already-instantiated clause and
+/// substitutes the values learned for them.
+static AssertionP stripExistsAndBind(const AssertionP &A, const MatchCtx &M) {
+  switch (A->Kind) {
+  case AsrtKind::Star: {
+    std::vector<AssertionP> Parts;
+    for (const AssertionP &P : A->Parts)
+      Parts.push_back(stripExistsAndBind(P, M));
+    return star(std::move(Parts));
+  }
+  case AsrtKind::Exists:
+    return stripExistsAndBind(A->Body, M);
+  default:
+    return substAssertion(A, M.Bindings);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Freeze lemmas
+//===----------------------------------------------------------------------===//
+
+Outcome<Unit> LemmaTable::registerFreeze(FreezeLemma L, VerifEnv &Env) {
+  const PredDecl *From = Env.Preds.lookup(L.FromPred);
+  const PredDecl *To = Env.Preds.lookup(L.ToPred);
+  if (!From || !To)
+    return Outcome<Unit>::failure("freeze lemma over undeclared predicates");
+  if (To->Params.size() < From->Params.size())
+    return Outcome<Unit>::failure(
+        "freeze target must extend the source's parameters");
+
+  // Hypothesis: the frozen body entails the original body, so a borrow
+  // closed at the frozen predicate is a valid closing of the original.
+  SymState St;
+  Expr Kappa = St.VG.freshLifetime("'kfr");
+  std::vector<Expr> ToArgs;
+  for (const gilsonite::PredParam &P : To->Params)
+    ToArgs.push_back(St.VG.fresh("fr$" + P.Name, P.S));
+
+  Outcome<Unit> Produced = Outcome<Unit>::failure("no clause produced");
+  for (std::size_t CI = 0; CI != To->Clauses.size(); ++CI) {
+    AssertionP Clause =
+        gilsonite::instantiateClause(*To, CI, ToArgs, Kappa, St.VG);
+    Produced = produce(Clause, St, Env);
+    if (Produced.ok())
+      break;
+  }
+  if (!Produced.ok())
+    return Outcome<Unit>::failure("freeze hypothesis: cannot produce " +
+                                  L.ToPred);
+
+  std::vector<Expr> FromArgs(ToArgs.begin(),
+                             ToArgs.begin() +
+                                 static_cast<long>(From->Params.size()));
+  MatchCtx M;
+  AssertionP FromBody =
+      gilsonite::instantiateClause(*From, 0, FromArgs, Kappa, St.VG);
+  Outcome<Unit> Consumed = consumeWithHeuristics(FromBody, St, Env, M, 8);
+  if (!Consumed.ok())
+    return Outcome<Unit>::failure("freeze hypothesis of '" + L.Name +
+                                  "' failed: " + Consumed.error());
+
+  Map.emplace(L.Name, std::move(L));
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> LemmaTable::applyFreeze(const FreezeLemma &L,
+                                      const std::vector<Expr> &Args,
+                                      SymState &St, VerifEnv &Env) {
+  // The borrow must currently be open: find its closing token.
+  for (const pred::ClosingToken &Tok : St.Guarded.closing()) {
+    if (Tok.Name != L.FromPred)
+      continue;
+    if (!Args.empty() &&
+        !pred::argsMatch(Tok.Args, Args, {}, Env.Solv, St.PC))
+      continue;
+    pred::ClosingToken Copy = Tok;
+    return gfoldBorrow(St, Env, Copy, L.ToPred, Copy.Args);
+  }
+  return Outcome<Unit>::failure("freeze lemma '" + L.Name +
+                                "': no open borrow of " + L.FromPred);
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction lemmas
+//===----------------------------------------------------------------------===//
+
+Outcome<Unit> LemmaTable::registerExtract(ExtractLemma L, VerifEnv &Env) {
+  const PredDecl *From = Env.Preds.lookup(L.FromPred);
+  const PredDecl *To = Env.Preds.lookup(L.ToPred);
+  if (!From || !To)
+    return Outcome<Unit>::failure(
+        "extract lemma over undeclared predicates");
+
+  // Hypothesis proof of F * P ==> Q * (Q -* P).
+  SymState St;
+  Subst PS;
+  for (const std::string &P : L.Params) {
+    if (L.MutRefParams.count(P)) {
+      // Mutref values are (pointer, prophecy) pairs.
+      PS.bind(P, mkTuple({St.VG.fresh("ex$" + P + "$ptr", Sort::Any),
+                          St.VG.freshProphecy("ex$" + P)}));
+    } else {
+      PS.bind(P, St.VG.fresh("ex$" + P, Sort::Any));
+    }
+  }
+  Expr XNew;
+  if (auto Bound = PS.lookup(L.NewProphecyHole)) {
+    XNew = simplify(*Bound);
+    if (XNew->Kind == ExprKind::TupleLit && XNew->Kids.size() == 2)
+      XNew = XNew->Kids[1];
+  } else {
+    XNew = St.VG.freshProphecy(L.NewProphecyHole);
+    PS.bind(L.NewProphecyHole, XNew);
+  }
+  if (XNew->Kind != ExprKind::Var || !isProphecyVarName(XNew->Name))
+    return Outcome<Unit>::failure(
+        "extract lemma: prophecy hole does not denote a prophecy variable");
+  Expr Kappa = St.VG.freshLifetime("'kex");
+
+  std::vector<Expr> FromArgs, ToArgs;
+  for (const Expr &A : L.FromArgs)
+    FromArgs.push_back(PS.apply(A));
+  for (const Expr &A : L.ToArgs)
+    ToArgs.push_back(simplify(PS.apply(A)));
+  Expr Persistent = L.Persistent ? PS.apply(L.Persistent) : mkTrue();
+  Expr Requires = L.Requires ? PS.apply(L.Requires) : mkTrue();
+
+  // 1. Produce P's body and assume F (and the declared pure glue).
+  AssertionP PBody =
+      gilsonite::instantiateClause(*From, 0, FromArgs, Kappa, St.VG);
+  Outcome<Unit> PProd = produce(PBody, St, Env);
+  if (!PProd.ok())
+    return Outcome<Unit>::failure("extract hypothesis: cannot produce " +
+                                  L.FromPred);
+  if (!St.PC.add(Persistent) || !St.PC.add(Requires) ||
+      !St.viable(Env.Solv))
+    return Outcome<Unit>::failure(
+        "extract hypothesis: persistent fact inconsistent with " +
+        L.FromPred);
+
+  // 2. Allocate the fresh prophecy of the extracted reference (the view
+  // shift may allocate ghost state). The value is chosen by the allocator,
+  // so Mut-Auto-Update is available during this proof.
+  Expr Af = St.VG.fresh("extract$a", Sort::Any);
+  St.Pcy.produceVO(XNew->Name, Af, Env.Solv, St.PC);
+  St.Pcy.producePC(XNew->Name, Af, Env.Solv, St.PC);
+  St.AutoProphecyUpdate = true;
+
+  // 3. Consume Q's body (the extraction footprint).
+  AssertionP QBody =
+      gilsonite::instantiateClause(*To, 0, ToArgs, Kappa, St.VG);
+  MatchCtx MQ;
+  Outcome<Unit> QCons = consumeWithHeuristics(QBody, St, Env, MQ, 8);
+  if (!QCons.ok())
+    return Outcome<Unit>::failure("extract hypothesis of '" + L.Name +
+                                  "' failed consuming " + L.ToPred + ": " +
+                                  QCons.error());
+
+  // 4-5. Wand packaging: put Q back and require that P reforms.
+  AssertionP QAgain = stripExistsAndBind(QBody, MQ);
+  Outcome<Unit> QProd = produce(QAgain, St, Env);
+  if (!QProd.ok())
+    return Outcome<Unit>::failure(
+        "extract hypothesis: cannot restore " + L.ToPred);
+  AssertionP PAgain =
+      gilsonite::instantiateClause(*From, 0, FromArgs, Kappa, St.VG);
+  MatchCtx MP;
+  Outcome<Unit> PCons = consumeWithHeuristics(PAgain, St, Env, MP, 8);
+  if (!PCons.ok())
+    return Outcome<Unit>::failure("extract hypothesis of '" + L.Name +
+                                  "' failed reforming " + L.FromPred + ": " +
+                                  PCons.error());
+
+  Map.emplace(L.Name, std::move(L));
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> LemmaTable::applyExtract(const ExtractLemma &L,
+                                       const std::vector<Expr> &Args,
+                                       SymState &St, VerifEnv &Env) {
+  MatchCtx M;
+  for (std::size_t I = 0; I != L.Params.size(); ++I) {
+    if (I < L.GivenParams) {
+      if (I >= Args.size())
+        return Outcome<Unit>::failure("extract lemma '" + L.Name +
+                                      "': missing ghost argument " +
+                                      L.Params[I]);
+      M.Bindings.bind(L.Params[I], Args[I]);
+    } else {
+      M.Pending.insert(L.Params[I]);
+    }
+  }
+
+  // Consume the closed source borrow, learning the remaining parameters.
+  std::string KappaHole = "'extract_kappa";
+  M.Pending.insert(KappaHole);
+  AssertionP FromCall = gilsonite::guardedCall(
+      mkVar(KappaHole, Sort::Lft), L.FromPred, L.FromArgs);
+  Outcome<Unit> FromOk = consume(FromCall, St, Env, M);
+  if (!FromOk.ok())
+    return Outcome<Unit>::failure("extract lemma '" + L.Name +
+                                  "': " + FromOk.error());
+
+  // Check the persistent fact.
+  if (L.Persistent) {
+    Expr F = M.resolve(L.Persistent);
+    if (!St.PC.entails(Env.Solv, F))
+      return Outcome<Unit>::failure("extract lemma '" + L.Name +
+                                    "': persistent fact not established: " +
+                                    exprToString(F));
+  }
+
+  // Check the declared pure glue (links given arguments to the borrow's
+  // content).
+  if (L.Requires) {
+    Expr R = simplify(reduceWithPC(M.resolve(L.Requires), St.PC));
+    if (!St.PC.entails(Env.Solv, R))
+      return Outcome<Unit>::failure("extract lemma '" + L.Name +
+                                    "': requirement not established: " +
+                                    exprToString(R));
+  }
+
+  // Determine the new reference's prophecy: a bound mutref parameter's
+  // second component, or a freshly allocated variable. Its observer is
+  // produced here; the controller lives inside the new borrow's body.
+  Expr XNew;
+  if (M.Bindings.contains(L.NewProphecyHole) ||
+      M.Pending.count(L.NewProphecyHole)) {
+    XNew = simplify(
+        reduceWithPC(M.resolve(mkVar(L.NewProphecyHole, Sort::Any)), St.PC));
+    if (XNew->Kind == ExprKind::TupleLit && XNew->Kids.size() == 2)
+      XNew = XNew->Kids[1];
+    if (XNew->Kind != ExprKind::Var || !isProphecyVarName(XNew->Name))
+      return Outcome<Unit>::failure(
+          "extract lemma '" + L.Name +
+          "': prophecy hole does not resolve to a prophecy variable: " +
+          exprToString(XNew));
+  } else {
+    XNew = St.VG.freshProphecy("xex");
+    M.Bindings.bind(L.NewProphecyHole, XNew);
+  }
+  Expr Cur = St.VG.fresh("cur", Sort::Any);
+  Outcome<Unit> VOOk = St.Pcy.produceVO(XNew->Name, Cur, Env.Solv, St.PC);
+  if (!VOOk.ok())
+    return VOOk;
+
+  // Produce the extracted borrow at the same lifetime.
+  Expr Kappa = M.resolve(mkVar(KappaHole, Sort::Lft));
+  std::vector<Expr> ToArgs;
+  for (const Expr &A : L.ToArgs)
+    ToArgs.push_back(M.resolve(A));
+  St.Guarded.produceGuarded(L.ToPred, Kappa, std::move(ToArgs));
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> LemmaTable::apply(const std::string &Name,
+                                const std::vector<Expr> &Args, SymState &St,
+                                VerifEnv &Env) {
+  auto It = Map.find(Name);
+  if (It == Map.end())
+    return Outcome<Unit>::failure("application of unknown lemma " + Name);
+  if (const FreezeLemma *F = std::get_if<FreezeLemma>(&It->second))
+    return applyFreeze(*F, Args, St, Env);
+  return applyExtract(std::get<ExtractLemma>(It->second), Args, St, Env);
+}

@@ -1,0 +1,100 @@
+//===- engine/Lemma.h - Borrow extraction and freezing lemmas (§4.3) -------===//
+///
+/// \file
+/// The lemma machinery of §4.3. Users *declare* lemmas; the engine verifies
+/// their hypotheses automatically at registration time and then allows
+/// their conclusions to be applied as ghost commands:
+///
+/// * \c FreezeLemma — existential freezing: converts an *open* borrow of
+///   predicate From into a closed borrow of predicate To, whose extra
+///   out-parameters pin the values of From's existentials. Verified by
+///   checking To's body entails From's body (so closing with To is sound).
+///
+/// * \c ExtractLemma — the Borrow-Extract rule: under a persistent fact F,
+///   converts a closed borrow &κ P into a smaller closed borrow &κ Q
+///   (keeping the lifetime token). Verified by proving
+///   F * P ==> Q * (Q -* P): produce P, consume Q, then re-produce Q and
+///   consume P in the remainder (wand packaging in the style of the sound
+///   magic-wand automation the paper references). The extraction also
+///   allocates the fresh prophecy of the extracted mutable reference — the
+///   prophecy-aware enhancement §7.1 describes as designed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ENGINE_LEMMA_H
+#define GILR_ENGINE_LEMMA_H
+
+#include "engine/Consume.h"
+#include "engine/Heuristics.h"
+#include "engine/SymState.h"
+
+#include <map>
+#include <variant>
+
+namespace gilr {
+namespace engine {
+
+/// Existential freezing lemma declaration.
+struct FreezeLemma {
+  std::string Name;
+  std::string FromPred; ///< The open borrow's predicate (closing token).
+  std::string ToPred;   ///< The frozen predicate (extra Out params).
+};
+
+/// Borrow extraction lemma declaration (Fig. 8).
+struct ExtractLemma {
+  std::string Name;
+  /// Named holes bound when the lemma is applied; the first \c GivenParams
+  /// are bound from ghost arguments, the rest learned from the matched
+  /// borrow instance.
+  std::vector<std::string> Params;
+  std::size_t GivenParams = 0;
+  /// Params that denote mutable-reference *values* (pointer, prophecy)
+  /// pairs; at registration time they are materialised as such so the
+  /// prophecy component is a proper prophecy variable.
+  std::set<std::string> MutRefParams;
+  std::string FromPred;
+  std::vector<Expr> FromArgs; ///< Patterns over Params.
+  Expr Persistent;            ///< The persistent fact F (over Params).
+  /// Pure glue linking given params to learned ones (e.g. the new
+  /// reference's pointer equals a field of the borrow's content). Assumed
+  /// during the hypothesis proof, checked at every application.
+  Expr Requires;
+  std::string ToPred;
+  std::vector<Expr> ToArgs; ///< Over Params plus the fresh prophecy hole.
+  /// The prophecy of the extracted reference: either the name of a Param
+  /// (whose resolved value must reduce to a prophecy variable — typically
+  /// the second component of a mutref param) or a hole allocated fresh.
+  std::string NewProphecyHole = "x_new";
+};
+
+/// Registered lemmas; registration verifies the hypothesis obligation.
+class LemmaTable {
+public:
+  /// Verifies and registers; returns the failure if the hypothesis proof
+  /// fails.
+  Outcome<Unit> registerFreeze(FreezeLemma L, VerifEnv &Env);
+  Outcome<Unit> registerExtract(ExtractLemma L, VerifEnv &Env);
+
+  /// Applies lemma \p Name with the given ghost argument values.
+  Outcome<Unit> apply(const std::string &Name, const std::vector<Expr> &Args,
+                      SymState &St, VerifEnv &Env);
+
+  bool contains(const std::string &Name) const { return Map.count(Name); }
+  std::size_t size() const { return Map.size(); }
+
+private:
+  Outcome<Unit> applyFreeze(const FreezeLemma &L,
+                            const std::vector<Expr> &Args, SymState &St,
+                            VerifEnv &Env);
+  Outcome<Unit> applyExtract(const ExtractLemma &L,
+                             const std::vector<Expr> &Args, SymState &St,
+                             VerifEnv &Env);
+
+  std::map<std::string, std::variant<FreezeLemma, ExtractLemma>> Map;
+};
+
+} // namespace engine
+} // namespace gilr
+
+#endif // GILR_ENGINE_LEMMA_H

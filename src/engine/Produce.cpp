@@ -1,0 +1,113 @@
+//===- engine/Produce.cpp ---------------------------------------------------------===//
+
+#include "engine/Produce.h"
+
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::engine;
+using gilsonite::AsrtKind;
+using gilsonite::AssertionP;
+
+Outcome<Unit> gilr::engine::produce(const AssertionP &A, SymState &St,
+                                    VerifEnv &Env) {
+  heap::HeapCtx Ctx = St.heapCtx(Env);
+  switch (A->Kind) {
+  case AsrtKind::Star: {
+    for (const AssertionP &P : A->Parts) {
+      Outcome<Unit> R = produce(P, St, Env);
+      if (!R.ok())
+        return R;
+    }
+    return Outcome<Unit>::success(Unit());
+  }
+  case AsrtKind::Exists: {
+    Subst Fresh;
+    for (const gilsonite::Binder &B : A->Binders)
+      Fresh.bind(B.Name, St.VG.fresh(B.Name, B.S));
+    return produce(substAssertion(A->Body, Fresh), St, Env);
+  }
+  case AsrtKind::Pure:
+    if (!St.PC.add(A->Formula))
+      return Outcome<Unit>::vanish();
+    return Outcome<Unit>::success(Unit());
+  case AsrtKind::PointsTo:
+    return St.Heap.producePointsTo(A->Ptr, A->Ty, A->Val, Ctx);
+  case AsrtKind::UninitPT:
+    return St.Heap.produceUninit(A->Ptr, A->Ty, Ctx);
+  case AsrtKind::MaybeUninit: {
+    if (A->Val->Kind == ExprKind::NoneLit)
+      return St.Heap.produceUninit(A->Ptr, A->Ty, Ctx);
+    if (A->Val->Kind == ExprKind::Some)
+      return St.Heap.producePointsTo(A->Ptr, A->Ty, A->Val->Kids[0], Ctx);
+    // An undetermined maybe-uninit: decide with the path condition.
+    if (Ctx.entails(mkIsSome(A->Val)))
+      return St.Heap.producePointsTo(A->Ptr, A->Ty, mkUnwrap(A->Val), Ctx);
+    if (Ctx.entails(mkIsNone(A->Val)))
+      return St.Heap.produceUninit(A->Ptr, A->Ty, Ctx);
+    return Outcome<Unit>::failure(
+        "cannot decide init-ness of maybe-uninit value " +
+        exprToString(A->Val));
+  }
+  case AsrtKind::ArrayPT:
+    return St.Heap.produceArray(A->Ptr, A->Ty, A->Count, A->Seq, Ctx);
+  case AsrtKind::ArrayUninit:
+    return St.Heap.produceArrayUninit(A->Ptr, A->Ty, A->Count, Ctx);
+  case AsrtKind::PredCall: {
+    const gilsonite::PredDecl *Decl = Env.Preds.lookup(A->Name);
+    if (!Decl)
+      return Outcome<Unit>::failure("produce of undeclared predicate " +
+                                    A->Name);
+    St.Folded.produce(A->Name, A->Args);
+    return Outcome<Unit>::success(Unit());
+  }
+  case AsrtKind::GuardedCall: {
+    const gilsonite::PredDecl *Decl = Env.Preds.lookup(A->Name);
+    if (!Decl)
+      return Outcome<Unit>::failure(
+          "produce of undeclared guarded predicate " + A->Name);
+    St.Guarded.produceGuarded(A->Name, A->Kappa, A->Args);
+    return Outcome<Unit>::success(Unit());
+  }
+  case AsrtKind::LftAlive:
+    return St.Lft.produceAlive(A->Kappa, A->Frac, Env.Solv, St.PC);
+  case AsrtKind::LftDead:
+    return St.Lft.produceDead(A->Kappa, Env.Solv, St.PC);
+  case AsrtKind::Observation:
+    return St.Obs.produce(A->Formula, Env.Solv, St.PC);
+  case AsrtKind::ValueObs: {
+    if (A->PcyVar->Kind != ExprKind::Var)
+      return Outcome<Unit>::failure(
+          "value observer of non-variable prophecy " +
+          exprToString(A->PcyVar));
+    return St.Pcy.produceVO(A->PcyVar->Name, A->Val, Env.Solv, St.PC);
+  }
+  case AsrtKind::ProphCtrl: {
+    if (A->PcyVar->Kind != ExprKind::Var)
+      return Outcome<Unit>::failure(
+          "prophecy controller of non-variable prophecy " +
+          exprToString(A->PcyVar));
+    return St.Pcy.producePC(A->PcyVar->Name, A->Val, Env.Solv, St.PC);
+  }
+  }
+  return Outcome<Unit>::failure("unknown assertion kind in produce");
+}
+
+std::vector<SymState> gilr::engine::produceClauses(
+    const SymState &Base, VerifEnv &Env, const gilsonite::PredDecl &Decl,
+    const std::vector<Expr> &Args, const Expr &Kappa) {
+  std::vector<SymState> Out;
+  for (std::size_t CI = 0, CE = Decl.Clauses.size(); CI != CE; ++CI) {
+    SymState St = Base;
+    AssertionP Clause =
+        gilsonite::instantiateClause(Decl, CI, Args, Kappa, St.VG);
+    Outcome<Unit> R = produce(Clause, St, Env);
+    if (!R.ok())
+      continue; // Vanished (or failed to install) clause branch.
+    if (!St.viable(Env.Solv))
+      continue; // Inconsistent with the path condition.
+    Out.push_back(std::move(St));
+  }
+  return Out;
+}

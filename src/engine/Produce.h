@@ -1,0 +1,40 @@
+//===- engine/Produce.h - Assertion production ------------------------------===//
+///
+/// \file
+/// Producing an assertion adds the corresponding resource to the symbolic
+/// state (the prod_ρ actions of §2.3, extended to whole assertions by
+/// Gillian). Existentials are instantiated with fresh symbolic variables;
+/// predicate calls are produced in folded form; each core predicate
+/// dispatches to its state component's producer. A production that
+/// contradicts the state (duplicate exclusive resource, alive token of a
+/// dead lifetime, inconsistent observation) *vanishes* — the branch is
+/// assumed away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ENGINE_PRODUCE_H
+#define GILR_ENGINE_PRODUCE_H
+
+#include "engine/SymState.h"
+
+namespace gilr {
+namespace engine {
+
+/// Produces \p A (whose free variables must be meaningful in the current
+/// state) into \p St.
+Outcome<Unit> produce(const gilsonite::AssertionP &A, SymState &St,
+                      VerifEnv &Env);
+
+/// Produces one successor state per clause of \p Decl instantiated at
+/// \p Args (with \p Kappa substituted for 'kappa in guarded bodies),
+/// pruning vanished and inconsistent branches. Used by unfold, gunfold and
+/// the automation heuristics.
+std::vector<SymState> produceClauses(const SymState &Base, VerifEnv &Env,
+                                     const gilsonite::PredDecl &Decl,
+                                     const std::vector<Expr> &Args,
+                                     const Expr &Kappa);
+
+} // namespace engine
+} // namespace gilr
+
+#endif // GILR_ENGINE_PRODUCE_H

@@ -1,0 +1,22 @@
+//===- engine/SymState.cpp -------------------------------------------------------===//
+
+#include "engine/SymState.h"
+
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::engine;
+
+std::string SymState::dump() const {
+  std::string Out;
+  Out += "== heap ==\n" + Heap.dump();
+  Out += "== lifetimes ==\n" + Lft.dump();
+  Out += "== folded ==\n" + Folded.dump();
+  Out += "== guarded ==\n" + Guarded.dump();
+  Out += "== observations ==\n" + Obs.dump();
+  Out += "== prophecies ==\n" + Pcy.dump();
+  Out += "== path condition ==\n";
+  for (const Expr &F : PC.facts())
+    Out += "  " + exprToString(F) + "\n";
+  return Out;
+}

@@ -1,0 +1,97 @@
+//===- engine/SymState.h - The Gillian-Rust symbolic state (§2.3) ----------===//
+///
+/// \file
+/// A Gillian-Rust symbolic state is the quintuple σ = (h, ξ, γ, φ, χ) of
+/// §2.3 — symbolic heap, lifetime context, guarded predicate context,
+/// observation context, prophecy context — extended (as in Gillian itself)
+/// with the plain folded-predicate store, the path condition π, and the
+/// fresh-variable generator. States are value types: symbolic execution
+/// branches by copying.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ENGINE_SYMSTATE_H
+#define GILR_ENGINE_SYMSTATE_H
+
+#include "gilsonite/Ownable.h"
+#include "gilsonite/PredDecl.h"
+#include "gilsonite/Spec.h"
+#include "heap/SymHeap.h"
+#include "lifetime/LifetimeCtx.h"
+#include "pred/GuardedCtx.h"
+#include "proph/ObsCtx.h"
+#include "proph/ProphecyCtx.h"
+#include "rmir/Program.h"
+#include "solver/PathCondition.h"
+
+namespace gilr {
+namespace engine {
+
+class LemmaTable;
+
+/// Automation switches (the ablation knobs of DESIGN.md experiment A1).
+struct Automation {
+  /// Unfold folded predicates automatically on heap-access misses.
+  bool AutoUnfold = true;
+  /// Open (gunfold) guarded predicates automatically, paying the token.
+  bool AutoBorrow = true;
+  /// Close open borrows automatically at function return.
+  bool AutoCloseAtReturn = true;
+  /// Extract prophecy-free observations into the path condition (§7.3
+  /// "Extracting knowledge from observations" — unimplemented in the
+  /// paper's tool; implemented here as a switchable extension so the
+  /// paper's limitation is reproducible by turning it off).
+  bool ObsExtraction = true;
+  /// Whether panics (e.g. arithmetic overflow aborts) are acceptable. Type
+  /// safety tolerates panics — they are not undefined behaviour — so E1
+  /// verifies push_front without a length precondition; functional
+  /// correctness (partial correctness with panic freedom, as in Creusot)
+  /// must prove their absence.
+  bool PanicsAllowed = false;
+  /// Fuel for heuristic rounds per failing operation.
+  unsigned HeuristicFuel = 8;
+};
+
+/// Shared per-verification environment: the program, tables, solver.
+struct VerifEnv {
+  const rmir::Program &Prog;
+  gilsonite::PredTable &Preds;
+  gilsonite::SpecTable &Specs;
+  gilsonite::OwnableRegistry &Ownables;
+  LemmaTable &Lemmas;
+  Solver &Solv;
+  Automation Auto;
+};
+
+/// The symbolic state σ plus execution bookkeeping.
+struct SymState {
+  heap::SymHeap Heap;          ///< h (§3).
+  lifetime::LifetimeCtx Lft;   ///< ξ (§4.1).
+  pred::PredCtx Folded;        ///< Plain folded predicates.
+  pred::GuardedCtx Guarded;    ///< γ (§4.2).
+  proph::ObsCtx Obs;           ///< φ (§5.2).
+  proph::ProphecyCtx Pcy;      ///< χ (§5.3).
+  PathCondition PC;            ///< π.
+  VarGen VG;
+
+  /// Mutable-reference operands registered by mutref_auto_resolve!: they are
+  /// resolved automatically when the function returns (§2.2).
+  std::vector<std::pair<Expr, rmir::TypeRef>> AutoResolve;
+  /// prophecy_auto_update() enables Mut-Auto-Update during borrow closing.
+  bool AutoProphecyUpdate = false;
+
+  /// A heap context view over this state.
+  heap::HeapCtx heapCtx(VerifEnv &Env) {
+    return heap::HeapCtx{Env.Solv, PC, VG, Env.Prog.Types};
+  }
+
+  /// Whether the path condition is still satisfiable (branch viability).
+  bool viable(Solver &S) { return !PC.isUnsat(S); }
+
+  std::string dump() const;
+};
+
+} // namespace engine
+} // namespace gilr
+
+#endif // GILR_ENGINE_SYMSTATE_H

@@ -1,0 +1,65 @@
+//===- engine/Verifier.cpp --------------------------------------------------------===//
+
+#include "engine/Verifier.h"
+
+#include <chrono>
+
+using namespace gilr;
+using namespace gilr::engine;
+
+unsigned gilr::engine::countGhostAnnotations(const rmir::Function &F) {
+  unsigned Count = 0;
+  for (const rmir::BasicBlock &B : F.Blocks)
+    for (const rmir::Statement &S : B.Stmts)
+      if (S.Kind == rmir::Statement::GhostStmt)
+        ++Count;
+  return Count;
+}
+
+VerifyReport Verifier::verifyFunction(const std::string &FuncName) {
+  VerifyReport Report;
+  Report.Func = FuncName;
+
+  const rmir::Function *F = Env.Prog.lookup(FuncName);
+  if (!F) {
+    Report.Errors.push_back("unknown function " + FuncName);
+    return Report;
+  }
+  const gilsonite::Spec *S = Env.Specs.lookup(FuncName);
+  if (!S) {
+    Report.Errors.push_back("no spec registered for " + FuncName);
+    return Report;
+  }
+  if (S->Trusted) {
+    // Trusted specs are axioms (e.g. the conclusion lemma of a borrow
+    // extraction, §4.3, or an axiomatised std contract): assumed, not
+    // verified.
+    Report.Ok = true;
+    Report.Errors.push_back("trusted spec: assumed without verification");
+    return Report;
+  }
+  Report.GhostAnnotations = countGhostAnnotations(*F);
+
+  auto Start = std::chrono::steady_clock::now();
+  Executor Exec(Env);
+  ExecResult R = Exec.run(*F, *S);
+  auto End = std::chrono::steady_clock::now();
+
+  Report.Ok = R.Ok;
+  Report.Seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count();
+  Report.PathsCompleted = R.PathsCompleted;
+  Report.StatesExplored = R.StatesExplored;
+  Report.Errors = R.Errors;
+  return Report;
+}
+
+std::vector<VerifyReport>
+Verifier::verifyAll(const std::vector<std::string> &Names) {
+  std::vector<VerifyReport> Reports;
+  Reports.reserve(Names.size());
+  for (const std::string &Name : Names)
+    Reports.push_back(verifyFunction(Name));
+  return Reports;
+}

@@ -1,0 +1,292 @@
+//===- gilsonite/Assertion.cpp ---------------------------------------------------===//
+
+#include "gilsonite/Assertion.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+#include "sym/Printer.h"
+
+#include <cassert>
+#include <set>
+
+using namespace gilr;
+using namespace gilr::gilsonite;
+
+static std::shared_ptr<Assertion> make(AsrtKind K) {
+  return std::make_shared<Assertion>(K);
+}
+
+AssertionP gilr::gilsonite::star(std::vector<AssertionP> Parts) {
+  // Flatten nested stars for readability.
+  std::vector<AssertionP> Flat;
+  for (AssertionP &P : Parts) {
+    assert(P && "null assertion in star");
+    if (P->Kind == AsrtKind::Star) {
+      for (const AssertionP &Kid : P->Parts)
+        Flat.push_back(Kid);
+      continue;
+    }
+    Flat.push_back(std::move(P));
+  }
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto A = make(AsrtKind::Star);
+  A->Parts = std::move(Flat);
+  return A;
+}
+
+AssertionP gilr::gilsonite::emp() { return star({}); }
+
+AssertionP gilr::gilsonite::exists(std::vector<Binder> Binders,
+                                   AssertionP Body) {
+  if (Binders.empty())
+    return Body;
+  auto A = make(AsrtKind::Exists);
+  A->Binders = std::move(Binders);
+  A->Body = std::move(Body);
+  return A;
+}
+
+AssertionP gilr::gilsonite::pure(Expr Formula) {
+  auto A = make(AsrtKind::Pure);
+  A->Formula = std::move(Formula);
+  return A;
+}
+
+AssertionP gilr::gilsonite::pointsTo(Expr Ptr, rmir::TypeRef Ty, Expr Val) {
+  auto A = make(AsrtKind::PointsTo);
+  A->Ptr = std::move(Ptr);
+  A->Ty = Ty;
+  A->Val = std::move(Val);
+  return A;
+}
+
+AssertionP gilr::gilsonite::uninitPT(Expr Ptr, rmir::TypeRef Ty) {
+  auto A = make(AsrtKind::UninitPT);
+  A->Ptr = std::move(Ptr);
+  A->Ty = Ty;
+  return A;
+}
+
+AssertionP gilr::gilsonite::maybeUninit(Expr Ptr, rmir::TypeRef Ty,
+                                        Expr ValOpt) {
+  auto A = make(AsrtKind::MaybeUninit);
+  A->Ptr = std::move(Ptr);
+  A->Ty = Ty;
+  A->Val = std::move(ValOpt);
+  return A;
+}
+
+AssertionP gilr::gilsonite::arrayPT(Expr Ptr, rmir::TypeRef ElemTy, Expr Count,
+                                    Expr Seq) {
+  auto A = make(AsrtKind::ArrayPT);
+  A->Ptr = std::move(Ptr);
+  A->Ty = ElemTy;
+  A->Count = std::move(Count);
+  A->Seq = std::move(Seq);
+  return A;
+}
+
+AssertionP gilr::gilsonite::arrayUninit(Expr Ptr, rmir::TypeRef ElemTy,
+                                        Expr Count) {
+  auto A = make(AsrtKind::ArrayUninit);
+  A->Ptr = std::move(Ptr);
+  A->Ty = ElemTy;
+  A->Count = std::move(Count);
+  return A;
+}
+
+AssertionP gilr::gilsonite::predCall(std::string Name,
+                                     std::vector<Expr> Args) {
+  auto A = make(AsrtKind::PredCall);
+  A->Name = std::move(Name);
+  A->Args = std::move(Args);
+  return A;
+}
+
+AssertionP gilr::gilsonite::guardedCall(Expr Kappa, std::string Name,
+                                        std::vector<Expr> Args) {
+  auto A = make(AsrtKind::GuardedCall);
+  A->Kappa = std::move(Kappa);
+  A->Name = std::move(Name);
+  A->Args = std::move(Args);
+  return A;
+}
+
+AssertionP gilr::gilsonite::lftAlive(Expr Kappa, Expr Frac) {
+  auto A = make(AsrtKind::LftAlive);
+  A->Kappa = std::move(Kappa);
+  A->Frac = std::move(Frac);
+  return A;
+}
+
+AssertionP gilr::gilsonite::lftDead(Expr Kappa) {
+  auto A = make(AsrtKind::LftDead);
+  A->Kappa = std::move(Kappa);
+  return A;
+}
+
+AssertionP gilr::gilsonite::observation(Expr Psi) {
+  auto A = make(AsrtKind::Observation);
+  A->Formula = std::move(Psi);
+  return A;
+}
+
+AssertionP gilr::gilsonite::valueObs(Expr PcyVar, Expr Val) {
+  auto A = make(AsrtKind::ValueObs);
+  A->PcyVar = std::move(PcyVar);
+  A->Val = std::move(Val);
+  return A;
+}
+
+AssertionP gilr::gilsonite::prophCtrl(Expr PcyVar, Expr Val) {
+  auto A = make(AsrtKind::ProphCtrl);
+  A->PcyVar = std::move(PcyVar);
+  A->Val = std::move(Val);
+  return A;
+}
+
+std::string Assertion::str() const {
+  switch (Kind) {
+  case AsrtKind::Star: {
+    if (Parts.empty())
+      return "emp";
+    std::vector<std::string> Ss;
+    for (const AssertionP &P : Parts)
+      Ss.push_back(P->str());
+    return "(" + join(Ss, " * ") + ")";
+  }
+  case AsrtKind::Exists: {
+    std::vector<std::string> Names;
+    for (const Binder &B : Binders)
+      Names.push_back(B.Name);
+    return "(exists " + join(Names, " ") + ". " + Body->str() + ")";
+  }
+  case AsrtKind::Pure:
+    return exprToString(Formula);
+  case AsrtKind::PointsTo:
+    return exprToString(Ptr) + " |->_" + Ty->str() + " " + exprToString(Val);
+  case AsrtKind::UninitPT:
+    return exprToString(Ptr) + " |->_" + Ty->str() + " uninit";
+  case AsrtKind::MaybeUninit:
+    return exprToString(Ptr) + " |->_" + Ty->str() + " maybe " +
+           exprToString(Val);
+  case AsrtKind::ArrayPT:
+    return exprToString(Ptr) + " |->_[" + Ty->str() + "; " +
+           exprToString(Count) + "] " + exprToString(Seq);
+  case AsrtKind::ArrayUninit:
+    return exprToString(Ptr) + " |->_[" + Ty->str() + "; " +
+           exprToString(Count) + "] uninit";
+  case AsrtKind::PredCall:
+  case AsrtKind::GuardedCall: {
+    std::vector<std::string> Ss;
+    for (const Expr &E : Args)
+      Ss.push_back(exprToString(E));
+    std::string Head =
+        Kind == AsrtKind::GuardedCall ? "&" + exprToString(Kappa) + " " : "";
+    return Head + Name + "(" + join(Ss, ", ") + ")";
+  }
+  case AsrtKind::LftAlive:
+    return "[" + exprToString(Kappa) + "]_" + exprToString(Frac);
+  case AsrtKind::LftDead:
+    return "[dead " + exprToString(Kappa) + "]";
+  case AsrtKind::Observation:
+    return "<" + exprToString(Formula) + ">";
+  case AsrtKind::ValueObs:
+    return "VO_" + exprToString(PcyVar) + "(" + exprToString(Val) + ")";
+  case AsrtKind::ProphCtrl:
+    return "PC_" + exprToString(PcyVar) + "(" + exprToString(Val) + ")";
+  }
+  GILR_UNREACHABLE("unknown assertion kind");
+}
+
+static void collectFreeVarsImpl(const AssertionP &A,
+                                std::set<std::string> &Bound,
+                                std::set<std::string> &Out) {
+  auto addExpr = [&](const Expr &E) {
+    if (!E)
+      return;
+    std::set<std::string> Vars;
+    collectVars(E, Vars);
+    for (const std::string &V : Vars)
+      if (!Bound.count(V))
+        Out.insert(V);
+  };
+  switch (A->Kind) {
+  case AsrtKind::Star:
+    for (const AssertionP &P : A->Parts)
+      collectFreeVarsImpl(P, Bound, Out);
+    return;
+  case AsrtKind::Exists: {
+    std::vector<std::string> Added;
+    for (const Binder &B : A->Binders)
+      if (Bound.insert(B.Name).second)
+        Added.push_back(B.Name);
+    collectFreeVarsImpl(A->Body, Bound, Out);
+    for (const std::string &N : Added)
+      Bound.erase(N);
+    return;
+  }
+  default:
+    addExpr(A->Formula);
+    addExpr(A->Ptr);
+    addExpr(A->Val);
+    addExpr(A->Count);
+    addExpr(A->Seq);
+    addExpr(A->Kappa);
+    addExpr(A->Frac);
+    addExpr(A->PcyVar);
+    for (const Expr &E : A->Args)
+      addExpr(E);
+    return;
+  }
+}
+
+void gilr::gilsonite::collectFreeVars(const AssertionP &A,
+                                      std::set<std::string> &Out) {
+  std::set<std::string> Bound;
+  collectFreeVarsImpl(A, Bound, Out);
+}
+
+AssertionP gilr::gilsonite::substAssertion(const AssertionP &A,
+                                           const Subst &S) {
+  switch (A->Kind) {
+  case AsrtKind::Star: {
+    std::vector<AssertionP> Parts;
+    Parts.reserve(A->Parts.size());
+    for (const AssertionP &P : A->Parts)
+      Parts.push_back(substAssertion(P, S));
+    return star(std::move(Parts));
+  }
+  case AsrtKind::Exists: {
+    // Shadowed names must not be substituted.
+    Subst Inner;
+    std::set<std::string> Shadowed;
+    for (const Binder &B : A->Binders)
+      Shadowed.insert(B.Name);
+    for (const auto &[Name, Value] : S.entries())
+      if (!Shadowed.count(Name))
+        Inner.bind(Name, Value);
+    return exists(A->Binders, substAssertion(A->Body, Inner));
+  }
+  default: {
+    auto New = std::make_shared<Assertion>(A->Kind);
+    *New = *A;
+    auto app = [&](Expr &E) {
+      if (E)
+        E = S.apply(E);
+    };
+    app(New->Formula);
+    app(New->Ptr);
+    app(New->Val);
+    app(New->Count);
+    app(New->Seq);
+    app(New->Kappa);
+    app(New->Frac);
+    app(New->PcyVar);
+    for (Expr &E : New->Args)
+      E = S.apply(E);
+    return New;
+  }
+  }
+}

@@ -1,0 +1,116 @@
+//===- gilsonite/Assertion.h - The Gilsonite assertion language ------------===//
+///
+/// \file
+/// Gilsonite is the separation-logic assertion language of Gillian-Rust
+/// (§2.1, Fig. 1 right). An assertion is a star-conjunction of:
+///
+///   * pure facts (booleans over symbolic values),
+///   * core predicates — the building blocks implemented by the custom
+///     state components: typed points-to and its variants (§3.3), lifetime
+///     tokens (§4.1), guarded/full-borrow predicates (§4.2), observations
+///     and value observers / prophecy controllers (§5),
+///   * user predicate calls (possibly recursive, e.g. dllSeg; possibly
+///     abstract, e.g. the ownership predicate of a type parameter §4.2),
+///
+/// under existential binders. Disjunction appears only as the multiple
+/// clauses of a predicate definition (standard in semi-automated SL tools).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_GILSONITE_ASSERTION_H
+#define GILR_GILSONITE_ASSERTION_H
+
+#include "rmir/Type.h"
+#include "sym/Expr.h"
+#include "sym/Subst.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace gilsonite {
+
+class Assertion;
+using AssertionP = std::shared_ptr<const Assertion>;
+
+/// Assertion node kinds.
+enum class AsrtKind : uint8_t {
+  Star,        ///< P1 * ... * Pn (empty list is emp).
+  Exists,      ///< exists x1 ... xn. P.
+  Pure,        ///< Boolean formula.
+  PointsTo,    ///< Ptr |->_Ty Val.
+  UninitPT,    ///< Ptr |->_Ty uninit.
+  MaybeUninit, ///< Ptr |->_Ty maybe(ValOpt): Some(v) init / None uninit.
+  ArrayPT,     ///< Ptr |->_[Ty; Count] Seq (laid-out range).
+  ArrayUninit, ///< Ptr |->_[Ty; Count] uninit (laid-out uninitialised range).
+  PredCall,    ///< Name(Args) user / ownership predicate.
+  GuardedCall, ///< &Kappa Name(Args): a full borrow (§4.2).
+  LftAlive,    ///< [Kappa]_Frac.
+  LftDead,     ///< [†Kappa].
+  Observation, ///< <Psi> prophetic observation.
+  ValueObs,    ///< VO_{PcyVar}(Val).
+  ProphCtrl,   ///< PC_{PcyVar}(Val).
+};
+
+/// One bound variable of an Exists.
+struct Binder {
+  std::string Name;
+  Sort S = Sort::Any;
+};
+
+/// An assertion node. Build through the factory functions below.
+class Assertion {
+public:
+  AsrtKind Kind;
+
+  std::vector<AssertionP> Parts; ///< Star.
+  std::vector<Binder> Binders;   ///< Exists.
+  AssertionP Body;               ///< Exists.
+  Expr Formula;                  ///< Pure / Observation.
+  Expr Ptr;                      ///< PointsTo variants.
+  rmir::TypeRef Ty = nullptr;    ///< PointsTo variants.
+  Expr Val;                      ///< PointsTo / MaybeUninit / VO / PC value.
+  Expr Count;                    ///< ArrayPT element count.
+  Expr Seq;                      ///< ArrayPT contents.
+  std::string Name;              ///< PredCall / GuardedCall.
+  std::vector<Expr> Args;        ///< PredCall / GuardedCall.
+  Expr Kappa;                    ///< GuardedCall / LftAlive / LftDead.
+  Expr Frac;                     ///< LftAlive fraction.
+  Expr PcyVar;                   ///< ValueObs / ProphCtrl prophecy variable.
+
+  explicit Assertion(AsrtKind K) : Kind(K) {}
+
+  /// Renders the assertion for diagnostics and documentation.
+  std::string str() const;
+};
+
+AssertionP star(std::vector<AssertionP> Parts);
+AssertionP emp();
+AssertionP exists(std::vector<Binder> Binders, AssertionP Body);
+AssertionP pure(Expr Formula);
+AssertionP pointsTo(Expr Ptr, rmir::TypeRef Ty, Expr Val);
+AssertionP uninitPT(Expr Ptr, rmir::TypeRef Ty);
+AssertionP maybeUninit(Expr Ptr, rmir::TypeRef Ty, Expr ValOpt);
+AssertionP arrayPT(Expr Ptr, rmir::TypeRef ElemTy, Expr Count, Expr Seq);
+AssertionP arrayUninit(Expr Ptr, rmir::TypeRef ElemTy, Expr Count);
+AssertionP predCall(std::string Name, std::vector<Expr> Args);
+AssertionP guardedCall(Expr Kappa, std::string Name, std::vector<Expr> Args);
+AssertionP lftAlive(Expr Kappa, Expr Frac);
+AssertionP lftDead(Expr Kappa);
+AssertionP observation(Expr Psi);
+AssertionP valueObs(Expr PcyVar, Expr Val);
+AssertionP prophCtrl(Expr PcyVar, Expr Val);
+
+/// Collects the free variables of \p A (variables not bound by an Exists).
+void collectFreeVars(const AssertionP &A, std::set<std::string> &Out);
+
+/// Applies \p S to every expression of \p A, respecting Exists binders
+/// (bound names are never substituted).
+AssertionP substAssertion(const AssertionP &A, const Subst &S);
+
+} // namespace gilsonite
+} // namespace gilr
+
+#endif // GILR_GILSONITE_ASSERTION_H

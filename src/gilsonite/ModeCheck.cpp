@@ -1,0 +1,181 @@
+//===- gilsonite/ModeCheck.cpp ----------------------------------------------------===//
+
+#include "gilsonite/ModeCheck.h"
+
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace gilr;
+using namespace gilr::gilsonite;
+
+namespace {
+
+/// Flattened view of a clause: binders plus atomic parts.
+struct FlatClause {
+  std::set<std::string> Binders;
+  std::vector<AssertionP> Atoms;
+};
+
+void flatten(const AssertionP &A, FlatClause &Out) {
+  switch (A->Kind) {
+  case AsrtKind::Star:
+    for (const AssertionP &P : A->Parts)
+      flatten(P, Out);
+    return;
+  case AsrtKind::Exists:
+    for (const Binder &B : A->Binders)
+      Out.Binders.insert(B.Name);
+    flatten(A->Body, Out);
+    return;
+  default:
+    Out.Atoms.push_back(A);
+    return;
+  }
+}
+
+bool allKnown(const Expr &E, const std::set<std::string> &Known) {
+  if (!E)
+    return true;
+  std::set<std::string> Vars;
+  collectVars(E, Vars);
+  for (const std::string &V : Vars)
+    if (!Known.count(V))
+      return false;
+  return true;
+}
+
+/// If \p Pattern can be *learned* against a known value (it is a
+/// constructor tree over variables), adds its unknown variables to \p Out
+/// and returns true.
+bool learnablePattern(const Expr &Pattern, const std::set<std::string> &Known,
+                      std::set<std::string> &Out) {
+  if (!Pattern)
+    return true;
+  switch (Pattern->Kind) {
+  case ExprKind::Var:
+    if (!Known.count(Pattern->Name))
+      Out.insert(Pattern->Name);
+    return true;
+  case ExprKind::TupleLit:
+  case ExprKind::Some:
+  case ExprKind::SeqUnit:
+  case ExprKind::SeqConcat: {
+    for (const Expr &Kid : Pattern->Kids)
+      if (!learnablePattern(Kid, Known, Out))
+        return false;
+    return true;
+  }
+  default:
+    // Any other shape is only usable as a check, requiring all variables
+    // known.
+    return allKnown(Pattern, Known);
+  }
+}
+
+} // namespace
+
+std::vector<std::string>
+gilr::gilsonite::checkPredModes(const PredDecl &Decl, const PredTable &Table) {
+  std::vector<std::string> Errors;
+  if (Decl.Abstract)
+    return Errors;
+
+  for (std::size_t CI = 0, CE = Decl.Clauses.size(); CI != CE; ++CI) {
+    FlatClause Flat;
+    flatten(Decl.Clauses[CI], Flat);
+
+    std::set<std::string> Known;
+    for (const PredParam &P : Decl.Params)
+      if (P.In)
+        Known.insert(P.Name);
+    if (Decl.Guardable)
+      Known.insert(kappaBinderName());
+
+    // Fixpoint: repeatedly try to learn from atoms.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const AssertionP &A : Flat.Atoms) {
+        std::set<std::string> Learned;
+        switch (A->Kind) {
+        case AsrtKind::Pure: {
+          if (A->Formula->Kind != ExprKind::Eq)
+            break;
+          const Expr &L = A->Formula->Kids[0];
+          const Expr &R = A->Formula->Kids[1];
+          if (allKnown(L, Known))
+            learnablePattern(R, Known, Learned);
+          else if (allKnown(R, Known))
+            learnablePattern(L, Known, Learned);
+          break;
+        }
+        case AsrtKind::PointsTo:
+          if (allKnown(A->Ptr, Known))
+            learnablePattern(A->Val, Known, Learned);
+          break;
+        case AsrtKind::MaybeUninit:
+          if (allKnown(A->Ptr, Known))
+            learnablePattern(A->Val, Known, Learned);
+          break;
+        case AsrtKind::ArrayPT:
+          if (allKnown(A->Ptr, Known) && allKnown(A->Count, Known))
+            learnablePattern(A->Seq, Known, Learned);
+          break;
+        case AsrtKind::ValueObs:
+        case AsrtKind::ProphCtrl:
+          if (allKnown(A->PcyVar, Known))
+            learnablePattern(A->Val, Known, Learned);
+          break;
+        case AsrtKind::PredCall:
+        case AsrtKind::GuardedCall: {
+          const PredDecl *Callee = Table.lookup(A->Name);
+          if (!Callee || Callee->Params.size() != A->Args.size())
+            break;
+          bool InsKnown = true;
+          for (std::size_t I = 0, E = A->Args.size(); I != E; ++I)
+            if (Callee->Params[I].In && !allKnown(A->Args[I], Known))
+              InsKnown = false;
+          if (A->Kind == AsrtKind::GuardedCall &&
+              !allKnown(A->Kappa, Known))
+            InsKnown = false;
+          if (!InsKnown)
+            break;
+          for (std::size_t I = 0, E = A->Args.size(); I != E; ++I)
+            if (!Callee->Params[I].In)
+              learnablePattern(A->Args[I], Known, Learned);
+          break;
+        }
+        default:
+          break;
+        }
+        for (const std::string &V : Learned)
+          if (Known.insert(V).second)
+            Changed = true;
+      }
+    }
+
+    // Every binder and out-parameter must be known.
+    for (const std::string &B : Flat.Binders)
+      if (!Known.count(B))
+        Errors.push_back(Decl.Name + " clause " + std::to_string(CI) +
+                         ": existential '" + B +
+                         "' cannot be learned from the in-parameters");
+    for (const PredParam &P : Decl.Params)
+      if (!P.In && !Known.count(P.Name))
+        Errors.push_back(Decl.Name + " clause " + std::to_string(CI) +
+                         ": out-parameter '" + P.Name +
+                         "' cannot be learned from the in-parameters");
+  }
+  return Errors;
+}
+
+std::vector<std::string>
+gilr::gilsonite::checkAllModes(const PredTable &Table) {
+  std::vector<std::string> Errors;
+  for (const auto &[Name, Decl] : Table.all()) {
+    std::vector<std::string> Es = checkPredModes(Decl, Table);
+    Errors.insert(Errors.end(), Es.begin(), Es.end());
+  }
+  return Errors;
+}

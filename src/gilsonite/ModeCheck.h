@@ -1,0 +1,42 @@
+//===- gilsonite/ModeCheck.h - In/Out dataflow analysis (§7.2) -------------===//
+///
+/// \file
+/// Gillian requires every predicate parameter to be declared In or Out such
+/// that out-parameters can be uniquely learned from the in-parameters
+/// (§7.2). This module implements the dataflow analysis: starting from the
+/// in-parameters (and 'kappa for guarded predicates), a fixpoint computes
+/// which variables become known through pure equalities (with constructor
+/// decomposition), points-to values, value observers, and the out-parameters
+/// of nested predicate calls. A clause is well-moded when every existential
+/// binder and every out-parameter is known at the fixpoint.
+///
+/// The paper notes (§7.2) that this analysis is what enforces
+/// RustHornBelt's ty_own_proph side condition in practice: a representation
+/// depending on a prophecy can only be learned through the mutable-reference
+/// ownership predicate, which provides the associated value observer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_GILSONITE_MODECHECK_H
+#define GILR_GILSONITE_MODECHECK_H
+
+#include "gilsonite/PredDecl.h"
+
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace gilsonite {
+
+/// Checks every clause of \p Decl against the mode discipline. Returns a
+/// list of human-readable diagnostics; empty means well-moded.
+std::vector<std::string> checkPredModes(const PredDecl &Decl,
+                                        const PredTable &Table);
+
+/// Checks all predicates in \p Table.
+std::vector<std::string> checkAllModes(const PredTable &Table);
+
+} // namespace gilsonite
+} // namespace gilr
+
+#endif // GILR_GILSONITE_MODECHECK_H

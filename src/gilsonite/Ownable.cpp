@@ -1,0 +1,193 @@
+//===- gilsonite/Ownable.cpp -----------------------------------------------------===//
+
+#include "gilsonite/Ownable.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::gilsonite;
+using rmir::TypeKind;
+using rmir::TypeRef;
+
+/// The canonical parameter list of an ownership predicate.
+static std::vector<PredParam> ownParams() {
+  return {PredParam{"self", Sort::Any, /*In=*/true},
+          PredParam{"repr", Sort::Any, /*In=*/false},
+          PredParam{"'k", Sort::Lft, /*In=*/true}};
+}
+
+std::string OwnableRegistry::ownPred(TypeRef Ty) {
+  std::string Name = ownPredName(Ty);
+  if (Preds.contains(Name))
+    return Name;
+  switch (Ty->Kind) {
+  case TypeKind::Bool:
+  case TypeKind::Int:
+  case TypeKind::Unit:
+  case TypeKind::RawPtr:
+    deriveScalar(Ty);
+    return Name;
+  case TypeKind::Param:
+    deriveParam(Ty);
+    return Name;
+  case TypeKind::Enum:
+    if (Ty->isOption()) {
+      deriveOption(Ty);
+      return Name;
+    }
+    break;
+  case TypeKind::Ref:
+    deriveMutRef(Ty);
+    return Name;
+  default:
+    break;
+  }
+  fatalError("no Ownable implementation registered for type " + Ty->str());
+}
+
+AssertionP OwnableRegistry::own(TypeRef Ty, Expr Self, Expr Repr,
+                                Expr Kappa) {
+  std::string Name = ownPred(Ty);
+  return predCall(Name, {std::move(Self), std::move(Repr), std::move(Kappa)});
+}
+
+void OwnableRegistry::registerUserImpl(TypeRef Ty,
+                                       std::vector<AssertionP> Clauses) {
+  PredDecl D;
+  D.Name = ownPredName(Ty);
+  D.Params = ownParams();
+  D.Clauses = std::move(Clauses);
+  Preds.declare(std::move(D));
+}
+
+void OwnableRegistry::deriveScalar(TypeRef Ty) {
+  // own$T(self, repr, 'k) := repr = self.
+  PredDecl D;
+  D.Name = ownPredName(Ty);
+  D.Params = ownParams();
+  D.Clauses = {pure(mkEq(mkVar("repr", Sort::Any), mkVar("self", Sort::Any)))};
+  Preds.declareIfAbsent(std::move(D));
+}
+
+void OwnableRegistry::deriveParam(TypeRef Ty) {
+  // Abstract: cannot be unfolded, so proofs hold for every instantiation.
+  PredDecl D;
+  D.Name = ownPredName(Ty);
+  D.Params = ownParams();
+  D.Abstract = true;
+  Preds.declareIfAbsent(std::move(D));
+}
+
+void OwnableRegistry::deriveOption(TypeRef Ty) {
+  TypeRef Payload = Ty->optionPayload();
+  std::string PayloadOwn = ownPred(Payload);
+
+  Expr Self = mkVar("self", Sort::Opt);
+  Expr Repr = mkVar("repr", Sort::Opt);
+  Expr K = mkVar("'k", Sort::Lft);
+
+  // Clause None: self = None * repr = None.
+  AssertionP NoneClause =
+      star({pure(mkEq(Self, mkNone())), pure(mkEq(Repr, mkNone()))});
+
+  // Clause Some: exists v rv. self = Some(v) * own$U(v, rv, 'k)
+  //              * repr = Some(rv).
+  Expr V = mkVar("v?", Sort::Any);
+  Expr RV = mkVar("rv?", Sort::Any);
+  AssertionP SomeClause =
+      exists({Binder{"v?", Sort::Any}, Binder{"rv?", Sort::Any}},
+             star({pure(mkEq(Self, mkSome(V))),
+                   predCall(PayloadOwn, {V, RV, K}),
+                   pure(mkEq(Repr, mkSome(RV)))}));
+
+  PredDecl D;
+  D.Name = ownPredName(Ty);
+  D.Params = ownParams();
+  D.Clauses = {NoneClause, SomeClause};
+  Preds.declareIfAbsent(std::move(D));
+}
+
+void OwnableRegistry::deriveMutRef(TypeRef Ty) {
+  TypeRef Pointee = Ty->Pointee;
+  std::string PointeeOwn = ownPred(Pointee);
+
+  // Inner guarded predicate (the full borrow's content):
+  //   mutref_inner$U(p, x) @ 'kappa :=
+  //     exists v a. p |->_U v * own$U(v, a, 'kappa) * PC_x(a).
+  {
+    PredDecl Inner;
+    Inner.Name = mutRefInnerName(Pointee);
+    Inner.Params = {PredParam{"p", Sort::Any, true},
+                    PredParam{"x", Sort::Any, true}};
+    Inner.Guardable = true;
+    Expr P = mkVar("p", Sort::Any);
+    Expr X = mkVar("x", Sort::Any);
+    Expr V = mkVar("v?", Sort::Any);
+    Expr A = mkVar("a?", Sort::Any);
+    Inner.Clauses = {exists(
+        {Binder{"v?", Sort::Any}, Binder{"a?", Sort::Any}},
+        star({pointsTo(P, Pointee, V),
+              predCall(PointeeOwn, {V, A, mkVar(kappaBinderName(), Sort::Lft)}),
+              prophCtrl(X, A)}))};
+    Preds.declareIfAbsent(std::move(Inner));
+  }
+
+  // own$&mut U(self, repr, 'k) :=
+  //   exists p x cur. self = (p, x) * repr = (cur, x)
+  //     * VO_x(cur) * &'k mutref_inner$U(p, x).
+  Expr Self = mkVar("self", Sort::Any);
+  Expr Repr = mkVar("repr", Sort::Any);
+  Expr K = mkVar("'k", Sort::Lft);
+  Expr P = mkVar("p?", Sort::Any);
+  Expr X = mkVar("x?", Sort::Any);
+  Expr Cur = mkVar("cur?", Sort::Any);
+
+  AssertionP Clause = exists(
+      {Binder{"p?", Sort::Any}, Binder{"x?", Sort::Any},
+       Binder{"cur?", Sort::Any}},
+      star({pure(mkEq(Self, mkTuple({P, X}))),
+            valueObs(X, Cur),
+            guardedCall(K, mutRefInnerName(Pointee), {P, X}),
+            pure(mkEq(Repr, mkTuple({Cur, X})))}));
+
+  PredDecl D;
+  D.Name = ownPredName(Ty);
+  D.Params = ownParams();
+  D.Clauses = {Clause};
+  Preds.declareIfAbsent(std::move(D));
+}
+
+Spec OwnableRegistry::makeShowSafetySpec(const rmir::Function &F) {
+  Expr K = mkVar(ambientLifetimeName(), Sort::Lft);
+  Expr Q = mkVar(ambientFractionName(), Sort::Real);
+
+  Spec S;
+  S.Func = F.Name;
+  S.Doc = "#[show_safety]";
+  S.SpecVars.push_back(Binder{ambientLifetimeName(), Sort::Lft});
+  S.SpecVars.push_back(Binder{ambientFractionName(), Sort::Real});
+
+  std::vector<AssertionP> Pre = {lftAlive(K, Q)};
+  for (unsigned I = 0; I != F.NumParams; ++I) {
+    const rmir::Local &Param = F.Locals[1 + I];
+    std::string ReprName = "m$" + Param.Name;
+    S.SpecVars.push_back(Binder{ReprName, Sort::Any});
+    Pre.push_back(own(Param.Ty, mkVar(Param.Name, Sort::Any),
+                      mkVar(ReprName, Sort::Any), K));
+  }
+  S.Pre = star(std::move(Pre));
+
+  // Post: the result is owned (for some representation) and the token is
+  // returned.
+  AssertionP OwnRet =
+      F.returnType()->Kind == TypeKind::Unit
+          ? emp()
+          : exists({Binder{"m$ret", Sort::Any}},
+                   own(F.returnType(), mkVar(retVarName(), Sort::Any),
+                       mkVar("m$ret", Sort::Any), K));
+  S.Post = star({lftAlive(K, Q), OwnRet});
+  return S;
+}

@@ -1,0 +1,82 @@
+//===- gilsonite/Ownable.h - The Ownable trait registry (§2.2, §5.1) -------===//
+///
+/// \file
+/// The C++ counterpart of the Gilsonite `Ownable` trait: every type T that
+/// participates in specifications has an *ownership predicate* own$T(self,
+/// repr, κ) connecting a Rust value to its pure representation (Fig. 1).
+/// User types (LinkedList, Node) register hand-written predicates; this
+/// registry derives the built-in implementations on demand:
+///
+///  * machine integers / bool / unit / raw pointers: repr = self (pure);
+///  * type parameters: an abstract predicate (§4.2) — provable for all
+///    instantiations;
+///  * Option<U>: None / Some clauses threading U's ownership;
+///  * &mut U: RustHornBelt's prophetic ownership predicate (§5.1) — a value
+///    observer for the current representation plus a full borrow (guarded
+///    predicate) holding the pointee's ownership and the prophecy
+///    controller.
+///
+/// It also implements the #[show_safety] expansion (§2.2): the RustBelt
+/// type-safety spec requiring all parameters owned on entry and the result
+/// owned on exit, under an ambient lifetime token.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_GILSONITE_OWNABLE_H
+#define GILR_GILSONITE_OWNABLE_H
+
+#include "gilsonite/PredDecl.h"
+#include "gilsonite/Spec.h"
+#include "rmir/Program.h"
+
+namespace gilr {
+namespace gilsonite {
+
+/// Registry of Ownable implementations; derives built-ins on demand.
+class OwnableRegistry {
+public:
+  OwnableRegistry(rmir::TyCtx &Types, PredTable &Preds)
+      : Types(Types), Preds(Preds) {}
+
+  /// The canonical ownership predicate name of \p Ty.
+  static std::string ownPredName(rmir::TypeRef Ty) {
+    return "own$" + Ty->str();
+  }
+
+  /// The guarded inner predicate of &mut \p Pointee.
+  static std::string mutRefInnerName(rmir::TypeRef Pointee) {
+    return "mutref_inner$" + Pointee->str();
+  }
+
+  /// Ensures own$Ty is declared (deriving it when built-in) and returns its
+  /// name. User types must have registered their predicate beforehand.
+  std::string ownPred(rmir::TypeRef Ty);
+
+  /// Builds an own$Ty(self, repr, kappa) predicate call.
+  AssertionP own(rmir::TypeRef Ty, Expr Self, Expr Repr, Expr Kappa);
+
+  /// Declares a user ownership predicate with the canonical parameters
+  /// (self In, repr Out, kappa In) and the given clauses.
+  void registerUserImpl(rmir::TypeRef Ty, std::vector<AssertionP> Clauses);
+
+  /// Expands #[show_safety] for \p F into a type-safety spec (Fig. 3 left):
+  ///   { [κ]_q * own(arg_i, m_i) } f(args) { [κ]_q * own(ret, m_ret) }.
+  Spec makeShowSafetySpec(const rmir::Function &F);
+
+  rmir::TyCtx &types() { return Types; }
+  PredTable &preds() { return Preds; }
+
+private:
+  void deriveScalar(rmir::TypeRef Ty);
+  void deriveParam(rmir::TypeRef Ty);
+  void deriveOption(rmir::TypeRef Ty);
+  void deriveMutRef(rmir::TypeRef Ty);
+
+  rmir::TyCtx &Types;
+  PredTable &Preds;
+};
+
+} // namespace gilsonite
+} // namespace gilr
+
+#endif // GILR_GILSONITE_OWNABLE_H

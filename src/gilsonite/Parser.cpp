@@ -1,0 +1,389 @@
+//===- gilsonite/Parser.cpp -------------------------------------------------------===//
+
+#include "gilsonite/Parser.h"
+
+#include "support/StringUtils.h"
+#include "sym/ExprBuilder.h"
+
+#include <cctype>
+
+using namespace gilr;
+using namespace gilr::gilsonite;
+
+namespace {
+
+/// A parsed S-expression: an atom or a list.
+struct SExpr {
+  bool IsAtom = false;
+  std::string Atom;
+  std::vector<SExpr> List;
+};
+
+class Tokenizer {
+public:
+  explicit Tokenizer(const std::string &Text) : Text(Text) {}
+
+  Outcome<SExpr> parse() {
+    skipWs();
+    Outcome<SExpr> S = parseOne();
+    if (!S.ok())
+      return S;
+    skipWs();
+    if (Pos != Text.size())
+      return Outcome<SExpr>::failure("trailing input at offset " +
+                                     std::to_string(Pos));
+    return S;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (std::isspace(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == ';')) {
+      if (Text[Pos] == ';') { // Comment to end of line.
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        ++Pos;
+      }
+    }
+  }
+
+  Outcome<SExpr> parseOne() {
+    skipWs();
+    if (Pos >= Text.size())
+      return Outcome<SExpr>::failure("unexpected end of input");
+    if (Text[Pos] == '(') {
+      ++Pos;
+      SExpr S;
+      while (true) {
+        skipWs();
+        if (Pos >= Text.size())
+          return Outcome<SExpr>::failure("unterminated list");
+        if (Text[Pos] == ')') {
+          ++Pos;
+          return Outcome<SExpr>::success(std::move(S));
+        }
+        Outcome<SExpr> Kid = parseOne();
+        if (!Kid.ok())
+          return Kid;
+        S.List.push_back(std::move(Kid.value()));
+      }
+    }
+    if (Text[Pos] == ')')
+      return Outcome<SExpr>::failure("unexpected ')'");
+    // Atom: everything until whitespace or parenthesis.
+    std::size_t Start = Pos;
+    while (Pos < Text.size() && !std::isspace(static_cast<unsigned char>(Text[Pos])) &&
+           Text[Pos] != '(' && Text[Pos] != ')')
+      ++Pos;
+    SExpr S;
+    S.IsAtom = true;
+    S.Atom = Text.substr(Start, Pos - Start);
+    return Outcome<SExpr>::success(std::move(S));
+  }
+
+  const std::string &Text;
+  std::size_t Pos = 0;
+};
+
+Outcome<Expr> toExpr(const SExpr &S);
+
+Outcome<std::vector<Expr>> toExprs(const std::vector<SExpr> &List,
+                                   std::size_t From) {
+  std::vector<Expr> Out;
+  for (std::size_t I = From; I < List.size(); ++I) {
+    Outcome<Expr> E = toExpr(List[I]);
+    if (!E.ok())
+      return E.forward<std::vector<Expr>>();
+    Out.push_back(E.value());
+  }
+  return Outcome<std::vector<Expr>>::success(std::move(Out));
+}
+
+Outcome<Expr> toExpr(const SExpr &S) {
+  if (S.IsAtom) {
+    const std::string &A = S.Atom;
+    if (A == "true")
+      return Outcome<Expr>::success(mkTrue());
+    if (A == "false")
+      return Outcome<Expr>::success(mkFalse());
+    if (A == "none")
+      return Outcome<Expr>::success(mkNone());
+    if (A == "nil")
+      return Outcome<Expr>::success(mkSeqNil());
+    if (A == "unit")
+      return Outcome<Expr>::success(mkUnit());
+    if (!A.empty() &&
+        (std::isdigit(static_cast<unsigned char>(A[0])) ||
+         (A[0] == '-' && A.size() > 1))) {
+      __int128 V = 0;
+      bool Neg = A[0] == '-';
+      for (std::size_t I = Neg ? 1 : 0; I < A.size(); ++I) {
+        if (!std::isdigit(static_cast<unsigned char>(A[I])))
+          return Outcome<Expr>::failure("bad integer literal: " + A);
+        V = V * 10 + (A[I] - '0');
+      }
+      return Outcome<Expr>::success(mkInt(Neg ? -V : V));
+    }
+    // Names starting with ' are lifetimes; others untyped variables.
+    Sort VS = !A.empty() && A[0] == '\'' ? Sort::Lft : Sort::Any;
+    return Outcome<Expr>::success(mkVar(A, VS));
+  }
+  if (S.List.empty() || !S.List[0].IsAtom)
+    return Outcome<Expr>::failure("expected operator at list head");
+  const std::string &Op = S.List[0].Atom;
+  Outcome<std::vector<Expr>> ArgsO = toExprs(S.List, 1);
+  if (!ArgsO.ok())
+    return ArgsO.forward<Expr>();
+  std::vector<Expr> &Args = ArgsO.value();
+  auto need = [&](std::size_t N) { return Args.size() == N; };
+
+  if (Op == "=" && need(2))
+    return Outcome<Expr>::success(mkEq(Args[0], Args[1]));
+  if (Op == "!=" && need(2))
+    return Outcome<Expr>::success(mkNe(Args[0], Args[1]));
+  if (Op == "<" && need(2))
+    return Outcome<Expr>::success(mkLt(Args[0], Args[1]));
+  if (Op == "<=" && need(2))
+    return Outcome<Expr>::success(mkLe(Args[0], Args[1]));
+  if (Op == "+")
+    return Outcome<Expr>::success(mkAdd(std::move(Args)));
+  if (Op == "-" && need(2))
+    return Outcome<Expr>::success(mkSub(Args[0], Args[1]));
+  if (Op == "*" && need(2))
+    return Outcome<Expr>::success(mkMul(Args[0], Args[1]));
+  if (Op == "not" && need(1))
+    return Outcome<Expr>::success(mkNot(Args[0]));
+  if (Op == "and")
+    return Outcome<Expr>::success(mkAnd(std::move(Args)));
+  if (Op == "or")
+    return Outcome<Expr>::success(mkOr(std::move(Args)));
+  if (Op == "=>" && need(2))
+    return Outcome<Expr>::success(mkImplies(Args[0], Args[1]));
+  if (Op == "some" && need(1))
+    return Outcome<Expr>::success(mkSome(Args[0]));
+  if (Op == "unwrap" && need(1))
+    return Outcome<Expr>::success(mkUnwrap(Args[0]));
+  if (Op == "is-some" && need(1))
+    return Outcome<Expr>::success(mkIsSome(Args[0]));
+  if (Op == "len" && need(1))
+    return Outcome<Expr>::success(mkSeqLen(Args[0]));
+  if (Op == "nth" && need(2))
+    return Outcome<Expr>::success(mkSeqNth(Args[0], Args[1]));
+  if (Op == "sub" && need(3))
+    return Outcome<Expr>::success(mkSeqSub(Args[0], Args[1], Args[2]));
+  if (Op == "seq")
+    return Outcome<Expr>::success(mkSeqLit(Args));
+  if (Op == "++")
+    return Outcome<Expr>::success(mkSeqConcat(std::move(Args)));
+  if (Op == "cons" && need(2))
+    return Outcome<Expr>::success(mkSeqCons(Args[0], Args[1]));
+  if (Op == "tuple")
+    return Outcome<Expr>::success(mkTuple(std::move(Args)));
+  if (startsWith(Op, "get-") && need(1)) {
+    unsigned Idx = static_cast<unsigned>(std::stoul(Op.substr(4)));
+    return Outcome<Expr>::success(mkTupleGet(Args[0], Idx));
+  }
+  if (Op == "ite" && need(3))
+    return Outcome<Expr>::success(mkIte(Args[0], Args[1], Args[2]));
+  // Unknown operators become uninterpreted applications.
+  return Outcome<Expr>::success(mkApp(Op, std::move(Args)));
+}
+
+Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types) {
+  if (S.IsAtom) {
+    if (S.Atom == "emp")
+      return Outcome<AssertionP>::success(emp());
+    return Outcome<AssertionP>::failure("unexpected atom assertion: " +
+                                        S.Atom);
+  }
+  if (S.List.empty() || !S.List[0].IsAtom)
+    return Outcome<AssertionP>::failure("expected assertion head");
+  const std::string &Op = S.List[0].Atom;
+
+  auto typeArg = [&](const SExpr &T) -> rmir::TypeRef {
+    return T.IsAtom ? Types.byName(T.Atom) : nullptr;
+  };
+
+  if (Op == "star") {
+    std::vector<AssertionP> Parts;
+    for (std::size_t I = 1; I < S.List.size(); ++I) {
+      Outcome<AssertionP> P = toAssertion(S.List[I], Types);
+      if (!P.ok())
+        return P;
+      Parts.push_back(P.value());
+    }
+    return Outcome<AssertionP>::success(star(std::move(Parts)));
+  }
+  if (Op == "exists" && S.List.size() == 3 && !S.List[1].IsAtom) {
+    std::vector<Binder> Bs;
+    for (const SExpr &B : S.List[1].List) {
+      if (!B.IsAtom)
+        return Outcome<AssertionP>::failure("bad exists binder");
+      Bs.push_back(Binder{B.Atom, Sort::Any});
+    }
+    Outcome<AssertionP> Body = toAssertion(S.List[2], Types);
+    if (!Body.ok())
+      return Body;
+    return Outcome<AssertionP>::success(exists(std::move(Bs), Body.value()));
+  }
+  if (Op == "pure" && S.List.size() == 2) {
+    Outcome<Expr> E = toExpr(S.List[1]);
+    if (!E.ok())
+      return E.forward<AssertionP>();
+    return Outcome<AssertionP>::success(pure(E.value()));
+  }
+  if (Op == "pt" && S.List.size() == 4) {
+    Outcome<Expr> P = toExpr(S.List[1]);
+    if (!P.ok())
+      return P.forward<AssertionP>();
+    rmir::TypeRef Ty = typeArg(S.List[2]);
+    if (!Ty)
+      return Outcome<AssertionP>::failure("unknown type in pt");
+    Outcome<Expr> V = toExpr(S.List[3]);
+    if (!V.ok())
+      return V.forward<AssertionP>();
+    return Outcome<AssertionP>::success(pointsTo(P.value(), Ty, V.value()));
+  }
+  if (Op == "pred" && S.List.size() >= 2 && S.List[1].IsAtom) {
+    Outcome<std::vector<Expr>> Args = toExprs(S.List, 2);
+    if (!Args.ok())
+      return Args.forward<AssertionP>();
+    return Outcome<AssertionP>::success(
+        predCall(S.List[1].Atom, std::move(Args.value())));
+  }
+  if (Op == "guarded" && S.List.size() >= 3 && S.List[2].IsAtom) {
+    Outcome<Expr> K = toExpr(S.List[1]);
+    if (!K.ok())
+      return K.forward<AssertionP>();
+    Outcome<std::vector<Expr>> Args = toExprs(S.List, 3);
+    if (!Args.ok())
+      return Args.forward<AssertionP>();
+    return Outcome<AssertionP>::success(
+        guardedCall(K.value(), S.List[2].Atom, std::move(Args.value())));
+  }
+  if (Op == "alive" && S.List.size() == 3) {
+    Outcome<Expr> K = toExpr(S.List[1]);
+    Outcome<Expr> Q = toExpr(S.List[2]);
+    if (!K.ok())
+      return K.forward<AssertionP>();
+    if (!Q.ok())
+      return Q.forward<AssertionP>();
+    return Outcome<AssertionP>::success(lftAlive(K.value(), Q.value()));
+  }
+  if (Op == "dead" && S.List.size() == 2) {
+    Outcome<Expr> K = toExpr(S.List[1]);
+    if (!K.ok())
+      return K.forward<AssertionP>();
+    return Outcome<AssertionP>::success(lftDead(K.value()));
+  }
+  if (Op == "obs" && S.List.size() == 2) {
+    Outcome<Expr> E = toExpr(S.List[1]);
+    if (!E.ok())
+      return E.forward<AssertionP>();
+    return Outcome<AssertionP>::success(observation(E.value()));
+  }
+  if ((Op == "vo" || Op == "pc") && S.List.size() == 3) {
+    Outcome<Expr> X = toExpr(S.List[1]);
+    Outcome<Expr> V = toExpr(S.List[2]);
+    if (!X.ok())
+      return X.forward<AssertionP>();
+    if (!V.ok())
+      return V.forward<AssertionP>();
+    return Outcome<AssertionP>::success(
+        Op == "vo" ? valueObs(X.value(), V.value())
+                   : prophCtrl(X.value(), V.value()));
+  }
+  if (Op == "uninit" && S.List.size() == 3) {
+    Outcome<Expr> P = toExpr(S.List[1]);
+    if (!P.ok())
+      return P.forward<AssertionP>();
+    rmir::TypeRef Ty = typeArg(S.List[2]);
+    if (!Ty)
+      return Outcome<AssertionP>::failure("unknown type in uninit");
+    return Outcome<AssertionP>::success(uninitPT(P.value(), Ty));
+  }
+  if (Op == "array" && S.List.size() == 5) {
+    Outcome<Expr> P = toExpr(S.List[1]);
+    if (!P.ok())
+      return P.forward<AssertionP>();
+    rmir::TypeRef Ty = typeArg(S.List[2]);
+    if (!Ty)
+      return Outcome<AssertionP>::failure("unknown type in array");
+    Outcome<Expr> N = toExpr(S.List[3]);
+    Outcome<Expr> Sq = toExpr(S.List[4]);
+    if (!N.ok())
+      return N.forward<AssertionP>();
+    if (!Sq.ok())
+      return Sq.forward<AssertionP>();
+    return Outcome<AssertionP>::success(
+        arrayPT(P.value(), Ty, N.value(), Sq.value()));
+  }
+  return Outcome<AssertionP>::failure("unknown assertion form: " + Op);
+}
+
+} // namespace
+
+Outcome<AssertionP> gilr::gilsonite::parseAssertion(const std::string &Text,
+                                                    const rmir::TyCtx &Types) {
+  Tokenizer T(Text);
+  Outcome<SExpr> S = T.parse();
+  if (!S.ok())
+    return S.forward<AssertionP>();
+  return toAssertion(S.value(), Types);
+}
+
+Outcome<Expr> gilr::gilsonite::parseExpr(const std::string &Text) {
+  Tokenizer T(Text);
+  Outcome<SExpr> S = T.parse();
+  if (!S.ok())
+    return S.forward<Expr>();
+  return toExpr(S.value());
+}
+
+Outcome<Spec> gilr::gilsonite::parseSpec(const std::string &Text,
+                                         const rmir::TyCtx &Types) {
+  Tokenizer T(Text);
+  Outcome<SExpr> SO = T.parse();
+  if (!SO.ok())
+    return SO.forward<Spec>();
+  const SExpr &S = SO.value();
+  if (S.IsAtom || S.List.size() != 5 || !S.List[0].IsAtom ||
+      S.List[0].Atom != "spec" || !S.List[1].IsAtom)
+    return Outcome<Spec>::failure(
+        "expected (spec name (vars ...) (pre A) (post A))");
+  Spec Out;
+  Out.Func = S.List[1].Atom;
+  Out.Doc = "parsed Gilsonite spec";
+
+  const SExpr &Vars = S.List[2];
+  if (Vars.IsAtom || Vars.List.empty() || !Vars.List[0].IsAtom ||
+      Vars.List[0].Atom != "vars")
+    return Outcome<Spec>::failure("expected a (vars ...) clause");
+  for (std::size_t I = 1; I < Vars.List.size(); ++I) {
+    if (!Vars.List[I].IsAtom)
+      return Outcome<Spec>::failure("spec variables must be atoms");
+    const std::string &Name = Vars.List[I].Atom;
+    Sort SortOf = !Name.empty() && Name[0] == '\'' ? Sort::Lft : Sort::Any;
+    Out.SpecVars.push_back(Binder{Name, SortOf});
+  }
+
+  auto clause = [&](const SExpr &C,
+                    const char *Tag) -> Outcome<AssertionP> {
+    if (C.IsAtom || C.List.size() != 2 || !C.List[0].IsAtom ||
+        C.List[0].Atom != Tag)
+      return Outcome<AssertionP>::failure(std::string("expected a (") + Tag +
+                                          " ...) clause");
+    return toAssertion(C.List[1], Types);
+  };
+  Outcome<AssertionP> Pre = clause(S.List[3], "pre");
+  if (!Pre.ok())
+    return Pre.forward<Spec>();
+  Outcome<AssertionP> Post = clause(S.List[4], "post");
+  if (!Post.ok())
+    return Post.forward<Spec>();
+  Out.Pre = Pre.value();
+  Out.Post = Post.value();
+  return Outcome<Spec>::success(std::move(Out));
+}

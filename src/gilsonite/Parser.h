@@ -1,0 +1,47 @@
+//===- gilsonite/Parser.h - Textual Gilsonite ------------------------------===//
+///
+/// \file
+/// A small S-expression front-end for Gilsonite assertions and expressions,
+/// used by tests, examples and documentation. The surface syntax the paper
+/// shows (the gilsonite! macro) is Rust-proc-macro flavoured; this parser
+/// accepts an equivalent prefix notation:
+///
+///   (star (pure (= x 1))
+///         (pt p LinkedList<i32> v)
+///         (exists (v r) (pred own$i32 v r 'a))
+///         (guarded 'a mutref_inner$i32 p x)
+///         (alive 'a q) (dead 'b)
+///         (obs (= (fut x) r)) (vo x cur) (pc x a))
+///
+/// Expressions: integers, true/false, none, (), names, and the operators
+/// = != < <= + - * not and or some unwrap is-some len nth sub seq tuple
+/// get-N cons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_GILSONITE_PARSER_H
+#define GILR_GILSONITE_PARSER_H
+
+#include "gilsonite/Assertion.h"
+#include "gilsonite/Spec.h"
+#include "support/Outcome.h"
+
+namespace gilr {
+namespace gilsonite {
+
+/// Parses a Gilsonite assertion; type names are resolved against \p Types.
+Outcome<AssertionP> parseAssertion(const std::string &Text,
+                                   const rmir::TyCtx &Types);
+
+/// Parses a bare expression.
+Outcome<Expr> parseExpr(const std::string &Text);
+
+/// Parses a whole specification:
+///   (spec <function-name> (vars x y ...) (pre ASSERTION) (post ASSERTION))
+/// The vars clause lists the universally quantified spec variables.
+Outcome<Spec> parseSpec(const std::string &Text, const rmir::TyCtx &Types);
+
+} // namespace gilsonite
+} // namespace gilr
+
+#endif // GILR_GILSONITE_PARSER_H

@@ -1,0 +1,66 @@
+//===- gilsonite/PredDecl.cpp ----------------------------------------------------===//
+
+#include "gilsonite/PredDecl.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::gilsonite;
+
+void PredTable::declare(PredDecl Decl) {
+  auto [It, Inserted] = Map.emplace(Decl.Name, std::move(Decl));
+  if (!Inserted)
+    fatalError("predicate '" + It->first + "' declared twice");
+}
+
+void PredTable::declareIfAbsent(PredDecl Decl) {
+  Map.emplace(Decl.Name, std::move(Decl));
+}
+
+const PredDecl *PredTable::lookup(const std::string &Name) const {
+  auto It = Map.find(Name);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+/// Renames every Exists binder in \p A to a fresh name.
+static AssertionP freshenBinders(const AssertionP &A, VarGen &VG) {
+  switch (A->Kind) {
+  case AsrtKind::Star: {
+    std::vector<AssertionP> Parts;
+    for (const AssertionP &P : A->Parts)
+      Parts.push_back(freshenBinders(P, VG));
+    return star(std::move(Parts));
+  }
+  case AsrtKind::Exists: {
+    Subst Renaming;
+    std::vector<Binder> NewBinders;
+    for (const Binder &B : A->Binders) {
+      Expr Fresh = VG.fresh(B.Name, B.S);
+      Renaming.bind(B.Name, Fresh);
+      NewBinders.push_back(Binder{Fresh->Name, B.S});
+    }
+    AssertionP Body = substAssertion(A->Body, Renaming);
+    return exists(std::move(NewBinders), freshenBinders(Body, VG));
+  }
+  default:
+    return A;
+  }
+}
+
+AssertionP gilr::gilsonite::instantiateClause(const PredDecl &Decl,
+                                              std::size_t ClauseIdx,
+                                              const std::vector<Expr> &Args,
+                                              const Expr &Kappa, VarGen &VG) {
+  assert(ClauseIdx < Decl.Clauses.size() && "clause index out of range");
+  assert(Args.size() == Decl.Params.size() && "predicate arity mismatch");
+  Subst S;
+  for (std::size_t I = 0, E = Args.size(); I != E; ++I)
+    S.bind(Decl.Params[I].Name, Args[I]);
+  if (Kappa)
+    S.bind(kappaBinderName(), Kappa);
+  AssertionP Inst = substAssertion(Decl.Clauses[ClauseIdx], S);
+  return freshenBinders(Inst, VG);
+}

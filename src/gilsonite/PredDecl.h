@@ -1,0 +1,86 @@
+//===- gilsonite/PredDecl.h - Predicate declarations and the table ---------===//
+///
+/// \file
+/// User and derived predicate declarations: named, with moded parameters
+/// (In / Out, §7.2 of the paper) and a list of definition clauses
+/// (disjuncts). Abstract predicates (no clauses) model the ownership
+/// predicates of type parameters — they can be produced and consumed but
+/// never unfolded, so a proof carried out against them holds for every
+/// instantiation (§4.2 "Compiling away higher-orderness").
+///
+/// Guarded predicate declarations additionally bind the implicit lifetime
+/// variable \c 'kappa in their body: gunfold substitutes the guard lifetime
+/// for it (the [κ/α] substitution in Unfold-Guarded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_GILSONITE_PREDDECL_H
+#define GILR_GILSONITE_PREDDECL_H
+
+#include "gilsonite/Assertion.h"
+#include "sym/VarGen.h"
+
+#include <map>
+
+namespace gilr {
+namespace gilsonite {
+
+/// Name of the implicit lifetime binder available in guarded predicate
+/// bodies.
+inline const char *kappaBinderName() { return "'kappa"; }
+
+/// A moded predicate parameter.
+struct PredParam {
+  std::string Name;
+  Sort S = Sort::Any;
+  bool In = true;
+};
+
+/// A predicate declaration.
+struct PredDecl {
+  std::string Name;
+  std::vector<PredParam> Params;
+  std::vector<AssertionP> Clauses;
+  bool Abstract = false;
+  /// Guarded predicates may mention 'kappa in their clauses.
+  bool Guardable = false;
+
+  std::vector<bool> inParamFlags() const {
+    std::vector<bool> Flags;
+    Flags.reserve(Params.size());
+    for (const PredParam &P : Params)
+      Flags.push_back(P.In);
+    return Flags;
+  }
+};
+
+/// The table of declared predicates.
+class PredTable {
+public:
+  /// Declares \p Decl; re-declaration under the same name is an error.
+  void declare(PredDecl Decl);
+
+  /// Declares if not present (used by on-demand derived predicates).
+  void declareIfAbsent(PredDecl Decl);
+
+  const PredDecl *lookup(const std::string &Name) const;
+  bool contains(const std::string &Name) const { return Map.count(Name); }
+
+  const std::map<std::string, PredDecl> &all() const { return Map; }
+
+private:
+  std::map<std::string, PredDecl> Map;
+};
+
+/// Instantiates clause \p ClauseIdx of \p Decl with arguments \p Args and
+/// (for guarded predicates) the guard lifetime \p Kappa, renaming all
+/// existential binders to fresh names from \p VG so instantiations never
+/// capture.
+AssertionP instantiateClause(const PredDecl &Decl, std::size_t ClauseIdx,
+                             const std::vector<Expr> &Args, const Expr &Kappa,
+                             VarGen &VG);
+
+} // namespace gilsonite
+} // namespace gilr
+
+#endif // GILR_GILSONITE_PREDDECL_H

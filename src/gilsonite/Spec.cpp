@@ -1,0 +1,19 @@
+//===- gilsonite/Spec.cpp --------------------------------------------------------===//
+
+#include "gilsonite/Spec.h"
+
+#include "support/Diagnostics.h"
+
+using namespace gilr;
+using namespace gilr::gilsonite;
+
+void SpecTable::add(Spec S) {
+  auto [It, Inserted] = Map.emplace(S.Func, std::move(S));
+  if (!Inserted)
+    fatalError("spec for '" + It->first + "' declared twice");
+}
+
+const Spec *SpecTable::lookup(const std::string &Func) const {
+  auto It = Map.find(Func);
+  return It == Map.end() ? nullptr : &It->second;
+}

@@ -1,0 +1,59 @@
+//===- gilsonite/Spec.h - Function specifications ---------------------------===//
+///
+/// \file
+/// Gilsonite function specifications: universally quantified spec variables
+/// (the <forall: ...> of #[unsafe_spec], §2.2/§5.4), a precondition over the
+/// function parameters, and a postcondition that may additionally mention
+/// the distinguished variable \c ret. The ambient lifetime of the borrow
+/// parameters is the distinguished variable \c 'a with fraction \c 'q, both
+/// added automatically by show_safety / the Pearlite encoder, mirroring the
+/// lifetime token the Gillian-Rust compiler inserts (Fig. 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_GILSONITE_SPEC_H
+#define GILR_GILSONITE_SPEC_H
+
+#include "gilsonite/Assertion.h"
+
+#include <map>
+
+namespace gilr {
+namespace gilsonite {
+
+/// Distinguished variable names used by specs.
+inline const char *retVarName() { return "ret"; }
+inline const char *ambientLifetimeName() { return "'a"; }
+inline const char *ambientFractionName() { return "'q"; }
+
+/// A function specification.
+struct Spec {
+  std::string Func;
+  /// Universally quantified spec variables (bound in pre, usable in post).
+  std::vector<Binder> SpecVars;
+  AssertionP Pre;
+  AssertionP Post;
+  /// Trusted specs are assumed, not verified (e.g. the conclusion lemma of
+  /// a borrow extraction, §4.3, or axiomatised std specs on the Creusot
+  /// side).
+  bool Trusted = false;
+  /// Human-readable provenance (e.g. "#[show_safety]" or "Pearlite
+  /// encoding").
+  std::string Doc;
+};
+
+/// Spec storage, one spec per function name.
+class SpecTable {
+public:
+  void add(Spec S);
+  const Spec *lookup(const std::string &Func) const;
+  const std::map<std::string, Spec> &all() const { return Map; }
+
+private:
+  std::map<std::string, Spec> Map;
+};
+
+} // namespace gilsonite
+} // namespace gilr
+
+#endif // GILR_GILSONITE_SPEC_H

@@ -1,0 +1,57 @@
+//===- heap/ByteHeap.cpp --------------------------------------------------------===//
+
+#include "heap/ByteHeap.h"
+
+using namespace gilr;
+using namespace gilr::heap;
+
+uint64_t ByteHeap::alloc(rmir::TypeRef Ty) {
+  uint64_t Loc = NextLoc++;
+  Objects.emplace(Loc, Object{Layout.sizeOf(Ty), {}});
+  return Loc;
+}
+
+Outcome<Unit> ByteHeap::free(uint64_t Loc) {
+  auto It = Objects.find(Loc);
+  if (It == Objects.end())
+    return Outcome<Unit>::failure("byteheap: double free");
+  Objects.erase(It);
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> ByteHeap::store(uint64_t Loc, uint64_t ByteOffset,
+                              rmir::TypeRef Ty, const Expr &Val) {
+  auto It = Objects.find(Loc);
+  if (It == Objects.end())
+    return Outcome<Unit>::failure("byteheap: store to dead location");
+  uint64_t Size = Layout.sizeOf(Ty);
+  if (ByteOffset + Size > It->second.Size)
+    return Outcome<Unit>::failure("byteheap: out-of-bounds store");
+  // Reject overlapping mixed-granularity accesses.
+  auto &Cells = It->second.Cells;
+  auto Next = Cells.lower_bound(ByteOffset);
+  if (Next != Cells.end() && Next->first < ByteOffset + Size &&
+      Next->first != ByteOffset)
+    return Outcome<Unit>::failure("byteheap: overlapping store");
+  if (Next != Cells.begin()) {
+    auto Prev = std::prev(Next);
+    if (Prev->first != ByteOffset &&
+        Prev->first + Prev->second.Size > ByteOffset)
+      return Outcome<Unit>::failure("byteheap: overlapping store");
+  }
+  Cells[ByteOffset] = Cell{Val, Size};
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Expr> ByteHeap::load(uint64_t Loc, uint64_t ByteOffset,
+                             rmir::TypeRef Ty) {
+  auto It = Objects.find(Loc);
+  if (It == Objects.end())
+    return Outcome<Expr>::failure("byteheap: load from dead location");
+  auto CIt = It->second.Cells.find(ByteOffset);
+  if (CIt == It->second.Cells.end())
+    return Outcome<Expr>::failure("byteheap: load of uninitialised bytes");
+  if (CIt->second.Size != Layout.sizeOf(Ty))
+    return Outcome<Expr>::failure("byteheap: mixed-size load");
+  return Outcome<Expr>::success(CIt->second.Val);
+}

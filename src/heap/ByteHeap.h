@@ -1,0 +1,68 @@
+//===- heap/ByteHeap.h - Fixed-layout byte-model baseline ------------------===//
+///
+/// \file
+/// The comparator memory model for experiment A2 (DESIGN.md): a Kani-style
+/// heap that *instantiates one concrete layout* chosen by a LayoutEngine and
+/// addresses memory by concrete byte offsets. A program verified against a
+/// ByteHeap is only verified for that one layout (§8, Kani discussion),
+/// whereas the SymHeap's structural nodes are layout-independent. The
+/// benchmark contrasts both the per-operation cost and the number of layout
+/// choices covered.
+///
+/// Scalar values are stored whole at their offset (no bit-blasting); the
+/// model rejects overlapping mixed-size accesses, which is sufficient for
+/// the workloads compared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_HEAP_BYTEHEAP_H
+#define GILR_HEAP_BYTEHEAP_H
+
+#include "heap/TreeNode.h"
+#include "rmir/Layout.h"
+
+#include <map>
+
+namespace gilr {
+namespace heap {
+
+/// The baseline heap: loc -> (byte offset -> scalar cell).
+class ByteHeap {
+public:
+  explicit ByteHeap(rmir::LayoutEngine &Layout) : Layout(Layout) {}
+
+  /// Allocates an object of type \p Ty; returns the location id.
+  uint64_t alloc(rmir::TypeRef Ty);
+
+  /// Frees an allocation.
+  Outcome<Unit> free(uint64_t Loc);
+
+  /// Stores scalar \p Val of type \p Ty at (Loc, ByteOffset).
+  Outcome<Unit> store(uint64_t Loc, uint64_t ByteOffset, rmir::TypeRef Ty,
+                      const Expr &Val);
+
+  /// Loads the scalar of type \p Ty at (Loc, ByteOffset).
+  Outcome<Expr> load(uint64_t Loc, uint64_t ByteOffset, rmir::TypeRef Ty);
+
+  rmir::LayoutEngine &layout() { return Layout; }
+  std::size_t numObjects() const { return Objects.size(); }
+
+private:
+  struct Cell {
+    Expr Val;
+    uint64_t Size;
+  };
+  struct Object {
+    uint64_t Size;
+    std::map<uint64_t, Cell> Cells;
+  };
+
+  rmir::LayoutEngine &Layout;
+  std::map<uint64_t, Object> Objects;
+  uint64_t NextLoc = 1;
+};
+
+} // namespace heap
+} // namespace gilr
+
+#endif // GILR_HEAP_BYTEHEAP_H

@@ -1,0 +1,190 @@
+//===- heap/LaidOut.cpp --------------------------------------------------------===//
+
+#include "heap/LaidOut.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::heap;
+
+/// Splits segment \p S at the sub-range [From, To) (which must be covered),
+/// producing 1-3 segments in order.
+static std::vector<Segment> splitSegment(const Segment &S, const Expr &From,
+                                         const Expr &To, HeapCtx &Ctx) {
+  std::vector<Segment> Out;
+  bool HasLeft = !Ctx.entails(mkEq(S.From, From));
+  bool HasRight = !Ctx.entails(mkEq(S.To, To));
+
+  auto slice = [&](const Expr &Lo, const Expr &Hi) -> Segment {
+    switch (S.Kind) {
+    case Segment::Val:
+      return Segment::val(Lo, Hi,
+                          mkSeqSub(S.Seq, mkSub(Lo, S.From), mkSub(Hi, Lo)));
+    case Segment::Uninit:
+      return Segment::uninit(Lo, Hi);
+    case Segment::Missing:
+      return Segment::missing(Lo, Hi);
+    }
+    GILR_UNREACHABLE("unknown segment kind");
+  };
+
+  if (HasLeft)
+    Out.push_back(slice(S.From, From));
+  Out.push_back(slice(From, To));
+  if (HasRight)
+    Out.push_back(slice(To, S.To));
+  return Out;
+}
+
+Outcome<std::size_t> gilr::heap::focusRange(TreeNode &N, const Expr &From,
+                                            const Expr &To, HeapCtx &Ctx) {
+  assert(N.Kind == TreeNode::LaidOut && "focusRange on non-laid-out node");
+  for (std::size_t I = 0, E = N.Segs.size(); I != E; ++I) {
+    Segment &S = N.Segs[I];
+    // Exact match fast path.
+    if (exprEquals(S.From, From) && exprEquals(S.To, To))
+      return Outcome<std::size_t>::success(I);
+    if (!Ctx.entails(mkAnd(mkLe(S.From, From), mkLe(To, S.To))))
+      continue;
+    // Covered: split this segment (Fig. 5, middle).
+    std::vector<Segment> Parts = splitSegment(S, From, To, Ctx);
+    std::size_t MiddleOffset = Parts.size() == 1 ? 0
+                               : exprEquals(Parts[0].From, From) ? 0
+                                                                 : 1;
+    N.Segs.erase(N.Segs.begin() + static_cast<long>(I));
+    N.Segs.insert(N.Segs.begin() + static_cast<long>(I), Parts.begin(),
+                  Parts.end());
+    return Outcome<std::size_t>::success(I + MiddleOffset);
+  }
+  return Outcome<std::size_t>::failure(
+      "laid-out range [" + exprToString(From) + ", " + exprToString(To) +
+      ") is not covered by a single owned segment");
+}
+
+Outcome<Expr> gilr::heap::readRange(TreeNode &N, const Expr &From,
+                                    const Expr &To, HeapCtx &Ctx) {
+  Outcome<std::size_t> Idx = focusRange(N, From, To, Ctx);
+  if (!Idx.ok())
+    return Idx.forward<Expr>();
+  Segment &S = N.Segs[Idx.value()];
+  switch (S.Kind) {
+  case Segment::Val:
+    return Outcome<Expr>::success(S.Seq);
+  case Segment::Uninit:
+    return Outcome<Expr>::failure("read of uninitialised laid-out memory");
+  case Segment::Missing:
+    return Outcome<Expr>::failure("read of framed-off laid-out memory");
+  }
+  GILR_UNREACHABLE("unknown segment kind");
+}
+
+Outcome<Unit> gilr::heap::writeRange(TreeNode &N, const Expr &From,
+                                     const Expr &To, const Expr &SeqVal,
+                                     HeapCtx &Ctx) {
+  Outcome<std::size_t> Idx = focusRange(N, From, To, Ctx);
+  if (!Idx.ok())
+    return Idx.forward<Unit>();
+  Segment &S = N.Segs[Idx.value()];
+  if (S.Kind == Segment::Missing)
+    return Outcome<Unit>::failure("write to framed-off laid-out memory");
+  Ctx.assume(mkEq(mkSeqLen(SeqVal), mkSub(To, From)));
+  S = Segment::val(From, To, SeqVal);
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Expr> gilr::heap::consumeRange(TreeNode &N, const Expr &From,
+                                       const Expr &To, HeapCtx &Ctx) {
+  Outcome<std::size_t> Idx = focusRange(N, From, To, Ctx);
+  if (!Idx.ok())
+    return Idx.forward<Expr>();
+  Segment &S = N.Segs[Idx.value()];
+  if (S.Kind != Segment::Val)
+    return Outcome<Expr>::failure(
+        "consume of laid-out range that is not fully initialised");
+  Expr V = S.Seq;
+  S = Segment::missing(From, To);
+  return Outcome<Expr>::success(V);
+}
+
+Outcome<Expr> gilr::heap::consumeRangeMaybeUninit(TreeNode &N,
+                                                  const Expr &From,
+                                                  const Expr &To,
+                                                  HeapCtx &Ctx) {
+  Outcome<std::size_t> Idx = focusRange(N, From, To, Ctx);
+  if (!Idx.ok())
+    return Idx.forward<Expr>();
+  Segment &S = N.Segs[Idx.value()];
+  if (S.Kind == Segment::Missing)
+    return Outcome<Expr>::failure("consume of framed-off laid-out memory");
+  Expr Result = S.Kind == Segment::Val ? mkSome(S.Seq) : mkNone();
+  S = Segment::missing(From, To);
+  return Outcome<Expr>::success(Result);
+}
+
+/// If [From, To) is provably disjoint from every existing segment, a
+/// producer may append it as new resource (extending the known footprint of
+/// the laid-out node). Returns false when overlap cannot be excluded.
+static bool disjointFromAll(TreeNode &N, const Expr &From, const Expr &To,
+                            HeapCtx &Ctx) {
+  for (const Segment &S : N.Segs)
+    if (!Ctx.entails(mkOr(mkLe(To, S.From), mkLe(S.To, From))))
+      return false;
+  return true;
+}
+
+Outcome<Unit> gilr::heap::produceRange(TreeNode &N, const Expr &From,
+                                       const Expr &To, const Expr &SeqVal,
+                                       HeapCtx &Ctx) {
+  Outcome<std::size_t> Idx = focusRange(N, From, To, Ctx);
+  if (!Idx.ok()) {
+    if (!disjointFromAll(N, From, To, Ctx))
+      return Idx.forward<Unit>();
+    Ctx.assume(mkEq(mkSeqLen(SeqVal), mkSub(To, From)));
+    N.Segs.push_back(Segment::val(From, To, SeqVal));
+    return Outcome<Unit>::success(Unit());
+  }
+  Segment &S = N.Segs[Idx.value()];
+  if (S.Kind != Segment::Missing)
+    return Outcome<Unit>::vanish(); // Duplicated resource: assume False.
+  Ctx.assume(mkEq(mkSeqLen(SeqVal), mkSub(To, From)));
+  S = Segment::val(From, To, SeqVal);
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> gilr::heap::produceRangeUninit(TreeNode &N, const Expr &From,
+                                             const Expr &To, HeapCtx &Ctx) {
+  Outcome<std::size_t> Idx = focusRange(N, From, To, Ctx);
+  if (!Idx.ok()) {
+    if (!disjointFromAll(N, From, To, Ctx))
+      return Idx.forward<Unit>();
+    N.Segs.push_back(Segment::uninit(From, To));
+    return Outcome<Unit>::success(Unit());
+  }
+  Segment &S = N.Segs[Idx.value()];
+  if (S.Kind != Segment::Missing)
+    return Outcome<Unit>::vanish();
+  S = Segment::uninit(From, To);
+  return Outcome<Unit>::success(Unit());
+}
+
+void gilr::heap::coalesce(TreeNode &N, HeapCtx &Ctx) {
+  assert(N.Kind == TreeNode::LaidOut && "coalesce on non-laid-out node");
+  std::vector<Segment> Out;
+  for (Segment &S : N.Segs) {
+    if (!Out.empty() && Out.back().Kind == S.Kind &&
+        (exprEquals(Out.back().To, S.From) ||
+         Ctx.entails(mkEq(Out.back().To, S.From)))) {
+      Segment &Prev = Out.back();
+      if (S.Kind == Segment::Val)
+        Prev.Seq = mkSeqConcat(Prev.Seq, S.Seq);
+      Prev.To = S.To;
+      continue;
+    }
+    Out.push_back(std::move(S));
+  }
+  N.Segs = std::move(Out);
+}

@@ -1,0 +1,62 @@
+//===- heap/LaidOut.h - Laid-out node manipulation (Fig. 5) ----------------===//
+///
+/// \file
+/// The pointer-arithmetic side of the hybrid heap: splitting, reading,
+/// overwriting and reassembling the segments of a laid-out node, with all
+/// range comparisons decided by the solver against the path condition.
+/// These are the operations of Fig. 5 in the paper (isolate the region,
+/// overwrite it, keep the rest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_HEAP_LAIDOUT_H
+#define GILR_HEAP_LAIDOUT_H
+
+#include "heap/TreeNode.h"
+
+namespace gilr {
+namespace heap {
+
+/// Restructures laid-out node \p N so that one segment covers exactly
+/// [From, To), splitting a covering segment if necessary (Fig. 5 middle).
+/// Returns the index of that segment.
+Outcome<std::size_t> focusRange(TreeNode &N, const Expr &From, const Expr &To,
+                                HeapCtx &Ctx);
+
+/// Reads [From, To) as a sequence of (To - From) values.
+Outcome<Expr> readRange(TreeNode &N, const Expr &From, const Expr &To,
+                        HeapCtx &Ctx);
+
+/// Overwrites [From, To) with \p SeqVal (Fig. 5 right). The memory must be
+/// owned (Val or Uninit). Asserts |SeqVal| = To - From into the path
+/// condition.
+Outcome<Unit> writeRange(TreeNode &N, const Expr &From, const Expr &To,
+                         const Expr &SeqVal, HeapCtx &Ctx);
+
+/// Consumer for array resources: reads [From, To) and marks it Missing.
+Outcome<Expr> consumeRange(TreeNode &N, const Expr &From, const Expr &To,
+                           HeapCtx &Ctx);
+
+/// Consumer for possibly-uninitialised array resources: marks [From, To)
+/// Missing regardless of its init state, returning Some(seq) if it was
+/// fully initialised and None otherwise.
+Outcome<Expr> consumeRangeMaybeUninit(TreeNode &N, const Expr &From,
+                                      const Expr &To, HeapCtx &Ctx);
+
+/// Producer for array resources: fills a Missing [From, To) with \p SeqVal.
+/// Producing over owned memory vanishes the branch (duplicated resource).
+Outcome<Unit> produceRange(TreeNode &N, const Expr &From, const Expr &To,
+                           const Expr &SeqVal, HeapCtx &Ctx);
+
+/// Producer for uninitialised ranges.
+Outcome<Unit> produceRangeUninit(TreeNode &N, const Expr &From,
+                                 const Expr &To, HeapCtx &Ctx);
+
+/// Merges adjacent segments of equal kind whose boundary expressions match
+/// (Fig. 5 reassembly). Purely an optimisation; never loses information.
+void coalesce(TreeNode &N, HeapCtx &Ctx);
+
+} // namespace heap
+} // namespace gilr
+
+#endif // GILR_HEAP_LAIDOUT_H

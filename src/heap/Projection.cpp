@@ -1,0 +1,186 @@
+//===- heap/Projection.cpp ----------------------------------------------------===//
+
+#include "heap/Projection.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::heap;
+
+std::string ProjElem::str() const {
+  switch (Kind) {
+  case Offset:
+    return "+<" + Ty->str() + "> " + exprToString(Count);
+  case Field:
+    return ".<" + Ty->str() + "> " + std::to_string(Index);
+  case VariantField:
+    return ".<" + Ty->str() + "> " + std::to_string(Variant) + "." +
+           std::to_string(Index);
+  }
+  GILR_UNREACHABLE("unknown projection element kind");
+}
+
+std::string gilr::heap::projectionToString(const Projection &P) {
+  std::vector<std::string> Parts;
+  Parts.reserve(P.size());
+  for (const ProjElem &E : P)
+    Parts.push_back(E.str());
+  return "[" + join(Parts, ", ") + "]";
+}
+
+/// Opaque per-type token used inside encoded pointers.
+static Expr tyToken(rmir::TypeRef T) {
+  return mkApp("ty$" + T->str(), {}, Sort::Any);
+}
+
+Expr gilr::heap::encodeProjElem(const ProjElem &E) {
+  switch (E.Kind) {
+  case ProjElem::Offset:
+    return mkTuple({mkInt(0), tyToken(E.Ty), E.Count});
+  case ProjElem::Field:
+    return mkTuple({mkInt(1), tyToken(E.Ty), mkInt(E.Index)});
+  case ProjElem::VariantField:
+    return mkTuple({mkInt(2), tyToken(E.Ty), mkInt(E.Variant),
+                    mkInt(E.Index)});
+  }
+  GILR_UNREACHABLE("unknown projection element kind");
+}
+
+Expr gilr::heap::encodePtr(const Expr &Loc, const Projection &P) {
+  std::vector<Expr> Elems;
+  Elems.reserve(P.size());
+  for (const ProjElem &E : P)
+    Elems.push_back(encodeProjElem(E));
+  return mkTuple({Loc, mkSeqLit(Elems)});
+}
+
+Expr gilr::heap::appendProjElem(const Expr &Ptr, const ProjElem &E) {
+  return mkTuple({mkTupleGet(Ptr, 0),
+                  mkSeqConcat(mkTupleGet(Ptr, 1),
+                              mkSeqUnit(encodeProjElem(E)))});
+}
+
+/// Parses a type token back into a TypeRef.
+static rmir::TypeRef decodeTyToken(const Expr &Tok,
+                                   const rmir::TyCtx &Types) {
+  if (!Tok || Tok->Kind != ExprKind::App || !startsWith(Tok->Name, "ty$"))
+    return nullptr;
+  return Types.byName(Tok->Name.substr(3));
+}
+
+std::optional<DecodedPtr> gilr::heap::decodePtr(const Expr &PtrVal,
+                                                const rmir::TyCtx &Types) {
+  if (!PtrVal || PtrVal->Kind != ExprKind::TupleLit ||
+      PtrVal->Kids.size() != 2)
+    return std::nullopt;
+  DecodedPtr Out;
+  Out.Loc = PtrVal->Kids[0];
+
+  // Flatten the projection sequence (built by mkSeqLit: nil / unit / concat
+  // of units).
+  std::vector<Expr> Elems;
+  std::vector<Expr> Stack = {PtrVal->Kids[1]};
+  while (!Stack.empty()) {
+    Expr S = Stack.back();
+    Stack.pop_back();
+    switch (S->Kind) {
+    case ExprKind::SeqNil:
+      break;
+    case ExprKind::SeqUnit:
+      Elems.push_back(S->Kids[0]);
+      break;
+    case ExprKind::SeqConcat:
+      for (auto It = S->Kids.rbegin(); It != S->Kids.rend(); ++It)
+        Stack.push_back(*It);
+      break;
+    default:
+      return std::nullopt; // Symbolic projection tail.
+    }
+  }
+
+  for (const Expr &E : Elems) {
+    if (E->Kind != ExprKind::TupleLit || E->Kids.size() < 3)
+      return std::nullopt;
+    __int128 Tag;
+    if (!getIntLit(E->Kids[0], Tag))
+      return std::nullopt;
+    rmir::TypeRef Ty = decodeTyToken(E->Kids[1], Types);
+    if (!Ty)
+      return std::nullopt;
+    switch (static_cast<int>(Tag)) {
+    case 0:
+      Out.Proj.push_back(ProjElem::offset(Ty, E->Kids[2]));
+      break;
+    case 1: {
+      __int128 Idx;
+      if (!getIntLit(E->Kids[2], Idx))
+        return std::nullopt;
+      Out.Proj.push_back(
+          ProjElem::field(Ty, static_cast<unsigned>(Idx)));
+      break;
+    }
+    case 2: {
+      __int128 Var, Idx;
+      if (E->Kids.size() != 4 || !getIntLit(E->Kids[2], Var) ||
+          !getIntLit(E->Kids[3], Idx))
+        return std::nullopt;
+      Out.Proj.push_back(ProjElem::variantField(
+          Ty, static_cast<unsigned>(Var), static_cast<unsigned>(Idx)));
+      break;
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+  return Out;
+}
+
+uint64_t gilr::heap::interpretProjection(rmir::LayoutEngine &Layout,
+                                         const Projection &P) {
+  uint64_t Offset = 0;
+  for (const ProjElem &E : P) {
+    switch (E.Kind) {
+    case ProjElem::Offset: {
+      __int128 N;
+      bool IsLit = getIntLit(E.Count, N);
+      assert(IsLit && "concrete interpretation of symbolic offset");
+      (void)IsLit;
+      Offset += static_cast<uint64_t>(N) * Layout.sizeOf(E.Ty);
+      break;
+    }
+    case ProjElem::Field:
+      Offset += Layout.fieldOffset(E.Ty, E.Index);
+      break;
+    case ProjElem::VariantField:
+      Offset += Layout.variantFieldOffset(E.Ty, E.Variant, E.Index);
+      break;
+    }
+  }
+  return Offset;
+}
+
+Expr gilr::heap::interpretProjectionExpr(rmir::LayoutEngine &Layout,
+                                         const Projection &P) {
+  std::vector<Expr> Terms;
+  for (const ProjElem &E : P) {
+    switch (E.Kind) {
+    case ProjElem::Offset:
+      Terms.push_back(
+          mkMul(mkIntU64(Layout.sizeOf(E.Ty)), E.Count));
+      break;
+    case ProjElem::Field:
+      Terms.push_back(mkIntU64(Layout.fieldOffset(E.Ty, E.Index)));
+      break;
+    case ProjElem::VariantField:
+      Terms.push_back(
+          mkIntU64(Layout.variantFieldOffset(E.Ty, E.Variant, E.Index)));
+      break;
+    }
+  }
+  return mkAdd(std::move(Terms));
+}

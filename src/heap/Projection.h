@@ -1,0 +1,102 @@
+//===- heap/Projection.h - Layout-independent addresses (§3.1) ------------===//
+///
+/// \file
+/// Addresses in the Gillian-Rust heap are pairs (l, prs) of an abstract
+/// location and a *projection*: a sequence of projection elements
+///
+///   pr ::= +T e | .T i | .T j.i
+///
+/// (§3.1 of the paper). A projection element denotes an offset of e times
+/// size_of::<T>(), the relative offset of field i of struct T, or of field i
+/// of variant j of enum T. Interpretation is parametric in the compiler-
+/// chosen layout: this file provides both the symbolic encoding of pointer
+/// *values* (as expressions, so the solver can reason about pointer
+/// equality) and the concrete interpretation under a LayoutEngine (Fig. 4).
+///
+/// A key property, tested in tests/heap_projection_test.cpp: field
+/// projection elements commute — [.T i, .U j] and [.U j, .T i] have equal
+/// interpretations under every layout (their interpretation is a sum).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_HEAP_PROJECTION_H
+#define GILR_HEAP_PROJECTION_H
+
+#include "rmir/Layout.h"
+#include "rmir/Type.h"
+#include "sym/Expr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace heap {
+
+/// One projection element.
+struct ProjElem {
+  enum PKind : uint8_t {
+    Offset,       ///< +T e : e elements of type T.
+    Field,        ///< .T i : field i of struct T.
+    VariantField, ///< .T j.i : field i of variant j of enum T.
+  };
+  PKind Kind;
+  rmir::TypeRef Ty = nullptr;
+  Expr Count;           ///< Offset element count (symbolic).
+  unsigned Variant = 0; ///< VariantField.
+  unsigned Index = 0;   ///< Field / VariantField.
+
+  static ProjElem offset(rmir::TypeRef T, Expr E) {
+    return {Offset, T, std::move(E), 0, 0};
+  }
+  static ProjElem field(rmir::TypeRef T, unsigned I) {
+    return {Field, T, nullptr, 0, I};
+  }
+  static ProjElem variantField(rmir::TypeRef T, unsigned V, unsigned I) {
+    return {VariantField, T, nullptr, V, I};
+  }
+
+  std::string str() const;
+};
+
+/// A projection: the offset part of an address.
+using Projection = std::vector<ProjElem>;
+
+std::string projectionToString(const Projection &P);
+
+/// Encodes a pointer value (location, projection) as an expression, so that
+/// pointer equality is decidable by the solver's structural reasoning.
+Expr encodePtr(const Expr &Loc, const Projection &P);
+
+/// Encodes one projection element (the tuple payload used inside encoded
+/// pointers).
+Expr encodeProjElem(const ProjElem &E);
+
+/// Appends a projection element to a pointer *expression*: works even for
+/// opaque pointers, since pointer values are (location, projection-sequence)
+/// tuples and appending is sequence concatenation on the second component.
+Expr appendProjElem(const Expr &Ptr, const ProjElem &E);
+
+/// A decoded pointer value.
+struct DecodedPtr {
+  Expr Loc;
+  Projection Proj;
+};
+
+/// Decodes an encoded pointer value; returns nullopt for opaque (purely
+/// symbolic) pointers. \p Types resolves type tokens back to TypeRefs.
+std::optional<DecodedPtr> decodePtr(const Expr &PtrVal,
+                                    const rmir::TyCtx &Types);
+
+/// Interprets \p P as a concrete byte offset under \p Layout. All Offset
+/// counts must be integer literals. (The Fig. 4 experiment.)
+uint64_t interpretProjection(rmir::LayoutEngine &Layout, const Projection &P);
+
+/// Symbolic interpretation: byte offset as an expression, using the layout
+/// for field offsets and sizes.
+Expr interpretProjectionExpr(rmir::LayoutEngine &Layout, const Projection &P);
+
+} // namespace heap
+} // namespace gilr
+
+#endif // GILR_HEAP_PROJECTION_H

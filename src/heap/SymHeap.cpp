@@ -1,0 +1,589 @@
+//===- heap/SymHeap.cpp --------------------------------------------------------===//
+
+#include "heap/SymHeap.h"
+
+#include "heap/LaidOut.h"
+#include "solver/Simplify.h"
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::heap;
+using rmir::TypeKind;
+using rmir::TypeRef;
+
+//===----------------------------------------------------------------------===//
+// Pointer resolution
+//===----------------------------------------------------------------------===//
+
+/// Resolves a location expression to a concrete allocation identity.
+static Outcome<uint64_t> resolveLocId(const Expr &LocIn, HeapCtx &Ctx,
+                                      bool AllocateIfFresh) {
+  if (LocIn->Kind == ExprKind::LocLit)
+    return Outcome<uint64_t>::success(LocIn->LocId);
+  Expr Loc = reduceWithFacts(LocIn, Ctx.PC.facts());
+  if (Loc->Kind == ExprKind::LocLit)
+    return Outcome<uint64_t>::success(Loc->LocId);
+  // Look for an aliasing equality recorded in the path condition.
+  for (const Expr &Fact : Ctx.PC.facts()) {
+    if (Fact->Kind != ExprKind::Eq)
+      continue;
+    for (int Side = 0; Side != 2; ++Side) {
+      if (!exprEquals(Fact->Kids[Side], Loc))
+        continue;
+      const Expr &Other = Fact->Kids[1 - Side];
+      if (Other->Kind == ExprKind::LocLit)
+        return Outcome<uint64_t>::success(Other->LocId);
+    }
+  }
+  if (AllocateIfFresh) {
+    Expr Fresh = Ctx.VG.freshLoc();
+    Ctx.assume(mkEq(Loc, Fresh));
+    return Outcome<uint64_t>::success(Fresh->LocId);
+  }
+  return Outcome<uint64_t>::failure("cannot resolve symbolic location " +
+                                    exprToString(Loc));
+}
+
+Outcome<DecodedPtr> SymHeap::resolvePtr(const Expr &Ptr, HeapCtx &Ctx,
+                                        bool AllocateIfFresh) {
+  auto normalize = [&](DecodedPtr DP) {
+    // Drop offset elements that are provably zero (a no-op projection).
+    Projection Kept;
+    for (const ProjElem &E : DP.Proj) {
+      if (E.Kind == ProjElem::Offset &&
+          (isTrueLit(mkEq(E.Count, mkInt(0))) ||
+           Ctx.entails(mkEq(E.Count, mkInt(0)))))
+        continue;
+      Kept.push_back(E);
+    }
+    DP.Proj = std::move(Kept);
+    return DP;
+  };
+
+  if (auto DP = decodePtr(Ptr, Ctx.Types))
+    return Outcome<DecodedPtr>::success(normalize(*DP));
+
+  // Normalise projection chains (Unwrap(TupleGet(v, 0)) etc.) using the
+  // equalities recorded in the path condition, then retry decoding.
+  Expr Reduced = reduceWithFacts(Ptr, Ctx.PC.facts());
+  if (auto DP = decodePtr(Reduced, Ctx.Types))
+    return Outcome<DecodedPtr>::success(normalize(*DP));
+
+  // Fall back to path-condition equalities binding this pointer.
+  for (const Expr &Fact : Ctx.PC.facts()) {
+    if (Fact->Kind != ExprKind::Eq)
+      continue;
+    for (int Side = 0; Side != 2; ++Side) {
+      if (!exprEquals(Fact->Kids[Side], Ptr))
+        continue;
+      if (auto DP = decodePtr(Fact->Kids[1 - Side], Ctx.Types))
+        return Outcome<DecodedPtr>::success(normalize(*DP));
+    }
+  }
+
+  if (AllocateIfFresh) {
+    // Find the opaque *base* pointer: a projected pointer built by
+    // appendProjElem has the shape (TupleGet(base,0), TupleGet(base,1) ++
+    // elems); binding the base (not the whole pointer) keeps siblings of
+    // the projection on the same allocation.
+    Expr Base = Reduced;
+    while (Base->Kind == ExprKind::TupleLit && Base->Kids.size() == 2 &&
+           Base->Kids[0]->Kind == ExprKind::TupleGet &&
+           Base->Kids[0]->Index == 0) {
+      Expr Inner = Base->Kids[0]->Kids[0];
+      // The projection component must start with Inner's own projection.
+      Expr ProjPart = Base->Kids[1];
+      Expr Lead = ProjPart->Kind == ExprKind::SeqConcat
+                      ? ProjPart->Kids[0]
+                      : ProjPart;
+      if (Lead->Kind == ExprKind::TupleGet && Lead->Index == 1 &&
+          exprEquals(Lead->Kids[0], Inner)) {
+        Base = Inner;
+        continue;
+      }
+      break;
+    }
+    Expr Loc = Ctx.VG.freshLoc();
+    Ctx.assume(mkEq(Base, encodePtr(Loc, {})));
+    // Re-resolve: the new equality rewrites the projection chain.
+    Expr Again = reduceWithFacts(Ptr, Ctx.PC.facts());
+    if (auto DP = decodePtr(Again, Ctx.Types))
+      return Outcome<DecodedPtr>::success(normalize(*DP));
+    return Outcome<DecodedPtr>::success(DecodedPtr{Loc, {}});
+  }
+  return Outcome<DecodedPtr>::failure("cannot resolve pointer value " +
+                                      exprToString(Ptr));
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+Expr SymHeap::alloc(TypeRef Ty, HeapCtx &Ctx) {
+  Expr Loc = Ctx.VG.freshLoc();
+  Objects.emplace(Loc->LocId, TreeNode::uninit(Ty));
+  return encodePtr(Loc, {});
+}
+
+Expr SymHeap::allocArray(TypeRef ElemTy, const Expr &Count, HeapCtx &Ctx) {
+  Expr Loc = Ctx.VG.freshLoc();
+  Ctx.assume(mkLe(mkInt(0), Count));
+  Objects.emplace(Loc->LocId,
+                  TreeNode::laidOut(
+                      ElemTy, {Segment::uninit(mkInt(0), Count)}));
+  return encodePtr(Loc, {});
+}
+
+Outcome<Unit> SymHeap::freeTyped(const Expr &Ptr, TypeRef Ty, HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, /*AllocateIfFresh=*/false);
+  if (!DP.ok())
+    return DP.forward<Unit>();
+  if (!DP.value().Proj.empty())
+    return Outcome<Unit>::failure(
+        "free of an interior pointer (projection is not empty)");
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, false);
+  if (!Loc.ok())
+    return Loc.forward<Unit>();
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end())
+    return Outcome<Unit>::failure(
+        "double free or free of unallocated location");
+  if (It->second.Ty != Ty && It->second.Kind != TreeNode::LaidOut)
+    return Outcome<Unit>::failure("free at wrong type: allocation is " +
+                                  (It->second.Ty ? It->second.Ty->str()
+                                                 : std::string("?")) +
+                                  ", freeing as " + Ty->str());
+  if (!It->second.fullyOwned())
+    return Outcome<Unit>::failure(
+        "free of partially framed-off object (ownership incomplete)");
+  Objects.erase(It);
+  return Outcome<Unit>::success(Unit());
+}
+
+//===----------------------------------------------------------------------===//
+// Navigation
+//===----------------------------------------------------------------------===//
+
+Outcome<TreeNode *> SymHeap::navigate(TreeNode &Root, const Projection &Proj,
+                                      HeapCtx &Ctx, NavMode Mode) {
+  TreeNode *N = &Root;
+  for (const ProjElem &E : Proj) {
+    switch (E.Kind) {
+    case ProjElem::Offset: {
+      if (N->Kind == TreeNode::LaidOut)
+        return Outcome<TreeNode *>::failure(
+            "structural navigation reached a laid-out node; element access "
+            "must use the array actions");
+      if (Ctx.entails(mkEq(E.Count, mkInt(0))))
+        continue; // +T 0 is a no-op on a structural node.
+      return Outcome<TreeNode *>::failure(
+          "pointer arithmetic on a structural node (offset " +
+          exprToString(E.Count) + " of type " + E.Ty->str() + ")");
+    }
+    case ProjElem::Field: {
+      if (N->Kind == TreeNode::Missing) {
+        if (Mode != NavMode::Produce)
+          return Outcome<TreeNode *>::failure(
+              "missing resource while navigating field ." +
+              std::to_string(E.Index) + " of " + E.Ty->str());
+        // Materialise an all-missing skeleton for the produced structure.
+        std::vector<TreeNode> Fields;
+        for (const rmir::FieldDef &F : E.Ty->Fields)
+          Fields.push_back(TreeNode::missing(F.Ty));
+        *N = TreeNode::structNode(E.Ty, std::move(Fields));
+      }
+      if (N->Ty != E.Ty)
+        return Outcome<TreeNode *>::failure(
+            "type mismatch navigating field of " + E.Ty->str() +
+            ": node has type " + (N->Ty ? N->Ty->str() : "?"));
+      if (!expandStructNode(*N))
+        return Outcome<TreeNode *>::failure(
+            "cannot expand node into struct " + E.Ty->str());
+      assert(E.Index < N->Children.size() && "field index out of range");
+      N = &N->Children[E.Index];
+      break;
+    }
+    case ProjElem::VariantField: {
+      if (N->Kind == TreeNode::Missing) {
+        if (Mode != NavMode::Produce)
+          return Outcome<TreeNode *>::failure(
+              "missing resource while navigating variant field of " +
+              E.Ty->str());
+        std::vector<TreeNode> Fields;
+        for (const rmir::FieldDef &F :
+             E.Ty->Variants.at(E.Variant).Fields)
+          Fields.push_back(TreeNode::missing(F.Ty));
+        *N = TreeNode::enumNode(E.Ty, E.Variant, std::move(Fields));
+      }
+      if (N->Ty != E.Ty)
+        return Outcome<TreeNode *>::failure(
+            "type mismatch navigating variant field of " + E.Ty->str());
+      Outcome<Unit> Exp =
+          expandEnumNode(*N, E.Variant, Ctx, Mode != NavMode::Read);
+      if (!Exp.ok())
+        return Exp.forward<TreeNode *>();
+      if (N->Discr != E.Variant)
+        return Outcome<TreeNode *>::failure(
+            "variant mismatch: node is in variant " +
+            std::to_string(N->Discr) + ", projection wants " +
+            std::to_string(E.Variant));
+      assert(E.Index < N->Children.size() && "variant field out of range");
+      N = &N->Children[E.Index];
+      break;
+    }
+    }
+  }
+  return Outcome<TreeNode *>::success(N);
+}
+
+//===----------------------------------------------------------------------===//
+// Load / store
+//===----------------------------------------------------------------------===//
+
+/// Detects the laid-out element access pattern: the projection is at most a
+/// single offset element over the node's indexing type.
+static bool isArrayElemProj(const TreeNode &Root, const Projection &Proj,
+                            TypeRef Ty, Expr &StartOut) {
+  if (Root.Kind != TreeNode::LaidOut || Root.Ty != Ty)
+    return false;
+  if (Proj.empty()) {
+    StartOut = mkInt(0);
+    return true;
+  }
+  if (Proj.size() == 1 && Proj[0].Kind == ProjElem::Offset &&
+      Proj[0].Ty == Ty) {
+    StartOut = Proj[0].Count;
+    return true;
+  }
+  return false;
+}
+
+Outcome<Expr> SymHeap::load(const Expr &Ptr, TypeRef Ty, bool Move,
+                            HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, false);
+  if (!DP.ok())
+    return DP.forward<Expr>();
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, false);
+  if (!Loc.ok())
+    return Loc.forward<Expr>();
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end())
+    return Outcome<Expr>::failure("load from dangling pointer (location " +
+                                  std::to_string(Loc.value()) + " is dead)");
+  TreeNode &Root = It->second;
+
+  Expr Start;
+  if (isArrayElemProj(Root, DP.value().Proj, Ty, Start)) {
+    Expr End = mkAdd(Start, mkInt(1));
+    Outcome<Expr> Seq = readRange(Root, Start, End, Ctx);
+    if (!Seq.ok())
+      return Seq;
+    Expr V = mkSeqNth(Seq.value(), mkInt(0));
+    if (Move) {
+      Outcome<std::size_t> Idx = focusRange(Root, Start, End, Ctx);
+      assert(Idx.ok() && "range vanished after readRange");
+      Root.Segs[Idx.value()] = Segment::uninit(Start, End);
+    }
+    Ctx.assume(validityInvariant(Ty, V));
+    return Outcome<Expr>::success(V);
+  }
+
+  Outcome<TreeNode *> NodeO =
+      navigate(Root, DP.value().Proj, Ctx, NavMode::Read);
+  if (!NodeO.ok())
+    return NodeO.forward<Expr>();
+  TreeNode *N = NodeO.value();
+  if (N->Ty != Ty)
+    return Outcome<Expr>::failure("load at type " + Ty->str() +
+                                  " from node of type " +
+                                  (N->Ty ? N->Ty->str() : "?"));
+  Outcome<Expr> V = N->toValue();
+  if (!V.ok())
+    return V;
+  if (Move)
+    *N = TreeNode::uninit(Ty);
+  Ctx.assume(validityInvariant(Ty, V.value()));
+  return V;
+}
+
+Outcome<Unit> SymHeap::store(const Expr &Ptr, TypeRef Ty, const Expr &Val,
+                             HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, false);
+  if (!DP.ok())
+    return DP.forward<Unit>();
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, false);
+  if (!Loc.ok())
+    return Loc.forward<Unit>();
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end())
+    return Outcome<Unit>::failure("store to dangling pointer");
+  TreeNode &Root = It->second;
+
+  Expr Start;
+  if (isArrayElemProj(Root, DP.value().Proj, Ty, Start)) {
+    Expr End = mkAdd(Start, mkInt(1));
+    Ctx.assume(validityInvariant(Ty, Val));
+    return writeRange(Root, Start, End, mkSeqUnit(Val), Ctx);
+  }
+
+  Outcome<TreeNode *> NodeO =
+      navigate(Root, DP.value().Proj, Ctx, NavMode::Write);
+  if (!NodeO.ok())
+    return NodeO.forward<Unit>();
+  TreeNode *N = NodeO.value();
+  if (N->Ty != Ty)
+    return Outcome<Unit>::failure("store at type " + Ty->str() +
+                                  " into node of type " +
+                                  (N->Ty ? N->Ty->str() : "?"));
+  if (N->Kind == TreeNode::Missing)
+    return Outcome<Unit>::failure("store into framed-off memory");
+  Ctx.assume(validityInvariant(Ty, Val));
+  *N = nodeFromValue(Ty, Val);
+  return Outcome<Unit>::success(Unit());
+}
+
+//===----------------------------------------------------------------------===//
+// points_to / maybe_uninit consumers and producers
+//===----------------------------------------------------------------------===//
+
+Outcome<Expr> SymHeap::consumePointsTo(const Expr &Ptr, TypeRef Ty,
+                                       HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, false);
+  if (!DP.ok())
+    return DP.forward<Expr>();
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, false);
+  if (!Loc.ok())
+    return Loc.forward<Expr>();
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end())
+    return Outcome<Expr>::failure(
+        "consume points-to: location not present in heap");
+  TreeNode &Root = It->second;
+
+  Expr Start;
+  if (isArrayElemProj(Root, DP.value().Proj, Ty, Start)) {
+    Expr End = mkAdd(Start, mkInt(1));
+    Outcome<Expr> Seq = consumeRange(Root, Start, End, Ctx);
+    if (!Seq.ok())
+      return Seq;
+    return Outcome<Expr>::success(mkSeqNth(Seq.value(), mkInt(0)));
+  }
+
+  Outcome<TreeNode *> NodeO =
+      navigate(Root, DP.value().Proj, Ctx, NavMode::Read);
+  if (!NodeO.ok())
+    return NodeO.forward<Expr>();
+  TreeNode *N = NodeO.value();
+  if (N->Ty != Ty)
+    return Outcome<Expr>::failure("consume points-to at type " + Ty->str() +
+                                  " from node of type " +
+                                  (N->Ty ? N->Ty->str() : "?"));
+  Outcome<Expr> V = N->toValue();
+  if (!V.ok())
+    return V;
+  *N = TreeNode::missing(Ty);
+  return V;
+}
+
+Outcome<Unit> SymHeap::producePointsTo(const Expr &Ptr, TypeRef Ty,
+                                       const Expr &Val, HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, /*AllocateIfFresh=*/true);
+  if (!DP.ok())
+    return DP.forward<Unit>();
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, true);
+  if (!Loc.ok())
+    return Loc.forward<Unit>();
+  const Projection &Proj = DP.value().Proj;
+
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end()) {
+    // Fresh location: build a skeleton root for the projection.
+    TreeNode Root = TreeNode::missing(Ty);
+    if (!Proj.empty()) {
+      const ProjElem &First = Proj.front();
+      if (First.Kind == ProjElem::Offset)
+        Root = TreeNode::laidOut(First.Ty, {});
+      else
+        Root = TreeNode::missing(First.Ty);
+    }
+    It = Objects.emplace(Loc.value(), std::move(Root)).first;
+  }
+  TreeNode &Root = It->second;
+
+  Expr Start;
+  if (isArrayElemProj(Root, Proj, Ty, Start)) {
+    Expr End = mkAdd(Start, mkInt(1));
+    Ctx.assume(validityInvariant(Ty, Val));
+    return produceRange(Root, Start, End, mkSeqUnit(Val), Ctx);
+  }
+
+  Outcome<TreeNode *> NodeO = navigate(Root, Proj, Ctx, NavMode::Produce);
+  if (!NodeO.ok())
+    return NodeO.forward<Unit>();
+  TreeNode *N = NodeO.value();
+  if (N->Ty != Ty)
+    return Outcome<Unit>::failure("produce points-to at type " + Ty->str() +
+                                  " into node of type " +
+                                  (N->Ty ? N->Ty->str() : "?"));
+  if (N->Kind != TreeNode::Missing)
+    return Outcome<Unit>::vanish(); // Overlapping resource: assume False.
+  Ctx.assume(validityInvariant(Ty, Val));
+  *N = nodeFromValue(Ty, Val);
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Expr> SymHeap::consumeMaybeUninit(const Expr &Ptr, TypeRef Ty,
+                                          HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, false);
+  if (!DP.ok())
+    return DP.forward<Expr>();
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, false);
+  if (!Loc.ok())
+    return Loc.forward<Expr>();
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end())
+    return Outcome<Expr>::failure(
+        "consume maybe-uninit: location not present in heap");
+  TreeNode &Root = It->second;
+
+  Expr Start;
+  if (isArrayElemProj(Root, DP.value().Proj, Ty, Start))
+    return consumeRangeMaybeUninit(Root, Start, mkAdd(Start, mkInt(1)), Ctx);
+
+  Outcome<TreeNode *> NodeO =
+      navigate(Root, DP.value().Proj, Ctx, NavMode::Write);
+  if (!NodeO.ok())
+    return NodeO.forward<Expr>();
+  TreeNode *N = NodeO.value();
+  if (N->Kind == TreeNode::Missing)
+    return Outcome<Expr>::failure("consume maybe-uninit of missing memory");
+  Expr Result = mkNone();
+  if (N->fullyInit()) {
+    Outcome<Expr> V = N->toValue();
+    if (!V.ok())
+      return V;
+    Result = mkSome(V.value());
+  }
+  *N = TreeNode::missing(Ty);
+  return Outcome<Expr>::success(Result);
+}
+
+Outcome<Unit> SymHeap::produceUninit(const Expr &Ptr, TypeRef Ty,
+                                     HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, true);
+  if (!DP.ok())
+    return DP.forward<Unit>();
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, true);
+  if (!Loc.ok())
+    return Loc.forward<Unit>();
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end())
+    It = Objects.emplace(Loc.value(), TreeNode::missing(Ty)).first;
+  TreeNode &Root = It->second;
+
+  Expr Start;
+  if (isArrayElemProj(Root, DP.value().Proj, Ty, Start))
+    return produceRangeUninit(Root, Start, mkAdd(Start, mkInt(1)), Ctx);
+
+  Outcome<TreeNode *> NodeO =
+      navigate(Root, DP.value().Proj, Ctx, NavMode::Produce);
+  if (!NodeO.ok())
+    return NodeO.forward<Unit>();
+  TreeNode *N = NodeO.value();
+  if (N->Kind != TreeNode::Missing)
+    return Outcome<Unit>::vanish();
+  *N = TreeNode::uninit(Ty);
+  return Outcome<Unit>::success(Unit());
+}
+
+//===----------------------------------------------------------------------===//
+// Arrays
+//===----------------------------------------------------------------------===//
+
+Outcome<SymHeap::ArrayAccess> SymHeap::arrayAccess(const Expr &Ptr,
+                                                   TypeRef ElemTy,
+                                                   const Expr &Count,
+                                                   HeapCtx &Ctx) {
+  Outcome<DecodedPtr> DP = resolvePtr(Ptr, Ctx, true);
+  if (!DP.ok())
+    return DP.forward<ArrayAccess>();
+  Outcome<uint64_t> Loc = resolveLocId(DP.value().Loc, Ctx, true);
+  if (!Loc.ok())
+    return Loc.forward<ArrayAccess>();
+  auto It = Objects.find(Loc.value());
+  if (It == Objects.end())
+    It = Objects.emplace(Loc.value(), TreeNode::laidOut(ElemTy, {})).first;
+  TreeNode &Root = It->second;
+  if (Root.Kind != TreeNode::LaidOut || Root.Ty != ElemTy)
+    return Outcome<ArrayAccess>::failure(
+        "array access on non-laid-out object or wrong indexing type");
+  coalesce(Root, Ctx); // Reassemble adjacent segments (Fig. 5, right).
+  Expr Start = mkInt(0);
+  const Projection &Proj = DP.value().Proj;
+  if (!Proj.empty()) {
+    if (Proj.size() != 1 || Proj[0].Kind != ProjElem::Offset ||
+        Proj[0].Ty != ElemTy)
+      return Outcome<ArrayAccess>::failure(
+          "array access through a structural projection");
+    Start = Proj[0].Count;
+  }
+  return Outcome<ArrayAccess>::success(
+      ArrayAccess{&Root, Start, mkAdd(Start, Count)});
+}
+
+Outcome<Expr> SymHeap::consumeArray(const Expr &Ptr, TypeRef ElemTy,
+                                    const Expr &Count, HeapCtx &Ctx) {
+  Outcome<ArrayAccess> A = arrayAccess(Ptr, ElemTy, Count, Ctx);
+  if (!A.ok())
+    return A.forward<Expr>();
+  return consumeRange(*A.value().Node, A.value().From, A.value().To, Ctx);
+}
+
+Outcome<Unit> SymHeap::produceArray(const Expr &Ptr, TypeRef ElemTy,
+                                    const Expr &Count, const Expr &Seq,
+                                    HeapCtx &Ctx) {
+  Outcome<ArrayAccess> A = arrayAccess(Ptr, ElemTy, Count, Ctx);
+  if (!A.ok())
+    return A.forward<Unit>();
+  return produceRange(*A.value().Node, A.value().From, A.value().To, Seq,
+                      Ctx);
+}
+
+Outcome<Unit> SymHeap::produceArrayUninit(const Expr &Ptr, TypeRef ElemTy,
+                                          const Expr &Count, HeapCtx &Ctx) {
+  Outcome<ArrayAccess> A = arrayAccess(Ptr, ElemTy, Count, Ctx);
+  if (!A.ok())
+    return A.forward<Unit>();
+  return produceRangeUninit(*A.value().Node, A.value().From, A.value().To,
+                            Ctx);
+}
+
+Outcome<Unit> SymHeap::consumeArrayUninit(const Expr &Ptr, TypeRef ElemTy,
+                                          const Expr &Count, HeapCtx &Ctx) {
+  Outcome<ArrayAccess> A = arrayAccess(Ptr, ElemTy, Count, Ctx);
+  if (!A.ok())
+    return A.forward<Unit>();
+  Outcome<Expr> R = consumeRangeMaybeUninit(*A.value().Node, A.value().From,
+                                            A.value().To, Ctx);
+  if (!R.ok())
+    return R.forward<Unit>();
+  if (R.value()->Kind != ExprKind::NoneLit)
+    return Outcome<Unit>::failure(
+        "uninit array consume found initialised memory");
+  return Outcome<Unit>::success(Unit());
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+std::string SymHeap::dump() const {
+  std::string Out;
+  for (const auto &[Loc, Node] : Objects)
+    Out += "$l" + std::to_string(Loc) + " -> " + Node.str() + "\n";
+  return Out;
+}

@@ -1,0 +1,128 @@
+//===- heap/SymHeap.h - The Rust symbolic heap (§3) ------------------------===//
+///
+/// \file
+/// The symbolic heap h of a Gillian-Rust state: a forest of hybrid trees
+/// indexed by abstract location. Exposes the *actions* used by the symbolic
+/// executor (alloc / free / load / store, §3.2) and the consumers/producers
+/// of the typed points-to core predicate and its variants (§3.3):
+///
+///   a |->_T v        points_to   (consume returns v; produce installs v)
+///   a |->_T maybe    maybe_uninit (possibly uninitialised memory)
+///   a |->_[T;n] seq  array       (laid-out ranges, Fig. 5)
+///
+/// Loads in move context deinitialise the source; loads/stores maintain the
+/// validity invariants of the values involved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_HEAP_SYMHEAP_H
+#define GILR_HEAP_SYMHEAP_H
+
+#include "heap/Projection.h"
+#include "heap/TreeNode.h"
+
+#include <map>
+
+namespace gilr {
+namespace heap {
+
+/// Navigation intent; controls how missing/uninitialised structure may be
+/// materialised along the way.
+enum class NavMode {
+  Read,    ///< Must reach owned memory.
+  Write,   ///< May expand Uninit structs/enums for partial initialisation.
+  Produce, ///< May expand Missing skeletons (installing new resource).
+};
+
+/// The symbolic heap.
+class SymHeap {
+public:
+  SymHeap() = default;
+
+  //===--------------------------------------------------------------------===//
+  // Executor actions
+  //===--------------------------------------------------------------------===//
+
+  /// Allocates an object of type \p Ty (the Box / allocator path); returns
+  /// the pointer value.
+  Expr alloc(rmir::TypeRef Ty, HeapCtx &Ctx);
+
+  /// Allocates \p Count contiguous elements of \p ElemTy as a laid-out node
+  /// (the explicit allocator API, §3.2); returns the base pointer.
+  Expr allocArray(rmir::TypeRef ElemTy, const Expr &Count, HeapCtx &Ctx);
+
+  /// Deallocates a typed object. Requires full ownership of the object
+  /// (detects double-free and freeing through a frame).
+  Outcome<Unit> freeTyped(const Expr &Ptr, rmir::TypeRef Ty, HeapCtx &Ctx);
+
+  /// Loads a value of type \p Ty from \p Ptr. With \p Move, deinitialises
+  /// the source (§3.2). On success also assumes the validity invariant of
+  /// the loaded value.
+  Outcome<Expr> load(const Expr &Ptr, rmir::TypeRef Ty, bool Move,
+                     HeapCtx &Ctx);
+
+  /// Stores \p Val of type \p Ty to \p Ptr, assuming its validity invariant.
+  Outcome<Unit> store(const Expr &Ptr, rmir::TypeRef Ty, const Expr &Val,
+                      HeapCtx &Ctx);
+
+  //===--------------------------------------------------------------------===//
+  // Core predicate consumers / producers (§3.3)
+  //===--------------------------------------------------------------------===//
+
+  Outcome<Expr> consumePointsTo(const Expr &Ptr, rmir::TypeRef Ty,
+                                HeapCtx &Ctx);
+  Outcome<Unit> producePointsTo(const Expr &Ptr, rmir::TypeRef Ty,
+                                const Expr &Val, HeapCtx &Ctx);
+
+  /// maybe_uninit: consume returns Some(v) / None for init / uninit memory.
+  Outcome<Expr> consumeMaybeUninit(const Expr &Ptr, rmir::TypeRef Ty,
+                                   HeapCtx &Ctx);
+  Outcome<Unit> produceUninit(const Expr &Ptr, rmir::TypeRef Ty, HeapCtx &Ctx);
+
+  /// Arrays over laid-out nodes: [Ptr, Ptr + Count) at element type.
+  Outcome<Expr> consumeArray(const Expr &Ptr, rmir::TypeRef ElemTy,
+                             const Expr &Count, HeapCtx &Ctx);
+  Outcome<Unit> produceArray(const Expr &Ptr, rmir::TypeRef ElemTy,
+                             const Expr &Count, const Expr &Seq, HeapCtx &Ctx);
+  Outcome<Unit> produceArrayUninit(const Expr &Ptr, rmir::TypeRef ElemTy,
+                                   const Expr &Count, HeapCtx &Ctx);
+  /// Consumes an uninitialised laid-out range (fails on initialised or
+  /// missing memory).
+  Outcome<Unit> consumeArrayUninit(const Expr &Ptr, rmir::TypeRef ElemTy,
+                                   const Expr &Count, HeapCtx &Ctx);
+
+  //===--------------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------------===//
+
+  bool hasLoc(uint64_t Loc) const { return Objects.count(Loc) != 0; }
+  std::size_t numObjects() const { return Objects.size(); }
+  std::string dump() const;
+
+  /// Resolves a pointer expression into (location, projection): decodes
+  /// structural pointers, falls back to path-condition equalities, and (only
+  /// when \p AllocateIfFresh) binds an opaque pointer to a fresh location.
+  Outcome<DecodedPtr> resolvePtr(const Expr &Ptr, HeapCtx &Ctx,
+                                 bool AllocateIfFresh);
+
+private:
+  Outcome<TreeNode *> navigate(TreeNode &Root, const Projection &Proj,
+                               HeapCtx &Ctx, NavMode Mode);
+
+  /// Accesses the laid-out element range [Start, Start + Count) denoted by a
+  /// single trailing Offset element.
+  struct ArrayAccess {
+    TreeNode *Node;
+    Expr From;
+    Expr To;
+  };
+  Outcome<ArrayAccess> arrayAccess(const Expr &Ptr, rmir::TypeRef ElemTy,
+                                   const Expr &Count, HeapCtx &Ctx);
+
+  std::map<uint64_t, TreeNode> Objects;
+};
+
+} // namespace heap
+} // namespace gilr
+
+#endif // GILR_HEAP_SYMHEAP_H

@@ -1,0 +1,339 @@
+//===- heap/TreeNode.cpp -------------------------------------------------------===//
+
+#include "heap/TreeNode.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::heap;
+using rmir::TypeKind;
+using rmir::TypeRef;
+
+TreeNode TreeNode::value(TypeRef T, Expr V) {
+  TreeNode N;
+  N.Kind = Value;
+  N.Ty = T;
+  N.Val = std::move(V);
+  return N;
+}
+
+TreeNode TreeNode::uninit(TypeRef T) {
+  TreeNode N;
+  N.Kind = Uninit;
+  N.Ty = T;
+  return N;
+}
+
+TreeNode TreeNode::missing(TypeRef T) {
+  TreeNode N;
+  N.Kind = Missing;
+  N.Ty = T;
+  return N;
+}
+
+TreeNode TreeNode::structNode(TypeRef T, std::vector<TreeNode> Fields) {
+  assert(T->Kind == TypeKind::Struct && "structNode on non-struct type");
+  assert(Fields.size() == T->Fields.size() && "field arity mismatch");
+  TreeNode N;
+  N.Kind = StructNode;
+  N.Ty = T;
+  N.Children = std::move(Fields);
+  return N;
+}
+
+TreeNode TreeNode::enumNode(TypeRef T, unsigned Discr,
+                            std::vector<TreeNode> Fields) {
+  assert(T->Kind == TypeKind::Enum && "enumNode on non-enum type");
+  assert(Discr < T->Variants.size() && "variant out of range");
+  assert(Fields.size() == T->Variants[Discr].Fields.size() &&
+         "variant field arity mismatch");
+  TreeNode N;
+  N.Kind = EnumNode;
+  N.Ty = T;
+  N.Discr = Discr;
+  N.Children = std::move(Fields);
+  return N;
+}
+
+TreeNode TreeNode::laidOut(TypeRef IndexTy, std::vector<Segment> Segs) {
+  TreeNode N;
+  N.Kind = LaidOut;
+  N.Ty = IndexTy;
+  N.Segs = std::move(Segs);
+  return N;
+}
+
+bool TreeNode::fullyOwned() const {
+  switch (Kind) {
+  case Missing:
+    return false;
+  case StructNode:
+  case EnumNode:
+    for (const TreeNode &C : Children)
+      if (!C.fullyOwned())
+        return false;
+    return true;
+  case LaidOut:
+    for (const Segment &S : Segs)
+      if (S.Kind == Segment::Missing)
+        return false;
+    return true;
+  default:
+    return true;
+  }
+}
+
+bool TreeNode::fullyMissing() const {
+  switch (Kind) {
+  case Missing:
+    return true;
+  case StructNode:
+  case EnumNode:
+    for (const TreeNode &C : Children)
+      if (!C.fullyMissing())
+        return false;
+    return !Children.empty();
+  case LaidOut:
+    for (const Segment &S : Segs)
+      if (S.Kind != Segment::Missing)
+        return false;
+    return !Segs.empty();
+  default:
+    return false;
+  }
+}
+
+bool TreeNode::fullyInit() const {
+  switch (Kind) {
+  case Missing:
+  case Uninit:
+    return false;
+  case StructNode:
+  case EnumNode:
+    for (const TreeNode &C : Children)
+      if (!C.fullyInit())
+        return false;
+    return true;
+  case LaidOut:
+    for (const Segment &S : Segs)
+      if (S.Kind != Segment::Val)
+        return false;
+    return true;
+  case Value:
+    return true;
+  }
+  GILR_UNREACHABLE("unknown node kind");
+}
+
+Outcome<Expr> TreeNode::toValue() const {
+  switch (Kind) {
+  case Value:
+    return Outcome<Expr>::success(Val);
+  case Uninit:
+    return Outcome<Expr>::failure("read of uninitialised memory at type " +
+                                  (Ty ? Ty->str() : "?"));
+  case Missing:
+    return Outcome<Expr>::failure("read of framed-off (missing) memory");
+  case StructNode: {
+    std::vector<Expr> Fields;
+    Fields.reserve(Children.size());
+    for (const TreeNode &C : Children) {
+      Outcome<Expr> V = C.toValue();
+      if (!V.ok())
+        return V;
+      Fields.push_back(V.value());
+    }
+    return Outcome<Expr>::success(mkTuple(std::move(Fields)));
+  }
+  case EnumNode: {
+    std::vector<Expr> Fields;
+    Fields.reserve(Children.size());
+    for (const TreeNode &C : Children) {
+      Outcome<Expr> V = C.toValue();
+      if (!V.ok())
+        return V;
+      Fields.push_back(V.value());
+    }
+    if (Ty->isOption())
+      return Outcome<Expr>::success(Discr == 0 ? mkNone()
+                                               : mkSome(Fields.at(0)));
+    return Outcome<Expr>::success(
+        mkTuple({mkInt(Discr), mkTuple(std::move(Fields))}));
+  }
+  case LaidOut: {
+    // A fully-initialised contiguous laid-out node reads back as the
+    // concatenation of its segments.
+    std::vector<Expr> Parts;
+    for (const Segment &S : Segs) {
+      if (S.Kind != Segment::Val)
+        return Outcome<Expr>::failure(
+            "read of laid-out node with non-value segment");
+      Parts.push_back(S.Seq);
+    }
+    return Outcome<Expr>::success(mkSeqConcat(std::move(Parts)));
+  }
+  }
+  GILR_UNREACHABLE("unknown node kind");
+}
+
+std::string TreeNode::str() const {
+  switch (Kind) {
+  case Value:
+    return "(" + (Ty ? Ty->str() : "?") + " " + exprToString(Val) + ")";
+  case Uninit:
+    return "(uninit " + (Ty ? Ty->str() : "?") + ")";
+  case Missing:
+    return "(missing " + (Ty ? Ty->str() : "?") + ")";
+  case StructNode: {
+    std::vector<std::string> Parts;
+    for (const TreeNode &C : Children)
+      Parts.push_back(C.str());
+    return "(struct " + Ty->str() + " " + join(Parts, " ") + ")";
+  }
+  case EnumNode: {
+    std::vector<std::string> Parts;
+    for (const TreeNode &C : Children)
+      Parts.push_back(C.str());
+    return "(enum " + Ty->str() + "#" + std::to_string(Discr) + " " +
+           join(Parts, " ") + ")";
+  }
+  case LaidOut: {
+    std::vector<std::string> Parts;
+    for (const Segment &S : Segs) {
+      std::string Body = S.Kind == Segment::Val      ? exprToString(S.Seq)
+                         : S.Kind == Segment::Uninit ? "uninit"
+                                                     : "missing";
+      Parts.push_back("[" + exprToString(S.From) + "," + exprToString(S.To) +
+                      "):" + Body);
+    }
+    return "(laidout " + Ty->str() + " " + join(Parts, " ") + ")";
+  }
+  }
+  GILR_UNREACHABLE("unknown node kind");
+}
+
+TreeNode gilr::heap::nodeFromValue(TypeRef T, const Expr &V) {
+  if (T->Kind == TypeKind::Struct && V->Kind == ExprKind::TupleLit &&
+      V->Kids.size() == T->Fields.size()) {
+    std::vector<TreeNode> Fields;
+    for (std::size_t I = 0, E = T->Fields.size(); I != E; ++I)
+      Fields.push_back(nodeFromValue(T->Fields[I].Ty, V->Kids[I]));
+    return TreeNode::structNode(T, std::move(Fields));
+  }
+  if (T->isOption()) {
+    if (V->Kind == ExprKind::NoneLit)
+      return TreeNode::enumNode(T, 0, {});
+    if (V->Kind == ExprKind::Some)
+      return TreeNode::enumNode(
+          T, 1, {nodeFromValue(T->optionPayload(), V->Kids[0])});
+  }
+  return TreeNode::value(T, V);
+}
+
+bool gilr::heap::expandStructNode(TreeNode &N) {
+  if (N.Kind == TreeNode::StructNode)
+    return true;
+  if (!N.Ty || N.Ty->Kind != TypeKind::Struct)
+    return false;
+  if (N.Kind == TreeNode::Value) {
+    std::vector<TreeNode> Fields;
+    for (std::size_t I = 0, E = N.Ty->Fields.size(); I != E; ++I)
+      Fields.push_back(nodeFromValue(N.Ty->Fields[I].Ty,
+                                     mkTupleGet(N.Val, I)));
+    N = TreeNode::structNode(N.Ty, std::move(Fields));
+    return true;
+  }
+  if (N.Kind == TreeNode::Uninit) {
+    std::vector<TreeNode> Fields;
+    for (const rmir::FieldDef &F : N.Ty->Fields)
+      Fields.push_back(TreeNode::uninit(F.Ty));
+    N = TreeNode::structNode(N.Ty, std::move(Fields));
+    return true;
+  }
+  return false;
+}
+
+Outcome<Unit> gilr::heap::expandEnumNode(TreeNode &N, unsigned WantVariant,
+                                         HeapCtx &Ctx, bool ForWrite) {
+  if (N.Kind == TreeNode::EnumNode)
+    return Outcome<Unit>::success(Unit());
+  if (!N.Ty || N.Ty->Kind != TypeKind::Enum)
+    return Outcome<Unit>::failure("variant access on non-enum node");
+
+  if (N.Kind == TreeNode::Uninit) {
+    if (!ForWrite)
+      return Outcome<Unit>::failure("read of uninitialised enum memory");
+    std::vector<TreeNode> Fields;
+    for (const rmir::FieldDef &F : N.Ty->Variants.at(WantVariant).Fields)
+      Fields.push_back(TreeNode::uninit(F.Ty));
+    N = TreeNode::enumNode(N.Ty, WantVariant, std::move(Fields));
+    return Outcome<Unit>::success(Unit());
+  }
+
+  if (N.Kind != TreeNode::Value)
+    return Outcome<Unit>::failure("variant access on missing enum memory");
+
+  if (N.Ty->isOption()) {
+    TypeRef Payload = N.Ty->optionPayload();
+    // Syntactic fast path first, then solver decision.
+    if (N.Val->Kind == ExprKind::NoneLit ||
+        Ctx.entails(mkIsNone(N.Val))) {
+      N = TreeNode::enumNode(N.Ty, 0, {});
+      return Outcome<Unit>::success(Unit());
+    }
+    if (N.Val->Kind == ExprKind::Some || Ctx.entails(mkIsSome(N.Val))) {
+      N = TreeNode::enumNode(
+          N.Ty, 1, {nodeFromValue(Payload, mkUnwrap(N.Val))});
+      return Outcome<Unit>::success(Unit());
+    }
+    return Outcome<Unit>::failure(
+        "undecided option discriminant; branch on it before projecting");
+  }
+
+  // General enums: value encoding is (discr, (fields...)).
+  Expr DiscrE = mkTupleGet(N.Val, 0);
+  __int128 D;
+  if (!getIntLit(DiscrE, D)) {
+    // Try each candidate variant via the solver.
+    bool Found = false;
+    for (unsigned V = 0; V != N.Ty->Variants.size(); ++V)
+      if (Ctx.entails(mkEq(DiscrE, mkInt(V)))) {
+        D = V;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return Outcome<Unit>::failure(
+          "undecided enum discriminant; branch on it before projecting");
+  }
+  unsigned Discr = static_cast<unsigned>(D);
+  const rmir::VariantDef &Var = N.Ty->Variants.at(Discr);
+  Expr FieldsTuple = mkTupleGet(N.Val, 1);
+  std::vector<TreeNode> Fields;
+  for (std::size_t I = 0, E = Var.Fields.size(); I != E; ++I)
+    Fields.push_back(
+        nodeFromValue(Var.Fields[I].Ty, mkTupleGet(FieldsTuple, I)));
+  N = TreeNode::enumNode(N.Ty, Discr, std::move(Fields));
+  return Outcome<Unit>::success(Unit());
+}
+
+Expr gilr::heap::validityInvariant(TypeRef T, const Expr &V) {
+  switch (T->Kind) {
+  case TypeKind::Int:
+    return mkAnd(mkLe(mkInt(rmir::intMinValue(T->IntK)), V),
+                 mkLe(V, mkInt(rmir::intMaxValue(T->IntK))));
+  case TypeKind::Struct: {
+    std::vector<Expr> Parts;
+    for (std::size_t I = 0, E = T->Fields.size(); I != E; ++I)
+      Parts.push_back(validityInvariant(T->Fields[I].Ty, mkTupleGet(V, I)));
+    return mkAnd(std::move(Parts));
+  }
+  default:
+    return mkTrue();
+  }
+}

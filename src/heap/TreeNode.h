@@ -1,0 +1,139 @@
+//===- heap/TreeNode.h - Structural and laid-out heap nodes (§3.2) --------===//
+///
+/// \file
+/// Objects in the Rust symbolic heap are hybrid trees (§3.2 of the paper):
+///
+/// * *structural nodes* represent memory whose structure is known but whose
+///   layout is not — a single node holding a symbolic value, Uninit, or
+///   Missing (framed-off) memory; a struct with children for its fields; or
+///   an enum with a concrete discriminant and children for the fields of
+///   that variant. No pointer arithmetic is allowed through them.
+///
+/// * *laid-out nodes* represent array-like memory (indexing type T): a list
+///   of segments, each covering a symbolic range [From, To) in multiples of
+///   size_of::<T>() and holding either a symbolic sequence of values,
+///   uninitialised memory, or framed-off memory. Laid-out nodes admit the
+///   indexing pointer arithmetic of Fig. 5 (split / overwrite / reassemble).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_HEAP_TREENODE_H
+#define GILR_HEAP_TREENODE_H
+
+#include "rmir/Type.h"
+#include "solver/PathCondition.h"
+#include "support/Outcome.h"
+#include "sym/Expr.h"
+#include "sym/VarGen.h"
+
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace heap {
+
+/// Shared context for heap operations that need solver decisions.
+struct HeapCtx {
+  Solver &S;
+  PathCondition &PC;
+  VarGen &VG;
+  const rmir::TyCtx &Types;
+
+  bool entails(const Expr &Goal) { return PC.entails(S, Goal); }
+  /// Adds an assumption to the path condition; returns false if it became
+  /// trivially false.
+  bool assume(const Expr &Fact) { return PC.add(Fact); }
+};
+
+/// One segment of a laid-out node: the range [From, To) in units of the
+/// node's indexing type.
+struct Segment {
+  enum SKind : uint8_t {
+    Val,     ///< Holds a sequence expression of (To - From) values.
+    Uninit,  ///< Uninitialised memory: illegal to read.
+    Missing, ///< Framed-off memory: not owned here.
+  };
+  SKind Kind = Uninit;
+  Expr From;
+  Expr To;
+  Expr Seq; ///< Only for Val.
+
+  static Segment val(Expr From, Expr To, Expr Seq) {
+    return {Val, std::move(From), std::move(To), std::move(Seq)};
+  }
+  static Segment uninit(Expr From, Expr To) {
+    return {Uninit, std::move(From), std::move(To), nullptr};
+  }
+  static Segment missing(Expr From, Expr To) {
+    return {Missing, std::move(From), std::move(To), nullptr};
+  }
+};
+
+/// A node of the symbolic heap forest.
+struct TreeNode {
+  enum NKind : uint8_t {
+    Value,      ///< Single node: symbolic value of type Ty.
+    Uninit,     ///< Single node: uninitialised memory of type Ty.
+    Missing,    ///< Single node: framed-off memory of type Ty.
+    StructNode, ///< Internal node: Children are the fields of struct Ty.
+    EnumNode,   ///< Internal node: concrete Discr, Children of that variant.
+    LaidOut,    ///< Array-like node: Ty is the *indexing type*; Segs.
+  };
+
+  NKind Kind = Uninit;
+  rmir::TypeRef Ty = nullptr;
+  Expr Val;           ///< Value payload.
+  unsigned Discr = 0; ///< EnumNode discriminant.
+  std::vector<TreeNode> Children;
+  std::vector<Segment> Segs;
+
+  static TreeNode value(rmir::TypeRef T, Expr V);
+  static TreeNode uninit(rmir::TypeRef T);
+  static TreeNode missing(rmir::TypeRef T);
+  static TreeNode structNode(rmir::TypeRef T, std::vector<TreeNode> Fields);
+  static TreeNode enumNode(rmir::TypeRef T, unsigned Discr,
+                           std::vector<TreeNode> Fields);
+  static TreeNode laidOut(rmir::TypeRef IndexTy, std::vector<Segment> Segs);
+
+  /// True if no part of this subtree is Missing (required e.g. to free).
+  bool fullyOwned() const;
+  /// True if the entire subtree is Missing (frame is empty here).
+  bool fullyMissing() const;
+  /// True if no part is Uninit or Missing (safe to read whole).
+  bool fullyInit() const;
+
+  /// Reads the whole node back as a value of its annotated type. Struct
+  /// nodes become tuples; option-like enum nodes become None/Some; other
+  /// enums become (discr, (fields...)) tuples.
+  Outcome<Expr> toValue() const;
+
+  /// Renders the node for diagnostics.
+  std::string str() const;
+};
+
+/// Builds a (lazy) node holding value \p V at type \p T.
+TreeNode nodeFromValue(rmir::TypeRef T, const Expr &V);
+
+/// Expands a Value/Uninit node of struct type into a StructNode whose
+/// children are TupleGet projections (resp. Uninit leaves). No-op when the
+/// node is already structural. Returns false if the node cannot be expanded
+/// (e.g. Missing).
+bool expandStructNode(TreeNode &N);
+
+/// Expands a Value node of option-like enum type into an EnumNode, deciding
+/// the discriminant with the path condition (branching must have happened
+/// upstream; an undecidable discriminant is a failure). Uninit nodes expand
+/// for *writing* into the requested variant.
+Outcome<Unit> expandEnumNode(TreeNode &N, unsigned WantVariant, HeapCtx &Ctx,
+                             bool ForWrite);
+
+/// The validity invariant of type \p T for value \p V (§3.2 "load/store are
+/// in charge of ensuring validity invariants"): integer range constraints,
+/// boolean bit patterns, recursive tuples for structs. True when no
+/// constraint applies.
+Expr validityInvariant(rmir::TypeRef T, const Expr &V);
+
+} // namespace heap
+} // namespace gilr
+
+#endif // GILR_HEAP_TREENODE_H

@@ -1,0 +1,43 @@
+//===- hybrid/Driver.cpp ----------------------------------------------------------===//
+
+#include "hybrid/Driver.h"
+
+using namespace gilr;
+using namespace gilr::hybrid;
+
+Outcome<Unit> HybridDriver::encodeAndRegister(const std::string &Func) {
+  const creusot::PearliteSpec *PSpec = Contracts.lookup(Func);
+  if (!PSpec)
+    return Outcome<Unit>::failure("no Pearlite contract for " + Func);
+  const rmir::Function *F = Env.Prog.lookup(Func);
+  if (!F)
+    return Outcome<Unit>::failure("no RMIR definition of " + Func);
+  Outcome<gilsonite::Spec> S = encodePearliteSpec(*PSpec, *F, Env.Ownables);
+  if (!S.ok())
+    return S.forward<Unit>();
+  // Replace any previous registration (e.g. a show_safety spec).
+  if (Env.Specs.lookup(Func)) {
+    gilsonite::SpecTable Fresh;
+    for (const auto &[Name, Spec] : Env.Specs.all())
+      if (Name != Func)
+        Fresh.add(Spec);
+    Env.Specs = std::move(Fresh);
+  }
+  Env.Specs.add(std::move(S.value()));
+  return Outcome<Unit>::success(Unit());
+}
+
+HybridReport HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
+                               const std::vector<creusot::SafeFn> &Clients) {
+  HybridReport Report;
+
+  engine::Verifier V(Env);
+  for (const std::string &Func : UnsafeFuncs)
+    Report.UnsafeSide.push_back(V.verifyFunction(Func));
+
+  creusot::SafeVerifier SV(Contracts, Env.Solv);
+  for (const creusot::SafeFn &Client : Clients)
+    Report.SafeSide.push_back(SV.verify(Client));
+
+  return Report;
+}

@@ -1,0 +1,62 @@
+//===- hybrid/Driver.h - End-to-end hybrid verification ---------------------===//
+///
+/// \file
+/// Drives the hybrid approach of §2.1: Creusot-side verification of safe
+/// client code against the axiomatised Pearlite contracts, and
+/// Gillian-Rust-side verification of the unsafe implementations against the
+/// *same* contracts after the systematic encoding — the division of labour
+/// of Fig. 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_HYBRID_DRIVER_H
+#define GILR_HYBRID_DRIVER_H
+
+#include "creusot/SafeVerifier.h"
+#include "engine/Verifier.h"
+#include "hybrid/Encode.h"
+
+namespace gilr {
+namespace hybrid {
+
+/// Combined report of one hybrid run.
+struct HybridReport {
+  std::vector<engine::VerifyReport> UnsafeSide;
+  std::vector<creusot::SafeReport> SafeSide;
+  bool ok() const {
+    for (const engine::VerifyReport &R : UnsafeSide)
+      if (!R.Ok)
+        return false;
+    for (const creusot::SafeReport &R : SafeSide)
+      if (!R.Ok)
+        return false;
+    return true;
+  }
+};
+
+/// Orchestrates both verifiers over one program + contract table.
+class HybridDriver {
+public:
+  HybridDriver(engine::VerifEnv &Env,
+               const creusot::PearliteSpecTable &Contracts)
+      : Env(Env), Contracts(Contracts) {}
+
+  /// Encodes the contract of \p Func into Gilsonite and registers it,
+  /// replacing any previously registered spec. Returns the failure if the
+  /// encoding is impossible.
+  Outcome<Unit> encodeAndRegister(const std::string &Func);
+
+  /// Verifies the listed unsafe implementations (Gillian-Rust side) and
+  /// safe clients (Creusot side).
+  HybridReport run(const std::vector<std::string> &UnsafeFuncs,
+                   const std::vector<creusot::SafeFn> &Clients);
+
+private:
+  engine::VerifEnv &Env;
+  const creusot::PearliteSpecTable &Contracts;
+};
+
+} // namespace hybrid
+} // namespace gilr
+
+#endif // GILR_HYBRID_DRIVER_H

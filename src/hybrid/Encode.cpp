@@ -1,0 +1,72 @@
+//===- hybrid/Encode.cpp ----------------------------------------------------------===//
+
+#include "hybrid/Encode.h"
+
+#include "sym/ExprBuilder.h"
+
+using namespace gilr;
+using namespace gilr::hybrid;
+using namespace gilr::gilsonite;
+
+Outcome<Spec> gilr::hybrid::encodePearliteSpec(
+    const creusot::PearliteSpec &PSpec, const rmir::Function &F,
+    OwnableRegistry &Own) {
+  if (PSpec.Params.size() != F.NumParams)
+    return Outcome<Spec>::failure("Pearlite/RMIR parameter count mismatch for " +
+                                  F.Name);
+
+  Expr K = mkVar(ambientLifetimeName(), Sort::Lft);
+  Expr Q = mkVar(ambientFractionName(), Sort::Real);
+
+  Spec S;
+  S.Func = F.Name;
+  S.Doc = "encoded from Pearlite: " + PSpec.Doc;
+  S.SpecVars.push_back(Binder{ambientLifetimeName(), Sort::Lft});
+  S.SpecVars.push_back(Binder{ambientFractionName(), Sort::Real});
+
+  // Representation environment: xi := mi (mutable references' mi are
+  // (current, final) pairs by construction of own$&mut).
+  creusot::LowerEnv Env;
+  std::vector<AssertionP> Pre = {lftAlive(K, Q)};
+  for (unsigned I = 0; I != F.NumParams; ++I) {
+    const rmir::Local &Param = F.Locals[1 + I];
+    std::string ReprName = "m$" + Param.Name;
+    S.SpecVars.push_back(Binder{ReprName, Sort::Any});
+    Env.Values[PSpec.Params[I].Name] = mkVar(ReprName, Sort::Any);
+    Env.IsMutRef[PSpec.Params[I].Name] =
+        Param.Ty->Kind == rmir::TypeKind::Ref;
+    Pre.push_back(Own.own(Param.Ty, mkVar(Param.Name, Sort::Any),
+                          mkVar(ReprName, Sort::Any), K));
+  }
+
+  if (PSpec.Pre) {
+    Outcome<Expr> P = creusot::lowerPearlite(PSpec.Pre, Env);
+    if (!P.ok())
+      return P.forward<Spec>();
+    Pre.push_back(observation(P.value()));
+  }
+  S.Pre = star(std::move(Pre));
+
+  // Postcondition: ownership of the result plus the observed relation.
+  Env.ResultVal = mkVar("m$ret", Sort::Any);
+  std::vector<AssertionP> PostOwn = {lftAlive(K, Q)};
+  AssertionP RetPart = emp();
+  bool HasRet = F.returnType()->Kind != rmir::TypeKind::Unit;
+  std::vector<AssertionP> Inner;
+  if (HasRet)
+    Inner.push_back(Own.own(F.returnType(), mkVar(retVarName(), Sort::Any),
+                            mkVar("m$ret", Sort::Any), K));
+  if (PSpec.Post) {
+    Outcome<Expr> QF = creusot::lowerPearlite(PSpec.Post, Env);
+    if (!QF.ok())
+      return QF.forward<Spec>();
+    Inner.push_back(observation(QF.value()));
+  }
+  if (HasRet)
+    RetPart = exists({Binder{"m$ret", Sort::Any}}, star(std::move(Inner)));
+  else
+    RetPart = star(std::move(Inner));
+  PostOwn.push_back(RetPart);
+  S.Post = star(std::move(PostOwn));
+  return Outcome<Spec>::success(std::move(S));
+}

@@ -1,0 +1,39 @@
+//===- hybrid/Encode.h - Systematic Pearlite -> Gilsonite encoding (§5.4) --===//
+///
+/// \file
+/// The keystone of the hybrid approach: the systematic elaboration of a
+/// Creusot (Pearlite) contract into a Gilsonite specification that
+/// Gillian-Rust can verify. Following the schema of §5.4:
+///
+///   { P }  fn f(x1: T1, ..., xn: Tn) -> Tret  { Q }
+///
+/// becomes
+///
+///   { [κ]_q * ⊛ own$Ti(xi, mi, κ) * <P[xi := mi]> }
+///   fn f(...)
+///   { [κ]_q * ∃ mret. own$Tret(ret, mret, κ) * <Q[xi := mi][result := mret]> }
+///
+/// where mutable-reference representations are (current, final) pairs, the
+/// final component being the reference's prophecy (§5.1), so ^x elaborates
+/// to the second projection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_HYBRID_ENCODE_H
+#define GILR_HYBRID_ENCODE_H
+
+#include "creusot/StdSpecs.h"
+#include "gilsonite/Ownable.h"
+
+namespace gilr {
+namespace hybrid {
+
+/// Elaborates \p PSpec (a contract of \p F) into a Gilsonite spec.
+Outcome<gilsonite::Spec> encodePearliteSpec(const creusot::PearliteSpec &PSpec,
+                                            const rmir::Function &F,
+                                            gilsonite::OwnableRegistry &Own);
+
+} // namespace hybrid
+} // namespace gilr
+
+#endif // GILR_HYBRID_ENCODE_H

@@ -1,0 +1,120 @@
+//===- lifetime/LifetimeCtx.cpp ------------------------------------------------===//
+
+#include "lifetime/LifetimeCtx.h"
+
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::lifetime;
+
+LifetimeCtx::Entry *LifetimeCtx::find(const Expr &Kappa, Solver &S,
+                                      PathCondition &PC) {
+  for (Entry &E : Entries)
+    if (exprEquals(E.Kappa, Kappa))
+      return &E;
+  for (Entry &E : Entries)
+    if (PC.entails(S, mkEq(E.Kappa, Kappa)))
+      return &E;
+  return nullptr;
+}
+
+Outcome<Unit> LifetimeCtx::produceAlive(const Expr &Kappa, const Expr &Q,
+                                        Solver &S, PathCondition &PC) {
+  // The produced token is a well-formed fraction.
+  PC.add(mkLt(mkReal(Rational::fromInt(0)), Q));
+  PC.add(mkLe(Q, mkReal(Rational::fromInt(1))));
+  Entry *E = find(Kappa, S, PC);
+  if (!E) {
+    Entries.push_back(Entry{Kappa, false, Q});
+    return Outcome<Unit>::success(Unit());
+  }
+  if (E->Dead)
+    return Outcome<Unit>::vanish(); // Lftl-not-own-end.
+  // Lft-Produce-Alive-Add: fractions accumulate; the sum stays a token.
+  E->Fraction = mkAdd(E->Fraction, Q);
+  PC.add(mkLe(E->Fraction, mkReal(Rational::fromInt(1))));
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> LifetimeCtx::consumeAlive(const Expr &Kappa, const Expr &Q,
+                                        Solver &S, PathCondition &PC) {
+  Entry *E = find(Kappa, S, PC);
+  if (!E || E->Dead)
+    return Outcome<Unit>::failure("no alive token owned for lifetime " +
+                                  exprToString(Kappa));
+  if (exprEquals(E->Fraction, Q) ||
+      PC.entails(S, mkEq(E->Fraction, Q))) {
+    // Consuming exactly what is owned.
+    Entries.erase(Entries.begin() + (E - Entries.data()));
+    return Outcome<Unit>::success(Unit());
+  }
+  if (!PC.entails(S, mkLe(Q, E->Fraction)))
+    return Outcome<Unit>::failure(
+        "owned fraction of lifetime " + exprToString(Kappa) +
+        " is not provably at least " + exprToString(Q));
+  E->Fraction = mkSub(E->Fraction, Q);
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> LifetimeCtx::produceDead(const Expr &Kappa, Solver &S,
+                                       PathCondition &PC) {
+  Entry *E = find(Kappa, S, PC);
+  if (!E) {
+    Entries.push_back(Entry{Kappa, true, nullptr});
+    return Outcome<Unit>::success(Unit());
+  }
+  if (E->Dead)
+    return Outcome<Unit>::success(Unit()); // Persistent: idempotent.
+  // An alive fraction is owned here: [κ]_q * [†κ] => False.
+  return Outcome<Unit>::vanish();
+}
+
+Outcome<Unit> LifetimeCtx::consumeDead(const Expr &Kappa, Solver &S,
+                                       PathCondition &PC) {
+  Entry *E = find(Kappa, S, PC);
+  if (E && E->Dead)
+    return Outcome<Unit>::success(Unit()); // Persistent: not removed.
+  return Outcome<Unit>::failure("lifetime " + exprToString(Kappa) +
+                                " is not known to be dead");
+}
+
+Outcome<Unit> LifetimeCtx::endLifetime(const Expr &Kappa, Solver &S,
+                                       PathCondition &PC) {
+  Outcome<Unit> Consumed =
+      consumeAlive(Kappa, mkReal(Rational::fromInt(1)), S, PC);
+  if (!Consumed.ok())
+    return Consumed;
+  Entries.push_back(Entry{Kappa, true, nullptr});
+  return Outcome<Unit>::success(Unit());
+}
+
+std::optional<Expr> LifetimeCtx::someAliveLifetime() const {
+  for (const Entry &E : Entries)
+    if (!E.Dead)
+      return E.Kappa;
+  return std::nullopt;
+}
+
+std::optional<Expr> LifetimeCtx::ownedFraction(const Expr &Kappa, Solver &S,
+                                               PathCondition &PC) {
+  Entry *E = find(Kappa, S, PC);
+  if (!E || E->Dead)
+    return std::nullopt;
+  return E->Fraction;
+}
+
+bool LifetimeCtx::isDead(const Expr &Kappa, Solver &S, PathCondition &PC) {
+  Entry *E = find(Kappa, S, PC);
+  return E && E->Dead;
+}
+
+std::string LifetimeCtx::dump() const {
+  std::string Out;
+  for (const Entry &E : Entries) {
+    Out += exprToString(E.Kappa);
+    Out += E.Dead ? " -> dead" : (" -> " + exprToString(E.Fraction));
+    Out += "\n";
+  }
+  return Out;
+}

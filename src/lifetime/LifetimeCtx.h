@@ -1,0 +1,91 @@
+//===- lifetime/LifetimeCtx.h - The lifetime context ξ (§4.1) -------------===//
+///
+/// \file
+/// RustBelt's lifetime tokens as a custom Gillian state component: the
+/// context maps lifetimes to either the currently-owned fraction q in (0,1]
+/// of the alive token [κ]_q, or to the (persistent) death token [†κ]. The
+/// consumer/producer rules of Fig. 6 are implemented here:
+///
+///  * producing an alive token adds fractions (Lftl-tok-fract, right-to-left)
+///  * producing an alive token for a dead lifetime vanishes
+///    (Lftl-not-own-end);
+///  * the death token is persistent: its producer is idempotent and its
+///    consumer does not modify the context (Lftl-end-persist).
+///
+/// Lifetimes are opaque values compared up to the path condition, mirroring
+/// the paper's encoding of lifetimes as opaque sets with SMT-level
+/// reasoning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_LIFETIME_LIFETIMECTX_H
+#define GILR_LIFETIME_LIFETIMECTX_H
+
+#include "solver/PathCondition.h"
+#include "support/Outcome.h"
+#include "sym/Expr.h"
+#include "sym/VarGen.h"
+
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace lifetime {
+
+/// The lifetime context ξ.
+class LifetimeCtx {
+public:
+  /// Produces [κ]_q. Adds to an existing alive entry, creates a new one, or
+  /// vanishes if κ is dead. Assumes 0 < q and that the total stays <= 1.
+  Outcome<Unit> produceAlive(const Expr &Kappa, const Expr &Q, Solver &S,
+                             PathCondition &PC);
+
+  /// Consumes [κ]_q: requires an alive entry with fraction provably >= q;
+  /// the remainder stays. Consuming the exact owned fraction removes the
+  /// entry.
+  Outcome<Unit> consumeAlive(const Expr &Kappa, const Expr &Q, Solver &S,
+                             PathCondition &PC);
+
+  /// Produces [†κ]: idempotent if already dead; vanishes if an alive
+  /// fraction of κ is owned here (Lftl-not-own-end).
+  Outcome<Unit> produceDead(const Expr &Kappa, Solver &S, PathCondition &PC);
+
+  /// Consumes [†κ]: succeeds without modification when κ is known dead
+  /// (persistence).
+  Outcome<Unit> consumeDead(const Expr &Kappa, Solver &S, PathCondition &PC);
+
+  /// Ends lifetime κ: consumes the *full* token [κ]_1 and installs [†κ].
+  /// Used when a caller's borrow expires (prophecy resolution, §5).
+  Outcome<Unit> endLifetime(const Expr &Kappa, Solver &S, PathCondition &PC);
+
+  /// Some lifetime with an alive entry, if any (used to instantiate a
+  /// callee's lifetime parameter at call sites).
+  std::optional<Expr> someAliveLifetime() const;
+
+  /// The fraction currently owned for κ, if an alive entry exists.
+  std::optional<Expr> ownedFraction(const Expr &Kappa, Solver &S,
+                                    PathCondition &PC);
+
+  /// Whether κ is recorded dead.
+  bool isDead(const Expr &Kappa, Solver &S, PathCondition &PC);
+
+  std::size_t numEntries() const { return Entries.size(); }
+  std::string dump() const;
+
+private:
+  struct Entry {
+    Expr Kappa;
+    bool Dead = false;
+    Expr Fraction; ///< Owned alive fraction; null when Dead.
+  };
+
+  /// Finds the entry for κ (structural match, then solver equality).
+  Entry *find(const Expr &Kappa, Solver &S, PathCondition &PC);
+
+  std::vector<Entry> Entries;
+};
+
+} // namespace lifetime
+} // namespace gilr
+
+#endif // GILR_LIFETIME_LIFETIMECTX_H

@@ -1,0 +1,124 @@
+//===- pred/GuardedCtx.cpp ------------------------------------------------------===//
+
+#include "pred/GuardedCtx.h"
+
+#include "support/StringUtils.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::pred;
+
+bool gilr::pred::argsMatch(const std::vector<Expr> &EntryArgs,
+                           const std::vector<Expr> &QueryArgs,
+                           const std::vector<bool> &InParam, Solver &S,
+                           PathCondition &PC) {
+  if (EntryArgs.size() != QueryArgs.size())
+    return false;
+  for (std::size_t I = 0, E = EntryArgs.size(); I != E; ++I) {
+    bool IsIn = InParam.empty() || (I < InParam.size() && InParam[I]);
+    if (!IsIn)
+      continue;
+    if (exprEquals(EntryArgs[I], QueryArgs[I]))
+      continue;
+    if (!PC.entails(S, mkEq(EntryArgs[I], QueryArgs[I])))
+      return false;
+  }
+  return true;
+}
+
+void PredCtx::produce(const std::string &Name, std::vector<Expr> Args) {
+  Preds.push_back(FoldedPred{Name, std::move(Args)});
+}
+
+Outcome<std::vector<Expr>> PredCtx::consume(const std::string &Name,
+                                            const std::vector<Expr> &Args,
+                                            const std::vector<bool> &InParam,
+                                            Solver &S, PathCondition &PC) {
+  for (std::size_t I = 0, E = Preds.size(); I != E; ++I) {
+    if (Preds[I].Name != Name)
+      continue;
+    if (!argsMatch(Preds[I].Args, Args, InParam, S, PC))
+      continue;
+    std::vector<Expr> Out = Preds[I].Args;
+    Preds.erase(Preds.begin() + static_cast<long>(I));
+    return Outcome<std::vector<Expr>>::success(std::move(Out));
+  }
+  return Outcome<std::vector<Expr>>::failure("no folded instance of " + Name +
+                                             " matches the in-parameters");
+}
+
+std::string PredCtx::dump() const {
+  std::string Out;
+  for (const FoldedPred &P : Preds) {
+    std::vector<std::string> Parts;
+    for (const Expr &A : P.Args)
+      Parts.push_back(exprToString(A));
+    Out += P.Name + "(" + join(Parts, ", ") + ")\n";
+  }
+  return Out;
+}
+
+void GuardedCtx::produceGuarded(const std::string &Name, Expr Kappa,
+                                std::vector<Expr> Args) {
+  Guarded.push_back(GuardedPred{Name, std::move(Kappa), std::move(Args)});
+}
+
+Outcome<GuardedPred> GuardedCtx::consumeGuarded(
+    const std::string &Name, const Expr &Kappa, const std::vector<Expr> &Args,
+    const std::vector<bool> &InParam, Solver &S, PathCondition &PC) {
+  for (std::size_t I = 0, E = Guarded.size(); I != E; ++I) {
+    GuardedPred &G = Guarded[I];
+    if (G.Name != Name)
+      continue;
+    if (Kappa && !exprEquals(G.Kappa, Kappa) &&
+        !PC.entails(S, mkEq(G.Kappa, Kappa)))
+      continue;
+    if (!argsMatch(G.Args, Args, InParam, S, PC))
+      continue;
+    GuardedPred Out = G;
+    Guarded.erase(Guarded.begin() + static_cast<long>(I));
+    return Outcome<GuardedPred>::success(std::move(Out));
+  }
+  return Outcome<GuardedPred>::failure("no guarded instance of " + Name +
+                                       " matches");
+}
+
+void GuardedCtx::produceClosing(ClosingToken Token) {
+  Closing.push_back(std::move(Token));
+}
+
+Outcome<ClosingToken> GuardedCtx::consumeClosing(
+    const std::string &Name, const std::vector<Expr> &Args, Solver &S,
+    PathCondition &PC) {
+  for (std::size_t I = 0, E = Closing.size(); I != E; ++I) {
+    ClosingToken &C = Closing[I];
+    if (C.Name != Name)
+      continue;
+    if (!argsMatch(C.Args, Args, {}, S, PC))
+      continue;
+    ClosingToken Out = C;
+    Closing.erase(Closing.begin() + static_cast<long>(I));
+    return Outcome<ClosingToken>::success(std::move(Out));
+  }
+  return Outcome<ClosingToken>::failure("no closing token for " + Name);
+}
+
+std::string GuardedCtx::dump() const {
+  std::string Out;
+  for (const GuardedPred &G : Guarded) {
+    std::vector<std::string> Parts;
+    for (const Expr &A : G.Args)
+      Parts.push_back(exprToString(A));
+    Out += "&" + exprToString(G.Kappa) + " " + G.Name + "(" +
+           join(Parts, ", ") + ")\n";
+  }
+  for (const ClosingToken &C : Closing) {
+    std::vector<std::string> Parts;
+    for (const Expr &A : C.Args)
+      Parts.push_back(exprToString(A));
+    Out += "C_" + C.Name + "(" + exprToString(C.Kappa) + ", " +
+           exprToString(C.Fraction) + ", " + join(Parts, ", ") + ")\n";
+  }
+  return Out;
+}

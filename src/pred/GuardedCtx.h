@@ -1,0 +1,110 @@
+//===- pred/GuardedCtx.h - Folded and guarded predicates (§4.2) -----------===//
+///
+/// \file
+/// The predicate stores of a Gillian-Rust state:
+///
+/// * \c PredCtx — ordinary folded predicates (name, args), as in VeriFast /
+///   Viper / Gillian. Consuming matches on the predicate's in-parameters up
+///   to the path condition and returns the full argument list.
+///
+/// * \c GuardedCtx — the guarded predicate context γ of §4.2: folded
+///   predicates annotated with the lifetime whose token is the cost of
+///   opening them. This is the encoding of RustBelt full borrows &κ P that
+///   lets the engine reuse its fold/unfold automation for borrows. Opening
+///   (gunfold) and closing (gfold) themselves live in engine/Lemma.cpp —
+///   they need to produce/consume the predicate *body*; this module stores
+///   the folded forms and the opaque closing tokens C_δ(κ, q, x̄).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_PRED_GUARDEDCTX_H
+#define GILR_PRED_GUARDEDCTX_H
+
+#include "solver/PathCondition.h"
+#include "support/Outcome.h"
+#include "sym/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace pred {
+
+/// A folded predicate instance.
+struct FoldedPred {
+  std::string Name;
+  std::vector<Expr> Args;
+};
+
+/// Matches \p Args against \p Entry arguments: the positions flagged in
+/// \p InParam must be provably equal; the rest are returned to the caller.
+/// An empty \p InParam treats *all* positions as in-parameters.
+bool argsMatch(const std::vector<Expr> &EntryArgs,
+               const std::vector<Expr> &QueryArgs,
+               const std::vector<bool> &InParam, Solver &S,
+               PathCondition &PC);
+
+/// Plain folded predicates.
+class PredCtx {
+public:
+  void produce(const std::string &Name, std::vector<Expr> Args);
+
+  /// Consumes a folded predicate matching the in-parameters; returns the
+  /// full argument list of the matched instance.
+  Outcome<std::vector<Expr>> consume(const std::string &Name,
+                                     const std::vector<Expr> &Args,
+                                     const std::vector<bool> &InParam,
+                                     Solver &S, PathCondition &PC);
+
+  const std::vector<FoldedPred> &entries() const { return Preds; }
+  std::string dump() const;
+
+private:
+  std::vector<FoldedPred> Preds;
+};
+
+/// A guarded (borrowed) predicate instance: &κ δ(x̄).
+struct GuardedPred {
+  std::string Name;
+  Expr Kappa;
+  std::vector<Expr> Args;
+};
+
+/// The closing token C_δ(κ, q, x̄) produced by gunfold, embodying the
+/// update P => &κ P * [κ]_q.
+struct ClosingToken {
+  std::string Name;
+  Expr Kappa;
+  Expr Fraction;
+  std::vector<Expr> Args;
+};
+
+/// The guarded predicate context γ.
+class GuardedCtx {
+public:
+  void produceGuarded(const std::string &Name, Expr Kappa,
+                      std::vector<Expr> Args);
+  Outcome<GuardedPred> consumeGuarded(const std::string &Name,
+                                      const Expr &Kappa,
+                                      const std::vector<Expr> &Args,
+                                      const std::vector<bool> &InParam,
+                                      Solver &S, PathCondition &PC);
+
+  void produceClosing(ClosingToken Token);
+  Outcome<ClosingToken> consumeClosing(const std::string &Name,
+                                       const std::vector<Expr> &Args,
+                                       Solver &S, PathCondition &PC);
+
+  const std::vector<GuardedPred> &guarded() const { return Guarded; }
+  const std::vector<ClosingToken> &closing() const { return Closing; }
+  std::string dump() const;
+
+private:
+  std::vector<GuardedPred> Guarded;
+  std::vector<ClosingToken> Closing;
+};
+
+} // namespace pred
+} // namespace gilr
+
+#endif // GILR_PRED_GUARDEDCTX_H

@@ -1,0 +1,38 @@
+//===- proph/ObsCtx.cpp ---------------------------------------------------------===//
+
+#include "proph/ObsCtx.h"
+
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::proph;
+
+Outcome<Unit> ObsCtx::produce(const Expr &Psi, Solver &S,
+                              const PathCondition &PC) {
+  std::vector<Expr> All = PC.facts();
+  for (const Expr &F : Obs.facts())
+    All.push_back(F);
+  All.push_back(Psi);
+  if (S.checkSat(All) == SatResult::Unsat)
+    return Outcome<Unit>::vanish(); // Inconsistent observation: assume False.
+  Obs.add(Psi);
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> ObsCtx::consume(const Expr &Psi, Solver &S,
+                              const PathCondition &PC) {
+  std::vector<Expr> Ctx = PC.facts();
+  for (const Expr &F : Obs.facts())
+    Ctx.push_back(F);
+  if (!S.entails(Ctx, Psi))
+    return Outcome<Unit>::failure("observation not entailed: " +
+                                  exprToString(Psi));
+  return Outcome<Unit>::success(Unit());
+}
+
+std::string ObsCtx::dump() const {
+  std::string Out;
+  for (const Expr &F : Obs.facts())
+    Out += "<" + exprToString(F) + ">\n";
+  return Out;
+}

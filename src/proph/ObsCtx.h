@@ -1,0 +1,48 @@
+//===- proph/ObsCtx.h - The observation context φ (§5.2, Fig. 10) ---------===//
+///
+/// \file
+/// Observations ⟨ψ⟩ are RustHornBelt's "second layer of truth" recording
+/// facts about prophecy variables without letting knowledge of the future
+/// leak into the separation logic. The key idea of the paper (§5.2) is that
+/// observations are *a secondary path condition*: producing ⟨ψ⟩ conjoins ψ
+/// after a satisfiability check (Obs-Merge + Proph-Sat), and consuming ⟨ψ⟩
+/// checks entailment from the path condition plus the current observation
+/// (Proph-True: the ordinary path condition may flow into the prophetic
+/// world, never the other way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_PROPH_OBSCTX_H
+#define GILR_PROPH_OBSCTX_H
+
+#include "solver/PathCondition.h"
+#include "support/Outcome.h"
+#include "sym/Expr.h"
+
+namespace gilr {
+namespace proph {
+
+/// The observation context.
+class ObsCtx {
+public:
+  /// Observation-Produce: requires π /\ φ /\ ψ satisfiable; conjoins ψ.
+  /// An unsatisfiable combination vanishes the branch.
+  Outcome<Unit> produce(const Expr &Psi, Solver &S, const PathCondition &PC);
+
+  /// Observation-Consume: (π /\ φ) => ψ must be valid. Observations are
+  /// duplicable knowledge: consumption does not modify φ.
+  Outcome<Unit> consume(const Expr &Psi, Solver &S, const PathCondition &PC);
+
+  /// The recorded observation facts.
+  const std::vector<Expr> &facts() const { return Obs.facts(); }
+
+  std::string dump() const;
+
+private:
+  PathCondition Obs;
+};
+
+} // namespace proph
+} // namespace gilr
+
+#endif // GILR_PROPH_OBSCTX_H

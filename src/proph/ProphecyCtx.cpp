@@ -1,0 +1,99 @@
+//===- proph/ProphecyCtx.cpp ------------------------------------------------------===//
+
+#include "proph/ProphecyCtx.h"
+
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::proph;
+
+Outcome<Unit> ProphecyCtx::produceVO(const std::string &X, const Expr &A,
+                                     Solver &S, PathCondition &PC) {
+  auto It = Map.find(X);
+  if (It == Map.end()) {
+    // VObs-Produce-Without-Controller.
+    Map.emplace(X, Entry{A, /*VO=*/true, /*PC=*/false});
+    return Outcome<Unit>::success(Unit());
+  }
+  if (It->second.VO)
+    return Outcome<Unit>::vanish(); // Duplicate observer.
+  // VObs-Produce-With-Controller: Mut-Agree equates the values.
+  It->second.VO = true;
+  if (!PC.add(mkEq(A, It->second.Value)))
+    return Outcome<Unit>::vanish();
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Unit> ProphecyCtx::producePC(const std::string &X, const Expr &A,
+                                     Solver &S, PathCondition &PC) {
+  auto It = Map.find(X);
+  if (It == Map.end()) {
+    Map.emplace(X, Entry{A, /*VO=*/false, /*PC=*/true});
+    return Outcome<Unit>::success(Unit());
+  }
+  if (It->second.PC)
+    return Outcome<Unit>::vanish(); // Duplicate controller.
+  It->second.PC = true;
+  if (!PC.add(mkEq(A, It->second.Value)))
+    return Outcome<Unit>::vanish();
+  return Outcome<Unit>::success(Unit());
+}
+
+Outcome<Expr> ProphecyCtx::consumeVO(const std::string &X) {
+  auto It = Map.find(X);
+  if (It == Map.end() || !It->second.VO)
+    return Outcome<Expr>::failure("value observer for " + X + " not owned");
+  Expr V = It->second.Value;
+  It->second.VO = false;
+  if (!It->second.PC)
+    Map.erase(It);
+  return Outcome<Expr>::success(V);
+}
+
+Outcome<Expr> ProphecyCtx::consumePC(const std::string &X) {
+  auto It = Map.find(X);
+  if (It == Map.end() || !It->second.PC)
+    return Outcome<Expr>::failure("prophecy controller for " + X +
+                                  " not owned");
+  Expr V = It->second.Value;
+  It->second.PC = false;
+  if (!It->second.VO)
+    Map.erase(It);
+  return Outcome<Expr>::success(V);
+}
+
+Outcome<Unit> ProphecyCtx::update(const std::string &X, const Expr &NewValue) {
+  auto It = Map.find(X);
+  if (It == Map.end() || !It->second.VO || !It->second.PC)
+    return Outcome<Unit>::failure(
+        "Mut-Update requires both the observer and controller of " + X);
+  It->second.Value = NewValue;
+  return Outcome<Unit>::success(Unit());
+}
+
+std::optional<Expr> ProphecyCtx::currentValue(const std::string &X) const {
+  auto It = Map.find(X);
+  if (It == Map.end())
+    return std::nullopt;
+  return It->second.Value;
+}
+
+bool ProphecyCtx::hasVO(const std::string &X) const {
+  auto It = Map.find(X);
+  return It != Map.end() && It->second.VO;
+}
+
+bool ProphecyCtx::hasPC(const std::string &X) const {
+  auto It = Map.find(X);
+  return It != Map.end() && It->second.PC;
+}
+
+std::string ProphecyCtx::dump() const {
+  std::string Out;
+  for (const auto &[X, E] : Map) {
+    Out += X + " -> (" + exprToString(E.Value) + ", VO=" +
+           (E.VO ? "1" : "0") + ", PC=" + (E.PC ? "1" : "0") + ")\n";
+  }
+  return Out;
+}

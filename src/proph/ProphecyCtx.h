@@ -1,0 +1,66 @@
+//===- proph/ProphecyCtx.h - Value observers / prophecy controllers (§5.3) -===//
+///
+/// \file
+/// The prophecy context χ : PcyVar -> (value, hasVO, hasPC) implements
+/// RustHornBelt's paired resources VO_x(a) (value observer) and PC_x(a)
+/// (prophecy controller) as a custom resource algebra (Fig. 11):
+///
+/// * producing the missing half against the present half automates
+///   Mut-Agree (the values are equated in the path condition);
+/// * producing an already-present half is a duplicate resource (vanish);
+/// * Mut-Update rewrites the tracked value when both halves are present.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_PROPH_PROPHECYCTX_H
+#define GILR_PROPH_PROPHECYCTX_H
+
+#include "solver/PathCondition.h"
+#include "support/Outcome.h"
+#include "sym/Expr.h"
+
+#include <map>
+#include <string>
+
+namespace gilr {
+namespace proph {
+
+/// The prophecy context χ.
+class ProphecyCtx {
+public:
+  /// Produces VO_x(a) (Fig. 11, both rules).
+  Outcome<Unit> produceVO(const std::string &X, const Expr &A, Solver &S,
+                          PathCondition &PC);
+  /// Produces PC_x(a).
+  Outcome<Unit> producePC(const std::string &X, const Expr &A, Solver &S,
+                          PathCondition &PC);
+
+  /// Consumes VO_x; returns the tracked current value.
+  Outcome<Expr> consumeVO(const std::string &X);
+  /// Consumes PC_x; returns the tracked current value.
+  Outcome<Expr> consumePC(const std::string &X);
+
+  /// Mut-Update: requires both halves present; replaces the tracked value.
+  Outcome<Unit> update(const std::string &X, const Expr &NewValue);
+
+  /// The tracked current value of prophecy x, if known here.
+  std::optional<Expr> currentValue(const std::string &X) const;
+
+  bool hasVO(const std::string &X) const;
+  bool hasPC(const std::string &X) const;
+
+  std::string dump() const;
+
+private:
+  struct Entry {
+    Expr Value;
+    bool VO = false;
+    bool PC = false;
+  };
+  std::map<std::string, Entry> Map;
+};
+
+} // namespace proph
+} // namespace gilr
+
+#endif // GILR_PROPH_PROPHECYCTX_H

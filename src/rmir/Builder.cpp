@@ -1,0 +1,155 @@
+//===- rmir/Builder.cpp ------------------------------------------------------===//
+
+#include "rmir/Builder.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::rmir;
+
+FunctionBuilder::FunctionBuilder(std::string Name, TyCtx &Types)
+    : Types(Types) {
+  F.Name = std::move(Name);
+  // Local 0: the return slot, defaulting to unit.
+  F.Locals.push_back({"_ret", Types.unitTy()});
+}
+
+void FunctionBuilder::addTypeParam(const std::string &Name) {
+  F.TypeParams.push_back(Name);
+}
+
+void FunctionBuilder::addLifetime(const std::string &Name) {
+  F.Lifetimes.push_back(Name);
+}
+
+LocalId FunctionBuilder::addParam(const std::string &Name, TypeRef Ty) {
+  assert(!SawNonParamLocal && "parameters must precede plain locals");
+  F.Locals.push_back({Name, Ty});
+  ++F.NumParams;
+  return static_cast<LocalId>(F.Locals.size() - 1);
+}
+
+LocalId FunctionBuilder::addLocal(const std::string &Name, TypeRef Ty) {
+  SawNonParamLocal = true;
+  F.Locals.push_back({Name, Ty});
+  return static_cast<LocalId>(F.Locals.size() - 1);
+}
+
+void FunctionBuilder::setReturnType(TypeRef Ty) { F.Locals[0].Ty = Ty; }
+
+BlockId FunctionBuilder::newBlock() {
+  F.Blocks.push_back(BasicBlock());
+  Terminated.push_back(false);
+  return static_cast<BlockId>(F.Blocks.size() - 1);
+}
+
+void FunctionBuilder::atBlock(BlockId B) {
+  assert(B < F.Blocks.size() && "atBlock on unknown block");
+  Current = B;
+}
+
+BasicBlock &FunctionBuilder::cur() {
+  assert(Current < F.Blocks.size() && "no current block");
+  assert(!Terminated[Current] && "emitting into a terminated block");
+  return F.Blocks[Current];
+}
+
+void FunctionBuilder::assign(Place P, Rvalue R) {
+  assert(P.Local < F.Locals.size() && "assign to unknown local");
+  cur().Stmts.push_back(Statement::assign(std::move(P), std::move(R)));
+}
+
+void FunctionBuilder::alloc(Place Dest, TypeRef Ty) {
+  cur().Stmts.push_back(Statement::alloc(std::move(Dest), Ty));
+}
+
+void FunctionBuilder::free(Operand Ptr, TypeRef Ty) {
+  cur().Stmts.push_back(Statement::free(std::move(Ptr), Ty));
+}
+
+void FunctionBuilder::ghost(Ghost G) {
+  cur().Stmts.push_back(Statement::ghost(std::move(G)));
+}
+
+void FunctionBuilder::unfold(const std::string &Pred,
+                             std::vector<Operand> Args) {
+  ghost({GhostKind::Unfold, Pred, std::move(Args), nullptr});
+}
+
+void FunctionBuilder::fold(const std::string &Pred,
+                           std::vector<Operand> Args) {
+  ghost({GhostKind::Fold, Pred, std::move(Args), nullptr});
+}
+
+void FunctionBuilder::gunfold(const std::string &Pred,
+                              std::vector<Operand> Args) {
+  ghost({GhostKind::GUnfold, Pred, std::move(Args), nullptr});
+}
+
+void FunctionBuilder::gfold(const std::string &Pred,
+                            std::vector<Operand> Args) {
+  ghost({GhostKind::GFold, Pred, std::move(Args), nullptr});
+}
+
+void FunctionBuilder::applyLemma(const std::string &Lemma,
+                                 std::vector<Operand> Args) {
+  ghost({GhostKind::ApplyLemma, Lemma, std::move(Args), nullptr});
+}
+
+void FunctionBuilder::mutrefAutoResolve(Operand Ref) {
+  ghost({GhostKind::MutRefAutoResolve, "", {std::move(Ref)}, nullptr});
+}
+
+void FunctionBuilder::prophecyAutoUpdate(Operand Ref) {
+  ghost({GhostKind::ProphecyAutoUpdate, "", {std::move(Ref)}, nullptr});
+}
+
+void FunctionBuilder::gotoBlock(BlockId B) {
+  assert(B < F.Blocks.size() && "goto unknown block");
+  cur().Term = Terminator::gotoBlock(B);
+  Terminated[Current] = true;
+}
+
+void FunctionBuilder::switchInt(
+    Operand D, std::vector<std::pair<__int128, BlockId>> Arms,
+    BlockId Otherwise) {
+  for ([[maybe_unused]] auto &[Val, BB] : Arms)
+    assert(BB < F.Blocks.size() && "switch arm to unknown block");
+  assert(Otherwise < F.Blocks.size() && "switch default to unknown block");
+  cur().Term = Terminator::switchInt(std::move(D), std::move(Arms), Otherwise);
+  Terminated[Current] = true;
+}
+
+void FunctionBuilder::switchOption(Operand D, BlockId NoneBB, BlockId SomeBB) {
+  switchInt(std::move(D), {{0, NoneBB}}, SomeBB);
+}
+
+void FunctionBuilder::call(const std::string &Callee,
+                           std::vector<Operand> Args, Place Dest,
+                           BlockId Target, std::vector<TypeRef> TypeArgs) {
+  assert(Target < F.Blocks.size() && "call continuation unknown block");
+  cur().Term = Terminator::call(Callee, std::move(Args), std::move(Dest),
+                                Target, std::move(TypeArgs));
+  Terminated[Current] = true;
+}
+
+void FunctionBuilder::ret() {
+  cur().Term = Terminator::ret();
+  Terminated[Current] = true;
+}
+
+void FunctionBuilder::unreachable() {
+  cur().Term = Terminator::unreachable();
+  Terminated[Current] = true;
+}
+
+Function FunctionBuilder::finish() {
+  for (std::size_t I = 0, E = Terminated.size(); I != E; ++I)
+    if (!Terminated[I])
+      fatalError("function '" + F.Name + "': block " + std::to_string(I) +
+                 " lacks a terminator");
+  return std::move(F);
+}

@@ -1,0 +1,162 @@
+//===- rmir/Layout.cpp -------------------------------------------------------===//
+
+#include "rmir/Layout.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace gilr;
+using namespace gilr::rmir;
+
+const char *gilr::rmir::layoutStrategyName(LayoutStrategy S) {
+  switch (S) {
+  case LayoutStrategy::DeclOrder:
+    return "decl-order";
+  case LayoutStrategy::LargestFirst:
+    return "largest-first";
+  case LayoutStrategy::SmallestFirst:
+    return "smallest-first";
+  }
+  GILR_UNREACHABLE("unknown layout strategy");
+}
+
+static uint64_t alignUp(uint64_t Offset, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non power-of-two align");
+  return (Offset + Align - 1) & ~(Align - 1);
+}
+
+const ConcreteLayout &LayoutEngine::of(TypeRef T) {
+  auto It = Cache.find(T);
+  if (It != Cache.end())
+    return It->second;
+  assert(T->isConcrete() && "layout query on a generic type");
+  ConcreteLayout L = compute(T);
+  return Cache.emplace(T, std::move(L)).first->second;
+}
+
+ConcreteLayout LayoutEngine::compute(TypeRef T) {
+  ConcreteLayout L;
+  switch (T->Kind) {
+  case TypeKind::Bool:
+    L.Size = 1;
+    L.Align = 1;
+    return L;
+  case TypeKind::Unit:
+    L.Size = 0;
+    L.Align = 1;
+    return L;
+  case TypeKind::Int:
+    L.Size = intByteWidth(T->IntK);
+    L.Align = L.Size;
+    return L;
+  case TypeKind::RawPtr:
+  case TypeKind::Ref:
+    L.Size = 8;
+    L.Align = 8;
+    return L;
+  case TypeKind::Array: {
+    const ConcreteLayout &Elem = of(T->Pointee);
+    L.Align = Elem.Align;
+    L.Size = Elem.Size * T->ArrayLen;
+    return L;
+  }
+  case TypeKind::Struct:
+    return computeStruct(T);
+  case TypeKind::Enum:
+    return computeEnum(T);
+  case TypeKind::Param:
+    break;
+  }
+  GILR_UNREACHABLE("layout of non-concrete type");
+}
+
+/// Lays out \p Fields (given as (declIndex, size, align)) according to the
+/// strategy, writing byte offsets into \p Offsets (decl-indexed) and
+/// returning the end offset before final padding.
+static uint64_t placeFields(LayoutStrategy Strategy,
+                            const std::vector<std::pair<uint64_t, uint64_t>>
+                                &SizeAlign,
+                            uint64_t StartOffset,
+                            std::vector<uint64_t> &Offsets) {
+  std::size_t N = SizeAlign.size();
+  std::vector<unsigned> Order(N);
+  std::iota(Order.begin(), Order.end(), 0u);
+  switch (Strategy) {
+  case LayoutStrategy::DeclOrder:
+    break;
+  case LayoutStrategy::LargestFirst:
+    std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+      return SizeAlign[A].first > SizeAlign[B].first;
+    });
+    break;
+  case LayoutStrategy::SmallestFirst:
+    std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+      return SizeAlign[A].first < SizeAlign[B].first;
+    });
+    break;
+  }
+  Offsets.assign(N, 0);
+  uint64_t Offset = StartOffset;
+  for (unsigned Idx : Order) {
+    Offset = alignUp(Offset, SizeAlign[Idx].second);
+    Offsets[Idx] = Offset;
+    Offset += SizeAlign[Idx].first;
+  }
+  return Offset;
+}
+
+ConcreteLayout LayoutEngine::computeStruct(TypeRef T) {
+  ConcreteLayout L;
+  std::vector<std::pair<uint64_t, uint64_t>> SizeAlign;
+  for (const FieldDef &F : T->Fields) {
+    const ConcreteLayout &FL = of(F.Ty);
+    SizeAlign.push_back({FL.Size, FL.Align});
+    L.Align = std::max(L.Align, FL.Align);
+  }
+  uint64_t End = placeFields(Strategy, SizeAlign, 0, L.FieldOffsets);
+  L.Size = alignUp(End, L.Align);
+  return L;
+}
+
+ConcreteLayout LayoutEngine::computeEnum(TypeRef T) {
+  ConcreteLayout L;
+
+  // Niche optimisation: Option-like enums over pointer payloads use the
+  // null bit-pattern as the None discriminant (§3, "niche optimization").
+  if (EnableNicheOpt && T->isOption()) {
+    TypeRef Payload = T->optionPayload();
+    if (Payload->isPointerLike()) {
+      const ConcreteLayout &PL = of(Payload);
+      L.Size = PL.Size;
+      L.Align = PL.Align;
+      L.IsNiche = true;
+      L.VariantFieldOffsets = {{}, {0}};
+      return L;
+    }
+  }
+
+  // Tagged layout: a 1-byte discriminant (all case-study enums have < 256
+  // variants) followed by the variant payload.
+  assert(T->Variants.size() < 256 && "too many variants for 1-byte tag");
+  L.DiscrSize = 1;
+  L.Align = 1;
+  uint64_t MaxEnd = 1;
+  for (const VariantDef &V : T->Variants) {
+    std::vector<std::pair<uint64_t, uint64_t>> SizeAlign;
+    for (const FieldDef &F : V.Fields) {
+      const ConcreteLayout &FL = of(F.Ty);
+      SizeAlign.push_back({FL.Size, FL.Align});
+      L.Align = std::max(L.Align, FL.Align);
+    }
+    std::vector<uint64_t> Offsets;
+    uint64_t End = placeFields(Strategy, SizeAlign, L.DiscrSize, Offsets);
+    L.VariantFieldOffsets.push_back(std::move(Offsets));
+    MaxEnd = std::max(MaxEnd, End);
+  }
+  L.DiscrOffset = 0;
+  L.Size = alignUp(MaxEnd, L.Align);
+  return L;
+}

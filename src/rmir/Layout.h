@@ -1,0 +1,86 @@
+//===- rmir/Layout.h - Compiler-chosen memory layouts ----------------------===//
+///
+/// \file
+/// Concrete layout computation for RMIR types under several layout
+/// strategies the Rust compiler is permitted to choose between (§3.1, Fig. 4
+/// of the paper): declaration order, largest-field-first, smallest-field-
+/// first, each with or without niche optimisation of option-like enums over
+/// pointers. The verifier never commits to one of these; they exist to
+/// *interpret* layout-independent addresses (heap/Projection.h) in tests and
+/// benchmarks, and to drive the fixed-layout byte-model baseline
+/// (heap/ByteHeap.h) that plays the role of the Kani-style comparator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RMIR_LAYOUT_H
+#define GILR_RMIR_LAYOUT_H
+
+#include "rmir/Type.h"
+
+#include <map>
+#include <vector>
+
+namespace gilr {
+namespace rmir {
+
+/// Field-ordering strategies a conforming compiler may choose.
+enum class LayoutStrategy {
+  DeclOrder,     ///< Fields in declaration order (repr(C)-like).
+  LargestFirst,  ///< Largest fields first (rustc's default heuristic).
+  SmallestFirst, ///< Smallest fields first.
+};
+
+const char *layoutStrategyName(LayoutStrategy S);
+
+/// The concrete layout of a single type under a fixed strategy.
+struct ConcreteLayout {
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+  /// Byte offset of each field, indexed by *declaration* index (structs).
+  std::vector<uint64_t> FieldOffsets;
+  /// Byte offsets of each variant's fields (enums), declaration-indexed.
+  std::vector<std::vector<uint64_t>> VariantFieldOffsets;
+  /// Offset of the discriminant tag; meaningless when IsNiche.
+  uint64_t DiscrOffset = 0;
+  uint64_t DiscrSize = 0;
+  /// Option-like enum represented by a null niche of its pointer payload.
+  bool IsNiche = false;
+};
+
+/// Computes and caches layouts for concrete types.
+class LayoutEngine {
+public:
+  LayoutEngine(const TyCtx &Types, LayoutStrategy Strategy,
+               bool EnableNicheOpt = true)
+      : Types(Types), Strategy(Strategy), EnableNicheOpt(EnableNicheOpt) {}
+
+  /// Layout of \p T, which must be concrete.
+  const ConcreteLayout &of(TypeRef T);
+
+  uint64_t sizeOf(TypeRef T) { return of(T).Size; }
+  uint64_t alignOf(TypeRef T) { return of(T).Align; }
+  uint64_t fieldOffset(TypeRef T, unsigned Field) {
+    return of(T).FieldOffsets.at(Field);
+  }
+  uint64_t variantFieldOffset(TypeRef T, unsigned Variant, unsigned Field) {
+    return of(T).VariantFieldOffsets.at(Variant).at(Field);
+  }
+
+  LayoutStrategy strategy() const { return Strategy; }
+  bool nicheEnabled() const { return EnableNicheOpt; }
+
+private:
+  ConcreteLayout compute(TypeRef T);
+  ConcreteLayout computeStruct(TypeRef T);
+  ConcreteLayout computeEnum(TypeRef T);
+
+  const TyCtx &Types;
+  LayoutStrategy Strategy;
+  bool EnableNicheOpt;
+  std::map<TypeRef, ConcreteLayout> Cache;
+};
+
+} // namespace rmir
+} // namespace gilr
+
+#endif // GILR_RMIR_LAYOUT_H

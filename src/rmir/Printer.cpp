@@ -1,0 +1,191 @@
+//===- rmir/Printer.cpp ------------------------------------------------------===//
+
+#include "rmir/Printer.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::rmir;
+
+std::string gilr::rmir::placeToString(const Function &F, const Place &P) {
+  std::string S = F.Locals.at(P.Local).Name;
+  for (const PlaceElem &E : P.Elems) {
+    switch (E.Kind) {
+    case PlaceElem::Deref:
+      S = "(*" + S + ")";
+      break;
+    case PlaceElem::Field:
+      S += "." + std::to_string(E.Index);
+      break;
+    case PlaceElem::Downcast:
+      S += " as v" + std::to_string(E.Index);
+      break;
+    }
+  }
+  return S;
+}
+
+std::string gilr::rmir::operandToString(const Function &F, const Operand &Op) {
+  switch (Op.Kind) {
+  case Operand::Copy:
+    return "copy " + placeToString(F, Op.P);
+  case Operand::Move:
+    return "move " + placeToString(F, Op.P);
+  case Operand::Const:
+    return "const " + exprToString(Op.ConstVal);
+  }
+  GILR_UNREACHABLE("unknown operand kind");
+}
+
+static const char *binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "Add";
+  case BinOp::Sub:
+    return "Sub";
+  case BinOp::Mul:
+    return "Mul";
+  case BinOp::Eq:
+    return "Eq";
+  case BinOp::Ne:
+    return "Ne";
+  case BinOp::Lt:
+    return "Lt";
+  case BinOp::Le:
+    return "Le";
+  case BinOp::Gt:
+    return "Gt";
+  case BinOp::Ge:
+    return "Ge";
+  }
+  GILR_UNREACHABLE("unknown binop");
+}
+
+std::string gilr::rmir::rvalueToString(const Function &F, const Rvalue &R) {
+  switch (R.Kind) {
+  case Rvalue::Use:
+    return operandToString(F, R.Ops[0]);
+  case Rvalue::BinaryOp:
+    return std::string(binOpName(R.BOp)) + "(" +
+           operandToString(F, R.Ops[0]) + ", " + operandToString(F, R.Ops[1]) +
+           ")";
+  case Rvalue::UnaryOp:
+    return std::string(R.UOp == UnOp::Not ? "Not" : "Neg") + "(" +
+           operandToString(F, R.Ops[0]) + ")";
+  case Rvalue::Aggregate: {
+    std::vector<std::string> Parts;
+    for (const Operand &Op : R.Ops)
+      Parts.push_back(operandToString(F, Op));
+    std::string VariantStr =
+        R.AggTy->Kind == TypeKind::Enum
+            ? "::" + R.AggTy->Variants.at(R.Variant).Name
+            : "";
+    return R.AggTy->str() + VariantStr + " { " + join(Parts, ", ") + " }";
+  }
+  case Rvalue::Discriminant:
+    return "discriminant(" + placeToString(F, R.P) + ")";
+  case Rvalue::RefOf:
+    return "&mut " + placeToString(F, R.P);
+  case Rvalue::AddrOf:
+    return "&raw mut " + placeToString(F, R.P);
+  case Rvalue::PtrOffset:
+    return operandToString(F, R.Ops[0]) + ".offset(" +
+           operandToString(F, R.Ops[1]) + ")";
+  }
+  GILR_UNREACHABLE("unknown rvalue kind");
+}
+
+static std::string ghostToString(const Function &F, const Ghost &G) {
+  std::vector<std::string> Parts;
+  for (const Operand &Op : G.Args)
+    Parts.push_back(operandToString(F, Op));
+  std::string Args = "(" + join(Parts, ", ") + ")";
+  switch (G.Kind) {
+  case GhostKind::Unfold:
+    return "ghost unfold " + G.Name + Args;
+  case GhostKind::Fold:
+    return "ghost fold " + G.Name + Args;
+  case GhostKind::GUnfold:
+    return "ghost gunfold " + G.Name + Args;
+  case GhostKind::GFold:
+    return "ghost gfold " + G.Name + Args;
+  case GhostKind::ApplyLemma:
+    return "ghost apply " + G.Name + Args;
+  case GhostKind::MutRefAutoResolve:
+    return "ghost mutref_auto_resolve!" + Args;
+  case GhostKind::ProphecyAutoUpdate:
+    return "ghost prophecy_auto_update" + Args;
+  case GhostKind::AssertPure:
+    return "ghost assert " + exprToString(G.PureArg);
+  }
+  GILR_UNREACHABLE("unknown ghost kind");
+}
+
+std::string gilr::rmir::statementToString(const Function &F,
+                                          const Statement &S) {
+  switch (S.Kind) {
+  case Statement::Assign:
+    return placeToString(F, S.Dest) + " = " + rvalueToString(F, S.RV);
+  case Statement::Alloc:
+    return placeToString(F, S.Dest) + " = alloc::<" + S.AllocTy->str() + ">()";
+  case Statement::Free:
+    return "dealloc::<" + S.AllocTy->str() + ">(" +
+           operandToString(F, S.FreeArg) + ")";
+  case Statement::GhostStmt:
+    return ghostToString(F, S.G);
+  case Statement::Nop:
+    return "nop";
+  }
+  GILR_UNREACHABLE("unknown statement kind");
+}
+
+std::string gilr::rmir::terminatorToString(const Function &F,
+                                           const Terminator &T) {
+  switch (T.Kind) {
+  case Terminator::Goto:
+    return "goto bb" + std::to_string(T.Target);
+  case Terminator::SwitchInt: {
+    std::vector<std::string> Parts;
+    for (const auto &[Val, BB] : T.Arms)
+      Parts.push_back(int128ToString(Val) + " -> bb" + std::to_string(BB));
+    Parts.push_back("otherwise -> bb" + std::to_string(T.Otherwise));
+    return "switchInt(" + operandToString(F, T.Discr) + ") [" +
+           join(Parts, ", ") + "]";
+  }
+  case Terminator::Call: {
+    std::vector<std::string> Parts;
+    for (const Operand &Op : T.Args)
+      Parts.push_back(operandToString(F, Op));
+    return placeToString(F, T.Dest) + " = " + T.Callee + "(" +
+           join(Parts, ", ") + ") -> bb" + std::to_string(T.Target);
+  }
+  case Terminator::Return:
+    return "return";
+  case Terminator::Unreachable:
+    return "unreachable";
+  }
+  GILR_UNREACHABLE("unknown terminator kind");
+}
+
+std::string gilr::rmir::functionToString(const Function &F) {
+  std::string Out = "fn " + F.Name;
+  if (!F.TypeParams.empty())
+    Out += "<" + join(F.TypeParams, ", ") + ">";
+  Out += "(";
+  std::vector<std::string> Params;
+  for (unsigned I = 0; I != F.NumParams; ++I)
+    Params.push_back(F.Locals[1 + I].Name + ": " + F.Locals[1 + I].Ty->str());
+  Out += join(Params, ", ") + ") -> " + F.returnType()->str() + " {\n";
+  for (std::size_t I = F.NumParams + 1; I < F.Locals.size(); ++I)
+    Out += "  let " + F.Locals[I].Name + ": " + F.Locals[I].Ty->str() + ";\n";
+  for (std::size_t B = 0; B != F.Blocks.size(); ++B) {
+    Out += "  bb" + std::to_string(B) + ": {\n";
+    for (const Statement &S : F.Blocks[B].Stmts)
+      Out += "    " + statementToString(F, S) + ";\n";
+    Out += "    " + terminatorToString(F, F.Blocks[B].Term) + ";\n  }\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,29 @@
+//===- rmir/Printer.h - Human-readable RMIR dumps --------------------------===//
+///
+/// \file
+/// Pretty-printing of RMIR functions in a MIR-like syntax, for examples and
+/// debugging of the case-study libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RMIR_PRINTER_H
+#define GILR_RMIR_PRINTER_H
+
+#include "rmir/Program.h"
+
+#include <string>
+
+namespace gilr {
+namespace rmir {
+
+std::string placeToString(const Function &F, const Place &P);
+std::string operandToString(const Function &F, const Operand &Op);
+std::string rvalueToString(const Function &F, const Rvalue &R);
+std::string statementToString(const Function &F, const Statement &S);
+std::string terminatorToString(const Function &F, const Terminator &T);
+std::string functionToString(const Function &F);
+
+} // namespace rmir
+} // namespace gilr
+
+#endif // GILR_RMIR_PRINTER_H

@@ -1,0 +1,54 @@
+//===- rmir/Program.cpp ------------------------------------------------------===//
+
+#include "rmir/Program.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::rmir;
+
+TypeRef gilr::rmir::placeType(const Function &F, const Place &P) {
+  TypeRef Ty = F.Locals.at(P.Local).Ty;
+  unsigned Variant = 0;
+  [[maybe_unused]] bool Downcasted = false;
+  for (const PlaceElem &E : P.Elems) {
+    switch (E.Kind) {
+    case PlaceElem::Deref:
+      assert(Ty->isPointerLike() && "deref of non-pointer place");
+      Ty = Ty->Pointee;
+      Downcasted = false;
+      break;
+    case PlaceElem::Downcast:
+      assert(Ty->Kind == TypeKind::Enum && "downcast of non-enum place");
+      Variant = E.Index;
+      Downcasted = true;
+      break;
+    case PlaceElem::Field:
+      if (Ty->Kind == TypeKind::Struct) {
+        assert(!Downcasted && "downcast of a struct");
+        Ty = Ty->Fields.at(E.Index).Ty;
+      } else {
+        assert(Ty->Kind == TypeKind::Enum && Downcasted &&
+               "field of non-downcast enum place");
+        Ty = Ty->Variants.at(Variant).Fields.at(E.Index).Ty;
+        Downcasted = false;
+      }
+      break;
+    }
+  }
+  return Ty;
+}
+
+TypeRef gilr::rmir::operandType(const Function &F, const Operand &Op) {
+  switch (Op.Kind) {
+  case Operand::Copy:
+  case Operand::Move:
+    return placeType(F, Op.P);
+  case Operand::Const:
+    assert(Op.ConstTy && "untyped constant operand");
+    return Op.ConstTy;
+  }
+  GILR_UNREACHABLE("unknown operand kind");
+}

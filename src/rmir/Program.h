@@ -1,0 +1,333 @@
+//===- rmir/Program.h - RMIR programs: CFG, statements, terminators -------===//
+///
+/// \file
+/// The mid-level IR the verifier executes symbolically. RMIR mirrors rustc's
+/// MIR: functions are CFGs of basic blocks; statements assign rvalues to
+/// places; places project from locals through Deref/Field/Downcast elements;
+/// terminators branch, call or return. On top of the executable core, RMIR
+/// carries *ghost statements* (fold/unfold, guarded fold/unfold, lemma
+/// application, prophecy resolution) — the semi-automated proof interface of
+/// Gilsonite (§2.2, §4.2, §5.3 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RMIR_PROGRAM_H
+#define GILR_RMIR_PROGRAM_H
+
+#include "rmir/Type.h"
+#include "sym/Expr.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace rmir {
+
+using BlockId = unsigned;
+using LocalId = unsigned;
+
+/// One projection step of a place.
+struct PlaceElem {
+  enum ElemKind : uint8_t {
+    Deref,    ///< *p (through a reference or raw pointer).
+    Field,    ///< .field_i of a struct (or of a downcast variant).
+    Downcast, ///< Enum viewed as its Index-th variant.
+  };
+  ElemKind Kind;
+  unsigned Index = 0;
+
+  static PlaceElem deref() { return {Deref, 0}; }
+  static PlaceElem field(unsigned I) { return {Field, I}; }
+  static PlaceElem downcast(unsigned V) { return {Downcast, V}; }
+};
+
+/// A place: a local plus a projection path.
+struct Place {
+  LocalId Local = 0;
+  std::vector<PlaceElem> Elems;
+
+  Place() = default;
+  explicit Place(LocalId L) : Local(L) {}
+  Place(LocalId L, std::vector<PlaceElem> Es)
+      : Local(L), Elems(std::move(Es)) {}
+
+  Place deref() const {
+    Place P = *this;
+    P.Elems.push_back(PlaceElem::deref());
+    return P;
+  }
+  Place field(unsigned I) const {
+    Place P = *this;
+    P.Elems.push_back(PlaceElem::field(I));
+    return P;
+  }
+  Place downcast(unsigned V) const {
+    Place P = *this;
+    P.Elems.push_back(PlaceElem::downcast(V));
+    return P;
+  }
+};
+
+/// An operand of an rvalue.
+struct Operand {
+  enum OpKind : uint8_t { Copy, Move, Const } Kind = Const;
+  Place P;
+  Expr ConstVal;
+  TypeRef ConstTy = nullptr;
+
+  static Operand copy(Place Pl) { return {Copy, std::move(Pl), nullptr, nullptr}; }
+  static Operand move(Place Pl) { return {Move, std::move(Pl), nullptr, nullptr}; }
+  static Operand constant(Expr V, TypeRef Ty) {
+    return {Const, Place(), std::move(V), Ty};
+  }
+};
+
+/// Binary operators. Arithmetic is *checked*: the executor emits an
+/// in-range proof obligation for the result type (Rust overflow semantics).
+enum class BinOp : uint8_t { Add, Sub, Mul, Eq, Ne, Lt, Le, Gt, Ge };
+enum class UnOp : uint8_t { Not, Neg };
+
+/// Right-hand sides of assignments.
+struct Rvalue {
+  enum RvKind : uint8_t {
+    Use,          ///< Copy/move/const operand.
+    BinaryOp,     ///< Op(A, B).
+    UnaryOp,      ///< Op(A).
+    Aggregate,    ///< Struct or enum-variant construction.
+    Discriminant, ///< Discriminant of an enum place.
+    RefOf,        ///< &mut place (borrow creation; attaches a prophecy).
+    AddrOf,       ///< &raw mut place (raw pointer, no prophecy).
+    PtrOffset,    ///< A.offset(B): pointer arithmetic in units of pointee.
+  } Kind = Use;
+
+  BinOp BOp = BinOp::Add;
+  UnOp UOp = UnOp::Not;
+  std::vector<Operand> Ops;
+  Place P;               ///< Discriminant / RefOf / AddrOf target place.
+  TypeRef AggTy = nullptr;
+  unsigned Variant = 0;  ///< Aggregate variant index (enums).
+
+  static Rvalue use(Operand O) {
+    Rvalue R;
+    R.Kind = Use;
+    R.Ops = {std::move(O)};
+    return R;
+  }
+  static Rvalue binary(BinOp Op, Operand A, Operand B) {
+    Rvalue R;
+    R.Kind = BinaryOp;
+    R.BOp = Op;
+    R.Ops = {std::move(A), std::move(B)};
+    return R;
+  }
+  static Rvalue unary(UnOp Op, Operand A) {
+    Rvalue R;
+    R.Kind = UnaryOp;
+    R.UOp = Op;
+    R.Ops = {std::move(A)};
+    return R;
+  }
+  static Rvalue aggregate(TypeRef Ty, unsigned Variant,
+                          std::vector<Operand> Fields) {
+    Rvalue R;
+    R.Kind = Aggregate;
+    R.AggTy = Ty;
+    R.Variant = Variant;
+    R.Ops = std::move(Fields);
+    return R;
+  }
+  static Rvalue discriminant(Place Pl) {
+    Rvalue R;
+    R.Kind = Discriminant;
+    R.P = std::move(Pl);
+    return R;
+  }
+  static Rvalue refOf(Place Pl) {
+    Rvalue R;
+    R.Kind = RefOf;
+    R.P = std::move(Pl);
+    return R;
+  }
+  static Rvalue addrOf(Place Pl) {
+    Rvalue R;
+    R.Kind = AddrOf;
+    R.P = std::move(Pl);
+    return R;
+  }
+  static Rvalue ptrOffset(Operand Ptr, Operand Count) {
+    Rvalue R;
+    R.Kind = PtrOffset;
+    R.Ops = {std::move(Ptr), std::move(Count)};
+    return R;
+  }
+};
+
+/// Ghost (proof-only) statement kinds — the Gilsonite tactic surface.
+enum class GhostKind : uint8_t {
+  Unfold,             ///< unfold pred(args).
+  Fold,               ///< fold pred(args).
+  GUnfold,            ///< guarded unfold: open a borrow (§4.2).
+  GFold,              ///< guarded fold: close a borrow.
+  ApplyLemma,         ///< apply a declared (extraction) lemma (§4.3).
+  MutRefAutoResolve,  ///< mutref_auto_resolve!(p) (§2.2, MutRef-Resolve).
+  ProphecyAutoUpdate, ///< p.prophecy_auto_update() (Mut-Auto-Update, §5.3).
+  AssertPure,         ///< Ghost assertion of a pure fact.
+};
+
+/// A ghost statement.
+struct Ghost {
+  GhostKind Kind;
+  std::string Name;          ///< Predicate / lemma name.
+  std::vector<Operand> Args; ///< Program-value arguments.
+  Expr PureArg;              ///< AssertPure payload.
+};
+
+/// A statement.
+struct Statement {
+  enum StKind : uint8_t {
+    Assign,
+    Alloc,     ///< dest = allocate(AllocTy) — the Rust allocator API.
+    Free,      ///< deallocate(ptr, AllocTy).
+    GhostStmt, ///< Proof-only command.
+    Nop,
+  } Kind = Nop;
+
+  Place Dest;
+  Rvalue RV;
+  TypeRef AllocTy = nullptr;
+  Operand FreeArg;
+  Ghost G;
+
+  static Statement assign(Place P, Rvalue R) {
+    Statement S;
+    S.Kind = Assign;
+    S.Dest = std::move(P);
+    S.RV = std::move(R);
+    return S;
+  }
+  static Statement alloc(Place Dest, TypeRef Ty) {
+    Statement S;
+    S.Kind = Alloc;
+    S.Dest = std::move(Dest);
+    S.AllocTy = Ty;
+    return S;
+  }
+  static Statement free(Operand Ptr, TypeRef Ty) {
+    Statement S;
+    S.Kind = Free;
+    S.FreeArg = std::move(Ptr);
+    S.AllocTy = Ty;
+    return S;
+  }
+  static Statement ghost(Ghost G) {
+    Statement S;
+    S.Kind = GhostStmt;
+    S.G = std::move(G);
+    return S;
+  }
+};
+
+/// A block terminator.
+struct Terminator {
+  enum TermKind : uint8_t {
+    Goto,
+    SwitchInt, ///< Multi-way branch on an integer/discriminant operand.
+    Call,
+    Return,
+    Unreachable,
+  } Kind = Return;
+
+  BlockId Target = 0;                             // Goto / Call.
+  Operand Discr;                                  // SwitchInt.
+  std::vector<std::pair<__int128, BlockId>> Arms; // SwitchInt.
+  BlockId Otherwise = 0;                          // SwitchInt.
+  std::string Callee;                             // Call.
+  std::vector<Operand> Args;                      // Call.
+  Place Dest;                                     // Call.
+  std::vector<TypeRef> TypeArgs;                  // Call instantiation.
+
+  static Terminator gotoBlock(BlockId B) {
+    Terminator T;
+    T.Kind = Goto;
+    T.Target = B;
+    return T;
+  }
+  static Terminator switchInt(Operand D,
+                              std::vector<std::pair<__int128, BlockId>> Arms,
+                              BlockId Otherwise) {
+    Terminator T;
+    T.Kind = SwitchInt;
+    T.Discr = std::move(D);
+    T.Arms = std::move(Arms);
+    T.Otherwise = Otherwise;
+    return T;
+  }
+  static Terminator call(std::string Callee, std::vector<Operand> Args,
+                         Place Dest, BlockId Target,
+                         std::vector<TypeRef> TypeArgs = {}) {
+    Terminator T;
+    T.Kind = Call;
+    T.Callee = std::move(Callee);
+    T.Args = std::move(Args);
+    T.Dest = std::move(Dest);
+    T.Target = Target;
+    T.TypeArgs = std::move(TypeArgs);
+    return T;
+  }
+  static Terminator ret() { return Terminator(); }
+  static Terminator unreachable() {
+    Terminator T;
+    T.Kind = Unreachable;
+    return T;
+  }
+};
+
+/// A basic block.
+struct BasicBlock {
+  std::vector<Statement> Stmts;
+  Terminator Term;
+};
+
+/// A declared local variable.
+struct Local {
+  std::string Name;
+  TypeRef Ty;
+};
+
+/// An RMIR function. Local 0 is the return slot; locals 1..NumParams are the
+/// parameters.
+struct Function {
+  std::string Name;
+  unsigned NumParams = 0;
+  std::vector<Local> Locals;
+  std::vector<BasicBlock> Blocks;
+  std::vector<std::string> TypeParams;
+  std::vector<std::string> Lifetimes; ///< Lifetime parameters, usually one.
+
+  TypeRef returnType() const { return Locals.at(0).Ty; }
+  TypeRef paramType(unsigned I) const { return Locals.at(1 + I).Ty; }
+};
+
+/// A compilation unit: a type context plus named functions.
+struct Program {
+  TyCtx Types;
+  std::map<std::string, Function> Funcs;
+
+  const Function *lookup(const std::string &Name) const {
+    auto It = Funcs.find(Name);
+    return It == Funcs.end() ? nullptr : &It->second;
+  }
+};
+
+/// The type of the value stored at \p P within \p F (walking the projection
+/// elements through struct fields, derefs and downcasts).
+TypeRef placeType(const Function &F, const Place &P);
+
+/// The type of \p Op within \p F.
+TypeRef operandType(const Function &F, const Operand &Op);
+
+} // namespace rmir
+} // namespace gilr
+
+#endif // GILR_RMIR_PROGRAM_H

@@ -1,0 +1,341 @@
+//===- rmir/Type.cpp --------------------------------------------------------===//
+
+#include "rmir/Type.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+
+#include <cassert>
+
+using namespace gilr;
+using namespace gilr::rmir;
+
+unsigned gilr::rmir::intByteWidth(IntKind K) {
+  switch (K) {
+  case IntKind::I8:
+  case IntKind::U8:
+    return 1;
+  case IntKind::I16:
+  case IntKind::U16:
+    return 2;
+  case IntKind::I32:
+  case IntKind::U32:
+    return 4;
+  case IntKind::I64:
+  case IntKind::U64:
+  case IntKind::ISize:
+  case IntKind::USize:
+    return 8;
+  case IntKind::I128:
+  case IntKind::U128:
+    return 16;
+  }
+  GILR_UNREACHABLE("unknown int kind");
+}
+
+bool gilr::rmir::intIsSigned(IntKind K) {
+  switch (K) {
+  case IntKind::I8:
+  case IntKind::I16:
+  case IntKind::I32:
+  case IntKind::I64:
+  case IntKind::I128:
+  case IntKind::ISize:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// 2^127 - 1, computed without overflow.
+static __int128 int128Max() {
+  return ((static_cast<__int128>(1) << 126) - 1) * 2 + 1;
+}
+
+__int128 gilr::rmir::intMinValue(IntKind K) {
+  if (!intIsSigned(K))
+    return 0;
+  unsigned Bits = intByteWidth(K) * 8;
+  if (Bits == 128)
+    return -int128Max() - 1;
+  return -(static_cast<__int128>(1) << (Bits - 1));
+}
+
+__int128 gilr::rmir::intMaxValue(IntKind K) {
+  unsigned Bits = intByteWidth(K) * 8;
+  if (intIsSigned(K)) {
+    if (Bits == 128)
+      return int128Max();
+    return (static_cast<__int128>(1) << (Bits - 1)) - 1;
+  }
+  if (Bits == 128)
+    // Model limitation: u128 values are represented in a signed 128-bit
+    // literal, so its modelled range is [0, 2^127 - 1]. All case studies
+    // use at most 64-bit integers.
+    return int128Max();
+  return (static_cast<__int128>(1) << Bits) - 1;
+}
+
+const char *gilr::rmir::intKindName(IntKind K) {
+  switch (K) {
+  case IntKind::I8:
+    return "i8";
+  case IntKind::I16:
+    return "i16";
+  case IntKind::I32:
+    return "i32";
+  case IntKind::I64:
+    return "i64";
+  case IntKind::I128:
+    return "i128";
+  case IntKind::ISize:
+    return "isize";
+  case IntKind::U8:
+    return "u8";
+  case IntKind::U16:
+    return "u16";
+  case IntKind::U32:
+    return "u32";
+  case IntKind::U64:
+    return "u64";
+  case IntKind::U128:
+    return "u128";
+  case IntKind::USize:
+    return "usize";
+  }
+  GILR_UNREACHABLE("unknown int kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Type
+//===----------------------------------------------------------------------===//
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Int:
+    return intKindName(IntK);
+  case TypeKind::Unit:
+    return "()";
+  case TypeKind::Struct:
+  case TypeKind::Enum:
+  case TypeKind::Param:
+    return Name;
+  case TypeKind::RawPtr:
+    return "*mut " + Pointee->str();
+  case TypeKind::Ref:
+    return "&mut " + Pointee->str();
+  case TypeKind::Array:
+    return "[" + Pointee->str() + "; " + std::to_string(ArrayLen) + "]";
+  }
+  GILR_UNREACHABLE("unknown type kind");
+}
+
+TypeRef Type::optionPayload() const {
+  assert(isOption() && "optionPayload on non-option type");
+  assert(Variants.size() == 2 && Variants[1].Fields.size() == 1 &&
+         "malformed option-like enum");
+  return Variants[1].Fields[0].Ty;
+}
+
+bool Type::isConcrete() const {
+  switch (Kind) {
+  case TypeKind::Param:
+    return false;
+  case TypeKind::RawPtr:
+  case TypeKind::Ref:
+  case TypeKind::Array:
+    return Pointee->isConcrete();
+  case TypeKind::Struct:
+    for (const FieldDef &F : Fields)
+      if (!F.Ty->isConcrete())
+        return false;
+    return true;
+  case TypeKind::Enum:
+    for (const VariantDef &V : Variants)
+      for (const FieldDef &F : V.Fields)
+        if (!F.Ty->isConcrete())
+          return false;
+    return true;
+  default:
+    return true;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TyCtx
+//===----------------------------------------------------------------------===//
+
+TyCtx::TyCtx() {
+  Type *B = create();
+  B->Kind = TypeKind::Bool;
+  BoolTy = B;
+  Type *U = create();
+  U->Kind = TypeKind::Unit;
+  UnitTy = U;
+  for (int K = 0; K <= static_cast<int>(IntKind::USize); ++K) {
+    Type *T = create();
+    T->Kind = TypeKind::Int;
+    T->IntK = static_cast<IntKind>(K);
+    IntTys.push_back(T);
+  }
+}
+
+Type *TyCtx::create() {
+  Arena.push_back(std::make_unique<Type>());
+  return Arena.back().get();
+}
+
+TypeRef TyCtx::rawPtr(TypeRef Pointee) {
+  auto It = RawPtrs.find(Pointee);
+  if (It != RawPtrs.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::RawPtr;
+  T->Pointee = Pointee;
+  RawPtrs.emplace(Pointee, T);
+  return T;
+}
+
+TypeRef TyCtx::mutRef(TypeRef Pointee) {
+  auto It = MutRefs.find(Pointee);
+  if (It != MutRefs.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::Ref;
+  T->Pointee = Pointee;
+  MutRefs.emplace(Pointee, T);
+  return T;
+}
+
+TypeRef TyCtx::array(TypeRef Elem, uint64_t Len) {
+  auto Key = std::make_pair(Elem, Len);
+  auto It = Arrays.find(Key);
+  if (It != Arrays.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::Array;
+  T->Pointee = Elem;
+  T->ArrayLen = Len;
+  Arrays.emplace(Key, T);
+  return T;
+}
+
+TypeRef TyCtx::param(const std::string &Name) {
+  auto It = Nominals.find(Name);
+  if (It != Nominals.end()) {
+    assert(It->second->Kind == TypeKind::Param && "name clash with param");
+    return It->second;
+  }
+  Type *T = create();
+  T->Kind = TypeKind::Param;
+  T->Name = Name;
+  Nominals.emplace(Name, T);
+  return T;
+}
+
+TypeRef TyCtx::declareStruct(const std::string &Name,
+                             std::vector<FieldDef> Fields) {
+  auto It = Nominals.find(Name);
+  if (It != Nominals.end()) {
+    assert(It->second->Kind == TypeKind::Struct &&
+           It->second->Fields.size() == Fields.size() &&
+           "conflicting struct redeclaration");
+    return It->second;
+  }
+  Type *T = create();
+  T->Kind = TypeKind::Struct;
+  T->Name = Name;
+  T->Fields = std::move(Fields);
+  Nominals.emplace(Name, T);
+  return T;
+}
+
+TypeRef TyCtx::declareStructForward(const std::string &Name) {
+  auto It = Nominals.find(Name);
+  if (It != Nominals.end()) {
+    assert(It->second->Kind == TypeKind::Struct && "forward decl mismatch");
+    return It->second;
+  }
+  Type *T = create();
+  T->Kind = TypeKind::Struct;
+  T->Name = Name;
+  Nominals.emplace(Name, T);
+  return T;
+}
+
+void TyCtx::defineStructFields(TypeRef Struct, std::vector<FieldDef> Fields) {
+  assert(Struct->Kind == TypeKind::Struct && "defining fields of non-struct");
+  assert(Struct->Fields.empty() && "struct fields already defined");
+  // The arena owns the type; casting away const here is the completion of
+  // the two-phase declaration.
+  const_cast<Type *>(Struct)->Fields = std::move(Fields);
+}
+
+TypeRef TyCtx::declareEnum(const std::string &Name,
+                           std::vector<VariantDef> Variants) {
+  auto It = Nominals.find(Name);
+  if (It != Nominals.end()) {
+    assert(It->second->Kind == TypeKind::Enum &&
+           "conflicting enum redeclaration");
+    return It->second;
+  }
+  Type *T = create();
+  T->Kind = TypeKind::Enum;
+  T->Name = Name;
+  T->Variants = std::move(Variants);
+  Nominals.emplace(Name, T);
+  return T;
+}
+
+TypeRef TyCtx::optionOf(TypeRef Payload) {
+  auto It = Options.find(Payload);
+  if (It != Options.end())
+    return It->second;
+  Type *T = create();
+  T->Kind = TypeKind::Enum;
+  T->Name = "Option<" + Payload->str() + ">";
+  T->Variants = {VariantDef{"None", {}},
+                 VariantDef{"Some", {FieldDef{"0", Payload}}}};
+  T->IsOptionLike = true;
+  Options.emplace(Payload, T);
+  Nominals.emplace(T->Name, T);
+  return T;
+}
+
+TypeRef TyCtx::lookup(const std::string &Name) const {
+  auto It = Nominals.find(Name);
+  return It == Nominals.end() ? nullptr : It->second;
+}
+
+TypeRef TyCtx::byName(const std::string &Name) const {
+  auto It = AllByName.find(Name);
+  if (It != AllByName.end())
+    return It->second;
+  // Refresh the cache from the arena (new derived types may have appeared).
+  for (const auto &T : Arena)
+    AllByName.emplace(T->str(), T.get());
+  It = AllByName.find(Name);
+  return It == AllByName.end() ? nullptr : It->second;
+}
+
+Expr TyCtx::sizeOfExpr(TypeRef T) const {
+  switch (T->Kind) {
+  case TypeKind::Bool:
+    return mkInt(1);
+  case TypeKind::Unit:
+    return mkInt(0);
+  case TypeKind::Int:
+    return mkInt(intByteWidth(T->IntK));
+  case TypeKind::RawPtr:
+  case TypeKind::Ref:
+    return mkInt(8);
+  case TypeKind::Array:
+    return mkMul(mkIntU64(T->ArrayLen), sizeOfExpr(T->Pointee));
+  default:
+    // Layout-dependent (structs, enums) or unknown (params): opaque but
+    // fixed per type, as size_of::<T>() is in Rust.
+    return mkApp("sizeof$" + T->str(), {}, Sort::Int);
+  }
+}

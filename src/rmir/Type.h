@@ -1,0 +1,195 @@
+//===- rmir/Type.h - Rust-like type system --------------------------------===//
+//
+// Part of the Gillian-Rust C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RMIR type system: the 12 primitive machine integer types of Rust
+/// (§3 of the paper), bool, unit, structs, enums (tagged unions), raw
+/// pointers, references with lifetimes, arrays, and generic type parameters.
+/// Types are interned in a TyCtx so that TypeRef equality is pointer
+/// equality.
+///
+/// Layout is intentionally *not* part of a type: the compiler may choose
+/// different layouts (§3.1), and the verifier reasons parametrically in the
+/// chosen layout; see rmir/Layout.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RMIR_TYPE_H
+#define GILR_RMIR_TYPE_H
+
+#include "sym/Expr.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace rmir {
+
+/// The 12 machine integer types of Rust.
+enum class IntKind : uint8_t {
+  I8,
+  I16,
+  I32,
+  I64,
+  I128,
+  ISize,
+  U8,
+  U16,
+  U32,
+  U64,
+  U128,
+  USize,
+};
+
+/// Returns the byte width of \p K (ISize/USize are 8 on the modelled target).
+unsigned intByteWidth(IntKind K);
+/// Whether \p K is a signed integer kind.
+bool intIsSigned(IntKind K);
+/// Inclusive value range of \p K.
+__int128 intMinValue(IntKind K);
+__int128 intMaxValue(IntKind K);
+/// Rust-facing name, e.g. "u32".
+const char *intKindName(IntKind K);
+
+class Type;
+/// Interned type handle; equality is pointer equality.
+using TypeRef = const Type *;
+
+/// Type node kinds.
+enum class TypeKind : uint8_t {
+  Bool,
+  Int,
+  Unit,
+  Struct,
+  Enum,
+  RawPtr, ///< *mut T / *const T (mutability is irrelevant to the model).
+  Ref,    ///< &'k mut T (shared references are future work, as in §7.3).
+  Array,  ///< [T; N].
+  Param,  ///< Generic type parameter, compiled to abstract predicates (§4.2).
+};
+
+/// A field of a struct or of an enum variant.
+struct FieldDef {
+  std::string Name;
+  TypeRef Ty;
+};
+
+/// One variant of an enum.
+struct VariantDef {
+  std::string Name;
+  std::vector<FieldDef> Fields;
+};
+
+/// An interned RMIR type.
+class Type {
+public:
+  TypeKind Kind;
+
+  // Int.
+  IntKind IntK = IntKind::I32;
+
+  // Struct / Enum / Param: the nominal name (possibly instantiated, e.g.
+  // "Node<T>" or "LinkedList<i32>").
+  std::string Name;
+
+  // Struct.
+  std::vector<FieldDef> Fields;
+
+  // Enum.
+  std::vector<VariantDef> Variants;
+  /// Enums flagged as option-like have exactly two variants (None, Some(T))
+  /// and are represented by the Opt sort at the value level.
+  bool IsOptionLike = false;
+
+  // RawPtr / Ref / Array.
+  TypeRef Pointee = nullptr;
+  uint64_t ArrayLen = 0;
+
+  /// Pretty Rust-like rendering, e.g. "*mut Node<T>".
+  std::string str() const;
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isPointerLike() const {
+    return Kind == TypeKind::RawPtr || Kind == TypeKind::Ref;
+  }
+  bool isParam() const { return Kind == TypeKind::Param; }
+  bool isOption() const { return Kind == TypeKind::Enum && IsOptionLike; }
+
+  /// For option-like enums, the payload type of the Some variant.
+  TypeRef optionPayload() const;
+
+  /// True if the type mentions no type parameters (fully concrete).
+  bool isConcrete() const;
+};
+
+/// The interning context that owns all types.
+class TyCtx {
+public:
+  TyCtx();
+
+  TypeRef boolTy() const { return BoolTy; }
+  TypeRef unitTy() const { return UnitTy; }
+  TypeRef intTy(IntKind K) const { return IntTys.at(static_cast<int>(K)); }
+  TypeRef usize() const { return intTy(IntKind::USize); }
+
+  TypeRef rawPtr(TypeRef Pointee);
+  TypeRef mutRef(TypeRef Pointee);
+  TypeRef array(TypeRef Elem, uint64_t Len);
+  TypeRef param(const std::string &Name);
+
+  /// Declares (or returns the previously declared) struct named \p Name.
+  /// Redeclaration with different fields is an error.
+  TypeRef declareStruct(const std::string &Name,
+                        std::vector<FieldDef> Fields);
+
+  /// Forward-declares a struct (recursive types like Node<T> reference
+  /// pointers to themselves); complete it with \c defineStructFields.
+  TypeRef declareStructForward(const std::string &Name);
+  void defineStructFields(TypeRef Struct, std::vector<FieldDef> Fields);
+
+  /// Declares a general enum.
+  TypeRef declareEnum(const std::string &Name,
+                      std::vector<VariantDef> Variants);
+
+  /// Returns Option<T> (an option-like enum, interned per payload type).
+  TypeRef optionOf(TypeRef Payload);
+
+  /// Finds a nominal type by name, or nullptr.
+  TypeRef lookup(const std::string &Name) const;
+
+  /// Finds *any* interned type (including derived pointer/array types) by
+  /// its rendered name; used when decoding pointer values back into typed
+  /// projections (heap/Projection.h).
+  TypeRef byName(const std::string &Name) const;
+
+  /// The symbolic size of \p T in bytes: a concrete integer for concrete
+  /// types (under the *reference* size model: declaration-order independent
+  /// quantities only), or an uninterpreted "sizeof" application for type
+  /// parameters. Used when interpreting `+T e` projection elements.
+  Expr sizeOfExpr(TypeRef T) const;
+
+private:
+  Type *create();
+
+  std::vector<std::unique_ptr<Type>> Arena;
+  TypeRef BoolTy;
+  TypeRef UnitTy;
+  std::vector<TypeRef> IntTys;
+  std::map<std::string, TypeRef> Nominals; // structs, enums, params.
+  std::map<TypeRef, TypeRef> RawPtrs;
+  std::map<TypeRef, TypeRef> MutRefs;
+  std::map<std::pair<TypeRef, uint64_t>, TypeRef> Arrays;
+  std::map<TypeRef, TypeRef> Options;
+  mutable std::map<std::string, TypeRef> AllByName;
+};
+
+} // namespace rmir
+} // namespace gilr
+
+#endif // GILR_RMIR_TYPE_H

@@ -1,0 +1,152 @@
+//===- rustlib/Clients.cpp --------------------------------------------------------===//
+
+#include "rustlib/Clients.h"
+
+using namespace gilr;
+using namespace gilr::rustlib;
+using namespace gilr::creusot;
+
+namespace {
+
+SafeStmt letStmt(std::string Dest, PTermP T) {
+  SafeStmt S;
+  S.Kind = SafeStmt::Let;
+  S.Dest = std::move(Dest);
+  S.Term = std::move(T);
+  return S;
+}
+
+SafeStmt callStmt(std::string Callee, std::vector<std::string> Args,
+                  std::vector<bool> ByMutRef, std::string Dest = "") {
+  SafeStmt S;
+  S.Kind = SafeStmt::Call;
+  S.Callee = std::move(Callee);
+  S.Args = std::move(Args);
+  S.ByMutRef = std::move(ByMutRef);
+  S.Dest = std::move(Dest);
+  return S;
+}
+
+SafeStmt assertStmt(PTermP T) {
+  SafeStmt S;
+  S.Kind = SafeStmt::Assert;
+  S.Term = std::move(T);
+  return S;
+}
+
+} // namespace
+
+std::vector<SafeFn> gilr::rustlib::makeClients() {
+  std::vector<SafeFn> Clients;
+
+  // fn client_push_pop() { let mut l = LinkedList::new();
+  //   l.push_front(1); l.push_front(2);
+  //   assert_eq!(l.pop_front(), Some(2)); assert!(l@ == seq![1]); }
+  {
+    SafeFn F;
+    F.Name = "client_push_pop";
+    F.Body = {
+        callStmt("LinkedList::new", {}, {}, "l"),
+        letStmt("one", pInt(1)),
+        letStmt("two", pInt(2)),
+        callStmt("LinkedList::push_front", {"l", "one"}, {true, false}),
+        callStmt("LinkedList::push_front", {"l", "two"}, {true, false}),
+        callStmt("LinkedList::pop_front", {"l"}, {true}, "r"),
+        assertStmt(pEq(pVar("r"), pSome(pInt(2)))),
+        assertStmt(pEq(pVar("l"), pSeqCons(pInt(1), pSeqEmpty()))),
+    };
+    Clients.push_back(std::move(F));
+  }
+
+  // fn client_fifo_order(): three pushes pop in LIFO order.
+  {
+    SafeFn F;
+    F.Name = "client_lifo_order";
+    F.Body = {
+        callStmt("LinkedList::new", {}, {}, "l"),
+        letStmt("a", pInt(10)),
+        letStmt("b", pInt(20)),
+        letStmt("c", pInt(30)),
+        callStmt("LinkedList::push_front", {"l", "a"}, {true, false}),
+        callStmt("LinkedList::push_front", {"l", "b"}, {true, false}),
+        callStmt("LinkedList::push_front", {"l", "c"}, {true, false}),
+        callStmt("LinkedList::pop_front", {"l"}, {true}, "r1"),
+        assertStmt(pEq(pVar("r1"), pSome(pInt(30)))),
+        callStmt("LinkedList::pop_front", {"l"}, {true}, "r2"),
+        assertStmt(pEq(pVar("r2"), pSome(pInt(20)))),
+        callStmt("LinkedList::pop_front", {"l"}, {true}, "r3"),
+        assertStmt(pEq(pVar("r3"), pSome(pInt(10)))),
+    };
+    Clients.push_back(std::move(F));
+  }
+
+  // fn client_drain(): popping an emptied list yields None.
+  {
+    SafeFn F;
+    F.Name = "client_drain";
+    F.Body = {
+        callStmt("LinkedList::new", {}, {}, "l"),
+        letStmt("v", pInt(7)),
+        callStmt("LinkedList::push_front", {"l", "v"}, {true, false}),
+        callStmt("LinkedList::pop_front", {"l"}, {true}, "r1"),
+        assertStmt(pEq(pVar("r1"), pSome(pInt(7)))),
+        callStmt("LinkedList::pop_front", {"l"}, {true}, "r2"),
+        assertStmt(pEq(pVar("r2"), pNone())),
+        assertStmt(pEq(pVar("l"), pSeqEmpty())),
+    };
+    Clients.push_back(std::move(F));
+  }
+
+  // fn client_emptiness(): is_empty reads through the borrow without
+  // disturbing the model (the (^self)@ == self@ half of its contract).
+  {
+    SafeFn F;
+    F.Name = "client_emptiness";
+    F.Body = {
+        callStmt("LinkedList::new", {}, {}, "l"),
+        callStmt("LinkedList::is_empty", {"l"}, {true}, "e1"),
+        assertStmt(pEq(pVar("e1"), pBool(true))),
+        letStmt("v", pInt(3)),
+        callStmt("LinkedList::push_front", {"l", "v"}, {true, false}),
+        callStmt("LinkedList::is_empty", {"l"}, {true}, "e2"),
+        assertStmt(pEq(pVar("e2"), pBool(false))),
+        // The model survived both is_empty calls.
+        assertStmt(pEq(pVar("l"), pSeqCons(pInt(3), pSeqEmpty()))),
+    };
+    Clients.push_back(std::move(F));
+  }
+
+  return Clients;
+}
+
+SafeFn gilr::rustlib::makeBadClient() {
+  // Pushing onto a list of *unknown* length cannot discharge the
+  // self@.len() < usize::MAX precondition: verification must fail.
+  SafeFn F;
+  F.Name = "client_overflow_guard";
+  F.Params = {"l"};
+  F.Body = {
+      letStmt("v", pInt(1)),
+      callStmt("LinkedList::push_front", {"l", "v"}, {true, false}),
+  };
+  return F;
+}
+
+SafeFn gilr::rustlib::makeChainClient(unsigned Pushes) {
+  SafeFn F;
+  F.Name = "client_chain_" + std::to_string(Pushes);
+  F.Body.push_back(callStmt("LinkedList::new", {}, {}, "l"));
+  for (unsigned I = 0; I != Pushes; ++I) {
+    std::string V = "v" + std::to_string(I);
+    F.Body.push_back(letStmt(V, pInt(static_cast<__int128>(I))));
+    F.Body.push_back(
+        callStmt("LinkedList::push_front", {"l", V}, {true, false}));
+  }
+  for (unsigned I = Pushes; I != 0; --I) {
+    std::string R = "r" + std::to_string(I);
+    F.Body.push_back(callStmt("LinkedList::pop_front", {"l"}, {true}, R));
+    F.Body.push_back(assertStmt(
+        pEq(pVar(R), pSome(pInt(static_cast<__int128>(I - 1))))));
+  }
+  return F;
+}

@@ -1,0 +1,36 @@
+//===- rustlib/Clients.h - Safe client programs for the hybrid demo --------===//
+///
+/// \file
+/// Safe Rust client code using the LinkedList API, verified by the
+/// Creusot-side verifier against the axiomatised Pearlite contracts — the
+/// other half of the hybrid approach (§2.1). These clients never see the
+/// list's real representation, only the sequence model (Fig. 1, left).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RUSTLIB_CLIENTS_H
+#define GILR_RUSTLIB_CLIENTS_H
+
+#include "creusot/SafeVerifier.h"
+
+namespace gilr {
+namespace rustlib {
+
+/// The demo clients:
+///  * client_push_pop — push two, pop returns the last pushed;
+///  * client_fifo_order — LIFO order of three pushes;
+///  * client_drain — pops until the model is empty;
+///  * client_overflow_guard — a push that cannot discharge the length
+///    precondition (expected to FAIL; exercised negatively in tests).
+std::vector<creusot::SafeFn> makeClients();
+
+/// A client whose verification must fail (missing precondition).
+creusot::SafeFn makeBadClient();
+
+/// A parametric chain of pushes/pops for the H1 scaling benchmark.
+creusot::SafeFn makeChainClient(unsigned Pushes);
+
+} // namespace rustlib
+} // namespace gilr
+
+#endif // GILR_RUSTLIB_CLIENTS_H

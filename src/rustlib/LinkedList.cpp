@@ -1,0 +1,699 @@
+//===- rustlib/LinkedList.cpp -----------------------------------------------------===//
+
+#include "rustlib/LinkedList.h"
+
+#include "gilsonite/ModeCheck.h"
+#include "heap/Projection.h"
+#include "rmir/Builder.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+#include "sym/ExprBuilder.h"
+
+using namespace gilr;
+using namespace gilr::rustlib;
+using namespace gilr::rmir;
+using namespace gilr::gilsonite;
+
+//===----------------------------------------------------------------------===//
+// Types and predicates
+//===----------------------------------------------------------------------===//
+
+static void declareTypes(LinkedListLib &L) {
+  TyCtx &Ty = L.Prog.Types;
+  L.T = Ty.param("T");
+  L.Usize = Ty.usize();
+  // Node<T> is recursive through Option<*mut Node<T>>.
+  TypeRef NodeFwd = Ty.declareStructForward("Node<T>");
+  L.NodePtr = Ty.rawPtr(NodeFwd);
+  L.OptNodePtr = Ty.optionOf(L.NodePtr);
+  Ty.defineStructFields(NodeFwd, {FieldDef{"elem", L.T},
+                                  FieldDef{"next", L.OptNodePtr},
+                                  FieldDef{"prev", L.OptNodePtr}});
+  L.NodeTy = NodeFwd;
+  L.LLTy = Ty.declareStruct("LinkedList<T>",
+                            {FieldDef{"head", L.OptNodePtr},
+                             FieldDef{"tail", L.OptNodePtr},
+                             FieldDef{"len", L.Usize}});
+  L.RefLL = Ty.mutRef(L.LLTy);
+  L.RefT = Ty.mutRef(L.T);
+  L.OptT = Ty.optionOf(L.T);
+  L.OptRefT = Ty.optionOf(L.RefT);
+}
+
+static void declarePredicates(LinkedListLib &L) {
+  OwnableRegistry &Own = *L.Ownables;
+  std::string OwnT = Own.ownPred(L.T); // own$T: abstract (§4.2).
+
+  // The doubly-linked-list-segment predicate of §3.3:
+  //   dllSeg<T>(h, n, t, p, r, 'k) :=
+  //        (h = n * t = p * r = [])
+  //     \/ (exists h' v z rv r'.
+  //           h = Some(h') * h' |->_Node<T> (v, z, p)
+  //           * own$T(v, rv, 'k) * dllSeg(z, n, t, h, r', 'k)
+  //           * r = rv :: r').
+  {
+    PredDecl D;
+    D.Name = "dllSeg";
+    D.Params = {PredParam{"h", Sort::Opt, true},
+                PredParam{"n", Sort::Opt, true},
+                PredParam{"t", Sort::Opt, true},
+                PredParam{"p", Sort::Opt, true},
+                PredParam{"r", Sort::Seq, false},
+                PredParam{"'k", Sort::Lft, true}};
+    Expr H = mkVar("h", Sort::Opt);
+    Expr N = mkVar("n", Sort::Opt);
+    Expr Tl = mkVar("t", Sort::Opt);
+    Expr P = mkVar("p", Sort::Opt);
+    Expr R = mkVar("r", Sort::Seq);
+    Expr K = mkVar("'k", Sort::Lft);
+
+    AssertionP Empty = star({pure(mkEq(H, N)), pure(mkEq(Tl, P)),
+                             pure(mkEq(R, mkSeqNil()))});
+
+    Expr HP = mkVar("h'?", Sort::Any);
+    Expr V = mkVar("v?", Sort::Any);
+    Expr Z = mkVar("z?", Sort::Opt);
+    Expr RV = mkVar("rv?", Sort::Any);
+    Expr RT = mkVar("r'?", Sort::Seq);
+    AssertionP Cons = exists(
+        {Binder{"h'?", Sort::Any}, Binder{"v?", Sort::Any},
+         Binder{"z?", Sort::Opt}, Binder{"rv?", Sort::Any},
+         Binder{"r'?", Sort::Seq}},
+        star({pure(mkEq(H, mkSome(HP))),
+              pointsTo(HP, L.NodeTy, mkTuple({V, Z, P})),
+              predCall(OwnT, {V, RV, K}),
+              predCall("dllSeg", {Z, N, Tl, H, RT, K}),
+              pure(mkEq(R, mkSeqCons(RV, RT)))}));
+
+    D.Clauses = {Empty, Cons};
+    L.Preds.declare(std::move(D));
+  }
+
+  // impl Ownable for LinkedList<T> (Fig. 2):
+  //   own(self, repr, 'k) := dllSeg(self.head, None, self.tail, None,
+  //                                 repr, 'k) * self.len = |repr|.
+  {
+    Expr Self = mkVar("self", Sort::Tuple);
+    Expr Repr = mkVar("repr", Sort::Seq);
+    Expr K = mkVar("'k", Sort::Lft);
+    AssertionP Clause =
+        star({predCall("dllSeg",
+                       {mkTupleGet(Self, 0), mkNone(), mkTupleGet(Self, 1),
+                        mkNone(), Repr, K}),
+              pure(mkEq(mkTupleGet(Self, 2), mkSeqLen(Repr)))});
+    Own.registerUserImpl(L.LLTy, {Clause});
+  }
+
+  // Derive the remaining built-in ownables eagerly so their predicates and
+  // the mutref inner predicates exist before lemma registration.
+  Own.ownPred(L.RefLL);
+  Own.ownPred(L.RefT);
+  Own.ownPred(L.OptT);
+  Own.ownPred(L.OptRefT);
+  Own.ownPred(L.Usize);
+  Own.ownPred(L.Prog.Types.boolTy());
+
+  // The frozen variant of the LinkedList borrow content (§4.3 footnote:
+  // existential freezing): the struct value v is lifted to a parameter.
+  //   frozen$LL(p, x; v) @'kappa := exists a. p |->_LL v
+  //                                 * own$LL(v, a, 'kappa) * PC_x(a).
+  {
+    PredDecl D;
+    D.Name = "frozen$LL";
+    D.Params = {PredParam{"p", Sort::Any, true},
+                PredParam{"x", Sort::Any, true},
+                PredParam{"v", Sort::Tuple, false}};
+    D.Guardable = true;
+    Expr P = mkVar("p", Sort::Any);
+    Expr X = mkVar("x", Sort::Any);
+    Expr V = mkVar("v", Sort::Tuple);
+    Expr A = mkVar("a?", Sort::Any);
+    D.Clauses = {exists(
+        {Binder{"a?", Sort::Any}},
+        star({pointsTo(P, L.LLTy, V),
+              predCall(OwnableRegistry::ownPredName(L.LLTy),
+                       {V, A, mkVar(kappaBinderName(), Sort::Lft)}),
+              prophCtrl(X, A)}))};
+    L.Preds.declare(std::move(D));
+  }
+
+  // Predicate modes must satisfy the §7.2 discipline.
+  std::vector<std::string> ModeErrors = checkAllModes(L.Preds);
+  if (!ModeErrors.empty())
+    fatalError("LinkedList predicate mode errors:\n" +
+               join(ModeErrors, "\n"));
+}
+
+static void registerLemmas(LinkedListLib &L) {
+  engine::VerifEnv Env = L.env();
+
+  // Existential freezing (§6: "an existential freezing lemma ... proofs are
+  // entirely automatic").
+  engine::FreezeLemma Freeze;
+  Freeze.Name = "ll_freeze_list";
+  Freeze.FromPred = OwnableRegistry::mutRefInnerName(L.LLTy);
+  Freeze.ToPred = "frozen$LL";
+  Outcome<Unit> FR = L.Lemmas.registerFreeze(Freeze, Env);
+  if (!FR.ok())
+    fatalError("freeze lemma proof failed: " +
+               (FR.failed() ? FR.error() : "vanished"));
+
+  // Borrow extraction (Fig. 8): from the frozen LinkedList borrow, extract
+  // a borrow of the first element. The persistent fact is head != None.
+  engine::ExtractLemma Extract;
+  Extract.Name = "ll_extract_head";
+  Extract.Params = {"r", "p", "x", "v"};
+  Extract.GivenParams = 1;
+  Extract.MutRefParams = {"r"};
+  Extract.FromPred = "frozen$LL";
+  Extract.FromArgs = {mkVar("p", Sort::Any), mkVar("x", Sort::Any),
+                      mkVar("v", Sort::Tuple)};
+  Expr V = mkVar("v", Sort::Tuple);
+  Expr ElemPtr = heap::appendProjElem(mkUnwrap(mkTupleGet(V, 0)),
+                                      heap::ProjElem::field(L.NodeTy, 0));
+  Extract.Persistent = mkIsSome(mkTupleGet(V, 0));
+  Extract.Requires =
+      mkEq(mkTupleGet(mkVar("r", Sort::Tuple), 0), ElemPtr);
+  Extract.ToPred = OwnableRegistry::mutRefInnerName(L.T);
+  Extract.ToArgs = {ElemPtr, mkTupleGet(mkVar("r", Sort::Tuple), 1)};
+  Extract.NewProphecyHole = "r";
+  Outcome<Unit> ER = L.Lemmas.registerExtract(Extract, Env);
+  if (!ER.ok())
+    fatalError("extraction lemma proof failed: " +
+               (ER.failed() ? ER.error() : "vanished"));
+}
+
+//===----------------------------------------------------------------------===//
+// RMIR function bodies
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Operand cNone(TypeRef OptTy) { return Operand::constant(mkNone(), OptTy); }
+Operand cUsize(uint64_t V, TypeRef Usize) {
+  return Operand::constant(mkIntU64(V), Usize);
+}
+
+} // namespace
+
+/// fn new() -> LinkedList<T> { LinkedList { head: None, tail: None, len: 0 } }
+static Function buildNew(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::new", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  B.setReturnType(L.LLTy);
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(0),
+           Rvalue::aggregate(L.LLTy, 0,
+                             {cNone(L.OptNodePtr), cNone(L.OptNodePtr),
+                              cUsize(0, L.Usize)}));
+  B.ret();
+  return B.finish();
+}
+
+/// fn push_front_node(&mut self, x: T) — the std implementation: allocate a
+/// node, link it at the front, fix up head/tail/prev, bump len.
+static Function buildPushFrontNode(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::push_front_node", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  LocalId X = B.addParam("x", L.T);
+  B.setReturnType(L.Prog.Types.unitTy());
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Old = B.addLocal("old", L.NodePtr);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+  LocalId Len0 = B.addLocal("len0", L.Usize);
+  LocalId Len1 = B.addLocal("len1", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId SomeOld = B.newBlock();
+  BlockId NoneOld = B.newBlock();
+  BlockId Join = B.newBlock();
+
+  Place SelfHead = Place(Self).deref().field(0);
+  Place SelfTail = Place(Self).deref().field(1);
+  Place SelfLen = Place(Self).deref().field(2);
+
+  B.atBlock(Entry);
+  B.mutrefAutoResolve(Operand::copy(Place(Self)));
+  B.assign(Place(Head0), Rvalue::use(Operand::copy(SelfHead)));
+  B.alloc(Place(Node), L.NodeTy);
+  // *node = Node { elem: x, next: head0, prev: None }.
+  B.assign(Place(Node).deref(),
+           Rvalue::aggregate(L.NodeTy, 0,
+                             {Operand::move(Place(X)),
+                              Operand::copy(Place(Head0)),
+                              cNone(L.OptNodePtr)}));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, NoneOld}}, SomeOld);
+
+  B.atBlock(SomeOld); // (*old).prev = Some(node).
+  B.assign(Place(Old),
+           Rvalue::use(Operand::copy(Place(Head0).downcast(1).field(0))));
+  B.assign(Place(Old).deref().field(2),
+           Rvalue::aggregate(L.OptNodePtr, 1, {Operand::copy(Place(Node))}));
+  B.gotoBlock(Join);
+
+  B.atBlock(NoneOld); // Empty list: tail also points at the new node.
+  B.assign(SelfTail,
+           Rvalue::aggregate(L.OptNodePtr, 1, {Operand::copy(Place(Node))}));
+  B.gotoBlock(Join);
+
+  B.atBlock(Join);
+  B.assign(SelfHead,
+           Rvalue::aggregate(L.OptNodePtr, 1, {Operand::copy(Place(Node))}));
+  B.assign(Place(Len0), Rvalue::use(Operand::copy(SelfLen)));
+  B.assign(Place(Len1),
+           Rvalue::binary(BinOp::Add, Operand::copy(Place(Len0)),
+                          cUsize(1, L.Usize)));
+  B.assign(SelfLen, Rvalue::use(Operand::copy(Place(Len1))));
+  B.ret();
+  return B.finish();
+}
+
+/// fn pop_front_node(&mut self) -> Option<T> — unlink the first node, move
+/// its element out, free the node. (Box is elided: our Box is
+/// alloc/dealloc plus a raw pointer, see DESIGN.md.)
+static Function buildPopFrontNode(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::pop_front_node", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  B.setReturnType(L.OptT);
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId Elem = B.addLocal("elem", L.T);
+  LocalId Next = B.addLocal("next", L.OptNodePtr);
+  LocalId Next2 = B.addLocal("next2", L.NodePtr);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+  LocalId D1 = B.addLocal("d1", L.Usize);
+  LocalId Len0 = B.addLocal("len0", L.Usize);
+  LocalId Len1 = B.addLocal("len1", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId IsNone = B.newBlock();
+  BlockId IsSome = B.newBlock();
+  BlockId NowEmpty = B.newBlock();
+  BlockId StillSome = B.newBlock();
+  BlockId Done = B.newBlock();
+
+  Place SelfHead = Place(Self).deref().field(0);
+  Place SelfTail = Place(Self).deref().field(1);
+  Place SelfLen = Place(Self).deref().field(2);
+
+  B.atBlock(Entry);
+  B.mutrefAutoResolve(Operand::copy(Place(Self)));
+  B.assign(Place(Head0), Rvalue::use(Operand::copy(SelfHead)));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, IsNone}}, IsSome);
+
+  B.atBlock(IsNone);
+  B.assign(Place(0), Rvalue::aggregate(L.OptT, 0, {}));
+  B.ret();
+
+  B.atBlock(IsSome);
+  B.assign(Place(Node),
+           Rvalue::use(Operand::copy(Place(Head0).downcast(1).field(0))));
+  B.assign(Place(Elem),
+           Rvalue::use(Operand::move(Place(Node).deref().field(0))));
+  B.assign(Place(Next),
+           Rvalue::use(Operand::copy(Place(Node).deref().field(1))));
+  B.assign(SelfHead, Rvalue::use(Operand::copy(Place(Next))));
+  B.assign(Place(D1), Rvalue::discriminant(Place(Next)));
+  B.switchInt(Operand::copy(Place(D1)), {{0, NowEmpty}}, StillSome);
+
+  B.atBlock(NowEmpty);
+  B.assign(SelfTail, Rvalue::use(cNone(L.OptNodePtr)));
+  B.gotoBlock(Done);
+
+  B.atBlock(StillSome); // (*next).prev = None.
+  B.assign(Place(Next2),
+           Rvalue::use(Operand::copy(Place(Next).downcast(1).field(0))));
+  B.assign(Place(Next2).deref().field(2), Rvalue::use(cNone(L.OptNodePtr)));
+  B.gotoBlock(Done);
+
+  B.atBlock(Done);
+  B.free(Operand::copy(Place(Node)), L.NodeTy);
+  B.assign(Place(Len0), Rvalue::use(Operand::copy(SelfLen)));
+  B.assign(Place(Len1),
+           Rvalue::binary(BinOp::Sub, Operand::copy(Place(Len0)),
+                          cUsize(1, L.Usize)));
+  B.assign(SelfLen, Rvalue::use(Operand::copy(Place(Len1))));
+  B.assign(Place(0),
+           Rvalue::aggregate(L.OptT, 1, {Operand::move(Place(Elem))}));
+  B.ret();
+  return B.finish();
+}
+
+/// fn push_front(&mut self, x: T) { self.push_front_node(x) } — the
+/// Option::map-free wrapper (closures are inlined as in §6).
+static Function buildPushFront(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::push_front", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  LocalId X = B.addParam("x", L.T);
+  B.setReturnType(L.Prog.Types.unitTy());
+  LocalId Tmp = B.addLocal("tmp", L.Prog.Types.unitTy());
+
+  BlockId Entry = B.newBlock();
+  BlockId Cont = B.newBlock();
+  B.atBlock(Entry);
+  B.call("LinkedList::push_front_node",
+         {Operand::copy(Place(Self)), Operand::move(Place(X))}, Place(Tmp),
+         Cont);
+  B.atBlock(Cont);
+  B.ret();
+  return B.finish();
+}
+
+/// fn pop_front(&mut self) -> Option<T> { self.pop_front_node() }.
+static Function buildPopFront(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::pop_front", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  B.setReturnType(L.OptT);
+
+  BlockId Entry = B.newBlock();
+  BlockId Cont = B.newBlock();
+  B.atBlock(Entry);
+  B.call("LinkedList::pop_front_node", {Operand::copy(Place(Self))},
+         Place(0), Cont);
+  B.atBlock(Cont);
+  B.ret();
+  return B.finish();
+}
+
+/// fn front_mut(&mut self) -> Option<&mut T> — the borrow-extraction case
+/// (§4.3, §6): needs the two declared lemmas, whose proofs are automatic.
+static Function buildFrontMut(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::front_mut", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  B.setReturnType(L.OptRefT);
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId R = B.addLocal("r", L.RefT);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId IsNone = B.newBlock();
+  BlockId IsSome = B.newBlock();
+
+  B.atBlock(Entry);
+  B.assign(Place(Head0),
+           Rvalue::use(Operand::copy(Place(Self).deref().field(0))));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, IsNone}}, IsSome);
+
+  B.atBlock(IsNone);
+  // Only the empty path resolves the self reference: on the Some path its
+  // borrow is consumed by the extraction (branch-local tactic).
+  B.mutrefAutoResolve(Operand::copy(Place(Self)));
+  B.assign(Place(0), Rvalue::aggregate(L.OptRefT, 0, {}));
+  B.ret();
+
+  B.atBlock(IsSome);
+  B.assign(Place(Node),
+           Rvalue::use(Operand::copy(Place(Head0).downcast(1).field(0))));
+  // r = &mut (*node).elem.
+  B.assign(Place(R), Rvalue::refOf(Place(Node).deref().field(0)));
+  B.applyLemma("ll_freeze_list", {});
+  B.applyLemma("ll_extract_head", {Operand::copy(Place(R))});
+  B.assign(Place(0),
+           Rvalue::aggregate(L.OptRefT, 1, {Operand::copy(Place(R))}));
+  B.ret();
+  return B.finish();
+}
+
+/// fn replace_front(&mut self, x: T) -> bool — overwrite the first element
+/// in place (additional coverage: writes through the borrow into the node).
+static Function buildReplaceFront(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::replace_front", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  LocalId X = B.addParam("x", L.T);
+  B.setReturnType(L.Prog.Types.boolTy());
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId IsNone = B.newBlock();
+  BlockId IsSome = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(Head0),
+           Rvalue::use(Operand::copy(Place(Self).deref().field(0))));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, IsNone}}, IsSome);
+  B.atBlock(IsNone);
+  B.assign(Place(0),
+           Rvalue::use(Operand::constant(mkFalse(), L.Prog.Types.boolTy())));
+  B.ret();
+  B.atBlock(IsSome);
+  B.assign(Place(Node),
+           Rvalue::use(Operand::copy(Place(Head0).downcast(1).field(0))));
+  B.assign(Place(Node).deref().field(0),
+           Rvalue::use(Operand::move(Place(X))));
+  B.assign(Place(0),
+           Rvalue::use(Operand::constant(mkTrue(), L.Prog.Types.boolTy())));
+  B.ret();
+  return B.finish();
+}
+
+/// fn is_empty(&mut self) -> bool.
+static Function buildIsEmpty(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::is_empty", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  B.setReturnType(L.Prog.Types.boolTy());
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId IsNone = B.newBlock();
+  BlockId IsSome = B.newBlock();
+  B.atBlock(Entry);
+  B.mutrefAutoResolve(Operand::copy(Place(Self)));
+  B.assign(Place(Head0),
+           Rvalue::use(Operand::copy(Place(Self).deref().field(0))));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, IsNone}}, IsSome);
+  B.atBlock(IsNone);
+  B.assign(Place(0),
+           Rvalue::use(Operand::constant(mkTrue(), L.Prog.Types.boolTy())));
+  B.ret();
+  B.atBlock(IsSome);
+  B.assign(Place(0),
+           Rvalue::use(Operand::constant(mkFalse(), L.Prog.Types.boolTy())));
+  B.ret();
+  return B.finish();
+}
+
+/// fn len_mut(&mut self) -> usize.
+static Function buildLenMut(LinkedListLib &L) {
+  FunctionBuilder B("LinkedList::len_mut", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  B.setReturnType(L.Usize);
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(0),
+           Rvalue::use(Operand::copy(Place(Self).deref().field(2))));
+  B.ret();
+  return B.finish();
+}
+
+/// A push_front_node skeleton with injectable defects (negative tests).
+enum class PushDefect { NoPrevFix, SelfCycle, NoLenUpdate };
+
+static Function buildBuggyPushFrontNode(LinkedListLib &L,
+                                        const std::string &Name,
+                                        PushDefect Defect) {
+  FunctionBuilder B(Name, L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefLL);
+  LocalId X = B.addParam("x", L.T);
+  B.setReturnType(L.Prog.Types.unitTy());
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Old = B.addLocal("old", L.NodePtr);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+  LocalId Len0 = B.addLocal("len0", L.Usize);
+  LocalId Len1 = B.addLocal("len1", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId SomeOld = B.newBlock();
+  BlockId NoneOld = B.newBlock();
+  BlockId Join = B.newBlock();
+
+  Place SelfHead = Place(Self).deref().field(0);
+  Place SelfTail = Place(Self).deref().field(1);
+  Place SelfLen = Place(Self).deref().field(2);
+
+  B.atBlock(Entry);
+  B.assign(Place(Head0), Rvalue::use(Operand::copy(SelfHead)));
+  B.alloc(Place(Node), L.NodeTy);
+  B.assign(Place(Node).deref(),
+           Rvalue::aggregate(L.NodeTy, 0,
+                             {Operand::move(Place(X)),
+                              Operand::copy(Place(Head0)),
+                              cNone(L.OptNodePtr)}));
+  if (Defect == PushDefect::SelfCycle) {
+    // The Fig. 7 bug: the new node's next points at the node itself,
+    // creating a cycle no dllSeg can describe.
+    B.assign(Place(Node).deref().field(1),
+             Rvalue::aggregate(L.OptNodePtr, 1,
+                               {Operand::copy(Place(Node))}));
+  }
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, NoneOld}}, SomeOld);
+
+  B.atBlock(SomeOld);
+  B.assign(Place(Old),
+           Rvalue::use(Operand::copy(Place(Head0).downcast(1).field(0))));
+  if (Defect != PushDefect::NoPrevFix) {
+    B.assign(Place(Old).deref().field(2),
+             Rvalue::aggregate(L.OptNodePtr, 1,
+                               {Operand::copy(Place(Node))}));
+  }
+  B.gotoBlock(Join);
+
+  B.atBlock(NoneOld);
+  B.assign(SelfTail,
+           Rvalue::aggregate(L.OptNodePtr, 1, {Operand::copy(Place(Node))}));
+  B.gotoBlock(Join);
+
+  B.atBlock(Join);
+  B.assign(SelfHead,
+           Rvalue::aggregate(L.OptNodePtr, 1, {Operand::copy(Place(Node))}));
+  if (Defect != PushDefect::NoLenUpdate) {
+    B.assign(Place(Len0), Rvalue::use(Operand::copy(SelfLen)));
+    B.assign(Place(Len1),
+             Rvalue::binary(BinOp::Add, Operand::copy(Place(Len0)),
+                            cUsize(1, L.Usize)));
+    B.assign(SelfLen, Rvalue::use(Operand::copy(Place(Len1))));
+  }
+  B.ret();
+  return B.finish();
+}
+
+std::vector<std::string>
+gilr::rustlib::registerBuggyVariants(LinkedListLib &L) {
+  struct Variant {
+    const char *Name;
+    PushDefect Defect;
+  };
+  const Variant Variants[] = {
+      {"LinkedList::push_front_node_noprev", PushDefect::NoPrevFix},
+      {"LinkedList::push_front_node_cycle", PushDefect::SelfCycle},
+      {"LinkedList::push_front_node_nolen", PushDefect::NoLenUpdate},
+  };
+  std::vector<std::string> Names;
+  for (const Variant &V : Variants) {
+    Function F = buildBuggyPushFrontNode(L, V.Name, V.Defect);
+    if (!L.Specs.lookup(V.Name))
+      L.Specs.add(L.Ownables->makeShowSafetySpec(F));
+    L.Prog.Funcs.emplace(V.Name, std::move(F));
+    Names.push_back(V.Name);
+  }
+  return Names;
+}
+
+//===----------------------------------------------------------------------===//
+// Assembly
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> gilr::rustlib::typeSafetyFunctions() {
+  return {"LinkedList::new", "LinkedList::push_front",
+          "LinkedList::pop_front", "LinkedList::front_mut"};
+}
+
+std::vector<std::string> gilr::rustlib::functionalFunctions() {
+  return {"LinkedList::new", "LinkedList::push_front_node",
+          "LinkedList::pop_front_node"};
+}
+
+std::vector<std::string> gilr::rustlib::allFunctions() {
+  return {"LinkedList::new",          "LinkedList::push_front_node",
+          "LinkedList::pop_front_node", "LinkedList::push_front",
+          "LinkedList::pop_front",    "LinkedList::front_mut",
+          "LinkedList::replace_front", "LinkedList::is_empty",
+          "LinkedList::len_mut"};
+}
+
+std::unique_ptr<LinkedListLib>
+gilr::rustlib::buildLinkedListLib(SpecMode Mode) {
+  auto L = std::make_unique<LinkedListLib>();
+  L->Ownables =
+      std::make_unique<OwnableRegistry>(L->Prog.Types, L->Preds);
+
+  declareTypes(*L);
+  declarePredicates(*L);
+
+  auto addFn = [&](Function F) {
+    std::string Name = F.Name;
+    L->Prog.Funcs.emplace(std::move(Name), std::move(F));
+  };
+  addFn(buildNew(*L));
+  addFn(buildPushFrontNode(*L));
+  addFn(buildPopFrontNode(*L));
+  addFn(buildPushFront(*L));
+  addFn(buildPopFront(*L));
+  addFn(buildFrontMut(*L));
+  addFn(buildReplaceFront(*L));
+  addFn(buildIsEmpty(*L));
+  addFn(buildLenMut(*L));
+
+  L->Contracts = creusot::makeLinkedListSpecs();
+
+  // Register specs.
+  if (Mode == SpecMode::TypeSafety) {
+    L->Auto.ObsExtraction = true;
+    for (const std::string &Name : allFunctions())
+      L->Specs.add(L->Ownables->makeShowSafetySpec(*L->Prog.lookup(Name)));
+    // Type safety permits panics (overflow aborts are safe; §6 verifies
+    // push_front without a length precondition).
+    L->Auto.PanicsAllowed = true;
+  } else {
+    // Functional: encoded Pearlite contracts where available, show_safety
+    // for the rest (front_mut's functional spec needs the enhanced
+    // extraction of §7.1, exercised separately).
+    engine::VerifEnv Env = L->env();
+    hybrid::HybridDriver Driver(Env, L->Contracts);
+    for (const std::string &Name :
+         {std::string("LinkedList::new"),
+          std::string("LinkedList::push_front_node"),
+          std::string("LinkedList::pop_front_node"),
+          std::string("LinkedList::push_front"),
+          std::string("LinkedList::pop_front")}) {
+      Outcome<Unit> R = Driver.encodeAndRegister(Name);
+      if (!R.ok())
+        fatalError("encoding Pearlite spec of " + Name + ": " + R.error());
+    }
+    for (const std::string &Name :
+         {std::string("LinkedList::front_mut"),
+          std::string("LinkedList::is_empty")}) {
+      Outcome<Unit> R = Driver.encodeAndRegister(Name);
+      if (!R.ok())
+        fatalError("encoding Pearlite spec of " + Name + ": " + R.error());
+    }
+    for (const std::string &Name :
+         {std::string("LinkedList::len_mut"),
+          std::string("LinkedList::replace_front")})
+      L->Specs.add(L->Ownables->makeShowSafetySpec(*L->Prog.lookup(Name)));
+    L->Auto.PanicsAllowed = false;
+  }
+
+  registerLemmas(*L);
+  return L;
+}

@@ -1,0 +1,95 @@
+//===- rustlib/LinkedList.h - The LinkedList case study (§2, §6) ----------===//
+///
+/// \file
+/// The paper's evaluation target: the LinkedList<T> module of the Rust
+/// standard library, written in RMIR (our stand-in for rustc MIR; see
+/// DESIGN.md, Substitutions), together with
+///
+///  * the dllSeg ownership predicate of §3.3 and the Ownable impl of
+///    LinkedList (Fig. 2),
+///  * the two manually-declared, automatically-proven lemmas front_mut
+///    needs (§4.3/§6): an existential-freezing lemma and a borrow
+///    extraction lemma,
+///  * #[show_safety] specs (E1) and Pearlite-encoded functional specs (E2).
+///
+/// Functions: new, push_front, pop_front, front_mut, push_front_node,
+/// pop_front_node (the §6 set), plus is_empty and len_mut for coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RUSTLIB_LINKEDLIST_H
+#define GILR_RUSTLIB_LINKEDLIST_H
+
+#include "engine/Verifier.h"
+#include "hybrid/Driver.h"
+
+#include <memory>
+
+namespace gilr {
+namespace rustlib {
+
+/// Which specification family to register (the two experiments of §6).
+enum class SpecMode {
+  TypeSafety, ///< #[show_safety] expansions (E1).
+  Functional, ///< Pearlite contracts encoded via §5.4 (E2).
+};
+
+/// A fully assembled verification universe for the LinkedList module.
+struct LinkedListLib {
+  rmir::Program Prog;
+  gilsonite::PredTable Preds;
+  gilsonite::SpecTable Specs;
+  engine::LemmaTable Lemmas;
+  Solver Solv;
+  engine::Automation Auto;
+  std::unique_ptr<gilsonite::OwnableRegistry> Ownables;
+  creusot::PearliteSpecTable Contracts;
+
+  // Interned type handles.
+  rmir::TypeRef T = nullptr;          ///< The element type parameter.
+  rmir::TypeRef NodeTy = nullptr;     ///< Node<T>.
+  rmir::TypeRef NodePtr = nullptr;    ///< *mut Node<T>.
+  rmir::TypeRef OptNodePtr = nullptr; ///< Option<*mut Node<T>>.
+  rmir::TypeRef LLTy = nullptr;       ///< LinkedList<T>.
+  rmir::TypeRef RefLL = nullptr;      ///< &mut LinkedList<T>.
+  rmir::TypeRef RefT = nullptr;       ///< &mut T.
+  rmir::TypeRef OptT = nullptr;       ///< Option<T>.
+  rmir::TypeRef OptRefT = nullptr;    ///< Option<&mut T>.
+  rmir::TypeRef Usize = nullptr;
+
+  engine::VerifEnv env() {
+    return engine::VerifEnv{Prog, Preds, Specs, *Ownables, Lemmas, Solv,
+                            Auto};
+  }
+};
+
+/// Builds the library with the requested spec family registered. Predicate
+/// modes are checked and the front_mut lemmas are verified during build
+/// (their proofs are automatic, §6); failures abort.
+std::unique_ptr<LinkedListLib> buildLinkedListLib(SpecMode Mode);
+
+/// The E1 function set: type safety (§6 reports 0.16 s total).
+std::vector<std::string> typeSafetyFunctions();
+
+/// The E2 function set: functional correctness (§6 reports 0.18 s total).
+std::vector<std::string> functionalFunctions();
+
+/// All verified functions (the two sets plus the coverage extras).
+std::vector<std::string> allFunctions();
+
+/// Registers deliberately *buggy* variants of push_front_node (with
+/// #[show_safety] specs) whose verification must fail — the negative half
+/// of the evaluation:
+///   push_front_node_noprev — forgets (*old).prev = Some(node): the
+///     back-edge invariant of dllSeg breaks;
+///   push_front_node_cycle  — links the new node to itself (the Fig. 7
+///     cycle: a client could then double-free);
+///   push_front_node_nolen  — forgets the length update: len = |repr|
+///     breaks.
+/// Returns their names.
+std::vector<std::string> registerBuggyVariants(LinkedListLib &L);
+
+} // namespace rustlib
+} // namespace gilr
+
+#endif // GILR_RUSTLIB_LINKEDLIST_H

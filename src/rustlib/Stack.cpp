@@ -1,0 +1,417 @@
+//===- rustlib/Stack.cpp ----------------------------------------------------------===//
+
+#include "rustlib/Stack.h"
+
+#include "gilsonite/ModeCheck.h"
+#include "heap/Projection.h"
+#include "rmir/Builder.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+#include "sym/ExprBuilder.h"
+
+using namespace gilr;
+using namespace gilr::rustlib;
+using namespace gilr::rmir;
+using namespace gilr::gilsonite;
+
+std::vector<std::string> gilr::rustlib::stackFunctions() {
+  return {"Stack::new", "Stack::push", "Stack::pop", "Stack::peek_mut",
+          "Stack::is_empty"};
+}
+
+//===----------------------------------------------------------------------===//
+// Types and predicates
+//===----------------------------------------------------------------------===//
+
+static void declareTypes(StackLib &L) {
+  TyCtx &Ty = L.Prog.Types;
+  L.T = Ty.param("T");
+  L.Usize = Ty.usize();
+  TypeRef NodeFwd = Ty.declareStructForward("StackNode<T>");
+  L.NodePtr = Ty.rawPtr(NodeFwd);
+  L.OptNodePtr = Ty.optionOf(L.NodePtr);
+  Ty.defineStructFields(NodeFwd, {FieldDef{"elem", L.T},
+                                  FieldDef{"next", L.OptNodePtr}});
+  L.NodeTy = NodeFwd;
+  L.StackTy = Ty.declareStruct("Stack<T>", {FieldDef{"head", L.OptNodePtr},
+                                            FieldDef{"len", L.Usize}});
+  L.RefStack = Ty.mutRef(L.StackTy);
+  L.RefT = Ty.mutRef(L.T);
+  L.OptT = Ty.optionOf(L.T);
+  L.OptRefT = Ty.optionOf(L.RefT);
+}
+
+static void declarePredicates(StackLib &L) {
+  OwnableRegistry &Own = *L.Ownables;
+  std::string OwnT = Own.ownPred(L.T);
+
+  // sllSeg(h, r, 'k): the singly-linked list segment from h to None.
+  {
+    PredDecl D;
+    D.Name = "sllSeg";
+    D.Params = {PredParam{"h", Sort::Opt, true},
+                PredParam{"r", Sort::Seq, false},
+                PredParam{"'k", Sort::Lft, true}};
+    Expr H = mkVar("h", Sort::Opt);
+    Expr R = mkVar("r", Sort::Seq);
+    Expr K = mkVar("'k", Sort::Lft);
+    AssertionP Empty =
+        star({pure(mkEq(H, mkNone())), pure(mkEq(R, mkSeqNil()))});
+    Expr HP = mkVar("h'?", Sort::Any);
+    Expr V = mkVar("v?", Sort::Any);
+    Expr Z = mkVar("z?", Sort::Opt);
+    Expr RV = mkVar("rv?", Sort::Any);
+    Expr RT = mkVar("r'?", Sort::Seq);
+    AssertionP Cons = exists(
+        {Binder{"h'?", Sort::Any}, Binder{"v?", Sort::Any},
+         Binder{"z?", Sort::Opt}, Binder{"rv?", Sort::Any},
+         Binder{"r'?", Sort::Seq}},
+        star({pure(mkEq(H, mkSome(HP))),
+              pointsTo(HP, L.NodeTy, mkTuple({V, Z})),
+              predCall(OwnT, {V, RV, K}),
+              predCall("sllSeg", {Z, RT, K}),
+              pure(mkEq(R, mkSeqCons(RV, RT)))}));
+    D.Clauses = {Empty, Cons};
+    L.Preds.declare(std::move(D));
+  }
+
+  // impl Ownable for Stack<T>:
+  //   own(self, repr, 'k) := sllSeg(self.head, repr, 'k)
+  //                          * self.len = |repr|.
+  {
+    Expr Self = mkVar("self", Sort::Tuple);
+    Expr Repr = mkVar("repr", Sort::Seq);
+    Expr K = mkVar("'k", Sort::Lft);
+    Own.registerUserImpl(
+        L.StackTy,
+        {star({predCall("sllSeg", {mkTupleGet(Self, 0), Repr, K}),
+               pure(mkEq(mkTupleGet(Self, 1), mkSeqLen(Repr)))})});
+  }
+
+  Own.ownPred(L.RefStack);
+  Own.ownPred(L.RefT);
+  Own.ownPred(L.OptT);
+  Own.ownPred(L.OptRefT);
+  Own.ownPred(L.Usize);
+  Own.ownPred(L.Prog.Types.boolTy());
+
+  // Frozen variant for peek_mut's extraction (mirrors frozen$LL).
+  {
+    PredDecl D;
+    D.Name = "frozen$Stack";
+    D.Params = {PredParam{"p", Sort::Any, true},
+                PredParam{"x", Sort::Any, true},
+                PredParam{"v", Sort::Tuple, false}};
+    D.Guardable = true;
+    Expr P = mkVar("p", Sort::Any);
+    Expr X = mkVar("x", Sort::Any);
+    Expr V = mkVar("v", Sort::Tuple);
+    Expr A = mkVar("a?", Sort::Any);
+    D.Clauses = {exists(
+        {Binder{"a?", Sort::Any}},
+        star({pointsTo(P, L.StackTy, V),
+              predCall(OwnableRegistry::ownPredName(L.StackTy),
+                       {V, A, mkVar(kappaBinderName(), Sort::Lft)}),
+              prophCtrl(X, A)}))};
+    L.Preds.declare(std::move(D));
+  }
+
+  std::vector<std::string> Errors = checkAllModes(L.Preds);
+  if (!Errors.empty())
+    fatalError("Stack predicate mode errors:\n" + join(Errors, "\n"));
+}
+
+static void registerLemmas(StackLib &L) {
+  engine::VerifEnv Env = L.env();
+
+  engine::FreezeLemma Freeze;
+  Freeze.Name = "stack_freeze";
+  Freeze.FromPred = OwnableRegistry::mutRefInnerName(L.StackTy);
+  Freeze.ToPred = "frozen$Stack";
+  Outcome<Unit> FR = L.Lemmas.registerFreeze(Freeze, Env);
+  if (!FR.ok())
+    fatalError("stack freeze lemma proof failed: " +
+               (FR.failed() ? FR.error() : "vanished"));
+
+  engine::ExtractLemma Extract;
+  Extract.Name = "stack_extract_top";
+  Extract.Params = {"r", "p", "x", "v"};
+  Extract.GivenParams = 1;
+  Extract.MutRefParams = {"r"};
+  Extract.FromPred = "frozen$Stack";
+  Extract.FromArgs = {mkVar("p", Sort::Any), mkVar("x", Sort::Any),
+                      mkVar("v", Sort::Tuple)};
+  Expr V = mkVar("v", Sort::Tuple);
+  Expr ElemPtr = heap::appendProjElem(mkUnwrap(mkTupleGet(V, 0)),
+                                      heap::ProjElem::field(L.NodeTy, 0));
+  Extract.Persistent = mkIsSome(mkTupleGet(V, 0));
+  Extract.Requires = mkEq(mkTupleGet(mkVar("r", Sort::Tuple), 0), ElemPtr);
+  Extract.ToPred = OwnableRegistry::mutRefInnerName(L.T);
+  Extract.ToArgs = {ElemPtr, mkTupleGet(mkVar("r", Sort::Tuple), 1)};
+  Extract.NewProphecyHole = "r";
+  Outcome<Unit> ER = L.Lemmas.registerExtract(Extract, Env);
+  if (!ER.ok())
+    fatalError("stack extraction lemma proof failed: " +
+               (ER.failed() ? ER.error() : "vanished"));
+}
+
+//===----------------------------------------------------------------------===//
+// RMIR bodies
+//===----------------------------------------------------------------------===//
+
+/// fn new() -> Stack<T>.
+static Function buildNew(StackLib &L) {
+  FunctionBuilder B("Stack::new", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  B.setReturnType(L.StackTy);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(0),
+           Rvalue::aggregate(L.StackTy, 0,
+                             {Operand::constant(mkNone(), L.OptNodePtr),
+                              Operand::constant(mkInt(0), L.Usize)}));
+  B.ret();
+  return B.finish();
+}
+
+/// fn push(&mut self, x: T).
+static Function buildPush(StackLib &L) {
+  FunctionBuilder B("Stack::push", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefStack);
+  LocalId X = B.addParam("x", L.T);
+  B.setReturnType(L.Prog.Types.unitTy());
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Len0 = B.addLocal("len0", L.Usize);
+  LocalId Len1 = B.addLocal("len1", L.Usize);
+
+  Place SelfHead = Place(Self).deref().field(0);
+  Place SelfLen = Place(Self).deref().field(1);
+
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.mutrefAutoResolve(Operand::copy(Place(Self)));
+  B.assign(Place(Head0), Rvalue::use(Operand::copy(SelfHead)));
+  B.alloc(Place(Node), L.NodeTy);
+  B.assign(Place(Node).deref(),
+           Rvalue::aggregate(L.NodeTy, 0, {Operand::move(Place(X)),
+                                           Operand::copy(Place(Head0))}));
+  B.assign(SelfHead,
+           Rvalue::aggregate(L.OptNodePtr, 1, {Operand::copy(Place(Node))}));
+  B.assign(Place(Len0), Rvalue::use(Operand::copy(SelfLen)));
+  B.assign(Place(Len1),
+           Rvalue::binary(BinOp::Add, Operand::copy(Place(Len0)),
+                          Operand::constant(mkInt(1), L.Usize)));
+  B.assign(SelfLen, Rvalue::use(Operand::copy(Place(Len1))));
+  B.ret();
+  return B.finish();
+}
+
+/// fn pop(&mut self) -> Option<T>.
+static Function buildPop(StackLib &L) {
+  FunctionBuilder B("Stack::pop", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefStack);
+  B.setReturnType(L.OptT);
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId Elem = B.addLocal("elem", L.T);
+  LocalId Next = B.addLocal("next", L.OptNodePtr);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+  LocalId Len0 = B.addLocal("len0", L.Usize);
+  LocalId Len1 = B.addLocal("len1", L.Usize);
+
+  Place SelfHead = Place(Self).deref().field(0);
+  Place SelfLen = Place(Self).deref().field(1);
+
+  BlockId Entry = B.newBlock();
+  BlockId IsNone = B.newBlock();
+  BlockId IsSome = B.newBlock();
+
+  B.atBlock(Entry);
+  B.mutrefAutoResolve(Operand::copy(Place(Self)));
+  B.assign(Place(Head0), Rvalue::use(Operand::copy(SelfHead)));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, IsNone}}, IsSome);
+
+  B.atBlock(IsNone);
+  B.assign(Place(0), Rvalue::aggregate(L.OptT, 0, {}));
+  B.ret();
+
+  B.atBlock(IsSome);
+  B.assign(Place(Node),
+           Rvalue::use(Operand::copy(Place(Head0).downcast(1).field(0))));
+  B.assign(Place(Elem),
+           Rvalue::use(Operand::move(Place(Node).deref().field(0))));
+  B.assign(Place(Next),
+           Rvalue::use(Operand::copy(Place(Node).deref().field(1))));
+  B.assign(SelfHead, Rvalue::use(Operand::copy(Place(Next))));
+  B.free(Operand::copy(Place(Node)), L.NodeTy);
+  B.assign(Place(Len0), Rvalue::use(Operand::copy(SelfLen)));
+  B.assign(Place(Len1),
+           Rvalue::binary(BinOp::Sub, Operand::copy(Place(Len0)),
+                          Operand::constant(mkInt(1), L.Usize)));
+  B.assign(SelfLen, Rvalue::use(Operand::copy(Place(Len1))));
+  B.assign(Place(0),
+           Rvalue::aggregate(L.OptT, 1, {Operand::move(Place(Elem))}));
+  B.ret();
+  return B.finish();
+}
+
+/// fn peek_mut(&mut self) -> Option<&mut T> — the extraction case.
+static Function buildPeekMut(StackLib &L) {
+  FunctionBuilder B("Stack::peek_mut", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefStack);
+  B.setReturnType(L.OptRefT);
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId Node = B.addLocal("node", L.NodePtr);
+  LocalId R = B.addLocal("r", L.RefT);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId IsNone = B.newBlock();
+  BlockId IsSome = B.newBlock();
+
+  B.atBlock(Entry);
+  B.assign(Place(Head0),
+           Rvalue::use(Operand::copy(Place(Self).deref().field(0))));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, IsNone}}, IsSome);
+
+  B.atBlock(IsNone);
+  B.assign(Place(0), Rvalue::aggregate(L.OptRefT, 0, {}));
+  B.ret();
+
+  B.atBlock(IsSome);
+  B.assign(Place(Node),
+           Rvalue::use(Operand::copy(Place(Head0).downcast(1).field(0))));
+  B.assign(Place(R), Rvalue::refOf(Place(Node).deref().field(0)));
+  B.applyLemma("stack_freeze", {});
+  B.applyLemma("stack_extract_top", {Operand::copy(Place(R))});
+  B.assign(Place(0),
+           Rvalue::aggregate(L.OptRefT, 1, {Operand::copy(Place(R))}));
+  B.ret();
+  return B.finish();
+}
+
+/// fn is_empty(&mut self) -> bool.
+static Function buildIsEmpty(StackLib &L) {
+  FunctionBuilder B("Stack::is_empty", L.Prog.Types);
+  B.addTypeParam("T");
+  B.addLifetime("'a");
+  LocalId Self = B.addParam("self", L.RefStack);
+  B.setReturnType(L.Prog.Types.boolTy());
+  LocalId Head0 = B.addLocal("head0", L.OptNodePtr);
+  LocalId D0 = B.addLocal("d0", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  BlockId IsNone = B.newBlock();
+  BlockId IsSome = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(Head0),
+           Rvalue::use(Operand::copy(Place(Self).deref().field(0))));
+  B.assign(Place(D0), Rvalue::discriminant(Place(Head0)));
+  B.switchInt(Operand::copy(Place(D0)), {{0, IsNone}}, IsSome);
+  B.atBlock(IsNone);
+  B.assign(Place(0),
+           Rvalue::use(Operand::constant(mkTrue(), L.Prog.Types.boolTy())));
+  B.ret();
+  B.atBlock(IsSome);
+  B.assign(Place(0),
+           Rvalue::use(Operand::constant(mkFalse(), L.Prog.Types.boolTy())));
+  B.ret();
+  return B.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Contracts and assembly
+//===----------------------------------------------------------------------===//
+
+static creusot::PearliteSpecTable makeStackContracts() {
+  using namespace gilr::creusot;
+  PearliteSpecTable T;
+  __int128 UsizeMax = rmir::intMaxValue(rmir::IntKind::USize);
+  {
+    PearliteSpec S;
+    S.Func = "Stack::new";
+    S.HasResult = true;
+    S.Post = pEq(pModel(pResult()), pSeqEmpty());
+    S.Doc = "#[ensures(result@ == Seq::EMPTY)]";
+    T.add(std::move(S));
+  }
+  {
+    PearliteSpec S;
+    S.Func = "Stack::push";
+    S.Params = {{"self", true}, {"x", false}};
+    S.Pre = pLt(pSeqLen(pModel(pVar("self"))), pInt(UsizeMax));
+    S.Post = pEq(pModel(pFinal(pVar("self"))),
+                 pSeqCons(pVar("x"), pModel(pVar("self"))));
+    S.Doc = "#[ensures((^self)@ == Seq::cons(x@, self@))]";
+    T.add(std::move(S));
+  }
+  {
+    PearliteSpec S;
+    S.Func = "Stack::pop";
+    S.Params = {{"self", true}};
+    S.HasResult = true;
+    S.Post = pMatchOpt(
+        pResult(),
+        pAnd(pEq(pModel(pVar("self")), pSeqEmpty()),
+             pEq(pModel(pFinal(pVar("self"))), pSeqEmpty())),
+        "x",
+        pEq(pModel(pVar("self")),
+            pSeqCons(pVar("x"), pModel(pFinal(pVar("self"))))));
+    S.Doc = "#[ensures(match result { ... })], as for LinkedList::pop_front";
+    T.add(std::move(S));
+  }
+  return T;
+}
+
+std::unique_ptr<StackLib> gilr::rustlib::buildStackLib(StackSpecMode Mode) {
+  auto L = std::make_unique<StackLib>();
+  L->Ownables = std::make_unique<OwnableRegistry>(L->Prog.Types, L->Preds);
+
+  declareTypes(*L);
+  declarePredicates(*L);
+
+  auto addFn = [&](Function F) {
+    std::string Name = F.Name;
+    L->Prog.Funcs.emplace(std::move(Name), std::move(F));
+  };
+  addFn(buildNew(*L));
+  addFn(buildPush(*L));
+  addFn(buildPop(*L));
+  addFn(buildPeekMut(*L));
+  addFn(buildIsEmpty(*L));
+
+  L->Contracts = makeStackContracts();
+
+  if (Mode == StackSpecMode::TypeSafety) {
+    for (const std::string &Name : stackFunctions())
+      L->Specs.add(L->Ownables->makeShowSafetySpec(*L->Prog.lookup(Name)));
+    L->Auto.PanicsAllowed = true;
+  } else {
+    engine::VerifEnv Env = L->env();
+    hybrid::HybridDriver Driver(Env, L->Contracts);
+    for (const std::string &Name :
+         {std::string("Stack::new"), std::string("Stack::push"),
+          std::string("Stack::pop")}) {
+      Outcome<Unit> R = Driver.encodeAndRegister(Name);
+      if (!R.ok())
+        fatalError("encoding Stack contract of " + Name + ": " + R.error());
+    }
+    for (const std::string &Name :
+         {std::string("Stack::peek_mut"), std::string("Stack::is_empty")})
+      L->Specs.add(L->Ownables->makeShowSafetySpec(*L->Prog.lookup(Name)));
+    L->Auto.PanicsAllowed = false;
+  }
+
+  registerLemmas(*L);
+  return L;
+}

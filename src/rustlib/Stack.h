@@ -1,0 +1,64 @@
+//===- rustlib/Stack.h - A second case study: a singly-linked stack --------===//
+///
+/// \file
+/// Beyond the paper's LinkedList: a singly-linked stack implemented with
+/// raw pointers, demonstrating that the verification pipeline (ownership
+/// predicates, borrow automation, Pearlite contracts via the §5.4
+/// encoding, freezing/extraction lemmas) is not specific to one data
+/// structure. The sllSeg predicate is the singly-linked cousin of dllSeg;
+/// peek_mut mirrors front_mut's borrow extraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RUSTLIB_STACK_H
+#define GILR_RUSTLIB_STACK_H
+
+#include "engine/Verifier.h"
+#include "hybrid/Driver.h"
+
+#include <memory>
+
+namespace gilr {
+namespace rustlib {
+
+/// Spec family selection, as for the LinkedList library.
+enum class StackSpecMode { TypeSafety, Functional };
+
+/// The assembled Stack verification universe.
+struct StackLib {
+  rmir::Program Prog;
+  gilsonite::PredTable Preds;
+  gilsonite::SpecTable Specs;
+  engine::LemmaTable Lemmas;
+  Solver Solv;
+  engine::Automation Auto;
+  std::unique_ptr<gilsonite::OwnableRegistry> Ownables;
+  creusot::PearliteSpecTable Contracts;
+
+  rmir::TypeRef T = nullptr;
+  rmir::TypeRef NodeTy = nullptr;     ///< StackNode<T>.
+  rmir::TypeRef NodePtr = nullptr;    ///< *mut StackNode<T>.
+  rmir::TypeRef OptNodePtr = nullptr;
+  rmir::TypeRef StackTy = nullptr;    ///< Stack<T>.
+  rmir::TypeRef RefStack = nullptr;   ///< &mut Stack<T>.
+  rmir::TypeRef RefT = nullptr;
+  rmir::TypeRef OptT = nullptr;
+  rmir::TypeRef OptRefT = nullptr;
+  rmir::TypeRef Usize = nullptr;
+
+  engine::VerifEnv env() {
+    return engine::VerifEnv{Prog, Preds, Specs, *Ownables, Lemmas, Solv,
+                            Auto};
+  }
+};
+
+/// Builds the library (predicates mode-checked, lemmas proven at build).
+std::unique_ptr<StackLib> buildStackLib(StackSpecMode Mode);
+
+/// The verified functions: new, push, pop, peek_mut, is_empty.
+std::vector<std::string> stackFunctions();
+
+} // namespace rustlib
+} // namespace gilr
+
+#endif // GILR_RUSTLIB_STACK_H

@@ -1,0 +1,210 @@
+//===- rustlib/Vec.cpp ------------------------------------------------------------===//
+
+#include "rustlib/Vec.h"
+
+#include "heap/Projection.h"
+#include "rmir/Builder.h"
+#include "support/Diagnostics.h"
+
+#include "sym/ExprBuilder.h"
+
+using namespace gilr;
+using namespace gilr::rustlib;
+using namespace gilr::rmir;
+using namespace gilr::gilsonite;
+
+std::vector<std::string> gilr::rustlib::vecFunctions() {
+  return {"Vec::push_raw", "Vec::pop_raw", "Vec::get_raw", "Vec::set_raw"};
+}
+
+/// Builds the pointer expression buf.offset(count).
+static Expr bufAt(rmir::TypeRef T, const Expr &Count) {
+  return heap::appendProjElem(mkVar("buf", Sort::Tuple),
+                              heap::ProjElem::offset(T, Count));
+}
+
+/// fn push_raw(buf: *mut T, len: usize, cap: usize, x: T) -> usize —
+/// the Fig. 5 write: *buf.add(len) = x; len + 1.
+static Function buildPushRaw(VecLib &L) {
+  FunctionBuilder B("Vec::push_raw", L.Prog.Types);
+  B.addTypeParam("T");
+  LocalId Buf = B.addParam("buf", L.PtrT);
+  LocalId Len = B.addParam("len", L.Usize);
+  B.addParam("cap", L.Usize);
+  LocalId X = B.addParam("x", L.T);
+  B.setReturnType(L.Usize);
+  LocalId Tmp = B.addLocal("tmp", L.PtrT);
+
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(Tmp), Rvalue::ptrOffset(Operand::copy(Place(Buf)),
+                                         Operand::copy(Place(Len))));
+  B.assign(Place(Tmp).deref(), Rvalue::use(Operand::move(Place(X))));
+  B.assign(Place(0),
+           Rvalue::binary(BinOp::Add, Operand::copy(Place(Len)),
+                          Operand::constant(mkInt(1), L.Usize)));
+  B.ret();
+  return B.finish();
+}
+
+/// fn pop_raw(buf: *mut T, len: usize) -> T — move the last element out,
+/// deinitialising its slot (the dual of the Fig. 5 write).
+static Function buildPopRaw(VecLib &L) {
+  FunctionBuilder B("Vec::pop_raw", L.Prog.Types);
+  B.addTypeParam("T");
+  LocalId Buf = B.addParam("buf", L.PtrT);
+  LocalId Len = B.addParam("len", L.Usize);
+  B.setReturnType(L.T);
+  LocalId Tmp = B.addLocal("tmp", L.PtrT);
+  LocalId Last = B.addLocal("last", L.Usize);
+
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(Last),
+           Rvalue::binary(BinOp::Sub, Operand::copy(Place(Len)),
+                          Operand::constant(mkInt(1), L.Usize)));
+  B.assign(Place(Tmp), Rvalue::ptrOffset(Operand::copy(Place(Buf)),
+                                         Operand::copy(Place(Last))));
+  B.assign(Place(0), Rvalue::use(Operand::move(Place(Tmp).deref())));
+  B.ret();
+  return B.finish();
+}
+
+/// fn get_raw(buf: *mut T, len: usize, i: usize) -> T (T: Copy).
+static Function buildGetRaw(VecLib &L) {
+  FunctionBuilder B("Vec::get_raw", L.Prog.Types);
+  B.addTypeParam("T");
+  LocalId Buf = B.addParam("buf", L.PtrT);
+  B.addParam("len", L.Usize);
+  LocalId I = B.addParam("i", L.Usize);
+  B.setReturnType(L.T);
+  LocalId Tmp = B.addLocal("tmp", L.PtrT);
+
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(Tmp), Rvalue::ptrOffset(Operand::copy(Place(Buf)),
+                                         Operand::copy(Place(I))));
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(Tmp).deref())));
+  B.ret();
+  return B.finish();
+}
+
+/// fn set_raw(buf: *mut T, len: usize, i: usize, x: T).
+static Function buildSetRaw(VecLib &L) {
+  FunctionBuilder B("Vec::set_raw", L.Prog.Types);
+  B.addTypeParam("T");
+  LocalId Buf = B.addParam("buf", L.PtrT);
+  B.addParam("len", L.Usize);
+  LocalId I = B.addParam("i", L.Usize);
+  LocalId X = B.addParam("x", L.T);
+  B.setReturnType(L.Prog.Types.unitTy());
+  LocalId Tmp = B.addLocal("tmp", L.PtrT);
+
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(Tmp), Rvalue::ptrOffset(Operand::copy(Place(Buf)),
+                                         Operand::copy(Place(I))));
+  B.assign(Place(Tmp).deref(), Rvalue::use(Operand::move(Place(X))));
+  B.ret();
+  return B.finish();
+}
+
+std::unique_ptr<VecLib> gilr::rustlib::buildVecLib() {
+  auto L = std::make_unique<VecLib>();
+  L->Ownables = std::make_unique<OwnableRegistry>(L->Prog.Types, L->Preds);
+  TyCtx &Ty = L->Prog.Types;
+  L->T = Ty.param("T");
+  L->PtrT = Ty.rawPtr(L->T);
+  L->Usize = Ty.usize();
+
+  auto addFn = [&](Function F) {
+    std::string Name = F.Name;
+    L->Prog.Funcs.emplace(std::move(Name), std::move(F));
+  };
+  addFn(buildPushRaw(*L));
+  addFn(buildPopRaw(*L));
+  addFn(buildGetRaw(*L));
+  addFn(buildSetRaw(*L));
+
+  Expr Buf = mkVar("buf", Sort::Tuple);
+  Expr Len = mkVar("len", Sort::Int);
+  Expr Cap = mkVar("cap", Sort::Int);
+  Expr I = mkVar("i", Sort::Int);
+  Expr X = mkVar("x", Sort::Any);
+  Expr S = mkVar("s$", Sort::Seq);
+  Expr UsizeMax = mkInt(rmir::intMaxValue(rmir::IntKind::USize));
+
+  // push_raw spec:
+  //   { buf |->_[T; len] s * buf+len |->_[T; cap-len] uninit
+  //     * 0 <= len < cap <= usize::MAX }
+  //   push_raw(buf, len, cap, x)
+  //   { ret = len + 1 * buf |->_[T; len+1] (s ++ [x])
+  //     * buf+(len+1) |->_[T; cap-(len+1)] uninit }
+  {
+    Spec Sp;
+    Sp.Func = "Vec::push_raw";
+    Sp.Doc = "Fig. 5: laid-out write with spare capacity";
+    Sp.SpecVars = {Binder{"s$", Sort::Seq}};
+    Sp.Pre = star(
+        {pure(mkLe(mkInt(0), Len)), pure(mkLt(Len, Cap)),
+         pure(mkLe(Cap, UsizeMax)),
+         arrayPT(Buf, L->T, Len, S),
+         arrayUninit(bufAt(L->T, Len), L->T, mkSub(Cap, Len))});
+    Expr Len1 = mkAdd(Len, mkInt(1));
+    Sp.Post = star(
+        {pure(mkEq(mkVar(retVarName(), Sort::Int), Len1)),
+         arrayPT(Buf, L->T, Len1, mkSeqConcat(S, mkSeqUnit(X))),
+         arrayUninit(bufAt(L->T, Len1), L->T, mkSub(Cap, Len1))});
+    L->Specs.add(std::move(Sp));
+  }
+
+  // pop_raw spec: the last slot is moved out of and becomes uninitialised.
+  {
+    Spec Sp;
+    Sp.Func = "Vec::pop_raw";
+    Sp.Doc = "move-out of a laid-out slot (deinitialisation, §3.2)";
+    Sp.SpecVars = {Binder{"s$", Sort::Seq}};
+    Sp.Pre = star({pure(mkLt(mkInt(0), Len)), pure(mkLe(Len, UsizeMax)),
+                   arrayPT(Buf, L->T, Len, S)});
+    Expr Len1 = mkSub(Len, mkInt(1));
+    Sp.Post = star(
+        {pure(mkEq(mkVar(retVarName(), Sort::Any), mkSeqNth(S, Len1))),
+         arrayPT(Buf, L->T, Len1, mkSeqSub(S, mkInt(0), Len1)),
+         arrayUninit(bufAt(L->T, Len1), L->T, mkInt(1))});
+    L->Specs.add(std::move(Sp));
+  }
+
+  // get_raw spec: reading element i leaves the array intact.
+  {
+    Spec Sp;
+    Sp.Func = "Vec::get_raw";
+    Sp.Doc = "laid-out split + read + reassembly";
+    Sp.SpecVars = {Binder{"s$", Sort::Seq}};
+    Sp.Pre = star({pure(mkLe(mkInt(0), I)), pure(mkLt(I, Len)),
+                   pure(mkLe(Len, UsizeMax)),
+                   arrayPT(Buf, L->T, Len, S)});
+    Sp.Post = star({pure(mkEq(mkVar(retVarName(), Sort::Any),
+                              mkSeqNth(S, I))),
+                    arrayPT(Buf, L->T, Len, S)});
+    L->Specs.add(std::move(Sp));
+  }
+
+  // set_raw spec: in-bounds overwrite.
+  {
+    Spec Sp;
+    Sp.Func = "Vec::set_raw";
+    Sp.Doc = "laid-out in-bounds overwrite";
+    Sp.SpecVars = {Binder{"s$", Sort::Seq}};
+    Sp.Pre = star({pure(mkLe(mkInt(0), I)), pure(mkLt(I, Len)),
+                   pure(mkLe(Len, UsizeMax)),
+                   arrayPT(Buf, L->T, Len, S)});
+    Expr I1 = mkAdd(I, mkInt(1));
+    Sp.Post = star({arrayPT(Buf, L->T, Len,
+                            mkSeqConcat({mkSeqSub(S, mkInt(0), I),
+                                         mkSeqUnit(X),
+                                         mkSeqSub(S, I1, mkSub(Len, I1))}))});
+    L->Specs.add(std::move(Sp));
+  }
+
+  return L;
+}

@@ -1,0 +1,54 @@
+//===- rustlib/Vec.h - The Vec push case study (Fig. 5) --------------------===//
+///
+/// \file
+/// The second case study: the raw-buffer push path at the core of the Rust
+/// vector type, exercising *laid-out nodes* end-to-end (Fig. 5 of the
+/// paper: isolate the region at offset len, overwrite it, reassemble).
+/// Functions operate on a raw buffer with explicit length/capacity and are
+/// specified directly in Gilsonite with array points-to assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_RUSTLIB_VEC_H
+#define GILR_RUSTLIB_VEC_H
+
+#include "engine/Verifier.h"
+
+#include <memory>
+
+namespace gilr {
+namespace rustlib {
+
+/// The Vec verification universe.
+struct VecLib {
+  rmir::Program Prog;
+  gilsonite::PredTable Preds;
+  gilsonite::SpecTable Specs;
+  engine::LemmaTable Lemmas;
+  Solver Solv;
+  engine::Automation Auto;
+  std::unique_ptr<gilsonite::OwnableRegistry> Ownables;
+
+  rmir::TypeRef T = nullptr;    ///< Element type parameter.
+  rmir::TypeRef PtrT = nullptr; ///< *mut T.
+  rmir::TypeRef Usize = nullptr;
+
+  engine::VerifEnv env() {
+    return engine::VerifEnv{Prog, Preds, Specs, *Ownables, Lemmas, Solv,
+                            Auto};
+  }
+};
+
+/// Builds the library with its Gilsonite specs:
+///   vec_push_raw(buf, len, cap, x) -> usize   (the Fig. 5 write)
+///   vec_get_raw(buf, len, i) -> T             (split + read + reassemble)
+///   vec_set_raw(buf, len, i, x)               (in-bounds overwrite)
+std::unique_ptr<VecLib> buildVecLib();
+
+/// The verified function list.
+std::vector<std::string> vecFunctions();
+
+} // namespace rustlib
+} // namespace gilr
+
+#endif // GILR_RUSTLIB_VEC_H

@@ -1,0 +1,388 @@
+//===- solver/Congruence.cpp ------------------------------------------------===//
+
+#include "solver/Congruence.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+#include "solver/SeqTheory.h"
+#include "sym/Printer.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace gilr;
+
+int Congruence::registerTerm(const Expr &E) {
+  assert(E && "registering null term");
+  auto It = TermIds.find(E);
+  if (It != TermIds.end())
+    return It->second;
+  // Register children first so that ids exist for the signature pass.
+  for (const Expr &Kid : E->Kids)
+    registerTerm(Kid);
+  int Id = static_cast<int>(Nodes.size());
+  Nodes.push_back({E, Id, 1});
+  TermIds.emplace(E, Id);
+  if (isConstructorLike(E))
+    Witness[Id] = Id;
+  return Id;
+}
+
+bool Congruence::isConstructorLike(const Expr &E) const {
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::RealLit:
+  case ExprKind::BoolLit:
+  case ExprKind::LocLit:
+  case ExprKind::UnitLit:
+  case ExprKind::NoneLit:
+  case ExprKind::Some:
+  case ExprKind::SeqNil:
+  case ExprKind::SeqUnit:
+  case ExprKind::TupleLit:
+    return true;
+  case ExprKind::SeqConcat: {
+    __int128 Len;
+    return getStaticSeqLen(E, Len);
+  }
+  default:
+    return false;
+  }
+}
+
+int Congruence::constructorCompat(const Expr &A, const Expr &B) const {
+  if (A->Kind == B->Kind) {
+    switch (A->Kind) {
+    case ExprKind::IntLit:
+      return A->IntVal == B->IntVal ? 1 : -1;
+    case ExprKind::RealLit:
+      return A->RatVal == B->RatVal ? 1 : -1;
+    case ExprKind::BoolLit:
+      return A->BoolVal == B->BoolVal ? 1 : -1;
+    case ExprKind::LocLit:
+      return A->LocId == B->LocId ? 1 : -1;
+    case ExprKind::UnitLit:
+    case ExprKind::NoneLit:
+    case ExprKind::SeqNil:
+      return 1;
+    case ExprKind::Some:
+    case ExprKind::SeqUnit:
+      return 0; // Decompose kids.
+    case ExprKind::TupleLit:
+      return A->Kids.size() == B->Kids.size() ? 0 : -1;
+    case ExprKind::SeqConcat:
+      return 2; // Unknown relationship beyond lengths.
+    default:
+      return 2;
+    }
+  }
+  // Different kinds. Option constructors clash; sequence constructors clash
+  // when static lengths differ.
+  auto isOpt = [](ExprKind K) {
+    return K == ExprKind::NoneLit || K == ExprKind::Some;
+  };
+  if (isOpt(A->Kind) && isOpt(B->Kind))
+    return -1;
+  auto isSeq = [](ExprKind K) {
+    return K == ExprKind::SeqNil || K == ExprKind::SeqUnit ||
+           K == ExprKind::SeqConcat;
+  };
+  if (isSeq(A->Kind) && isSeq(B->Kind)) {
+    __int128 LA, LB;
+    if (getStaticSeqLen(A, LA) && getStaticSeqLen(B, LB) && LA != LB)
+      return -1;
+    return 2;
+  }
+  // Literals of incomparable kinds: sorts would have to differ; treat as
+  // unknown rather than claiming a clash.
+  return 2;
+}
+
+int Congruence::find(int I) {
+  while (Nodes[I].Parent != I) {
+    Nodes[I].Parent = Nodes[Nodes[I].Parent].Parent;
+    I = Nodes[I].Parent;
+  }
+  return I;
+}
+
+bool Congruence::merge(int A, int B) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return true;
+  auto WA = Witness.find(A);
+  auto WB = Witness.find(B);
+  if (WA != Witness.end() && WB != Witness.end()) {
+    const Expr &TA = Nodes[WA->second].Term;
+    const Expr &TB = Nodes[WB->second].Term;
+    int Compat = constructorCompat(TA, TB);
+    if (Compat == -1) {
+      Conflict = true;
+      return false;
+    }
+    if (Compat == 0) {
+      assert(TA->Kids.size() == TB->Kids.size() && "decomposition arity");
+      for (std::size_t I = 0, E = TA->Kids.size(); I != E; ++I)
+        Pending.push_back(
+            {registerTerm(TA->Kids[I]), registerTerm(TB->Kids[I])});
+    }
+  }
+  if (Nodes[A].Size < Nodes[B].Size)
+    std::swap(A, B);
+  Nodes[B].Parent = A;
+  Nodes[A].Size += Nodes[B].Size;
+  // Prefer a literal witness; otherwise keep whichever exists.
+  if (WB != Witness.end()) {
+    auto preferable = [this](int WId, int Against) {
+      const Expr &T = Nodes[WId].Term;
+      if (Against == -1)
+        return true;
+      const Expr &O = Nodes[Against].Term;
+      bool TLit = T->Kids.empty();
+      bool OLit = O->Kids.empty();
+      return TLit && !OLit;
+    };
+    int Existing = Witness.count(A) ? Witness[A] : -1;
+    if (preferable(WB->second, Existing))
+      Witness[A] = WB->second;
+  }
+  return true;
+}
+
+bool Congruence::addEquality(const Expr &A, const Expr &B) {
+  queueEquality(A, B);
+  return saturate();
+}
+
+void Congruence::queueEquality(const Expr &A, const Expr &B) {
+  int IA = registerTerm(A);
+  int IB = registerTerm(B);
+  Pending.push_back({IA, IB});
+}
+
+void Congruence::addDisequality(const Expr &A, const Expr &B) {
+  Disequalities.push_back({registerTerm(A), registerTerm(B)});
+}
+
+bool Congruence::saturate() {
+  if (Conflict)
+    return false;
+  const int MaxRounds = 200;
+  for (int Round = 0; Round != MaxRounds; ++Round) {
+    // 1. Drain pending merges.
+    bool Merged = false;
+    while (!Pending.empty()) {
+      auto [A, B] = Pending.back();
+      Pending.pop_back();
+      if (find(A) != find(B)) {
+        Merged = true;
+        if (!merge(A, B))
+          return false;
+      }
+    }
+
+    // 2. Congruence pass: identical signatures over representatives merge.
+    // Signatures are integer vectors (kind, payload, app-name id, kid
+    // representatives) — exact keys, no hashing shortcuts (a collision
+    // would merge unequal terms and be unsound).
+    std::map<std::vector<int>, int> Signatures;
+    std::map<std::string, int> NameIds;
+    std::size_t NumNodes = Nodes.size();
+    for (std::size_t I = 0; I != NumNodes; ++I) {
+      const Expr &T = Nodes[I].Term;
+      if (T->Kids.empty())
+        continue;
+      std::vector<int> Sig;
+      Sig.reserve(T->Kids.size() + 3);
+      Sig.push_back(static_cast<int>(T->Kind));
+      Sig.push_back(static_cast<int>(T->Index));
+      if (T->Name.empty()) {
+        Sig.push_back(-1);
+      } else {
+        auto [NIt, _] =
+            NameIds.emplace(T->Name, static_cast<int>(NameIds.size()));
+        Sig.push_back(NIt->second);
+      }
+      for (const Expr &Kid : T->Kids)
+        Sig.push_back(find(TermIds.at(Kid)));
+      auto [It, Inserted] =
+          Signatures.emplace(std::move(Sig), static_cast<int>(I));
+      if (!Inserted && find(It->second) != find(static_cast<int>(I)))
+        Pending.push_back({It->second, static_cast<int>(I)});
+    }
+
+    // 3. Projection pass: evaluate selectors against class witnesses.
+    std::vector<std::pair<Expr, Expr>> NewEqs;
+    for (std::size_t I = 0; I != NumNodes; ++I) {
+      const Expr &T = Nodes[I].Term;
+      switch (T->Kind) {
+      case ExprKind::Unwrap: {
+        Expr W = witness(T->Kids[0]);
+        if (W && W->Kind == ExprKind::Some)
+          NewEqs.push_back({T, W->Kids[0]});
+        break;
+      }
+      case ExprKind::IsSome: {
+        Expr W = witness(T->Kids[0]);
+        if (W && W->Kind == ExprKind::Some)
+          NewEqs.push_back({T, mkTrue()});
+        else if (W && W->Kind == ExprKind::NoneLit)
+          NewEqs.push_back({T, mkFalse()});
+        break;
+      }
+      case ExprKind::TupleGet: {
+        Expr W = witness(T->Kids[0]);
+        if (W && W->Kind == ExprKind::TupleLit && T->Index < W->Kids.size())
+          NewEqs.push_back({T, W->Kids[T->Index]});
+        break;
+      }
+      case ExprKind::SeqLen: {
+        Expr W = witness(T->Kids[0]);
+        __int128 Len;
+        if (W && getStaticSeqLen(W, Len))
+          NewEqs.push_back({T, mkInt(Len)});
+        break;
+      }
+      case ExprKind::SeqConcat: {
+        // Associativity up to congruence: replace kids by sequence-shaped
+        // class members and let the builder re-flatten; merging the term
+        // with the flattened form lets concat(a, b) meet concat(a, c, d)
+        // when b ~ concat(c, d).
+        bool Changed = false;
+        std::vector<Expr> NewKids;
+        NewKids.reserve(T->Kids.size());
+        for (const Expr &Kid : T->Kids) {
+          Expr W = seqShapeWitness(Kid);
+          if (W && !exprEquals(W, Kid)) {
+            NewKids.push_back(W);
+            Changed = true;
+          } else {
+            NewKids.push_back(Kid);
+          }
+        }
+        if (Changed)
+          NewEqs.push_back({T, mkSeqConcat(std::move(NewKids))});
+        break;
+      }
+      case ExprKind::SeqNth: {
+        Expr W = witness(T->Kids[0]);
+        __int128 Idx;
+        if (W && getIntLit(T->Kids[1], Idx)) {
+          Expr Folded = mkSeqNth(W, T->Kids[1]);
+          if (Folded->Kind != ExprKind::SeqNth)
+            NewEqs.push_back({T, Folded});
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    for (auto &[A, B] : NewEqs)
+      Pending.push_back({registerTerm(A), registerTerm(B)});
+
+    if (Pending.empty() && !Merged)
+      break;
+  }
+  return !Conflict;
+}
+
+bool Congruence::hasSeqLengthConflict() {
+  // A class with a statically-sized sequence witness cannot contain a
+  // member whose static minimum length exceeds it (e.g. [] vs x :: s).
+  std::map<int, __int128> StaticLen;
+  for (std::size_t I = 0, N = Nodes.size(); I != N; ++I) {
+    const Expr &T = Nodes[I].Term;
+    __int128 Len;
+    if ((T->Kind == ExprKind::SeqNil || T->Kind == ExprKind::SeqUnit ||
+         T->Kind == ExprKind::SeqConcat) &&
+        getStaticSeqLen(T, Len)) {
+      int Rep = find(static_cast<int>(I));
+      auto [It, Inserted] = StaticLen.emplace(Rep, Len);
+      if (!Inserted && It->second != Len)
+        return true; // Two different static lengths in one class.
+    }
+  }
+  for (std::size_t I = 0, N = Nodes.size(); I != N; ++I) {
+    const Expr &T = Nodes[I].Term;
+    if (T->Kind != ExprKind::SeqConcat && T->Kind != ExprKind::SeqUnit)
+      continue;
+    auto It = StaticLen.find(find(static_cast<int>(I)));
+    if (It != StaticLen.end() && minStaticSeqLen(T) > It->second)
+      return true;
+  }
+  return false;
+}
+
+bool Congruence::hasDisequalityConflict() {
+  for (auto &[A, B] : Disequalities)
+    if (find(A) == find(B))
+      return true;
+  // A disequality between two classes with clashing constructor witnesses is
+  // fine; what we must also catch is a disequality whose two sides have the
+  // *same* literal witness value even if classes were not merged: covered by
+  // the congruence/witness merge above, since equal literals share a node.
+  return false;
+}
+
+bool Congruence::provedEqual(const Expr &A, const Expr &B) {
+  int IA = registerTerm(A);
+  int IB = registerTerm(B);
+  saturate();
+  return find(IA) == find(IB);
+}
+
+Expr Congruence::seqShapeWitness(const Expr &E) {
+  auto It = TermIds.find(E);
+  if (It == TermIds.end())
+    return nullptr;
+  int Rep = find(It->second);
+  for (std::size_t I = 0, N = Nodes.size(); I != N; ++I) {
+    ExprKind K = Nodes[I].Term->Kind;
+    if ((K == ExprKind::SeqConcat || K == ExprKind::SeqUnit ||
+         K == ExprKind::SeqNil) &&
+        find(static_cast<int>(I)) == Rep)
+      return Nodes[I].Term;
+  }
+  return nullptr;
+}
+
+Expr Congruence::witness(const Expr &E) {
+  auto It = TermIds.find(E);
+  if (It == TermIds.end())
+    return nullptr;
+  int Rep = find(It->second);
+  auto WIt = Witness.find(Rep);
+  // Witness entries may be keyed by stale representatives after merges;
+  // search members lazily if missing.
+  if (WIt != Witness.end())
+    return Nodes[WIt->second].Term;
+  for (std::size_t I = 0, N = Nodes.size(); I != N; ++I) {
+    if (find(static_cast<int>(I)) == Rep &&
+        isConstructorLike(Nodes[I].Term)) {
+      Witness[Rep] = static_cast<int>(I);
+      return Nodes[I].Term;
+    }
+  }
+  return nullptr;
+}
+
+std::string Congruence::canonKey(const Expr &E) {
+  int Id = registerTerm(E);
+  if (!Pending.empty())
+    saturate();
+  if (Expr W = witness(E))
+    if (W->Kids.empty())
+      return "lit:" + exprToString(W);
+  return "cls:" + std::to_string(find(Id));
+}
+
+std::vector<Expr> Congruence::classReps() {
+  std::vector<Expr> Reps;
+  for (std::size_t I = 0, N = Nodes.size(); I != N; ++I)
+    if (find(static_cast<int>(I)) == static_cast<int>(I))
+      Reps.push_back(Nodes[I].Term);
+  return Reps;
+}

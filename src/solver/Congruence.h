@@ -1,0 +1,107 @@
+//===- solver/Congruence.h - Congruence closure with constructors ---------===//
+///
+/// \file
+/// A congruence-closure engine over the expression DAG with built-in
+/// constructor reasoning: merging Some(a) with Some(b) merges a with b,
+/// merging None with Some(_) (or two distinct literals) is a conflict, and
+/// projection terms (Unwrap, TupleGet, SeqLen over static sequences) are
+/// evaluated against constructor witnesses discovered in their argument's
+/// class. This is the equality core of the SMT-lite solver standing in for
+/// Z3 (see DESIGN.md, Substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SOLVER_CONGRUENCE_H
+#define GILR_SOLVER_CONGRUENCE_H
+
+#include "sym/Expr.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gilr {
+
+/// Congruence closure over registered terms.
+class Congruence {
+public:
+  Congruence() = default;
+
+  /// Registers \p E and all its subterms; returns its node id.
+  int registerTerm(const Expr &E);
+
+  /// Asserts a = b. Returns false on conflict.
+  bool addEquality(const Expr &A, const Expr &B);
+
+  /// Queues a = b without saturating; call saturate() once after a batch.
+  void queueEquality(const Expr &A, const Expr &B);
+
+  /// Records a disequality to be checked by \c hasDisequalityConflict.
+  void addDisequality(const Expr &A, const Expr &B);
+
+  /// Runs closure to fixpoint. Returns false on conflict.
+  bool saturate();
+
+  /// True if some asserted disequality collapsed into an equality.
+  bool hasDisequalityConflict();
+
+  /// True if a class contains sequences of incompatible static lengths.
+  bool hasSeqLengthConflict();
+
+  bool inConflict() const { return Conflict; }
+
+  /// True if the closure proves a = b (both terms are registered on demand).
+  bool provedEqual(const Expr &A, const Expr &B);
+
+  /// Returns a canonical string key for the class of \p E: the payload of a
+  /// literal witness when one exists, otherwise a class-unique name. Used by
+  /// the linear-arithmetic backend to identify opaque terms up to equality.
+  std::string canonKey(const Expr &E);
+
+  /// Returns the constructor/literal witness of the class of \p E if one is
+  /// known (IntLit, BoolLit, RealLit, LocLit, NoneLit, Some, TupleLit,
+  /// SeqNil/SeqUnit/static SeqConcat), else nullptr.
+  Expr witness(const Expr &E);
+
+  /// Enumerates one representative term per class (for theory export).
+  std::vector<Expr> classReps();
+
+  /// A sequence-constructor member (concat/unit/nil) of E's class, if any;
+  /// used for associativity reasoning over concatenations.
+  Expr seqShapeWitness(const Expr &E);
+
+private:
+  struct Node {
+    Expr Term;
+    int Parent;
+    int Size;
+  };
+
+  int find(int I);
+  bool merge(int A, int B);
+  bool isConstructorLike(const Expr &E) const;
+  /// Returns 0 if two constructor-like terms are compatible roots (same
+  /// shape), 1 if identical-by-payload, -1 if definitely clashing.
+  int constructorCompat(const Expr &A, const Expr &B) const;
+
+  struct ExprPtrHash {
+    std::size_t operator()(const Expr &E) const { return E->hash(); }
+  };
+  struct ExprPtrEq {
+    bool operator()(const Expr &A, const Expr &B) const {
+      return exprEquals(A, B);
+    }
+  };
+
+  std::vector<Node> Nodes;
+  std::unordered_map<Expr, int, ExprPtrHash, ExprPtrEq> TermIds;
+  std::vector<std::pair<int, int>> Pending;
+  std::vector<std::pair<int, int>> Disequalities;
+  /// Class id -> witness node id (constructor or literal member).
+  std::unordered_map<int, int> Witness;
+  bool Conflict = false;
+};
+
+} // namespace gilr
+
+#endif // GILR_SOLVER_CONGRUENCE_H

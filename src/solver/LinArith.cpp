@@ -1,0 +1,286 @@
+//===- solver/LinArith.cpp ---------------------------------------------------===//
+
+#include "solver/LinArith.h"
+
+#include "sym/ExprBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gilr;
+
+static void addScaled(LinTerm &Dst, const LinTerm &Src, Rational Factor) {
+  for (const auto &[Key, Coef] : Src.Coeffs) {
+    Rational &Slot = Dst.Coeffs[Key];
+    Slot = Slot + Coef * Factor;
+    if (Slot.isZero())
+      Dst.Coeffs.erase(Key);
+  }
+  Dst.Const = Dst.Const + Src.Const * Factor;
+  Dst.AllInt = Dst.AllInt && Src.AllInt;
+}
+
+/// Conservative integer-sortedness check used for strict tightening.
+static bool looksInteger(const Expr &E) {
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::SeqLen:
+    return true;
+  case ExprKind::RealLit:
+    return false;
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Neg: {
+    for (const Expr &Kid : E->Kids)
+      if (!looksInteger(Kid))
+        return false;
+    return true;
+  }
+  default:
+    return E->NodeSort == Sort::Int;
+  }
+}
+
+LinTerm LinArith::linearize(const Expr &E) {
+  LinTerm Out;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    Out.Const = Rational(E->IntVal, 1);
+    return Out;
+  case ExprKind::RealLit:
+    Out.Const = E->RatVal;
+    Out.AllInt = false;
+    return Out;
+  case ExprKind::Add:
+    for (const Expr &Kid : E->Kids)
+      addScaled(Out, linearize(Kid), Rational::fromInt(1));
+    return Out;
+  case ExprKind::Sub: {
+    addScaled(Out, linearize(E->Kids[0]), Rational::fromInt(1));
+    addScaled(Out, linearize(E->Kids[1]), Rational::fromInt(-1));
+    return Out;
+  }
+  case ExprKind::Neg:
+    addScaled(Out, linearize(E->Kids[0]), Rational::fromInt(-1));
+    return Out;
+  case ExprKind::Mul: {
+    // Builders canonicalise the constant to the left.
+    __int128 C;
+    if (getIntLit(E->Kids[0], C)) {
+      addScaled(Out, linearize(E->Kids[1]), Rational(C, 1));
+      return Out;
+    }
+    if (E->Kids[0]->Kind == ExprKind::RealLit) {
+      addScaled(Out, linearize(E->Kids[1]), E->Kids[0]->RatVal);
+      Out.AllInt = false;
+      return Out;
+    }
+    break; // Fall through to the opaque case.
+  }
+  default:
+    break;
+  }
+  // Opaque term: identify it up to congruence. If its class carries an
+  // integer-literal witness, substitute the value directly.
+  Expr W = Cong.witness(E);
+  if (W && W->Kind == ExprKind::IntLit) {
+    Out.Const = Rational(W->IntVal, 1);
+    return Out;
+  }
+  if (W && W->Kind == ExprKind::RealLit) {
+    Out.Const = W->RatVal;
+    Out.AllInt = false;
+    return Out;
+  }
+  std::string Key = Cong.canonKey(E);
+  Out.Coeffs[Key] = Rational::fromInt(1);
+  Out.AllInt = looksInteger(E);
+  return Out;
+}
+
+void LinArith::addConstraint(LinTerm T, bool Strict) {
+  LinConstraint C;
+  C.Coeffs = std::move(T.Coeffs);
+  C.Const = T.Const;
+  C.Strict = Strict;
+  C.AllInt = T.AllInt;
+  // Integer tightening: t > 0 with all-int t becomes t - 1 >= 0.
+  if (C.Strict && C.AllInt && C.Const.Den == 1) {
+    C.Const = C.Const - Rational::fromInt(1);
+    C.Strict = false;
+  }
+  Constraints.push_back(std::move(C));
+}
+
+/// True if the atom's operands are arithmetic (Int/Real) as opposed to
+/// options, sequences, locations etc.
+static bool isArithComparable(const Expr &A, const Expr &B) {
+  auto arith = [](const Expr &E) {
+    switch (E->NodeSort) {
+    case Sort::Int:
+    case Sort::Real:
+      return true;
+    case Sort::Any:
+      // Unwraps/tuple-gets of unknown sort: allow if the *other* side is
+      // known arithmetic; handled by the caller taking the disjunction.
+      return false;
+    default:
+      return false;
+    }
+  };
+  return arith(A) || arith(B);
+}
+
+void LinArith::addAtom(const Expr &A, bool Positive) {
+  switch (A->Kind) {
+  case ExprKind::Lt: {
+    LinTerm L = linearize(A->Kids[0]);
+    LinTerm R = linearize(A->Kids[1]);
+    if (Positive) {
+      // R - L > 0.
+      LinTerm T;
+      addScaled(T, R, Rational::fromInt(1));
+      addScaled(T, L, Rational::fromInt(-1));
+      addConstraint(std::move(T), /*Strict=*/true);
+    } else {
+      // L - R >= 0.
+      LinTerm T;
+      addScaled(T, L, Rational::fromInt(1));
+      addScaled(T, R, Rational::fromInt(-1));
+      addConstraint(std::move(T), /*Strict=*/false);
+    }
+    return;
+  }
+  case ExprKind::Le: {
+    LinTerm L = linearize(A->Kids[0]);
+    LinTerm R = linearize(A->Kids[1]);
+    if (Positive) {
+      LinTerm T;
+      addScaled(T, R, Rational::fromInt(1));
+      addScaled(T, L, Rational::fromInt(-1));
+      addConstraint(std::move(T), /*Strict=*/false);
+    } else {
+      LinTerm T;
+      addScaled(T, L, Rational::fromInt(1));
+      addScaled(T, R, Rational::fromInt(-1));
+      addConstraint(std::move(T), /*Strict=*/true);
+    }
+    return;
+  }
+  case ExprKind::Eq: {
+    if (!Positive)
+      return; // Disequalities are split by the solver.
+    if (!isArithComparable(A->Kids[0], A->Kids[1]))
+      return;
+    LinTerm L = linearize(A->Kids[0]);
+    LinTerm R = linearize(A->Kids[1]);
+    LinTerm T1, T2;
+    addScaled(T1, R, Rational::fromInt(1));
+    addScaled(T1, L, Rational::fromInt(-1));
+    addScaled(T2, L, Rational::fromInt(1));
+    addScaled(T2, R, Rational::fromInt(-1));
+    addConstraint(std::move(T1), false);
+    addConstraint(std::move(T2), false);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+bool LinArith::feasible(bool &Definite) {
+  Definite = true;
+  const std::size_t MaxConstraints = 4000;
+  std::vector<LinConstraint> Work = Constraints;
+
+  auto constCheck = [&](std::vector<LinConstraint> &Cs) -> bool {
+    std::size_t Keep = 0;
+    for (std::size_t I = 0; I != Cs.size(); ++I) {
+      if (!Cs[I].Coeffs.empty()) {
+        if (Keep != I)
+          Cs[Keep] = std::move(Cs[I]);
+        ++Keep;
+        continue;
+      }
+      const Rational &C = Cs[I].Const;
+      bool Holds = Cs[I].Strict ? (Rational::fromInt(0) < C)
+                                : (Rational::fromInt(0) <= C);
+      if (!Holds)
+        return false;
+    }
+    Cs.resize(Keep);
+    return true;
+  };
+
+  if (!constCheck(Work))
+    return false;
+
+  while (!Work.empty()) {
+    // Collect variables and pick the cheapest to eliminate.
+    std::map<std::string, std::pair<int, int>> VarUse; // pos, neg counts.
+    for (const LinConstraint &C : Work)
+      for (const auto &[Key, Coef] : C.Coeffs) {
+        if (Coef.isNegative())
+          ++VarUse[Key].second;
+        else
+          ++VarUse[Key].first;
+      }
+    if (VarUse.empty())
+      break;
+    std::string BestVar;
+    long BestCost = -1;
+    for (const auto &[Key, Use] : VarUse) {
+      long Cost = static_cast<long>(Use.first) * Use.second;
+      if (BestCost == -1 || Cost < BestCost) {
+        BestCost = Cost;
+        BestVar = Key;
+      }
+    }
+
+    std::vector<LinConstraint> Pos, Neg, Rest;
+    for (LinConstraint &C : Work) {
+      auto It = C.Coeffs.find(BestVar);
+      if (It == C.Coeffs.end())
+        Rest.push_back(std::move(C));
+      else if (It->second.isNegative())
+        Neg.push_back(std::move(C));
+      else
+        Pos.push_back(std::move(C));
+    }
+
+    for (const LinConstraint &P : Pos) {
+      Rational A = P.Coeffs.at(BestVar); // > 0.
+      for (const LinConstraint &N : Neg) {
+        Rational B = -N.Coeffs.at(BestVar); // > 0.
+        // Combine B*P + A*N, eliminating BestVar.
+        LinConstraint C;
+        C.Strict = P.Strict || N.Strict;
+        C.AllInt = P.AllInt && N.AllInt;
+        C.Const = P.Const * B + N.Const * A;
+        for (const auto &[Key, Coef] : P.Coeffs) {
+          if (Key == BestVar)
+            continue;
+          C.Coeffs[Key] = Coef * B;
+        }
+        for (const auto &[Key, Coef] : N.Coeffs) {
+          if (Key == BestVar)
+            continue;
+          Rational &Slot = C.Coeffs[Key];
+          Slot = Slot + Coef * A;
+          if (Slot.isZero())
+            C.Coeffs.erase(Key);
+        }
+        Rest.push_back(std::move(C));
+        if (Rest.size() > MaxConstraints) {
+          Definite = false;
+          return true; // Gave up: unknown, treated as feasible.
+        }
+      }
+    }
+    Work = std::move(Rest);
+    if (!constCheck(Work))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,73 @@
+//===- solver/LinArith.h - Linear arithmetic via Fourier–Motzkin ----------===//
+///
+/// \file
+/// The arithmetic backend of the SMT-lite solver: linearises integer/rational
+/// atoms (treating non-linear subterms as opaque variables identified up to
+/// congruence) and decides conjunctions of linear constraints by
+/// Fourier–Motzkin elimination. Integer-typed strict inequalities are
+/// tightened (a < b becomes a <= b - 1) so that the common overflow-bound
+/// obligations of the case studies are decided exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SOLVER_LINARITH_H
+#define GILR_SOLVER_LINARITH_H
+
+#include "solver/Congruence.h"
+#include "sym/Expr.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gilr {
+
+/// A linear constraint: sum(Coeffs[v] * v) + Const >= 0 (or > 0 if Strict).
+struct LinConstraint {
+  std::map<std::string, Rational> Coeffs;
+  Rational Const = Rational::fromInt(0);
+  bool Strict = false;
+  bool AllInt = true; ///< All atoms are integer-sorted (enables tightening).
+};
+
+/// A linear combination of opaque variables, the result of linearisation.
+struct LinTerm {
+  std::map<std::string, Rational> Coeffs;
+  Rational Const = Rational::fromInt(0);
+  bool AllInt = true;
+};
+
+/// Accumulates linear constraints and decides feasibility.
+class LinArith {
+public:
+  /// \p Cong provides canonical keys for opaque subterms, so terms equal
+  /// up to congruence share a variable.
+  explicit LinArith(Congruence &Cong) : Cong(Cong) {}
+
+  /// Linearises \p E into a LinTerm (over Int or Real).
+  LinTerm linearize(const Expr &E);
+
+  /// Adds the arithmetic content of atom \p A (with polarity \p Positive).
+  /// Non-arithmetic atoms are ignored. Equalities add two inequalities;
+  /// negated equalities are NOT handled here (the solver splits on them).
+  void addAtom(const Expr &A, bool Positive);
+
+  /// Adds the constraint lhs >= 0 (or > 0).
+  void addConstraint(LinTerm T, bool Strict);
+
+  /// Runs Fourier–Motzkin elimination. Returns false if the constraint set
+  /// is definitely infeasible; true otherwise. \p Definite is set to false
+  /// if the engine gave up (size blow-up), in which case "true" means
+  /// "unknown".
+  bool feasible(bool &Definite);
+
+  std::size_t numConstraints() const { return Constraints.size(); }
+
+private:
+  Congruence &Cong;
+  std::vector<LinConstraint> Constraints;
+};
+
+} // namespace gilr
+
+#endif // GILR_SOLVER_LINARITH_H

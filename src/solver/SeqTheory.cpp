@@ -1,0 +1,303 @@
+//===- solver/SeqTheory.cpp --------------------------------------------------===//
+
+#include "solver/SeqTheory.h"
+
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace gilr;
+
+__int128 gilr::minStaticSeqLen(const Expr &E) {
+  switch (E->Kind) {
+  case ExprKind::SeqNil:
+    return 0;
+  case ExprKind::SeqUnit:
+    return 1;
+  case ExprKind::SeqConcat: {
+    __int128 Total = 0;
+    for (const Expr &Kid : E->Kids)
+      Total += minStaticSeqLen(Kid);
+    return Total;
+  }
+  default:
+    return 0;
+  }
+}
+
+static bool isSeqSorted(const Expr &E) {
+  return E->NodeSort == Sort::Seq || E->Kind == ExprKind::SeqNil ||
+         E->Kind == ExprKind::SeqUnit || E->Kind == ExprKind::SeqConcat ||
+         E->Kind == ExprKind::SeqSub;
+}
+
+/// Collects all SeqLen / SeqSub / SeqConcat subterms of \p E.
+static void collectSeqTerms(const Expr &E, std::vector<Expr> &Lens,
+                            std::vector<Expr> &Subs,
+                            std::vector<Expr> &Concats,
+                            std::set<const ExprNode *> &Seen) {
+  if (!E || !Seen.insert(E.get()).second)
+    return;
+  if (E->Kind == ExprKind::SeqLen)
+    Lens.push_back(E);
+  if (E->Kind == ExprKind::SeqSub)
+    Subs.push_back(E);
+  if (E->Kind == ExprKind::SeqConcat)
+    Concats.push_back(E);
+  for (const Expr &Kid : E->Kids)
+    collectSeqTerms(Kid, Lens, Subs, Concats, Seen);
+}
+
+/// Merges adjacent subsequences of the same base inside a concatenation:
+/// sub(s, f, l) ++ sub(s, f + l, l') = sub(s, f, l + l'). Returns the
+/// merged expression, or nullptr if nothing merged.
+static Expr mergeAdjacentSubs(const Expr &Concat) {
+  std::vector<Expr> Parts(Concat->Kids.begin(), Concat->Kids.end());
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (std::size_t I = 0; I + 1 < Parts.size(); ++I) {
+      const Expr &A = Parts[I];
+      const Expr &B = Parts[I + 1];
+      if (A->Kind != ExprKind::SeqSub || B->Kind != ExprKind::SeqSub)
+        continue;
+      if (!exprEquals(A->Kids[0], B->Kids[0]))
+        continue;
+      if (!exprEquals(mkAdd(A->Kids[1], A->Kids[2]), B->Kids[1]))
+        continue;
+      Parts[I] = mkSeqSub(A->Kids[0], A->Kids[1],
+                          mkAdd(A->Kids[2], B->Kids[2]));
+      Parts.erase(Parts.begin() + static_cast<long>(I) + 1);
+      Changed = true;
+      Progress = true;
+      break;
+    }
+  }
+  if (!Changed)
+    return nullptr;
+  return mkSeqConcat(std::move(Parts));
+}
+
+/// Flattens a sequence expression into concatenation parts.
+static void flattenParts(const Expr &E, std::vector<Expr> &Out) {
+  if (E->Kind == ExprKind::SeqNil)
+    return;
+  if (E->Kind == ExprKind::SeqConcat) {
+    for (const Expr &Kid : E->Kids)
+      flattenParts(Kid, Out);
+    return;
+  }
+  Out.push_back(E);
+}
+
+/// Decomposes an equality between two sequence expressions, appending derived
+/// literals. Returns false on definite conflict.
+static bool decomposeSeqEq(const Expr &A, const Expr &B,
+                           std::vector<Literal> &Out) {
+  std::vector<Expr> PA, PB;
+  flattenParts(A, PA);
+  flattenParts(B, PB);
+
+  std::size_t FrontA = 0, FrontB = 0;
+  std::size_t EndA = PA.size(), EndB = PB.size();
+
+  // Strip unit prefixes.
+  while (FrontA < EndA && FrontB < EndB &&
+         PA[FrontA]->Kind == ExprKind::SeqUnit &&
+         PB[FrontB]->Kind == ExprKind::SeqUnit) {
+    Out.push_back({mkEq(PA[FrontA]->Kids[0], PB[FrontB]->Kids[0]), true});
+    ++FrontA;
+    ++FrontB;
+  }
+  // Strip unit suffixes.
+  while (FrontA < EndA && FrontB < EndB &&
+         PA[EndA - 1]->Kind == ExprKind::SeqUnit &&
+         PB[EndB - 1]->Kind == ExprKind::SeqUnit) {
+    Out.push_back({mkEq(PA[EndA - 1]->Kids[0], PB[EndB - 1]->Kids[0]), true});
+    --EndA;
+    --EndB;
+  }
+
+  std::vector<Expr> RestA(PA.begin() + FrontA, PA.begin() + EndA);
+  std::vector<Expr> RestB(PB.begin() + FrontB, PB.begin() + EndB);
+
+  Expr RemA = mkSeqConcat(RestA);
+  Expr RemB = mkSeqConcat(RestB);
+
+  // Clash detection: one side is empty while the other has static minimum
+  // length > 0.
+  if (RemA->Kind == ExprKind::SeqNil && minStaticSeqLen(RemB) > 0)
+    return false;
+  if (RemB->Kind == ExprKind::SeqNil && minStaticSeqLen(RemA) > 0)
+    return false;
+
+  // Emit remainder equality if we made progress; emit length equality always
+  // (it feeds the arithmetic backend).
+  if (FrontA != 0 || FrontB != 0 || EndA != PA.size() || EndB != PB.size())
+    Out.push_back({mkEq(RemA, RemB), true});
+  Expr LenEq = mkEq(mkSeqLen(A), mkSeqLen(B));
+  if (!isTrueLit(LenEq))
+    Out.push_back({LenEq, true});
+  return true;
+}
+
+/// One derivation pass over \p Atoms; new literals are appended to Result.
+static void deriveSeqFactsPass(const std::vector<Literal> &Atoms,
+                               SeqFacts &Result) {
+  std::vector<Expr> Lens, Subs, Concats;
+  std::set<const ExprNode *> Seen;
+  for (const Literal &Lit : Atoms)
+    collectSeqTerms(Lit.first, Lens, Subs, Concats, Seen);
+
+  for (const Expr &Len : Lens)
+    Result.Derived.push_back({mkLe(mkInt(0), Len), true});
+
+  // Syntactic equality-fact index, used to instantiate conditional axioms.
+  auto hasEqFact = [&Atoms](const Expr &A, const Expr &B) {
+    Expr Want = mkEq(A, B);
+    if (isTrueLit(Want))
+      return true;
+    for (const Literal &L : Atoms)
+      if (L.second && exprEquals(L.first, Want))
+        return true;
+    return false;
+  };
+
+  for (const Expr &Sub : Subs) {
+    const Expr &S = Sub->Kids[0];
+    const Expr &From = Sub->Kids[1];
+    const Expr &Count = Sub->Kids[2];
+    Result.Derived.push_back({mkLe(mkInt(0), From), true});
+    Result.Derived.push_back({mkLe(mkInt(0), Count), true});
+    Result.Derived.push_back({mkLe(mkAdd(From, Count), mkSeqLen(S)), true});
+    // sub(s, 0, |s|) = s, instantiated when the branch knows |s| = Count.
+    __int128 F;
+    if (getIntLit(From, F) && F == 0 &&
+        (exprEquals(Count, mkSeqLen(S)) || hasEqFact(mkSeqLen(S), Count)))
+      Result.Derived.push_back({mkEq(Sub, S), true});
+  }
+
+  // Reassembly: adjacent subsequences of the same base merge.
+  for (const Expr &C : Concats)
+    if (Expr Merged = mergeAdjacentSubs(C))
+      Result.Derived.push_back({mkEq(C, Merged), true});
+
+  // Syntactic transitivity: close the positive equalities (over *all*
+  // sorts) into classes and derive equalities between the sequence-shaped
+  // members of each class, so the decomposition below sees constructor
+  // shapes that were only ever equated through shared variables.
+  {
+    std::map<std::string, std::size_t> Ids;
+    std::vector<std::size_t> Parent;
+    std::vector<Expr> Terms;
+    std::function<std::size_t(std::size_t)> Find =
+        [&](std::size_t I) -> std::size_t {
+      while (Parent[I] != I) {
+        Parent[I] = Parent[Parent[I]];
+        I = Parent[I];
+      }
+      return I;
+    };
+    auto idOf = [&](const Expr &E) {
+      std::string Key = exprToString(E);
+      auto [It, Inserted] = Ids.emplace(Key, Terms.size());
+      if (Inserted) {
+        Terms.push_back(E);
+        Parent.push_back(Parent.size());
+      }
+      return It->second;
+    };
+    for (const Literal &L : Atoms) {
+      if (!L.second || L.first->Kind != ExprKind::Eq)
+        continue;
+      std::size_t A = idOf(L.first->Kids[0]);
+      std::size_t B = idOf(L.first->Kids[1]);
+      Parent[Find(A)] = Find(B);
+    }
+    auto seqShaped = [](const Expr &E) {
+      return E->Kind == ExprKind::SeqConcat || E->Kind == ExprKind::SeqUnit ||
+             E->Kind == ExprKind::SeqNil || E->Kind == ExprKind::SeqSub;
+    };
+    std::map<std::size_t, std::vector<const Expr *>> Shaped;
+    for (std::size_t I = 0; I != Terms.size(); ++I)
+      if (seqShaped(Terms[I]))
+        Shaped[Find(I)].push_back(&Terms[I]);
+    int Budget = 256;
+    for (auto &[Rep, Members] : Shaped)
+      for (std::size_t I = 0; I + 1 < Members.size() && Budget > 0; ++I)
+        for (std::size_t J = I + 1; J < Members.size() && Budget > 0; ++J) {
+          Expr EqF = mkEq(*Members[I], *Members[J]);
+          if (isTrueLit(EqF))
+            continue;
+          --Budget;
+          Result.Derived.push_back({EqF, true});
+        }
+  }
+
+  // Decompose positive sequence equalities, iterating on newly derived
+  // equalities to a small fixpoint.
+  std::vector<Literal> Queue = Atoms;
+  std::set<const ExprNode *> Processed;
+  int Fuel = 256;
+  for (std::size_t I = 0; I < Queue.size() && Fuel > 0; ++I) {
+    auto [Atom, Positive] = Queue[I];
+    if (!Positive || Atom->Kind != ExprKind::Eq)
+      continue;
+    if (!isSeqSorted(Atom->Kids[0]) && !isSeqSorted(Atom->Kids[1]))
+      continue;
+    if (!Processed.insert(Atom.get()).second)
+      continue;
+    --Fuel;
+    std::vector<Literal> Derived;
+    if (!decomposeSeqEq(Atom->Kids[0], Atom->Kids[1], Derived)) {
+      Result.Conflict = true;
+      return;
+    }
+    for (Literal &D : Derived) {
+      if (isFalseLit(D.first) && D.second) {
+        Result.Conflict = true;
+        return;
+      }
+      if (isTrueLit(D.first))
+        continue;
+      Result.Derived.push_back(D);
+      Queue.push_back(D);
+    }
+  }
+}
+
+SeqFacts gilr::deriveSeqFacts(const std::vector<Literal> &Atoms) {
+  // Iterate the pass: derived facts (e.g. merged subsequences) can enable
+  // further axiom instantiations (e.g. sub(s, 0, |s|) = s).
+  SeqFacts Result;
+  std::set<std::string> SeenFacts;
+  std::vector<Literal> All = Atoms;
+    // Enough rounds for deep cons-chains (each pop/push layer may need one
+  // union-find + decomposition alternation).
+  int MaxRounds = 8 + static_cast<int>(Atoms.size());
+  for (int Round = 0; Round != MaxRounds; ++Round) {
+    SeqFacts Pass;
+    deriveSeqFactsPass(All, Pass);
+    if (Pass.Conflict) {
+      Result.Conflict = true;
+      return Result;
+    }
+    bool New = false;
+    for (Literal &D : Pass.Derived) {
+      std::string Key =
+          (D.second ? "+" : "-") + std::to_string(D.first->hash());
+      if (!SeenFacts.insert(Key).second)
+        continue;
+      Result.Derived.push_back(D);
+      All.push_back(D);
+      New = true;
+    }
+    if (!New)
+      break;
+  }
+  return Result;
+}

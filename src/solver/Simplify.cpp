@@ -1,0 +1,247 @@
+//===- solver/Simplify.cpp --------------------------------------------------===//
+
+#include "solver/Simplify.h"
+
+#include "support/Diagnostics.h"
+#include "sym/ExprBuilder.h"
+
+#include <unordered_map>
+
+using namespace gilr;
+
+Expr gilr::simplify(const Expr &E) {
+  if (!E || E->Kids.empty())
+    return E;
+  std::vector<Expr> Kids;
+  Kids.reserve(E->Kids.size());
+  for (const Expr &Kid : E->Kids)
+    Kids.push_back(simplify(Kid));
+  switch (E->Kind) {
+  case ExprKind::Not:
+    return mkNot(Kids[0]);
+  case ExprKind::And:
+    return mkAnd(std::move(Kids));
+  case ExprKind::Or:
+    return mkOr(std::move(Kids));
+  case ExprKind::Implies:
+    return mkImplies(Kids[0], Kids[1]);
+  case ExprKind::Ite:
+    return mkIte(Kids[0], Kids[1], Kids[2]);
+  case ExprKind::Eq:
+    return mkEq(Kids[0], Kids[1]);
+  case ExprKind::Lt:
+    return mkLt(Kids[0], Kids[1]);
+  case ExprKind::Le:
+    return mkLe(Kids[0], Kids[1]);
+  case ExprKind::Add:
+    return mkAdd(std::move(Kids));
+  case ExprKind::Sub:
+    return mkSub(Kids[0], Kids[1]);
+  case ExprKind::Mul:
+    return mkMul(Kids[0], Kids[1]);
+  case ExprKind::Neg:
+    return mkNeg(Kids[0]);
+  case ExprKind::Some:
+    return mkSome(Kids[0]);
+  case ExprKind::IsSome:
+    return mkIsSome(Kids[0]);
+  case ExprKind::Unwrap:
+    return mkUnwrap(Kids[0]);
+  case ExprKind::SeqUnit:
+    return mkSeqUnit(Kids[0]);
+  case ExprKind::SeqConcat:
+    return mkSeqConcat(std::move(Kids));
+  case ExprKind::SeqLen:
+    return mkSeqLen(Kids[0]);
+  case ExprKind::SeqNth:
+    return mkSeqNth(Kids[0], Kids[1]);
+  case ExprKind::SeqSub:
+    return mkSeqSub(Kids[0], Kids[1], Kids[2]);
+  case ExprKind::TupleLit:
+    return mkTuple(std::move(Kids));
+  case ExprKind::TupleGet:
+    return mkTupleGet(Kids[0], E->Index);
+  case ExprKind::LftIncl:
+    return mkLftIncl(Kids[0], Kids[1]);
+  case ExprKind::App:
+    return mkApp(E->Name, std::move(Kids), E->NodeSort);
+  default:
+    GILR_UNREACHABLE("leaf with kids in simplify");
+  }
+}
+
+Expr gilr::negate(const Expr &E) {
+  switch (E->Kind) {
+  case ExprKind::BoolLit:
+    return mkBool(!E->BoolVal);
+  case ExprKind::Not:
+    return E->Kids[0];
+  case ExprKind::And: {
+    std::vector<Expr> Parts;
+    for (const Expr &Kid : E->Kids)
+      Parts.push_back(negate(Kid));
+    return mkOr(std::move(Parts));
+  }
+  case ExprKind::Or: {
+    std::vector<Expr> Parts;
+    for (const Expr &Kid : E->Kids)
+      Parts.push_back(negate(Kid));
+    return mkAnd(std::move(Parts));
+  }
+  case ExprKind::Implies:
+    return mkAnd(E->Kids[0], negate(E->Kids[1]));
+  case ExprKind::Lt:
+    return mkLe(E->Kids[1], E->Kids[0]);
+  case ExprKind::Le:
+    return mkLt(E->Kids[1], E->Kids[0]);
+  case ExprKind::Ite:
+    return mkIte(E->Kids[0], negate(E->Kids[1]), negate(E->Kids[2]));
+  default:
+    return mkNot(E);
+  }
+}
+
+Expr gilr::resolveIte(const Expr &E, const Expr &Cond, bool Positive) {
+  if (!E)
+    return E;
+  if (E->Kind == ExprKind::Ite && exprEquals(E->Kids[0], Cond))
+    return resolveIte(Positive ? E->Kids[1] : E->Kids[2], Cond, Positive);
+  if (E->Kids.empty())
+    return E;
+  bool Changed = false;
+  std::vector<Expr> Kids;
+  Kids.reserve(E->Kids.size());
+  for (const Expr &Kid : E->Kids) {
+    Expr NewKid = resolveIte(Kid, Cond, Positive);
+    Changed |= NewKid.get() != Kid.get();
+    Kids.push_back(std::move(NewKid));
+  }
+  if (!Changed)
+    return E;
+  auto Node = std::make_shared<ExprNode>(E->Kind, E->NodeSort, std::move(Kids));
+  Node->Name = E->Name;
+  Node->IntVal = E->IntVal;
+  Node->RatVal = E->RatVal;
+  Node->BoolVal = E->BoolVal;
+  Node->LocId = E->LocId;
+  Node->Index = E->Index;
+  Node->finalizeHash();
+  return simplify(Node);
+}
+
+static Expr findIteConditionImpl(const Expr &E, bool InTermPosition) {
+  if (!E)
+    return nullptr;
+  if (E->Kind == ExprKind::Ite && InTermPosition)
+    return E->Kids[0];
+  bool KidsAreTerms =
+      InTermPosition || E->Kind == ExprKind::Eq || E->Kind == ExprKind::Lt ||
+      E->Kind == ExprKind::Le || E->Kind == ExprKind::IsSome ||
+      E->Kind == ExprKind::App || E->Kind == ExprKind::LftIncl;
+  for (const Expr &Kid : E->Kids)
+    if (Expr Found = findIteConditionImpl(Kid, KidsAreTerms))
+      return Found;
+  return nullptr;
+}
+
+Expr gilr::findIteCondition(const Expr &E) {
+  return findIteConditionImpl(E, false);
+}
+
+//===----------------------------------------------------------------------===//
+// Fact-directed reduction
+//===----------------------------------------------------------------------===//
+
+/// "Constructor-ish" terms are useful rewrite targets: they expose structure
+/// (tuples, options, locations) that unblocks pointer decoding.
+static bool isConstructorish(const Expr &E) {
+  switch (E->Kind) {
+  case ExprKind::TupleLit:
+  case ExprKind::Some:
+  case ExprKind::NoneLit:
+  case ExprKind::LocLit:
+  case ExprKind::IntLit:
+  case ExprKind::SeqUnit:
+  case ExprKind::SeqNil:
+  case ExprKind::SeqConcat:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static bool containsSubexprRW(const Expr &Hay, const Expr &Needle) {
+  if (exprEquals(Hay, Needle))
+    return true;
+  for (const Expr &Kid : Hay->Kids)
+    if (containsSubexprRW(Kid, Needle))
+      return true;
+  return false;
+}
+
+namespace {
+struct ExprKeyHash {
+  std::size_t operator()(const Expr &E) const { return E->hash(); }
+};
+struct ExprKeyEq {
+  bool operator()(const Expr &A, const Expr &B) const {
+    return exprEquals(A, B);
+  }
+};
+} // namespace
+
+using RewriteMap = std::unordered_map<Expr, Expr, ExprKeyHash, ExprKeyEq>;
+
+static Expr rewriteOnce(const Expr &E, const RewriteMap &RW) {
+  auto It = RW.find(E);
+  if (It != RW.end())
+    return It->second;
+  if (E->Kids.empty())
+    return E;
+  bool Changed = false;
+  std::vector<Expr> Kids;
+  Kids.reserve(E->Kids.size());
+  for (const Expr &Kid : E->Kids) {
+    Expr NK = rewriteOnce(Kid, RW);
+    Changed |= NK.get() != Kid.get();
+    Kids.push_back(std::move(NK));
+  }
+  if (!Changed)
+    return E;
+  auto Node = std::make_shared<ExprNode>(E->Kind, E->NodeSort, std::move(Kids));
+  Node->Name = E->Name;
+  Node->IntVal = E->IntVal;
+  Node->RatVal = E->RatVal;
+  Node->BoolVal = E->BoolVal;
+  Node->LocId = E->LocId;
+  Node->Index = E->Index;
+  Node->finalizeHash();
+  return simplify(Node);
+}
+
+Expr gilr::reduceWithFacts(const Expr &E, const std::vector<Expr> &Facts) {
+  RewriteMap RW;
+  for (const Expr &Fact : Facts) {
+    if (!Fact || Fact->Kind != ExprKind::Eq)
+      continue;
+    for (int Side = 0; Side != 2; ++Side) {
+      const Expr &From = Fact->Kids[Side];
+      const Expr &To = Fact->Kids[1 - Side];
+      if (isConstructorish(From) || !isConstructorish(To))
+        continue;
+      if (containsSubexprRW(To, From))
+        continue; // Avoid trivial rewrite loops.
+      RW.emplace(From, To);
+    }
+  }
+  if (RW.empty())
+    return E;
+  Expr Cur = E;
+  for (int I = 0; I != 8; ++I) {
+    Expr Next = rewriteOnce(Cur, RW);
+    if (exprEquals(Next, Cur))
+      break;
+    Cur = Next;
+  }
+  return Cur;
+}

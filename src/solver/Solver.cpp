@@ -1,0 +1,330 @@
+//===- solver/Solver.cpp -----------------------------------------------------===//
+
+#include "solver/Solver.h"
+
+#include "solver/Congruence.h"
+#include "solver/LinArith.h"
+#include "solver/Simplify.h"
+#include "sym/ExprBuilder.h"
+
+#include <map>
+#include <set>
+
+using namespace gilr;
+
+//===----------------------------------------------------------------------===//
+// Query entry points
+//===----------------------------------------------------------------------===//
+
+SatResult Solver::checkSat(const std::vector<Expr> &Assertions) {
+  ++Stats.SatQueries;
+  unsigned Budget = MaxBranches;
+  std::vector<Expr> Work;
+  Work.reserve(Assertions.size());
+  for (const Expr &A : Assertions)
+    Work.push_back(simplify(A));
+  return solveRec(std::move(Work), {}, 0, Budget);
+}
+
+bool Solver::entails(const std::vector<Expr> &Ctx, const Expr &Goal) {
+  ++Stats.EntailQueries;
+  Expr G = simplify(Goal);
+  if (isTrueLit(G))
+    return true;
+  std::vector<Expr> Assertions = Ctx;
+  Assertions.push_back(negate(G));
+  return checkSat(Assertions) == SatResult::Unsat;
+}
+
+bool Solver::entailsAll(const std::vector<Expr> &Ctx,
+                        const std::vector<Expr> &Goals) {
+  for (const Expr &G : Goals)
+    if (!entails(Ctx, G))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// DPLL-style boolean search
+//===----------------------------------------------------------------------===//
+
+static bool isBoolStructural(const Expr &E) {
+  switch (E->Kind) {
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Implies:
+  case ExprKind::Not:
+  case ExprKind::BoolLit:
+  case ExprKind::Lt:
+  case ExprKind::Le:
+    return true;
+  case ExprKind::Ite:
+    // An Ite is a formula only when its branches are formulas; integer
+    // Ites (e.g. discriminant reads) are terms.
+    return E->NodeSort == Sort::Bool;
+  default:
+    return false;
+  }
+}
+
+static bool isBoolSorted(const Expr &E) {
+  return E->NodeSort == Sort::Bool || isBoolStructural(E) ||
+         E->Kind == ExprKind::IsSome || E->Kind == ExprKind::LftIncl;
+}
+
+SatResult Solver::solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
+                           unsigned Depth, unsigned &Budget) {
+  if (Budget == 0 || Depth > 256)
+    return SatResult::Unknown;
+
+  while (!Work.empty()) {
+    Expr F = Work.back();
+    Work.pop_back();
+    switch (F->Kind) {
+    case ExprKind::BoolLit:
+      if (!F->BoolVal)
+        return SatResult::Unsat;
+      continue;
+    case ExprKind::And:
+      for (const Expr &Kid : F->Kids)
+        Work.push_back(Kid);
+      continue;
+    case ExprKind::Or: {
+      bool AnyUnknown = false;
+      for (const Expr &Kid : F->Kids) {
+        if (Budget == 0)
+          return SatResult::Unknown;
+        --Budget;
+        ++Stats.Branches;
+        std::vector<Expr> BranchWork = Work;
+        BranchWork.push_back(Kid);
+        SatResult R = solveRec(std::move(BranchWork), Lits, Depth + 1, Budget);
+        if (R == SatResult::Sat)
+          return SatResult::Sat;
+        if (R == SatResult::Unknown)
+          AnyUnknown = true;
+      }
+      return AnyUnknown ? SatResult::Unknown : SatResult::Unsat;
+    }
+    case ExprKind::Not: {
+      const Expr &Inner = F->Kids[0];
+      if (isBoolStructural(Inner)) {
+        Work.push_back(negate(Inner));
+        continue;
+      }
+      // A negated iff splits: not (a <-> b) = (a /\ not b) \/ (not a /\ b).
+      if (Inner->Kind == ExprKind::Eq &&
+          (isBoolSorted(Inner->Kids[0]) || isBoolSorted(Inner->Kids[1]))) {
+        Work.push_back(
+            mkOr(mkAnd(Inner->Kids[0], negate(Inner->Kids[1])),
+                 mkAnd(negate(Inner->Kids[0]), Inner->Kids[1])));
+        continue;
+      }
+      Lits.push_back({Inner, false});
+      continue;
+    }
+    case ExprKind::Implies:
+      Work.push_back(mkOr(negate(F->Kids[0]), F->Kids[1]));
+      continue;
+    case ExprKind::Ite:
+      Work.push_back(mkOr(mkAnd(F->Kids[0], F->Kids[1]),
+                          mkAnd(negate(F->Kids[0]), F->Kids[2])));
+      continue;
+    case ExprKind::Eq: {
+      // Iff over boolean operands: split.
+      if (isBoolSorted(F->Kids[0]) || isBoolSorted(F->Kids[1])) {
+        Work.push_back(mkOr(mkAnd(F->Kids[0], F->Kids[1]),
+                            mkAnd(negate(F->Kids[0]), negate(F->Kids[1]))));
+        continue;
+      }
+      Lits.push_back({F, true});
+      continue;
+    }
+    default:
+      Lits.push_back({F, true});
+      continue;
+    }
+  }
+
+  // Ite remaining in term positions: split on its condition.
+  for (const Literal &Lit : Lits) {
+    Expr Cond = findIteCondition(Lit.first);
+    if (!Cond)
+      continue;
+    for (bool Positive : {true, false}) {
+      if (Budget == 0)
+        return SatResult::Unknown;
+      --Budget;
+      ++Stats.Branches;
+      std::vector<Expr> BranchWork;
+      BranchWork.push_back(Positive ? Cond : negate(Cond));
+      std::vector<Literal> BranchLits;
+      BranchLits.reserve(Lits.size());
+      for (const Literal &L : Lits)
+        BranchLits.push_back({resolveIte(L.first, Cond, Positive), L.second});
+      SatResult R =
+          solveRec(std::move(BranchWork), std::move(BranchLits), Depth + 1,
+                   Budget);
+      if (R == SatResult::Sat)
+        return SatResult::Sat;
+      if (R == SatResult::Unknown)
+        return SatResult::Unknown;
+    }
+    return SatResult::Unsat;
+  }
+
+  return theoryCheck(Lits, Budget);
+}
+
+//===----------------------------------------------------------------------===//
+// Theory layer
+//===----------------------------------------------------------------------===//
+
+static bool looksArith(const Expr &E) {
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::RealLit:
+  case ExprKind::Add:
+  case ExprKind::Sub:
+  case ExprKind::Mul:
+  case ExprKind::Neg:
+  case ExprKind::SeqLen:
+    return true;
+  default:
+    return E->NodeSort == Sort::Int || E->NodeSort == Sort::Real;
+  }
+}
+
+SatResult Solver::theoryCheck(const std::vector<Literal> &Lits,
+                              unsigned &Budget) {
+  // Split arithmetic disequalities into strict inequalities so that the
+  // linear backend can refute them.
+  for (std::size_t I = 0, E = Lits.size(); I != E; ++I) {
+    const auto &[Atom, Positive] = Lits[I];
+    if (Positive || Atom->Kind != ExprKind::Eq)
+      continue;
+    if (!looksArith(Atom->Kids[0]) || !looksArith(Atom->Kids[1]))
+      continue;
+    bool AnyUnknown = false;
+    for (bool Less : {true, false}) {
+      if (Budget == 0)
+        return SatResult::Unknown;
+      --Budget;
+      ++Stats.Branches;
+      std::vector<Literal> BranchLits = Lits;
+      BranchLits[I] = {Less ? mkLt(Atom->Kids[0], Atom->Kids[1])
+                            : mkLt(Atom->Kids[1], Atom->Kids[0]),
+                       true};
+      SatResult R = theoryCheck(BranchLits, Budget);
+      if (R == SatResult::Sat)
+        return SatResult::Sat;
+      if (R == SatResult::Unknown)
+        AnyUnknown = true;
+    }
+    return AnyUnknown ? SatResult::Unknown : SatResult::Unsat;
+  }
+  return baseTheoryCheck(Lits);
+}
+
+SatResult Solver::baseTheoryCheck(const std::vector<Literal> &LitsIn) {
+  ++Stats.TheoryChecks;
+
+  // 1. Instantiate the option axioms for IsSome literals.
+  std::vector<Literal> Lits;
+  Lits.reserve(LitsIn.size());
+  for (const auto &[Atom, Positive] : LitsIn) {
+    if (Atom->Kind == ExprKind::IsSome) {
+      Expr EqF = Positive
+                     ? mkEq(Atom->Kids[0], mkSome(mkUnwrap(Atom->Kids[0])))
+                     : mkEq(Atom->Kids[0], mkNone());
+      if (isFalseLit(EqF))
+        return SatResult::Unsat;
+      if (!isTrueLit(EqF))
+        Lits.push_back({EqF, true});
+      continue;
+    }
+    Lits.push_back({Atom, Positive});
+  }
+
+  // 2. Sequence theory.
+  SeqFacts Seq = deriveSeqFacts(Lits);
+  if (Seq.Conflict)
+    return SatResult::Unsat;
+  for (const Literal &D : Seq.Derived)
+    Lits.push_back(D);
+
+  // 3. Congruence closure (batched: one saturation for all equalities).
+  Congruence Cong;
+  for (const auto &[Atom, Positive] : Lits) {
+    if (Atom->Kind == ExprKind::Eq) {
+      if (Positive)
+        Cong.queueEquality(Atom->Kids[0], Atom->Kids[1]);
+      else
+        Cong.addDisequality(Atom->Kids[0], Atom->Kids[1]);
+      continue;
+    }
+    Cong.registerTerm(Atom);
+  }
+  if (!Cong.saturate())
+    return SatResult::Unsat;
+  if (Cong.hasDisequalityConflict())
+    return SatResult::Unsat;
+  if (Cong.hasSeqLengthConflict())
+    return SatResult::Unsat;
+
+  // 4. Propositional atoms up to congruence, plus lifetime inclusion.
+  std::map<std::string, bool> PropPolarity;
+  std::set<std::pair<std::string, std::string>> LftEdges;
+  std::vector<std::pair<std::string, std::string>> LftNegated;
+  for (const auto &[Atom, Positive] : Lits) {
+    if (Atom->Kind == ExprKind::Eq)
+      continue;
+    if (Atom->Kind == ExprKind::LftIncl) {
+      std::string A = Cong.canonKey(Atom->Kids[0]);
+      std::string B = Cong.canonKey(Atom->Kids[1]);
+      if (Positive)
+        LftEdges.insert({A, B});
+      else
+        LftNegated.push_back({A, B});
+      continue;
+    }
+    // A boolean witness derived by the closure decides the literal.
+    if (Expr W = Cong.witness(Atom))
+      if (W->Kind == ExprKind::BoolLit && W->BoolVal != Positive)
+        return SatResult::Unsat;
+    std::string Key = Cong.canonKey(Atom);
+    auto [It, Inserted] = PropPolarity.emplace(Key, Positive);
+    if (!Inserted && It->second != Positive)
+      return SatResult::Unsat;
+  }
+  if (!LftNegated.empty()) {
+    // Reflexive-transitive closure of inclusion edges.
+    std::set<std::pair<std::string, std::string>> Closure = LftEdges;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &[A, B] : Closure)
+        for (const auto &[C, D] : Closure)
+          if (B == C && !Closure.count({A, D})) {
+            Closure.insert({A, D});
+            Changed = true;
+            break;
+          }
+    }
+    for (const auto &[A, B] : LftNegated) {
+      if (A == B)
+        return SatResult::Unsat; // not (k <= k) is false.
+      if (Closure.count({A, B}))
+        return SatResult::Unsat;
+    }
+  }
+
+  // 5. Linear arithmetic.
+  LinArith Arith(Cong);
+  for (const auto &[Atom, Positive] : Lits)
+    Arith.addAtom(Atom, Positive);
+  bool Definite = true;
+  if (!Arith.feasible(Definite))
+    return SatResult::Unsat;
+  return Definite ? SatResult::Sat : SatResult::Unknown;
+}

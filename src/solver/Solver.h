@@ -1,0 +1,74 @@
+//===- solver/Solver.h - SMT-lite solver facade ----------------------------===//
+///
+/// \file
+/// The entailment/satisfiability oracle used by every component of the
+/// verifier, standing in for Z3 (see DESIGN.md). The architecture is a small
+/// DPLL(T): boolean structure is explored by case-splitting; each branch's
+/// literal set is checked by the theory stack (sequence facts, congruence
+/// closure with constructor reasoning, Fourier–Motzkin linear arithmetic,
+/// lifetime-inclusion closure).
+///
+/// Soundness contract: \c Unsat answers are proofs; \c Sat answers may be
+/// approximate ("no conflict found"), which is the safe direction for
+/// verification — an entailment that cannot be proved fails the proof rather
+/// than admitting it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SOLVER_SOLVER_H
+#define GILR_SOLVER_SOLVER_H
+
+#include "solver/SeqTheory.h"
+#include "sym/Expr.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gilr {
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// Counters reported by the benchmark harness.
+struct SolverStats {
+  uint64_t SatQueries = 0;
+  uint64_t EntailQueries = 0;
+  uint64_t Branches = 0;
+  uint64_t TheoryChecks = 0;
+};
+
+/// The SMT-lite decision engine. Stateless between queries apart from stats.
+class Solver {
+public:
+  /// Checks the conjunction of \p Assertions for satisfiability.
+  SatResult checkSat(const std::vector<Expr> &Assertions);
+
+  /// True iff Ctx /\ not Goal is unsatisfiable (a proof of entailment).
+  bool entails(const std::vector<Expr> &Ctx, const Expr &Goal);
+
+  /// Entailment of a conjunction of goals.
+  bool entailsAll(const std::vector<Expr> &Ctx,
+                  const std::vector<Expr> &Goals);
+
+  /// True iff Ctx is *not* proven unsatisfiable (the branch is viable).
+  bool consistent(const std::vector<Expr> &Ctx) {
+    return checkSat(Ctx) != SatResult::Unsat;
+  }
+
+  SolverStats &stats() { return Stats; }
+  const SolverStats &stats() const { return Stats; }
+
+  /// Maximum number of DPLL branches explored per query before giving up.
+  unsigned MaxBranches = 50000;
+
+private:
+  SatResult solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
+                     unsigned Depth, unsigned &Budget);
+  SatResult theoryCheck(const std::vector<Literal> &Lits, unsigned &Budget);
+  SatResult baseTheoryCheck(const std::vector<Literal> &Lits);
+
+  SolverStats Stats;
+};
+
+} // namespace gilr
+
+#endif // GILR_SOLVER_SOLVER_H

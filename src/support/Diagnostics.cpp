@@ -1,0 +1,16 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void gilr::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "gilr fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void gilr::unreachableImpl(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "gilr unreachable at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,31 @@
+//===- support/Diagnostics.h - Fatal errors and unreachable markers ------===//
+//
+// Part of the Gillian-Rust C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers in the spirit of LLVM's ErrorHandling.h: the
+/// library never throws; invariant violations abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SUPPORT_DIAGNOSTICS_H
+#define GILR_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+
+namespace gilr {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// cannot be expressed as an assert condition.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// Marks a point in code that must never be reached if invariants hold.
+[[noreturn]] void unreachableImpl(const char *Msg, const char *File, int Line);
+
+} // namespace gilr
+
+#define GILR_UNREACHABLE(MSG) ::gilr::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // GILR_SUPPORT_DIAGNOSTICS_H

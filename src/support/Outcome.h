@@ -1,0 +1,81 @@
+//===- support/Outcome.h - Lightweight expected/error result type ---------===//
+///
+/// \file
+/// A minimal Expected-style result used by fallible verifier operations
+/// (heap actions, consumers, the executor). The library does not use
+/// exceptions (LLVM rules); errors are verification-failure messages
+/// propagated to the caller.
+///
+/// A third state, \c vanished, models symbolic-execution branches that are
+/// *assumed away* (e.g. producing a resource that contradicts the state
+/// assumes False, §4.1 Lft-Produce-Own-End): not an error, simply a branch
+/// that cannot occur.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SUPPORT_OUTCOME_H
+#define GILR_SUPPORT_OUTCOME_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gilr {
+
+/// Result of a fallible verifier operation.
+template <typename T> class Outcome {
+public:
+  static Outcome success(T Value) {
+    Outcome O;
+    O.Value = std::move(Value);
+    return O;
+  }
+  static Outcome failure(std::string Msg) {
+    Outcome O;
+    O.Err = std::move(Msg);
+    return O;
+  }
+  static Outcome vanish() {
+    Outcome O;
+    O.Vanished = true;
+    return O;
+  }
+
+  bool ok() const { return Value.has_value(); }
+  bool failed() const { return Err.has_value(); }
+  bool vanished() const { return Vanished; }
+
+  T &value() {
+    assert(ok() && "value() on non-success outcome");
+    return *Value;
+  }
+  const T &value() const {
+    assert(ok() && "value() on non-success outcome");
+    return *Value;
+  }
+  const std::string &error() const {
+    assert(failed() && "error() on non-failure outcome");
+    return *Err;
+  }
+
+  /// Propagates a failure/vanish into another Outcome type.
+  template <typename U> Outcome<U> forward() const {
+    assert(!ok() && "forward() on success outcome");
+    if (Vanished)
+      return Outcome<U>::vanish();
+    return Outcome<U>::failure(*Err);
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<std::string> Err;
+  bool Vanished = false;
+};
+
+/// Unit payload for outcomes with no interesting value.
+struct Unit {};
+
+} // namespace gilr
+
+#endif // GILR_SUPPORT_OUTCOME_H

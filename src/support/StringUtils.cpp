@@ -1,0 +1,21 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+using namespace gilr;
+
+std::string gilr::join(const std::vector<std::string> &Parts,
+                       const std::string &Sep) {
+  std::string Result;
+  for (std::size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+bool gilr::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}

@@ -1,0 +1,42 @@
+//===- support/StringUtils.h - Small string helpers ----------------------===//
+///
+/// \file
+/// Join/format helpers used by the printers throughout the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SUPPORT_STRINGUTILS_H
+#define GILR_SUPPORT_STRINGUTILS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gilr {
+
+/// Joins the elements of \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Maps \p Items through \p Fn and joins the results with \p Sep.
+template <typename T>
+std::string joinMapped(const std::vector<T> &Items, const std::string &Sep,
+                       const std::function<std::string(const T &)> &Fn) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Items.size());
+  for (const T &Item : Items)
+    Parts.push_back(Fn(Item));
+  return join(Parts, Sep);
+}
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Combines a hash value into a running seed (boost-style mixing).
+inline void hashCombine(std::size_t &Seed, std::size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2);
+}
+
+} // namespace gilr
+
+#endif // GILR_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,297 @@
+//===- sym/Expr.cpp -------------------------------------------------------===//
+
+#include "sym/Expr.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace gilr;
+
+const char *gilr::sortName(Sort S) {
+  switch (S) {
+  case Sort::Unit:
+    return "Unit";
+  case Sort::Bool:
+    return "Bool";
+  case Sort::Int:
+    return "Int";
+  case Sort::Real:
+    return "Real";
+  case Sort::Loc:
+    return "Loc";
+  case Sort::Lft:
+    return "Lft";
+  case Sort::Seq:
+    return "Seq";
+  case Sort::Opt:
+    return "Opt";
+  case Sort::Tuple:
+    return "Tuple";
+  case Sort::Any:
+    return "Any";
+  }
+  GILR_UNREACHABLE("unknown sort");
+}
+
+const char *gilr::kindName(ExprKind K) {
+  switch (K) {
+  case ExprKind::Var:
+    return "Var";
+  case ExprKind::IntLit:
+    return "IntLit";
+  case ExprKind::RealLit:
+    return "RealLit";
+  case ExprKind::BoolLit:
+    return "BoolLit";
+  case ExprKind::UnitLit:
+    return "UnitLit";
+  case ExprKind::LocLit:
+    return "LocLit";
+  case ExprKind::NoneLit:
+    return "NoneLit";
+  case ExprKind::Not:
+    return "Not";
+  case ExprKind::And:
+    return "And";
+  case ExprKind::Or:
+    return "Or";
+  case ExprKind::Implies:
+    return "Implies";
+  case ExprKind::Ite:
+    return "Ite";
+  case ExprKind::Eq:
+    return "Eq";
+  case ExprKind::Lt:
+    return "Lt";
+  case ExprKind::Le:
+    return "Le";
+  case ExprKind::Add:
+    return "Add";
+  case ExprKind::Sub:
+    return "Sub";
+  case ExprKind::Mul:
+    return "Mul";
+  case ExprKind::Neg:
+    return "Neg";
+  case ExprKind::Some:
+    return "Some";
+  case ExprKind::IsSome:
+    return "IsSome";
+  case ExprKind::Unwrap:
+    return "Unwrap";
+  case ExprKind::SeqNil:
+    return "SeqNil";
+  case ExprKind::SeqUnit:
+    return "SeqUnit";
+  case ExprKind::SeqConcat:
+    return "SeqConcat";
+  case ExprKind::SeqLen:
+    return "SeqLen";
+  case ExprKind::SeqNth:
+    return "SeqNth";
+  case ExprKind::SeqSub:
+    return "SeqSub";
+  case ExprKind::TupleLit:
+    return "TupleLit";
+  case ExprKind::TupleGet:
+    return "TupleGet";
+  case ExprKind::LftIncl:
+    return "LftIncl";
+  case ExprKind::App:
+    return "App";
+  }
+  GILR_UNREACHABLE("unknown expr kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+std::string gilr::int128ToString(__int128 V) {
+  if (V == 0)
+    return "0";
+  bool Negative = V < 0;
+  unsigned __int128 U = Negative ? -static_cast<unsigned __int128>(V)
+                                 : static_cast<unsigned __int128>(V);
+  std::string Digits;
+  while (U != 0) {
+    Digits.push_back(static_cast<char>('0' + static_cast<int>(U % 10)));
+    U /= 10;
+  }
+  if (Negative)
+    Digits.push_back('-');
+  return std::string(Digits.rbegin(), Digits.rend());
+}
+
+static __int128 gcd128(__int128 A, __int128 B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    __int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+Rational::Rational(__int128 N, __int128 D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  __int128 G = gcd128(N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+Rational Rational::operator+(const Rational &O) const {
+  return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator-(const Rational &O) const {
+  return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator*(const Rational &O) const {
+  return Rational(Num * O.Num, Den * O.Den);
+}
+
+bool Rational::operator<(const Rational &O) const {
+  return Num * O.Den < O.Num * Den;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return int128ToString(Num);
+  return int128ToString(Num) + "/" + int128ToString(Den);
+}
+
+//===----------------------------------------------------------------------===//
+// ExprNode
+//===----------------------------------------------------------------------===//
+
+ExprNode::ExprNode(ExprKind K, Sort S, std::vector<Expr> KidsIn)
+    : Kind(K), NodeSort(S), Kids(std::move(KidsIn)) {
+  finalizeHash();
+}
+
+void ExprNode::finalizeHash() {
+  // Variables are identified by name alone: the sort is an annotation and
+  // the same name may be written with different sort knowledge (specs use
+  // Any, the executor knows the precise sort).
+  std::size_t H = static_cast<std::size_t>(Kind) * 131;
+  if (Kind != ExprKind::Var)
+    H += static_cast<std::size_t>(NodeSort);
+  for (const Expr &Kid : Kids)
+    hashCombine(H, Kid->hash());
+  hashCombine(H, std::hash<std::string>()(Name));
+  hashCombine(H, static_cast<std::size_t>(static_cast<uint64_t>(IntVal)));
+  hashCombine(H, static_cast<std::size_t>(
+                     static_cast<uint64_t>(IntVal >> 64)));
+  hashCombine(H, static_cast<std::size_t>(static_cast<uint64_t>(RatVal.Num)));
+  hashCombine(H, static_cast<std::size_t>(static_cast<uint64_t>(RatVal.Den)));
+  hashCombine(H, BoolVal ? 0x5u : 0x9u);
+  hashCombine(H, std::hash<uint64_t>()(LocId));
+  hashCombine(H, Index);
+  Hash = H;
+}
+
+bool gilr::exprEquals(const Expr &A, const Expr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->hash() != B->hash())
+    return false;
+  if (A->Kind != B->Kind)
+    return false;
+  if (A->Kind == ExprKind::Var)
+    return A->Name == B->Name; // Sort annotations do not split identity.
+  if (A->NodeSort != B->NodeSort || A->Kids.size() != B->Kids.size())
+    return false;
+  if (A->Name != B->Name || A->IntVal != B->IntVal ||
+      !(A->RatVal == B->RatVal) || A->BoolVal != B->BoolVal ||
+      A->LocId != B->LocId || A->Index != B->Index)
+    return false;
+  for (std::size_t I = 0, E = A->Kids.size(); I != E; ++I)
+    if (!exprEquals(A->Kids[I], B->Kids[I]))
+      return false;
+  return true;
+}
+
+bool gilr::exprLess(const Expr &A, const Expr &B) {
+  if (A.get() == B.get())
+    return false;
+  if (!A)
+    return static_cast<bool>(B);
+  if (!B)
+    return false;
+  if (A->Kind != B->Kind)
+    return A->Kind < B->Kind;
+  if (A->Name != B->Name)
+    return A->Name < B->Name;
+  if (A->IntVal != B->IntVal)
+    return A->IntVal < B->IntVal;
+  if (!(A->RatVal == B->RatVal))
+    return A->RatVal < B->RatVal;
+  if (A->BoolVal != B->BoolVal)
+    return B->BoolVal;
+  if (A->LocId != B->LocId)
+    return A->LocId < B->LocId;
+  if (A->Index != B->Index)
+    return A->Index < B->Index;
+  if (A->Kids.size() != B->Kids.size())
+    return A->Kids.size() < B->Kids.size();
+  for (std::size_t I = 0, E = A->Kids.size(); I != E; ++I) {
+    if (exprLess(A->Kids[I], B->Kids[I]))
+      return true;
+    if (exprLess(B->Kids[I], A->Kids[I]))
+      return false;
+  }
+  return false;
+}
+
+void gilr::collectVars(const Expr &E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::Var) {
+    Out.insert(E->Name);
+    return;
+  }
+  for (const Expr &Kid : E->Kids)
+    collectVars(Kid, Out);
+}
+
+bool gilr::containsVar(const Expr &E, const std::string &Name) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::Var)
+    return E->Name == Name;
+  for (const Expr &Kid : E->Kids)
+    if (containsVar(Kid, Name))
+      return true;
+  return false;
+}
+
+bool gilr::isProphecyVarName(const std::string &Name) {
+  return startsWith(Name, prophecyVarPrefix());
+}
+
+bool gilr::mentionsProphecy(const Expr &E) {
+  if (!E)
+    return false;
+  if (E->Kind == ExprKind::Var)
+    return isProphecyVarName(E->Name);
+  for (const Expr &Kid : E->Kids)
+    if (mentionsProphecy(Kid))
+      return true;
+  return false;
+}

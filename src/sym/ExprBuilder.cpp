@@ -1,0 +1,624 @@
+//===- sym/ExprBuilder.cpp ------------------------------------------------===//
+
+#include "sym/ExprBuilder.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gilr;
+
+static Expr makeNode(ExprKind K, Sort S, std::vector<Expr> Kids) {
+  return std::make_shared<ExprNode>(K, S, std::move(Kids));
+}
+
+//===----------------------------------------------------------------------===//
+// Leaves
+//===----------------------------------------------------------------------===//
+
+Expr gilr::mkVar(const std::string &Name, Sort S) {
+  auto Node = std::make_shared<ExprNode>(ExprKind::Var, S, std::vector<Expr>());
+  Node->Name = Name;
+  Node->finalizeHash();
+  return Node;
+}
+
+Expr gilr::mkInt(__int128 V) {
+  auto Node =
+      std::make_shared<ExprNode>(ExprKind::IntLit, Sort::Int, std::vector<Expr>());
+  Node->IntVal = V;
+  Node->finalizeHash();
+  return Node;
+}
+
+Expr gilr::mkIntU64(uint64_t V) { return mkInt(static_cast<__int128>(V)); }
+
+Expr gilr::mkReal(Rational R) {
+  auto Node = std::make_shared<ExprNode>(ExprKind::RealLit, Sort::Real,
+                                         std::vector<Expr>());
+  Node->RatVal = R;
+  Node->finalizeHash();
+  return Node;
+}
+
+Expr gilr::mkBool(bool B) {
+  auto Node = std::make_shared<ExprNode>(ExprKind::BoolLit, Sort::Bool,
+                                         std::vector<Expr>());
+  Node->BoolVal = B;
+  Node->finalizeHash();
+  return Node;
+}
+
+Expr gilr::mkTrue() { return mkBool(true); }
+Expr gilr::mkFalse() { return mkBool(false); }
+
+Expr gilr::mkUnit() {
+  return makeNode(ExprKind::UnitLit, Sort::Unit, {});
+}
+
+Expr gilr::mkLoc(uint64_t Id) {
+  auto Node = std::make_shared<ExprNode>(ExprKind::LocLit, Sort::Loc,
+                                         std::vector<Expr>());
+  Node->LocId = Id;
+  Node->finalizeHash();
+  return Node;
+}
+
+Expr gilr::mkNone() { return makeNode(ExprKind::NoneLit, Sort::Opt, {}); }
+
+bool gilr::isTrueLit(const Expr &E) {
+  return E && E->Kind == ExprKind::BoolLit && E->BoolVal;
+}
+
+bool gilr::isFalseLit(const Expr &E) {
+  return E && E->Kind == ExprKind::BoolLit && !E->BoolVal;
+}
+
+bool gilr::getIntLit(const Expr &E, __int128 &Out) {
+  if (!E || E->Kind != ExprKind::IntLit)
+    return false;
+  Out = E->IntVal;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Boolean structure
+//===----------------------------------------------------------------------===//
+
+Expr gilr::mkNot(const Expr &A) {
+  assert(A && "null operand");
+  if (A->Kind == ExprKind::BoolLit)
+    return mkBool(!A->BoolVal);
+  if (A->Kind == ExprKind::Not)
+    return A->Kids[0];
+  return makeNode(ExprKind::Not, Sort::Bool, {A});
+}
+
+Expr gilr::mkAnd(const Expr &A, const Expr &B) {
+  return mkAnd(std::vector<Expr>{A, B});
+}
+
+Expr gilr::mkAnd(std::vector<Expr> Conjuncts) {
+  std::vector<Expr> Flat;
+  for (const Expr &C : Conjuncts) {
+    assert(C && "null conjunct");
+    if (isTrueLit(C))
+      continue;
+    if (isFalseLit(C))
+      return mkFalse();
+    if (C->Kind == ExprKind::And) {
+      for (const Expr &Kid : C->Kids)
+        Flat.push_back(Kid);
+      continue;
+    }
+    Flat.push_back(C);
+  }
+  // Drop duplicates (quadratic; conjunct lists stay small).
+  std::vector<Expr> Uniq;
+  for (const Expr &C : Flat) {
+    bool Seen = false;
+    for (const Expr &U : Uniq)
+      if (exprEquals(C, U)) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Uniq.push_back(C);
+  }
+  if (Uniq.empty())
+    return mkTrue();
+  if (Uniq.size() == 1)
+    return Uniq[0];
+  return makeNode(ExprKind::And, Sort::Bool, std::move(Uniq));
+}
+
+Expr gilr::mkOr(const Expr &A, const Expr &B) {
+  return mkOr(std::vector<Expr>{A, B});
+}
+
+Expr gilr::mkOr(std::vector<Expr> Disjuncts) {
+  std::vector<Expr> Flat;
+  for (const Expr &D : Disjuncts) {
+    assert(D && "null disjunct");
+    if (isFalseLit(D))
+      continue;
+    if (isTrueLit(D))
+      return mkTrue();
+    if (D->Kind == ExprKind::Or) {
+      for (const Expr &Kid : D->Kids)
+        Flat.push_back(Kid);
+      continue;
+    }
+    Flat.push_back(D);
+  }
+  if (Flat.empty())
+    return mkFalse();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return makeNode(ExprKind::Or, Sort::Bool, std::move(Flat));
+}
+
+Expr gilr::mkImplies(const Expr &A, const Expr &B) {
+  if (isTrueLit(A))
+    return B;
+  if (isFalseLit(A) || isTrueLit(B))
+    return mkTrue();
+  if (isFalseLit(B))
+    return mkNot(A);
+  return makeNode(ExprKind::Implies, Sort::Bool, {A, B});
+}
+
+Expr gilr::mkIte(const Expr &C, const Expr &T, const Expr &E) {
+  if (isTrueLit(C))
+    return T;
+  if (isFalseLit(C))
+    return E;
+  if (exprEquals(T, E))
+    return T;
+  Sort S = T->NodeSort == Sort::Any ? E->NodeSort : T->NodeSort;
+  return makeNode(ExprKind::Ite, S, {C, T, E});
+}
+
+//===----------------------------------------------------------------------===//
+// Equality and comparisons
+//===----------------------------------------------------------------------===//
+
+/// Returns 1 (definitely equal), 0 (definitely different) or -1 (unknown)
+/// for two expressions, by constructor reasoning only.
+static int staticEqVerdict(const Expr &A, const Expr &B) {
+  if (exprEquals(A, B))
+    return 1;
+  ExprKind KA = A->Kind, KB = B->Kind;
+  auto bothAre = [&](ExprKind K1, ExprKind K2) {
+    return (KA == K1 && KB == K2) || (KA == K2 && KB == K1);
+  };
+  if (KA == ExprKind::IntLit && KB == ExprKind::IntLit)
+    return A->IntVal == B->IntVal ? 1 : 0;
+  if (KA == ExprKind::RealLit && KB == ExprKind::RealLit)
+    return A->RatVal == B->RatVal ? 1 : 0;
+  if (KA == ExprKind::BoolLit && KB == ExprKind::BoolLit)
+    return A->BoolVal == B->BoolVal ? 1 : 0;
+  if (KA == ExprKind::LocLit && KB == ExprKind::LocLit)
+    return A->LocId == B->LocId ? 1 : 0;
+  if (bothAre(ExprKind::NoneLit, ExprKind::Some))
+    return 0;
+  if (bothAre(ExprKind::SeqNil, ExprKind::SeqUnit))
+    return 0;
+  if (KA == ExprKind::UnitLit && KB == ExprKind::UnitLit)
+    return 1;
+  if (KA == ExprKind::TupleLit && KB == ExprKind::TupleLit &&
+      A->Kids.size() != B->Kids.size())
+    return 0;
+  return -1;
+}
+
+Expr gilr::mkEq(const Expr &A, const Expr &B) {
+  assert(A && B && "null operand");
+  int Verdict = staticEqVerdict(A, B);
+  if (Verdict == 1)
+    return mkTrue();
+  if (Verdict == 0)
+    return mkFalse();
+  // Constructor decomposition.
+  if (A->Kind == ExprKind::Some && B->Kind == ExprKind::Some)
+    return mkEq(A->Kids[0], B->Kids[0]);
+  if (A->Kind == ExprKind::SeqUnit && B->Kind == ExprKind::SeqUnit)
+    return mkEq(A->Kids[0], B->Kids[0]);
+  if (A->Kind == ExprKind::TupleLit && B->Kind == ExprKind::TupleLit) {
+    std::vector<Expr> Eqs;
+    for (std::size_t I = 0, E = A->Kids.size(); I != E; ++I)
+      Eqs.push_back(mkEq(A->Kids[I], B->Kids[I]));
+    return mkAnd(std::move(Eqs));
+  }
+  // Canonical operand order for commutative equality.
+  if (exprLess(B, A))
+    return makeNode(ExprKind::Eq, Sort::Bool, {B, A});
+  return makeNode(ExprKind::Eq, Sort::Bool, {A, B});
+}
+
+Expr gilr::mkNe(const Expr &A, const Expr &B) { return mkNot(mkEq(A, B)); }
+
+Expr gilr::mkLt(const Expr &A, const Expr &B) {
+  __int128 VA, VB;
+  if (getIntLit(A, VA) && getIntLit(B, VB))
+    return mkBool(VA < VB);
+  if (A->Kind == ExprKind::RealLit && B->Kind == ExprKind::RealLit)
+    return mkBool(A->RatVal < B->RatVal);
+  if (exprEquals(A, B))
+    return mkFalse();
+  return makeNode(ExprKind::Lt, Sort::Bool, {A, B});
+}
+
+Expr gilr::mkLe(const Expr &A, const Expr &B) {
+  __int128 VA, VB;
+  if (getIntLit(A, VA) && getIntLit(B, VB))
+    return mkBool(VA <= VB);
+  if (A->Kind == ExprKind::RealLit && B->Kind == ExprKind::RealLit)
+    return mkBool(A->RatVal <= B->RatVal);
+  if (exprEquals(A, B))
+    return mkTrue();
+  return makeNode(ExprKind::Le, Sort::Bool, {A, B});
+}
+
+Expr gilr::mkGt(const Expr &A, const Expr &B) { return mkLt(B, A); }
+Expr gilr::mkGe(const Expr &A, const Expr &B) { return mkLe(B, A); }
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+static Sort arithSort(const Expr &A, const Expr &B) {
+  if (A->NodeSort == Sort::Real || B->NodeSort == Sort::Real)
+    return Sort::Real;
+  return Sort::Int;
+}
+
+Expr gilr::mkAdd(const Expr &A, const Expr &B) {
+  return mkAdd(std::vector<Expr>{A, B});
+}
+
+Expr gilr::mkAdd(std::vector<Expr> Terms) {
+  std::vector<Expr> Flat;
+  __int128 IntAcc = 0;
+  Rational RatAcc;
+  bool IsReal = false;
+  for (const Expr &T : Terms) {
+    assert(T && "null term");
+    if (T->NodeSort == Sort::Real)
+      IsReal = true;
+    if (T->Kind == ExprKind::IntLit) {
+      IntAcc += T->IntVal;
+      continue;
+    }
+    if (T->Kind == ExprKind::RealLit) {
+      RatAcc = RatAcc + T->RatVal;
+      continue;
+    }
+    if (T->Kind == ExprKind::Add) {
+      for (const Expr &Kid : T->Kids) {
+        if (Kid->Kind == ExprKind::IntLit)
+          IntAcc += Kid->IntVal;
+        else if (Kid->Kind == ExprKind::RealLit)
+          RatAcc = RatAcc + Kid->RatVal;
+        else
+          Flat.push_back(Kid);
+      }
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  // Cancel syntactically matching t / -t pairs (x + 1 - (x + 1) folds to 0
+  // without solver help; laid-out range reassembly relies on this).
+  for (std::size_t I = 0; I < Flat.size(); ++I) {
+    if (!Flat[I])
+      continue;
+    Expr Negated = Flat[I]->Kind == ExprKind::Neg ? Flat[I]->Kids[0]
+                                                  : nullptr;
+    for (std::size_t J = 0; J < Flat.size(); ++J) {
+      if (I == J || !Flat[J])
+        continue;
+      bool Cancels = Negated ? exprEquals(Flat[J], Negated)
+                             : (Flat[J]->Kind == ExprKind::Neg &&
+                                exprEquals(Flat[J]->Kids[0], Flat[I]));
+      if (Cancels) {
+        Flat[I] = nullptr;
+        Flat[J] = nullptr;
+        break;
+      }
+    }
+  }
+  std::vector<Expr> Kept;
+  for (Expr &E : Flat)
+    if (E)
+      Kept.push_back(std::move(E));
+  Flat = std::move(Kept);
+
+  if (IsReal) {
+    RatAcc = RatAcc + Rational(IntAcc, 1);
+    if (!RatAcc.isZero() || Flat.empty())
+      Flat.push_back(mkReal(RatAcc));
+    if (Flat.size() == 1)
+      return Flat[0];
+    return makeNode(ExprKind::Add, Sort::Real, std::move(Flat));
+  }
+  if (IntAcc != 0 || Flat.empty())
+    Flat.push_back(mkInt(IntAcc));
+  if (Flat.size() == 1)
+    return Flat[0];
+  return makeNode(ExprKind::Add, Sort::Int, std::move(Flat));
+}
+
+Expr gilr::mkSub(const Expr &A, const Expr &B) {
+  __int128 VA, VB;
+  if (getIntLit(A, VA) && getIntLit(B, VB))
+    return mkInt(VA - VB);
+  if (getIntLit(B, VB) && VB == 0)
+    return A;
+  if (exprEquals(A, B) && A->NodeSort == Sort::Int)
+    return mkInt(0);
+  return mkAdd(A, mkNeg(B));
+}
+
+Expr gilr::mkMul(const Expr &A, const Expr &B) {
+  __int128 VA, VB;
+  bool LA = getIntLit(A, VA), LB = getIntLit(B, VB);
+  if (LA && LB)
+    return mkInt(VA * VB);
+  if (LA && VA == 0)
+    return mkInt(0);
+  if (LB && VB == 0)
+    return mkInt(0);
+  if (LA && VA == 1)
+    return B;
+  if (LB && VB == 1)
+    return A;
+  if (A->Kind == ExprKind::RealLit && B->Kind == ExprKind::RealLit)
+    return mkReal(A->RatVal * B->RatVal);
+  // Canonicalise constant to the left for the linear-arithmetic extractor.
+  if (LB)
+    return makeNode(ExprKind::Mul, arithSort(A, B), {B, A});
+  return makeNode(ExprKind::Mul, arithSort(A, B), {A, B});
+}
+
+Expr gilr::mkNeg(const Expr &A) {
+  __int128 VA;
+  if (getIntLit(A, VA))
+    return mkInt(-VA);
+  if (A->Kind == ExprKind::RealLit)
+    return mkReal(-A->RatVal);
+  if (A->Kind == ExprKind::Neg)
+    return A->Kids[0];
+  if (A->Kind == ExprKind::Add) {
+    // Distribute so that sums stay flat and cancellation applies.
+    std::vector<Expr> Parts;
+    Parts.reserve(A->Kids.size());
+    for (const Expr &Kid : A->Kids)
+      Parts.push_back(mkNeg(Kid));
+    return mkAdd(std::move(Parts));
+  }
+  return makeNode(ExprKind::Neg, A->NodeSort, {A});
+}
+
+//===----------------------------------------------------------------------===//
+// Options
+//===----------------------------------------------------------------------===//
+
+Expr gilr::mkSome(const Expr &V) {
+  return makeNode(ExprKind::Some, Sort::Opt, {V});
+}
+
+Expr gilr::mkIsSome(const Expr &O) {
+  if (O->Kind == ExprKind::Some)
+    return mkTrue();
+  if (O->Kind == ExprKind::NoneLit)
+    return mkFalse();
+  return makeNode(ExprKind::IsSome, Sort::Bool, {O});
+}
+
+Expr gilr::mkIsNone(const Expr &O) { return mkNot(mkIsSome(O)); }
+
+Expr gilr::mkUnwrap(const Expr &O) {
+  if (O->Kind == ExprKind::Some)
+    return O->Kids[0];
+  return makeNode(ExprKind::Unwrap, Sort::Any, {O});
+}
+
+//===----------------------------------------------------------------------===//
+// Sequences
+//===----------------------------------------------------------------------===//
+
+Expr gilr::mkSeqNil() { return makeNode(ExprKind::SeqNil, Sort::Seq, {}); }
+
+Expr gilr::mkSeqUnit(const Expr &V) {
+  return makeNode(ExprKind::SeqUnit, Sort::Seq, {V});
+}
+
+Expr gilr::mkSeqLit(const std::vector<Expr> &Vals) {
+  std::vector<Expr> Parts;
+  Parts.reserve(Vals.size());
+  for (const Expr &V : Vals)
+    Parts.push_back(mkSeqUnit(V));
+  return mkSeqConcat(std::move(Parts));
+}
+
+Expr gilr::mkSeqConcat(const Expr &A, const Expr &B) {
+  return mkSeqConcat(std::vector<Expr>{A, B});
+}
+
+Expr gilr::mkSeqConcat(std::vector<Expr> Parts) {
+  std::vector<Expr> Flat;
+  for (const Expr &P : Parts) {
+    assert(P && "null sequence part");
+    if (P->Kind == ExprKind::SeqNil)
+      continue;
+    if (P->Kind == ExprKind::SeqConcat) {
+      for (const Expr &Kid : P->Kids)
+        Flat.push_back(Kid);
+      continue;
+    }
+    Flat.push_back(P);
+  }
+  if (Flat.empty())
+    return mkSeqNil();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return makeNode(ExprKind::SeqConcat, Sort::Seq, std::move(Flat));
+}
+
+Expr gilr::mkSeqCons(const Expr &Head, const Expr &Tail) {
+  return mkSeqConcat(mkSeqUnit(Head), Tail);
+}
+
+bool gilr::getStaticSeqLen(const Expr &E, __int128 &Out) {
+  switch (E->Kind) {
+  case ExprKind::SeqNil:
+    Out = 0;
+    return true;
+  case ExprKind::SeqUnit:
+    Out = 1;
+    return true;
+  case ExprKind::SeqConcat: {
+    __int128 Total = 0;
+    for (const Expr &Kid : E->Kids) {
+      __int128 KidLen;
+      if (!getStaticSeqLen(Kid, KidLen))
+        return false;
+      Total += KidLen;
+    }
+    Out = Total;
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+Expr gilr::mkSeqLen(const Expr &S) {
+  switch (S->Kind) {
+  case ExprKind::SeqNil:
+    return mkInt(0);
+  case ExprKind::SeqUnit:
+    return mkInt(1);
+  case ExprKind::SeqConcat: {
+    std::vector<Expr> Lens;
+    for (const Expr &Kid : S->Kids)
+      Lens.push_back(mkSeqLen(Kid));
+    return mkAdd(std::move(Lens));
+  }
+  case ExprKind::SeqSub:
+    // len(sub(s, from, len)) = len; the producer of SeqSub is responsible
+    // for the range side conditions (the heap emits them into the path
+    // condition, and SeqTheory re-asserts them).
+    return S->Kids[2];
+  default:
+    return makeNode(ExprKind::SeqLen, Sort::Int, {S});
+  }
+}
+
+Expr gilr::mkSeqNth(const Expr &S, const Expr &I) {
+  __int128 Idx;
+  bool HasIdx = getIntLit(I, Idx);
+  if (HasIdx && S->Kind == ExprKind::SeqUnit && Idx == 0)
+    return S->Kids[0];
+  if (HasIdx && S->Kind == ExprKind::SeqConcat) {
+    // Walk statically-sized prefixes.
+    __int128 Offset = 0;
+    for (const Expr &Part : S->Kids) {
+      __int128 PartLen;
+      if (!getStaticSeqLen(Part, PartLen))
+        break;
+      if (Idx < Offset + PartLen)
+        return mkSeqNth(Part, mkInt(Idx - Offset));
+      Offset += PartLen;
+    }
+  }
+  if (S->Kind == ExprKind::SeqSub)
+    return mkSeqNth(S->Kids[0], mkAdd(S->Kids[1], I));
+  return makeNode(ExprKind::SeqNth, Sort::Any, {S, I});
+}
+
+Expr gilr::mkSeqSub(const Expr &S, const Expr &From, const Expr &Len) {
+  __int128 F, L;
+  bool HasF = getIntLit(From, F), HasL = getIntLit(Len, L);
+  if (HasL && L == 0)
+    return mkSeqNil();
+  if (HasF && F == 0) {
+    __int128 SLen;
+    if (getStaticSeqLen(S, SLen) && HasL && SLen == L)
+      return S;
+  }
+  if (HasF && HasL && S->Kind == ExprKind::SeqConcat) {
+    // Slice across statically-sized parts if fully resolvable.
+    std::vector<Expr> Out;
+    __int128 Pos = 0, Want = F, Remaining = L;
+    bool OK = true;
+    for (const Expr &Part : S->Kids) {
+      if (Remaining == 0)
+        break;
+      __int128 PartLen;
+      if (!getStaticSeqLen(Part, PartLen)) {
+        OK = false;
+        break;
+      }
+      __int128 Lo = std::max(Want, Pos);
+      __int128 Hi = std::min(Want + L, Pos + PartLen);
+      if (Lo < Hi) {
+        Out.push_back(mkSeqSub(Part, mkInt(Lo - Pos), mkInt(Hi - Lo)));
+        Remaining -= (Hi - Lo);
+      }
+      Pos += PartLen;
+    }
+    if (OK && Remaining == 0)
+      return mkSeqConcat(std::move(Out));
+  }
+  if (S->Kind == ExprKind::SeqUnit && HasF && HasL && F == 0 && L == 1)
+    return S;
+  if (S->Kind == ExprKind::SeqSub) {
+    // sub(sub(s, f1, l1), f2, l2) = sub(s, f1+f2, l2).
+    return mkSeqSub(S->Kids[0], mkAdd(S->Kids[1], From), Len);
+  }
+  return makeNode(ExprKind::SeqSub, Sort::Seq, {S, From, Len});
+}
+
+//===----------------------------------------------------------------------===//
+// Tuples
+//===----------------------------------------------------------------------===//
+
+Expr gilr::mkTuple(std::vector<Expr> Elems) {
+  return makeNode(ExprKind::TupleLit, Sort::Tuple, std::move(Elems));
+}
+
+Expr gilr::mkTupleGet(const Expr &T, unsigned Index) {
+  if (T->Kind == ExprKind::TupleLit) {
+    assert(Index < T->Kids.size() && "tuple index out of range");
+    return T->Kids[Index];
+  }
+  auto Node =
+      std::make_shared<ExprNode>(ExprKind::TupleGet, Sort::Any,
+                                 std::vector<Expr>{T});
+  Node->Index = Index;
+  Node->finalizeHash();
+  return Node;
+}
+
+//===----------------------------------------------------------------------===//
+// Lifetimes and applications
+//===----------------------------------------------------------------------===//
+
+Expr gilr::mkLftVar(const std::string &Name) { return mkVar(Name, Sort::Lft); }
+
+Expr gilr::mkLftIncl(const Expr &K1, const Expr &K2) {
+  if (exprEquals(K1, K2))
+    return mkTrue();
+  return makeNode(ExprKind::LftIncl, Sort::Bool, {K1, K2});
+}
+
+Expr gilr::mkApp(const std::string &Name, std::vector<Expr> Args,
+                 Sort ResultSort) {
+  auto Node = std::make_shared<ExprNode>(ExprKind::App, ResultSort,
+                                         std::move(Args));
+  Node->Name = Name;
+  Node->finalizeHash();
+  return Node;
+}

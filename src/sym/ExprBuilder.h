@@ -1,0 +1,94 @@
+//===- sym/ExprBuilder.h - Smart constructors for expressions ------------===//
+///
+/// \file
+/// Factory functions for the expression DAG. Every constructor performs
+/// sort checking (asserted) and local simplification: constant folding,
+/// flattening of associative connectives, constructor-clash detection for
+/// equalities and Ite folding. Downstream code (solver, heap, engine) relies
+/// on these normal forms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SYM_EXPRBUILDER_H
+#define GILR_SYM_EXPRBUILDER_H
+
+#include "sym/Expr.h"
+
+namespace gilr {
+
+// Leaves.
+Expr mkVar(const std::string &Name, Sort S);
+Expr mkInt(__int128 V);
+Expr mkIntU64(uint64_t V);
+Expr mkReal(Rational R);
+Expr mkBool(bool B);
+Expr mkTrue();
+Expr mkFalse();
+Expr mkUnit();
+Expr mkLoc(uint64_t Id);
+Expr mkNone();
+
+// Boolean structure.
+Expr mkNot(const Expr &A);
+Expr mkAnd(const Expr &A, const Expr &B);
+Expr mkAnd(std::vector<Expr> Conjuncts);
+Expr mkOr(const Expr &A, const Expr &B);
+Expr mkOr(std::vector<Expr> Disjuncts);
+Expr mkImplies(const Expr &A, const Expr &B);
+Expr mkIte(const Expr &C, const Expr &T, const Expr &E);
+
+// Comparisons.
+Expr mkEq(const Expr &A, const Expr &B);
+Expr mkNe(const Expr &A, const Expr &B);
+Expr mkLt(const Expr &A, const Expr &B);
+Expr mkLe(const Expr &A, const Expr &B);
+Expr mkGt(const Expr &A, const Expr &B);
+Expr mkGe(const Expr &A, const Expr &B);
+
+// Arithmetic (Int or Real, homogeneous).
+Expr mkAdd(const Expr &A, const Expr &B);
+Expr mkAdd(std::vector<Expr> Terms);
+Expr mkSub(const Expr &A, const Expr &B);
+Expr mkMul(const Expr &A, const Expr &B);
+Expr mkNeg(const Expr &A);
+
+// Options.
+Expr mkSome(const Expr &V);
+Expr mkIsSome(const Expr &O);
+Expr mkIsNone(const Expr &O);
+Expr mkUnwrap(const Expr &O);
+
+// Sequences.
+Expr mkSeqNil();
+Expr mkSeqUnit(const Expr &V);
+Expr mkSeqLit(const std::vector<Expr> &Vals);
+Expr mkSeqConcat(const Expr &A, const Expr &B);
+Expr mkSeqConcat(std::vector<Expr> Parts);
+Expr mkSeqCons(const Expr &Head, const Expr &Tail);
+Expr mkSeqLen(const Expr &S);
+Expr mkSeqNth(const Expr &S, const Expr &I);
+Expr mkSeqSub(const Expr &S, const Expr &From, const Expr &Len);
+
+// Tuples.
+Expr mkTuple(std::vector<Expr> Elems);
+Expr mkTupleGet(const Expr &T, unsigned Index);
+
+// Lifetimes.
+Expr mkLftVar(const std::string &Name);
+Expr mkLftIncl(const Expr &K1, const Expr &K2);
+
+// Uninterpreted application.
+Expr mkApp(const std::string &Name, std::vector<Expr> Args,
+           Sort ResultSort = Sort::Any);
+
+/// True if \p E is the literal true / false respectively.
+bool isTrueLit(const Expr &E);
+bool isFalseLit(const Expr &E);
+/// True if \p E is an integer literal; \p Out receives the value.
+bool getIntLit(const Expr &E, __int128 &Out);
+/// True if \p E is a sequence with statically-known length.
+bool getStaticSeqLen(const Expr &E, __int128 &Out);
+
+} // namespace gilr
+
+#endif // GILR_SYM_EXPRBUILDER_H

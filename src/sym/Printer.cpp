@@ -1,0 +1,93 @@
+//===- sym/Printer.cpp -----------------------------------------------------===//
+
+#include "sym/Printer.h"
+
+#include "support/Diagnostics.h"
+#include "support/StringUtils.h"
+
+using namespace gilr;
+
+static std::string printOp(const char *Op, const Expr &E) {
+  std::vector<std::string> Parts;
+  Parts.reserve(E->Kids.size() + 1);
+  Parts.push_back(Op);
+  for (const Expr &Kid : E->Kids)
+    Parts.push_back(exprToString(Kid));
+  return "(" + join(Parts, " ") + ")";
+}
+
+std::string gilr::exprToString(const Expr &E) {
+  if (!E)
+    return "<null>";
+  switch (E->Kind) {
+  case ExprKind::Var:
+    return E->Name;
+  case ExprKind::IntLit:
+    return int128ToString(E->IntVal);
+  case ExprKind::RealLit:
+    return E->RatVal.str();
+  case ExprKind::BoolLit:
+    return E->BoolVal ? "true" : "false";
+  case ExprKind::UnitLit:
+    return "()";
+  case ExprKind::LocLit:
+    return "$l" + std::to_string(E->LocId);
+  case ExprKind::NoneLit:
+    return "None";
+  case ExprKind::Not:
+    return printOp("not", E);
+  case ExprKind::And:
+    return printOp("and", E);
+  case ExprKind::Or:
+    return printOp("or", E);
+  case ExprKind::Implies:
+    return printOp("=>", E);
+  case ExprKind::Ite:
+    return printOp("ite", E);
+  case ExprKind::Eq:
+    return printOp("=", E);
+  case ExprKind::Lt:
+    return printOp("<", E);
+  case ExprKind::Le:
+    return printOp("<=", E);
+  case ExprKind::Add:
+    return printOp("+", E);
+  case ExprKind::Sub:
+    return printOp("-", E);
+  case ExprKind::Mul:
+    return printOp("*", E);
+  case ExprKind::Neg:
+    return printOp("neg", E);
+  case ExprKind::Some:
+    return "Some(" + exprToString(E->Kids[0]) + ")";
+  case ExprKind::IsSome:
+    return printOp("is-some", E);
+  case ExprKind::Unwrap:
+    return printOp("unwrap", E);
+  case ExprKind::SeqNil:
+    return "[]";
+  case ExprKind::SeqUnit:
+    return "[" + exprToString(E->Kids[0]) + "]";
+  case ExprKind::SeqConcat:
+    return printOp("++", E);
+  case ExprKind::SeqLen:
+    return printOp("len", E);
+  case ExprKind::SeqNth:
+    return printOp("nth", E);
+  case ExprKind::SeqSub:
+    return printOp("sub", E);
+  case ExprKind::TupleLit: {
+    std::vector<std::string> Parts;
+    for (const Expr &Kid : E->Kids)
+      Parts.push_back(exprToString(Kid));
+    return "(" + join(Parts, ", ") + ")";
+  }
+  case ExprKind::TupleGet:
+    return exprToString(E->Kids[0]) + "." + std::to_string(E->Index);
+  case ExprKind::LftIncl:
+    return printOp("lft<=", E);
+  case ExprKind::App:
+    return printOp(E->Name.c_str(), E);
+  }
+  GILR_UNREACHABLE("unknown expr kind in printer");
+}

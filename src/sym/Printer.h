@@ -1,0 +1,21 @@
+//===- sym/Printer.h - Expression pretty-printing -------------------------===//
+///
+/// \file
+/// Human-readable rendering of expressions, used by diagnostics and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SYM_PRINTER_H
+#define GILR_SYM_PRINTER_H
+
+#include "sym/Expr.h"
+
+namespace gilr {
+
+/// Renders \p E as a compact string, e.g. "(+ x 1)" style prefix notation for
+/// operators and Rust-like notation for values.
+std::string exprToString(const Expr &E);
+
+} // namespace gilr
+
+#endif // GILR_SYM_PRINTER_H

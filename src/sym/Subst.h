@@ -1,0 +1,47 @@
+//===- sym/Subst.h - Variable substitution --------------------------------===//
+///
+/// \file
+/// Capture-free substitution of symbolic variables, the workhorse of
+/// assertion production/consumption (specs are instantiated by substituting
+/// formal spec variables with matched state values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SYM_SUBST_H
+#define GILR_SYM_SUBST_H
+
+#include "sym/Expr.h"
+
+#include <map>
+#include <optional>
+
+namespace gilr {
+
+/// A partial map from variable names to replacement expressions.
+class Subst {
+public:
+  Subst() = default;
+
+  /// Binds \p Name to \p Value. Re-binding to a structurally equal value is a
+  /// no-op; re-binding to a different value is an error caught by assert.
+  void bind(const std::string &Name, const Expr &Value);
+
+  /// Binds or overwrites \p Name unconditionally.
+  void rebind(const std::string &Name, const Expr &Value);
+
+  bool contains(const std::string &Name) const;
+  std::optional<Expr> lookup(const std::string &Name) const;
+
+  /// Applies the substitution to \p E, leaving unbound variables in place.
+  Expr apply(const Expr &E) const;
+
+  std::size_t size() const { return Map.size(); }
+  const std::map<std::string, Expr> &entries() const { return Map; }
+
+private:
+  std::map<std::string, Expr> Map;
+};
+
+} // namespace gilr
+
+#endif // GILR_SYM_SUBST_H

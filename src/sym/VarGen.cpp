@@ -1,0 +1,23 @@
+//===- sym/VarGen.cpp ------------------------------------------------------===//
+
+#include "sym/VarGen.h"
+
+#include "sym/ExprBuilder.h"
+
+using namespace gilr;
+
+Expr VarGen::fresh(const std::string &Base, Sort S) {
+  return mkVar(Base + "%" + std::to_string(Counter++), S);
+}
+
+Expr VarGen::freshProphecy(const std::string &Base, Sort S) {
+  return mkVar(std::string(prophecyVarPrefix()) + Base + "%" +
+                   std::to_string(Counter++),
+               S);
+}
+
+Expr VarGen::freshLoc() { return mkLoc(LocCounter++); }
+
+Expr VarGen::freshLifetime(const std::string &Base) {
+  return mkVar(Base + "%" + std::to_string(Counter++), Sort::Lft);
+}

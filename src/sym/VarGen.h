@@ -1,0 +1,43 @@
+//===- sym/VarGen.h - Fresh symbolic variable generation ------------------===//
+///
+/// \file
+/// A counter-based generator for fresh symbolic variables, locations, and
+/// prophecy variables. One generator is owned by each verification run so
+/// that proofs are deterministic and replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SYM_VARGEN_H
+#define GILR_SYM_VARGEN_H
+
+#include "sym/Expr.h"
+
+#include <cstdint>
+
+namespace gilr {
+
+/// Generates fresh variables with unique names.
+class VarGen {
+public:
+  /// Returns a fresh variable of sort \p S; names look like "base%7".
+  Expr fresh(const std::string &Base, Sort S);
+
+  /// Returns a fresh prophecy variable (reserved "pcy$" prefix, see §5.2).
+  Expr freshProphecy(const std::string &Base, Sort S = Sort::Any);
+
+  /// Returns a fresh concrete location literal (a new allocation identity).
+  Expr freshLoc();
+
+  /// Returns a fresh lifetime variable.
+  Expr freshLifetime(const std::string &Base = "lft");
+
+  uint64_t counter() const { return Counter; }
+
+private:
+  uint64_t Counter = 0;
+  uint64_t LocCounter = 0;
+};
+
+} // namespace gilr
+
+#endif // GILR_SYM_VARGEN_H

@@ -1,0 +1,75 @@
+//===- tests/byteheap_test.cpp - The fixed-layout baseline (A2) -------------===//
+
+#include "heap/ByteHeap.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::heap;
+using namespace gilr::rmir;
+
+namespace {
+
+class ByteHeapTest : public ::testing::Test {
+protected:
+  ByteHeapTest() : Layout(Ty, LayoutStrategy::LargestFirst), H(Layout) {
+    U32 = Ty.intTy(IntKind::U32);
+    U64 = Ty.intTy(IntKind::U64);
+    S = Ty.declareStruct("S", {FieldDef{"x", U32}, FieldDef{"y", U64}});
+  }
+  TyCtx Ty;
+  LayoutEngine Layout;
+  ByteHeap H;
+  TypeRef U32, U64, S;
+};
+
+TEST_F(ByteHeapTest, RoundTrip) {
+  uint64_t Loc = H.alloc(S);
+  ASSERT_TRUE(H.store(Loc, Layout.fieldOffset(S, 0), U32, mkInt(1)).ok());
+  ASSERT_TRUE(H.store(Loc, Layout.fieldOffset(S, 1), U64, mkInt(2)).ok());
+  Outcome<Expr> X = H.load(Loc, Layout.fieldOffset(S, 0), U32);
+  ASSERT_TRUE(X.ok());
+  EXPECT_TRUE(exprEquals(X.value(), mkInt(1)));
+}
+
+TEST_F(ByteHeapTest, UninitialisedLoadFails) {
+  uint64_t Loc = H.alloc(S);
+  EXPECT_TRUE(H.load(Loc, 0, U32).failed());
+}
+
+TEST_F(ByteHeapTest, OutOfBoundsStoreFails) {
+  uint64_t Loc = H.alloc(U32);
+  EXPECT_TRUE(H.store(Loc, 4, U32, mkInt(1)).failed());
+  EXPECT_TRUE(H.store(Loc, 0, U64, mkInt(1)).failed()); // Too wide.
+}
+
+TEST_F(ByteHeapTest, OverlappingStoreRejected) {
+  uint64_t Loc = H.alloc(S);
+  ASSERT_TRUE(H.store(Loc, 0, U64, mkInt(1)).ok());
+  // A 4-byte store into the middle of the 8-byte cell overlaps.
+  EXPECT_TRUE(H.store(Loc, 4, U32, mkInt(2)).failed());
+}
+
+TEST_F(ByteHeapTest, MixedSizeLoadRejected) {
+  uint64_t Loc = H.alloc(S);
+  ASSERT_TRUE(H.store(Loc, 0, U64, mkInt(1)).ok());
+  EXPECT_TRUE(H.load(Loc, 0, U32).failed());
+}
+
+TEST_F(ByteHeapTest, DoubleFreeAndUseAfterFree) {
+  uint64_t Loc = H.alloc(U32);
+  ASSERT_TRUE(H.free(Loc).ok());
+  EXPECT_TRUE(H.free(Loc).failed());
+  EXPECT_TRUE(H.store(Loc, 0, U32, mkInt(1)).failed());
+  EXPECT_TRUE(H.load(Loc, 0, U32).failed());
+}
+
+TEST_F(ByteHeapTest, TheBaselineIsLayoutCommitted) {
+  // The A2 point: offsets computed under one layout are wrong under
+  // another — the ByteHeap verifies one compiler choice per run.
+  LayoutEngine Other(Ty, LayoutStrategy::SmallestFirst);
+  EXPECT_NE(Layout.fieldOffset(S, 0), Other.fieldOffset(S, 0));
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- tests/congruence_property_test.cpp - Closure properties --------------===//
+//
+// Parameterized properties of the congruence-closure core: agreement with a
+// brute-force transitive/congruent closure on random equality graphs, and
+// the structural invariants (equivalence laws, constructor conflicts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Congruence.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gilr;
+
+namespace {
+
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed * 2654435761u + 99991) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 33;
+  }
+  int range(int Lo, int Hi) {
+    return Lo + static_cast<int>(next() % static_cast<uint64_t>(Hi - Lo + 1));
+  }
+};
+
+class CongruenceProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(CongruenceProps, MatchesBruteForceClosureWithFunctionSymbols) {
+  Lcg Rng(static_cast<uint64_t>(GetParam()));
+  const int NVars = 5;
+  std::vector<Expr> Base;
+  for (int I = 0; I != NVars; ++I)
+    Base.push_back(mkVar("v" + std::to_string(I), Sort::Int));
+  // Terms: the variables plus f(v_i) for each.
+  std::vector<Expr> Terms = Base;
+  for (int I = 0; I != NVars; ++I)
+    Terms.push_back(mkApp("f", {Base[static_cast<std::size_t>(I)]}));
+
+  // Random equalities among the base variables.
+  std::vector<std::pair<int, int>> Eqs;
+  int NEqs = Rng.range(1, 4);
+  for (int I = 0; I != NEqs; ++I)
+    Eqs.push_back({Rng.range(0, NVars - 1), Rng.range(0, NVars - 1)});
+
+  Congruence C;
+  for (const Expr &T : Terms)
+    C.registerTerm(T);
+  for (auto [A, B] : Eqs)
+    ASSERT_TRUE(C.addEquality(Base[static_cast<std::size_t>(A)],
+                              Base[static_cast<std::size_t>(B)]));
+
+  // Brute force: union-find on variable indices.
+  std::vector<int> UF(NVars);
+  for (int I = 0; I != NVars; ++I)
+    UF[static_cast<std::size_t>(I)] = I;
+  std::function<int(int)> Find = [&](int I) {
+    while (UF[static_cast<std::size_t>(I)] != I)
+      I = UF[static_cast<std::size_t>(I)] =
+          UF[static_cast<std::size_t>(UF[static_cast<std::size_t>(I)])];
+    return I;
+  };
+  for (auto [A, B] : Eqs)
+    UF[static_cast<std::size_t>(Find(A))] = Find(B);
+
+  for (int I = 0; I != NVars; ++I)
+    for (int J = 0; J != NVars; ++J) {
+      bool Expected = Find(I) == Find(J);
+      EXPECT_EQ(C.provedEqual(Base[static_cast<std::size_t>(I)],
+                              Base[static_cast<std::size_t>(J)]),
+                Expected)
+          << "v" << I << " ~ v" << J;
+      // Congruence lifts through the function symbol.
+      EXPECT_EQ(
+          C.provedEqual(Terms[static_cast<std::size_t>(NVars + I)],
+                        Terms[static_cast<std::size_t>(NVars + J)]),
+          Expected)
+          << "f(v" << I << ") ~ f(v" << J << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongruenceProps, ::testing::Range(1, 60));
+
+TEST(CongruenceUnit, ConstructorConflicts) {
+  {
+    Congruence C;
+    EXPECT_FALSE(C.addEquality(mkInt(1), mkInt(2)));
+    EXPECT_TRUE(C.inConflict());
+  }
+  {
+    Congruence C;
+    Expr X = mkVar("x", Sort::Opt);
+    ASSERT_TRUE(C.addEquality(X, mkNone()));
+    EXPECT_FALSE(C.addEquality(X, mkSome(mkInt(1))));
+  }
+  {
+    // Transitive literal clash through a variable chain.
+    Congruence C;
+    Expr X = mkVar("x", Sort::Int);
+    Expr Y = mkVar("y", Sort::Int);
+    ASSERT_TRUE(C.addEquality(X, mkInt(5)));
+    ASSERT_TRUE(C.addEquality(X, Y));
+    EXPECT_FALSE(C.addEquality(Y, mkInt(6)));
+  }
+}
+
+TEST(CongruenceUnit, ConstructorDecomposition) {
+  Congruence C;
+  Expr A = mkVar("a", Sort::Int);
+  Expr B = mkVar("b", Sort::Int);
+  ASSERT_TRUE(C.addEquality(mkSome(A), mkSome(B)));
+  EXPECT_TRUE(C.provedEqual(A, B));
+
+  Expr T1 = mkVar("t1", Sort::Any);
+  ASSERT_TRUE(C.addEquality(T1, mkTuple({A, mkInt(1)})));
+  EXPECT_TRUE(C.provedEqual(mkTupleGet(T1, 0), B)); // Via a ~ b.
+}
+
+TEST(CongruenceUnit, ProjectionEvaluation) {
+  Congruence C;
+  Expr O = mkVar("o", Sort::Opt);
+  ASSERT_TRUE(C.addEquality(O, mkSome(mkInt(7))));
+  EXPECT_TRUE(C.provedEqual(mkUnwrap(O), mkInt(7)));
+
+  Expr S = mkVar("s", Sort::Seq);
+  ASSERT_TRUE(C.addEquality(S, mkSeqLit({mkInt(1), mkInt(2)})));
+  EXPECT_TRUE(C.provedEqual(mkSeqLen(S), mkInt(2)));
+  EXPECT_TRUE(C.provedEqual(mkSeqNth(S, mkInt(1)), mkInt(2)));
+}
+
+TEST(CongruenceUnit, SeqLengthConflictDetection) {
+  Congruence C;
+  Expr S = mkVar("s", Sort::Seq);
+  Expr T = mkVar("t", Sort::Seq);
+  ASSERT_TRUE(C.addEquality(S, mkSeqNil()));
+  ASSERT_TRUE(C.addEquality(S, mkSeqCons(mkVar("x", Sort::Int), T)));
+  EXPECT_TRUE(C.hasSeqLengthConflict());
+}
+
+TEST(CongruenceUnit, DisequalityConflictsOnlyWhenMerged) {
+  Congruence C;
+  Expr X = mkVar("x", Sort::Int);
+  Expr Y = mkVar("y", Sort::Int);
+  C.addDisequality(X, Y);
+  ASSERT_TRUE(C.saturate());
+  EXPECT_FALSE(C.hasDisequalityConflict());
+  ASSERT_TRUE(C.addEquality(X, Y));
+  EXPECT_TRUE(C.hasDisequalityConflict());
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+//===- tests/creusot_test.cpp - Pearlite and the safe-code verifier ---------===//
+
+#include "creusot/SafeVerifier.h"
+#include "creusot/StdSpecs.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::creusot;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pearlite lowering (§5.4)
+//===----------------------------------------------------------------------===//
+
+class PearliteTest : public ::testing::Test {
+protected:
+  LowerEnv Env;
+};
+
+TEST_F(PearliteTest, PlainVariableLowersToModel) {
+  Env.Values["x"] = mkVar("m", Sort::Int);
+  Outcome<Expr> R = lowerPearlite(pVar("x"), Env);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(exprEquals(R.value(), mkVar("m", Sort::Int)));
+}
+
+TEST_F(PearliteTest, MutRefRequiresProjection) {
+  Env.Values["self"] = mkTuple({mkVar("cur", Sort::Seq),
+                                mkVar("fut", Sort::Seq)});
+  Env.IsMutRef["self"] = true;
+  // Bare use is an error...
+  EXPECT_TRUE(lowerPearlite(pVar("self"), Env).failed());
+  // ...self@ is the current model...
+  Outcome<Expr> Cur = lowerPearlite(pModel(pVar("self")), Env);
+  ASSERT_TRUE(Cur.ok());
+  EXPECT_TRUE(exprEquals(Cur.value(), mkVar("cur", Sort::Seq)));
+  // ...and ^self / (^self)@ the final one (§5.1 representation pairs).
+  Outcome<Expr> Fin = lowerPearlite(pModel(pFinal(pVar("self"))), Env);
+  ASSERT_TRUE(Fin.ok());
+  EXPECT_TRUE(exprEquals(Fin.value(), mkVar("fut", Sort::Seq)));
+}
+
+TEST_F(PearliteTest, ResultLowersOnlyInPostconditions) {
+  EXPECT_TRUE(lowerPearlite(pResult(), Env).failed());
+  Env.ResultVal = mkVar("r", Sort::Any);
+  EXPECT_TRUE(lowerPearlite(pResult(), Env).ok());
+}
+
+TEST_F(PearliteTest, MatchOptionLowersToIte) {
+  Env.ResultVal = mkVar("r", Sort::Opt);
+  PTermP T = pMatchOpt(pResult(), pBool(false), "x",
+                       pEq(pVar("x"), pInt(3)));
+  Outcome<Expr> R = lowerPearlite(T, Env);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value()->Kind, ExprKind::Ite);
+  // The binder lowers to the unwrapped scrutinee.
+  EXPECT_NE(exprToString(R.value()).find("unwrap"), std::string::npos);
+}
+
+TEST_F(PearliteTest, MatchBinderShadowsOuterVariable) {
+  Env.Values["x"] = mkVar("outer", Sort::Int);
+  Env.ResultVal = mkVar("r", Sort::Opt);
+  PTermP T = pMatchOpt(pResult(), pEq(pVar("x"), pInt(0)), "x",
+                       pEq(pVar("x"), pInt(1)));
+  Outcome<Expr> R = lowerPearlite(T, Env);
+  ASSERT_TRUE(R.ok());
+  std::string Text = exprToString(R.value());
+  // The Some branch uses unwrap(r), the None branch the outer variable.
+  EXPECT_NE(Text.find("unwrap"), std::string::npos);
+  EXPECT_NE(Text.find("outer"), std::string::npos);
+}
+
+TEST_F(PearliteTest, SequenceOperators) {
+  Env.Values["s"] = mkVar("m", Sort::Seq);
+  PTermP T = pEq(pSeqLen(pVar("s")), pInt(2));
+  Outcome<Expr> R = lowerPearlite(T, Env);
+  ASSERT_TRUE(R.ok());
+  PTermP C = pSeqCons(pInt(1), pSeqEmpty());
+  Outcome<Expr> RC = lowerPearlite(C, Env);
+  ASSERT_TRUE(RC.ok());
+  __int128 Len;
+  EXPECT_TRUE(getStaticSeqLen(RC.value(), Len));
+  EXPECT_EQ(Len, 1);
+  Outcome<Expr> RN = lowerPearlite(pSeqNth(pVar("s"), pInt(0)), Env);
+  ASSERT_TRUE(RN.ok());
+}
+
+TEST_F(PearliteTest, UnknownVariableFails) {
+  EXPECT_TRUE(lowerPearlite(pVar("ghost"), Env).failed());
+}
+
+TEST_F(PearliteTest, PrettyPrinting) {
+  PTermP T = pImplies(pLt(pSeqLen(pModel(pVar("self"))), pInt(5)),
+                      pNe(pFinal(pVar("self")), pVar("x")));
+  EXPECT_EQ(T->str(),
+            "((self@.len() < 5) ==> (^self != x))");
+}
+
+//===----------------------------------------------------------------------===//
+// The contract table
+//===----------------------------------------------------------------------===//
+
+TEST(StdSpecsTest, LinkedListContractsArePresent) {
+  PearliteSpecTable T = makeLinkedListSpecs();
+  for (const char *Name :
+       {"LinkedList::new", "LinkedList::push_front", "LinkedList::pop_front",
+        "LinkedList::push_front_node", "LinkedList::pop_front_node"})
+    EXPECT_NE(T.lookup(Name), nullptr) << Name;
+  // push_front carries the §7.3 length precondition.
+  const PearliteSpec *Push = T.lookup("LinkedList::push_front");
+  ASSERT_NE(Push->Pre, nullptr);
+  EXPECT_NE(Push->Pre->str().find("len()"), std::string::npos);
+  // pop_front's postcondition matches on the result (Fig. 3).
+  const PearliteSpec *Pop = T.lookup("LinkedList::pop_front");
+  EXPECT_NE(Pop->Post->str().find("match"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The safe-code verifier
+//===----------------------------------------------------------------------===//
+
+class SafeVerifierTest : public ::testing::Test {
+protected:
+  SafeVerifierTest() : Specs(makeLinkedListSpecs()) {}
+  PearliteSpecTable Specs;
+  Solver Solv;
+
+  SafeStmt call(std::string Callee, std::vector<std::string> Args,
+                std::vector<bool> Refs, std::string Dest = "") {
+    SafeStmt S;
+    S.Kind = SafeStmt::Call;
+    S.Callee = std::move(Callee);
+    S.Args = std::move(Args);
+    S.ByMutRef = std::move(Refs);
+    S.Dest = std::move(Dest);
+    return S;
+  }
+  SafeStmt let(std::string Dest, PTermP T) {
+    SafeStmt S;
+    S.Kind = SafeStmt::Let;
+    S.Dest = std::move(Dest);
+    S.Term = std::move(T);
+    return S;
+  }
+  SafeStmt check(PTermP T) {
+    SafeStmt S;
+    S.Kind = SafeStmt::Assert;
+    S.Term = std::move(T);
+    return S;
+  }
+};
+
+TEST_F(SafeVerifierTest, NewGivesEmptyModel) {
+  SafeFn F;
+  F.Name = "t";
+  F.Body = {call("LinkedList::new", {}, {}, "l"),
+            check(pEq(pVar("l"), pSeqEmpty())),
+            check(pEq(pSeqLen(pVar("l")), pInt(0)))};
+  SafeReport R = SafeVerifier(Specs, Solv).verify(F);
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+TEST_F(SafeVerifierTest, ProphecyThreadingAdvancesModels) {
+  // After push, the variable's model is the prophesied final value.
+  SafeFn F;
+  F.Name = "t";
+  F.Body = {call("LinkedList::new", {}, {}, "l"), let("v", pInt(9)),
+            call("LinkedList::push_front", {"l", "v"}, {true, false}),
+            check(pEq(pVar("l"), pSeqCons(pInt(9), pSeqEmpty()))),
+            check(pEq(pSeqLen(pVar("l")), pInt(1)))};
+  SafeReport R = SafeVerifier(Specs, Solv).verify(F);
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+TEST_F(SafeVerifierTest, FalseAssertFails) {
+  SafeFn F;
+  F.Name = "t";
+  F.Body = {call("LinkedList::new", {}, {}, "l"),
+            check(pEq(pSeqLen(pVar("l")), pInt(1)))};
+  SafeReport R = SafeVerifier(Specs, Solv).verify(F);
+  EXPECT_FALSE(R.Ok);
+  ASSERT_EQ(R.Obligations.size(), 1u);
+  EXPECT_FALSE(R.Obligations[0].Ok);
+}
+
+TEST_F(SafeVerifierTest, MutabilityMismatchIsRejected) {
+  SafeFn F;
+  F.Name = "t";
+  F.Body = {call("LinkedList::new", {}, {}, "l"), let("v", pInt(1)),
+            // push_front's self must be by-ref: passing by value is an error.
+            call("LinkedList::push_front", {"l", "v"}, {false, false})};
+  SafeReport R = SafeVerifier(Specs, Solv).verify(F);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Errors.front().find("mutability"), std::string::npos);
+}
+
+TEST_F(SafeVerifierTest, UnknownCalleeIsRejected) {
+  SafeFn F;
+  F.Name = "t";
+  F.Body = {call("LinkedList::reverse", {"l"}, {true})};
+  SafeReport R = SafeVerifier(Specs, Solv).verify(F);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(SafeVerifierTest, PopOnUnknownListGivesConditionalKnowledge) {
+  // A list parameter has an unconstrained model: pop's result is unknown,
+  // but the disjunctive postcondition still supports conditional facts.
+  SafeFn F;
+  F.Name = "t";
+  F.Params = {"l"};
+  F.Body = {call("LinkedList::pop_front", {"l"}, {true}, "r"),
+            // If the result is None the final model is empty:
+            check(pImplies(pEq(pVar("r"), pNone()),
+                           pEq(pVar("l"), pSeqEmpty())))};
+  SafeReport R = SafeVerifier(Specs, Solv).verify(F);
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+} // namespace

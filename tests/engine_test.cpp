@@ -1,0 +1,333 @@
+//===- tests/engine_test.cpp - Produce/consume/heuristics integration -------===//
+
+#include "engine/Consume.h"
+#include "engine/Heuristics.h"
+#include "engine/Lemma.h"
+#include "engine/Produce.h"
+#include "gilsonite/ModeCheck.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::engine;
+using namespace gilr::gilsonite;
+
+namespace {
+
+class EngineTest : public ::testing::Test {
+protected:
+  EngineTest()
+      : Ownables(Prog.Types, Preds),
+        Env{Prog, Preds, Specs, Ownables, Lemmas, Solv, Automation{}} {
+    U32 = Prog.Types.intTy(rmir::IntKind::U32);
+    T = Prog.Types.param("T");
+    OptU32 = Prog.Types.optionOf(U32);
+  }
+
+  rmir::Program Prog;
+  PredTable Preds;
+  SpecTable Specs;
+  OwnableRegistry Ownables;
+  LemmaTable Lemmas;
+  Solver Solv;
+  VerifEnv Env;
+  SymState St;
+  rmir::TypeRef U32, T, OptU32;
+};
+
+TEST_F(EngineTest, ProduceConsumePointsTo) {
+  Expr P = mkVar("p", Sort::Tuple);
+  ASSERT_TRUE(produce(pointsTo(P, U32, mkInt(3)), St, Env).ok());
+  MatchCtx M;
+  M.Pending.insert("v?");
+  ASSERT_TRUE(
+      consume(pointsTo(P, U32, mkVar("v?", Sort::Int)), St, Env, M).ok());
+  EXPECT_TRUE(exprEquals(*M.Bindings.lookup("v?"), mkInt(3)));
+}
+
+TEST_F(EngineTest, ProducePureVanishesOnFalse) {
+  EXPECT_TRUE(produce(pure(mkTrue()), St, Env).ok());
+  EXPECT_TRUE(produce(pure(mkFalse()), St, Env).vanished());
+  // The state is vacuous from here on: further production stays vanished.
+  EXPECT_TRUE(produce(pure(mkTrue()), St, Env).vanished());
+}
+
+TEST_F(EngineTest, ExistsProducesFreshAndConsumesLearned) {
+  Expr P = mkVar("p", Sort::Tuple);
+  AssertionP A =
+      exists({Binder{"v", Sort::Int}},
+             star({pointsTo(P, U32, mkVar("v", Sort::Int)),
+                   pure(mkLt(mkVar("v", Sort::Int), mkInt(10)))}));
+  ASSERT_TRUE(produce(A, St, Env).ok());
+  MatchCtx M;
+  ASSERT_TRUE(consumeAll(A, St, Env, M).ok());
+}
+
+TEST_F(EngineTest, ConsumePureLearnsOrientedEquality) {
+  St.PC.add(mkEq(mkVar("x", Sort::Int), mkInt(4)));
+  MatchCtx M;
+  M.Pending.insert("out?");
+  AssertionP A = pure(mkEq(mkVar("out?", Sort::Int),
+                           mkAdd(mkVar("x", Sort::Int), mkInt(1))));
+  ASSERT_TRUE(consume(A, St, Env, M).ok());
+  EXPECT_TRUE(St.PC.entails(Solv, mkEq(*M.Bindings.lookup("out?"),
+                                       mkInt(5))));
+}
+
+TEST_F(EngineTest, UnifyDestructuresTuplesAndOptions) {
+  MatchCtx M;
+  M.Pending.insert("a?");
+  M.Pending.insert("b?");
+  Expr Pattern = mkTuple({mkVar("a?", Sort::Any),
+                          mkSome(mkVar("b?", Sort::Any))});
+  Expr Value = mkTuple({mkInt(1), mkSome(mkInt(2))});
+  ASSERT_TRUE(unify(Pattern, Value, St, Env, M).ok());
+  EXPECT_TRUE(exprEquals(*M.Bindings.lookup("a?"), mkInt(1)));
+  EXPECT_TRUE(exprEquals(*M.Bindings.lookup("b?"), mkInt(2)));
+}
+
+TEST_F(EngineTest, UnifyChecksBoundResidue) {
+  MatchCtx M;
+  EXPECT_TRUE(unify(mkInt(3), mkInt(3), St, Env, M).ok());
+  EXPECT_TRUE(unify(mkInt(3), mkInt(4), St, Env, M).failed());
+}
+
+TEST_F(EngineTest, FoldedPredicateRoundTrip) {
+  PredDecl D;
+  D.Name = "cell";
+  D.Params = {PredParam{"p", Sort::Tuple, true},
+              PredParam{"v", Sort::Int, false}};
+  Expr PV = mkVar("p", Sort::Tuple);
+  D.Clauses = {exists({Binder{"w?", Sort::Int}},
+                      star({pointsTo(PV, U32, mkVar("w?", Sort::Int)),
+                            pure(mkEq(mkVar("v", Sort::Int),
+                                      mkVar("w?", Sort::Int)))}))};
+  Preds.declare(D);
+  EXPECT_TRUE(checkPredModes(D, Preds).empty());
+
+  Expr P = mkVar("ptr", Sort::Tuple);
+  // Produce folded.
+  ASSERT_TRUE(produce(predCall("cell", {P, mkInt(9)}), St, Env).ok());
+  EXPECT_EQ(St.Folded.entries().size(), 1u);
+
+  // Unfold through the ghost machinery.
+  std::vector<SymState> Succs = unfoldFolded(St, Env, "cell",
+                                             {P, mkInt(9)});
+  ASSERT_EQ(Succs.size(), 1u);
+  St = std::move(Succs.front());
+  EXPECT_TRUE(St.Folded.entries().empty());
+  heap::HeapCtx Ctx = St.heapCtx(Env);
+  Outcome<Expr> V = St.Heap.load(P, U32, false, Ctx);
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(St.PC.entails(Solv, mkEq(V.value(), mkInt(9))));
+
+  // Fold back.
+  ASSERT_TRUE(foldPred(St, Env, "cell", {P}).ok());
+  EXPECT_EQ(St.Folded.entries().size(), 1u);
+  EXPECT_TRUE(St.Heap.load(P, U32, false, Ctx).failed());
+}
+
+TEST_F(EngineTest, ConsumeFallsBackToDefinition) {
+  // With no folded instance, consumption unfolds the definition.
+  PredDecl D;
+  D.Name = "cell2";
+  D.Params = {PredParam{"p", Sort::Tuple, true},
+              PredParam{"v", Sort::Int, false}};
+  D.Clauses = {pointsTo(mkVar("p", Sort::Tuple), U32,
+                        mkVar("v", Sort::Int))};
+  Preds.declare(D);
+
+  Expr P = mkVar("ptr", Sort::Tuple);
+  ASSERT_TRUE(produce(pointsTo(P, U32, mkInt(5)), St, Env).ok());
+  MatchCtx M;
+  M.Pending.insert("out?");
+  ASSERT_TRUE(consume(predCall("cell2", {P, mkVar("out?", Sort::Int)}), St,
+                      Env, M)
+                  .ok());
+  EXPECT_TRUE(exprEquals(*M.Bindings.lookup("out?"), mkInt(5)));
+}
+
+TEST_F(EngineTest, AutoUnfoldOnHeapMiss) {
+  PredDecl D;
+  D.Name = "cell3";
+  D.Params = {PredParam{"p", Sort::Tuple, true}};
+  D.Clauses = {pointsTo(mkVar("p", Sort::Tuple), U32, mkInt(1))};
+  Preds.declare(D);
+
+  Expr P = mkVar("ptr", Sort::Tuple);
+  ASSERT_TRUE(produce(predCall("cell3", {P}), St, Env).ok());
+  // A direct load misses; the heuristic unfolds cell3.
+  heap::HeapCtx Ctx = St.heapCtx(Env);
+  ASSERT_TRUE(St.Heap.load(P, U32, false, Ctx).failed());
+  std::vector<SymState> Succs = unfoldForPointer(St, Env, P);
+  ASSERT_EQ(Succs.size(), 1u);
+  heap::HeapCtx Ctx2 = Succs[0].heapCtx(Env);
+  EXPECT_TRUE(Succs[0].Heap.load(P, U32, false, Ctx2).ok());
+}
+
+TEST_F(EngineTest, GunfoldConsumesTokenAndMintsClosing) {
+  PredDecl D;
+  D.Name = "binv";
+  D.Params = {PredParam{"p", Sort::Tuple, true}};
+  D.Guardable = true;
+  D.Clauses = {pointsTo(mkVar("p", Sort::Tuple), U32, mkInt(2))};
+  Preds.declare(D);
+
+  Expr K = mkLftVar("'a");
+  Expr Q = mkReal(Rational(1, 2));
+  ASSERT_TRUE(St.Lft.produceAlive(K, Q, Solv, St.PC).ok());
+  St.Guarded.produceGuarded("binv", K, {mkVar("ptr", Sort::Tuple)});
+
+  std::vector<SymState> Succs =
+      gunfoldGuarded(St, Env, St.Guarded.guarded().front());
+  ASSERT_EQ(Succs.size(), 1u);
+  SymState &Open = Succs.front();
+  // Token is gone, closing token minted, body materialised.
+  EXPECT_FALSE(Open.Lft.ownedFraction(K, Solv, Open.PC).has_value());
+  ASSERT_EQ(Open.Guarded.closing().size(), 1u);
+  heap::HeapCtx Ctx = Open.heapCtx(Env);
+  EXPECT_TRUE(
+      Open.Heap.load(mkVar("ptr", Sort::Tuple), U32, false, Ctx).ok());
+
+  // Closing restores the guarded predicate and the token (Fig. 6 dual).
+  pred::ClosingToken Tok = Open.Guarded.closing().front();
+  ASSERT_TRUE(gfoldBorrow(Open, Env, Tok, Tok.Name, Tok.Args).ok());
+  EXPECT_EQ(Open.Guarded.guarded().size(), 1u);
+  EXPECT_TRUE(Open.Lft.ownedFraction(K, Solv, Open.PC).has_value());
+  EXPECT_TRUE(
+      Open.Heap.load(mkVar("ptr", Sort::Tuple), U32, false, Ctx).failed());
+}
+
+TEST_F(EngineTest, GunfoldWithoutTokenFails) {
+  PredDecl D;
+  D.Name = "binv2";
+  D.Params = {PredParam{"p", Sort::Tuple, true}};
+  D.Guardable = true;
+  D.Clauses = {pointsTo(mkVar("p", Sort::Tuple), U32, mkInt(2))};
+  Preds.declare(D);
+  Expr K = mkLftVar("'dead");
+  St.Guarded.produceGuarded("binv2", K, {mkVar("ptr", Sort::Tuple)});
+  EXPECT_TRUE(gunfoldGuarded(St, Env, St.Guarded.guarded().front()).empty());
+}
+
+TEST_F(EngineTest, SaturationLearnsDeterministicClauses) {
+  // A two-clause predicate whose first clause contradicts the path
+  // condition: saturation unfolds it and exposes the second clause's facts.
+  PredDecl D;
+  D.Name = "evenodd";
+  D.Params = {PredParam{"x", Sort::Int, true},
+              PredParam{"y", Sort::Int, false}};
+  Expr X = mkVar("x", Sort::Int);
+  Expr Y = mkVar("y", Sort::Int);
+  D.Clauses = {star({pure(mkEq(X, mkInt(0))), pure(mkEq(Y, mkInt(10)))}),
+               star({pure(mkLt(mkInt(0), X)), pure(mkEq(Y, mkInt(20)))})};
+  Preds.declare(D);
+
+  Expr A = mkVar("a", Sort::Int);
+  Expr B = mkVar("b", Sort::Int);
+  St.PC.add(mkLt(mkInt(5), A));
+  ASSERT_TRUE(produce(predCall("evenodd", {A, B}), St, Env).ok());
+  SymState After = saturateUnfolds(St, Env);
+  EXPECT_TRUE(After.PC.entails(Solv, mkEq(B, mkInt(20))));
+}
+
+TEST_F(EngineTest, ObservationProduceConsumeThroughAssertions) {
+  VarGen VG;
+  Expr X = VG.freshProphecy("x", Sort::Int);
+  ASSERT_TRUE(produce(observation(mkEq(X, mkInt(1))), St, Env).ok());
+  MatchCtx M;
+  EXPECT_TRUE(consume(observation(mkLe(X, mkInt(1))), St, Env, M).ok());
+  EXPECT_TRUE(consume(observation(mkEq(X, mkInt(2))), St, Env, M).failed());
+}
+
+} // namespace
+
+namespace {
+
+class EngineEdgeTest : public EngineTest {};
+
+TEST_F(EngineEdgeTest, MaybeUninitRoundTrip) {
+  Expr P = mkVar("p", Sort::Tuple);
+  // Produce uninitialised memory, consume it as maybe-uninit (None).
+  ASSERT_TRUE(produce(uninitPT(P, U32), St, Env).ok());
+  MatchCtx M;
+  M.Pending.insert("m?");
+  ASSERT_TRUE(
+      consume(maybeUninit(P, U32, mkVar("m?", Sort::Opt)), St, Env, M).ok());
+  EXPECT_TRUE(exprEquals(*M.Bindings.lookup("m?"), mkNone()));
+  // And the dual: initialised memory reads back Some(v).
+  ASSERT_TRUE(produce(pointsTo(P, U32, mkInt(4)), St, Env).ok());
+  MatchCtx M2;
+  M2.Pending.insert("m2?");
+  ASSERT_TRUE(
+      consume(maybeUninit(P, U32, mkVar("m2?", Sort::Opt)), St, Env, M2)
+          .ok());
+  EXPECT_TRUE(exprEquals(*M2.Bindings.lookup("m2?"), mkSome(mkInt(4))));
+}
+
+TEST_F(EngineEdgeTest, ArrayAssertionsRoundTrip) {
+  Expr P = mkVar("buf", Sort::Tuple);
+  Expr N = mkVar("n", Sort::Int);
+  Expr S1 = mkVar("s1", Sort::Seq);
+  ASSERT_TRUE(produce(arrayPT(P, T, N, S1), St, Env).ok());
+  MatchCtx M;
+  M.Pending.insert("out?");
+  ASSERT_TRUE(
+      consume(arrayPT(P, T, N, mkVar("out?", Sort::Seq)), St, Env, M).ok());
+  EXPECT_TRUE(exprEquals(*M.Bindings.lookup("out?"), S1));
+}
+
+TEST_F(EngineEdgeTest, ArrayUninitAssertions) {
+  Expr P = mkVar("buf2", Sort::Tuple);
+  Expr N = mkVar("n2", Sort::Int);
+  ASSERT_TRUE(produce(arrayUninit(P, T, N), St, Env).ok());
+  MatchCtx M;
+  ASSERT_TRUE(consume(arrayUninit(P, T, N), St, Env, M).ok());
+  // Consumed: a second consume fails.
+  MatchCtx M2;
+  EXPECT_FALSE(consume(arrayUninit(P, T, N), St, Env, M2).ok());
+}
+
+TEST_F(EngineEdgeTest, GuardedConsumeLearnsKappa) {
+  PredDecl D;
+  D.Name = "ginv";
+  D.Params = {PredParam{"p", Sort::Tuple, true}};
+  D.Guardable = true;
+  D.Clauses = {pointsTo(mkVar("p", Sort::Tuple), U32, mkInt(1))};
+  Preds.declare(D);
+  Expr K = mkLftVar("'z");
+  St.Guarded.produceGuarded("ginv", K, {mkVar("q", Sort::Tuple)});
+  MatchCtx M;
+  M.Pending.insert("'hole");
+  AssertionP A = guardedCall(mkVar("'hole", Sort::Lft), "ginv",
+                             {mkVar("q", Sort::Tuple)});
+  ASSERT_TRUE(consume(A, St, Env, M).ok());
+  EXPECT_TRUE(exprEquals(*M.Bindings.lookup("'hole"), K));
+}
+
+TEST_F(EngineEdgeTest, ConsumeAllRejectsUnlearnedExistentials) {
+  AssertionP A = exists({Binder{"ghost?", Sort::Int}}, emp());
+  MatchCtx M;
+  Outcome<Unit> R = consumeAll(A, St, Env, M);
+  EXPECT_TRUE(R.failed());
+  EXPECT_NE(R.error().find("ghost?"), std::string::npos);
+}
+
+TEST_F(EngineEdgeTest, ProduceClausesPrunesInfeasible) {
+  PredDecl D;
+  D.Name = "cases";
+  D.Params = {PredParam{"x", Sort::Int, true}};
+  Expr X = mkVar("x", Sort::Int);
+  D.Clauses = {pure(mkEq(X, mkInt(1))), pure(mkEq(X, mkInt(2)))};
+  Preds.declare(D);
+  Expr A = mkVar("a", Sort::Int);
+  St.PC.add(mkLt(A, mkInt(2)));
+  std::vector<SymState> Succs =
+      produceClauses(St, Env, *Preds.lookup("cases"), {A}, nullptr);
+  // Only x = 1 is consistent with a < 2.
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_TRUE(Succs[0].PC.entails(Solv, mkEq(A, mkInt(1))));
+}
+
+} // namespace

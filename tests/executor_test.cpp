@@ -1,0 +1,494 @@
+//===- tests/executor_test.cpp - Symbolic executor unit tests ---------------===//
+//
+// Small hand-built RMIR programs driving the executor: arithmetic with
+// overflow obligations, branching, calls through specs, ghost assertions,
+// heap round trips, and failure modes (dangling loads, double frees,
+// reachable unreachable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Verifier.h"
+#include "rmir/Builder.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::engine;
+using namespace gilr::rmir;
+using namespace gilr::gilsonite;
+
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+protected:
+  ExecutorTest() : Ownables(Prog.Types, Preds) {
+    U32 = Prog.Types.intTy(IntKind::U32);
+    Usize = Prog.Types.usize();
+    P32 = Prog.Types.rawPtr(U32);
+    BoolTy = Prog.Types.boolTy();
+  }
+
+  VerifyReport verify(const std::string &Name) {
+    VerifEnv Env{Prog, Preds, Specs, Ownables, Lemmas, Solv, Auto};
+    Verifier V(Env);
+    return V.verifyFunction(Name);
+  }
+
+  void addFn(Function F) {
+    std::string N = F.Name;
+    Prog.Funcs.emplace(std::move(N), std::move(F));
+  }
+
+  /// Adds a spec { pure Pre } f { pure Post } with the given spec vars.
+  void addSpec(const std::string &Func, AssertionP Pre, AssertionP Post,
+               std::vector<Binder> Vars = {}) {
+    Spec S;
+    S.Func = Func;
+    S.SpecVars = std::move(Vars);
+    S.Pre = std::move(Pre);
+    S.Post = std::move(Post);
+    Specs.add(std::move(S));
+  }
+
+  rmir::Program Prog;
+  PredTable Preds;
+  SpecTable Specs;
+  OwnableRegistry Ownables;
+  LemmaTable Lemmas;
+  Solver Solv;
+  Automation Auto;
+  TypeRef U32, Usize, P32, BoolTy;
+};
+
+TEST_F(ExecutorTest, StraightLineArithmetic) {
+  FunctionBuilder B("inc", Prog.Types);
+  LocalId X = B.addParam("x", U32);
+  B.setReturnType(U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(0), Rvalue::binary(BinOp::Add, Operand::copy(Place(X)),
+                                    Operand::constant(mkInt(1), U32)));
+  B.ret();
+  addFn(B.finish());
+
+  Expr XV = mkVar("x", Sort::Int);
+  addSpec("inc", pure(mkLt(XV, mkInt(100))),
+          pure(mkEq(mkVar(retVarName(), Sort::Int), mkAdd(XV, mkInt(1)))));
+  VerifyReport R = verify("inc");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+  EXPECT_EQ(R.PathsCompleted, 1u);
+}
+
+TEST_F(ExecutorTest, OverflowObligationFailsWithoutPrecondition) {
+  FunctionBuilder B("inc2", Prog.Types);
+  LocalId X = B.addParam("x", U32);
+  B.setReturnType(U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(0), Rvalue::binary(BinOp::Add, Operand::copy(Place(X)),
+                                    Operand::constant(mkInt(1), U32)));
+  B.ret();
+  addFn(B.finish());
+  addSpec("inc2", emp(), emp());
+  VerifyReport R = verify("inc2");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Errors.front().find("overflow"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, OverflowBecomesSafePanicWhenAllowed) {
+  FunctionBuilder B("inc3", Prog.Types);
+  LocalId X = B.addParam("x", U32);
+  B.setReturnType(U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(0), Rvalue::binary(BinOp::Add, Operand::copy(Place(X)),
+                                    Operand::constant(mkInt(1), U32)));
+  B.ret();
+  addFn(B.finish());
+  addSpec("inc3", emp(), emp());
+  Auto.PanicsAllowed = true;
+  VerifyReport R = verify("inc3");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+  EXPECT_EQ(R.PathsCompleted, 2u); // Normal path + the aborting path.
+}
+
+TEST_F(ExecutorTest, BranchingJoinsBothPaths) {
+  // fn max(a, b) -> u32 { if a < b { b } else { a } }.
+  FunctionBuilder B("max", Prog.Types);
+  LocalId A = B.addParam("a", U32);
+  LocalId Bp = B.addParam("b", U32);
+  B.setReturnType(U32);
+  LocalId C = B.addLocal("c", BoolTy);
+  LocalId D = B.addLocal("d", Usize);
+  BlockId E = B.newBlock();
+  BlockId TakeB = B.newBlock();
+  BlockId TakeA = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(C), Rvalue::binary(BinOp::Lt, Operand::copy(Place(A)),
+                                    Operand::copy(Place(Bp))));
+  // Lower bool to a switch through an Ite-valued discriminant.
+  B.assign(Place(D),
+           Rvalue::use(Operand::copy(Place(C))));
+  B.switchInt(Operand::copy(Place(C)), {{0, TakeA}}, TakeB);
+  B.atBlock(TakeB);
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(Bp))));
+  B.ret();
+  B.atBlock(TakeA);
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(A))));
+  B.ret();
+  addFn(B.finish());
+
+  Expr AV = mkVar("a", Sort::Int);
+  Expr BV = mkVar("b", Sort::Int);
+  Expr Ret = mkVar(retVarName(), Sort::Int);
+  addSpec("max", emp(),
+          pure(mkAnd({mkLe(AV, Ret), mkLe(BV, Ret),
+                      mkOr(mkEq(Ret, AV), mkEq(Ret, BV))})));
+  VerifyReport R = verify("max");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+  EXPECT_EQ(R.PathsCompleted, 2u);
+}
+
+TEST_F(ExecutorTest, HeapRoundTripThroughRawPointer) {
+  // fn bump(p: *mut u32) { *p = *p + 1 } with { p |-> v /\ v < 10 }.
+  FunctionBuilder B("bump", Prog.Types);
+  LocalId P = B.addParam("p", P32);
+  LocalId T = B.addLocal("t", U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(T),
+           Rvalue::binary(BinOp::Add, Operand::copy(Place(P).deref()),
+                          Operand::constant(mkInt(1), U32)));
+  B.assign(Place(P).deref(), Rvalue::use(Operand::copy(Place(T))));
+  B.ret();
+  addFn(B.finish());
+
+  Expr PV = mkVar("p", Sort::Tuple);
+  Expr V = mkVar("v$", Sort::Int);
+  addSpec("bump",
+          star({pointsTo(PV, U32, V), pure(mkLt(V, mkInt(10)))}),
+          pointsTo(PV, U32, mkAdd(V, mkInt(1))),
+          {Binder{"v$", Sort::Int}});
+  VerifyReport R = verify("bump");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+TEST_F(ExecutorTest, WrongPostconditionFails) {
+  FunctionBuilder B("bad", Prog.Types);
+  B.addParam("p", P32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.ret();
+  addFn(B.finish());
+  Expr PV = mkVar("p", Sort::Tuple);
+  Expr V = mkVar("v$", Sort::Int);
+  addSpec("bad", pointsTo(PV, U32, V),
+          pointsTo(PV, U32, mkAdd(V, mkInt(1))), {Binder{"v$", Sort::Int}});
+  VerifyReport R = verify("bad");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(ExecutorTest, UseAfterFreeIsCaught) {
+  // fn uaf(p: *mut u32) -> u32 { free(p); *p }.
+  FunctionBuilder B("uaf", Prog.Types);
+  LocalId P = B.addParam("p", P32);
+  B.setReturnType(U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.free(Operand::copy(Place(P)), U32);
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(P).deref())));
+  B.ret();
+  addFn(B.finish());
+  Expr PV = mkVar("p", Sort::Tuple);
+  addSpec("uaf", pointsTo(PV, U32, mkVar("v$", Sort::Int)), emp(),
+          {Binder{"v$", Sort::Int}});
+  VerifyReport R = verify("uaf");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(ExecutorTest, DoubleFreeIsCaught) {
+  FunctionBuilder B("df", Prog.Types);
+  LocalId P = B.addParam("p", P32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.free(Operand::copy(Place(P)), U32);
+  B.free(Operand::copy(Place(P)), U32);
+  B.ret();
+  addFn(B.finish());
+  Expr PV = mkVar("p", Sort::Tuple);
+  addSpec("df", pointsTo(PV, U32, mkVar("v$", Sort::Int)), emp(),
+          {Binder{"v$", Sort::Int}});
+  VerifyReport R = verify("df");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Errors.front().find("free"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, AllocStoreFreeVerifies) {
+  // fn scratch() { let p = alloc(); *p = 3; free(p); }.
+  FunctionBuilder B("scratch", Prog.Types);
+  LocalId P = B.addLocal("p", P32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.alloc(Place(P), U32);
+  B.assign(Place(P).deref(),
+           Rvalue::use(Operand::constant(mkInt(3), U32)));
+  B.free(Operand::copy(Place(P)), U32);
+  B.ret();
+  addFn(B.finish());
+  addSpec("scratch", emp(), emp());
+  VerifyReport R = verify("scratch");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+TEST_F(ExecutorTest, CompositionalCallUsesSpecNotBody) {
+  // Callee with a deliberately WRONG body but a consistent spec pair:
+  // the caller verifies against the spec (compositionality); verifying the
+  // callee itself fails.
+  {
+    FunctionBuilder B("lies", Prog.Types);
+    B.addParam("x", U32);
+    B.setReturnType(U32);
+    BlockId E = B.newBlock();
+    B.atBlock(E);
+    B.assign(Place(0), Rvalue::use(Operand::constant(mkInt(0), U32)));
+    B.ret();
+    addFn(B.finish());
+    Expr XV = mkVar("x", Sort::Int);
+    addSpec("lies", emp(),
+            pure(mkEq(mkVar(retVarName(), Sort::Int), mkAdd(XV, mkInt(1)))));
+  }
+  {
+    FunctionBuilder B("caller", Prog.Types);
+    B.setReturnType(U32);
+    LocalId T = B.addLocal("t", U32);
+    BlockId E = B.newBlock();
+    BlockId Cont = B.newBlock();
+    B.atBlock(E);
+    B.call("lies", {Operand::constant(mkInt(1), U32)}, Place(T), Cont);
+    B.atBlock(Cont);
+    B.assign(Place(0), Rvalue::use(Operand::copy(Place(T))));
+    B.ret();
+    addFn(B.finish());
+    addSpec("caller", emp(),
+            pure(mkEq(mkVar(retVarName(), Sort::Int), mkInt(2))));
+  }
+  EXPECT_TRUE(verify("caller").Ok);
+  EXPECT_FALSE(verify("lies").Ok);
+}
+
+TEST_F(ExecutorTest, ReachableUnreachableFails) {
+  FunctionBuilder B("oops", Prog.Types);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.unreachable();
+  addFn(B.finish());
+  addSpec("oops", emp(), emp());
+  VerifyReport R = verify("oops");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Errors.front().find("unreachable"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, UnreachableUnderContradictionIsFine) {
+  FunctionBuilder B("fine", Prog.Types);
+  LocalId X = B.addParam("x", U32);
+  LocalId D = B.addLocal("d", BoolTy);
+  BlockId E = B.newBlock();
+  BlockId Dead = B.newBlock();
+  BlockId Live = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(D), Rvalue::binary(BinOp::Lt, Operand::copy(Place(X)),
+                                    Operand::copy(Place(X))));
+  B.switchInt(Operand::copy(Place(D)), {{0, Live}}, Dead);
+  B.atBlock(Dead);
+  B.unreachable(); // x < x is impossible.
+  B.atBlock(Live);
+  B.ret();
+  addFn(B.finish());
+  addSpec("fine", emp(), emp());
+  VerifyReport R = verify("fine");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+TEST_F(ExecutorTest, GhostAssertChecksLocalFacts) {
+  FunctionBuilder B("ghostly", Prog.Types);
+  LocalId X = B.addParam("x", U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.ghost({GhostKind::AssertPure, "", {},
+           mkLe(mkInt(0), mkVar("x", Sort::Int))});
+  B.ret();
+  addFn(B.finish());
+  addSpec("ghostly", pure(mkLe(mkInt(0), mkVar("x", Sort::Int))), emp());
+  (void)X;
+  EXPECT_TRUE(verify("ghostly").Ok);
+
+  // And a false ghost assertion fails.
+  FunctionBuilder B2("ghostly2", Prog.Types);
+  B2.addParam("x", U32);
+  BlockId E2 = B2.newBlock();
+  B2.atBlock(E2);
+  B2.ghost({GhostKind::AssertPure, "", {},
+            mkLt(mkVar("x", Sort::Int), mkInt(0))});
+  B2.ret();
+  addFn(B2.finish());
+  addSpec("ghostly2", emp(), emp());
+  EXPECT_FALSE(verify("ghostly2").Ok);
+}
+
+TEST_F(ExecutorTest, StructAggregateAndFieldUpdate) {
+  TypeRef Pair = Prog.Types.declareStruct(
+      "PairU32", {FieldDef{"a", U32}, FieldDef{"b", U32}});
+  FunctionBuilder B("mk", Prog.Types);
+  LocalId X = B.addParam("x", U32);
+  B.setReturnType(Pair);
+  LocalId T = B.addLocal("t", Pair);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(T), Rvalue::aggregate(Pair, 0,
+                                       {Operand::copy(Place(X)),
+                                        Operand::constant(mkInt(0), U32)}));
+  // Pure field update on a local.
+  B.assign(Place(T).field(1), Rvalue::use(Operand::copy(Place(X))));
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(T))));
+  B.ret();
+  addFn(B.finish());
+  Expr XV = mkVar("x", Sort::Int);
+  addSpec("mk", emp(),
+          pure(mkEq(mkVar(retVarName(), Sort::Tuple), mkTuple({XV, XV}))));
+  EXPECT_TRUE(verify("mk").Ok);
+}
+
+TEST_F(ExecutorTest, MissingSpecOrFunctionIsReported) {
+  VerifyReport R1 = verify("nonexistent");
+  EXPECT_FALSE(R1.Ok | R1.Errors.empty());
+  FunctionBuilder B("nospec", Prog.Types);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.ret();
+  addFn(B.finish());
+  VerifyReport R2 = verify("nospec");
+  EXPECT_FALSE(R2.Ok | R2.Errors.empty());
+}
+
+} // namespace
+
+namespace {
+
+TEST_F(ExecutorTest, TrustedSpecsAreAssumedNotVerified) {
+  // A trusted spec over a wrong body: the verifier must not run the body
+  // (paper §4.3: the conclusion lemma of an extraction is trusted), but
+  // callers may still use it compositionally.
+  FunctionBuilder B("axiom", Prog.Types);
+  B.addParam("x", U32);
+  B.setReturnType(U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(0), Rvalue::use(Operand::constant(mkInt(0), U32)));
+  B.ret();
+  addFn(B.finish());
+  Spec S;
+  S.Func = "axiom";
+  S.Pre = emp();
+  S.Post = pure(mkEq(mkVar(retVarName(), Sort::Int), mkInt(42)));
+  S.Trusted = true;
+  Specs.add(std::move(S));
+
+  VerifyReport R = verify("axiom");
+  EXPECT_TRUE(R.Ok);
+  ASSERT_FALSE(R.Errors.empty());
+  EXPECT_NE(R.Errors.front().find("trusted"), std::string::npos);
+
+  // A caller relies on the axiom.
+  FunctionBuilder B2("relies", Prog.Types);
+  B2.setReturnType(U32);
+  LocalId T = B2.addLocal("t", U32);
+  BlockId E2 = B2.newBlock();
+  BlockId Cont = B2.newBlock();
+  B2.atBlock(E2);
+  B2.call("axiom", {Operand::constant(mkInt(1), U32)}, Place(T), Cont);
+  B2.atBlock(Cont);
+  B2.assign(Place(0), Rvalue::use(Operand::copy(Place(T))));
+  B2.ret();
+  addFn(B2.finish());
+  addSpec("relies", emp(),
+          pure(mkEq(mkVar(retVarName(), Sort::Int), mkInt(42))));
+  EXPECT_TRUE(verify("relies").Ok);
+}
+
+TEST_F(ExecutorTest, VerifyAllCollectsReports) {
+  FunctionBuilder B("va1", Prog.Types);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.ret();
+  addFn(B.finish());
+  addSpec("va1", emp(), emp());
+  VerifEnv Env{Prog, Preds, Specs, Ownables, Lemmas, Solv, Auto};
+  Verifier V(Env);
+  std::vector<VerifyReport> Rs = V.verifyAll({"va1", "missing"});
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_TRUE(Rs[0].Ok);
+  EXPECT_FALSE(Rs[1].Ok);
+}
+
+} // namespace
+
+namespace {
+
+TEST_F(ExecutorTest, UnboundedLoopHitsStepLimit) {
+  // There is no loop-invariant mechanism (the paper's case studies are
+  // loop-free); an unbounded loop must terminate the *engine* cleanly via
+  // the step limit rather than hanging.
+  FunctionBuilder B("spin", Prog.Types);
+  LocalId X = B.addParam("x", U32);
+  BlockId E = B.newBlock();
+  BlockId Body = B.newBlock();
+  B.atBlock(E);
+  B.gotoBlock(Body);
+  B.atBlock(Body);
+  B.assign(Place(X), Rvalue::use(Operand::copy(Place(X))));
+  B.gotoBlock(Body);
+  addFn(B.finish());
+  addSpec("spin", emp(), emp());
+  VerifyReport R = verify("spin");
+  EXPECT_FALSE(R.Ok);
+  ASSERT_FALSE(R.Errors.empty());
+  EXPECT_NE(R.Errors.front().find("step limit"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, BoundedLoopUnrollsFine) {
+  // A finite goto chain (a loop the branching fully determines) verifies.
+  FunctionBuilder B("thrice", Prog.Types);
+  B.setReturnType(U32);
+  LocalId Acc = B.addLocal("acc", U32);
+  LocalId I = B.addLocal("i", U32);
+  LocalId C = B.addLocal("c", BoolTy);
+  BlockId E = B.newBlock();
+  BlockId Head = B.newBlock();
+  BlockId Body = B.newBlock();
+  BlockId Done = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(Acc), Rvalue::use(Operand::constant(mkInt(0), U32)));
+  B.assign(Place(I), Rvalue::use(Operand::constant(mkInt(0), U32)));
+  B.gotoBlock(Head);
+  B.atBlock(Head);
+  B.assign(Place(C), Rvalue::binary(BinOp::Lt, Operand::copy(Place(I)),
+                                    Operand::constant(mkInt(3), U32)));
+  B.switchInt(Operand::copy(Place(C)), {{0, Done}}, Body);
+  B.atBlock(Body);
+  B.assign(Place(Acc), Rvalue::binary(BinOp::Add, Operand::copy(Place(Acc)),
+                                      Operand::constant(mkInt(2), U32)));
+  B.assign(Place(I), Rvalue::binary(BinOp::Add, Operand::copy(Place(I)),
+                                    Operand::constant(mkInt(1), U32)));
+  B.gotoBlock(Head);
+  B.atBlock(Done);
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(Acc))));
+  B.ret();
+  addFn(B.finish());
+  addSpec("thrice", emp(),
+          pure(mkEq(mkVar(retVarName(), Sort::Int), mkInt(6))));
+  VerifyReport R = verify("thrice");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+//===- tests/gilsonite_test.cpp - Assertions, modes, Ownable, parser --------===//
+
+#include "gilsonite/ModeCheck.h"
+#include "gilsonite/Ownable.h"
+#include "gilsonite/Parser.h"
+#include "rmir/Builder.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::gilsonite;
+using namespace gilr::rmir;
+
+namespace {
+
+class GilsoniteTest : public ::testing::Test {
+protected:
+  GilsoniteTest() : Own(Ty, Preds) {}
+  TyCtx Ty;
+  PredTable Preds;
+  OwnableRegistry Own;
+};
+
+TEST_F(GilsoniteTest, StarFlattensAndEmp) {
+  AssertionP A = star({pure(mkTrue()), star({pure(mkFalse())})});
+  EXPECT_EQ(A->Parts.size(), 2u);
+  EXPECT_EQ(emp()->Kind, AsrtKind::Star);
+  EXPECT_TRUE(emp()->Parts.empty());
+}
+
+TEST_F(GilsoniteTest, SubstRespectsBinders) {
+  Expr X = mkVar("x", Sort::Int);
+  AssertionP A = exists({Binder{"x", Sort::Int}},
+                        pure(mkEq(X, mkVar("y", Sort::Int))));
+  Subst S;
+  S.bind("x", mkInt(1));
+  S.bind("y", mkInt(2));
+  AssertionP R = substAssertion(A, S);
+  // x is shadowed; y is substituted.
+  std::set<std::string> Free;
+  collectFreeVars(R, Free);
+  EXPECT_EQ(Free.count("y"), 0u);
+  EXPECT_NE(R->Body->str().find("x"), std::string::npos);
+}
+
+TEST_F(GilsoniteTest, CollectFreeVars) {
+  AssertionP A = exists(
+      {Binder{"v", Sort::Any}},
+      star({pointsTo(mkVar("p", Sort::Tuple), Ty.usize(),
+                     mkVar("v", Sort::Any)),
+            pure(mkEq(mkVar("v", Sort::Any), mkVar("w", Sort::Any)))}));
+  std::set<std::string> Free;
+  collectFreeVars(A, Free);
+  EXPECT_EQ(Free, (std::set<std::string>{"p", "w"}));
+}
+
+TEST_F(GilsoniteTest, InstantiateClauseFreshensBinders) {
+  PredDecl D;
+  D.Name = "p";
+  D.Params = {PredParam{"a", Sort::Int, true}};
+  D.Clauses = {exists({Binder{"e", Sort::Int}},
+                      pure(mkEq(mkVar("a", Sort::Int),
+                                mkVar("e", Sort::Int))))};
+  Preds.declare(D);
+  VarGen VG;
+  AssertionP I1 = instantiateClause(D, 0, {mkInt(5)}, nullptr, VG);
+  AssertionP I2 = instantiateClause(D, 0, {mkInt(5)}, nullptr, VG);
+  // Binders are renamed apart.
+  EXPECT_NE(I1->Binders[0].Name, I2->Binders[0].Name);
+  // The argument was substituted.
+  EXPECT_NE(I1->str().find("5"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Ownable derivation (§2.2, §5.1)
+//===----------------------------------------------------------------------===//
+
+TEST_F(GilsoniteTest, ScalarOwnableIsPure) {
+  std::string Name = Own.ownPred(Ty.usize());
+  const PredDecl *D = Preds.lookup(Name);
+  ASSERT_NE(D, nullptr);
+  ASSERT_EQ(D->Clauses.size(), 1u);
+  EXPECT_EQ(D->Clauses[0]->Kind, AsrtKind::Pure);
+}
+
+TEST_F(GilsoniteTest, ParamOwnableIsAbstract) {
+  std::string Name = Own.ownPred(Ty.param("T"));
+  const PredDecl *D = Preds.lookup(Name);
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(D->Abstract);
+  EXPECT_TRUE(D->Clauses.empty());
+}
+
+TEST_F(GilsoniteTest, OptionOwnableHasTwoClauses) {
+  std::string Name = Own.ownPred(Ty.optionOf(Ty.param("T")));
+  const PredDecl *D = Preds.lookup(Name);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Clauses.size(), 2u);
+}
+
+TEST_F(GilsoniteTest, MutRefOwnableIsProphetic) {
+  std::string Name = Own.ownPred(Ty.mutRef(Ty.param("T")));
+  const PredDecl *D = Preds.lookup(Name);
+  ASSERT_NE(D, nullptr);
+  ASSERT_EQ(D->Clauses.size(), 1u);
+  // The clause mentions a value observer and a guarded (borrow) call.
+  std::string Body = D->Clauses[0]->str();
+  EXPECT_NE(Body.find("VO_"), std::string::npos);
+  EXPECT_NE(Body.find("mutref_inner$T"), std::string::npos);
+  // The inner predicate exists and is guardable.
+  const PredDecl *Inner = Preds.lookup("mutref_inner$T");
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_TRUE(Inner->Guardable);
+}
+
+TEST_F(GilsoniteTest, DerivedPredicatesAreWellModed) {
+  Own.ownPred(Ty.mutRef(Ty.param("T")));
+  Own.ownPred(Ty.optionOf(Ty.param("T")));
+  Own.ownPred(Ty.usize());
+  std::vector<std::string> Errors = checkAllModes(Preds);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST_F(GilsoniteTest, ModeCheckRejectsUnlearnable) {
+  // An existential that nothing determines must be flagged (§7.2).
+  PredDecl D;
+  D.Name = "bad";
+  D.Params = {PredParam{"a", Sort::Int, true}};
+  D.Clauses = {exists({Binder{"ghost", Sort::Int}},
+                      pure(mkLt(mkVar("ghost", Sort::Int),
+                                mkVar("a", Sort::Int))))};
+  Preds.declare(D);
+  std::vector<std::string> Errors = checkPredModes(D, Preds);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("ghost"), std::string::npos);
+}
+
+TEST_F(GilsoniteTest, ShowSafetySpecShape) {
+  // Fig. 3 (left): all parameters owned on entry, result owned on exit,
+  // under a lifetime token.
+  FunctionBuilder B("f", Ty);
+  B.addParam("a", Ty.usize());
+  B.setReturnType(Ty.boolTy());
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.ret();
+  Function F = B.finish();
+
+  Spec S = Own.makeShowSafetySpec(F);
+  EXPECT_EQ(S.Func, "f");
+  std::string Pre = S.Pre->str();
+  std::string Post = S.Post->str();
+  EXPECT_NE(Pre.find("own$usize(a"), std::string::npos);
+  EXPECT_NE(Pre.find("['a]_"), std::string::npos);
+  EXPECT_NE(Post.find("own$bool(ret"), std::string::npos);
+  EXPECT_NE(Post.find("['a]_"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST_F(GilsoniteTest, ParsesExpressions) {
+  Outcome<Expr> E = parseExpr("(= (+ x 1) (len s))");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(E.value()->Kind, ExprKind::Eq);
+  Outcome<Expr> O = parseExpr("(some 3)");
+  ASSERT_TRUE(O.ok());
+  EXPECT_EQ(O.value()->Kind, ExprKind::Some);
+  Outcome<Expr> C = parseExpr("(cons 1 nil)");
+  ASSERT_TRUE(C.ok());
+  __int128 Len;
+  EXPECT_TRUE(getStaticSeqLen(C.value(), Len));
+  EXPECT_EQ(Len, 1);
+}
+
+TEST_F(GilsoniteTest, ParsesAssertions) {
+  Ty.declareStruct("Pair", {FieldDef{"a", Ty.usize()},
+                            FieldDef{"b", Ty.usize()}});
+  Outcome<AssertionP> A = parseAssertion(
+      "(star (pure (< x 5)) (pt p Pair v) (alive 'a q) "
+      "(exists (r) (pred own$usize v r 'a)) (obs (= (fut) 1)) "
+      "(vo x cur) (pc x a) (dead 'b))",
+      Ty);
+  ASSERT_TRUE(A.ok()) << A.error();
+  EXPECT_EQ(A.value()->Kind, AsrtKind::Star);
+  EXPECT_EQ(A.value()->Parts.size(), 8u);
+}
+
+TEST_F(GilsoniteTest, ParserRejectsGarbage) {
+  EXPECT_TRUE(parseAssertion("(pt p UnknownType v)", Ty).failed());
+  EXPECT_TRUE(parseAssertion("(star (pure)", Ty).failed());
+  EXPECT_TRUE(parseExpr(")").failed());
+}
+
+TEST_F(GilsoniteTest, ParserComments) {
+  Outcome<Expr> E = parseExpr("; a comment\n(+ 1 2)");
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(E.value()->IntVal, 3);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec parsing and end-to-end parsed verification
+//===----------------------------------------------------------------------===//
+
+#include "engine/Verifier.h"
+#include "rmir/Builder.h"
+
+namespace {
+
+TEST(ParsedSpecTest, ParsesAndVerifiesSwap) {
+  rmir::Program Prog;
+  rmir::TypeRef U32 = Prog.Types.intTy(rmir::IntKind::U32);
+  rmir::TypeRef P32 = Prog.Types.rawPtr(U32);
+
+  rmir::FunctionBuilder B("swap", Prog.Types);
+  rmir::LocalId A = B.addParam("a", P32);
+  rmir::LocalId Bp = B.addParam("b", P32);
+  rmir::LocalId Ta = B.addLocal("ta", U32);
+  rmir::LocalId Tb = B.addLocal("tb", U32);
+  rmir::BlockId E = B.newBlock();
+  B.atBlock(E);
+  using rmir::Operand;
+  using rmir::Place;
+  using rmir::Rvalue;
+  B.assign(Place(Ta), Rvalue::use(Operand::copy(Place(A).deref())));
+  B.assign(Place(Tb), Rvalue::use(Operand::copy(Place(Bp).deref())));
+  B.assign(Place(A).deref(), Rvalue::use(Operand::copy(Place(Tb))));
+  B.assign(Place(Bp).deref(), Rvalue::use(Operand::copy(Place(Ta))));
+  B.ret();
+  Prog.Funcs.emplace("swap", B.finish());
+
+  Outcome<Spec> S = parseSpec(
+      "(spec swap (vars va vb)"
+      "  (pre  (star (pt a u32 va) (pt b u32 vb)))"
+      "  (post (star (pt a u32 vb) (pt b u32 va))))",
+      Prog.Types);
+  ASSERT_TRUE(S.ok()) << S.error();
+
+  PredTable Preds;
+  SpecTable Specs;
+  OwnableRegistry Ownables(Prog.Types, Preds);
+  engine::LemmaTable Lemmas;
+  Solver Solv;
+  Specs.add(std::move(S.value()));
+  engine::VerifEnv Env{Prog,   Preds, Specs, Ownables,
+                       Lemmas, Solv,  engine::Automation{}};
+  engine::Verifier V(Env);
+  engine::VerifyReport R = V.verifyFunction("swap");
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+}
+
+TEST(ParsedSpecTest, RejectsMalformedSpecs) {
+  rmir::TyCtx Ty;
+  EXPECT_TRUE(parseSpec("(speck f (vars) (pre emp) (post emp))", Ty)
+                  .failed());
+  EXPECT_TRUE(parseSpec("(spec f (pre emp) (post emp))", Ty).failed());
+  EXPECT_TRUE(parseSpec("(spec f (vars) (pre emp))", Ty).failed());
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- tests/heap_projection_test.cpp - Layout-independent addresses (§3.1) -===//
+
+#include "heap/Projection.h"
+#include "rmir/Layout.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+#include "sym/Subst.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::heap;
+using namespace gilr::rmir;
+
+namespace {
+
+class ProjectionTest : public ::testing::Test {
+protected:
+  ProjectionTest() {
+    S = Ty.declareStruct("S", {FieldDef{"x", Ty.intTy(IntKind::U32)},
+                               FieldDef{"y", Ty.intTy(IntKind::U64)}});
+    Inner = Ty.declareStruct("In", {FieldDef{"a", Ty.intTy(IntKind::U8)},
+                                    FieldDef{"b", Ty.intTy(IntKind::U16)}});
+    Outer = Ty.declareStruct("Out", {FieldDef{"i", Inner},
+                                     FieldDef{"j", Ty.intTy(IntKind::U64)}});
+    E = Ty.declareEnum("E",
+                       {VariantDef{"A", {}},
+                        VariantDef{"B", {FieldDef{"0", Ty.usize()}}}});
+  }
+
+  TyCtx Ty;
+  TypeRef S, Inner, Outer, E;
+};
+
+TEST_F(ProjectionTest, EncodeDecodeRoundTrip) {
+  Projection P = {ProjElem::field(S, 1),
+                  ProjElem::offset(Ty.intTy(IntKind::U64), mkInt(3)),
+                  ProjElem::variantField(E, 1, 0)};
+  Expr Ptr = encodePtr(mkLoc(42), P);
+  auto DP = decodePtr(Ptr, Ty);
+  ASSERT_TRUE(DP.has_value());
+  EXPECT_EQ(DP->Loc->LocId, 42u);
+  ASSERT_EQ(DP->Proj.size(), 3u);
+  EXPECT_EQ(DP->Proj[0].Kind, ProjElem::Field);
+  EXPECT_EQ(DP->Proj[0].Ty, S);
+  EXPECT_EQ(DP->Proj[0].Index, 1u);
+  EXPECT_EQ(DP->Proj[1].Kind, ProjElem::Offset);
+  EXPECT_EQ(DP->Proj[1].Count->IntVal, 3);
+  EXPECT_EQ(DP->Proj[2].Variant, 1u);
+}
+
+TEST_F(ProjectionTest, OpaquePointersDoNotDecode) {
+  EXPECT_FALSE(decodePtr(mkVar("p", Sort::Tuple), Ty).has_value());
+  // A pointer with a symbolic projection tail does not decode either.
+  Expr Weird = mkTuple({mkLoc(1), mkVar("proj", Sort::Seq)});
+  EXPECT_FALSE(decodePtr(Weird, Ty).has_value());
+}
+
+TEST_F(ProjectionTest, AppendProjElemComposes) {
+  Expr Base = encodePtr(mkLoc(7), {ProjElem::field(Outer, 0)});
+  Expr Extended = appendProjElem(Base, ProjElem::field(Inner, 1));
+  auto DP = decodePtr(Extended, Ty);
+  ASSERT_TRUE(DP.has_value());
+  ASSERT_EQ(DP->Proj.size(), 2u);
+  EXPECT_EQ(DP->Proj[1].Ty, Inner);
+  EXPECT_EQ(DP->Proj[1].Index, 1u);
+}
+
+TEST_F(ProjectionTest, AppendToOpaquePointerStaysSymbolic) {
+  Expr Base = mkVar("p", Sort::Tuple);
+  Expr Extended = appendProjElem(Base, ProjElem::field(S, 0));
+  // No decode, but the shape is (loc-component, proj-concat).
+  EXPECT_FALSE(decodePtr(Extended, Ty).has_value());
+  EXPECT_EQ(Extended->Kind, ExprKind::TupleLit);
+}
+
+TEST_F(ProjectionTest, InterpretationDependsOnLayout) {
+  // The same projection .S 1 lands at different byte offsets under the two
+  // orderings — the heart of Fig. 4.
+  LayoutEngine Large(Ty, LayoutStrategy::LargestFirst);
+  LayoutEngine Small(Ty, LayoutStrategy::SmallestFirst);
+  Projection P = {ProjElem::field(S, 1)};
+  EXPECT_EQ(interpretProjection(Large, P), 0u);
+  EXPECT_EQ(interpretProjection(Small, P), 8u);
+}
+
+TEST_F(ProjectionTest, FieldProjectionsCommute) {
+  // §3.1: [.T i, .U j] and [.U j, .T i] have equal interpretations under
+  // every layout, because interpretation is a sum.
+  for (LayoutStrategy Strat :
+       {LayoutStrategy::DeclOrder, LayoutStrategy::LargestFirst,
+        LayoutStrategy::SmallestFirst}) {
+    LayoutEngine L(Ty, Strat);
+    Projection AB = {ProjElem::field(Outer, 0), ProjElem::field(Inner, 1)};
+    Projection BA = {ProjElem::field(Inner, 1), ProjElem::field(Outer, 0)};
+    EXPECT_EQ(interpretProjection(L, AB), interpretProjection(L, BA))
+        << "strategy " << layoutStrategyName(Strat);
+  }
+}
+
+TEST_F(ProjectionTest, OffsetScalesBySize) {
+  LayoutEngine L(Ty, LayoutStrategy::DeclOrder);
+  Projection P = {ProjElem::offset(Ty.intTy(IntKind::U64), mkInt(3))};
+  EXPECT_EQ(interpretProjection(L, P), 24u);
+  Projection PS = {ProjElem::offset(S, mkInt(2))};
+  EXPECT_EQ(interpretProjection(L, PS), 2 * L.sizeOf(S));
+}
+
+TEST_F(ProjectionTest, SymbolicInterpretation) {
+  LayoutEngine L(Ty, LayoutStrategy::DeclOrder);
+  Expr N = mkVar("n", Sort::Int);
+  Projection P = {ProjElem::offset(Ty.intTy(IntKind::U32), N),
+                  ProjElem::field(S, 0)};
+  Expr Off = interpretProjectionExpr(L, P);
+  // 4*n + fieldOffset(S, 0).
+  Subst Sub;
+  Sub.bind("n", mkInt(5));
+  Expr Concrete = Sub.apply(Off);
+  ASSERT_EQ(Concrete->Kind, ExprKind::IntLit);
+  EXPECT_EQ(static_cast<uint64_t>(Concrete->IntVal),
+            20 + L.fieldOffset(S, 0));
+}
+
+TEST_F(ProjectionTest, PointerEqualityIsStructural) {
+  Projection P = {ProjElem::field(S, 0)};
+  Expr A = encodePtr(mkLoc(1), P);
+  Expr B = encodePtr(mkLoc(1), P);
+  EXPECT_TRUE(isTrueLit(mkEq(A, B)));
+  Expr C = encodePtr(mkLoc(2), P);
+  EXPECT_TRUE(isFalseLit(mkEq(A, C)));
+}
+
+TEST_F(ProjectionTest, ElemStringsAreReadable) {
+  ProjElem F = ProjElem::field(S, 1);
+  EXPECT_EQ(F.str(), ".<S> 1");
+  ProjElem O = ProjElem::offset(Ty.intTy(IntKind::U32), mkInt(2));
+  EXPECT_EQ(O.str(), "+<u32> 2");
+  ProjElem V = ProjElem::variantField(E, 1, 0);
+  EXPECT_EQ(V.str(), ".<E> 1.0");
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+//===- tests/heap_property_test.cpp - Layout / heap property sweeps ---------===//
+//
+// Parameterized sweeps over the layout strategies a conforming compiler may
+// pick (Fig. 4): well-formedness of every computed layout, commutation of
+// field projections, and heap round-trips that must hold under *any*
+// layout because the heap never looks at one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/ByteHeap.h"
+#include "heap/LaidOut.h"
+#include "heap/SymHeap.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::heap;
+using namespace gilr::rmir;
+
+namespace {
+
+struct LayoutCase {
+  LayoutStrategy Strategy;
+  bool Niche;
+};
+
+std::string caseName(const ::testing::TestParamInfo<LayoutCase> &Info) {
+  std::string S = layoutStrategyName(Info.param.Strategy);
+  for (char &C : S)
+    if (C == '-')
+      C = '_';
+  return S + (Info.param.Niche ? "_niche" : "_tagged");
+}
+
+class LayoutSweep : public ::testing::TestWithParam<LayoutCase> {
+protected:
+  LayoutSweep() {
+    U8 = Ty.intTy(IntKind::U8);
+    U16 = Ty.intTy(IntKind::U16);
+    U32 = Ty.intTy(IntKind::U32);
+    U64 = Ty.intTy(IntKind::U64);
+    Mixed = Ty.declareStruct(
+        "Mixed", {FieldDef{"a", U8}, FieldDef{"b", U64}, FieldDef{"c", U16},
+                  FieldDef{"d", U32}, FieldDef{"e", Ty.boolTy()}});
+    Nested = Ty.declareStruct("Nested",
+                              {FieldDef{"m", Mixed}, FieldDef{"n", U8}});
+    OptPtr = Ty.optionOf(Ty.rawPtr(Mixed));
+    E3 = Ty.declareEnum(
+        "E3", {VariantDef{"A", {}},
+               VariantDef{"B", {FieldDef{"0", U32}}},
+               VariantDef{"C", {FieldDef{"0", U64}, FieldDef{"1", U8}}}});
+  }
+
+  TyCtx Ty;
+  TypeRef U8, U16, U32, U64, Mixed, Nested, OptPtr, E3;
+};
+
+TEST_P(LayoutSweep, FieldsDoNotOverlapAndFitInSize) {
+  LayoutEngine L(Ty, GetParam().Strategy, GetParam().Niche);
+  for (TypeRef T : {Mixed, Nested}) {
+    const ConcreteLayout &CL = L.of(T);
+    // Every field is aligned, inside the struct, and disjoint from others.
+    for (std::size_t I = 0; I != T->Fields.size(); ++I) {
+      uint64_t OffI = CL.FieldOffsets[I];
+      uint64_t SizeI = L.sizeOf(T->Fields[I].Ty);
+      uint64_t AlignI = L.alignOf(T->Fields[I].Ty);
+      EXPECT_EQ(OffI % AlignI, 0u) << T->str() << " field " << I;
+      EXPECT_LE(OffI + SizeI, CL.Size);
+      for (std::size_t J = I + 1; J != T->Fields.size(); ++J) {
+        uint64_t OffJ = CL.FieldOffsets[J];
+        uint64_t SizeJ = L.sizeOf(T->Fields[J].Ty);
+        EXPECT_TRUE(OffI + SizeI <= OffJ || OffJ + SizeJ <= OffI)
+            << T->str() << " fields " << I << "," << J << " overlap";
+      }
+    }
+    EXPECT_EQ(CL.Size % CL.Align, 0u);
+  }
+}
+
+TEST_P(LayoutSweep, EnumVariantsFitAndTagIsDisjoint) {
+  LayoutEngine L(Ty, GetParam().Strategy, GetParam().Niche);
+  const ConcreteLayout &CL = L.of(E3);
+  ASSERT_FALSE(CL.IsNiche); // E3 is not option-like.
+  for (std::size_t V = 0; V != E3->Variants.size(); ++V)
+    for (std::size_t F = 0; F != E3->Variants[V].Fields.size(); ++F) {
+      uint64_t Off = CL.VariantFieldOffsets[V][F];
+      uint64_t Size = L.sizeOf(E3->Variants[V].Fields[F].Ty);
+      EXPECT_GE(Off, CL.DiscrOffset + CL.DiscrSize);
+      EXPECT_LE(Off + Size, CL.Size);
+    }
+}
+
+TEST_P(LayoutSweep, ProjectionsCommuteUnderEveryLayout) {
+  // §3.1: the interpretation of a projection is the sum of its elements'
+  // interpretations, so element order never matters.
+  LayoutEngine L(Ty, GetParam().Strategy, GetParam().Niche);
+  for (unsigned I = 0; I != 5; ++I)
+    for (unsigned J = 0; J != 2; ++J) {
+      Projection AB = {ProjElem::field(Mixed, I), ProjElem::field(Nested, J)};
+      Projection BA = {ProjElem::field(Nested, J), ProjElem::field(Mixed, I)};
+      EXPECT_EQ(interpretProjection(L, AB), interpretProjection(L, BA));
+    }
+}
+
+TEST_P(LayoutSweep, NicheOnlyForOptionOverPointer) {
+  LayoutEngine L(Ty, GetParam().Strategy, GetParam().Niche);
+  EXPECT_EQ(L.of(OptPtr).IsNiche, GetParam().Niche);
+  EXPECT_EQ(L.sizeOf(OptPtr), GetParam().Niche ? 8u : 16u);
+  // Option over a non-pointer never uses the niche.
+  TypeRef OptInt = Ty.optionOf(U32);
+  EXPECT_FALSE(L.of(OptInt).IsNiche);
+}
+
+TEST_P(LayoutSweep, ByteHeapRoundTripsUnderThisLayout) {
+  // The fixed-layout baseline works under each layout individually...
+  LayoutEngine L(Ty, GetParam().Strategy, GetParam().Niche);
+  ByteHeap H(L);
+  uint64_t Loc = H.alloc(Mixed);
+  for (unsigned I = 0; I != 5; ++I) {
+    TypeRef FT = Mixed->Fields[I].Ty;
+    ASSERT_TRUE(H.store(Loc, L.fieldOffset(Mixed, I), FT, mkInt(I)).ok());
+  }
+  for (unsigned I = 0; I != 5; ++I) {
+    TypeRef FT = Mixed->Fields[I].Ty;
+    Outcome<Expr> V = H.load(Loc, L.fieldOffset(Mixed, I), FT);
+    ASSERT_TRUE(V.ok());
+    EXPECT_TRUE(exprEquals(V.value(), mkInt(I)));
+  }
+}
+
+TEST_P(LayoutSweep, SymHeapIsLayoutOblivious) {
+  // ...whereas the symbolic heap round-trips identically no matter which
+  // layout the parameter of this sweep denotes: it never consults one.
+  Solver Solv;
+  PathCondition PC;
+  VarGen VG;
+  HeapCtx Ctx{Solv, PC, VG, Ty};
+  SymHeap H;
+  Expr P = H.alloc(Mixed, Ctx);
+  for (unsigned I = 0; I != 5; ++I) {
+    Expr FieldPtr = appendProjElem(P, ProjElem::field(Mixed, I));
+    ASSERT_TRUE(
+        H.store(FieldPtr, Mixed->Fields[I].Ty, mkInt(I), Ctx).ok());
+  }
+  for (unsigned I = 0; I != 5; ++I) {
+    Expr FieldPtr = appendProjElem(P, ProjElem::field(Mixed, I));
+    Outcome<Expr> V = H.load(FieldPtr, Mixed->Fields[I].Ty, false, Ctx);
+    ASSERT_TRUE(V.ok());
+    EXPECT_TRUE(exprEquals(V.value(), mkInt(I)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, LayoutSweep,
+    ::testing::Values(LayoutCase{LayoutStrategy::DeclOrder, true},
+                      LayoutCase{LayoutStrategy::DeclOrder, false},
+                      LayoutCase{LayoutStrategy::LargestFirst, true},
+                      LayoutCase{LayoutStrategy::LargestFirst, false},
+                      LayoutCase{LayoutStrategy::SmallestFirst, true},
+                      LayoutCase{LayoutStrategy::SmallestFirst, false}),
+    caseName);
+
+//===----------------------------------------------------------------------===//
+// Laid-out node sweeps
+//===----------------------------------------------------------------------===//
+
+class LaidOutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaidOutSweep, SplitAtEveryConcreteIndexAndReassemble) {
+  const int N = 6;
+  const int K = GetParam();
+  TyCtx Ty;
+  TypeRef T = Ty.param("T");
+  Solver Solv;
+  PathCondition PC;
+  VarGen VG;
+  HeapCtx Ctx{Solv, PC, VG, Ty};
+  SymHeap H;
+
+  std::vector<Expr> Elems;
+  for (int I = 0; I != N; ++I)
+    Elems.push_back(mkVar("e" + std::to_string(I), Sort::Any));
+  Expr S = mkSeqLit(Elems);
+  Expr P = VG.fresh("buf", Sort::Tuple);
+  ASSERT_TRUE(H.produceArray(P, T, mkInt(N), S, Ctx).ok());
+
+  // Read element K (splits), overwrite it, read the whole array back.
+  Expr ElemPtr = appendProjElem(P, heap::ProjElem::offset(T, mkInt(K)));
+  Outcome<Expr> V = H.load(ElemPtr, T, false, Ctx);
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(exprEquals(V.value(), Elems[static_cast<std::size_t>(K)]));
+
+  Expr NewV = mkVar("fresh", Sort::Any);
+  ASSERT_TRUE(H.store(ElemPtr, T, NewV, Ctx).ok());
+  Outcome<Expr> All = H.consumeArray(P, T, mkInt(N), Ctx);
+  ASSERT_TRUE(All.ok());
+  std::vector<Expr> Expected = Elems;
+  Expected[static_cast<std::size_t>(K)] = NewV;
+  EXPECT_TRUE(PC.entails(Solv, mkEq(All.value(), mkSeqLit(Expected))))
+      << "K=" << K;
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, LaidOutSweep, ::testing::Range(0, 6));
+
+} // namespace

@@ -1,0 +1,262 @@
+//===- tests/heap_symheap_test.cpp - Symbolic heap actions (§3.2-3.3) -------===//
+
+#include "heap/LaidOut.h"
+#include "heap/SymHeap.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::heap;
+using namespace gilr::rmir;
+
+namespace {
+
+class SymHeapTest : public ::testing::Test {
+protected:
+  SymHeapTest() : Ctx{Solv, PC, VG, Ty} {
+    U32 = Ty.intTy(IntKind::U32);
+    U64 = Ty.intTy(IntKind::U64);
+    S = Ty.declareStruct("S", {FieldDef{"x", U32}, FieldDef{"y", U64}});
+    OptU32 = Ty.optionOf(U32);
+    T = Ty.param("T");
+  }
+
+  TyCtx Ty;
+  Solver Solv;
+  PathCondition PC;
+  VarGen VG;
+  HeapCtx Ctx;
+  SymHeap H;
+  TypeRef U32, U64, S, OptU32, T;
+};
+
+TEST_F(SymHeapTest, AllocStoreLoadRoundTrip) {
+  Expr P = H.alloc(U32, Ctx);
+  EXPECT_TRUE(H.store(P, U32, mkInt(7), Ctx).ok());
+  Outcome<Expr> V = H.load(P, U32, /*Move=*/false, Ctx);
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(exprEquals(V.value(), mkInt(7)));
+}
+
+TEST_F(SymHeapTest, LoadOfUninitFails) {
+  Expr P = H.alloc(U32, Ctx);
+  Outcome<Expr> V = H.load(P, U32, false, Ctx);
+  EXPECT_TRUE(V.failed());
+  EXPECT_NE(V.error().find("uninit"), std::string::npos);
+}
+
+TEST_F(SymHeapTest, MoveDeinitialises) {
+  // §3.2: loading in a move context deinitialises the memory.
+  Expr P = H.alloc(U32, Ctx);
+  ASSERT_TRUE(H.store(P, U32, mkInt(7), Ctx).ok());
+  ASSERT_TRUE(H.load(P, U32, /*Move=*/true, Ctx).ok());
+  EXPECT_TRUE(H.load(P, U32, false, Ctx).failed());
+}
+
+TEST_F(SymHeapTest, StructFieldAccess) {
+  Expr P = H.alloc(S, Ctx);
+  Expr V = mkTuple({mkInt(1), mkInt(2)});
+  ASSERT_TRUE(H.store(P, S, V, Ctx).ok());
+  // Navigate to field 1 through a field projection.
+  Expr FieldPtr = appendProjElem(P, ProjElem::field(S, 1));
+  Outcome<Expr> Y = H.load(FieldPtr, U64, false, Ctx);
+  ASSERT_TRUE(Y.ok());
+  EXPECT_TRUE(exprEquals(Y.value(), mkInt(2)));
+  // Store through the field and read the whole struct back.
+  ASSERT_TRUE(H.store(FieldPtr, U64, mkInt(9), Ctx).ok());
+  Outcome<Expr> Whole = H.load(P, S, false, Ctx);
+  ASSERT_TRUE(Whole.ok());
+  EXPECT_TRUE(exprEquals(Whole.value(), mkTuple({mkInt(1), mkInt(9)})));
+}
+
+TEST_F(SymHeapTest, SymbolicStructExpandsLazily) {
+  Expr P = H.alloc(S, Ctx);
+  Expr V = VG.fresh("v", Sort::Tuple);
+  ASSERT_TRUE(H.store(P, S, V, Ctx).ok());
+  Expr FieldPtr = appendProjElem(P, ProjElem::field(S, 0));
+  Outcome<Expr> X = H.load(FieldPtr, U32, false, Ctx);
+  ASSERT_TRUE(X.ok());
+  EXPECT_TRUE(exprEquals(X.value(), mkTupleGet(V, 0)));
+  // Loading also assumes the validity invariant of the loaded integer.
+  EXPECT_TRUE(PC.entails(Solv, mkLe(mkTupleGet(V, 0), mkInt(4294967295))));
+}
+
+TEST_F(SymHeapTest, EnumVariantAccessNeedsDecidedDiscriminant) {
+  Expr P = H.alloc(OptU32, Ctx);
+  Expr V = VG.fresh("o", Sort::Opt);
+  ASSERT_TRUE(H.store(P, OptU32, V, Ctx).ok());
+  Expr PayloadPtr = appendProjElem(P, ProjElem::variantField(OptU32, 1, 0));
+  // Undecided discriminant: failure asks for a branch first.
+  EXPECT_TRUE(H.load(PayloadPtr, U32, false, Ctx).failed());
+  // After the branch knows IsSome, access succeeds.
+  PC.add(mkIsSome(V));
+  Outcome<Expr> X = H.load(PayloadPtr, U32, false, Ctx);
+  ASSERT_TRUE(X.ok());
+  EXPECT_TRUE(exprEquals(X.value(), mkUnwrap(V)));
+}
+
+TEST_F(SymHeapTest, FreeRequiresFullOwnership) {
+  Expr P = H.alloc(S, Ctx);
+  ASSERT_TRUE(H.store(P, S, mkTuple({mkInt(1), mkInt(2)}), Ctx).ok());
+  // Frame off one field: free must fail.
+  Expr FieldPtr = appendProjElem(P, ProjElem::field(S, 0));
+  ASSERT_TRUE(H.consumePointsTo(FieldPtr, U32, Ctx).ok());
+  EXPECT_TRUE(H.freeTyped(P, S, Ctx).failed());
+  // Restore and free succeeds; double free then fails.
+  ASSERT_TRUE(H.producePointsTo(FieldPtr, U32, mkInt(1), Ctx).ok());
+  EXPECT_TRUE(H.freeTyped(P, S, Ctx).ok());
+  EXPECT_TRUE(H.freeTyped(P, S, Ctx).failed());
+}
+
+TEST_F(SymHeapTest, FreeOfUninitIsAllowed) {
+  Expr P = H.alloc(U32, Ctx);
+  EXPECT_TRUE(H.freeTyped(P, U32, Ctx).ok());
+}
+
+TEST_F(SymHeapTest, ConsumeProduceRoundTrip) {
+  Expr P = H.alloc(U32, Ctx);
+  ASSERT_TRUE(H.store(P, U32, mkInt(5), Ctx).ok());
+  Outcome<Expr> V = H.consumePointsTo(P, U32, Ctx);
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(exprEquals(V.value(), mkInt(5)));
+  // The memory is now framed off.
+  EXPECT_TRUE(H.load(P, U32, false, Ctx).failed());
+  // Produce it back and read again.
+  ASSERT_TRUE(H.producePointsTo(P, U32, mkInt(5), Ctx).ok());
+  EXPECT_TRUE(H.load(P, U32, false, Ctx).ok());
+}
+
+TEST_F(SymHeapTest, DuplicateProduceVanishes) {
+  Expr P = H.alloc(U32, Ctx);
+  ASSERT_TRUE(H.store(P, U32, mkInt(5), Ctx).ok());
+  Outcome<Unit> R = H.producePointsTo(P, U32, mkInt(6), Ctx);
+  EXPECT_TRUE(R.vanished());
+}
+
+TEST_F(SymHeapTest, ProduceAtFreshSymbolicPointer) {
+  // Producing through an opaque pointer allocates an abstract location and
+  // records the aliasing equality.
+  Expr P = VG.fresh("p", Sort::Tuple);
+  ASSERT_TRUE(H.producePointsTo(P, U32, mkInt(3), Ctx).ok());
+  Outcome<Expr> V = H.load(P, U32, false, Ctx);
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(exprEquals(V.value(), mkInt(3)));
+}
+
+TEST_F(SymHeapTest, ProduceStructFieldSkeleton) {
+  // Producing only a field's points-to creates a struct skeleton with the
+  // other fields missing.
+  Expr P = VG.fresh("p", Sort::Tuple);
+  Expr FieldPtr = appendProjElem(P, ProjElem::field(S, 1));
+  ASSERT_TRUE(H.producePointsTo(FieldPtr, U64, mkInt(4), Ctx).ok());
+  EXPECT_TRUE(H.load(FieldPtr, U64, false, Ctx).ok());
+  // The sibling field is missing.
+  Expr Sibling = appendProjElem(P, ProjElem::field(S, 0));
+  EXPECT_TRUE(H.load(Sibling, U32, false, Ctx).failed());
+}
+
+TEST_F(SymHeapTest, MaybeUninitConsumers) {
+  Expr P = H.alloc(U32, Ctx);
+  Outcome<Expr> M1 = H.consumeMaybeUninit(P, U32, Ctx);
+  ASSERT_TRUE(M1.ok());
+  EXPECT_EQ(M1.value()->Kind, ExprKind::NoneLit);
+  ASSERT_TRUE(H.produceUninit(P, U32, Ctx).ok());
+  ASSERT_TRUE(H.store(P, U32, mkInt(1), Ctx).ok());
+  Outcome<Expr> M2 = H.consumeMaybeUninit(P, U32, Ctx);
+  ASSERT_TRUE(M2.ok());
+  EXPECT_TRUE(exprEquals(M2.value(), mkSome(mkInt(1))));
+}
+
+//===----------------------------------------------------------------------===//
+// Laid-out nodes (Fig. 5)
+//===----------------------------------------------------------------------===//
+
+TEST_F(SymHeapTest, ArrayAllocWriteRead) {
+  Expr N = VG.fresh("n", Sort::Int);
+  PC.add(mkLe(mkInt(2), N));
+  Expr P = H.allocArray(T, N, Ctx);
+  // Write one element at symbolic index k < n.
+  Expr K = VG.fresh("k", Sort::Int);
+  PC.add(mkLe(mkInt(0), K));
+  PC.add(mkLt(K, N));
+  Expr ElemPtr = appendProjElem(P, ProjElem::offset(T, K));
+  Expr V = VG.fresh("v", Sort::Any);
+  ASSERT_TRUE(H.store(ElemPtr, T, V, Ctx).ok()) << H.dump();
+  Outcome<Expr> Back = H.load(ElemPtr, T, false, Ctx);
+  ASSERT_TRUE(Back.ok());
+  EXPECT_TRUE(PC.entails(Solv, mkEq(Back.value(), V)));
+}
+
+TEST_F(SymHeapTest, Figure5VectorPush) {
+  // Fig. 5: a laid-out node with values in [0, k) and uninit in [k, n);
+  // writing at offset k isolates [k, k+1) and overwrites it.
+  Expr N = VG.fresh("n", Sort::Int);
+  Expr K = VG.fresh("k", Sort::Int);
+  Expr Vs = VG.fresh("vs", Sort::Seq);
+  PC.add(mkLe(mkInt(0), K));
+  PC.add(mkLt(K, N));
+
+  Expr P = VG.fresh("buf", Sort::Tuple);
+  ASSERT_TRUE(H.produceArray(P, T, K, Vs, Ctx).ok());
+  Expr Rest = appendProjElem(P, ProjElem::offset(T, K));
+  ASSERT_TRUE(H.produceArrayUninit(Rest, T, mkSub(N, K), Ctx).ok());
+
+  // The push: write v at offset k.
+  Expr V = VG.fresh("v", Sort::Any);
+  ASSERT_TRUE(H.store(Rest, T, V, Ctx).ok()) << H.dump();
+
+  // Read back the now-initialised prefix [0, k+1).
+  Outcome<Expr> All = H.consumeArray(P, T, mkAdd(K, mkInt(1)), Ctx);
+  ASSERT_TRUE(All.ok()) << (All.failed() ? All.error() : "");
+  std::vector<Expr> ObsFacts = PC.facts();
+  EXPECT_TRUE(
+      Solv.entails(ObsFacts, mkEq(All.value(), mkSeqConcat(Vs, mkSeqUnit(V)))))
+      << exprToString(All.value());
+}
+
+TEST_F(SymHeapTest, ArrayConsumeProduceRoundTrip) {
+  Expr N = VG.fresh("n", Sort::Int);
+  Expr Vs = VG.fresh("vs", Sort::Seq);
+  Expr P = VG.fresh("buf", Sort::Tuple);
+  ASSERT_TRUE(H.produceArray(P, T, N, Vs, Ctx).ok());
+  Outcome<Expr> Out = H.consumeArray(P, T, N, Ctx);
+  ASSERT_TRUE(Out.ok());
+  EXPECT_TRUE(exprEquals(Out.value(), Vs));
+  // Producing again after consume is fine (no duplication).
+  EXPECT_TRUE(H.produceArray(P, T, N, Vs, Ctx).ok());
+  // But producing twice vanishes.
+  EXPECT_TRUE(H.produceArray(P, T, N, Vs, Ctx).vanished());
+}
+
+TEST_F(SymHeapTest, ArraySplitMiddleRead) {
+  // Read a middle element out of a fully symbolic array.
+  Expr N = VG.fresh("n", Sort::Int);
+  Expr I = VG.fresh("i", Sort::Int);
+  Expr Vs = VG.fresh("vs", Sort::Seq);
+  PC.add(mkLe(mkInt(0), I));
+  PC.add(mkLt(I, N));
+  Expr P = VG.fresh("buf", Sort::Tuple);
+  ASSERT_TRUE(H.produceArray(P, T, N, Vs, Ctx).ok());
+  Expr ElemPtr = appendProjElem(P, ProjElem::offset(T, I));
+  Outcome<Expr> V = H.load(ElemPtr, T, false, Ctx);
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(PC.entails(Solv, mkEq(V.value(), mkSeqNth(Vs, I))));
+  // The array reassembles: consuming the whole range still works.
+  Outcome<Expr> All = H.consumeArray(P, T, N, Ctx);
+  ASSERT_TRUE(All.ok()) << (All.failed() ? All.error() : "");
+  EXPECT_TRUE(PC.entails(Solv, mkEq(All.value(), Vs)));
+}
+
+TEST_F(SymHeapTest, OutOfBoundsArrayAccessFails) {
+  Expr N = VG.fresh("n", Sort::Int);
+  Expr Vs = VG.fresh("vs", Sort::Seq);
+  Expr P = VG.fresh("buf", Sort::Tuple);
+  ASSERT_TRUE(H.produceArray(P, T, N, Vs, Ctx).ok());
+  // Access at index n (no information that n < n): not covered.
+  Expr ElemPtr = appendProjElem(P, ProjElem::offset(T, N));
+  EXPECT_TRUE(H.load(ElemPtr, T, false, Ctx).failed());
+}
+
+} // namespace

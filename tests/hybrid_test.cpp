@@ -1,0 +1,86 @@
+//===- tests/hybrid_test.cpp - The hybrid approach end-to-end (§2.1, H1) ----===//
+//
+// Creusot-side verification of safe clients against the axiomatised
+// Pearlite contracts, combined with Gillian-Rust-side verification of the
+// unsafe implementations of the *same* contracts — Fig. 1's division of
+// labour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rustlib/Clients.h"
+#include "rustlib/LinkedList.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::rustlib;
+
+namespace {
+
+class HybridTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Lib = buildLinkedListLib(SpecMode::Functional).release();
+  }
+  static void TearDownTestSuite() {
+    delete Lib;
+    Lib = nullptr;
+  }
+  static LinkedListLib *Lib;
+};
+
+LinkedListLib *HybridTest::Lib = nullptr;
+
+TEST_F(HybridTest, SafeClientsVerify) {
+  creusot::SafeVerifier SV(Lib->Contracts, Lib->Solv);
+  for (const creusot::SafeFn &Client : makeClients()) {
+    creusot::SafeReport R = SV.verify(Client);
+    EXPECT_TRUE(R.Ok) << Client.Name << ": "
+                      << (R.Errors.empty() ? "" : R.Errors.front());
+    EXPECT_FALSE(R.Obligations.empty());
+  }
+}
+
+TEST_F(HybridTest, MissingPreconditionFailsOnSafeSide) {
+  // Pushing onto a list of unknown length cannot discharge the
+  // len < usize::MAX precondition: the Creusot side must reject it.
+  creusot::SafeVerifier SV(Lib->Contracts, Lib->Solv);
+  creusot::SafeReport R = SV.verify(makeBadClient());
+  EXPECT_FALSE(R.Ok);
+  ASSERT_FALSE(R.Errors.empty());
+  EXPECT_NE(R.Errors.front().find("pre of"), std::string::npos);
+}
+
+TEST_F(HybridTest, FullHybridRun) {
+  engine::VerifEnv Env = Lib->env();
+  hybrid::HybridDriver Driver(Env, Lib->Contracts);
+  hybrid::HybridReport R = Driver.run(functionalFunctions(), makeClients());
+  for (const engine::VerifyReport &U : R.UnsafeSide)
+    EXPECT_TRUE(U.Ok) << U.Func << ": "
+                      << (U.Errors.empty() ? "" : U.Errors.front());
+  for (const creusot::SafeReport &C : R.SafeSide)
+    EXPECT_TRUE(C.Ok) << C.Func;
+  EXPECT_TRUE(R.ok());
+}
+
+TEST_F(HybridTest, ChainClientScales) {
+  creusot::SafeVerifier SV(Lib->Contracts, Lib->Solv);
+  creusot::SafeReport R = SV.verify(makeChainClient(6));
+  EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
+  // 6 pushes with preconditions + 6 asserted pops.
+  EXPECT_GE(R.Obligations.size(), 12u);
+}
+
+TEST_F(HybridTest, SafeSideSeesOnlyModels) {
+  // The Creusot side never mentions heap assertions: the contracts are
+  // first-order Pearlite (Fig. 1 left).
+  const creusot::PearliteSpec *S =
+      Lib->Contracts.lookup("LinkedList::pop_front");
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(S->Post, nullptr);
+  std::string Text = S->Post->str();
+  EXPECT_EQ(Text.find("|->"), std::string::npos);
+  EXPECT_NE(Text.find("^self"), std::string::npos); // Prophetic final value.
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- tests/lifetime_test.cpp - Lifetime token rules (§4.1, Fig. 6) --------===//
+
+#include "lifetime/LifetimeCtx.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::lifetime;
+
+namespace {
+
+class LifetimeTest : public ::testing::Test {
+protected:
+  Solver S;
+  PathCondition PC;
+  LifetimeCtx Lft;
+  Expr K = mkLftVar("'a");
+  Expr K2 = mkLftVar("'b");
+  Expr Half = mkReal(Rational(1, 2));
+  Expr Quarter = mkReal(Rational(1, 4));
+  Expr One = mkReal(Rational(1, 1));
+};
+
+TEST_F(LifetimeTest, ProduceThenConsume) {
+  EXPECT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeAlive(K, Half, S, PC).ok());
+  // Fully consumed: nothing remains.
+  EXPECT_TRUE(Lft.consumeAlive(K, Half, S, PC).failed());
+}
+
+TEST_F(LifetimeTest, FractionsAccumulate) {
+  // Lft-Produce-Alive-Add: [κ]_q * [κ]_q' = [κ]_{q+q'}.
+  ASSERT_TRUE(Lft.produceAlive(K, Quarter, S, PC).ok());
+  ASSERT_TRUE(Lft.produceAlive(K, Quarter, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeAlive(K, Half, S, PC).ok());
+}
+
+TEST_F(LifetimeTest, PartialConsumptionLeavesRemainder) {
+  ASSERT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeAlive(K, Quarter, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeAlive(K, Quarter, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeAlive(K, Quarter, S, PC).failed());
+}
+
+TEST_F(LifetimeTest, NotOwnEnd) {
+  // Lftl-not-own-end: producing an alive token of a dead lifetime vanishes.
+  ASSERT_TRUE(Lft.produceDead(K, S, PC).ok());
+  EXPECT_TRUE(Lft.produceAlive(K, Half, S, PC).vanished());
+  // And producing dead over an owned alive fraction vanishes too.
+  ASSERT_TRUE(Lft.produceAlive(K2, Half, S, PC).ok());
+  EXPECT_TRUE(Lft.produceDead(K2, S, PC).vanished());
+}
+
+TEST_F(LifetimeTest, DeadTokenIsPersistent) {
+  // Lftl-end-persist: consuming [†κ] does not remove it; producing it twice
+  // is idempotent.
+  ASSERT_TRUE(Lft.produceDead(K, S, PC).ok());
+  EXPECT_TRUE(Lft.produceDead(K, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeDead(K, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeDead(K, S, PC).ok());
+  EXPECT_TRUE(Lft.isDead(K, S, PC));
+}
+
+TEST_F(LifetimeTest, ConsumeDeadOfAliveFails) {
+  ASSERT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeDead(K, S, PC).failed());
+}
+
+TEST_F(LifetimeTest, EndLifetimeNeedsFullToken) {
+  ASSERT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  // Only half the token: cannot end.
+  EXPECT_TRUE(Lft.endLifetime(K, S, PC).failed());
+  ASSERT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  EXPECT_TRUE(Lft.endLifetime(K, S, PC).ok());
+  EXPECT_TRUE(Lft.isDead(K, S, PC));
+}
+
+TEST_F(LifetimeTest, SymbolicFractions) {
+  // The show_safety tokens use a symbolic fraction 'q with 0 < 'q <= 1.
+  Expr Q = mkVar("'q", Sort::Real);
+  ASSERT_TRUE(Lft.produceAlive(K, Q, S, PC).ok());
+  // The well-formedness facts landed in the path condition.
+  EXPECT_TRUE(PC.entails(S, mkLt(mkReal(Rational(0, 1)), Q)));
+  EXPECT_TRUE(Lft.consumeAlive(K, Q, S, PC).ok());
+}
+
+TEST_F(LifetimeTest, LifetimesMatchedUpToPathCondition) {
+  Expr KAlias = mkLftVar("'alias");
+  PC.add(mkEq(K, KAlias));
+  ASSERT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  // Consuming under the alias finds the entry.
+  EXPECT_TRUE(Lft.consumeAlive(KAlias, Half, S, PC).ok());
+}
+
+TEST_F(LifetimeTest, IndependentLifetimes) {
+  ASSERT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  ASSERT_TRUE(Lft.produceAlive(K2, Quarter, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeAlive(K2, Quarter, S, PC).ok());
+  EXPECT_TRUE(Lft.consumeAlive(K, Half, S, PC).ok());
+  EXPECT_EQ(Lft.numEntries(), 0u);
+}
+
+TEST_F(LifetimeTest, OwnedFractionQuery) {
+  ASSERT_TRUE(Lft.produceAlive(K, Half, S, PC).ok());
+  auto F = Lft.ownedFraction(K, S, PC);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(exprEquals(*F, Half));
+  EXPECT_FALSE(Lft.ownedFraction(K2, S, PC).has_value());
+}
+
+} // namespace

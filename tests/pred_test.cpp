@@ -1,0 +1,94 @@
+//===- tests/pred_test.cpp - Folded and guarded predicate stores (§4.2) ----===//
+
+#include "pred/GuardedCtx.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::pred;
+
+namespace {
+
+class PredTest : public ::testing::Test {
+protected:
+  Solver S;
+  PathCondition PC;
+  PredCtx Preds;
+  GuardedCtx Guarded;
+  Expr X = mkVar("x", Sort::Int);
+  Expr Y = mkVar("y", Sort::Int);
+  Expr K = mkLftVar("'a");
+};
+
+TEST_F(PredTest, ProduceConsumeExact) {
+  Preds.produce("p", {X, Y});
+  Outcome<std::vector<Expr>> R = Preds.consume("p", {X, Y}, {}, S, PC);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value().size(), 2u);
+  EXPECT_TRUE(Preds.consume("p", {X, Y}, {}, S, PC).failed());
+}
+
+TEST_F(PredTest, InParameterMatchingReturnsOuts) {
+  Preds.produce("own", {X, mkInt(42)});
+  // Only the first position is an in-parameter; the second is learned.
+  Outcome<std::vector<Expr>> R =
+      Preds.consume("own", {X, Y}, {true, false}, S, PC);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(exprEquals(R.value()[1], mkInt(42)));
+}
+
+TEST_F(PredTest, MatchesUpToPathCondition) {
+  Preds.produce("p", {X});
+  PC.add(mkEq(X, Y));
+  EXPECT_TRUE(Preds.consume("p", {Y}, {}, S, PC).ok());
+}
+
+TEST_F(PredTest, MismatchFails) {
+  Preds.produce("p", {mkInt(1)});
+  EXPECT_TRUE(Preds.consume("p", {mkInt(2)}, {}, S, PC).failed());
+  EXPECT_TRUE(Preds.consume("q", {mkInt(1)}, {}, S, PC).failed());
+}
+
+TEST_F(PredTest, GuardedProduceConsume) {
+  Guarded.produceGuarded("borrow", K, {X});
+  Outcome<GuardedPred> G = Guarded.consumeGuarded("borrow", K, {X}, {}, S, PC);
+  ASSERT_TRUE(G.ok());
+  EXPECT_TRUE(exprEquals(G.value().Kappa, K));
+  EXPECT_TRUE(Guarded.consumeGuarded("borrow", K, {X}, {}, S, PC).failed());
+}
+
+TEST_F(PredTest, GuardedMatchesWithoutKappa) {
+  Guarded.produceGuarded("borrow", K, {X});
+  // A null kappa matches any guard (learned by the caller).
+  Outcome<GuardedPred> G =
+      Guarded.consumeGuarded("borrow", nullptr, {X}, {}, S, PC);
+  ASSERT_TRUE(G.ok());
+  EXPECT_TRUE(exprEquals(G.value().Kappa, K));
+}
+
+TEST_F(PredTest, ClosingTokens) {
+  ClosingToken Tok{"borrow", K, mkReal(Rational(1, 2)), {X}};
+  Guarded.produceClosing(Tok);
+  Outcome<ClosingToken> R = Guarded.consumeClosing("borrow", {X}, S, PC);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(exprEquals(R.value().Fraction, mkReal(Rational(1, 2))));
+  EXPECT_TRUE(Guarded.consumeClosing("borrow", {X}, S, PC).failed());
+}
+
+TEST_F(PredTest, ArgsMatchHelper) {
+  EXPECT_TRUE(argsMatch({X, Y}, {X, Y}, {}, S, PC));
+  EXPECT_FALSE(argsMatch({X}, {X, Y}, {}, S, PC));
+  // Positions not flagged In are ignored.
+  EXPECT_TRUE(argsMatch({X, mkInt(1)}, {X, mkInt(2)}, {true, false}, S, PC));
+  EXPECT_FALSE(argsMatch({X, mkInt(1)}, {X, mkInt(2)}, {true, true}, S, PC));
+}
+
+TEST_F(PredTest, DumpIsReadable) {
+  Preds.produce("p", {mkInt(1)});
+  Guarded.produceGuarded("b", K, {X});
+  EXPECT_NE(Preds.dump().find("p(1)"), std::string::npos);
+  EXPECT_NE(Guarded.dump().find("b(x)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- tests/proph_test.cpp - Observations and prophecies (§5, Figs. 10-11) -===//
+
+#include "proph/ObsCtx.h"
+#include "proph/ProphecyCtx.h"
+#include "sym/ExprBuilder.h"
+#include "sym/VarGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::proph;
+
+namespace {
+
+class ProphTest : public ::testing::Test {
+protected:
+  Solver S;
+  PathCondition PC;
+  ObsCtx Obs;
+  ProphecyCtx Pcy;
+  VarGen VG;
+};
+
+TEST_F(ProphTest, ObservationProduceMerges) {
+  // Obs-Merge: <ψ> * <ψ'> = <ψ /\ ψ'>.
+  Expr X = VG.freshProphecy("x", Sort::Int);
+  ASSERT_TRUE(Obs.produce(mkLt(mkInt(0), X), S, PC).ok());
+  ASSERT_TRUE(Obs.produce(mkLt(X, mkInt(10)), S, PC).ok());
+  EXPECT_TRUE(Obs.consume(mkAnd(mkLt(mkInt(0), X), mkLt(X, mkInt(10))), S,
+                          PC)
+                  .ok());
+}
+
+TEST_F(ProphTest, InconsistentObservationVanishes) {
+  // Proph-Sat: an observation must be satisfiable with the current state.
+  Expr X = VG.freshProphecy("x", Sort::Int);
+  ASSERT_TRUE(Obs.produce(mkEq(X, mkInt(1)), S, PC).ok());
+  EXPECT_TRUE(Obs.produce(mkEq(X, mkInt(2)), S, PC).vanished());
+}
+
+TEST_F(ProphTest, PathConditionFlowsIntoObservations) {
+  // Proph-True / Observation-Consume: facts true outside the prophetic
+  // world hold inside it.
+  Expr Y = mkVar("y", Sort::Int);
+  PC.add(mkEq(Y, mkInt(5)));
+  EXPECT_TRUE(Obs.consume(mkLt(Y, mkInt(6)), S, PC).ok());
+}
+
+TEST_F(ProphTest, ObservationsAreDuplicable) {
+  Expr X = VG.freshProphecy("x", Sort::Int);
+  ASSERT_TRUE(Obs.produce(mkEq(X, mkInt(3)), S, PC).ok());
+  EXPECT_TRUE(Obs.consume(mkEq(X, mkInt(3)), S, PC).ok());
+  EXPECT_TRUE(Obs.consume(mkEq(X, mkInt(3)), S, PC).ok()); // Again.
+}
+
+TEST_F(ProphTest, UnentailedObservationFails) {
+  Expr X = VG.freshProphecy("x", Sort::Int);
+  EXPECT_TRUE(Obs.consume(mkEq(X, mkInt(1)), S, PC).failed());
+}
+
+//===----------------------------------------------------------------------===//
+// Value observers / prophecy controllers (Fig. 11)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ProphTest, ObserverThenControllerAgree) {
+  // Mut-Agree automated: producing the missing half equates values.
+  Expr A = mkVar("a", Sort::Int);
+  Expr B = mkVar("b", Sort::Int);
+  ASSERT_TRUE(Pcy.produceVO("x", A, S, PC).ok());
+  ASSERT_TRUE(Pcy.producePC("x", B, S, PC).ok());
+  EXPECT_TRUE(PC.entails(S, mkEq(A, B)));
+}
+
+TEST_F(ProphTest, ControllerThenObserverAgree) {
+  Expr A = mkVar("a", Sort::Int);
+  Expr B = mkVar("b", Sort::Int);
+  ASSERT_TRUE(Pcy.producePC("x", A, S, PC).ok());
+  ASSERT_TRUE(Pcy.produceVO("x", B, S, PC).ok());
+  EXPECT_TRUE(PC.entails(S, mkEq(A, B)));
+}
+
+TEST_F(ProphTest, DuplicateHalvesVanish) {
+  ASSERT_TRUE(Pcy.produceVO("x", mkInt(1), S, PC).ok());
+  EXPECT_TRUE(Pcy.produceVO("x", mkInt(1), S, PC).vanished());
+  ASSERT_TRUE(Pcy.producePC("y", mkInt(2), S, PC).ok());
+  EXPECT_TRUE(Pcy.producePC("y", mkInt(2), S, PC).vanished());
+}
+
+TEST_F(ProphTest, ConsumeReturnsTrackedValue) {
+  ASSERT_TRUE(Pcy.produceVO("x", mkInt(7), S, PC).ok());
+  Outcome<Expr> V = Pcy.consumeVO("x");
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(exprEquals(V.value(), mkInt(7)));
+  EXPECT_TRUE(Pcy.consumeVO("x").failed());
+}
+
+TEST_F(ProphTest, UpdateNeedsBothHalves) {
+  // Mut-Update: VO_x(a) * PC_x(a) => VO_x(a') * PC_x(a').
+  ASSERT_TRUE(Pcy.produceVO("x", mkInt(1), S, PC).ok());
+  EXPECT_TRUE(Pcy.update("x", mkInt(2)).failed());
+  ASSERT_TRUE(Pcy.producePC("x", mkInt(1), S, PC).ok());
+  EXPECT_TRUE(Pcy.update("x", mkInt(2)).ok());
+  Outcome<Expr> V = Pcy.consumeVO("x");
+  ASSERT_TRUE(V.ok());
+  EXPECT_TRUE(exprEquals(V.value(), mkInt(2)));
+}
+
+TEST_F(ProphTest, EntryRemovedWhenBothHalvesGone) {
+  ASSERT_TRUE(Pcy.produceVO("x", mkInt(1), S, PC).ok());
+  ASSERT_TRUE(Pcy.producePC("x", mkInt(1), S, PC).ok());
+  ASSERT_TRUE(Pcy.consumeVO("x").ok());
+  ASSERT_TRUE(Pcy.consumePC("x").ok());
+  EXPECT_FALSE(Pcy.currentValue("x").has_value());
+  // A fresh cycle can start over.
+  EXPECT_TRUE(Pcy.produceVO("x", mkInt(9), S, PC).ok());
+}
+
+TEST_F(ProphTest, MutRefResolveScenario) {
+  // The §5.3 resolution flow: open (PC appears with Mut-Agree), update,
+  // close, observe final = current.
+  Expr Cur = mkVar("cur", Sort::Seq);
+  Expr X = VG.freshProphecy("pcy", Sort::Seq);
+  ASSERT_TRUE(Pcy.produceVO(X->Name, Cur, S, PC).ok());
+  // Borrow opens: the controller appears with the invariant's repr.
+  Expr A = mkVar("a", Sort::Seq);
+  ASSERT_TRUE(Pcy.producePC(X->Name, A, S, PC).ok());
+  EXPECT_TRUE(PC.entails(S, mkEq(Cur, A)));
+  // Mutation changes the repr; Mut-Update before closing.
+  Expr A2 = mkVar("a2", Sort::Seq);
+  ASSERT_TRUE(Pcy.update(X->Name, A2).ok());
+  // Closing consumes the controller; resolution consumes the observer and
+  // observes <current = prophecy>.
+  ASSERT_TRUE(Pcy.consumePC(X->Name).ok());
+  Outcome<Expr> Final = Pcy.consumeVO(X->Name);
+  ASSERT_TRUE(Final.ok());
+  ASSERT_TRUE(Obs.produce(mkEq(Final.value(), X), S, PC).ok());
+  EXPECT_TRUE(Obs.consume(mkEq(A2, X), S, PC).ok());
+}
+
+} // namespace

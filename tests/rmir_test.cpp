@@ -1,0 +1,197 @@
+//===- tests/rmir_test.cpp - RMIR types, layouts, builder -------------------===//
+
+#include "rmir/Builder.h"
+#include "rmir/Layout.h"
+#include "rmir/Printer.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+using namespace gilr::rmir;
+
+TEST(TypeTest, IntKindsCoverTwelvePrimitives) {
+  // The paper notes Rust's 12 machine integer types (§3).
+  TyCtx Ty;
+  for (int K = 0; K <= static_cast<int>(IntKind::USize); ++K) {
+    TypeRef T = Ty.intTy(static_cast<IntKind>(K));
+    EXPECT_TRUE(T->isInt());
+    EXPECT_GE(intByteWidth(T->IntK), 1u);
+    EXPECT_LE(intByteWidth(T->IntK), 16u);
+  }
+  EXPECT_EQ(intMaxValue(IntKind::U8), 255);
+  EXPECT_EQ(intMinValue(IntKind::I8), -128);
+  EXPECT_EQ(intMaxValue(IntKind::U64),
+            (static_cast<__int128>(1) << 64) - 1);
+  EXPECT_FALSE(intIsSigned(IntKind::USize));
+  EXPECT_TRUE(intIsSigned(IntKind::ISize));
+}
+
+TEST(TypeTest, InterningIsCanonical) {
+  TyCtx Ty;
+  TypeRef T = Ty.param("T");
+  EXPECT_EQ(T, Ty.param("T"));
+  EXPECT_EQ(Ty.rawPtr(T), Ty.rawPtr(T));
+  EXPECT_EQ(Ty.optionOf(T), Ty.optionOf(T));
+  EXPECT_NE(Ty.rawPtr(T), Ty.mutRef(T));
+}
+
+TEST(TypeTest, RecursiveStructThroughForwardDecl) {
+  TyCtx Ty;
+  TypeRef Node = Ty.declareStructForward("Node");
+  TypeRef OptPtr = Ty.optionOf(Ty.rawPtr(Node));
+  Ty.defineStructFields(Node, {FieldDef{"next", OptPtr}});
+  EXPECT_EQ(Node->Fields.size(), 1u);
+  EXPECT_EQ(Node->Fields[0].Ty->optionPayload()->Pointee, Node);
+}
+
+TEST(TypeTest, ByNameFindsDerivedTypes) {
+  TyCtx Ty;
+  TypeRef T = Ty.param("T");
+  TypeRef P = Ty.rawPtr(T);
+  EXPECT_EQ(Ty.byName("*mut T"), P);
+  EXPECT_EQ(Ty.byName("T"), T);
+  EXPECT_EQ(Ty.byName("u32"), Ty.intTy(IntKind::U32));
+  EXPECT_EQ(Ty.byName("nonexistent"), nullptr);
+}
+
+TEST(TypeTest, SizeOfExpr) {
+  TyCtx Ty;
+  EXPECT_EQ(Ty.sizeOfExpr(Ty.intTy(IntKind::U32))->IntVal, 4);
+  EXPECT_EQ(Ty.sizeOfExpr(Ty.unitTy())->IntVal, 0); // Zero-sized type.
+  EXPECT_EQ(Ty.sizeOfExpr(Ty.rawPtr(Ty.param("T")))->IntVal, 8);
+  // Parametric sizes are opaque but fixed.
+  Expr S1 = Ty.sizeOfExpr(Ty.param("T"));
+  Expr S2 = Ty.sizeOfExpr(Ty.param("T"));
+  EXPECT_TRUE(exprEquals(S1, S2));
+  EXPECT_EQ(S1->Kind, ExprKind::App);
+}
+
+//===----------------------------------------------------------------------===//
+// Layout strategies (Fig. 4)
+//===----------------------------------------------------------------------===//
+
+TEST(LayoutTest, StructOrderingsDiffer) {
+  // Fig. 4: struct S { x: u32, y: u64 } has different layouts under
+  // largest-first vs smallest-first.
+  TyCtx Ty;
+  TypeRef S = Ty.declareStruct("S", {FieldDef{"x", Ty.intTy(IntKind::U32)},
+                                     FieldDef{"y", Ty.intTy(IntKind::U64)}});
+  LayoutEngine Large(Ty, LayoutStrategy::LargestFirst);
+  LayoutEngine Small(Ty, LayoutStrategy::SmallestFirst);
+  LayoutEngine Decl(Ty, LayoutStrategy::DeclOrder);
+
+  // Largest-first: y at 0, x at 8, size 16 (tail padding to align 8).
+  EXPECT_EQ(Large.fieldOffset(S, 1), 0u);
+  EXPECT_EQ(Large.fieldOffset(S, 0), 8u);
+  EXPECT_EQ(Large.sizeOf(S), 16u);
+  // Smallest-first: x at 0, y at 8 (padding), size 16.
+  EXPECT_EQ(Small.fieldOffset(S, 0), 0u);
+  EXPECT_EQ(Small.fieldOffset(S, 1), 8u);
+  // Decl order coincides with smallest-first here.
+  EXPECT_EQ(Decl.fieldOffset(S, 0), 0u);
+  EXPECT_EQ(Decl.sizeOf(S), 16u);
+  EXPECT_EQ(Large.alignOf(S), 8u);
+}
+
+TEST(LayoutTest, NicheOptimisationForOptionPointer) {
+  TyCtx Ty;
+  TypeRef P = Ty.rawPtr(Ty.intTy(IntKind::U32));
+  TypeRef Opt = Ty.optionOf(P);
+  LayoutEngine WithNiche(Ty, LayoutStrategy::LargestFirst, true);
+  LayoutEngine NoNiche(Ty, LayoutStrategy::LargestFirst, false);
+  // Niche: same size as the pointer (§3, niche optimization).
+  EXPECT_EQ(WithNiche.sizeOf(Opt), 8u);
+  EXPECT_TRUE(WithNiche.of(Opt).IsNiche);
+  // Without: tag + padding + pointer.
+  EXPECT_EQ(NoNiche.sizeOf(Opt), 16u);
+  EXPECT_FALSE(NoNiche.of(Opt).IsNiche);
+}
+
+TEST(LayoutTest, EnumTaggedLayout) {
+  TyCtx Ty;
+  TypeRef E = Ty.declareEnum(
+      "E", {VariantDef{"A", {FieldDef{"0", Ty.intTy(IntKind::U16)}}},
+            VariantDef{"B", {FieldDef{"0", Ty.intTy(IntKind::U64)}}}});
+  LayoutEngine L(Ty, LayoutStrategy::DeclOrder);
+  const ConcreteLayout &CL = L.of(E);
+  EXPECT_EQ(CL.DiscrOffset, 0u);
+  EXPECT_EQ(CL.DiscrSize, 1u);
+  // Payloads are placed after the tag with proper alignment.
+  EXPECT_GE(CL.VariantFieldOffsets[0][0], 1u);
+  EXPECT_EQ(CL.VariantFieldOffsets[1][0] % 8, 0u);
+  EXPECT_EQ(CL.Size % CL.Align, 0u);
+}
+
+TEST(LayoutTest, ArraysAreContiguous) {
+  TyCtx Ty;
+  TypeRef A = Ty.array(Ty.intTy(IntKind::U32), 5);
+  LayoutEngine L(Ty, LayoutStrategy::LargestFirst);
+  EXPECT_EQ(L.sizeOf(A), 20u);
+  EXPECT_EQ(L.alignOf(A), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Programs and the builder
+//===----------------------------------------------------------------------===//
+
+TEST(BuilderTest, BuildsAWellFormedFunction) {
+  TyCtx Ty;
+  FunctionBuilder B("double", Ty);
+  LocalId X = B.addParam("x", Ty.intTy(IntKind::U32));
+  B.setReturnType(Ty.intTy(IntKind::U32));
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(0), Rvalue::binary(BinOp::Add, Operand::copy(Place(X)),
+                                    Operand::copy(Place(X))));
+  B.ret();
+  Function F = B.finish();
+  EXPECT_EQ(F.NumParams, 1u);
+  EXPECT_EQ(F.Blocks.size(), 1u);
+  EXPECT_EQ(F.returnType()->IntK, IntKind::U32);
+  EXPECT_EQ(placeType(F, Place(X)), Ty.intTy(IntKind::U32));
+}
+
+TEST(BuilderTest, PlaceTypeWalksProjections) {
+  TyCtx Ty;
+  TypeRef Inner = Ty.declareStruct("Inner", {FieldDef{"a", Ty.usize()}});
+  TypeRef Outer = Ty.declareStruct(
+      "Outer", {FieldDef{"p", Ty.rawPtr(Inner)}, FieldDef{"n", Ty.usize()}});
+  FunctionBuilder B("f", Ty);
+  LocalId O = B.addParam("o", Outer);
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.ret();
+  Function F = B.finish();
+  EXPECT_EQ(placeType(F, Place(O).field(0)), Ty.rawPtr(Inner));
+  EXPECT_EQ(placeType(F, Place(O).field(0).deref()), Inner);
+  EXPECT_EQ(placeType(F, Place(O).field(0).deref().field(0)), Ty.usize());
+}
+
+TEST(BuilderTest, OptionDowncastType) {
+  TyCtx Ty;
+  TypeRef Opt = Ty.optionOf(Ty.usize());
+  FunctionBuilder B("g", Ty);
+  LocalId O = B.addParam("o", Opt);
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.ret();
+  Function F = B.finish();
+  EXPECT_EQ(placeType(F, Place(O).downcast(1).field(0)), Ty.usize());
+}
+
+TEST(PrinterTest, RendersFunction) {
+  TyCtx Ty;
+  FunctionBuilder B("id", Ty);
+  LocalId X = B.addParam("x", Ty.usize());
+  B.setReturnType(Ty.usize());
+  BlockId Entry = B.newBlock();
+  B.atBlock(Entry);
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(X))));
+  B.ret();
+  Function F = B.finish();
+  std::string Text = functionToString(F);
+  EXPECT_NE(Text.find("fn id"), std::string::npos);
+  EXPECT_NE(Text.find("return"), std::string::npos);
+  EXPECT_NE(Text.find("bb0"), std::string::npos);
+}

@@ -1,0 +1,190 @@
+//===- tests/solver_property_test.cpp - Property sweeps for the solver ------===//
+//
+// Parameterized property-style tests: soundness of the SMT-lite engine is
+// checked against brute-force evaluation over small concrete domains, and
+// the simplifier's invariants (idempotence, model preservation) are swept
+// over a family of generated expressions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Simplify.h"
+#include "solver/Solver.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+#include "sym/Subst.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+
+namespace {
+
+/// A tiny deterministic PRNG (no std::random to keep runs reproducible).
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed * 2654435761u + 12345) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ull + 1442695040888963407ull;
+    return State >> 33;
+  }
+  int range(int Lo, int Hi) {
+    return Lo + static_cast<int>(next() % static_cast<uint64_t>(Hi - Lo + 1));
+  }
+};
+
+/// Generates a random boolean formula over integer variables x0..x2.
+Expr genFormula(Lcg &Rng, int Depth) {
+  if (Depth == 0) {
+    Expr A = mkVar("x" + std::to_string(Rng.range(0, 2)), Sort::Int);
+    Expr B = Rng.range(0, 1) == 0
+                 ? mkInt(Rng.range(-2, 2))
+                 : mkVar("x" + std::to_string(Rng.range(0, 2)), Sort::Int);
+    switch (Rng.range(0, 2)) {
+    case 0:
+      return mkEq(A, B);
+    case 1:
+      return mkLt(A, B);
+    default:
+      return mkLe(A, B);
+    }
+  }
+  switch (Rng.range(0, 3)) {
+  case 0:
+    return mkAnd(genFormula(Rng, Depth - 1), genFormula(Rng, Depth - 1));
+  case 1:
+    return mkOr(genFormula(Rng, Depth - 1), genFormula(Rng, Depth - 1));
+  case 2:
+    return mkNot(genFormula(Rng, Depth - 1));
+  default:
+    return mkImplies(genFormula(Rng, Depth - 1), genFormula(Rng, Depth - 1));
+  }
+}
+
+/// Brute-force satisfiability over x0, x1, x2 in [-3, 3].
+bool bruteForceSat(const Expr &F) {
+  for (int X0 = -3; X0 <= 3; ++X0)
+    for (int X1 = -3; X1 <= 3; ++X1)
+      for (int X2 = -3; X2 <= 3; ++X2) {
+        Subst S;
+        S.bind("x0", mkInt(X0));
+        S.bind("x1", mkInt(X1));
+        S.bind("x2", mkInt(X2));
+        Expr V = S.apply(F);
+        if (isTrueLit(V))
+          return true;
+      }
+  return false;
+}
+
+class SolverSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverSoundness, AgreesWithBruteForceOnSmallDomains) {
+  // Caveat: the solver decides over unbounded integers; a formula SAT over
+  // Z but not over [-3,3] would be a spurious mismatch. The generated
+  // atoms compare variables with each other and with constants in [-2,2],
+  // for which any satisfying assignment can be shifted into the window.
+  Lcg Rng(static_cast<uint64_t>(GetParam()));
+  Expr F = genFormula(Rng, 3);
+  bool Brute = bruteForceSat(F);
+  SatResult Sr = Solver().checkSat({F});
+  if (Sr == SatResult::Unknown)
+    GTEST_SKIP() << "solver gave up on " << exprToString(F);
+  // Unsat from the solver must mean brute force finds nothing.
+  if (Sr == SatResult::Unsat)
+    EXPECT_FALSE(Brute) << exprToString(F);
+  // Brute-force SAT must never be reported Unsat.
+  if (Brute)
+    EXPECT_EQ(Sr, SatResult::Sat) << exprToString(F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSoundness,
+                         ::testing::Range(1, 120));
+
+class SimplifierProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifierProps, SimplifyIsIdempotentAndModelPreserving) {
+  Lcg Rng(static_cast<uint64_t>(GetParam()) * 977);
+  Expr F = genFormula(Rng, 3);
+  Expr S1 = simplify(F);
+  Expr S2 = simplify(S1);
+  EXPECT_TRUE(exprEquals(S1, S2)) << exprToString(F);
+  // Model preservation on a concrete assignment sweep.
+  for (int X0 = -2; X0 <= 2; ++X0)
+    for (int X1 = -2; X1 <= 2; ++X1) {
+      Subst Sub;
+      Sub.bind("x0", mkInt(X0));
+      Sub.bind("x1", mkInt(X1));
+      Sub.bind("x2", mkInt(1));
+      Expr VF = Sub.apply(F);
+      Expr VS = Sub.apply(S1);
+      ASSERT_TRUE(VF->Kind == ExprKind::BoolLit &&
+                  VS->Kind == ExprKind::BoolLit)
+          << exprToString(F);
+      EXPECT_EQ(VF->BoolVal, VS->BoolVal) << exprToString(F);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifierProps, ::testing::Range(1, 60));
+
+class NegateProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(NegateProps, NegationIsComplementOnAssignments) {
+  Lcg Rng(static_cast<uint64_t>(GetParam()) * 31337);
+  Expr F = genFormula(Rng, 2);
+  Expr NF = negate(F);
+  for (int X0 = -2; X0 <= 2; ++X0) {
+    Subst Sub;
+    Sub.bind("x0", mkInt(X0));
+    Sub.bind("x1", mkInt(-X0));
+    Sub.bind("x2", mkInt(0));
+    Expr VF = Sub.apply(F);
+    Expr VN = Sub.apply(NF);
+    ASSERT_EQ(VF->Kind, ExprKind::BoolLit);
+    ASSERT_EQ(VN->Kind, ExprKind::BoolLit);
+    EXPECT_NE(VF->BoolVal, VN->BoolVal) << exprToString(F);
+  }
+  // And the solver agrees F /\ not F is unsatisfiable.
+  EXPECT_EQ(Solver().checkSat({F, NF}), SatResult::Unsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NegateProps, ::testing::Range(1, 60));
+
+/// Sequence property: for any split point, sub(s,0,i) ++ sub(s,i,|s|-i) = s.
+class SeqSplitProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeqSplitProps, ConcreteSplitsReassemble) {
+  int N = GetParam();
+  std::vector<Expr> Elems;
+  for (int I = 0; I != N; ++I)
+    Elems.push_back(mkInt(I * 7));
+  Expr S = mkSeqLit(Elems);
+  for (int I = 0; I <= N; ++I) {
+    Expr L = mkSeqSub(S, mkInt(0), mkInt(I));
+    Expr R = mkSeqSub(S, mkInt(I), mkInt(N - I));
+    EXPECT_TRUE(isTrueLit(mkEq(mkSeqConcat(L, R), S)))
+        << "N=" << N << " I=" << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SeqSplitProps, ::testing::Range(0, 8));
+
+/// Rational arithmetic sweep: field laws on a small grid.
+class RationalProps
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RationalProps, FieldLaws) {
+  auto [NA, NB] = GetParam();
+  Rational A(NA, 3), B(NB, 4);
+  EXPECT_EQ((A + B).str(), (B + A).str());
+  EXPECT_EQ((A * B).str(), (B * A).str());
+  EXPECT_EQ((A - A).str(), "0");
+  EXPECT_EQ(((A + B) - B).str(), A.str());
+  Rational Zero(0, 1);
+  EXPECT_EQ((A + Zero).str(), A.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RationalProps,
+                         ::testing::Combine(::testing::Range(-3, 4),
+                                            ::testing::Range(-3, 4)));
+
+} // namespace

@@ -1,0 +1,281 @@
+//===- tests/solver_test.cpp - SMT-lite solver tests ------------------------===//
+
+#include "solver/PathCondition.h"
+#include "solver/Simplify.h"
+#include "solver/Solver.h"
+#include "sym/ExprBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+
+namespace {
+
+class SolverTest : public ::testing::Test {
+protected:
+  Solver S;
+  Expr X = mkVar("x", Sort::Int);
+  Expr Y = mkVar("y", Sort::Int);
+  Expr Z = mkVar("z", Sort::Int);
+  Expr O = mkVar("o", Sort::Opt);
+  Expr Sq = mkVar("s", Sort::Seq);
+};
+
+TEST_F(SolverTest, TrivialSat) {
+  EXPECT_EQ(S.checkSat({mkTrue()}), SatResult::Sat);
+  EXPECT_EQ(S.checkSat({mkFalse()}), SatResult::Unsat);
+  EXPECT_EQ(S.checkSat({}), SatResult::Sat);
+}
+
+TEST_F(SolverTest, EqualityChainsAndConflicts) {
+  EXPECT_EQ(S.checkSat({mkEq(X, Y), mkEq(Y, Z), mkNe(X, Z)}),
+            SatResult::Unsat);
+  EXPECT_EQ(S.checkSat({mkEq(X, Y), mkNe(Y, Z)}), SatResult::Sat);
+  EXPECT_EQ(S.checkSat({mkEq(X, mkInt(1)), mkEq(X, mkInt(2))}),
+            SatResult::Unsat);
+}
+
+TEST_F(SolverTest, CongruenceOverFunctions) {
+  Expr FX = mkApp("f", {X});
+  Expr FY = mkApp("f", {Y});
+  EXPECT_EQ(S.checkSat({mkEq(X, Y), mkNe(FX, FY)}), SatResult::Unsat);
+  EXPECT_EQ(S.checkSat({mkNe(X, Y), mkEq(FX, FY)}), SatResult::Sat);
+}
+
+TEST_F(SolverTest, LinearArithmetic) {
+  EXPECT_EQ(S.checkSat({mkLt(X, Y), mkLt(Y, X)}), SatResult::Unsat);
+  EXPECT_EQ(S.checkSat({mkLe(X, Y), mkLe(Y, X), mkNe(X, Y)}),
+            SatResult::Unsat);
+  EXPECT_EQ(S.checkSat({mkLt(X, Y), mkLt(Y, Z), mkLt(Z, X)}),
+            SatResult::Unsat);
+  EXPECT_EQ(S.checkSat({mkLe(mkInt(0), X), mkLe(X, mkInt(10))}),
+            SatResult::Sat);
+}
+
+TEST_F(SolverTest, IntegerTightening) {
+  // x < y < x + 2 forces y = x + 1 over the integers.
+  std::vector<Expr> Ctx = {mkLt(X, Y), mkLt(Y, mkAdd(X, mkInt(2)))};
+  EXPECT_TRUE(S.entails(Ctx, mkEq(Y, mkAdd(X, mkInt(1)))));
+  // 0 < x and x < 1 is integer-infeasible.
+  EXPECT_EQ(S.checkSat({mkLt(mkInt(0), X), mkLt(X, mkInt(1))}),
+            SatResult::Unsat);
+}
+
+TEST_F(SolverTest, EntailmentBasics) {
+  EXPECT_TRUE(S.entails({mkEq(X, mkInt(3))}, mkLt(X, mkInt(4))));
+  EXPECT_FALSE(S.entails({mkLe(X, mkInt(4))}, mkLt(X, mkInt(4))));
+  EXPECT_TRUE(S.entails({mkEq(X, Y)}, mkEq(mkAdd(X, mkInt(1)),
+                                           mkAdd(Y, mkInt(1)))));
+}
+
+TEST_F(SolverTest, OptionReasoning) {
+  // IsSome(o) and o = None conflict.
+  EXPECT_EQ(S.checkSat({mkIsSome(O), mkEq(O, mkNone())}), SatResult::Unsat);
+  // IsSome(o) and o = Some(x) gives Unwrap(o) = x.
+  EXPECT_TRUE(S.entails({mkEq(O, mkSome(X))}, mkEq(mkUnwrap(O), X)));
+  EXPECT_TRUE(S.entails({mkEq(O, mkSome(X))}, mkIsSome(O)));
+  // Not IsSome forces None.
+  EXPECT_TRUE(S.entails({mkNot(mkIsSome(O))}, mkEq(O, mkNone())));
+}
+
+TEST_F(SolverTest, DisjunctionSplitting) {
+  Expr C = mkOr(mkEq(X, mkInt(1)), mkEq(X, mkInt(2)));
+  EXPECT_EQ(S.checkSat({C, mkEq(X, mkInt(3))}), SatResult::Unsat);
+  EXPECT_EQ(S.checkSat({C, mkEq(X, mkInt(2))}), SatResult::Sat);
+  EXPECT_TRUE(S.entails({C}, mkLe(X, mkInt(2))));
+}
+
+TEST_F(SolverTest, IteInTermPosition) {
+  Expr B = mkVar("b", Sort::Bool);
+  Expr E = mkIte(B, mkInt(1), mkInt(2));
+  EXPECT_TRUE(S.entails({}, mkLe(E, mkInt(2))));
+  EXPECT_TRUE(S.entails({B}, mkEq(E, mkInt(1))));
+  EXPECT_TRUE(S.entails({mkNot(B)}, mkEq(E, mkInt(2))));
+}
+
+TEST_F(SolverTest, SequenceLengths) {
+  // Lengths are non-negative.
+  EXPECT_TRUE(S.entails({}, mkLe(mkInt(0), mkSeqLen(Sq))));
+  // cons increases the length by one.
+  Expr Cons = mkSeqCons(X, Sq);
+  EXPECT_TRUE(
+      S.entails({}, mkEq(mkSeqLen(Cons), mkAdd(mkSeqLen(Sq), mkInt(1)))));
+  // A cons is never the empty sequence.
+  EXPECT_EQ(S.checkSat({mkEq(Cons, mkSeqNil())}), SatResult::Unsat);
+}
+
+TEST_F(SolverTest, SequenceInjectivity) {
+  Expr S2 = mkVar("s2", Sort::Seq);
+  // cons(x, s) = cons(y, s2) implies x = y and s = s2.
+  std::vector<Expr> Ctx = {mkEq(mkSeqCons(X, Sq), mkSeqCons(Y, S2))};
+  EXPECT_TRUE(S.entails(Ctx, mkEq(X, Y)));
+  EXPECT_TRUE(S.entails(Ctx, mkEq(Sq, S2)));
+}
+
+TEST_F(SolverTest, SequenceSubReassembly) {
+  // sub(s,0,i) ++ sub(s,i,len-i) = s, given 0 <= i <= len(s).
+  Expr I = mkVar("i", Sort::Int);
+  Expr Left = mkSeqSub(Sq, mkInt(0), I);
+  Expr Right = mkSeqSub(Sq, I, mkSub(mkSeqLen(Sq), I));
+  std::vector<Expr> Ctx = {mkLe(mkInt(0), I), mkLe(I, mkSeqLen(Sq))};
+  EXPECT_TRUE(S.entails(Ctx, mkEq(mkSeqConcat(Left, Right), Sq)));
+}
+
+TEST_F(SolverTest, LifetimeInclusion) {
+  Expr K1 = mkLftVar("'a");
+  Expr K2 = mkLftVar("'b");
+  Expr K3 = mkLftVar("'c");
+  EXPECT_TRUE(S.entails({}, mkLftIncl(K1, K1))); // Reflexive.
+  EXPECT_TRUE(S.entails({mkLftIncl(K1, K2), mkLftIncl(K2, K3)},
+                        mkLftIncl(K1, K3))); // Transitive.
+  EXPECT_FALSE(S.entails({mkLftIncl(K1, K2)}, mkLftIncl(K2, K1)));
+}
+
+TEST_F(SolverTest, RealFractions) {
+  Expr Q = mkVar("q", Sort::Real);
+  Expr Half = mkReal(Rational(1, 2));
+  std::vector<Expr> Ctx = {mkLt(mkReal(Rational(0, 1)), Q),
+                           mkLe(Q, Half)};
+  EXPECT_TRUE(S.entails(Ctx, mkLe(mkAdd(Q, Q), mkReal(Rational(1, 1)))));
+  EXPECT_EQ(S.checkSat({mkLt(Q, mkReal(Rational(0, 1))),
+                        mkLt(mkReal(Rational(0, 1)), Q)}),
+            SatResult::Unsat);
+}
+
+TEST_F(SolverTest, TupleProjection) {
+  Expr T = mkVar("t", Sort::Tuple);
+  std::vector<Expr> Ctx = {mkEq(T, mkTuple({X, Y}))};
+  EXPECT_TRUE(S.entails(Ctx, mkEq(mkTupleGet(T, 0), X)));
+  EXPECT_TRUE(S.entails(Ctx, mkEq(mkTupleGet(T, 1), Y)));
+}
+
+TEST_F(SolverTest, BoolAtomPolarity) {
+  Expr B = mkVar("b", Sort::Bool);
+  EXPECT_EQ(S.checkSat({B, mkNot(B)}), SatResult::Unsat);
+  EXPECT_TRUE(S.entails({B}, B));
+  EXPECT_TRUE(S.entails({mkEq(B, mkTrue())}, B));
+  EXPECT_TRUE(S.entails({mkEq(B, mkFalse())}, mkNot(B)));
+}
+
+TEST_F(SolverTest, MixedTheoryPropagation) {
+  // o = Some(x), x = len(s), s = [] entails Unwrap(o) = 0.
+  std::vector<Expr> Ctx = {mkEq(O, mkSome(X)), mkEq(X, mkSeqLen(Sq)),
+                           mkEq(Sq, mkSeqNil())};
+  EXPECT_TRUE(S.entails(Ctx, mkEq(mkUnwrap(O), mkInt(0))));
+}
+
+TEST(PathConditionTest, AddAndEntail) {
+  Solver S;
+  PathCondition PC;
+  Expr X = mkVar("x", Sort::Int);
+  EXPECT_TRUE(PC.add(mkLt(X, mkInt(5))));
+  EXPECT_TRUE(PC.add(mkLe(mkInt(3), X)));
+  EXPECT_TRUE(PC.entails(S, mkOr(mkEq(X, mkInt(3)), mkEq(X, mkInt(4)))));
+  EXPECT_FALSE(PC.isUnsat(S));
+  EXPECT_FALSE(PC.add(mkFalse()));
+  EXPECT_TRUE(PC.isTriviallyFalse());
+}
+
+TEST(PathConditionTest, FlattensConjunctionsAndDedupes) {
+  PathCondition PC;
+  Expr X = mkVar("x", Sort::Int);
+  PC.add(mkAnd(mkLt(X, mkInt(5)), mkLe(mkInt(0), X)));
+  EXPECT_EQ(PC.size(), 2u);
+  PC.add(mkLt(X, mkInt(5)));
+  EXPECT_EQ(PC.size(), 2u);
+}
+
+TEST(SimplifyTest, NegatePushesIntoComparisons) {
+  Expr X = mkVar("x", Sort::Int);
+  Expr Y = mkVar("y", Sort::Int);
+  EXPECT_TRUE(exprEquals(negate(mkLt(X, Y)), mkLe(Y, X)));
+  EXPECT_TRUE(exprEquals(negate(mkLe(X, Y)), mkLt(Y, X)));
+  Expr A = mkVar("a", Sort::Bool);
+  Expr B = mkVar("b", Sort::Bool);
+  EXPECT_TRUE(exprEquals(negate(mkAnd(A, B)), mkOr(mkNot(A), mkNot(B))));
+}
+
+TEST(SimplifyTest, ReduceWithFactsResolvesChains) {
+  Expr V = mkVar("v", Sort::Tuple);
+  Expr H = mkVar("h", Sort::Opt);
+  Expr L = mkLoc(7);
+  // Facts: v = (Some(p), 1); p = loc-encoded pointer.
+  Expr P = mkVar("p", Sort::Tuple);
+  std::vector<Expr> Facts = {mkEq(V, mkTuple({mkSome(P), mkInt(1)})),
+                             mkEq(P, mkTuple({L, mkSeqNil()})), mkEq(H, V)};
+  Expr Chain = mkUnwrap(mkTupleGet(V, 0));
+  Expr Reduced = reduceWithFacts(Chain, Facts);
+  EXPECT_TRUE(exprEquals(Reduced, mkTuple({L, mkSeqNil()})));
+}
+
+TEST(SolverStatsTest, CountersAdvance) {
+  Solver S;
+  Expr X = mkVar("x", Sort::Int);
+  S.entails({mkEq(X, mkInt(1))}, mkLt(X, mkInt(2)));
+  EXPECT_GE(S.stats().EntailQueries, 1u);
+  EXPECT_GE(S.stats().SatQueries, 1u);
+  EXPECT_GE(S.stats().TheoryChecks, 1u);
+}
+
+} // namespace
+
+namespace {
+
+TEST(SolverBudgetTest, ExhaustionIsSoundlyUnknown) {
+  // With a tiny branch budget the solver gives up — which must surface as
+  // "cannot prove" (entails false), never as a spurious proof.
+  Solver S;
+  S.MaxBranches = 1;
+  std::vector<Expr> Ctx;
+  Expr X = mkVar("x", Sort::Int);
+  std::vector<Expr> Arms;
+  for (int I = 0; I != 8; ++I)
+    Arms.push_back(mkEq(X, mkInt(I)));
+  Ctx.push_back(mkOr(Arms));
+  EXPECT_FALSE(S.entails(Ctx, mkLe(X, mkInt(7))));
+  // And checkSat reports Unknown rather than Unsat.
+  Ctx.push_back(mkEq(X, mkInt(99)));
+  EXPECT_NE(S.checkSat(Ctx), SatResult::Unsat);
+}
+
+TEST(SolverRegressionTest, DiscriminantIteFacts) {
+  // Regression for the executor's discriminant encoding: facts of the form
+  // 0 = ite(is-some(o), 1, 0) must decide the option.
+  Solver S;
+  Expr O = mkTupleGet(mkVar("v", Sort::Tuple), 0);
+  Expr D = mkIte(mkIsSome(O), mkInt(1), mkInt(0));
+  EXPECT_TRUE(S.entails({mkEq(mkInt(0), D)}, mkEq(O, mkNone())));
+  EXPECT_TRUE(S.entails({mkNot(mkEq(mkInt(0), D))}, mkIsSome(O)));
+}
+
+TEST(SolverRegressionTest, NegatedBooleanEqualitySplits) {
+  // Regression for the is_empty contract: not (p <-> q) must split into
+  // (p && !q) || (!p && q) so each side reaches the theories.
+  Solver S;
+  Expr X = mkVar("x", Sort::Int);
+  Expr P = mkVar("p", Sort::Bool);
+  Expr Iff = mkEq(P, mkEq(X, mkInt(0)));
+  // not(p <-> x=0), p  |-  x != 0.
+  EXPECT_TRUE(S.entails({mkNot(Iff), P}, mkNot(mkEq(X, mkInt(0)))));
+  // not(p <-> x=0), x=0  |-  !p.
+  EXPECT_TRUE(S.entails({mkNot(Iff), mkEq(X, mkInt(0))}, mkNot(P)));
+  // And the unnegated iff transports truth both ways.
+  EXPECT_TRUE(S.entails({Iff, mkEq(X, mkInt(0))}, P));
+  EXPECT_FALSE(S.entails({mkNot(Iff)}, P)); // Not decided by itself.
+}
+
+TEST(SolverRegressionTest, ConcatAssociativityThroughClasses) {
+  // Regression for the E2 postconditions: concat(a, b) must meet
+  // concat(a, c, d) when b ~ concat(c, d) holds only via the equalities.
+  Solver S;
+  Expr A = mkVar("a", Sort::Any);
+  Expr B = mkVar("b", Sort::Seq);
+  Expr C = mkVar("c", Sort::Any);
+  Expr D = mkVar("d", Sort::Seq);
+  std::vector<Expr> Ctx = {mkEq(B, mkSeqCons(C, D))};
+  EXPECT_TRUE(
+      S.entails(Ctx, mkEq(mkSeqCons(A, B),
+                          mkSeqConcat({mkSeqUnit(A), mkSeqUnit(C), D}))));
+}
+
+} // namespace

@@ -1,0 +1,234 @@
+//===- tests/sym_expr_test.cpp - Expression DAG unit tests -----------------===//
+
+#include "sym/Expr.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Printer.h"
+#include "sym/Subst.h"
+#include "sym/VarGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace gilr;
+
+TEST(Rational, NormalisesSign) {
+  Rational R(2, -4);
+  EXPECT_EQ(R.Num, -1);
+  EXPECT_EQ(R.Den, 2);
+  EXPECT_TRUE(R.isNegative());
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ((Half + Third).str(), "5/6");
+  EXPECT_EQ((Half - Third).str(), "1/6");
+  EXPECT_EQ((Half * Third).str(), "1/6");
+  EXPECT_TRUE(Third < Half);
+}
+
+TEST(Rational, HoldsUsizeMax) {
+  __int128 Max = (static_cast<__int128>(1) << 64) - 1;
+  Rational R(Max, 1);
+  EXPECT_EQ(R.str(), "18446744073709551615");
+}
+
+TEST(ExprBuilder, ConstantFoldingArithmetic) {
+  Expr E = mkAdd(mkInt(2), mkInt(3));
+  ASSERT_EQ(E->Kind, ExprKind::IntLit);
+  EXPECT_EQ(E->IntVal, 5);
+  EXPECT_EQ(mkMul(mkInt(4), mkInt(6))->IntVal, 24);
+  EXPECT_EQ(mkSub(mkInt(4), mkInt(6))->IntVal, -2);
+  EXPECT_EQ(mkNeg(mkInt(9))->IntVal, -9);
+}
+
+TEST(ExprBuilder, AddFlattensAndCollectsConstants) {
+  Expr X = mkVar("x", Sort::Int);
+  Expr E = mkAdd({mkInt(1), mkAdd(X, mkInt(2)), mkInt(3)});
+  // x + 6.
+  ASSERT_EQ(E->Kind, ExprKind::Add);
+  EXPECT_EQ(exprToString(E), "(+ x 6)");
+}
+
+TEST(ExprBuilder, AddCancelsNegatedTerms) {
+  Expr X = mkVar("x", Sort::Int);
+  Expr Y = mkVar("y", Sort::Int);
+  // (x + y) - (x) - (y) == 0.
+  Expr E = mkSub(mkSub(mkAdd(X, Y), X), Y);
+  ASSERT_EQ(E->Kind, ExprKind::IntLit);
+  EXPECT_EQ(E->IntVal, 0);
+}
+
+TEST(ExprBuilder, SubOfIdenticalIsZero) {
+  Expr X = mkVar("x", Sort::Int);
+  Expr E = mkSub(mkAdd(X, mkInt(1)), mkAdd(X, mkInt(1)));
+  ASSERT_EQ(E->Kind, ExprKind::IntLit);
+  EXPECT_EQ(E->IntVal, 0);
+}
+
+TEST(ExprBuilder, BooleanIdentities) {
+  Expr X = mkVar("b", Sort::Bool);
+  EXPECT_TRUE(isTrueLit(mkAnd(mkTrue(), mkTrue())));
+  EXPECT_TRUE(isFalseLit(mkAnd(X, mkFalse())));
+  EXPECT_TRUE(isTrueLit(mkOr(X, mkTrue())));
+  EXPECT_TRUE(exprEquals(mkAnd(X, mkTrue()), X));
+  EXPECT_TRUE(exprEquals(mkNot(mkNot(X)), X));
+  EXPECT_TRUE(isTrueLit(mkImplies(mkFalse(), X)));
+}
+
+TEST(ExprBuilder, AndDeduplicates) {
+  Expr X = mkVar("b", Sort::Bool);
+  Expr E = mkAnd(X, X);
+  EXPECT_TRUE(exprEquals(E, X));
+}
+
+TEST(ExprBuilder, EqConstructorClash) {
+  EXPECT_TRUE(isFalseLit(mkEq(mkNone(), mkSome(mkInt(1)))));
+  EXPECT_TRUE(isFalseLit(mkEq(mkInt(1), mkInt(2))));
+  EXPECT_TRUE(isTrueLit(mkEq(mkInt(3), mkInt(3))));
+  EXPECT_TRUE(isFalseLit(mkEq(mkSeqNil(), mkSeqUnit(mkInt(1)))));
+  EXPECT_TRUE(isFalseLit(mkEq(mkLoc(1), mkLoc(2))));
+  EXPECT_TRUE(isTrueLit(mkEq(mkUnit(), mkUnit())));
+}
+
+TEST(ExprBuilder, EqDecomposesConstructors) {
+  Expr X = mkVar("x", Sort::Int);
+  // Some(x) = Some(3)  -->  x = 3.
+  Expr E = mkEq(mkSome(X), mkSome(mkInt(3)));
+  ASSERT_EQ(E->Kind, ExprKind::Eq);
+  // Tuples decompose to conjunctions.
+  Expr T = mkEq(mkTuple({X, mkInt(1)}), mkTuple({mkInt(2), mkInt(1)}));
+  EXPECT_TRUE(exprEquals(T, mkEq(X, mkInt(2))));
+  // Arity mismatch is false.
+  EXPECT_TRUE(isFalseLit(mkEq(mkTuple({X}), mkTuple({X, X}))));
+}
+
+TEST(ExprBuilder, OptionFolding) {
+  Expr X = mkVar("x", Sort::Int);
+  EXPECT_TRUE(isTrueLit(mkIsSome(mkSome(X))));
+  EXPECT_TRUE(isFalseLit(mkIsSome(mkNone())));
+  EXPECT_TRUE(exprEquals(mkUnwrap(mkSome(X)), X));
+  EXPECT_TRUE(isTrueLit(mkIsNone(mkNone())));
+}
+
+TEST(ExprBuilder, SequenceFolding) {
+  Expr X = mkVar("x", Sort::Int);
+  Expr S = mkSeqLit({mkInt(1), mkInt(2), X});
+  EXPECT_EQ(mkSeqLen(S)->IntVal, 3);
+  EXPECT_EQ(mkSeqNth(S, mkInt(0))->IntVal, 1);
+  EXPECT_EQ(mkSeqNth(S, mkInt(1))->IntVal, 2);
+  EXPECT_TRUE(exprEquals(mkSeqNth(S, mkInt(2)), X));
+  // Concat flattens and drops nil.
+  Expr C = mkSeqConcat({mkSeqNil(), S, mkSeqNil()});
+  EXPECT_TRUE(exprEquals(C, S));
+}
+
+TEST(ExprBuilder, SeqSubFolding) {
+  Expr S = mkSeqLit({mkInt(1), mkInt(2), mkInt(3)});
+  Expr Sub = mkSeqSub(S, mkInt(1), mkInt(2));
+  __int128 Len;
+  ASSERT_TRUE(getStaticSeqLen(Sub, Len));
+  EXPECT_EQ(Len, 2);
+  EXPECT_EQ(mkSeqNth(Sub, mkInt(0))->IntVal, 2);
+  // Empty slice is nil.
+  EXPECT_EQ(mkSeqSub(S, mkInt(1), mkInt(0))->Kind, ExprKind::SeqNil);
+  // Whole-sequence slice is the sequence.
+  EXPECT_TRUE(exprEquals(mkSeqSub(S, mkInt(0), mkInt(3)), S));
+}
+
+TEST(ExprBuilder, NestedSeqSubComposition) {
+  Expr S = mkVar("s", Sort::Seq);
+  Expr Inner = mkSeqSub(S, mkVar("a", Sort::Int), mkVar("b", Sort::Int));
+  Expr Outer = mkSeqSub(Inner, mkInt(1), mkInt(1));
+  // sub(sub(s,a,b),1,1) = sub(s, a+1, 1).
+  ASSERT_EQ(Outer->Kind, ExprKind::SeqSub);
+  EXPECT_TRUE(exprEquals(Outer->Kids[0], S));
+}
+
+TEST(ExprBuilder, TupleFolding) {
+  Expr X = mkVar("x", Sort::Int);
+  Expr T = mkTuple({X, mkInt(2)});
+  EXPECT_TRUE(exprEquals(mkTupleGet(T, 0), X));
+  EXPECT_EQ(mkTupleGet(T, 1)->IntVal, 2);
+}
+
+TEST(ExprBuilder, IteFolding) {
+  Expr X = mkVar("x", Sort::Int);
+  Expr Y = mkVar("y", Sort::Int);
+  EXPECT_TRUE(exprEquals(mkIte(mkTrue(), X, Y), X));
+  EXPECT_TRUE(exprEquals(mkIte(mkFalse(), X, Y), Y));
+  EXPECT_TRUE(exprEquals(mkIte(mkVar("c", Sort::Bool), X, X), X));
+}
+
+TEST(ExprBuilder, ComparisonFolding) {
+  EXPECT_TRUE(isTrueLit(mkLt(mkInt(1), mkInt(2))));
+  EXPECT_TRUE(isFalseLit(mkLt(mkInt(2), mkInt(2))));
+  EXPECT_TRUE(isTrueLit(mkLe(mkVar("x", Sort::Int), mkVar("x", Sort::Int))));
+  EXPECT_TRUE(isFalseLit(mkLt(mkVar("x", Sort::Int), mkVar("x", Sort::Int))));
+}
+
+TEST(Expr, StructuralEqualityAndHash) {
+  Expr A = mkAdd(mkVar("x", Sort::Int), mkInt(1));
+  Expr B = mkAdd(mkVar("x", Sort::Int), mkInt(1));
+  EXPECT_TRUE(exprEquals(A, B));
+  EXPECT_EQ(A->hash(), B->hash());
+  Expr C = mkAdd(mkVar("y", Sort::Int), mkInt(1));
+  EXPECT_FALSE(exprEquals(A, C));
+}
+
+TEST(Expr, CollectVarsAndContains) {
+  Expr E = mkAdd(mkVar("x", Sort::Int),
+                 mkMul(mkInt(2), mkVar("y", Sort::Int)));
+  std::set<std::string> Vars;
+  collectVars(E, Vars);
+  EXPECT_EQ(Vars, (std::set<std::string>{"x", "y"}));
+  EXPECT_TRUE(containsVar(E, "x"));
+  EXPECT_FALSE(containsVar(E, "z"));
+}
+
+TEST(Expr, ProphecyVarDetection) {
+  VarGen VG;
+  Expr P = VG.freshProphecy("fut");
+  Expr X = VG.fresh("x", Sort::Int);
+  EXPECT_TRUE(isProphecyVarName(P->Name));
+  EXPECT_FALSE(isProphecyVarName(X->Name));
+  EXPECT_TRUE(mentionsProphecy(mkAdd(X, P)));
+  EXPECT_FALSE(mentionsProphecy(mkAdd(X, mkInt(1))));
+}
+
+TEST(Subst, AppliesAndResimplifies) {
+  Subst S;
+  S.bind("x", mkInt(2));
+  Expr E = mkAdd(mkVar("x", Sort::Int), mkInt(3));
+  Expr R = S.apply(E);
+  ASSERT_EQ(R->Kind, ExprKind::IntLit);
+  EXPECT_EQ(R->IntVal, 5);
+  // Substitution into an equality can decide it.
+  Expr Eq = mkEq(mkVar("x", Sort::Int), mkInt(2));
+  EXPECT_TRUE(isTrueLit(S.apply(Eq)));
+}
+
+TEST(Subst, UnboundVariablesStay) {
+  Subst S;
+  S.bind("x", mkInt(1));
+  Expr E = mkAdd(mkVar("y", Sort::Int), mkVar("x", Sort::Int));
+  Expr R = S.apply(E);
+  EXPECT_TRUE(containsVar(R, "y"));
+  EXPECT_FALSE(containsVar(R, "x"));
+}
+
+TEST(VarGen, FreshNamesAreUnique) {
+  VarGen VG;
+  Expr A = VG.fresh("v", Sort::Int);
+  Expr B = VG.fresh("v", Sort::Int);
+  EXPECT_NE(A->Name, B->Name);
+  Expr L1 = VG.freshLoc();
+  Expr L2 = VG.freshLoc();
+  EXPECT_NE(L1->LocId, L2->LocId);
+}
+
+TEST(Printer, RendersReadably) {
+  Expr E = mkEq(mkSome(mkVar("x", Sort::Int)), mkNone());
+  // Constructor clash folds to false before printing.
+  EXPECT_EQ(exprToString(E), "false");
+  EXPECT_EQ(exprToString(mkSeqLit({mkInt(1)})), "[1]");
+  EXPECT_EQ(exprToString(mkTuple({mkInt(1), mkInt(2)})), "(1, 2)");
+}
