@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
@@ -101,6 +102,7 @@ static void BM_ObsExtractionOnOff(benchmark::State &State) {
 BENCHMARK(BM_ObsExtractionOnOff)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  gilr::trace::configureFromEnv();
   printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

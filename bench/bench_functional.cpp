@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
@@ -87,6 +88,7 @@ static void BM_PearliteEncoding(benchmark::State &State) {
 BENCHMARK(BM_PearliteEncoding);
 
 int main(int argc, char **argv) {
+  gilr::trace::configureFromEnv();
   printTable();
   for (const std::string &Name : functionalFunctions())
     benchmark::RegisterBenchmark(("BM_Functional/" + Name).c_str(),

@@ -8,6 +8,7 @@
 
 #include "rustlib/Clients.h"
 #include "rustlib/LinkedList.h"
+#include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -66,6 +67,7 @@ static void BM_UnsafeSide_PopFrontNode(benchmark::State &State) {
 BENCHMARK(BM_UnsafeSide_PopFrontNode)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  trace::configureFromEnv();
   printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::heap;
@@ -105,6 +106,7 @@ static void BM_LayoutComputation(benchmark::State &State) {
 BENCHMARK(BM_LayoutComputation);
 
 int main(int argc, char **argv) {
+  gilr::trace::configureFromEnv();
   printFig4Table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

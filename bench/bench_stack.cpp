@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
@@ -71,6 +72,7 @@ static void BM_Stack_FunctionalPop(benchmark::State &State) {
 BENCHMARK(BM_Stack_FunctionalPop)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  gilr::trace::configureFromEnv();
   printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
@@ -78,6 +79,7 @@ static void BM_BuildLibrary(benchmark::State &State) {
 BENCHMARK(BM_BuildLibrary)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
+  gilr::trace::configureFromEnv();
   printTable();
   for (const std::string &Name : typeSafetyFunctions())
     benchmark::RegisterBenchmark(("BM_TypeSafety/" + Name).c_str(),

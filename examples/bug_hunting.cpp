@@ -10,11 +10,13 @@
 #include "rustlib/LinkedList.h"
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
 
 int main() {
+  gilr::trace::configureFromEnv();
   auto Lib = buildLinkedListLib(SpecMode::TypeSafety);
   std::vector<std::string> Buggy = registerBuggyVariants(*Lib);
 

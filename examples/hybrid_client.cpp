@@ -11,11 +11,13 @@
 #include "rustlib/LinkedList.h"
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
 
 int main() {
+  gilr::trace::configureFromEnv();
   auto Lib = buildLinkedListLib(SpecMode::Functional);
   engine::VerifEnv Env = Lib->env();
   hybrid::HybridDriver Driver(Env, Lib->Contracts);

@@ -12,12 +12,14 @@
 #include "sym/ExprBuilder.h"
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rmir;
 using namespace gilr::heap;
 
 int main() {
+  gilr::trace::configureFromEnv();
   TyCtx Ty;
   // Fig. 4's struct S { x: u32, y: u64 }.
   TypeRef S = Ty.declareStruct("S", {FieldDef{"x", Ty.intTy(IntKind::U32)},

@@ -10,11 +10,13 @@
 #include "rustlib/LinkedList.h"
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
 
 int main() {
+  gilr::trace::configureFromEnv();
   std::printf("Building the LinkedList module (types, dllSeg, Ownable "
               "impls, lemmas)...\n");
   auto Lib = buildLinkedListLib(SpecMode::TypeSafety);

@@ -18,6 +18,9 @@ using namespace gilr::rmir;
 using namespace gilr::gilsonite;
 
 int main() {
+  // Honour GILR_TRACE=text|json (see docs/TELEMETRY.md); off by default.
+  trace::configureFromEnv();
+
   // 1. A program with one function:
   //      fn swap(a: *mut u32, b: *mut u32) {
   //        let ta = *a; let tb = *b; *a = tb; *b = ta;

@@ -10,11 +10,13 @@
 #include "rustlib/Vec.h"
 
 #include <cstdio>
+#include "support/Trace.h"
 
 using namespace gilr;
 using namespace gilr::rustlib;
 
 int main() {
+  gilr::trace::configureFromEnv();
   auto Lib = buildVecLib();
 
   std::printf("== The Fig. 5 write, as RMIR ==\n%s\n",

@@ -2,6 +2,7 @@
 
 #include "creusot/SafeVerifier.h"
 
+#include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
 
@@ -15,6 +16,8 @@ using namespace gilr::creusot;
 SafeReport SafeVerifier::verify(const SafeFn &F) {
   SafeReport Report;
   Report.Func = F.Name;
+  GILR_TRACE_SCOPE_D("creusot", "verify", F.Name);
+  SolverStats Before = metrics::solverStats();
   auto Start = std::chrono::steady_clock::now();
 
   VarGen VG;
@@ -29,8 +32,13 @@ SafeReport SafeVerifier::verify(const SafeFn &F) {
     SafeObligation O;
     O.Where = Where;
     O.What = exprToString(Goal);
-    O.Ok = Solv.entails(Facts, Goal);
+    {
+      GILR_TRACE_SCOPE_D("creusot", "obligation", Where);
+      O.Ok = Solv.entails(Facts, Goal);
+    }
     if (!O.Ok) {
+      trace::instant("creusot", "obligation-fail",
+                     [&] { return Where + ": " + O.What; });
       fail(Where + ": cannot prove " + O.What);
       if (getenv("GILR_DUMP_ON_FAIL")) {
         std::fprintf(stderr, "facts at failure:\n");
@@ -148,5 +156,6 @@ SafeReport SafeVerifier::verify(const SafeFn &F) {
   Report.Seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
           .count();
+  Report.Solver = metrics::solverStats() - Before;
   return Report;
 }

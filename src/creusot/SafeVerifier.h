@@ -63,6 +63,9 @@ struct SafeReport {
   double Seconds = 0.0;
   std::vector<SafeObligation> Obligations;
   std::vector<std::string> Errors;
+  /// Solver work attributable to this function (After - Before snapshot of
+  /// the process-wide stats).
+  SolverStats Solver;
 };
 
 /// The Creusot-side verifier.

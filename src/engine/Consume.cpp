@@ -3,6 +3,7 @@
 #include "engine/Consume.h"
 
 #include "engine/Heuristics.h"
+#include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
 
@@ -34,6 +35,9 @@ Outcome<Unit> gilr::engine::unify(const Expr &Pattern, const Expr &Value,
       return Outcome<Unit>::success(Unit());
     if (St.PC.entails(Env.Solv, EqF))
       return Outcome<Unit>::success(Unit());
+    trace::instant("consume", "match-fail", [&] {
+      return exprToString(P) + " != " + exprToString(Value);
+    });
     return Outcome<Unit>::failure("match failure: " + exprToString(P) +
                                   " != " + exprToString(Value));
   }
@@ -121,6 +125,7 @@ namespace {
 /// back to clause-by-clause definition consumption with backtracking.
 Outcome<Unit> consumePredCall(const AssertionP &A, SymState &St,
                               VerifEnv &Env, MatchCtx &M) {
+  GILR_TRACE_SCOPE_D("consume", "pred", A->Name);
   const PredDecl *Decl = Env.Preds.lookup(A->Name);
   if (!Decl)
     return Outcome<Unit>::failure("consume of undeclared predicate " +
@@ -375,6 +380,7 @@ Outcome<Unit> gilr::engine::consume(const AssertionP &A, SymState &St,
 
 Outcome<Unit> gilr::engine::consumeAll(const AssertionP &A, SymState &St,
                                        VerifEnv &Env, MatchCtx &M) {
+  GILR_TRACE_SCOPE("consume", "all");
   Outcome<Unit> R = consume(A, St, Env, M);
   if (!R.ok())
     return R;

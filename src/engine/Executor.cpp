@@ -7,6 +7,8 @@
 #include "heap/Projection.h"
 #include "solver/Simplify.h"
 #include "support/Diagnostics.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
 
@@ -55,8 +57,17 @@ void Executor::harvestObservations(SymState &St) {
 
 void Executor::pathFail(const Frame &Fr, const std::string &Msg) {
   Result.Ok = false;
-  Result.Errors.push_back("in " + F->Name + " (bb" + std::to_string(Fr.BB) +
-                          "): " + Msg);
+  // Name the phase that rejected the path (the open trace spans, when
+  // telemetry is on) and the size of the branch's path condition — the two
+  // facts a failure investigation reaches for first.
+  std::string Where = "in " + F->Name + " (bb" + std::to_string(Fr.BB) +
+                      ", pc " + std::to_string(Fr.St.PC.size()) + " facts";
+  std::string Spans = trace::spanStack();
+  if (!Spans.empty())
+    Where += ", phase " + Spans;
+  Where += ")";
+  trace::instant("engine", "path-fail", [&] { return Where + ": " + Msg; });
+  Result.Errors.push_back(Where + ": " + Msg);
   if (getenv("GILR_DUMP_ON_FAIL")) {
     std::fprintf(stderr, "=== path failure state ===\n%s\n",
                  Fr.St.dump().c_str());
@@ -70,6 +81,7 @@ void Executor::enqueue(Frame Fr) { Work.push_back(std::move(Fr)); }
 
 ExecResult Executor::run(const rmir::Function &Fn,
                          const gilsonite::Spec &S) {
+  GILR_TRACE_SCOPE_D("engine", "run", Fn.Name);
   F = &Fn;
   Spec = &S;
   Result = ExecResult();
@@ -85,7 +97,10 @@ ExecResult Executor::run(const rmir::Function &Fn,
     Init.St.PC.add(heap::validityInvariant(P.Ty, V));
   }
 
-  Outcome<Unit> Pre = produce(S.Pre, Init.St, Env);
+  Outcome<Unit> Pre = [&] {
+    GILR_TRACE_SCOPE("engine", "produce-pre");
+    return produce(S.Pre, Init.St, Env);
+  }();
   if (Pre.failed()) {
     Result.Ok = false;
     Result.Errors.push_back("producing precondition of " + Fn.Name + ": " +
@@ -120,6 +135,11 @@ ExecResult Executor::run(const rmir::Function &Fn,
     }
     execTerminator(std::move(Fr), Block.Term);
   }
+  if (trace::enabled()) {
+    metrics::Registry::get().add("engine.steps", Steps);
+    metrics::Registry::get().add("engine.states", Result.StatesExplored);
+    metrics::Registry::get().add("engine.paths", Result.PathsCompleted);
+  }
   return Result;
 }
 
@@ -139,6 +159,11 @@ void Executor::withLoad(Frame Fr, const Expr &Ptr, TypeRef Ty, bool Move,
   if (Fuel != 0) {
     std::vector<SymState> Succs = unfoldForPointer(Fr.St, Env, Ptr);
     if (!Succs.empty()) {
+      if (trace::enabled()) {
+        trace::instant("engine", "retry-load",
+                       [&] { return exprToString(Ptr); });
+        metrics::Registry::get().add("engine.heap_retries", 1);
+      }
       for (SymState &SS : Succs) {
         Frame Next = Fr;
         Next.St = std::move(SS);
@@ -163,6 +188,11 @@ void Executor::withStore(Frame Fr, const Expr &Ptr, TypeRef Ty,
   if (Fuel != 0) {
     std::vector<SymState> Succs = unfoldForPointer(Fr.St, Env, Ptr);
     if (!Succs.empty()) {
+      if (trace::enabled()) {
+        trace::instant("engine", "retry-store",
+                       [&] { return exprToString(Ptr); });
+        metrics::Registry::get().add("engine.heap_retries", 1);
+      }
       for (SymState &SS : Succs) {
         Frame Next = Fr;
         Next.St = std::move(SS);
@@ -187,6 +217,11 @@ void Executor::withFree(Frame Fr, const Expr &Ptr, TypeRef Ty, unsigned Fuel,
   if (Fuel != 0) {
     std::vector<SymState> Succs = unfoldForPointer(Fr.St, Env, Ptr);
     if (!Succs.empty()) {
+      if (trace::enabled()) {
+        trace::instant("engine", "retry-free",
+                       [&] { return exprToString(Ptr); });
+        metrics::Registry::get().add("engine.heap_retries", 1);
+      }
       for (SymState &SS : Succs) {
         Frame Next = Fr;
         Next.St = std::move(SS);
@@ -803,6 +838,7 @@ void Executor::execTerminator(Frame Fr, const Terminator &T) {
         operandType(*F, T.Discr)->Kind == TypeKind::Bool;
     evalOperand(std::move(Fr), T.Discr, [this, &T, IsBool](Frame Fr2,
                                                            Expr D) {
+      unsigned Taken = 0;
       std::vector<Expr> NotArms;
       for (const auto &[Val, BB] : T.Arms) {
         Frame Branch = Fr2;
@@ -816,16 +852,24 @@ void Executor::execTerminator(Frame Fr, const Terminator &T) {
           continue;
         Branch.BB = BB;
         Branch.StmtIdx = 0;
+        ++Taken;
         enqueue(std::move(Branch));
       }
       Frame Other = std::move(Fr2);
-      if (!Other.St.PC.add(mkAnd(std::move(NotArms))))
-        return;
-      if (!Other.St.viable(Env.Solv))
-        return;
-      Other.BB = T.Otherwise;
-      Other.StmtIdx = 0;
-      enqueue(std::move(Other));
+      bool OtherTaken = Other.St.PC.add(mkAnd(std::move(NotArms))) &&
+                        Other.St.viable(Env.Solv);
+      if (OtherTaken) {
+        Other.BB = T.Otherwise;
+        Other.StmtIdx = 0;
+        ++Taken;
+        enqueue(std::move(Other));
+      }
+      if (Taken > 1 && trace::enabled()) {
+        trace::instant("engine", "fork", [&] {
+          return std::to_string(Taken) + " branches";
+        });
+        metrics::Registry::get().add("engine.forks", Taken - 1);
+      }
     });
     return;
   }
@@ -864,6 +908,7 @@ void Executor::execCall(Frame Fr, const Terminator &T) {
       Ren.bind(Callee->Locals[1 + I].Name, Args.at(I));
 
     AssertionP PreI = substAssertion(CalleeSpec->Pre, Ren);
+    GILR_TRACE_SCOPE_D("engine", "call", T.Callee);
     Outcome<Unit> Consumed =
         consumeWithHeuristics(PreI, Fr2.St, Env, M, Env.Auto.HeuristicFuel);
     if (!Consumed.ok()) {
@@ -988,6 +1033,7 @@ void Executor::execReturn(Frame Fr) {
   RetS.bind(gilsonite::retVarName(), RetVal);
   AssertionP PostI = substAssertion(Spec->Post, RetS);
   MatchCtx M;
+  GILR_TRACE_SCOPE("engine", "consume-post");
   Outcome<Unit> R =
       consumeWithHeuristics(PostI, Fr.St, Env, M, Env.Auto.HeuristicFuel);
   if (!R.ok()) {

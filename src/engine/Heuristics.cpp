@@ -6,6 +6,7 @@
 #include "engine/Produce.h"
 #include "heap/Projection.h"
 #include "solver/Simplify.h"
+#include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
 
@@ -94,6 +95,7 @@ std::vector<SymState> gilr::engine::unfoldFolded(const SymState &St,
   const PredDecl *Decl = Env.Preds.lookup(Name);
   if (!Decl || Decl->Abstract)
     return {};
+  GILR_TRACE_SCOPE_D("heuristics", "unfold", Name);
   SymState Base = St;
   MatchCtx M;
   Outcome<std::vector<Expr>> Removed =
@@ -109,6 +111,7 @@ std::vector<SymState> gilr::engine::gunfoldGuarded(const SymState &St,
   const PredDecl *Decl = Env.Preds.lookup(G.Name);
   if (!Decl || Decl->Abstract)
     return {};
+  GILR_TRACE_SCOPE_D("heuristics", "open-borrow", G.Name);
   SymState Base = St;
   std::optional<Expr> Frac =
       Base.Lft.ownedFraction(G.Kappa, Env.Solv, Base.PC);
@@ -183,6 +186,7 @@ std::vector<SymState> gilr::engine::unfoldForPointer(const SymState &St,
 
 SymState gilr::engine::saturateUnfolds(SymState St, VerifEnv &Env,
                                        unsigned Fuel) {
+  GILR_TRACE_SCOPE("heuristics", "saturate-unfolds");
   for (unsigned Round = 0; Round != Fuel; ++Round) {
     bool Changed = false;
     std::vector<pred::FoldedPred> Entries = St.Folded.entries();
@@ -216,6 +220,7 @@ Outcome<Unit> gilr::engine::gfoldBorrow(SymState &St, VerifEnv &Env,
   const PredDecl *Decl = Env.Preds.lookup(AsPred);
   if (!Decl)
     return Outcome<Unit>::failure("gfold of undeclared predicate " + AsPred);
+  GILR_TRACE_SCOPE_D("heuristics", "close-borrow", AsPred);
 
   // Assemble arguments: provided ins in order, fresh pending outs.
   std::vector<Expr> Args;
@@ -286,6 +291,7 @@ Outcome<Unit> gilr::engine::foldPred(SymState &St, VerifEnv &Env,
     return Outcome<Unit>::failure("fold of undeclared predicate " + Name);
   if (Decl->Abstract)
     return Outcome<Unit>::failure("fold of abstract predicate " + Name);
+  GILR_TRACE_SCOPE_D("heuristics", "fold", Name);
 
   std::vector<Expr> Full;
   MatchCtx M;

@@ -5,6 +5,7 @@
 #include "engine/Heuristics.h"
 #include "engine/Produce.h"
 #include "solver/Simplify.h"
+#include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
 
@@ -279,6 +280,7 @@ Outcome<Unit> LemmaTable::apply(const std::string &Name,
   auto It = Map.find(Name);
   if (It == Map.end())
     return Outcome<Unit>::failure("application of unknown lemma " + Name);
+  GILR_TRACE_SCOPE_D("lemma", "apply", Name);
   if (const FreezeLemma *F = std::get_if<FreezeLemma>(&It->second))
     return applyFreeze(*F, Args, St, Env);
   return applyExtract(std::get<ExtractLemma>(It->second), Args, St, Env);

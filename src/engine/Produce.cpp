@@ -2,6 +2,7 @@
 
 #include "engine/Produce.h"
 
+#include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
 
@@ -55,6 +56,7 @@ Outcome<Unit> gilr::engine::produce(const AssertionP &A, SymState &St,
   case AsrtKind::ArrayUninit:
     return St.Heap.produceArrayUninit(A->Ptr, A->Ty, A->Count, Ctx);
   case AsrtKind::PredCall: {
+    GILR_TRACE_SCOPE_D("produce", "pred", A->Name);
     const gilsonite::PredDecl *Decl = Env.Preds.lookup(A->Name);
     if (!Decl)
       return Outcome<Unit>::failure("produce of undeclared predicate " +
@@ -63,6 +65,7 @@ Outcome<Unit> gilr::engine::produce(const AssertionP &A, SymState &St,
     return Outcome<Unit>::success(Unit());
   }
   case AsrtKind::GuardedCall: {
+    GILR_TRACE_SCOPE_D("produce", "guarded", A->Name);
     const gilsonite::PredDecl *Decl = Env.Preds.lookup(A->Name);
     if (!Decl)
       return Outcome<Unit>::failure(

@@ -40,6 +40,12 @@ VerifyReport Verifier::verifyFunction(const std::string &FuncName) {
   }
   Report.GhostAnnotations = countGhostAnnotations(*F);
 
+  GILR_TRACE_SCOPE_D("verify", "function", FuncName);
+  SolverStats Before = metrics::solverStats();
+  std::vector<trace::PhaseStat> PhasesBefore;
+  if (trace::enabled())
+    PhasesBefore = trace::phases();
+
   auto Start = std::chrono::steady_clock::now();
   Executor Exec(Env);
   ExecResult R = Exec.run(*F, *S);
@@ -52,6 +58,9 @@ VerifyReport Verifier::verifyFunction(const std::string &FuncName) {
   Report.PathsCompleted = R.PathsCompleted;
   Report.StatesExplored = R.StatesExplored;
   Report.Errors = R.Errors;
+  Report.Solver = metrics::solverStats() - Before;
+  if (trace::enabled())
+    Report.Phases = trace::diffPhases(PhasesBefore, trace::phases());
   return Report;
 }
 

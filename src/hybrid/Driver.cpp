@@ -2,8 +2,41 @@
 
 #include "hybrid/Driver.h"
 
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
 using namespace gilr;
 using namespace gilr::hybrid;
+
+namespace {
+
+std::string fmtSeconds(double S) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3fs", S);
+  return Buf;
+}
+
+std::string solverStatsJson(const SolverStats &S) {
+  return "{\"sat_queries\": " + std::to_string(S.SatQueries) +
+         ", \"entail_queries\": " + std::to_string(S.EntailQueries) +
+         ", \"branches\": " + std::to_string(S.Branches) +
+         ", \"theory_checks\": " + std::to_string(S.TheoryChecks) +
+         ", \"unknown_results\": " + std::to_string(S.UnknownResults) +
+         ", \"entail_repeats\": " + std::to_string(S.EntailRepeats) + "}";
+}
+
+std::string errorsJson(const std::vector<std::string> &Errors) {
+  std::string Out = "[";
+  for (std::size_t I = 0; I != Errors.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "\"" + jsonEscape(Errors[I]) + "\"";
+  }
+  return Out + "]";
+}
+
+} // namespace
 
 Outcome<Unit> HybridDriver::encodeAndRegister(const std::string &Func) {
   const creusot::PearliteSpec *PSpec = Contracts.lookup(Func);
@@ -31,13 +64,102 @@ HybridReport HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
                                const std::vector<creusot::SafeFn> &Clients) {
   HybridReport Report;
 
-  engine::Verifier V(Env);
-  for (const std::string &Func : UnsafeFuncs)
-    Report.UnsafeSide.push_back(V.verifyFunction(Func));
+  {
+    GILR_TRACE_SCOPE("hybrid", "unsafe-side");
+    engine::Verifier V(Env);
+    for (const std::string &Func : UnsafeFuncs)
+      Report.UnsafeSide.push_back(V.verifyFunction(Func));
+  }
 
-  creusot::SafeVerifier SV(Contracts, Env.Solv);
-  for (const creusot::SafeFn &Client : Clients)
-    Report.SafeSide.push_back(SV.verify(Client));
+  {
+    GILR_TRACE_SCOPE("hybrid", "safe-side");
+    creusot::SafeVerifier SV(Contracts, Env.Solv);
+    for (const creusot::SafeFn &Client : Clients)
+      Report.SafeSide.push_back(SV.verify(Client));
+  }
 
   return Report;
+}
+
+std::string HybridReport::summaryText() const {
+  std::string Out;
+  Out += "hybrid verification: " + std::string(ok() ? "OK" : "FAILED") + "\n";
+  for (const engine::VerifyReport &R : UnsafeSide) {
+    Out += "  [gillian] " + R.Func + ": " + (R.Ok ? "ok" : "FAIL") + " (" +
+           fmtSeconds(R.Seconds) + ", " + std::to_string(R.PathsCompleted) +
+           " paths, " + std::to_string(R.Solver.EntailQueries) +
+           " entailments, " + std::to_string(R.Solver.SatQueries) +
+           " sat queries)\n";
+    if (!R.Phases.empty()) {
+      std::string Table = trace::phaseReportText(R.Phases);
+      std::size_t Pos = 0;
+      while (Pos < Table.size()) {
+        std::size_t Nl = Table.find('\n', Pos);
+        if (Nl == std::string::npos)
+          Nl = Table.size();
+        Out += "    " + Table.substr(Pos, Nl - Pos) + "\n";
+        Pos = Nl + 1;
+      }
+    }
+  }
+  for (const creusot::SafeReport &R : SafeSide) {
+    unsigned Proved = 0;
+    for (const creusot::SafeObligation &O : R.Obligations)
+      Proved += O.Ok;
+    Out += "  [creusot] " + R.Func + ": " + (R.Ok ? "ok" : "FAIL") + " (" +
+           fmtSeconds(R.Seconds) + ", " + std::to_string(Proved) + "/" +
+           std::to_string(R.Obligations.size()) + " obligations, " +
+           std::to_string(R.Solver.EntailQueries) + " entailments)\n";
+  }
+  return Out;
+}
+
+std::string HybridReport::renderJson() const {
+  std::string Out = "{\n  \"ok\": " + std::string(ok() ? "true" : "false") +
+                    ",\n  \"unsafe_side\": [";
+  for (std::size_t I = 0; I != UnsafeSide.size(); ++I) {
+    const engine::VerifyReport &R = UnsafeSide[I];
+    Out += I ? "," : "";
+    Out += "\n    {\"func\": \"" + jsonEscape(R.Func) + "\"";
+    Out += ", \"ok\": " + std::string(R.Ok ? "true" : "false");
+    Out += ", \"seconds\": " + std::to_string(R.Seconds);
+    Out += ", \"paths\": " + std::to_string(R.PathsCompleted);
+    Out += ", \"states\": " + std::to_string(R.StatesExplored);
+    Out += ", \"ghost_annotations\": " + std::to_string(R.GhostAnnotations);
+    Out += ", \"solver\": " + solverStatsJson(R.Solver);
+    Out += ", \"errors\": " + errorsJson(R.Errors);
+    if (!R.Phases.empty()) {
+      Out += ", \"phases\": {";
+      for (std::size_t P = 0; P != R.Phases.size(); ++P) {
+        Out += P ? ", " : "";
+        Out += "\"" + jsonEscape(R.Phases[P].Key) +
+               "\": {\"count\": " + std::to_string(R.Phases[P].Count) +
+               ", \"nanos\": " + std::to_string(R.Phases[P].Nanos) + "}";
+      }
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += UnsafeSide.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"safe_side\": [";
+  for (std::size_t I = 0; I != SafeSide.size(); ++I) {
+    const creusot::SafeReport &R = SafeSide[I];
+    Out += I ? "," : "";
+    Out += "\n    {\"func\": \"" + jsonEscape(R.Func) + "\"";
+    Out += ", \"ok\": " + std::string(R.Ok ? "true" : "false");
+    Out += ", \"seconds\": " + std::to_string(R.Seconds);
+    Out += ", \"solver\": " + solverStatsJson(R.Solver);
+    Out += ", \"obligations\": [";
+    for (std::size_t O = 0; O != R.Obligations.size(); ++O) {
+      Out += O ? ", " : "";
+      Out += "{\"where\": \"" + jsonEscape(R.Obligations[O].Where) +
+             "\", \"what\": \"" + jsonEscape(R.Obligations[O].What) +
+             "\", \"ok\": " + (R.Obligations[O].Ok ? "true" : "false") + "}";
+    }
+    Out += "]";
+    Out += ", \"errors\": " + errorsJson(R.Errors);
+    Out += "}";
+  }
+  Out += SafeSide.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
 }

@@ -32,6 +32,15 @@ struct HybridReport {
         return false;
     return true;
   }
+
+  /// Human-readable summary: one line per function (side, outcome, time,
+  /// paths, solver queries), followed by a per-phase wall-time breakdown
+  /// for each unsafe function when tracing is enabled.
+  std::string summaryText() const;
+
+  /// Machine-readable proof report: every function of both sides with its
+  /// outcome, timing, solver-work delta and errors, as a JSON document.
+  std::string renderJson() const;
 };
 
 /// Orchestrates both verifiers over one program + contract table.

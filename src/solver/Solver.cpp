@@ -5,6 +5,8 @@
 #include "solver/Congruence.h"
 #include "solver/LinArith.h"
 #include "solver/Simplify.h"
+#include "support/StringUtils.h"
+#include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 
 #include <map>
@@ -12,22 +14,59 @@
 
 using namespace gilr;
 
+namespace {
+
+/// The process-wide counters (shared by every Solver instance).
+SolverStats &gstats() { return metrics::solverStats(); }
+
+/// Order-insensitive structural fingerprint of an entails query, built from
+/// the precomputed per-node hashes. Used to count syntactically-identical
+/// repeat queries — the hit rate a syntactic memo would achieve.
+uint64_t entailFingerprint(const std::vector<Expr> &Ctx, const Expr &Goal) {
+  std::size_t Seed = 0x5eed;
+  std::size_t CtxMix = 0;
+  for (const Expr &A : Ctx)
+    CtxMix += A->hash(); // Commutative: context order is irrelevant.
+  hashCombine(Seed, CtxMix);
+  hashCombine(Seed, Ctx.size());
+  hashCombine(Seed, Goal->hash());
+  return static_cast<uint64_t>(Seed);
+}
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Query entry points
 //===----------------------------------------------------------------------===//
 
 SatResult Solver::checkSat(const std::vector<Expr> &Assertions) {
-  ++Stats.SatQueries;
+  ++gstats().SatQueries;
+  GILR_TRACE_SCOPE("solver", "checkSat");
+  uint64_t T0 = trace::enabled() ? trace::nowNs() : 0;
   unsigned Budget = MaxBranches;
   std::vector<Expr> Work;
   Work.reserve(Assertions.size());
   for (const Expr &A : Assertions)
     Work.push_back(simplify(A));
-  return solveRec(std::move(Work), {}, 0, Budget);
+  SatResult R = solveRec(std::move(Work), {}, 0, Budget);
+  if (R == SatResult::Unknown) {
+    ++gstats().UnknownResults;
+    trace::instant("solver", "unknown");
+  }
+  if (T0)
+    metrics::Registry::get().recordSolverLatencyNs(trace::nowNs() - T0);
+  return R;
 }
 
 bool Solver::entails(const std::vector<Expr> &Ctx, const Expr &Goal) {
-  ++Stats.EntailQueries;
+  ++gstats().EntailQueries;
+  // Count would-be memo hits (the fingerprint set allocates, so only while
+  // telemetry is collecting).
+  if (trace::enabled() &&
+      metrics::Registry::get().noteEntailFingerprint(
+          entailFingerprint(Ctx, Goal)))
+    trace::instant("solver", "entails-repeat");
+  GILR_TRACE_SCOPE("solver", "entails");
   Expr G = simplify(Goal);
   if (isTrueLit(G))
     return true;
@@ -95,7 +134,7 @@ SatResult Solver::solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
         if (Budget == 0)
           return SatResult::Unknown;
         --Budget;
-        ++Stats.Branches;
+        ++gstats().Branches;
         std::vector<Expr> BranchWork = Work;
         BranchWork.push_back(Kid);
         SatResult R = solveRec(std::move(BranchWork), Lits, Depth + 1, Budget);
@@ -155,7 +194,7 @@ SatResult Solver::solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
       if (Budget == 0)
         return SatResult::Unknown;
       --Budget;
-      ++Stats.Branches;
+      ++gstats().Branches;
       std::vector<Expr> BranchWork;
       BranchWork.push_back(Positive ? Cond : negate(Cond));
       std::vector<Literal> BranchLits;
@@ -210,7 +249,7 @@ SatResult Solver::theoryCheck(const std::vector<Literal> &Lits,
       if (Budget == 0)
         return SatResult::Unknown;
       --Budget;
-      ++Stats.Branches;
+      ++gstats().Branches;
       std::vector<Literal> BranchLits = Lits;
       BranchLits[I] = {Less ? mkLt(Atom->Kids[0], Atom->Kids[1])
                             : mkLt(Atom->Kids[1], Atom->Kids[0]),
@@ -227,7 +266,7 @@ SatResult Solver::theoryCheck(const std::vector<Literal> &Lits,
 }
 
 SatResult Solver::baseTheoryCheck(const std::vector<Literal> &LitsIn) {
-  ++Stats.TheoryChecks;
+  ++gstats().TheoryChecks;
 
   // 1. Instantiate the option axioms for IsSome literals.
   std::vector<Literal> Lits;

@@ -19,6 +19,7 @@
 #define GILR_SOLVER_SOLVER_H
 
 #include "solver/SeqTheory.h"
+#include "support/Metrics.h"
 #include "sym/Expr.h"
 
 #include <cstdint>
@@ -28,15 +29,11 @@ namespace gilr {
 
 enum class SatResult { Sat, Unsat, Unknown };
 
-/// Counters reported by the benchmark harness.
-struct SolverStats {
-  uint64_t SatQueries = 0;
-  uint64_t EntailQueries = 0;
-  uint64_t Branches = 0;
-  uint64_t TheoryChecks = 0;
-};
-
-/// The SMT-lite decision engine. Stateless between queries apart from stats.
+/// The SMT-lite decision engine. Stateless between queries; statistics live
+/// in the process-wide metrics registry (see support/Metrics.h), so they
+/// survive across the many Solver instantiations in engine/, creusot/ and
+/// the harnesses. Callers wanting a per-phase delta snapshot the stats
+/// before and after (SolverStats::operator-).
 class Solver {
 public:
   /// Checks the conjunction of \p Assertions for satisfiability.
@@ -54,8 +51,9 @@ public:
     return checkSat(Ctx) != SatResult::Unsat;
   }
 
-  SolverStats &stats() { return Stats; }
-  const SolverStats &stats() const { return Stats; }
+  /// The process-wide solver statistics.
+  SolverStats &stats() { return metrics::solverStats(); }
+  const SolverStats &stats() const { return metrics::solverStats(); }
 
   /// Maximum number of DPLL branches explored per query before giving up.
   unsigned MaxBranches = 50000;
@@ -65,8 +63,6 @@ private:
                      unsigned Depth, unsigned &Budget);
   SatResult theoryCheck(const std::vector<Literal> &Lits, unsigned &Budget);
   SatResult baseTheoryCheck(const std::vector<Literal> &Lits);
-
-  SolverStats Stats;
 };
 
 } // namespace gilr

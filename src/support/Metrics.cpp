@@ -1,0 +1,53 @@
+//===- support/Metrics.cpp --------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+using namespace gilr;
+using namespace gilr::metrics;
+
+Registry &Registry::get() {
+  // Deliberately leaked: trace::flush() may run from an atexit handler that
+  // was registered before the first metrics call, and a plain static would
+  // then be destroyed before that handler reads it.
+  static Registry *R = new Registry;
+  return *R;
+}
+
+void Registry::add(const std::string &Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters[Name] += Delta;
+}
+
+void Registry::recordSolverLatencyNs(uint64_t Ns) {
+  std::size_t Bucket = 0;
+  while (Bucket + 1 < LatencyBuckets && (Ns >> (Bucket + 1)) != 0)
+    ++Bucket;
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Latency[Bucket];
+}
+
+bool Registry::noteEntailFingerprint(uint64_t Fp) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  bool Repeat = !EntailSeen.insert(Fp).second;
+  if (Repeat)
+    ++Solver.EntailRepeats;
+  return Repeat;
+}
+
+std::map<std::string, uint64_t> Registry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
+}
+
+std::array<uint64_t, LatencyBuckets> Registry::latencyHistogram() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Latency;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.clear();
+  EntailSeen.clear();
+  Latency.fill(0);
+  Solver = SolverStats();
+}

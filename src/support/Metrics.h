@@ -1,0 +1,109 @@
+//===- support/Metrics.h - Process-wide verification metrics ---------------===//
+///
+/// \file
+/// The metrics registry backing the telemetry layer: named monotonic
+/// counters, the process-wide solver statistics (shared by every \c Solver
+/// instance, so counts survive the multiple instantiations in engine/,
+/// creusot/ and the test/bench harnesses), a log2 latency histogram for
+/// solver queries, and the repeat-entailment fingerprint set that
+/// quantifies the headroom of a future query cache.
+///
+/// Cost model: the \c SolverStats fields are plain increments and are always
+/// live. Everything that allocates (named counters, fingerprints, latency
+/// samples) is only fed by call sites when tracing is enabled, so the
+/// default GILR_TRACE=off configuration adds no allocation to any hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SUPPORT_METRICS_H
+#define GILR_SUPPORT_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace gilr {
+
+/// Counters of the SMT-lite solver. One process-wide instance lives in the
+/// metrics registry and is shared by every \c Solver (the per-instance
+/// stats of earlier revisions silently reset whenever a component built a
+/// fresh solver); reporting code takes before/after snapshots to attribute
+/// deltas to a phase.
+struct SolverStats {
+  uint64_t SatQueries = 0;
+  uint64_t EntailQueries = 0;
+  uint64_t Branches = 0;
+  uint64_t TheoryChecks = 0;
+  /// Queries the DPLL search gave up on (budget/depth exhaustion).
+  uint64_t UnknownResults = 0;
+  /// Entailment calls whose (context, goal) fingerprint was already seen —
+  /// the hit rate a syntactic query memo would achieve. Only counted while
+  /// tracing is enabled (the fingerprint set allocates).
+  uint64_t EntailRepeats = 0;
+
+  SolverStats operator-(const SolverStats &O) const {
+    SolverStats D;
+    D.SatQueries = SatQueries - O.SatQueries;
+    D.EntailQueries = EntailQueries - O.EntailQueries;
+    D.Branches = Branches - O.Branches;
+    D.TheoryChecks = TheoryChecks - O.TheoryChecks;
+    D.UnknownResults = UnknownResults - O.UnknownResults;
+    D.EntailRepeats = EntailRepeats - O.EntailRepeats;
+    return D;
+  }
+};
+
+namespace metrics {
+
+/// Number of log2 buckets in the solver latency histogram. Bucket i counts
+/// queries with latency in [2^i, 2^{i+1}) nanoseconds (bucket 0 also takes
+/// sub-nanosecond readings, the last bucket everything slower).
+constexpr std::size_t LatencyBuckets = 32;
+
+class Registry {
+public:
+  /// The process-wide registry.
+  static Registry &get();
+
+  /// The shared solver statistics (always live; plain increments).
+  SolverStats Solver;
+
+  /// Adds \p Delta to the named counter. Callers gate on trace::enabled().
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Records one solver query latency into the log2 histogram.
+  void recordSolverLatencyNs(uint64_t Ns);
+
+  /// Notes an entails-call fingerprint; returns true iff it was already
+  /// seen (a would-be memo hit). Bumps \c Solver.EntailRepeats itself.
+  bool noteEntailFingerprint(uint64_t Fp);
+
+  /// Snapshot of the named counters.
+  std::map<std::string, uint64_t> counters() const;
+
+  /// Snapshot of the latency histogram (bucket counts).
+  std::array<uint64_t, LatencyBuckets> latencyHistogram() const;
+
+  /// Clears everything, including the shared solver stats.
+  void reset();
+
+private:
+  Registry() = default;
+
+  mutable std::mutex Mu;
+  std::map<std::string, uint64_t> Counters;
+  std::unordered_set<uint64_t> EntailSeen;
+  std::array<uint64_t, LatencyBuckets> Latency = {};
+};
+
+/// Shorthand for Registry::get().Solver — the live process-wide stats.
+inline SolverStats &solverStats() { return Registry::get().Solver; }
+
+} // namespace metrics
+} // namespace gilr
+
+#endif // GILR_SUPPORT_METRICS_H

@@ -2,6 +2,8 @@
 
 #include "support/StringUtils.h"
 
+#include <cstdio>
+
 using namespace gilr;
 
 std::string gilr::join(const std::vector<std::string> &Parts,
@@ -18,4 +20,37 @@ std::string gilr::join(const std::vector<std::string> &Parts,
 bool gilr::startsWith(const std::string &S, const std::string &Prefix) {
   return S.size() >= Prefix.size() &&
          S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string gilr::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
 }

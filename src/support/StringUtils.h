@@ -32,6 +32,10 @@ std::string joinMapped(const std::vector<T> &Items, const std::string &Sep,
 /// Returns true if \p S starts with \p Prefix.
 bool startsWith(const std::string &S, const std::string &Prefix);
 
+/// Escapes \p S for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(const std::string &S);
+
 /// Combines a hash value into a running seed (boost-style mixing).
 inline void hashCombine(std::size_t &Seed, std::size_t Value) {
   Seed ^= Value + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2);

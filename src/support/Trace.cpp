@@ -1,0 +1,440 @@
+//===- support/Trace.cpp ----------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Metrics.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+using namespace gilr;
+using namespace gilr::trace;
+
+std::atomic<bool> gilr::trace::detail::EnabledFlag{false};
+
+namespace {
+
+/// One buffered Chrome trace event. Categories and names are string
+/// literals at every call site, so only the detail needs owned storage.
+struct Event {
+  const char *Cat;
+  const char *Name;
+  std::string Detail;
+  uint64_t TsNs;
+  uint64_t DurNs; ///< 0 for instants.
+  uint32_t Tid;
+  char Ph; ///< 'X' complete, 'i' instant.
+};
+
+struct Aggregate {
+  uint64_t Count = 0;
+  uint64_t Nanos = 0;
+};
+
+/// Events are capped so a runaway run cannot exhaust memory; the drop count
+/// is reported at flush time rather than truncating silently.
+constexpr std::size_t MaxEvents = 1u << 20;
+
+struct SinkState {
+  std::mutex Mu;
+  Options Opts;
+  std::vector<Event> Events;
+  uint64_t DroppedEvents = 0;
+  std::map<std::string, Aggregate> Phases;
+  uint32_t NextTid = 1;
+};
+
+SinkState &sink() {
+  // Deliberately leaked (like the metrics registry): the atexit flush must
+  // be able to read the sink after static destruction has begun.
+  static SinkState *S = new SinkState;
+  return *S;
+}
+
+uint64_t originNs() {
+  static const uint64_t Origin = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return Origin;
+}
+
+uint32_t threadId() {
+  thread_local uint32_t Tid = 0;
+  if (Tid == 0) {
+    std::lock_guard<std::mutex> Lock(sink().Mu);
+    Tid = sink().NextTid++;
+  }
+  return Tid;
+}
+
+/// The per-thread stack of open spans (static strings only; maintained only
+/// while tracing is enabled).
+struct SpanFrame {
+  const char *Cat;
+  const char *Name;
+};
+constexpr uint32_t MaxSpanDepth = 256;
+constexpr uint32_t OverflowToken = UINT32_MAX;
+thread_local SpanFrame SpanStack[MaxSpanDepth];
+thread_local uint32_t SpanDepth = 0;
+
+bool sameKey(const SpanFrame &F, const char *Cat, const char *Name) {
+  return std::strcmp(F.Cat, Cat) == 0 && std::strcmp(F.Name, Name) == 0;
+}
+
+void recordEvent(Event E) {
+  SinkState &S = sink();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Opts.M != Mode::Json)
+    return;
+  if (S.Events.size() >= MaxEvents) {
+    ++S.DroppedEvents;
+    return;
+  }
+  S.Events.push_back(std::move(E));
+}
+
+std::string nsToUs(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03llu",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned long long>(Ns % 1000));
+  return Buf;
+}
+
+std::string eventJson(const Event &E) {
+  std::string J = "{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+                  jsonEscape(E.Cat) + "\",\"ph\":\"" + E.Ph +
+                  "\",\"ts\":" + nsToUs(E.TsNs) + ",\"pid\":1,\"tid\":" +
+                  std::to_string(E.Tid);
+  if (E.Ph == 'X')
+    J += ",\"dur\":" + nsToUs(E.DurNs);
+  if (E.Ph == 'i')
+    J += ",\"s\":\"t\"";
+  if (!E.Detail.empty())
+    J += ",\"args\":{\"detail\":\"" + jsonEscape(E.Detail) + "\"}";
+  J += "}";
+  return J;
+}
+
+void flushAtExit() { flush(); }
+
+} // namespace
+
+uint64_t gilr::trace::nowNs() {
+  return static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) -
+         originNs();
+}
+
+Mode gilr::trace::mode() {
+  SinkState &S = sink();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Opts.M;
+}
+
+void gilr::trace::configure(const Options &O) {
+  SinkState &S = sink();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Opts = O;
+  }
+  (void)originNs(); // Pin the time origin before the first span.
+  detail::EnabledFlag.store(O.M != Mode::Off, std::memory_order_relaxed);
+}
+
+void gilr::trace::configureFromEnv() {
+  const char *Env = std::getenv("GILR_TRACE");
+  Options O;
+  if (Env) {
+    std::string V = Env;
+    if (V == "text" || V == "on" || V == "1")
+      O.M = Mode::Text;
+    else if (V == "json" || V == "chrome")
+      O.M = Mode::Json;
+  }
+  if (const char *F = std::getenv("GILR_TRACE_FILE"))
+    O.TraceFile = F;
+  if (const char *F = std::getenv("GILR_STATS_FILE"))
+    O.StatsFile = F;
+  configure(O);
+  if (O.M != Mode::Off) {
+    static bool Registered = false;
+    if (!Registered) {
+      Registered = true;
+      std::atexit(flushAtExit);
+    }
+  }
+}
+
+void gilr::trace::reset() {
+  SinkState &S = sink();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Events.clear();
+  S.DroppedEvents = 0;
+  S.Phases.clear();
+}
+
+uint32_t gilr::trace::detail::beginSpan(const char *Cat, const char *Name) {
+  if (SpanDepth < MaxSpanDepth) {
+    SpanStack[SpanDepth] = SpanFrame{Cat, Name};
+    return SpanDepth++;
+  }
+  return OverflowToken;
+}
+
+void gilr::trace::detail::endSpan(uint32_t Token, const char *Cat,
+                                  const char *Name, uint64_t StartNs,
+                                  std::string Detail) {
+  uint64_t End = nowNs();
+  uint64_t Dur = End > StartNs ? End - StartNs : 0;
+
+  bool NestedSameKey = false;
+  if (Token != OverflowToken) {
+    for (uint32_t I = 0; I < Token && I < SpanDepth; ++I)
+      if (sameKey(SpanStack[I], Cat, Name)) {
+        NestedSameKey = true;
+        break;
+      }
+    if (SpanDepth > Token)
+      SpanDepth = Token; // Pop this frame (and any leaked deeper frames).
+  }
+
+  SinkState &S = sink();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (!NestedSameKey) {
+      Aggregate &A = S.Phases[std::string(Cat) + "/" + Name];
+      ++A.Count;
+      A.Nanos += Dur;
+    }
+  }
+  recordEvent(
+      Event{Cat, Name, std::move(Detail), StartNs, Dur, threadId(), 'X'});
+}
+
+void gilr::trace::detail::instantImpl(const char *Cat, const char *Name,
+                                      std::string Detail) {
+  SinkState &S = sink();
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    ++S.Phases[std::string(Cat) + "/" + Name].Count;
+  }
+  recordEvent(
+      Event{Cat, Name, std::move(Detail), nowNs(), 0, threadId(), 'i'});
+}
+
+std::string gilr::trace::spanStack() {
+  std::string Out;
+  for (uint32_t I = 0; I < SpanDepth; ++I) {
+    if (!Out.empty())
+      Out += " > ";
+    Out += SpanStack[I].Cat;
+    Out += ":";
+    Out += SpanStack[I].Name;
+  }
+  return Out;
+}
+
+std::vector<PhaseStat> gilr::trace::phases() {
+  SinkState &S = sink();
+  std::vector<PhaseStat> Out;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Out.reserve(S.Phases.size());
+    for (const auto &[Key, A] : S.Phases)
+      Out.push_back(PhaseStat{Key, A.Count, A.Nanos});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const PhaseStat &A, const PhaseStat &B) {
+              return A.Nanos > B.Nanos;
+            });
+  return Out;
+}
+
+std::vector<PhaseStat>
+gilr::trace::diffPhases(const std::vector<PhaseStat> &Before,
+                        const std::vector<PhaseStat> &After) {
+  std::map<std::string, PhaseStat> Base;
+  for (const PhaseStat &P : Before)
+    Base[P.Key] = P;
+  std::vector<PhaseStat> Out;
+  for (const PhaseStat &P : After) {
+    PhaseStat D = P;
+    auto It = Base.find(P.Key);
+    if (It != Base.end()) {
+      D.Count -= It->second.Count;
+      D.Nanos -= It->second.Nanos;
+    }
+    if (D.Count != 0 || D.Nanos != 0)
+      Out.push_back(std::move(D));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const PhaseStat &A, const PhaseStat &B) {
+              return A.Nanos > B.Nanos;
+            });
+  return Out;
+}
+
+std::string gilr::trace::phaseReportText(const std::vector<PhaseStat> &Stats) {
+  std::size_t Width = 8;
+  for (const PhaseStat &P : Stats)
+    Width = std::max(Width, P.Key.size());
+  std::string Out;
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "  %-*s %10s %12s\n",
+                static_cast<int>(Width), "phase", "count", "seconds");
+  Out += Line;
+  for (const PhaseStat &P : Stats) {
+    std::snprintf(Line, sizeof(Line), "  %-*s %10llu %12.6f\n",
+                  static_cast<int>(Width), P.Key.c_str(),
+                  static_cast<unsigned long long>(P.Count),
+                  static_cast<double>(P.Nanos) / 1e9);
+    Out += Line;
+  }
+  return Out;
+}
+
+std::size_t gilr::trace::eventCount() {
+  SinkState &S = sink();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Events.size();
+}
+
+std::string gilr::trace::renderTraceJson() {
+  SinkState &S = sink();
+  std::vector<Event> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Snapshot = S.Events;
+  }
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t I = 0; I != Snapshot.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += "\n" + eventJson(Snapshot[I]);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string
+gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
+  metrics::Registry &R = metrics::Registry::get();
+  const SolverStats &SS = R.Solver;
+
+  std::string Out = "{\n  \"schema\": \"gilr-telemetry-v1\",\n";
+
+  Out += "  \"solver\": {";
+  Out += "\"sat_queries\": " + std::to_string(SS.SatQueries);
+  Out += ", \"entail_queries\": " + std::to_string(SS.EntailQueries);
+  Out += ", \"branches\": " + std::to_string(SS.Branches);
+  Out += ", \"theory_checks\": " + std::to_string(SS.TheoryChecks);
+  Out += ", \"unknown_results\": " + std::to_string(SS.UnknownResults);
+  Out += ", \"entail_repeats\": " + std::to_string(SS.EntailRepeats);
+  char Rate[32];
+  std::snprintf(Rate, sizeof(Rate), "%.4f",
+                SS.EntailQueries
+                    ? static_cast<double>(SS.EntailRepeats) /
+                          static_cast<double>(SS.EntailQueries)
+                    : 0.0);
+  Out += std::string(", \"entail_repeat_rate\": ") + Rate;
+  Out += "},\n";
+
+  Out += "  \"solver_latency_log2_ns\": [";
+  auto Histo = R.latencyHistogram();
+  for (std::size_t I = 0; I != Histo.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Histo[I]);
+  }
+  Out += "],\n";
+
+  Out += "  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : R.counters()) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\": " + std::to_string(Value);
+  }
+  Out += "},\n";
+
+  Out += "  \"phases\": [";
+  First = true;
+  for (const PhaseStat &P : phases()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    char Sec[32];
+    std::snprintf(Sec, sizeof(Sec), "%.6f",
+                  static_cast<double>(P.Nanos) / 1e9);
+    Out += "\n    {\"phase\": \"" + jsonEscape(P.Key) +
+           "\", \"count\": " + std::to_string(P.Count) +
+           ", \"seconds\": " + Sec + "}";
+  }
+  Out += "\n  ],\n";
+
+  Out += "  \"cases\": [";
+  First = true;
+  for (const std::string &Case : CaseStudies) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n    " + Case;
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+void gilr::trace::flush() {
+  SinkState &S = sink();
+  Options O;
+  uint64_t Dropped;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    O = S.Opts;
+    Dropped = S.DroppedEvents;
+  }
+  if (O.M == Mode::Off)
+    return;
+  if (O.M == Mode::Text) {
+    std::string Report = phaseReportText(phases());
+    std::fprintf(stderr, "=== gilr trace: per-phase breakdown ===\n%s",
+                 Report.c_str());
+    return;
+  }
+  if (Dropped)
+    std::fprintf(stderr,
+                 "gilr trace: event buffer full, %llu event(s) dropped\n",
+                 static_cast<unsigned long long>(Dropped));
+  if (!O.TraceFile.empty()) {
+    if (std::FILE *F = std::fopen(O.TraceFile.c_str(), "w")) {
+      std::string J = renderTraceJson();
+      std::fwrite(J.data(), 1, J.size(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "gilr trace: cannot open %s\n",
+                   O.TraceFile.c_str());
+    }
+  }
+  if (!O.StatsFile.empty()) {
+    if (std::FILE *F = std::fopen(O.StatsFile.c_str(), "w")) {
+      std::string J = renderStatsJson();
+      std::fwrite(J.data(), 1, J.size(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "gilr trace: cannot open %s\n",
+                   O.StatsFile.c_str());
+    }
+  }
+}

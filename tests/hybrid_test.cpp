@@ -9,6 +9,8 @@
 
 #include "rustlib/Clients.h"
 #include "rustlib/LinkedList.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -69,6 +71,49 @@ TEST_F(HybridTest, ChainClientScales) {
   EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
   // 6 pushes with preconditions + 6 asserted pops.
   EXPECT_GE(R.Obligations.size(), 12u);
+}
+
+TEST_F(HybridTest, TracedProofEmitsConsumeAndSolverSpans) {
+  // A LinkedList proof under tracing must show nonzero consume and solver
+  // phase aggregates (the telemetry layer's end-to-end contract), and the
+  // machine-readable report must reflect the solver work.
+  trace::Options O;
+  O.M = trace::Mode::Text;
+  O.TraceFile.clear();
+  O.StatsFile.clear();
+  trace::configure(O);
+  trace::reset();
+
+  engine::VerifEnv Env = Lib->env();
+  engine::Verifier V(Env);
+  engine::VerifyReport R = V.verifyFunction("LinkedList::push_front_node");
+  EXPECT_TRUE(R.Ok);
+
+  uint64_t ConsumeNanos = 0, SolverCount = 0;
+  for (const trace::PhaseStat &P : trace::phases()) {
+    if (P.Key.rfind("consume/", 0) == 0)
+      ConsumeNanos += P.Nanos;
+    if (P.Key.rfind("solver/", 0) == 0)
+      SolverCount += P.Count;
+  }
+  EXPECT_GT(ConsumeNanos, 0u);
+  EXPECT_GT(SolverCount, 0u);
+
+  // The per-function delta attributes the solver work and phase breakdown.
+  EXPECT_GT(R.Solver.EntailQueries, 0u);
+  EXPECT_FALSE(R.Phases.empty());
+
+  hybrid::HybridReport H;
+  H.UnsafeSide.push_back(R);
+  std::string Json = H.renderJson();
+  EXPECT_NE(Json.find("\"entail_queries\""), std::string::npos);
+  EXPECT_NE(Json.find("push_front_node"), std::string::npos);
+  EXPECT_NE(H.summaryText().find("entailments"), std::string::npos);
+
+  // Restore the default (disabled) mode for the remaining tests.
+  trace::Options Off;
+  trace::configure(Off);
+  trace::reset();
 }
 
 TEST_F(HybridTest, SafeSideSeesOnlyModels) {
