@@ -17,7 +17,8 @@ SafeReport SafeVerifier::verify(const SafeFn &F) {
   SafeReport Report;
   Report.Func = F.Name;
   GILR_TRACE_SCOPE_D("creusot", "verify", F.Name);
-  SolverStats Before = metrics::solverStats();
+  // Thread-local snapshot: exact per-job attribution under the scheduler.
+  SolverStats Before = metrics::threadSolverStats();
   auto Start = std::chrono::steady_clock::now();
 
   VarGen VG;
@@ -156,6 +157,6 @@ SafeReport SafeVerifier::verify(const SafeFn &F) {
   Report.Seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
           .count();
-  Report.Solver = metrics::solverStats() - Before;
+  Report.Solver = metrics::threadSolverStats() - Before;
   return Report;
 }

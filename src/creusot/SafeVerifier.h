@@ -60,11 +60,14 @@ struct SafeObligation {
 struct SafeReport {
   std::string Func;
   bool Ok = true;
+  /// The proof job's budget ran out while verifying: the result is Unknown
+  /// rather than a definite failure (set by the scheduler).
+  bool TimedOut = false;
   double Seconds = 0.0;
   std::vector<SafeObligation> Obligations;
   std::vector<std::string> Errors;
   /// Solver work attributable to this function (After - Before snapshot of
-  /// the process-wide stats).
+  /// the thread-local stats; exact under concurrent scheduler workers).
   SolverStats Solver;
 };
 

@@ -6,6 +6,7 @@
 #include "engine/Produce.h"
 #include "heap/Projection.h"
 #include "solver/Simplify.h"
+#include "support/Budget.h"
 #include "support/Diagnostics.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -118,6 +119,14 @@ ExecResult Executor::run(const rmir::Function &Fn,
     if (++Steps > StepLimit) {
       Result.Ok = false;
       Result.Errors.push_back("step limit exceeded in " + Fn.Name);
+      break;
+    }
+    // The per-job budget armed by the scheduler: abandon the remaining
+    // paths instead of stalling the worker (the solver polls it too, so
+    // long queries also unwind promptly).
+    if (budget::exceeded()) {
+      Result.Ok = false;
+      Result.BudgetExhausted = true;
       break;
     }
     Frame Fr = std::move(Work.back());

@@ -28,6 +28,9 @@ namespace engine {
 /// Result of verifying one function against its spec.
 struct ExecResult {
   bool Ok = true;
+  /// The job budget (support/Budget.h) fired while executing: remaining
+  /// paths were abandoned and the outcome is Unknown, not a refutation.
+  bool BudgetExhausted = false;
   std::vector<std::string> Errors;
   unsigned PathsCompleted = 0;
   unsigned StatesExplored = 0;

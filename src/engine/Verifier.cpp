@@ -41,7 +41,9 @@ VerifyReport Verifier::verifyFunction(const std::string &FuncName) {
   Report.GhostAnnotations = countGhostAnnotations(*F);
 
   GILR_TRACE_SCOPE_D("verify", "function", FuncName);
-  SolverStats Before = metrics::solverStats();
+  // Thread-local snapshot: attributes exactly this job's solver work, even
+  // while other scheduler workers run queries concurrently.
+  SolverStats Before = metrics::threadSolverStats();
   std::vector<trace::PhaseStat> PhasesBefore;
   if (trace::enabled())
     PhasesBefore = trace::phases();
@@ -58,7 +60,8 @@ VerifyReport Verifier::verifyFunction(const std::string &FuncName) {
   Report.PathsCompleted = R.PathsCompleted;
   Report.StatesExplored = R.StatesExplored;
   Report.Errors = R.Errors;
-  Report.Solver = metrics::solverStats() - Before;
+  Report.TimedOut = R.BudgetExhausted;
+  Report.Solver = metrics::threadSolverStats() - Before;
   if (trace::enabled())
     Report.Phases = trace::diffPhases(PhasesBefore, trace::phases());
   return Report;

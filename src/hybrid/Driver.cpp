@@ -85,7 +85,8 @@ std::string HybridReport::summaryText() const {
   std::string Out;
   Out += "hybrid verification: " + std::string(ok() ? "OK" : "FAILED") + "\n";
   for (const engine::VerifyReport &R : UnsafeSide) {
-    Out += "  [gillian] " + R.Func + ": " + (R.Ok ? "ok" : "FAIL") + " (" +
+    Out += "  [gillian] " + R.Func + ": " +
+           (R.Ok ? "ok" : R.TimedOut ? "UNKNOWN (budget)" : "FAIL") + " (" +
            fmtSeconds(R.Seconds) + ", " + std::to_string(R.PathsCompleted) +
            " paths, " + std::to_string(R.Solver.EntailQueries) +
            " entailments, " + std::to_string(R.Solver.SatQueries) +
@@ -106,7 +107,8 @@ std::string HybridReport::summaryText() const {
     unsigned Proved = 0;
     for (const creusot::SafeObligation &O : R.Obligations)
       Proved += O.Ok;
-    Out += "  [creusot] " + R.Func + ": " + (R.Ok ? "ok" : "FAIL") + " (" +
+    Out += "  [creusot] " + R.Func + ": " +
+           (R.Ok ? "ok" : R.TimedOut ? "UNKNOWN (budget)" : "FAIL") + " (" +
            fmtSeconds(R.Seconds) + ", " + std::to_string(Proved) + "/" +
            std::to_string(R.Obligations.size()) + " obligations, " +
            std::to_string(R.Solver.EntailQueries) + " entailments)\n";
@@ -122,6 +124,8 @@ std::string HybridReport::renderJson() const {
     Out += I ? "," : "";
     Out += "\n    {\"func\": \"" + jsonEscape(R.Func) + "\"";
     Out += ", \"ok\": " + std::string(R.Ok ? "true" : "false");
+    if (R.TimedOut)
+      Out += ", \"timed_out\": true";
     Out += ", \"seconds\": " + std::to_string(R.Seconds);
     Out += ", \"paths\": " + std::to_string(R.PathsCompleted);
     Out += ", \"states\": " + std::to_string(R.StatesExplored);
@@ -147,6 +151,8 @@ std::string HybridReport::renderJson() const {
     Out += I ? "," : "";
     Out += "\n    {\"func\": \"" + jsonEscape(R.Func) + "\"";
     Out += ", \"ok\": " + std::string(R.Ok ? "true" : "false");
+    if (R.TimedOut)
+      Out += ", \"timed_out\": true";
     Out += ", \"seconds\": " + std::to_string(R.Seconds);
     Out += ", \"solver\": " + solverStatsJson(R.Solver);
     Out += ", \"obligations\": [";

@@ -17,6 +17,10 @@
 #include "hybrid/Encode.h"
 
 namespace gilr {
+namespace sched {
+struct SchedulerConfig;
+} // namespace sched
+
 namespace hybrid {
 
 /// Combined report of one hybrid run.
@@ -56,9 +60,18 @@ public:
   Outcome<Unit> encodeAndRegister(const std::string &Func);
 
   /// Verifies the listed unsafe implementations (Gillian-Rust side) and
-  /// safe clients (Creusot side).
+  /// safe clients (Creusot side), serially.
   HybridReport run(const std::vector<std::string> &UnsafeFuncs,
                    const std::vector<creusot::SafeFn> &Clients);
+
+  /// Same, through the proof scheduler: every obligation of both sides is
+  /// an independent job on a work-stealing pool with a shared entailment
+  /// cache and per-job budgets (sched/Scheduler.h). Serial when
+  /// Config.Threads == 1. Reports are emitted in input order either way.
+  /// Defined in sched/Scheduler.cpp.
+  HybridReport run(const std::vector<std::string> &UnsafeFuncs,
+                   const std::vector<creusot::SafeFn> &Clients,
+                   const sched::SchedulerConfig &Config);
 
 private:
   engine::VerifEnv &Env;

@@ -310,6 +310,7 @@ TypeRef TyCtx::lookup(const std::string &Name) const {
 }
 
 TypeRef TyCtx::byName(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(ByNameMu);
   auto It = AllByName.find(Name);
   if (It != AllByName.end())
     return It->second;

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -186,6 +187,9 @@ private:
   std::map<TypeRef, TypeRef> MutRefs;
   std::map<std::pair<TypeRef, uint64_t>, TypeRef> Arrays;
   std::map<TypeRef, TypeRef> Options;
+  /// byName() lazily refreshes this cache under const; parallel proof
+  /// workers decode pointer values concurrently, so it needs a lock.
+  mutable std::mutex ByNameMu;
   mutable std::map<std::string, TypeRef> AllByName;
 };
 

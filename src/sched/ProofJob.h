@@ -1,0 +1,76 @@
+//===- sched/ProofJob.h - Proof obligations as schedulable jobs ------------===//
+///
+/// \file
+/// The job model of the proof scheduler. The hybrid workflow (§2.1, Fig. 1)
+/// decomposes a library into per-(function, spec) obligations that are
+/// verified compositionally and independently: every unsafe Gillian-Rust
+/// function and every safe Creusot client becomes one \c ProofJob, and a
+/// \c JobGraph materialises the full set for one run. Jobs carry the index
+/// of their report slot, so results are collected in deterministic input
+/// order regardless of which worker finishes first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SCHED_PROOFJOB_H
+#define GILR_SCHED_PROOFJOB_H
+
+#include "creusot/SafeVerifier.h"
+#include "engine/Verifier.h"
+
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace sched {
+
+/// How a finished job is classified.
+enum class JobStatus : uint8_t {
+  Proved,  ///< All obligations discharged.
+  Failed,  ///< A definite proof failure.
+  Unknown, ///< Budget exhausted: neither proved nor refuted.
+};
+
+/// One independent proof obligation.
+struct ProofJob {
+  enum Kind : uint8_t {
+    UnsafeFn,   ///< Gillian-Rust side: one (function, spec) pair.
+    SafeClient, ///< Creusot side: one safe client function.
+  } K = UnsafeFn;
+
+  std::string Name;
+  /// Report slot on the job's side (UnsafeSide / SafeSide index).
+  std::size_t Slot = 0;
+  /// SafeClient only: the client body (owned by the caller of the run).
+  const creusot::SafeFn *Client = nullptr;
+};
+
+/// The materialised job set of one run. Obligations are independent (no
+/// edges yet — compositional verification gives an embarrassingly parallel
+/// graph); the struct still owns the input-order bookkeeping that keeps
+/// reports deterministic.
+struct JobGraph {
+  std::vector<ProofJob> Jobs;
+  std::size_t UnsafeCount = 0;
+  std::size_t SafeCount = 0;
+
+  /// One job per unsafe function and one per safe client, in input order.
+  static JobGraph build(const std::vector<std::string> &UnsafeFuncs,
+                        const std::vector<creusot::SafeFn> &Clients) {
+    JobGraph G;
+    G.UnsafeCount = UnsafeFuncs.size();
+    G.SafeCount = Clients.size();
+    G.Jobs.reserve(UnsafeFuncs.size() + Clients.size());
+    for (std::size_t I = 0; I != UnsafeFuncs.size(); ++I)
+      G.Jobs.push_back(ProofJob{ProofJob::UnsafeFn, UnsafeFuncs[I], I,
+                                nullptr});
+    for (std::size_t I = 0; I != Clients.size(); ++I)
+      G.Jobs.push_back(ProofJob{ProofJob::SafeClient, Clients[I].Name, I,
+                                &Clients[I]});
+    return G;
+  }
+};
+
+} // namespace sched
+} // namespace gilr
+
+#endif // GILR_SCHED_PROOFJOB_H

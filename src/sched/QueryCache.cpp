@@ -1,0 +1,104 @@
+//===- sched/QueryCache.cpp -------------------------------------------------------===//
+
+#include "sched/QueryCache.h"
+
+#include "support/Trace.h"
+
+using namespace gilr;
+using namespace gilr::sched;
+
+QueryCache::QueryCache(std::size_t Capacity)
+    : Shards(new Shard[NumShards]), TotalCapacity(Capacity) {
+  std::size_t PerShard = Capacity / NumShards;
+  if (PerShard == 0 && Capacity > 0)
+    PerShard = 1;
+  for (std::size_t I = 0; I != NumShards; ++I)
+    Shards[I].Capacity = PerShard;
+}
+
+QueryCache::~QueryCache() = default;
+
+std::size_t QueryCache::shardOf(uint64_t Fp) {
+  // The low bits feed the shard's hash map; pick high bits for the shard so
+  // the two partitions stay independent.
+  return (Fp >> 59) & (NumShards - 1);
+}
+
+bool QueryCache::lookup(uint64_t Fp, uint64_t Fp2, QueryVerdict &Out) {
+  Shard &S = Shards[shardOf(Fp)];
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Fp);
+    if (It != S.Map.end() && It->second->Fp2 == Fp2) {
+      // Touch: move to the front of the LRU list.
+      S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
+      Out = It->second->V;
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      if (trace::enabled())
+        metrics::Registry::get().add("cache.hit");
+      return true;
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  if (trace::enabled())
+    metrics::Registry::get().add("cache.miss");
+  return false;
+}
+
+void QueryCache::insert(uint64_t Fp, uint64_t Fp2, const QueryVerdict &V) {
+  // Unknown must never be memoised: it depends on transient budgets, and
+  // replaying it could mask a definite answer a fresh search would find.
+  if (V.R == SatResult::Unknown)
+    return;
+  Shard &S = Shards[shardOf(Fp)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Capacity == 0)
+    return;
+  auto It = S.Map.find(Fp);
+  if (It != S.Map.end()) {
+    // Racing insert of the same query from two workers refreshes recency
+    // (identical queries produce identical verdicts). A primary-fingerprint
+    // collision (different check hash) hands the slot to the newcomer so it
+    // does not miss forever.
+    It->second->Fp2 = Fp2;
+    It->second->V = V;
+    S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
+    return;
+  }
+  if (S.LRU.size() >= S.Capacity) {
+    S.Map.erase(S.LRU.back().Fp);
+    S.LRU.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  S.LRU.push_front(Entry{Fp, Fp2, V});
+  S.Map[Fp] = S.LRU.begin();
+  Insertions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void QueryCache::clear() {
+  for (std::size_t I = 0; I != NumShards; ++I) {
+    Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.LRU.clear();
+    S.Map.clear();
+  }
+}
+
+std::size_t QueryCache::size() const {
+  std::size_t N = 0;
+  for (std::size_t I = 0; I != NumShards; ++I) {
+    Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.LRU.size();
+  }
+  return N;
+}
+
+CacheStatsSnapshot QueryCache::stats() const {
+  CacheStatsSnapshot Snap;
+  Snap.Hits = Hits.load(std::memory_order_relaxed);
+  Snap.Misses = Misses.load(std::memory_order_relaxed);
+  Snap.Insertions = Insertions.load(std::memory_order_relaxed);
+  Snap.Evictions = Evictions.load(std::memory_order_relaxed);
+  return Snap;
+}

@@ -1,0 +1,125 @@
+//===- sched/QueryCache.h - Sharded, thread-safe entailment memo -----------===//
+///
+/// \file
+/// The scheduler's query cache: a sharded, LRU-bounded memo from normalized
+/// (ctx, goal) query fingerprints to definite solver verdicts. PR 1's
+/// telemetry measured a substantial syntactic repeat rate across entailment
+/// queries (SolverStats::EntailRepeats); this cache converts that headroom
+/// into real speedup by answering repeats without re-running the DPLL
+/// search. It implements the \c QueryMemo interface consulted by
+/// \c Solver::checkSat (and therefore \c Solver::entails).
+///
+/// Soundness: only definite \c Sat / \c Unsat verdicts are stored —
+/// \c Unknown (budget/depth exhaustion) is never memoised — and the key
+/// includes the solver's branch budget, so a cached answer is exactly the
+/// answer the full search would produce for that query. A 64-bit check hash
+/// independent of the primary fingerprint guards against collisions
+/// (effective 128-bit key).
+///
+/// Concurrency: the table is split into \c NumShards shards selected by
+/// fingerprint bits, each with its own mutex, LRU list and capacity, so
+/// workers hitting different shards never contend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SCHED_QUERYCACHE_H
+#define GILR_SCHED_QUERYCACHE_H
+
+#include "solver/Solver.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace gilr {
+namespace sched {
+
+/// Snapshot of cache activity (values, not atomics).
+struct CacheStatsSnapshot {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+class QueryCache final : public QueryMemo {
+public:
+  /// Number of independently locked shards (a power of two).
+  static constexpr std::size_t NumShards = 16;
+
+  /// \p Capacity bounds the total number of entries across all shards
+  /// (each shard holds Capacity/NumShards, at least 1).
+  explicit QueryCache(std::size_t Capacity);
+  ~QueryCache() override;
+
+  QueryCache(const QueryCache &) = delete;
+  QueryCache &operator=(const QueryCache &) = delete;
+
+  // QueryMemo interface (thread-safe).
+  bool lookup(uint64_t Fp, uint64_t Fp2, QueryVerdict &Out) override;
+  void insert(uint64_t Fp, uint64_t Fp2, const QueryVerdict &V) override;
+
+  /// Drops every entry (stats are kept).
+  void clear();
+
+  /// Current number of resident entries (sums the shards; racy but exact
+  /// when quiescent).
+  std::size_t size() const;
+
+  std::size_t capacity() const { return TotalCapacity; }
+
+  CacheStatsSnapshot stats() const;
+
+  /// Shard an entry with fingerprint \p Fp lands in (exposed for the
+  /// cross-shard isolation test).
+  static std::size_t shardOf(uint64_t Fp);
+
+private:
+  struct Entry {
+    uint64_t Fp;
+    uint64_t Fp2;
+    QueryVerdict V;
+  };
+  struct Shard {
+    mutable std::mutex Mu;
+    /// Front = most recently used.
+    std::list<Entry> LRU;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> Map;
+    std::size_t Capacity = 0;
+  };
+
+  std::unique_ptr<Shard[]> Shards;
+  std::size_t TotalCapacity;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Insertions{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
+/// RAII: installs \p C as the process-wide query memo for the current
+/// scope, restoring the previous memo on destruction.
+class ScopedQueryCache {
+public:
+  explicit ScopedQueryCache(QueryCache *C) : Prev(setQueryMemo(C)) {}
+  ~ScopedQueryCache() { setQueryMemo(Prev); }
+  ScopedQueryCache(const ScopedQueryCache &) = delete;
+  ScopedQueryCache &operator=(const ScopedQueryCache &) = delete;
+
+private:
+  QueryMemo *Prev;
+};
+
+} // namespace sched
+} // namespace gilr
+
+#endif // GILR_SCHED_QUERYCACHE_H

@@ -1,0 +1,150 @@
+//===- sched/Scheduler.cpp --------------------------------------------------------===//
+//
+// Also defines the SchedulerConfig-taking overloads declared on
+// hybrid::HybridDriver and engine::Verifier: the scheduler is the layer
+// between the drivers and the engine, so those entry points live here
+// rather than in the lower-level libraries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Scheduler.h"
+
+#include "sched/WorkerPool.h"
+#include "support/Budget.h"
+#include "support/Trace.h"
+
+using namespace gilr;
+using namespace gilr::sched;
+
+Scheduler::Scheduler(const SchedulerConfig &C) : Config(C) {
+  if (Config.CacheCapacity > 0)
+    Cache = std::make_unique<QueryCache>(Config.CacheCapacity);
+}
+
+Scheduler::~Scheduler() = default;
+
+CacheStatsSnapshot Scheduler::cacheStats() const {
+  return Cache ? Cache->stats() : CacheStatsSnapshot{};
+}
+
+namespace {
+
+/// Arms the job budget, runs \p Body, and reports whether the budget fired.
+template <typename BodyFn>
+bool withJobBudget(const SchedulerConfig &C, BodyFn &&Body) {
+  budget::JobScope Scope(C.JobTimeoutMs * 1000000ull, C.JobBranchCap);
+  Body();
+  return budget::wasExceeded();
+}
+
+void markBudgetExhausted(std::vector<std::string> &Errors, bool &Ok,
+                         bool &TimedOut, const std::string &Name) {
+  Ok = false;
+  TimedOut = true;
+  Errors.push_back("job budget exhausted in " + Name + " (" +
+                   budget::describe() + "): result is Unknown");
+}
+
+} // namespace
+
+void Scheduler::runJobs(
+    const JobGraph &G,
+    const std::function<void(const ProofJob &)> &RunOne) {
+  // The cache is installed process-wide for the duration of the run; the
+  // pool's synchronisation publishes it to the workers.
+  ScopedQueryCache Install(Cache.get());
+
+  if (trace::enabled())
+    metrics::Registry::get().add("sched.jobs", G.Jobs.size());
+
+  if (Config.Threads <= 1 || G.Jobs.size() <= 1) {
+    for (const ProofJob &J : G.Jobs)
+      RunOne(J);
+    return;
+  }
+
+  unsigned Threads = Config.Threads;
+  if (static_cast<std::size_t>(Threads) > G.Jobs.size())
+    Threads = static_cast<unsigned>(G.Jobs.size());
+  WorkerPool Pool(Threads);
+  for (const ProofJob &J : G.Jobs)
+    Pool.submit([&RunOne, &J] { RunOne(J); });
+  Pool.wait();
+  if (trace::enabled())
+    metrics::Registry::get().add("sched.steals", Pool.steals());
+}
+
+hybrid::HybridReport
+Scheduler::runHybrid(engine::VerifEnv &Env,
+                     const creusot::PearliteSpecTable &Contracts,
+                     const std::vector<std::string> &UnsafeFuncs,
+                     const std::vector<creusot::SafeFn> &Clients) {
+  hybrid::HybridReport Report;
+  Report.UnsafeSide.resize(UnsafeFuncs.size());
+  Report.SafeSide.resize(Clients.size());
+
+  JobGraph G = JobGraph::build(UnsafeFuncs, Clients);
+  runJobs(G, [&](const ProofJob &J) {
+    // The per-job root span: everything the worker does for this obligation
+    // nests under it, so GILR_TRACE output stays attributable per job.
+    GILR_TRACE_SCOPE_D("sched", "job", J.Name);
+    if (J.K == ProofJob::UnsafeFn) {
+      engine::VerifyReport R;
+      bool Exhausted = withJobBudget(Config, [&] {
+        engine::Verifier V(Env);
+        R = V.verifyFunction(J.Name);
+      });
+      if (Exhausted)
+        markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
+      Report.UnsafeSide[J.Slot] = std::move(R);
+    } else {
+      creusot::SafeReport R;
+      bool Exhausted = withJobBudget(Config, [&] {
+        creusot::SafeVerifier SV(Contracts, Env.Solv);
+        R = SV.verify(*J.Client);
+      });
+      if (Exhausted)
+        markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
+      Report.SafeSide[J.Slot] = std::move(R);
+    }
+  });
+  return Report;
+}
+
+std::vector<engine::VerifyReport>
+Scheduler::verifyAll(engine::VerifEnv &Env,
+                     const std::vector<std::string> &Names) {
+  std::vector<engine::VerifyReport> Reports(Names.size());
+  JobGraph G = JobGraph::build(Names, {});
+  runJobs(G, [&](const ProofJob &J) {
+    GILR_TRACE_SCOPE_D("sched", "job", J.Name);
+    engine::VerifyReport R;
+    bool Exhausted = withJobBudget(Config, [&] {
+      engine::Verifier V(Env);
+      R = V.verifyFunction(J.Name);
+    });
+    if (Exhausted)
+      markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
+    Reports[J.Slot] = std::move(R);
+  });
+  return Reports;
+}
+
+//===----------------------------------------------------------------------===//
+// SchedulerConfig entry points of the lower layers
+//===----------------------------------------------------------------------===//
+
+hybrid::HybridReport
+hybrid::HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
+                          const std::vector<creusot::SafeFn> &Clients,
+                          const sched::SchedulerConfig &Config) {
+  Scheduler S(Config);
+  return S.runHybrid(Env, Contracts, UnsafeFuncs, Clients);
+}
+
+std::vector<engine::VerifyReport>
+engine::Verifier::verifyAll(const std::vector<std::string> &Names,
+                            const sched::SchedulerConfig &Config) {
+  Scheduler S(Config);
+  return S.verifyAll(Env, Names);
+}

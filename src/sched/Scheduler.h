@@ -1,0 +1,92 @@
+//===- sched/Scheduler.h - Parallel proof scheduling -----------------------===//
+///
+/// \file
+/// The proof scheduler: runs the independent obligations of a verification
+/// run (ProofJob.h) on a work-stealing pool (WorkerPool.h) with a shared,
+/// sharded entailment memo (QueryCache.h) and a per-job budget
+/// (support/Budget.h) that degrades stuck obligations to a reported
+/// \c Unknown instead of stalling the pool.
+///
+/// Drivers reach it through \c HybridDriver::run and
+/// \c engine::Verifier::verifyAll overloads taking a \c SchedulerConfig;
+/// \c Threads == 1 keeps the serial semantics (jobs run inline, in input
+/// order, on the calling thread) while still exercising the cache and
+/// budget paths. Reports are always emitted in deterministic input order;
+/// with budgets disabled, the parallel report (timing aside) is
+/// byte-identical to the serial one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SCHED_SCHEDULER_H
+#define GILR_SCHED_SCHEDULER_H
+
+#include "hybrid/Driver.h"
+#include "sched/ProofJob.h"
+#include "sched/QueryCache.h"
+
+#include <memory>
+
+namespace gilr {
+namespace sched {
+
+/// Knobs of one scheduled run.
+struct SchedulerConfig {
+  /// Worker threads; 1 = serial on the calling thread (the default).
+  unsigned Threads = 1;
+  /// Total entries of the sharded entailment cache; 0 disables caching.
+  std::size_t CacheCapacity = 1u << 16;
+  /// Per-job wall-clock budget in milliseconds; 0 = unlimited. Budgeted
+  /// jobs that run out degrade to JobStatus::Unknown. Note that budgets
+  /// trade determinism for liveness: a near-deadline job may flip between
+  /// Unknown and Proved across runs.
+  uint64_t JobTimeoutMs = 0;
+  /// Per-job cap on DPLL branches; 0 = unlimited.
+  uint64_t JobBranchCap = 0;
+};
+
+/// Orchestrates one or more verification runs under a single cache. The
+/// cache persists across run* calls on the same scheduler, so a bench can
+/// measure warm-cache behaviour; HybridDriver / Verifier construct a fresh
+/// scheduler per call.
+class Scheduler {
+public:
+  explicit Scheduler(const SchedulerConfig &C);
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Verifies both hybrid sides: every unsafe function and every safe
+  /// client is an independent job. Reports come back in input order.
+  hybrid::HybridReport runHybrid(engine::VerifEnv &Env,
+                                 const creusot::PearliteSpecTable &Contracts,
+                                 const std::vector<std::string> &UnsafeFuncs,
+                                 const std::vector<creusot::SafeFn> &Clients);
+
+  /// Unsafe side only (the engine::Verifier::verifyAll path).
+  std::vector<engine::VerifyReport>
+  verifyAll(engine::VerifEnv &Env, const std::vector<std::string> &Names);
+
+  const SchedulerConfig &config() const { return Config; }
+
+  /// The entailment cache (nullptr when CacheCapacity == 0).
+  const QueryCache *cache() const { return Cache.get(); }
+
+  /// Cache activity so far (zeros when caching is disabled).
+  CacheStatsSnapshot cacheStats() const;
+
+private:
+  /// Runs every job of \p G, writing results through \p RunOne (which
+  /// receives the job and must store into its slot). Parallel iff
+  /// Threads > 1.
+  void runJobs(const JobGraph &G,
+               const std::function<void(const ProofJob &)> &RunOne);
+
+  SchedulerConfig Config;
+  std::unique_ptr<QueryCache> Cache;
+};
+
+} // namespace sched
+} // namespace gilr
+
+#endif // GILR_SCHED_SCHEDULER_H

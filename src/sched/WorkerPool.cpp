@@ -1,0 +1,106 @@
+//===- sched/WorkerPool.cpp -------------------------------------------------------===//
+
+#include "sched/WorkerPool.h"
+
+using namespace gilr;
+using namespace gilr::sched;
+
+WorkerPool::WorkerPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Queues.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  this->Threads.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    this->Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  wait();
+  Stopping.store(true);
+  {
+    // Pair the notify with the lock so a worker between its predicate check
+    // and its wait cannot miss the stop signal.
+    std::lock_guard<std::mutex> Lock(WakeMu);
+  }
+  Wake.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::submit(Task T) {
+  unsigned Idx = NextQueue.fetch_add(1, std::memory_order_relaxed) %
+                 Queues.size();
+  Pending.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Idx]->Mu);
+    Queues[Idx]->Q.push_back(std::move(T));
+  }
+  Queued.fetch_add(1, std::memory_order_release);
+  {
+    // Serialise with a worker sitting between its predicate check and its
+    // sleep: acquiring the wake mutex here means the notify below cannot
+    // land in that window and get lost.
+    std::lock_guard<std::mutex> Lock(WakeMu);
+  }
+  Wake.notify_one();
+}
+
+bool WorkerPool::tryTake(unsigned Self, Task &Out) {
+  // Own deque first, newest task (LIFO keeps the worker on related work).
+  {
+    WorkerQueue &Q = *Queues[Self];
+    std::lock_guard<std::mutex> Lock(Q.Mu);
+    if (!Q.Q.empty()) {
+      Out = std::move(Q.Q.back());
+      Q.Q.pop_back();
+      Queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal the oldest task from the first non-empty victim.
+  for (std::size_t I = 1; I != Queues.size(); ++I) {
+    WorkerQueue &Q = *Queues[(Self + I) % Queues.size()];
+    std::lock_guard<std::mutex> Lock(Q.Mu);
+    if (!Q.Q.empty()) {
+      Out = std::move(Q.Q.front());
+      Q.Q.pop_front();
+      Queued.fetch_sub(1, std::memory_order_relaxed);
+      Steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::workerMain(unsigned Id) {
+  for (;;) {
+    Task T;
+    if (tryTake(Id, T)) {
+      T();
+      if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(WakeMu);
+        Idle.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(WakeMu);
+    if (Stopping.load())
+      return;
+    if (Queued.load(std::memory_order_acquire) != 0)
+      continue; // A task arrived between tryTake and the lock.
+    Wake.wait(Lock, [this] {
+      return Stopping.load() || Queued.load(std::memory_order_acquire) != 0;
+    });
+    if (Stopping.load() && Queued.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void WorkerPool::wait() {
+  std::unique_lock<std::mutex> Lock(WakeMu);
+  Idle.wait(Lock, [this] {
+    return Pending.load(std::memory_order_acquire) == 0;
+  });
+}

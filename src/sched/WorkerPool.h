@@ -1,0 +1,80 @@
+//===- sched/WorkerPool.h - Work-stealing thread pool ----------------------===//
+///
+/// \file
+/// The scheduler's execution substrate: a fixed set of worker threads, each
+/// owning a deque of tasks. Submission round-robins across the deques; a
+/// worker pops from the back of its own deque (LIFO, cache-warm) and, when
+/// empty, steals from the front of a victim's deque (FIFO, the oldest —
+/// largest-remaining — work). Proof jobs are independent (compositional
+/// per-(function, spec) obligations), so there is no inter-task ordering to
+/// maintain; \c wait() provides the only barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SCHED_WORKERPOOL_H
+#define GILR_SCHED_WORKERPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gilr {
+namespace sched {
+
+class WorkerPool {
+public:
+  using Task = std::function<void()>;
+
+  /// Spawns \p Threads workers (at least 1).
+  explicit WorkerPool(unsigned Threads);
+
+  /// Waits for all tasks, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Enqueues \p T. Safe from any thread, including workers.
+  void submit(Task T);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait();
+
+  unsigned threads() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Number of tasks a worker took from another worker's deque.
+  uint64_t steals() const { return Steals.load(std::memory_order_relaxed); }
+
+private:
+  struct WorkerQueue {
+    std::mutex Mu;
+    std::deque<Task> Q;
+  };
+
+  void workerMain(unsigned Id);
+  bool tryTake(unsigned Self, Task &Out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Threads;
+
+  std::mutex WakeMu;
+  std::condition_variable Wake; ///< Workers sleep here when idle.
+  std::condition_variable Idle; ///< wait() sleeps here.
+
+  std::atomic<std::size_t> Queued{0};  ///< Submitted, not yet taken.
+  std::atomic<std::size_t> Pending{0}; ///< Submitted, not yet finished.
+  std::atomic<bool> Stopping{false};
+  std::atomic<unsigned> NextQueue{0};
+  std::atomic<uint64_t> Steals{0};
+};
+
+} // namespace sched
+} // namespace gilr
+
+#endif // GILR_SCHED_WORKERPOOL_H

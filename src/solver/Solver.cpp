@@ -5,10 +5,12 @@
 #include "solver/Congruence.h"
 #include "solver/LinArith.h"
 #include "solver/Simplify.h"
+#include "support/Budget.h"
 #include "support/StringUtils.h"
 #include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 
+#include <atomic>
 #include <map>
 #include <set>
 
@@ -18,6 +20,18 @@ namespace {
 
 /// The process-wide counters (shared by every Solver instance).
 SolverStats &gstats() { return metrics::solverStats(); }
+
+/// Bumps a counter in both the process-wide and the thread-local stats; the
+/// latter attributes the work to the proof job on this worker thread.
+void bump(RelaxedCounter SolverStats::*F) {
+  ++(gstats().*F);
+  ++(metrics::threadSolverStats().*F);
+}
+
+/// The process-wide query memo (installed by the scheduler; see
+/// sched/QueryCache.h). Relaxed is fine: installation happens-before the
+/// worker threads start via the pool's synchronisation.
+std::atomic<QueryMemo *> ActiveMemo{nullptr};
 
 /// Order-insensitive structural fingerprint of an entails query, built from
 /// the precomputed per-node hashes. Used to count syntactically-identical
@@ -33,25 +47,87 @@ uint64_t entailFingerprint(const std::vector<Expr> &Ctx, const Expr &Goal) {
   return static_cast<uint64_t>(Seed);
 }
 
+/// splitmix64 finaliser: decorrelates the check hash from the primary one.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Normalized (order-insensitive) fingerprint of a checkSat query over the
+/// already-simplified assertion set, keyed by the branch budget too (the
+/// verdict of a budget-limited search depends on it). \p Fp2 receives an
+/// independent mix of the same inputs, giving the memo an effective 128-bit
+/// key.
+void satFingerprint(const std::vector<Expr> &Work, unsigned MaxBranches,
+                    uint64_t &Fp, uint64_t &Fp2) {
+  uint64_t Sum = 0, Sum2 = 0;
+  for (const Expr &A : Work) {
+    uint64_t H = static_cast<uint64_t>(A->hash());
+    Sum += H; // Commutative: assertion order is irrelevant.
+    Sum2 += mix64(H);
+  }
+  std::size_t Seed = 0x5a7f;
+  hashCombine(Seed, Sum);
+  hashCombine(Seed, Work.size());
+  hashCombine(Seed, MaxBranches);
+  Fp = static_cast<uint64_t>(Seed);
+  Fp2 = mix64(Sum2 ^ (static_cast<uint64_t>(Work.size()) << 32) ^
+              MaxBranches);
+}
+
 } // namespace
+
+QueryMemo *gilr::setQueryMemo(QueryMemo *M) {
+  return ActiveMemo.exchange(M);
+}
+
+QueryMemo *gilr::queryMemo() {
+  return ActiveMemo.load(std::memory_order_relaxed);
+}
 
 //===----------------------------------------------------------------------===//
 // Query entry points
 //===----------------------------------------------------------------------===//
 
 SatResult Solver::checkSat(const std::vector<Expr> &Assertions) {
-  ++gstats().SatQueries;
+  bump(&SolverStats::SatQueries);
   GILR_TRACE_SCOPE("solver", "checkSat");
-  uint64_t T0 = trace::enabled() ? trace::nowNs() : 0;
-  unsigned Budget = MaxBranches;
   std::vector<Expr> Work;
   Work.reserve(Assertions.size());
   for (const Expr &A : Assertions)
     Work.push_back(simplify(A));
+
+  // Consult the memo before searching. Only Sat/Unsat are ever stored, so a
+  // hit returns exactly what the search below would compute; the memoised
+  // work delta is replayed into the thread-local job stats to keep per-job
+  // reports independent of cache state.
+  QueryMemo *Memo = queryMemo();
+  uint64_t Fp = 0, Fp2 = 0;
+  if (Memo) {
+    satFingerprint(Work, MaxBranches, Fp, Fp2);
+    QueryVerdict V;
+    if (Memo->lookup(Fp, Fp2, V)) {
+      SolverStats &TS = metrics::threadSolverStats();
+      TS.Branches += V.Branches;
+      TS.TheoryChecks += V.TheoryChecks;
+      trace::instant("solver", "cache-hit");
+      return V.R;
+    }
+  }
+
+  uint64_t T0 = trace::enabled() ? trace::nowNs() : 0;
+  SolverStats TBefore = metrics::threadSolverStats();
+  unsigned Budget = MaxBranches;
   SatResult R = solveRec(std::move(Work), {}, 0, Budget);
   if (R == SatResult::Unknown) {
-    ++gstats().UnknownResults;
+    bump(&SolverStats::UnknownResults);
     trace::instant("solver", "unknown");
+  } else if (Memo) {
+    SolverStats Delta = metrics::threadSolverStats() - TBefore;
+    Memo->insert(Fp, Fp2, QueryVerdict{R, Delta.Branches,
+                                       Delta.TheoryChecks});
   }
   if (T0)
     metrics::Registry::get().recordSolverLatencyNs(trace::nowNs() - T0);
@@ -59,7 +135,7 @@ SatResult Solver::checkSat(const std::vector<Expr> &Assertions) {
 }
 
 bool Solver::entails(const std::vector<Expr> &Ctx, const Expr &Goal) {
-  ++gstats().EntailQueries;
+  bump(&SolverStats::EntailQueries);
   // Count would-be memo hits (the fingerprint set allocates, so only while
   // telemetry is collecting).
   if (trace::enabled() &&
@@ -115,6 +191,10 @@ SatResult Solver::solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
                            unsigned Depth, unsigned &Budget) {
   if (Budget == 0 || Depth > 256)
     return SatResult::Unknown;
+  // The job budget (armed by the scheduler) degrades to Unknown — which
+  // fails entailments, the sound direction — instead of stalling a worker.
+  if (budget::exceeded())
+    return SatResult::Unknown;
 
   while (!Work.empty()) {
     Expr F = Work.back();
@@ -134,7 +214,7 @@ SatResult Solver::solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
         if (Budget == 0)
           return SatResult::Unknown;
         --Budget;
-        ++gstats().Branches;
+        bump(&SolverStats::Branches);
         std::vector<Expr> BranchWork = Work;
         BranchWork.push_back(Kid);
         SatResult R = solveRec(std::move(BranchWork), Lits, Depth + 1, Budget);
@@ -194,7 +274,7 @@ SatResult Solver::solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
       if (Budget == 0)
         return SatResult::Unknown;
       --Budget;
-      ++gstats().Branches;
+      bump(&SolverStats::Branches);
       std::vector<Expr> BranchWork;
       BranchWork.push_back(Positive ? Cond : negate(Cond));
       std::vector<Literal> BranchLits;
@@ -249,7 +329,7 @@ SatResult Solver::theoryCheck(const std::vector<Literal> &Lits,
       if (Budget == 0)
         return SatResult::Unknown;
       --Budget;
-      ++gstats().Branches;
+      bump(&SolverStats::Branches);
       std::vector<Literal> BranchLits = Lits;
       BranchLits[I] = {Less ? mkLt(Atom->Kids[0], Atom->Kids[1])
                             : mkLt(Atom->Kids[1], Atom->Kids[0]),
@@ -266,7 +346,7 @@ SatResult Solver::theoryCheck(const std::vector<Literal> &Lits,
 }
 
 SatResult Solver::baseTheoryCheck(const std::vector<Literal> &LitsIn) {
-  ++gstats().TheoryChecks;
+  bump(&SolverStats::TheoryChecks);
 
   // 1. Instantiate the option axioms for IsSome literals.
   std::vector<Literal> Lits;

@@ -13,6 +13,13 @@
 /// verification — an entailment that cannot be proved fails the proof rather
 /// than admitting it.
 ///
+/// Memoisation: before the DPLL search, \c checkSat (and therefore
+/// \c entails, which delegates to it) consults the process-wide \c QueryMemo
+/// if one is installed (the scheduler's sharded QueryCache, src/sched/).
+/// Only definite \c Sat / \c Unsat verdicts are ever memoised — \c Unknown
+/// results (budget or depth exhaustion) are recomputed every time — so a
+/// cached answer is always the answer the full search would produce.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GILR_SOLVER_SOLVER_H
@@ -29,11 +36,42 @@ namespace gilr {
 
 enum class SatResult { Sat, Unsat, Unknown };
 
+/// A memoised query verdict plus the DPLL work the original computation
+/// performed. On a hit the work counts are replayed into the thread-local
+/// job statistics so a job's report is identical whether its queries were
+/// computed or served from the cache (identical queries do identical work).
+struct QueryVerdict {
+  SatResult R = SatResult::Unknown;
+  uint64_t Branches = 0;
+  uint64_t TheoryChecks = 0;
+};
+
+/// Abstract memo consulted by \c Solver::checkSat before the DPLL search.
+/// Implementations must be thread-safe; the scheduler's sharded LRU cache
+/// (sched/QueryCache.h) is the production one. \p Fp is the normalized
+/// (order-insensitive) structural fingerprint of the query; \p Fp2 an
+/// independent check hash guarding against fingerprint collisions.
+class QueryMemo {
+public:
+  virtual ~QueryMemo() = default;
+  virtual bool lookup(uint64_t Fp, uint64_t Fp2, QueryVerdict &Out) = 0;
+  virtual void insert(uint64_t Fp, uint64_t Fp2, const QueryVerdict &V) = 0;
+};
+
+/// Installs \p M as the process-wide query memo (nullptr uninstalls).
+/// Returns the previously installed memo. The memo must outlive all solver
+/// queries issued while it is installed.
+QueryMemo *setQueryMemo(QueryMemo *M);
+
+/// The currently installed process-wide query memo (may be nullptr).
+QueryMemo *queryMemo();
+
 /// The SMT-lite decision engine. Stateless between queries; statistics live
-/// in the process-wide metrics registry (see support/Metrics.h), so they
+/// in the process-wide metrics registry (see support/Metrics.h) and are
+/// mirrored into a thread-local instance for per-job attribution, so they
 /// survive across the many Solver instantiations in engine/, creusot/ and
-/// the harnesses. Callers wanting a per-phase delta snapshot the stats
-/// before and after (SolverStats::operator-).
+/// the harnesses. Callers wanting a per-phase delta snapshot the
+/// thread-local stats before and after (SolverStats::operator-).
 class Solver {
 public:
   /// Checks the conjunction of \p Assertions for satisfiability.
@@ -56,6 +94,8 @@ public:
   const SolverStats &stats() const { return metrics::solverStats(); }
 
   /// Maximum number of DPLL branches explored per query before giving up.
+  /// Part of the memo fingerprint: queries under different budgets never
+  /// share cache entries.
   unsigned MaxBranches = 50000;
 
 private:

@@ -1,0 +1,89 @@
+//===- support/Budget.cpp ---------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include "support/Metrics.h"
+
+#include <chrono>
+
+using namespace gilr;
+
+namespace {
+
+struct BudgetState {
+  bool Armed = false;
+  bool Tripped = false;       ///< Sticky within the armed job.
+  bool TrippedEver = false;   ///< Survives clear(), until the next begin().
+  bool WallTripped = false;
+  uint64_t DeadlineNs = 0;    ///< Absolute steady-clock ns; 0 = none.
+  uint64_t BranchCap = 0;     ///< 0 = none.
+  uint64_t BranchBase = 0;    ///< threadSolverStats().Branches at begin().
+  uint32_t Poll = 0;          ///< Clock sampling decimator.
+};
+
+BudgetState &state() {
+  thread_local BudgetState S;
+  return S;
+}
+
+uint64_t steadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+void gilr::budget::begin(uint64_t WallNs, uint64_t BranchCap) {
+  BudgetState &S = state();
+  S.Armed = WallNs != 0 || BranchCap != 0;
+  S.Tripped = false;
+  S.TrippedEver = false;
+  S.WallTripped = false;
+  S.DeadlineNs = WallNs ? steadyNs() + WallNs : 0;
+  S.BranchCap = BranchCap;
+  S.BranchBase = metrics::threadSolverStats().Branches;
+  S.Poll = 0;
+}
+
+void gilr::budget::clear() {
+  BudgetState &S = state();
+  S.Armed = false;
+  S.Tripped = false;
+  S.WallTripped = false;
+  S.DeadlineNs = 0;
+  S.BranchCap = 0;
+}
+
+bool gilr::budget::active() { return state().Armed; }
+
+bool gilr::budget::exceeded() {
+  BudgetState &S = state();
+  if (!S.Armed)
+    return false;
+  if (S.Tripped)
+    return true;
+  if (S.BranchCap &&
+      metrics::threadSolverStats().Branches - S.BranchBase > S.BranchCap) {
+    S.Tripped = S.TrippedEver = true;
+    return true;
+  }
+  // Sample the clock only every 64th poll: exceeded() sits on the solver's
+  // branch loop.
+  if (S.DeadlineNs && ++S.Poll % 64 == 0 && steadyNs() > S.DeadlineNs) {
+    S.Tripped = S.TrippedEver = true;
+    S.WallTripped = true;
+    return true;
+  }
+  return false;
+}
+
+bool gilr::budget::wasExceeded() { return state().TrippedEver; }
+
+std::string gilr::budget::describe() {
+  BudgetState &S = state();
+  if (!S.TrippedEver)
+    return "";
+  return S.WallTripped ? "wall-clock budget" : "branch budget";
+}

@@ -13,6 +13,11 @@ Registry &Registry::get() {
   return *R;
 }
 
+SolverStats &gilr::metrics::threadSolverStats() {
+  thread_local SolverStats S;
+  return S;
+}
+
 void Registry::add(const std::string &Name, uint64_t Delta) {
   std::lock_guard<std::mutex> Lock(Mu);
   Counters[Name] += Delta;
@@ -27,11 +32,31 @@ void Registry::recordSolverLatencyNs(uint64_t Ns) {
 }
 
 bool Registry::noteEntailFingerprint(uint64_t Fp) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  bool Repeat = !EntailSeen.insert(Fp).second;
-  if (Repeat)
+  bool Repeat = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = EntailSeen.find(Fp);
+    if (It != EntailSeen.end()) {
+      Repeat = true;
+    } else if (EntailSeen.size() >= EntailSeenCap) {
+      // Saturated: stop recording new fingerprints so a long traced run
+      // cannot grow the set without bound. The repeat rate becomes a lower
+      // bound from here on; the drop count marks it approximate.
+      ++EntailSeenDropped;
+    } else {
+      EntailSeen.insert(Fp);
+    }
+  }
+  if (Repeat) {
     ++Solver.EntailRepeats;
+    ++threadSolverStats().EntailRepeats;
+  }
   return Repeat;
+}
+
+uint64_t Registry::entailSeenOverflow() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return EntailSeenDropped;
 }
 
 std::map<std::string, uint64_t> Registry::counters() const {
@@ -48,6 +73,7 @@ void Registry::reset() {
   std::lock_guard<std::mutex> Lock(Mu);
   Counters.clear();
   EntailSeen.clear();
+  EntailSeenDropped = 0;
   Latency.fill(0);
   Solver = SolverStats();
 }

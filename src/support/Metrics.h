@@ -6,12 +6,20 @@
 /// instance, so counts survive the multiple instantiations in engine/,
 /// creusot/ and the test/bench harnesses), a log2 latency histogram for
 /// solver queries, and the repeat-entailment fingerprint set that
-/// quantifies the headroom of a future query cache.
+/// quantifies the headroom of the scheduler's query cache.
 ///
-/// Cost model: the \c SolverStats fields are plain increments and are always
-/// live. Everything that allocates (named counters, fingerprints, latency
-/// samples) is only fed by call sites when tracing is enabled, so the
-/// default GILR_TRACE=off configuration adds no allocation to any hot path.
+/// Concurrency: the proof scheduler (src/sched/) runs solver queries from
+/// many worker threads against the single shared \c SolverStats instance,
+/// so its fields are relaxed atomics wrapped in \c RelaxedCounter — plain
+/// reads/writes in the API (snapshots and \c operator- keep their value
+/// semantics), atomic increments underneath. Everything behind the
+/// registry's named-counter/histogram/fingerprint API is mutex-protected.
+///
+/// Cost model: the \c SolverStats fields are single relaxed atomic adds and
+/// are always live. Everything that allocates (named counters,
+/// fingerprints, latency samples) is only fed by call sites when tracing is
+/// enabled, so the default GILR_TRACE=off configuration adds no allocation
+/// to any hot path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +27,7 @@
 #define GILR_SUPPORT_METRICS_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -28,22 +37,59 @@
 
 namespace gilr {
 
+/// A monotonic counter that is safe to bump from concurrent proof workers:
+/// a relaxed atomic with value semantics (copy/assign snapshot the value),
+/// so structs of counters keep behaving like plain structs of integers.
+class RelaxedCounter {
+public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t X) : V(X) {}
+  RelaxedCounter(const RelaxedCounter &O) : V(O.get()) {}
+  RelaxedCounter &operator=(const RelaxedCounter &O) {
+    V.store(O.get(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter &operator=(uint64_t X) {
+    V.store(X, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t get() const { return V.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return get(); }
+
+  RelaxedCounter &operator++() {
+    V.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter &operator+=(uint64_t D) {
+    V.fetch_add(D, std::memory_order_relaxed);
+    return *this;
+  }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
 /// Counters of the SMT-lite solver. One process-wide instance lives in the
 /// metrics registry and is shared by every \c Solver (the per-instance
 /// stats of earlier revisions silently reset whenever a component built a
 /// fresh solver); reporting code takes before/after snapshots to attribute
-/// deltas to a phase.
+/// deltas to a phase. A second, thread-local instance
+/// (metrics::threadSolverStats) attributes work to the proof job running on
+/// the current worker thread — the per-function deltas in VerifyReport /
+/// SafeReport come from there, so they stay exact when the scheduler runs
+/// jobs concurrently.
 struct SolverStats {
-  uint64_t SatQueries = 0;
-  uint64_t EntailQueries = 0;
-  uint64_t Branches = 0;
-  uint64_t TheoryChecks = 0;
+  RelaxedCounter SatQueries;
+  RelaxedCounter EntailQueries;
+  RelaxedCounter Branches;
+  RelaxedCounter TheoryChecks;
   /// Queries the DPLL search gave up on (budget/depth exhaustion).
-  uint64_t UnknownResults = 0;
+  RelaxedCounter UnknownResults;
   /// Entailment calls whose (context, goal) fingerprint was already seen —
   /// the hit rate a syntactic query memo would achieve. Only counted while
   /// tracing is enabled (the fingerprint set allocates).
-  uint64_t EntailRepeats = 0;
+  RelaxedCounter EntailRepeats;
 
   SolverStats operator-(const SolverStats &O) const {
     SolverStats D;
@@ -64,12 +110,18 @@ namespace metrics {
 /// sub-nanosecond readings, the last bucket everything slower).
 constexpr std::size_t LatencyBuckets = 32;
 
+/// Cap on the repeat-entailment fingerprint set: long traced runs would
+/// otherwise grow it without bound. Once saturated, new fingerprints are no
+/// longer recorded (the reported repeat rate becomes approximate) and the
+/// overflow counter counts the drops.
+constexpr std::size_t EntailSeenCap = 1u << 20; // ~1M entries.
+
 class Registry {
 public:
   /// The process-wide registry.
   static Registry &get();
 
-  /// The shared solver statistics (always live; plain increments).
+  /// The shared solver statistics (always live; relaxed atomic increments).
   SolverStats Solver;
 
   /// Adds \p Delta to the named counter. Callers gate on trace::enabled().
@@ -79,8 +131,15 @@ public:
   void recordSolverLatencyNs(uint64_t Ns);
 
   /// Notes an entails-call fingerprint; returns true iff it was already
-  /// seen (a would-be memo hit). Bumps \c Solver.EntailRepeats itself.
+  /// seen (a would-be memo hit). Bumps \c Solver.EntailRepeats (process and
+  /// thread-local) itself. The set is capped at \c EntailSeenCap entries;
+  /// fingerprints arriving after saturation are dropped and counted in
+  /// \c entailSeenOverflow(), making the repeat rate approximate.
   bool noteEntailFingerprint(uint64_t Fp);
+
+  /// Number of fingerprints dropped because the seen-set was full. Nonzero
+  /// means the reported entail_repeat_rate is a lower bound.
+  uint64_t entailSeenOverflow() const;
 
   /// Snapshot of the named counters.
   std::map<std::string, uint64_t> counters() const;
@@ -97,11 +156,21 @@ private:
   mutable std::mutex Mu;
   std::map<std::string, uint64_t> Counters;
   std::unordered_set<uint64_t> EntailSeen;
+  uint64_t EntailSeenDropped = 0;
   std::array<uint64_t, LatencyBuckets> Latency = {};
 };
 
 /// Shorthand for Registry::get().Solver — the live process-wide stats.
 inline SolverStats &solverStats() { return Registry::get().Solver; }
+
+/// The calling thread's solver statistics. The solver bumps both this and
+/// the process-wide instance, so a proof job's before/after snapshot on its
+/// own worker thread attributes exactly its own work, even while other
+/// workers are running queries concurrently. On a cache hit the memoised
+/// work delta is replayed into this instance (and only this one), keeping
+/// per-job reports byte-identical whether the query was computed or served
+/// from the cache.
+SolverStats &threadSolverStats();
 
 } // namespace metrics
 } // namespace gilr

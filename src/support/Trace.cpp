@@ -348,6 +348,12 @@ gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
                           static_cast<double>(SS.EntailQueries)
                     : 0.0);
   Out += std::string(", \"entail_repeat_rate\": ") + Rate;
+  // The fingerprint set is capped (metrics::EntailSeenCap): once it
+  // overflows, the repeat rate is only a lower bound.
+  uint64_t Overflow = R.entailSeenOverflow();
+  Out += ", \"entail_seen_overflow\": " + std::to_string(Overflow);
+  Out += std::string(", \"entail_repeat_rate_approx\": ") +
+         (Overflow ? "true" : "false");
   Out += "},\n";
 
   Out += "  \"solver_latency_log2_ns\": [";
