@@ -1,0 +1,154 @@
+//===- bench/bench_intern.cpp - Hash-consing before/after -------------------===//
+//
+// Before/after harness for the interning layer (sym/Intern.h): runs a
+// shared-subterm-heavy workload — deep SeqConcat/Ite chains rebuilt from
+// scratch every repetition, duplicate-laden path conditions, repeated
+// entailments — once with hash-consing and the simplify memo disabled and
+// once enabled, and writes BENCH_intern.json (wall times, speedup, interned
+// node count, hit rates). No google-benchmark dependency; the two phases
+// must run in a fixed order inside one process, which gbench fixtures do
+// not guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/PathCondition.h"
+#include "solver/Simplify.h"
+#include "solver/Solver.h"
+#include "sym/ExprBuilder.h"
+#include "sym/Intern.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace gilr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A deep Ite/SeqConcat chain in which the same subterms recur at every
+/// layer — the shape produce/consume loops generate when re-materialising
+/// list assertions. Each layer references the previous one *twice* (in both
+/// Ite arms), so the chain is a linear-size DAG whose tree unfolding is
+/// exponential: identity-blind traversals (un-memoized simplify) pay
+/// O(2^depth) while the interned path stays O(depth). Depths here must stay
+/// modest or the baseline phase never finishes. \p Salt varies the leaves
+/// so the workload is not one single term.
+Expr buildChain(int Depth, int Salt) {
+  Expr X = mkVar("ix" + std::to_string(Salt), Sort::Int);
+  Expr Acc = mkSeqUnit(X);
+  for (int I = 0; I != Depth; ++I) {
+    Expr Grown = mkSeqConcat(Acc, mkSeqUnit(mkAdd(X, mkInt(I % 5))));
+    Acc = mkIte(mkLe(X, mkInt(I)), Grown, mkSeqConcat(mkSeqUnit(X), Acc));
+  }
+  return Acc;
+}
+
+/// One workload unit: rebuild the chain, simplify a length obligation over
+/// it, grow a path condition with a duplicate-heavy fact stream, and answer
+/// an entailment. Returns a sink value so nothing is optimised away.
+uint64_t runWorkload(int Reps, int Depth) {
+  uint64_t Sink = 0;
+  Solver S;
+  S.MaxBranches = 500;
+  for (int R = 0; R != Reps; ++R) {
+    Expr Chain = buildChain(Depth, R % 4);
+    Expr Obligation =
+        mkAnd(mkLe(mkInt(0), mkSeqLen(Chain)),
+              mkLe(mkSeqLen(mkSeqSub(Chain, mkInt(0), mkInt(1))),
+                   mkSeqLen(Chain)));
+    Sink += simplify(Obligation)->Kids.size();
+
+    PathCondition PC;
+    for (int I = 0; I != 64; ++I) {
+      Expr Small = buildChain(Depth / 3, R % 4);
+      // Half the stream repeats the same fact (dedup path), half is fresh.
+      Expr Bound = mkInt(I % 2 == 0 ? 0 : -(I / 2));
+      PC.add(mkLe(Bound, mkSeqLen(Small)));
+    }
+    Sink += PC.size();
+    if (PC.entails(S, mkLe(mkInt(0),
+                           mkSeqLen(buildChain(Depth / 3, R % 4)))))
+      ++Sink;
+  }
+  return Sink;
+}
+
+struct Phase {
+  double Ms = 0;
+  uint64_t Sink = 0;
+};
+
+Phase runPhase(bool Enabled, int Reps, int Depth) {
+  bool PrevIntern = setInterningEnabled(Enabled);
+  bool PrevMemo = setSimplifyMemoEnabled(Enabled);
+  auto T0 = Clock::now();
+  Phase P;
+  P.Sink = runWorkload(Reps, Depth);
+  P.Ms = std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+  setInterningEnabled(PrevIntern);
+  setSimplifyMemoEnabled(PrevMemo);
+  return P;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const std::string OutPath = Argc > 1 ? Argv[1] : "BENCH_intern.json";
+  const int Reps = 24;
+  const int Depth = 16;
+
+  // Warm both configurations once so neither phase pays first-touch costs.
+  runPhase(false, 2, Depth);
+  runPhase(true, 2, Depth);
+
+  Phase Baseline = runPhase(false, Reps, Depth);
+
+  InternStats I0 = internStats();
+  SimplifyStats M0 = simplifyMemoStats();
+  Phase Interned = runPhase(true, Reps, Depth);
+  InternStats I1 = internStats();
+  SimplifyStats M1 = simplifyMemoStats();
+
+  if (Baseline.Sink != Interned.Sink)
+    std::fprintf(stderr,
+                 "warning: phases disagree on the workload sink "
+                 "(%llu vs %llu)\n",
+                 static_cast<unsigned long long>(Baseline.Sink),
+                 static_cast<unsigned long long>(Interned.Sink));
+
+  double Speedup = Interned.Ms > 0 ? Baseline.Ms / Interned.Ms : 0;
+  uint64_t Lookups = (I1.Hits - I0.Hits) + (I1.Misses - I0.Misses);
+  double InternHitRate =
+      Lookups ? static_cast<double>(I1.Hits - I0.Hits) / Lookups : 0;
+  uint64_t MemoLookups = (M1.Hits - M0.Hits) + (M1.Misses - M0.Misses);
+  double MemoHitRate =
+      MemoLookups ? static_cast<double>(M1.Hits - M0.Hits) / MemoLookups : 0;
+
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::perror("bench_intern: fopen");
+    return 1;
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out,
+               "  \"workload\": \"shared-subterm SeqConcat/Ite chains "
+               "(depth %d, %d reps)\",\n",
+               Depth, Reps);
+  std::fprintf(Out, "  \"baseline_ms\": %.3f,\n", Baseline.Ms);
+  std::fprintf(Out, "  \"interned_ms\": %.3f,\n", Interned.Ms);
+  std::fprintf(Out, "  \"speedup\": %.3f,\n", Speedup);
+  std::fprintf(Out, "  \"interned_nodes\": %llu,\n",
+               static_cast<unsigned long long>(I1.Nodes));
+  std::fprintf(Out, "  \"intern_hit_rate\": %.4f,\n", InternHitRate);
+  std::fprintf(Out, "  \"simplify_memo_hit_rate\": %.4f\n", MemoHitRate);
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+
+  std::printf("bench_intern: baseline %.1f ms, interned %.1f ms "
+              "(%.2fx), %llu nodes, simplify memo hit rate %.1f%%\n",
+              Baseline.Ms, Interned.Ms, Speedup,
+              static_cast<unsigned long long>(I1.Nodes), MemoHitRate * 100);
+  return 0;
+}

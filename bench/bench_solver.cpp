@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "rmir/Type.h"
+#include "solver/Simplify.h"
 #include "solver/Solver.h"
 #include "sym/ExprBuilder.h"
 
@@ -92,5 +93,49 @@ static void BM_VerifierQueryMix(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_VerifierQueryMix);
+
+/// A deep Ite/SeqConcat chain whose layers all share the same subterms —
+/// the shape the hash-consing layer (sym/Intern.h) and the identity-keyed
+/// simplify memo are built for. The chain is reconstructed inside the timed
+/// loop: with interning, reconstruction is table hits and the re-simplify
+/// is a memo hit.
+static Expr buildSharedChain(int Depth) {
+  Expr X = mkVar("shx", Sort::Int);
+  Expr Acc = mkSeqUnit(X);
+  for (int I = 0; I != Depth; ++I) {
+    Expr Grown = mkSeqConcat(Acc, mkSeqUnit(mkAdd(X, mkInt(I % 5))));
+    Acc = mkIte(mkLe(X, mkInt(I)), Grown, mkSeqConcat(mkSeqUnit(X), Acc));
+  }
+  return Acc;
+}
+
+static void BM_SharedSubtermSimplify(benchmark::State &State) {
+  const int Depth = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Expr Chain = buildSharedChain(Depth);
+    Expr Obligation =
+        mkAnd(mkLe(mkInt(0), mkSeqLen(Chain)),
+              mkLe(mkSeqLen(mkSeqSub(Chain, mkInt(0), mkInt(1))),
+                   mkSeqLen(Chain)));
+    benchmark::DoNotOptimize(simplify(Obligation).get());
+  }
+}
+BENCHMARK(BM_SharedSubtermSimplify)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_SharedSubtermEntail(benchmark::State &State) {
+  const int Depth = static_cast<int>(State.range(0));
+  Solver S;
+  S.MaxBranches = 500;
+  for (auto _ : State) {
+    Expr Chain = buildSharedChain(Depth);
+    std::vector<Expr> Ctx = {mkLe(mkInt(1), mkSeqLen(Chain))};
+    bool R = S.entails(Ctx, mkLe(mkInt(0), mkSeqLen(Chain)));
+    benchmark::DoNotOptimize(R);
+  }
+}
+// Depth is capped at 20: the entailment cost is dominated by the DPLL
+// case-split over the Ite chain (one split per layer up to MaxBranches),
+// which grows much faster than the simplify cost interning removes.
+BENCHMARK(BM_SharedSubtermEntail)->Arg(16)->Arg(20);
 
 BENCHMARK_MAIN();

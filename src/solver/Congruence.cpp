@@ -5,7 +5,6 @@
 #include "support/Diagnostics.h"
 #include "sym/ExprBuilder.h"
 #include "solver/SeqTheory.h"
-#include "sym/Printer.h"
 
 #include <cassert>
 #include <map>
@@ -99,6 +98,18 @@ int Congruence::constructorCompat(const Expr &A, const Expr &B) const {
   return 2;
 }
 
+uint64_t Congruence::nameSymbol(const ExprNode &N) {
+  if (N.Name.empty())
+    return 0;
+  if (N.NameSym != 0)
+    return N.NameSym;
+  auto [It, Inserted] =
+      LocalNameIds.emplace(N.Name, 0);
+  if (Inserted)
+    It->second = (uint64_t(1) << 63) | LocalNameIds.size();
+  return It->second;
+}
+
 int Congruence::find(int I) {
   while (Nodes[I].Parent != I) {
     Nodes[I].Parent = Nodes[Nodes[I].Parent].Parent;
@@ -184,29 +195,25 @@ bool Congruence::saturate() {
     }
 
     // 2. Congruence pass: identical signatures over representatives merge.
-    // Signatures are integer vectors (kind, payload, app-name id, kid
+    // Signatures are integer vectors (kind, payload, name symbol, kid
     // representatives) — exact keys, no hashing shortcuts (a collision
-    // would merge unequal terms and be unsound).
-    std::map<std::vector<int>, int> Signatures;
-    std::map<std::string, int> NameIds;
+    // would merge unequal terms and be unsound). Names use the global
+    // interned symbol id (sym/Intern.h); symbol *values* are racy across
+    // runs but only ever compared for equality here, so the merge outcome
+    // stays deterministic.
+    std::map<std::vector<uint64_t>, int> Signatures;
     std::size_t NumNodes = Nodes.size();
     for (std::size_t I = 0; I != NumNodes; ++I) {
       const Expr &T = Nodes[I].Term;
       if (T->Kids.empty())
         continue;
-      std::vector<int> Sig;
+      std::vector<uint64_t> Sig;
       Sig.reserve(T->Kids.size() + 3);
-      Sig.push_back(static_cast<int>(T->Kind));
-      Sig.push_back(static_cast<int>(T->Index));
-      if (T->Name.empty()) {
-        Sig.push_back(-1);
-      } else {
-        auto [NIt, _] =
-            NameIds.emplace(T->Name, static_cast<int>(NameIds.size()));
-        Sig.push_back(NIt->second);
-      }
+      Sig.push_back(static_cast<uint64_t>(T->Kind));
+      Sig.push_back(static_cast<uint64_t>(T->Index));
+      Sig.push_back(nameSymbol(*T));
       for (const Expr &Kid : T->Kids)
-        Sig.push_back(find(TermIds.at(Kid)));
+        Sig.push_back(static_cast<uint64_t>(find(TermIds.at(Kid))));
       auto [It, Inserted] =
           Signatures.emplace(std::move(Sig), static_cast<int>(I));
       if (!Inserted && find(It->second) != find(static_cast<int>(I)))
@@ -369,14 +376,13 @@ Expr Congruence::witness(const Expr &E) {
   return nullptr;
 }
 
-std::string Congruence::canonKey(const Expr &E) {
+int Congruence::canonClass(const Expr &E) {
   int Id = registerTerm(E);
   if (!Pending.empty())
     saturate();
-  if (Expr W = witness(E))
-    if (W->Kids.empty())
-      return "lit:" + exprToString(W);
-  return "cls:" + std::to_string(find(Id));
+  // No separate key space for literal witnesses: an interned literal is a
+  // single registered term, so the class holding it is already unique.
+  return find(Id);
 }
 
 std::vector<Expr> Congruence::classReps() {

@@ -53,10 +53,14 @@ public:
   /// True if the closure proves a = b (both terms are registered on demand).
   bool provedEqual(const Expr &A, const Expr &B);
 
-  /// Returns a canonical string key for the class of \p E: the payload of a
-  /// literal witness when one exists, otherwise a class-unique name. Used by
-  /// the linear-arithmetic backend to identify opaque terms up to equality.
-  std::string canonKey(const Expr &E);
+  /// Returns the canonical class id of \p E (its union-find representative
+  /// after saturation): a dense per-instance int, deterministic in
+  /// registration order. Terms equal up to congruence share an id. Used by
+  /// the linear-arithmetic backend and the solver's propositional/lifetime
+  /// maps to identify opaque terms up to equality. (Interning already
+  /// dedupes equal literals to one term id, so a literal witness needs no
+  /// separate key space.)
+  int canonClass(const Expr &E);
 
   /// Returns the constructor/literal witness of the class of \p E if one is
   /// known (IntLit, BoolLit, RealLit, LocLit, NoneLit, Some, TupleLit,
@@ -79,6 +83,11 @@ private:
 
   int find(int I);
   bool merge(int A, int B);
+  /// Symbol id of \p N's Name for the signature pass: 0 for unnamed nodes,
+  /// the global interned NameSym when present, else a high-bit-tagged local
+  /// id (foreign nodes only) so foreign names can never collide with
+  /// interned ones.
+  uint64_t nameSymbol(const ExprNode &N);
   bool isConstructorLike(const Expr &E) const;
   /// Returns 0 if two constructor-like terms are compatible roots (same
   /// shape), 1 if identical-by-payload, -1 if definitely clashing.
@@ -95,6 +104,9 @@ private:
 
   std::vector<Node> Nodes;
   std::unordered_map<Expr, int, ExprPtrHash, ExprPtrEq> TermIds;
+  /// Fallback symbol ids for foreign (un-interned) names in the signature
+  /// pass; global NameSym ids are used when available.
+  std::unordered_map<std::string, uint64_t> LocalNameIds;
   std::vector<std::pair<int, int>> Pending;
   std::vector<std::pair<int, int>> Disequalities;
   /// Class id -> witness node id (constructor or literal member).

@@ -93,7 +93,7 @@ LinTerm LinArith::linearize(const Expr &E) {
     Out.AllInt = false;
     return Out;
   }
-  std::string Key = Cong.canonKey(E);
+  int Key = Cong.canonClass(E);
   Out.Coeffs[Key] = Rational::fromInt(1);
   Out.AllInt = looksInteger(E);
   return Out;
@@ -218,7 +218,7 @@ bool LinArith::feasible(bool &Definite) {
 
   while (!Work.empty()) {
     // Collect variables and pick the cheapest to eliminate.
-    std::map<std::string, std::pair<int, int>> VarUse; // pos, neg counts.
+    std::map<int, std::pair<int, int>> VarUse; // pos, neg counts.
     for (const LinConstraint &C : Work)
       for (const auto &[Key, Coef] : C.Coeffs) {
         if (Coef.isNegative())
@@ -228,7 +228,7 @@ bool LinArith::feasible(bool &Definite) {
       }
     if (VarUse.empty())
       break;
-    std::string BestVar;
+    int BestVar = -1;
     long BestCost = -1;
     for (const auto &[Key, Use] : VarUse) {
       long Cost = static_cast<long>(Use.first) * Use.second;

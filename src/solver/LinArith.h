@@ -17,14 +17,16 @@
 #include "sym/Expr.h"
 
 #include <map>
-#include <string>
 #include <vector>
 
 namespace gilr {
 
 /// A linear constraint: sum(Coeffs[v] * v) + Const >= 0 (or > 0 if Strict).
+/// Variables are congruence-class ids (Congruence::canonClass), so terms
+/// equal up to congruence share a variable; ids are dense per-query ints,
+/// deterministic in registration order.
 struct LinConstraint {
-  std::map<std::string, Rational> Coeffs;
+  std::map<int, Rational> Coeffs;
   Rational Const = Rational::fromInt(0);
   bool Strict = false;
   bool AllInt = true; ///< All atoms are integer-sorted (enables tightening).
@@ -32,7 +34,7 @@ struct LinConstraint {
 
 /// A linear combination of opaque variables, the result of linearisation.
 struct LinTerm {
-  std::map<std::string, Rational> Coeffs;
+  std::map<int, Rational> Coeffs;
   Rational Const = Rational::fromInt(0);
   bool AllInt = true;
 };
@@ -40,8 +42,8 @@ struct LinTerm {
 /// Accumulates linear constraints and decides feasibility.
 class LinArith {
 public:
-  /// \p Cong provides canonical keys for opaque subterms, so terms equal
-  /// up to congruence share a variable.
+  /// \p Cong provides canonical class ids for opaque subterms, so terms
+  /// equal up to congruence share a variable.
   explicit LinArith(Congruence &Cong) : Cong(Cong) {}
 
   /// Linearises \p E into a LinTerm (over Int or Real).

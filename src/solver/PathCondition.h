@@ -14,8 +14,9 @@
 #include "solver/Solver.h"
 #include "sym/Expr.h"
 
-#include <map>
-#include <string>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace gilr {
@@ -44,13 +45,18 @@ public:
 
 private:
   std::vector<Expr> Facts;
+  /// Intern CanonIds of the recorded facts, for O(1) duplicate detection in
+  /// \c add. Foreign (un-interned) facts are absent and fall back to the
+  /// linear scan.
+  std::unordered_set<uint64_t> FactIds;
   bool TriviallyFalse = false;
-  /// Positive-entailment cache: facts are append-only, so a goal proven
-  /// from a prefix of the facts stays proven (monotonicity). Negative
-  /// results are cached per fact count. Mutable: caching is semantically
+  /// Positive-entailment cache keyed by the goal's intern CanonId (foreign
+  /// goals are never cached): facts are append-only, so a goal proven from
+  /// a prefix of the facts stays proven (monotonicity). Negative results
+  /// are cached per fact count. Mutable: caching is semantically
   /// transparent.
-  mutable std::map<std::string, std::size_t> ProvenAt;
-  mutable std::map<std::string, std::size_t> RefutedAt;
+  mutable std::unordered_map<uint64_t, std::size_t> ProvenAt;
+  mutable std::unordered_map<uint64_t, std::size_t> RefutedAt;
 };
 
 } // namespace gilr

@@ -3,11 +3,12 @@
 #include "solver/SeqTheory.h"
 
 #include "sym/ExprBuilder.h"
-#include "sym/Printer.h"
 
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace gilr;
 
@@ -191,7 +192,15 @@ static void deriveSeqFactsPass(const std::vector<Literal> &Atoms,
   // members of each class, so the decomposition below sees constructor
   // shapes that were only ever equated through shared variables.
   {
-    std::map<std::string, std::size_t> Ids;
+    struct ExprKeyHash {
+      std::size_t operator()(const Expr &E) const { return E->hash(); }
+    };
+    struct ExprKeyEq {
+      bool operator()(const Expr &A, const Expr &B) const {
+        return exprEquals(A, B);
+      }
+    };
+    std::unordered_map<Expr, std::size_t, ExprKeyHash, ExprKeyEq> Ids;
     std::vector<std::size_t> Parent;
     std::vector<Expr> Terms;
     std::function<std::size_t(std::size_t)> Find =
@@ -203,8 +212,7 @@ static void deriveSeqFactsPass(const std::vector<Literal> &Atoms,
       return I;
     };
     auto idOf = [&](const Expr &E) {
-      std::string Key = exprToString(E);
-      auto [It, Inserted] = Ids.emplace(Key, Terms.size());
+      auto [It, Inserted] = Ids.emplace(E, Terms.size());
       if (Inserted) {
         Terms.push_back(E);
         Parent.push_back(Parent.size());
@@ -274,7 +282,16 @@ SeqFacts gilr::deriveSeqFacts(const std::vector<Literal> &Atoms) {
   // Iterate the pass: derived facts (e.g. merged subsequences) can enable
   // further axiom instantiations (e.g. sub(s, 0, |s|) = s).
   SeqFacts Result;
-  std::set<std::string> SeenFacts;
+  // Fact identity: intern CanonId when available (exact), structural hash
+  // with the top bit set for foreign nodes; lowest bit carries polarity.
+  auto factKey = [](const Literal &L) {
+    uint64_t Id = L.first->CanonId != 0
+                      ? L.first->CanonId
+                      : (static_cast<uint64_t>(L.first->hash()) |
+                         (uint64_t(1) << 62));
+    return (Id << 1) | (L.second ? 1 : 0);
+  };
+  std::unordered_set<uint64_t> SeenFacts;
   std::vector<Literal> All = Atoms;
     // Enough rounds for deep cons-chains (each pop/push layer may need one
   // union-find + decomposition alternation).
@@ -288,9 +305,7 @@ SeqFacts gilr::deriveSeqFacts(const std::vector<Literal> &Atoms) {
     }
     bool New = false;
     for (Literal &D : Pass.Derived) {
-      std::string Key =
-          (D.second ? "+" : "-") + std::to_string(D.first->hash());
-      if (!SeenFacts.insert(Key).second)
+      if (!SeenFacts.insert(factKey(D)).second)
         continue;
       Result.Derived.push_back(D);
       All.push_back(D);

@@ -5,69 +5,89 @@
 #include "support/Diagnostics.h"
 #include "sym/ExprBuilder.h"
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 
 using namespace gilr;
 
+//===----------------------------------------------------------------------===//
+// Identity-keyed simplify memo
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr std::size_t NumMemoShards = 64; // Power of two.
+
+struct MemoShard {
+  std::mutex Mu;
+  /// Intern id of the input node -> simplified result. Entries never become
+  /// stale: simplify is pure and interned nodes are immortal.
+  std::unordered_map<uint64_t, Expr> Map;
+};
+
+/// Leaked for the same reason as the intern tables (see sym/Intern.cpp):
+/// memo entries pin interned nodes and must not be torn down at exit.
+MemoShard *memoShards() {
+  static MemoShard *S = new MemoShard[NumMemoShards];
+  return S;
+}
+
+std::size_t memoShardOf(uint64_t Id) { return (Id >> 2) & (NumMemoShards - 1); }
+
+std::atomic<uint64_t> MemoHits{0};
+std::atomic<uint64_t> MemoMisses{0};
+std::atomic<bool> MemoEnabled{true};
+
+void memoStore(uint64_t Id, const Expr &R) {
+  MemoShard &Sh = memoShards()[memoShardOf(Id)];
+  std::lock_guard<std::mutex> Lock(Sh.Mu);
+  Sh.Map.emplace(Id, R);
+}
+
+} // namespace
+
+SimplifyStats gilr::simplifyMemoStats() {
+  SimplifyStats S;
+  S.Hits = MemoHits.load(std::memory_order_relaxed);
+  S.Misses = MemoMisses.load(std::memory_order_relaxed);
+  return S;
+}
+
+bool gilr::setSimplifyMemoEnabled(bool Enabled) {
+  return MemoEnabled.exchange(Enabled, std::memory_order_acq_rel);
+}
+
 Expr gilr::simplify(const Expr &E) {
   if (!E || E->Kids.empty())
     return E;
+  // Foreign (un-interned) nodes have no stable identity to key on; they only
+  // appear when interning is disabled for benchmarking.
+  const bool UseMemo =
+      E->Id != 0 && MemoEnabled.load(std::memory_order_acquire);
+  if (UseMemo) {
+    MemoShard &Sh = memoShards()[memoShardOf(E->Id)];
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    auto It = Sh.Map.find(E->Id);
+    if (It != Sh.Map.end()) {
+      MemoHits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
   std::vector<Expr> Kids;
   Kids.reserve(E->Kids.size());
   for (const Expr &Kid : E->Kids)
     Kids.push_back(simplify(Kid));
-  switch (E->Kind) {
-  case ExprKind::Not:
-    return mkNot(Kids[0]);
-  case ExprKind::And:
-    return mkAnd(std::move(Kids));
-  case ExprKind::Or:
-    return mkOr(std::move(Kids));
-  case ExprKind::Implies:
-    return mkImplies(Kids[0], Kids[1]);
-  case ExprKind::Ite:
-    return mkIte(Kids[0], Kids[1], Kids[2]);
-  case ExprKind::Eq:
-    return mkEq(Kids[0], Kids[1]);
-  case ExprKind::Lt:
-    return mkLt(Kids[0], Kids[1]);
-  case ExprKind::Le:
-    return mkLe(Kids[0], Kids[1]);
-  case ExprKind::Add:
-    return mkAdd(std::move(Kids));
-  case ExprKind::Sub:
-    return mkSub(Kids[0], Kids[1]);
-  case ExprKind::Mul:
-    return mkMul(Kids[0], Kids[1]);
-  case ExprKind::Neg:
-    return mkNeg(Kids[0]);
-  case ExprKind::Some:
-    return mkSome(Kids[0]);
-  case ExprKind::IsSome:
-    return mkIsSome(Kids[0]);
-  case ExprKind::Unwrap:
-    return mkUnwrap(Kids[0]);
-  case ExprKind::SeqUnit:
-    return mkSeqUnit(Kids[0]);
-  case ExprKind::SeqConcat:
-    return mkSeqConcat(std::move(Kids));
-  case ExprKind::SeqLen:
-    return mkSeqLen(Kids[0]);
-  case ExprKind::SeqNth:
-    return mkSeqNth(Kids[0], Kids[1]);
-  case ExprKind::SeqSub:
-    return mkSeqSub(Kids[0], Kids[1], Kids[2]);
-  case ExprKind::TupleLit:
-    return mkTuple(std::move(Kids));
-  case ExprKind::TupleGet:
-    return mkTupleGet(Kids[0], E->Index);
-  case ExprKind::LftIncl:
-    return mkLftIncl(Kids[0], Kids[1]);
-  case ExprKind::App:
-    return mkApp(E->Name, std::move(Kids), E->NodeSort);
-  default:
-    GILR_UNREACHABLE("leaf with kids in simplify");
+  Expr R = rebuildWithKids(E, std::move(Kids));
+  if (UseMemo) {
+    MemoMisses.fetch_add(1, std::memory_order_relaxed);
+    memoStore(E->Id, R);
+    // Seed the fixpoint too: simplify(simplify(e)) is e's result by
+    // construction, so record R -> R and save the re-walk.
+    if (R && R->Id != 0 && R->Id != E->Id && !R->Kids.empty())
+      memoStore(R->Id, R);
   }
+  return R;
 }
 
 Expr gilr::negate(const Expr &E) {
@@ -118,15 +138,7 @@ Expr gilr::resolveIte(const Expr &E, const Expr &Cond, bool Positive) {
   }
   if (!Changed)
     return E;
-  auto Node = std::make_shared<ExprNode>(E->Kind, E->NodeSort, std::move(Kids));
-  Node->Name = E->Name;
-  Node->IntVal = E->IntVal;
-  Node->RatVal = E->RatVal;
-  Node->BoolVal = E->BoolVal;
-  Node->LocId = E->LocId;
-  Node->Index = E->Index;
-  Node->finalizeHash();
-  return simplify(Node);
+  return simplify(rebuildWithKids(E, std::move(Kids)));
 }
 
 static Expr findIteConditionImpl(const Expr &E, bool InTermPosition) {
@@ -208,15 +220,7 @@ static Expr rewriteOnce(const Expr &E, const RewriteMap &RW) {
   }
   if (!Changed)
     return E;
-  auto Node = std::make_shared<ExprNode>(E->Kind, E->NodeSort, std::move(Kids));
-  Node->Name = E->Name;
-  Node->IntVal = E->IntVal;
-  Node->RatVal = E->RatVal;
-  Node->BoolVal = E->BoolVal;
-  Node->LocId = E->LocId;
-  Node->Index = E->Index;
-  Node->finalizeHash();
-  return simplify(Node);
+  return simplify(rebuildWithKids(E, std::move(Kids)));
 }
 
 Expr gilr::reduceWithFacts(const Expr &E, const std::vector<Expr> &Facts) {

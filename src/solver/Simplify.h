@@ -11,12 +11,37 @@
 
 #include "sym/Expr.h"
 
+#include <cstdint>
+
 namespace gilr {
 
 /// Recursively rebuilds \p E through the smart constructors, re-triggering
 /// all local simplifications (useful after substitution or as a cheap
-/// pre-pass before solving).
+/// pre-pass before solving). Results for interned nodes are memoized in a
+/// process-wide identity-keyed (node id) table: simplify is pure and
+/// deterministic, and hash-consing makes the result node identical no matter
+/// which thread computed it first, so a shared memo is sound.
 Expr simplify(const Expr &E);
+
+/// Hit/miss counters for the identity-keyed simplify memo.
+struct SimplifyStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+SimplifyStats simplifyMemoStats();
+
+/// Enables/disables the simplify memo and returns the previous setting. On
+/// by default; disabling exists for before/after benchmarking and for tests
+/// that must observe un-memoized behaviour. Toggle only while no other
+/// thread is simplifying.
+bool setSimplifyMemoEnabled(bool Enabled);
 
 /// Returns the negation of \p E with the negation pushed into comparisons:
 /// not (a < b) becomes b <= a, not (a <= b) becomes b < a, De Morgan over

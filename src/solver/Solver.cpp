@@ -10,6 +10,7 @@
 #include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <set>
@@ -33,20 +34,6 @@ void bump(RelaxedCounter SolverStats::*F) {
 /// worker threads start via the pool's synchronisation.
 std::atomic<QueryMemo *> ActiveMemo{nullptr};
 
-/// Order-insensitive structural fingerprint of an entails query, built from
-/// the precomputed per-node hashes. Used to count syntactically-identical
-/// repeat queries — the hit rate a syntactic memo would achieve.
-uint64_t entailFingerprint(const std::vector<Expr> &Ctx, const Expr &Goal) {
-  std::size_t Seed = 0x5eed;
-  std::size_t CtxMix = 0;
-  for (const Expr &A : Ctx)
-    CtxMix += A->hash(); // Commutative: context order is irrelevant.
-  hashCombine(Seed, CtxMix);
-  hashCombine(Seed, Ctx.size());
-  hashCombine(Seed, Goal->hash());
-  return static_cast<uint64_t>(Seed);
-}
-
 /// splitmix64 finaliser: decorrelates the check hash from the primary one.
 uint64_t mix64(uint64_t X) {
   X += 0x9e3779b97f4a7c15ull;
@@ -55,29 +42,60 @@ uint64_t mix64(uint64_t X) {
   return X ^ (X >> 31);
 }
 
-/// Normalized (order-insensitive) fingerprint of a checkSat query over the
-/// already-simplified assertion set, keyed by the branch budget too (the
-/// verdict of a budget-limited search depends on it). \p Fp2 receives an
-/// independent mix of the same inputs, giving the memo an effective 128-bit
-/// key.
-void satFingerprint(const std::vector<Expr> &Work, unsigned MaxBranches,
-                    uint64_t &Fp, uint64_t &Fp2) {
-  uint64_t Sum = 0, Sum2 = 0;
-  for (const Expr &A : Work) {
-    uint64_t H = static_cast<uint64_t>(A->hash());
-    Sum += H; // Commutative: assertion order is irrelevant.
-    Sum2 += mix64(H);
-  }
-  std::size_t Seed = 0x5a7f;
-  hashCombine(Seed, Sum);
-  hashCombine(Seed, Work.size());
-  hashCombine(Seed, MaxBranches);
-  Fp = static_cast<uint64_t>(Seed);
-  Fp2 = mix64(Sum2 ^ (static_cast<uint64_t>(Work.size()) << 32) ^
-              MaxBranches);
+/// The memo identity of one assertion: its intern CanonId (equal formulas
+/// share one per run), or its structural hash with the top bit set when the
+/// node is foreign (interning disabled for benchmarking).
+uint64_t assertionFpId(const Expr &E) {
+  if (E->CanonId != 0)
+    return E->CanonId;
+  return static_cast<uint64_t>(E->hash()) | (uint64_t(1) << 63);
+}
+
+/// Order-insensitive structural fingerprint of an entails query. Used to
+/// count syntactically-identical repeat queries — the hit rate a syntactic
+/// memo would achieve.
+uint64_t entailFingerprint(const std::vector<Expr> &Ctx, const Expr &Goal) {
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Ctx.size());
+  for (const Expr &A : Ctx)
+    Ids.push_back(assertionFpId(A));
+  std::sort(Ids.begin(), Ids.end()); // Context order is irrelevant.
+  std::size_t Seed = 0x5eed;
+  for (uint64_t Id : Ids)
+    hashCombine(Seed, static_cast<std::size_t>(Id));
+  hashCombine(Seed, Ctx.size());
+  hashCombine(Seed, static_cast<std::size_t>(assertionFpId(Goal)));
+  return static_cast<uint64_t>(Seed);
 }
 
 } // namespace
+
+void gilr::satFingerprintFromIds(const std::vector<uint64_t> &SortedIds,
+                                 unsigned MaxBranches, uint64_t &Fp,
+                                 uint64_t &Fp2) {
+  std::size_t Seed = 0x5a7f;
+  uint64_t Seed2 = 0xa5f0'0d5eull;
+  for (uint64_t Id : SortedIds) {
+    hashCombine(Seed, static_cast<std::size_t>(Id));
+    Seed2 = mix64(Seed2 ^ Id);
+  }
+  hashCombine(Seed, SortedIds.size());
+  hashCombine(Seed, MaxBranches);
+  Fp = static_cast<uint64_t>(Seed);
+  Fp2 = mix64(Seed2 ^ (static_cast<uint64_t>(SortedIds.size()) << 32) ^
+              MaxBranches);
+}
+
+void gilr::satQueryFingerprint(const std::vector<Expr> &Work,
+                               unsigned MaxBranches, uint64_t &Fp,
+                               uint64_t &Fp2) {
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Work.size());
+  for (const Expr &A : Work)
+    Ids.push_back(assertionFpId(A));
+  std::sort(Ids.begin(), Ids.end()); // Assertion order is irrelevant.
+  satFingerprintFromIds(Ids, MaxBranches, Fp, Fp2);
+}
 
 QueryMemo *gilr::setQueryMemo(QueryMemo *M) {
   return ActiveMemo.exchange(M);
@@ -106,7 +124,7 @@ SatResult Solver::checkSat(const std::vector<Expr> &Assertions) {
   QueryMemo *Memo = queryMemo();
   uint64_t Fp = 0, Fp2 = 0;
   if (Memo) {
-    satFingerprint(Work, MaxBranches, Fp, Fp2);
+    satQueryFingerprint(Work, MaxBranches, Fp, Fp2);
     QueryVerdict V;
     if (Memo->lookup(Fp, Fp2, V)) {
       SolverStats &TS = metrics::threadSolverStats();
@@ -392,15 +410,15 @@ SatResult Solver::baseTheoryCheck(const std::vector<Literal> &LitsIn) {
     return SatResult::Unsat;
 
   // 4. Propositional atoms up to congruence, plus lifetime inclusion.
-  std::map<std::string, bool> PropPolarity;
-  std::set<std::pair<std::string, std::string>> LftEdges;
-  std::vector<std::pair<std::string, std::string>> LftNegated;
+  std::map<int, bool> PropPolarity;
+  std::set<std::pair<int, int>> LftEdges;
+  std::vector<std::pair<int, int>> LftNegated;
   for (const auto &[Atom, Positive] : Lits) {
     if (Atom->Kind == ExprKind::Eq)
       continue;
     if (Atom->Kind == ExprKind::LftIncl) {
-      std::string A = Cong.canonKey(Atom->Kids[0]);
-      std::string B = Cong.canonKey(Atom->Kids[1]);
+      int A = Cong.canonClass(Atom->Kids[0]);
+      int B = Cong.canonClass(Atom->Kids[1]);
       if (Positive)
         LftEdges.insert({A, B});
       else
@@ -411,14 +429,14 @@ SatResult Solver::baseTheoryCheck(const std::vector<Literal> &LitsIn) {
     if (Expr W = Cong.witness(Atom))
       if (W->Kind == ExprKind::BoolLit && W->BoolVal != Positive)
         return SatResult::Unsat;
-    std::string Key = Cong.canonKey(Atom);
+    int Key = Cong.canonClass(Atom);
     auto [It, Inserted] = PropPolarity.emplace(Key, Positive);
     if (!Inserted && It->second != Positive)
       return SatResult::Unsat;
   }
   if (!LftNegated.empty()) {
     // Reflexive-transitive closure of inclusion edges.
-    std::set<std::pair<std::string, std::string>> Closure = LftEdges;
+    std::set<std::pair<int, int>> Closure = LftEdges;
     bool Changed = true;
     while (Changed) {
       Changed = false;

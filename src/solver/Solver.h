@@ -58,6 +58,21 @@ public:
   virtual void insert(uint64_t Fp, uint64_t Fp2, const QueryVerdict &V) = 0;
 };
 
+/// Computes the memo fingerprint of a checkSat query over the simplified
+/// assertion set \p Work: assertions are mapped to their intern CanonIds
+/// (structural hash with the top bit set for foreign nodes), sorted for
+/// order-insensitivity, and hashed *positionally* — unlike a commutative
+/// sum, two different multisets of ids cannot cancel into the same value.
+/// \p Fp2 receives an independently mixed hash of the same sequence.
+void satQueryFingerprint(const std::vector<Expr> &Work, unsigned MaxBranches,
+                         uint64_t &Fp, uint64_t &Fp2);
+
+/// The pure core of \c satQueryFingerprint over an already-sorted id
+/// sequence; exposed separately so tests can exercise collision behaviour
+/// on crafted id multisets.
+void satFingerprintFromIds(const std::vector<uint64_t> &SortedIds,
+                           unsigned MaxBranches, uint64_t &Fp, uint64_t &Fp2);
+
 /// Installs \p M as the process-wide query memo (nullptr uninstalls).
 /// Returns the previously installed memo. The memo must outlive all solver
 /// queries issued while it is installed.

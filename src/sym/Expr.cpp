@@ -5,6 +5,7 @@
 #include "support/Diagnostics.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 
@@ -183,7 +184,14 @@ ExprNode::ExprNode(ExprKind K, Sort S, std::vector<Expr> KidsIn)
   finalizeHash();
 }
 
+ExprNode::~ExprNode() {
+  delete VarsCache.load(std::memory_order_relaxed);
+}
+
 void ExprNode::finalizeHash() {
+  HasProph = Kind == ExprKind::Var ? isProphecyVarName(Name) : false;
+  for (const Expr &Kid : Kids)
+    HasProph = HasProph || Kid->HasProph;
   // Variables are identified by name alone: the sort is an annotation and
   // the same name may be written with different sort knowledge (specs use
   // Any, the executor knows the precise sort).
@@ -209,6 +217,11 @@ bool gilr::exprEquals(const Expr &A, const Expr &B) {
     return true;
   if (!A || !B)
     return false;
+  // Interned nodes: equality is exactly CanonId equality (hash-consing
+  // guarantees one CanonId per exprEquals class). The structural walk below
+  // only runs when a foreign (un-interned) node is involved.
+  if (A->CanonId != 0 && B->CanonId != 0)
+    return A->CanonId == B->CanonId;
   if (A->hash() != B->hash())
     return false;
   if (A->Kind != B->Kind)
@@ -233,6 +246,11 @@ bool gilr::exprLess(const Expr &A, const Expr &B) {
   if (!A)
     return static_cast<bool>(B);
   if (!B)
+    return false;
+  // Equal classes are never less-than; this is the only use of ids here —
+  // *ordering* stays structural so it cannot depend on the (racy) interning
+  // order under the parallel scheduler.
+  if (A->CanonId != 0 && A->CanonId == B->CanonId)
     return false;
   if (A->Kind != B->Kind)
     return A->Kind < B->Kind;
@@ -259,26 +277,46 @@ bool gilr::exprLess(const Expr &A, const Expr &B) {
   return false;
 }
 
+const std::vector<std::string> &gilr::exprFreeVars(const Expr &E) {
+  static const std::vector<std::string> Empty;
+  if (!E)
+    return Empty;
+  if (const auto *Cached = E->VarsCache.load(std::memory_order_acquire))
+    return *Cached;
+  auto *Computed = new std::vector<std::string>();
+  if (E->Kind == ExprKind::Var) {
+    Computed->push_back(E->Name);
+  } else {
+    for (const Expr &Kid : E->Kids) {
+      const std::vector<std::string> &KidVars = exprFreeVars(Kid);
+      Computed->insert(Computed->end(), KidVars.begin(), KidVars.end());
+    }
+    std::sort(Computed->begin(), Computed->end());
+    Computed->erase(std::unique(Computed->begin(), Computed->end()),
+                    Computed->end());
+  }
+  const std::vector<std::string> *Expected = nullptr;
+  if (E->VarsCache.compare_exchange_strong(Expected, Computed,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+    return *Computed;
+  // Another thread installed its (identical) summary first.
+  delete Computed;
+  return *Expected;
+}
+
 void gilr::collectVars(const Expr &E, std::set<std::string> &Out) {
   if (!E)
     return;
-  if (E->Kind == ExprKind::Var) {
-    Out.insert(E->Name);
-    return;
-  }
-  for (const Expr &Kid : E->Kids)
-    collectVars(Kid, Out);
+  const std::vector<std::string> &Vars = exprFreeVars(E);
+  Out.insert(Vars.begin(), Vars.end());
 }
 
 bool gilr::containsVar(const Expr &E, const std::string &Name) {
   if (!E)
     return false;
-  if (E->Kind == ExprKind::Var)
-    return E->Name == Name;
-  for (const Expr &Kid : E->Kids)
-    if (containsVar(Kid, Name))
-      return true;
-  return false;
+  const std::vector<std::string> &Vars = exprFreeVars(E);
+  return std::binary_search(Vars.begin(), Vars.end(), Name);
 }
 
 bool gilr::isProphecyVarName(const std::string &Name) {
@@ -286,12 +324,5 @@ bool gilr::isProphecyVarName(const std::string &Name) {
 }
 
 bool gilr::mentionsProphecy(const Expr &E) {
-  if (!E)
-    return false;
-  if (E->Kind == ExprKind::Var)
-    return isProphecyVarName(E->Name);
-  for (const Expr &Kid : E->Kids)
-    if (mentionsProphecy(Kid))
-      return true;
-  return false;
+  return E && E->HasProph;
 }

@@ -23,6 +23,7 @@
 #ifndef GILR_SYM_EXPR_H
 #define GILR_SYM_EXPR_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -140,7 +141,10 @@ class ExprNode;
 using Expr = std::shared_ptr<const ExprNode>;
 
 /// A single node in the expression DAG. Construct through the factory
-/// functions in ExprBuilder.h, which enforce sort invariants and simplify.
+/// functions in ExprBuilder.h, which enforce sort invariants, simplify, and
+/// hash-cons the result (see sym/Intern.h): structurally identical
+/// constructions return the *same* node, so equality on interned nodes is a
+/// pointer/id comparison.
 class ExprNode {
 public:
   ExprKind Kind;
@@ -155,25 +159,63 @@ public:
   uint64_t LocId = 0;     ///< LocLit.
   unsigned Index = 0;     ///< TupleGet.
 
+  /// Unique dense id assigned at interning time; 0 for nodes that were never
+  /// interned ("foreign" nodes, e.g. built with interning disabled).
+  /// Identical ids imply pointer identity.
+  uint64_t Id = 0;
+
+  /// Id of the node's *structural equivalence class* under \c exprEquals
+  /// semantics: variables are identified by name alone (sort annotations do
+  /// not split identity), everything else by kind, sort, payload and kid
+  /// classes. Two interned nodes are exprEquals-equal iff their CanonIds
+  /// match. 0 for foreign nodes.
+  uint64_t CanonId = 0;
+
+  /// Dense global symbol id of \c Name (0 when Name is empty or the node is
+  /// foreign). Lets the congruence signature pass key App/Var names without
+  /// hashing strings.
+  uint64_t NameSym = 0;
+
+  /// True if the subtree mentions a prophecy variable; computed bottom-up at
+  /// construction (kids are always built first).
+  bool HasProph = false;
+
   ExprNode(ExprKind K, Sort S, std::vector<Expr> Kids);
+  ~ExprNode();
+
+  ExprNode(const ExprNode &) = delete;
+  ExprNode &operator=(const ExprNode &) = delete;
 
   /// Structural hash, computed once at construction.
   std::size_t hash() const { return Hash; }
 
-  /// Recomputes the hash after payload fields have been set; called by the
-  /// builder helpers in ExprBuilder.cpp.
+  /// Recomputes the hash (and the derived HasProph flag) after payload
+  /// fields have been set; called by the builder helpers in ExprBuilder.cpp.
   void finalizeHash();
+
+  /// Lazily computed sorted vector of free-variable names, shared by every
+  /// holder of the node. Thread-safe: first caller installs via CAS.
+  mutable std::atomic<const std::vector<std::string> *> VarsCache{nullptr};
 
 private:
   std::size_t Hash = 0;
 };
 
-/// Structural equality (with pointer and hash fast paths).
+/// Structural equality. For interned nodes this is an O(1) CanonId compare;
+/// the structural walk only runs for foreign nodes.
 bool exprEquals(const Expr &A, const Expr &B);
 
 /// Deterministic structural ordering, used for canonicalising commutative
-/// operands and for ordered containers.
+/// operands and for ordered containers. Ids are used only as equality fast
+/// paths, never for ordering: the order must not depend on interning order,
+/// which is racy under the parallel scheduler (the determinism suite
+/// requires byte-identical reports at any worker count).
 bool exprLess(const Expr &A, const Expr &B);
+
+/// The sorted, deduplicated free-variable names of \p E. Memoised per node
+/// (computed once per process for shared subterms); the reference stays
+/// valid for the node's lifetime.
+const std::vector<std::string> &exprFreeVars(const Expr &E);
 
 /// Collects the names of all free variables of \p E into \p Out.
 void collectVars(const Expr &E, std::set<std::string> &Out);

@@ -3,6 +3,7 @@
 #include "sym/ExprBuilder.h"
 
 #include "support/Diagnostics.h"
+#include "sym/Intern.h"
 
 #include <algorithm>
 #include <cassert>
@@ -10,7 +11,8 @@
 using namespace gilr;
 
 static Expr makeNode(ExprKind K, Sort S, std::vector<Expr> Kids) {
-  return std::make_shared<ExprNode>(K, S, std::move(Kids));
+  return detail::internNewNode(
+      std::make_shared<ExprNode>(K, S, std::move(Kids)));
 }
 
 //===----------------------------------------------------------------------===//
@@ -21,7 +23,7 @@ Expr gilr::mkVar(const std::string &Name, Sort S) {
   auto Node = std::make_shared<ExprNode>(ExprKind::Var, S, std::vector<Expr>());
   Node->Name = Name;
   Node->finalizeHash();
-  return Node;
+  return detail::internNewNode(std::move(Node));
 }
 
 Expr gilr::mkInt(__int128 V) {
@@ -29,7 +31,7 @@ Expr gilr::mkInt(__int128 V) {
       std::make_shared<ExprNode>(ExprKind::IntLit, Sort::Int, std::vector<Expr>());
   Node->IntVal = V;
   Node->finalizeHash();
-  return Node;
+  return detail::internNewNode(std::move(Node));
 }
 
 Expr gilr::mkIntU64(uint64_t V) { return mkInt(static_cast<__int128>(V)); }
@@ -39,7 +41,7 @@ Expr gilr::mkReal(Rational R) {
                                          std::vector<Expr>());
   Node->RatVal = R;
   Node->finalizeHash();
-  return Node;
+  return detail::internNewNode(std::move(Node));
 }
 
 Expr gilr::mkBool(bool B) {
@@ -47,7 +49,7 @@ Expr gilr::mkBool(bool B) {
                                          std::vector<Expr>());
   Node->BoolVal = B;
   Node->finalizeHash();
-  return Node;
+  return detail::internNewNode(std::move(Node));
 }
 
 Expr gilr::mkTrue() { return mkBool(true); }
@@ -62,7 +64,7 @@ Expr gilr::mkLoc(uint64_t Id) {
                                          std::vector<Expr>());
   Node->LocId = Id;
   Node->finalizeHash();
-  return Node;
+  return detail::internNewNode(std::move(Node));
 }
 
 Expr gilr::mkNone() { return makeNode(ExprKind::NoneLit, Sort::Opt, {}); }
@@ -599,7 +601,7 @@ Expr gilr::mkTupleGet(const Expr &T, unsigned Index) {
                                  std::vector<Expr>{T});
   Node->Index = Index;
   Node->finalizeHash();
-  return Node;
+  return detail::internNewNode(std::move(Node));
 }
 
 //===----------------------------------------------------------------------===//
@@ -620,5 +622,61 @@ Expr gilr::mkApp(const std::string &Name, std::vector<Expr> Args,
                                          std::move(Args));
   Node->Name = Name;
   Node->finalizeHash();
-  return Node;
+  return detail::internNewNode(std::move(Node));
+}
+
+Expr gilr::rebuildWithKids(const Expr &E, std::vector<Expr> Kids) {
+  assert(E && E->Kids.size() == Kids.size() && "arity mismatch in rebuild");
+  switch (E->Kind) {
+  case ExprKind::Not:
+    return mkNot(Kids[0]);
+  case ExprKind::And:
+    return mkAnd(std::move(Kids));
+  case ExprKind::Or:
+    return mkOr(std::move(Kids));
+  case ExprKind::Implies:
+    return mkImplies(Kids[0], Kids[1]);
+  case ExprKind::Ite:
+    return mkIte(Kids[0], Kids[1], Kids[2]);
+  case ExprKind::Eq:
+    return mkEq(Kids[0], Kids[1]);
+  case ExprKind::Lt:
+    return mkLt(Kids[0], Kids[1]);
+  case ExprKind::Le:
+    return mkLe(Kids[0], Kids[1]);
+  case ExprKind::Add:
+    return mkAdd(std::move(Kids));
+  case ExprKind::Sub:
+    return mkSub(Kids[0], Kids[1]);
+  case ExprKind::Mul:
+    return mkMul(Kids[0], Kids[1]);
+  case ExprKind::Neg:
+    return mkNeg(Kids[0]);
+  case ExprKind::Some:
+    return mkSome(Kids[0]);
+  case ExprKind::IsSome:
+    return mkIsSome(Kids[0]);
+  case ExprKind::Unwrap:
+    return mkUnwrap(Kids[0]);
+  case ExprKind::SeqUnit:
+    return mkSeqUnit(Kids[0]);
+  case ExprKind::SeqConcat:
+    return mkSeqConcat(std::move(Kids));
+  case ExprKind::SeqLen:
+    return mkSeqLen(Kids[0]);
+  case ExprKind::SeqNth:
+    return mkSeqNth(Kids[0], Kids[1]);
+  case ExprKind::SeqSub:
+    return mkSeqSub(Kids[0], Kids[1], Kids[2]);
+  case ExprKind::TupleLit:
+    return mkTuple(std::move(Kids));
+  case ExprKind::TupleGet:
+    return mkTupleGet(Kids[0], E->Index);
+  case ExprKind::LftIncl:
+    return mkLftIncl(Kids[0], Kids[1]);
+  case ExprKind::App:
+    return mkApp(E->Name, std::move(Kids), E->NodeSort);
+  default:
+    GILR_UNREACHABLE("rebuildWithKids on a leaf");
+  }
 }

@@ -81,6 +81,11 @@ Expr mkLftIncl(const Expr &K1, const Expr &K2);
 Expr mkApp(const std::string &Name, std::vector<Expr> Args,
            Sort ResultSort = Sort::Any);
 
+/// Rebuilds a non-leaf node with replacement \p Kids through the matching
+/// smart constructor (so local simplification and interning re-apply).
+/// Shared by simplify, substitution and the rewrite engines.
+Expr rebuildWithKids(const Expr &E, std::vector<Expr> Kids);
+
 /// True if \p E is the literal true / false respectively.
 bool isTrueLit(const Expr &E);
 bool isFalseLit(const Expr &E);

@@ -3,7 +3,6 @@
 #include "sym/Subst.h"
 
 #include "sym/ExprBuilder.h"
-#include "support/Diagnostics.h"
 
 #include <cassert>
 
@@ -59,56 +58,5 @@ Expr Subst::apply(const Expr &E) const {
 
   // Rebuild through the smart constructors so substitution re-triggers
   // simplification (e.g. an equality whose operands became literals).
-  switch (E->Kind) {
-  case ExprKind::Not:
-    return mkNot(NewKids[0]);
-  case ExprKind::And:
-    return mkAnd(std::move(NewKids));
-  case ExprKind::Or:
-    return mkOr(std::move(NewKids));
-  case ExprKind::Implies:
-    return mkImplies(NewKids[0], NewKids[1]);
-  case ExprKind::Ite:
-    return mkIte(NewKids[0], NewKids[1], NewKids[2]);
-  case ExprKind::Eq:
-    return mkEq(NewKids[0], NewKids[1]);
-  case ExprKind::Lt:
-    return mkLt(NewKids[0], NewKids[1]);
-  case ExprKind::Le:
-    return mkLe(NewKids[0], NewKids[1]);
-  case ExprKind::Add:
-    return mkAdd(std::move(NewKids));
-  case ExprKind::Sub:
-    return mkSub(NewKids[0], NewKids[1]);
-  case ExprKind::Mul:
-    return mkMul(NewKids[0], NewKids[1]);
-  case ExprKind::Neg:
-    return mkNeg(NewKids[0]);
-  case ExprKind::Some:
-    return mkSome(NewKids[0]);
-  case ExprKind::IsSome:
-    return mkIsSome(NewKids[0]);
-  case ExprKind::Unwrap:
-    return mkUnwrap(NewKids[0]);
-  case ExprKind::SeqUnit:
-    return mkSeqUnit(NewKids[0]);
-  case ExprKind::SeqConcat:
-    return mkSeqConcat(std::move(NewKids));
-  case ExprKind::SeqLen:
-    return mkSeqLen(NewKids[0]);
-  case ExprKind::SeqNth:
-    return mkSeqNth(NewKids[0], NewKids[1]);
-  case ExprKind::SeqSub:
-    return mkSeqSub(NewKids[0], NewKids[1], NewKids[2]);
-  case ExprKind::TupleLit:
-    return mkTuple(std::move(NewKids));
-  case ExprKind::TupleGet:
-    return mkTupleGet(NewKids[0], E->Index);
-  case ExprKind::LftIncl:
-    return mkLftIncl(NewKids[0], NewKids[1]);
-  case ExprKind::App:
-    return mkApp(E->Name, std::move(NewKids), E->NodeSort);
-  default:
-    GILR_UNREACHABLE("substitution into a leaf with kids");
-  }
+  return rebuildWithKids(E, std::move(NewKids));
 }
