@@ -1,0 +1,297 @@
+//===- bench/bench_incr.cpp - Incremental verification ----------------------===//
+//
+// Measures the incremental proof cache (src/incr/) on the case studies:
+//
+//   * cold run (empty store) vs. warm run (every verdict replayed) wall
+//     time, and the warm-run speedup — the headline number;
+//   * single-lemma-edit re-verification time: only the edited lemma's
+//     dependents are re-proved, everything else is replayed;
+//   * proof-store overhead: load and flush wall time, and the file size.
+//
+// A warm run must re-prove zero obligations; the benchmark fails (exit 1)
+// if it does not, so CI can gate on it.
+//
+// Usage: bench_incr [out-file]
+//   default: BENCH_incr.json
+//
+//===----------------------------------------------------------------------===//
+
+#include "incr/ProofStore.h"
+#include "incr/Session.h"
+#include "rustlib/Clients.h"
+#include "rustlib/LinkedList.h"
+#include "rustlib/Vec.h"
+#include "sched/Scheduler.h"
+#include "support/StringUtils.h"
+#include "support/Trace.h"
+#include "sym/ExprBuilder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace gilr;
+using namespace gilr::rustlib;
+
+namespace {
+
+constexpr int Repetitions = 3;
+
+/// One run of a suite through the incremental entry point: wall time plus
+/// the session counters.
+struct TimedRun {
+  double Seconds = 0.0;
+  bool Ok = true;
+  incr::IncrRunStats Stats;
+};
+
+struct SuiteResult {
+  std::string Name;
+  std::size_t Obligations = 0;
+  TimedRun Cold;
+  TimedRun Warm;
+  /// Warm run after a one-lemma edit (only on suites with a lemma lever).
+  bool HasEdit = false;
+  TimedRun Edit;
+  double StoreLoadSeconds = 0.0;
+  double StoreFlushSeconds = 0.0;
+  std::size_t StoreBytes = 0;
+
+  double warmSpeedup() const {
+    return Warm.Seconds > 0.0 ? Cold.Seconds / Warm.Seconds : 0.0;
+  }
+  bool ok() const {
+    return Cold.Ok && Warm.Ok && (!HasEdit || Edit.Ok) &&
+           Warm.Stats.verified() == 0 && Warm.Stats.cached() == Obligations;
+  }
+};
+
+double now() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times one call of \p Run, which executes the suite through the
+/// incremental entry point against \p Inc's store and fills the stats.
+TimedRun timeRun(const std::function<bool(incr::IncrRunStats &)> &Run) {
+  TimedRun R;
+  double Start = now();
+  R.Ok = Run(R.Stats);
+  R.Seconds = now() - Start;
+  return R;
+}
+
+/// Best-of-N repetition wrapper. \p Reset re-establishes the precondition
+/// (e.g. deletes the store for a cold run) before every repetition.
+TimedRun best(const std::function<void()> &Reset,
+              const std::function<bool(incr::IncrRunStats &)> &Run) {
+  TimedRun Best;
+  for (int Rep = 0; Rep != Repetitions; ++Rep) {
+    Reset();
+    TimedRun R = timeRun(Run);
+    if (Rep == 0 || R.Seconds < Best.Seconds) {
+      Best.Seconds = R.Seconds;
+      Best.Stats = R.Stats;
+    }
+    Best.Ok = Best.Ok && R.Ok;
+  }
+  return Best;
+}
+
+/// Store load / flush overhead, measured on the store the suite produced.
+void measureStoreOverhead(SuiteResult &Suite, const std::string &Path) {
+  for (int Rep = 0; Rep != Repetitions; ++Rep) {
+    incr::ProofStore P(Path);
+    double Start = now();
+    bool Loaded = P.load();
+    double Load = now() - Start;
+    Start = now();
+    bool Flushed = Loaded && P.flush();
+    double Flush = now() - Start;
+    if (!Loaded || !Flushed)
+      continue;
+    if (Rep == 0 || Load < Suite.StoreLoadSeconds)
+      Suite.StoreLoadSeconds = Load;
+    if (Rep == 0 || Flush < Suite.StoreFlushSeconds)
+      Suite.StoreFlushSeconds = Flush;
+  }
+  if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+    std::fseek(F, 0, SEEK_END);
+    long Size = std::ftell(F);
+    Suite.StoreBytes = Size > 0 ? static_cast<std::size_t>(Size) : 0;
+    std::fclose(F);
+  }
+}
+
+std::string fmt(double V, const char *Spec = "%.6f") {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), Spec, V);
+  return Buf;
+}
+
+std::string renderRun(const TimedRun &R) {
+  return "{\"seconds\": " + fmt(R.Seconds) +
+         ", \"ok\": " + (R.Ok ? "true" : "false") +
+         ", \"cached\": " + std::to_string(R.Stats.cached()) +
+         ", \"reproved\": " + std::to_string(R.Stats.verified()) +
+         ", \"invalidated\": " + std::to_string(R.Stats.Invalidated) + "}";
+}
+
+std::string renderSuite(const SuiteResult &S) {
+  std::string Out = "    {\"name\": \"" + jsonEscape(S.Name) + "\"";
+  Out += ", \"obligations\": " + std::to_string(S.Obligations);
+  Out += ", \"ok\": " + std::string(S.ok() ? "true" : "false");
+  Out += ", \"warm_speedup\": " + fmt(S.warmSpeedup(), "%.3f");
+  Out += ",\n     \"cold\": " + renderRun(S.Cold);
+  Out += ",\n     \"warm\": " + renderRun(S.Warm);
+  if (S.HasEdit)
+    Out += ",\n     \"lemma_edit\": " + renderRun(S.Edit);
+  Out += ",\n     \"store_bytes\": " + std::to_string(S.StoreBytes);
+  Out += ", \"store_load_seconds\": " + fmt(S.StoreLoadSeconds);
+  Out += ", \"store_flush_seconds\": " + fmt(S.StoreFlushSeconds);
+  return Out + "}";
+}
+
+void printSuite(const SuiteResult &S) {
+  std::printf("%-28s %zu obligations  %s\n", S.Name.c_str(), S.Obligations,
+              S.ok() ? "ok" : "FAIL");
+  std::printf("  cold  %8.3fs  (%llu proved)\n", S.Cold.Seconds,
+              static_cast<unsigned long long>(S.Cold.Stats.verified()));
+  std::printf("  warm  %8.3fs  speedup %6.2fx  (%llu cached, %llu re-proved)\n",
+              S.Warm.Seconds, S.warmSpeedup(),
+              static_cast<unsigned long long>(S.Warm.Stats.cached()),
+              static_cast<unsigned long long>(S.Warm.Stats.verified()));
+  if (S.HasEdit)
+    std::printf("  edit  %8.3fs  (%llu re-proved, %llu cached)\n",
+                S.Edit.Seconds,
+                static_cast<unsigned long long>(S.Edit.Stats.verified()),
+                static_cast<unsigned long long>(S.Edit.Stats.cached()));
+  std::printf("  store %zu bytes, load %.1fms, flush %.1fms\n", S.StoreBytes,
+              1e3 * S.StoreLoadSeconds, 1e3 * S.StoreFlushSeconds);
+}
+
+std::string storePath(const std::string &Suite) {
+  return "bench_incr_" + Suite + ".prf";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  trace::configureFromEnv();
+  std::string OutFile = argc > 1 ? argv[1] : "BENCH_incr.json";
+  std::vector<SuiteResult> Suites;
+
+  {
+    // LinkedList functional hybrid: the full two-sided workload, including
+    // front_mut (the lemma-applying proof) so the edit lever has a
+    // dependent.
+    auto Lib = buildLinkedListLib(SpecMode::Functional);
+    std::vector<std::string> Funcs = functionalFunctions();
+    Funcs.push_back("LinkedList::front_mut");
+    std::vector<creusot::SafeFn> Clients = makeClients();
+
+    SuiteResult Suite;
+    Suite.Name = "linkedlist-functional-hybrid";
+    Suite.Obligations = Funcs.size() + Clients.size();
+    std::string Path = storePath("linkedlist");
+    incr::IncrConfig Inc;
+    Inc.Enabled = true;
+    Inc.StorePath = Path;
+
+    auto RunOnce = [&](incr::IncrRunStats &Stats) {
+      engine::VerifEnv Env = Lib->env();
+      hybrid::HybridDriver D(Env, Lib->Contracts);
+      sched::SchedulerConfig C;
+      return D.run(Funcs, Clients, C, Inc, &Stats).ok();
+    };
+
+    Suite.Cold = best([&] { std::remove(Path.c_str()); }, RunOnce);
+    // The cold best-of loop leaves a fully populated store behind.
+    Suite.Warm = best([] {}, RunOnce);
+    measureStoreOverhead(Suite, Path);
+
+    // Single-lemma edit: conjoin a LinArith-true but syntactically
+    // irreducible fact onto the extraction lemma's requirement. Meaning is
+    // unchanged; the fingerprint is not, so exactly the lemma's dependents
+    // (front_mut) re-verify.
+    auto *LV = Lib->Lemmas.lookupMutable("ll_extract_head");
+    if (LV) {
+      auto &Ex = std::get<engine::ExtractLemma>(*LV);
+      Expr Old = Ex.Requires;
+      Expr Z = mkVar("incr$edit", Sort::Int);
+      Ex.Requires = mkAnd(Old, mkLe(Z, mkAdd(Z, mkInt(1))));
+      Suite.HasEdit = true;
+      Suite.Edit = timeRun(RunOnce);
+      // An edit run re-proves exactly the dependents, not everything.
+      Suite.Edit.Ok = Suite.Edit.Ok && Suite.Edit.Stats.verified() > 0 &&
+                      Suite.Edit.Stats.verified() < Suite.Obligations;
+      Ex.Requires = Old;
+    }
+
+    printSuite(Suite);
+    Suites.push_back(std::move(Suite));
+    std::remove(Path.c_str());
+  }
+
+  {
+    // Vec raw-buffer: the unsafe-only suite through the Verifier's
+    // incremental entry point.
+    auto Lib = buildVecLib();
+    std::vector<std::string> Funcs = vecFunctions();
+
+    SuiteResult Suite;
+    Suite.Name = "vec-raw-buffer";
+    Suite.Obligations = Funcs.size();
+    std::string Path = storePath("vec");
+    incr::IncrConfig Inc;
+    Inc.Enabled = true;
+    Inc.StorePath = Path;
+
+    auto RunOnce = [&](incr::IncrRunStats &Stats) {
+      engine::VerifEnv Env = Lib->env();
+      engine::Verifier V(Env);
+      sched::SchedulerConfig C;
+      for (const engine::VerifyReport &R :
+           V.verifyAll(Funcs, C, Inc, &Stats))
+        if (!R.Ok)
+          return false;
+      return true;
+    };
+
+    Suite.Cold = best([&] { std::remove(Path.c_str()); }, RunOnce);
+    Suite.Warm = best([] {}, RunOnce);
+    measureStoreOverhead(Suite, Path);
+
+    printSuite(Suite);
+    Suites.push_back(std::move(Suite));
+    std::remove(Path.c_str());
+  }
+
+  bool AllOk = true;
+  double MinSpeedup = 0.0;
+  std::string Json = "{\n  \"bench\": \"incremental-verification\"";
+  Json += ",\n  \"suites\": [\n";
+  for (std::size_t I = 0; I != Suites.size(); ++I) {
+    AllOk = AllOk && Suites[I].ok();
+    double S = Suites[I].warmSpeedup();
+    if (I == 0 || S < MinSpeedup)
+      MinSpeedup = S;
+    Json += renderSuite(Suites[I]);
+    Json += I + 1 != Suites.size() ? ",\n" : "\n";
+  }
+  Json += "  ],\n  \"min_warm_speedup\": " + fmt(MinSpeedup, "%.3f") + "\n}\n";
+
+  std::FILE *F = std::fopen(OutFile.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", OutFile.c_str());
+    return 1;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  std::printf("wrote %s (min warm speedup %.2fx)\n", OutFile.c_str(),
+              MinSpeedup);
+  return AllOk ? 0 : 1;
+}

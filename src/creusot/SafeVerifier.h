@@ -63,6 +63,9 @@ struct SafeReport {
   /// The proof job's budget ran out while verifying: the result is Unknown
   /// rather than a definite failure (set by the scheduler).
   bool TimedOut = false;
+  /// The verdict was replayed from a persistent incremental proof store
+  /// (incr/Session.h) instead of being re-proved.
+  bool Cached = false;
   double Seconds = 0.0;
   std::vector<SafeObligation> Obligations;
   std::vector<std::string> Errors;

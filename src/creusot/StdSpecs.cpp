@@ -5,6 +5,7 @@
 #include "creusot/PearliteParser.h"
 
 #include "rmir/Type.h"
+#include "support/Deps.h"
 #include "support/Diagnostics.h"
 
 using namespace gilr;
@@ -17,6 +18,8 @@ void PearliteSpecTable::add(PearliteSpec S) {
 }
 
 const PearliteSpec *PearliteSpecTable::lookup(const std::string &Func) const {
+  // Incremental-verification dependency: the proof assumed this contract.
+  deps::note(deps::Kind::Contract, Func);
   auto It = Map.find(Func);
   return It == Map.end() ? nullptr : &It->second;
 }

@@ -7,6 +7,7 @@
 #include "heap/Projection.h"
 #include "solver/Simplify.h"
 #include "support/Budget.h"
+#include "support/Deps.h"
 #include "support/Diagnostics.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -896,6 +897,9 @@ void Executor::execTerminator(Frame Fr, const Terminator &T) {
 }
 
 void Executor::execCall(Frame Fr, const Terminator &T) {
+  // The callee's *body* matters only through its spec, but a changed body
+  // can change whether the call resolves at all — record both.
+  deps::note(deps::Kind::Function, T.Callee);
   const gilsonite::Spec *CalleeSpec = Env.Specs.lookup(T.Callee);
   const rmir::Function *Callee = Env.Prog.lookup(T.Callee);
   if (!CalleeSpec || !Callee) {

@@ -5,6 +5,7 @@
 #include "engine/Heuristics.h"
 #include "engine/Produce.h"
 #include "solver/Simplify.h"
+#include "support/Deps.h"
 #include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
@@ -274,9 +275,22 @@ Outcome<Unit> LemmaTable::applyExtract(const ExtractLemma &L,
   return Outcome<Unit>::success(Unit());
 }
 
+const std::variant<FreezeLemma, ExtractLemma> *
+LemmaTable::lookup(const std::string &Name) const {
+  auto It = Map.find(Name);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+std::variant<FreezeLemma, ExtractLemma> *
+LemmaTable::lookupMutable(const std::string &Name) {
+  auto It = Map.find(Name);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
 Outcome<Unit> LemmaTable::apply(const std::string &Name,
                                 const std::vector<Expr> &Args, SymState &St,
                                 VerifEnv &Env) {
+  deps::note(deps::Kind::Lemma, Name);
   auto It = Map.find(Name);
   if (It == Map.end())
     return Outcome<Unit>::failure("application of unknown lemma " + Name);

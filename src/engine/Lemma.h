@@ -83,6 +83,17 @@ public:
   bool contains(const std::string &Name) const { return Map.count(Name); }
   std::size_t size() const { return Map.size(); }
 
+  /// The registered lemma named \p Name, or nullptr. Used by the
+  /// incremental layer to fingerprint lemma statements.
+  const std::variant<FreezeLemma, ExtractLemma> *
+  lookup(const std::string &Name) const;
+
+  /// Mutable access for *tests* that simulate editing a lemma between
+  /// incremental runs. Production code registers lemmas once; mutating a
+  /// lemma does not re-run its hypothesis proof.
+  std::variant<FreezeLemma, ExtractLemma> *
+  lookupMutable(const std::string &Name);
+
 private:
   Outcome<Unit> applyFreeze(const FreezeLemma &L,
                             const std::vector<Expr> &Args, SymState &St,

@@ -2,6 +2,8 @@
 
 #include "engine/Verifier.h"
 
+#include "support/Deps.h"
+
 #include <chrono>
 
 using namespace gilr;
@@ -20,6 +22,9 @@ VerifyReport Verifier::verifyFunction(const std::string &FuncName) {
   VerifyReport Report;
   Report.Func = FuncName;
 
+  // Program::lookup is a header inline, so note the body dependency here:
+  // the obligation depends on its own function's RMIR.
+  deps::note(deps::Kind::Function, FuncName);
   const rmir::Function *F = Env.Prog.lookup(FuncName);
   if (!F) {
     Report.Errors.push_back("unknown function " + FuncName);

@@ -2,6 +2,7 @@
 
 #include "gilsonite/PredDecl.h"
 
+#include "support/Deps.h"
 #include "support/Diagnostics.h"
 #include "sym/ExprBuilder.h"
 
@@ -21,6 +22,9 @@ void PredTable::declareIfAbsent(PredDecl Decl) {
 }
 
 const PredDecl *PredTable::lookup(const std::string &Name) const {
+  // Incremental-verification dependency: the proof consulted (or probed
+  // for) this predicate.
+  deps::note(deps::Kind::Pred, Name);
   auto It = Map.find(Name);
   return It == Map.end() ? nullptr : &It->second;
 }

@@ -2,6 +2,7 @@
 
 #include "gilsonite/Spec.h"
 
+#include "support/Deps.h"
 #include "support/Diagnostics.h"
 
 using namespace gilr;
@@ -14,6 +15,8 @@ void SpecTable::add(Spec S) {
 }
 
 const Spec *SpecTable::lookup(const std::string &Func) const {
+  // Incremental-verification dependency: the proof consulted this spec.
+  deps::note(deps::Kind::Spec, Func);
   auto It = Map.find(Func);
   return It == Map.end() ? nullptr : &It->second;
 }

@@ -86,7 +86,9 @@ std::string HybridReport::summaryText() const {
   Out += "hybrid verification: " + std::string(ok() ? "OK" : "FAILED") + "\n";
   for (const engine::VerifyReport &R : UnsafeSide) {
     Out += "  [gillian] " + R.Func + ": " +
-           (R.Ok ? "ok" : R.TimedOut ? "UNKNOWN (budget)" : "FAIL") + " (" +
+           (R.Ok ? (R.Cached ? "ok (cached)" : "ok")
+                 : R.TimedOut ? "UNKNOWN (budget)" : "FAIL") +
+           " (" +
            fmtSeconds(R.Seconds) + ", " + std::to_string(R.PathsCompleted) +
            " paths, " + std::to_string(R.Solver.EntailQueries) +
            " entailments, " + std::to_string(R.Solver.SatQueries) +
@@ -108,7 +110,9 @@ std::string HybridReport::summaryText() const {
     for (const creusot::SafeObligation &O : R.Obligations)
       Proved += O.Ok;
     Out += "  [creusot] " + R.Func + ": " +
-           (R.Ok ? "ok" : R.TimedOut ? "UNKNOWN (budget)" : "FAIL") + " (" +
+           (R.Ok ? (R.Cached ? "ok (cached)" : "ok")
+                 : R.TimedOut ? "UNKNOWN (budget)" : "FAIL") +
+           " (" +
            fmtSeconds(R.Seconds) + ", " + std::to_string(Proved) + "/" +
            std::to_string(R.Obligations.size()) + " obligations, " +
            std::to_string(R.Solver.EntailQueries) + " entailments)\n";
@@ -126,6 +130,8 @@ std::string HybridReport::renderJson() const {
     Out += ", \"ok\": " + std::string(R.Ok ? "true" : "false");
     if (R.TimedOut)
       Out += ", \"timed_out\": true";
+    if (R.Cached)
+      Out += ", \"cached\": true";
     Out += ", \"seconds\": " + std::to_string(R.Seconds);
     Out += ", \"paths\": " + std::to_string(R.PathsCompleted);
     Out += ", \"states\": " + std::to_string(R.StatesExplored);
@@ -153,6 +159,8 @@ std::string HybridReport::renderJson() const {
     Out += ", \"ok\": " + std::string(R.Ok ? "true" : "false");
     if (R.TimedOut)
       Out += ", \"timed_out\": true";
+    if (R.Cached)
+      Out += ", \"cached\": true";
     Out += ", \"seconds\": " + std::to_string(R.Seconds);
     Out += ", \"solver\": " + solverStatsJson(R.Solver);
     Out += ", \"obligations\": [";

@@ -20,6 +20,10 @@ namespace gilr {
 namespace sched {
 struct SchedulerConfig;
 } // namespace sched
+namespace incr {
+struct IncrConfig;
+struct IncrRunStats;
+} // namespace incr
 
 namespace hybrid {
 
@@ -72,6 +76,18 @@ public:
   HybridReport run(const std::vector<std::string> &UnsafeFuncs,
                    const std::vector<creusot::SafeFn> &Clients,
                    const sched::SchedulerConfig &Config);
+
+  /// Same, with incremental verification (incr/Session.h): obligations
+  /// whose persisted verdict is still valid are replayed from the proof
+  /// store (marked \c cached in the reports), the rest are proved and the
+  /// store updated. Falls through to the plain scheduled run when
+  /// Inc.Enabled is false. \p StatsOut, if given, receives the run's
+  /// cached/verified/invalidated counters. Defined in sched/Scheduler.cpp.
+  HybridReport run(const std::vector<std::string> &UnsafeFuncs,
+                   const std::vector<creusot::SafeFn> &Clients,
+                   const sched::SchedulerConfig &Config,
+                   const incr::IncrConfig &Inc,
+                   incr::IncrRunStats *StatsOut = nullptr);
 
 private:
   engine::VerifEnv &Env;

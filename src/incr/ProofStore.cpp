@@ -1,0 +1,410 @@
+//===- incr/ProofStore.cpp --------------------------------------------------------===//
+
+#include "incr/ProofStore.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace gilr;
+using namespace gilr::incr;
+
+namespace {
+
+constexpr char Magic[8] = {'G', 'I', 'L', 'R', 'P', 'R', 'F', '1'};
+constexpr uint32_t FormatVersion = 1;
+constexpr uint8_t RecObligation = 1;
+constexpr uint8_t RecSolverBlock = 2;
+
+uint64_t fnv1a(const char *Data, std::size_t N, uint64_t H) {
+  for (std::size_t I = 0; I != N; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+uint64_t recordChecksum(uint8_t Type, const std::string &Payload) {
+  char T = static_cast<char>(Type);
+  uint64_t H = fnv1a(&T, 1, 0xcbf29ce484222325ull);
+  return fnv1a(Payload.data(), Payload.size(), H);
+}
+
+/// Appends fixed-width values to a byte string.
+class Writer {
+public:
+  std::string Out;
+
+  void u8(uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) { raw(&V, sizeof V); }
+  void u64(uint64_t V) { raw(&V, sizeof V); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.append(S);
+  }
+
+private:
+  void raw(const void *P, std::size_t N) {
+    Out.append(static_cast<const char *>(P), N);
+  }
+};
+
+/// Bounds-checked reader over a byte string; every getter returns false
+/// once the input is exhausted or malformed.
+class Reader {
+public:
+  Reader(const char *Data, std::size_t N) : Data(Data), End(Data + N) {}
+  explicit Reader(const std::string &S) : Reader(S.data(), S.size()) {}
+
+  bool u8(uint8_t &V) {
+    if (End - Data < 1)
+      return false;
+    V = static_cast<uint8_t>(*Data++);
+    return true;
+  }
+  bool u32(uint32_t &V) { return raw(&V, sizeof V); }
+  bool u64(uint64_t &V) { return raw(&V, sizeof V); }
+  bool f64(double &V) {
+    uint64_t Bits;
+    if (!u64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, sizeof V);
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t N;
+    if (!u32(N) || static_cast<std::size_t>(End - Data) < N)
+      return false;
+    S.assign(Data, N);
+    Data += N;
+    return true;
+  }
+  bool done() const { return Data == End; }
+
+private:
+  bool raw(void *P, std::size_t N) {
+    if (static_cast<std::size_t>(End - Data) < N)
+      return false;
+    std::memcpy(P, Data, N);
+    Data += N;
+    return true;
+  }
+
+  const char *Data;
+  const char *End;
+};
+
+std::string encodeObligation(const StoredObligation &Ob) {
+  Writer W;
+  W.u8(static_cast<uint8_t>(Ob.S));
+  W.str(Ob.Name);
+  W.u64(Ob.SelfFp);
+  W.u64(Ob.ConfigFp);
+  W.u32(static_cast<uint32_t>(Ob.Deps.size()));
+  for (const StoredDep &D : Ob.Deps) {
+    W.u8(static_cast<uint8_t>(D.K));
+    W.str(D.Name);
+    W.u64(D.Fp);
+  }
+  W.str(Ob.Blob);
+  return std::move(W.Out);
+}
+
+bool decodeObligation(const std::string &Payload, StoredObligation &Ob) {
+  Reader R(Payload);
+  uint8_t S;
+  uint32_t NDeps;
+  if (!R.u8(S) || S > static_cast<uint8_t>(Side::Safe) || !R.str(Ob.Name) ||
+      !R.u64(Ob.SelfFp) || !R.u64(Ob.ConfigFp) || !R.u32(NDeps))
+    return false;
+  Ob.S = static_cast<Side>(S);
+  Ob.Deps.clear();
+  Ob.Deps.reserve(NDeps);
+  for (uint32_t I = 0; I != NDeps; ++I) {
+    StoredDep D;
+    uint8_t K;
+    if (!R.u8(K) || K > static_cast<uint8_t>(deps::Kind::Contract) ||
+        !R.str(D.Name) || !R.u64(D.Fp))
+      return false;
+    D.K = static_cast<deps::Kind>(K);
+    Ob.Deps.push_back(std::move(D));
+  }
+  return R.str(Ob.Blob) && R.done();
+}
+
+std::string encodeSolverBlock(const std::vector<SavedQueryVerdict> &Es) {
+  Writer W;
+  W.u32(static_cast<uint32_t>(Es.size()));
+  for (const SavedQueryVerdict &E : Es) {
+    W.u64(E.Fp);
+    W.u64(E.Fp2);
+    W.u8(static_cast<uint8_t>(E.V.R));
+    W.u64(E.V.Branches);
+    W.u64(E.V.TheoryChecks);
+  }
+  return std::move(W.Out);
+}
+
+bool decodeSolverBlock(const std::string &Payload,
+                       std::vector<SavedQueryVerdict> &Out) {
+  Reader R(Payload);
+  uint32_t N;
+  if (!R.u32(N))
+    return false;
+  Out.clear();
+  Out.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    SavedQueryVerdict E;
+    uint8_t V;
+    if (!R.u64(E.Fp) || !R.u64(E.Fp2) || !R.u8(V) ||
+        V > static_cast<uint8_t>(SatResult::Unknown) || !R.u64(E.V.Branches) ||
+        !R.u64(E.V.TheoryChecks))
+      return false;
+    E.V.R = static_cast<SatResult>(V);
+    Out.push_back(E);
+  }
+  return R.done();
+}
+
+void writeSolverStats(Writer &W, const SolverStats &S) {
+  W.u64(S.SatQueries);
+  W.u64(S.EntailQueries);
+  W.u64(S.Branches);
+  W.u64(S.TheoryChecks);
+  W.u64(S.UnknownResults);
+  W.u64(S.EntailRepeats);
+}
+
+bool readSolverStats(Reader &R, SolverStats &S) {
+  uint64_t V[6];
+  for (uint64_t &X : V)
+    if (!R.u64(X))
+      return false;
+  S.SatQueries = V[0];
+  S.EntailQueries = V[1];
+  S.Branches = V[2];
+  S.TheoryChecks = V[3];
+  S.UnknownResults = V[4];
+  S.EntailRepeats = V[5];
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Load / flush
+//===----------------------------------------------------------------------===//
+
+bool ProofStore::load() {
+  Index.clear();
+  Solver.clear();
+  Truncated = false;
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+
+  char Head[8];
+  uint32_t Version = 0, Reserved = 0;
+  if (std::fread(Head, 1, sizeof Head, F) != sizeof Head ||
+      std::memcmp(Head, Magic, sizeof Magic) != 0 ||
+      std::fread(&Version, sizeof Version, 1, F) != 1 ||
+      Version != FormatVersion ||
+      std::fread(&Reserved, sizeof Reserved, 1, F) != 1) {
+    std::fclose(F);
+    return false;
+  }
+
+  for (;;) {
+    uint8_t Type;
+    uint32_t Len;
+    if (std::fread(&Type, 1, 1, F) != 1)
+      break; // Clean EOF.
+    if (std::fread(&Len, sizeof Len, 1, F) != 1) {
+      Truncated = true;
+      break;
+    }
+    std::string Payload(Len, '\0');
+    uint64_t Checksum;
+    if ((Len && std::fread(&Payload[0], 1, Len, F) != Len) ||
+        std::fread(&Checksum, sizeof Checksum, 1, F) != 1 ||
+        Checksum != recordChecksum(Type, Payload)) {
+      Truncated = true;
+      break;
+    }
+    if (Type == RecObligation) {
+      StoredObligation Ob;
+      if (!decodeObligation(Payload, Ob)) {
+        Truncated = true;
+        break;
+      }
+      // Append-log semantics: the last record for a key wins.
+      Index[{static_cast<uint8_t>(Ob.S), Ob.Name}] = std::move(Ob);
+    } else if (Type == RecSolverBlock) {
+      std::vector<SavedQueryVerdict> Es;
+      if (!decodeSolverBlock(Payload, Es)) {
+        Truncated = true;
+        break;
+      }
+      Solver = std::move(Es);
+    }
+    // Unknown record types are skipped: forward-compatible within a
+    // version, since the checksum already validated the payload length.
+  }
+  std::fclose(F);
+  return true;
+}
+
+const StoredObligation *ProofStore::lookup(Side S,
+                                           const std::string &Name) const {
+  auto It = Index.find({static_cast<uint8_t>(S), Name});
+  return It == Index.end() ? nullptr : &It->second;
+}
+
+void ProofStore::put(StoredObligation Ob) {
+  std::pair<uint8_t, std::string> Key{static_cast<uint8_t>(Ob.S), Ob.Name};
+  Index[std::move(Key)] = std::move(Ob);
+}
+
+bool ProofStore::flush() const {
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return false;
+
+  auto writeRecord = [&](uint8_t Type, const std::string &Payload) {
+    uint32_t Len = static_cast<uint32_t>(Payload.size());
+    uint64_t Checksum = recordChecksum(Type, Payload);
+    return std::fwrite(&Type, 1, 1, F) == 1 &&
+           std::fwrite(&Len, sizeof Len, 1, F) == 1 &&
+           (!Len || std::fwrite(Payload.data(), 1, Len, F) == Len) &&
+           std::fwrite(&Checksum, sizeof Checksum, 1, F) == 1;
+  };
+
+  uint32_t Version = FormatVersion, Reserved = 0;
+  bool Ok = std::fwrite(Magic, 1, sizeof Magic, F) == sizeof Magic &&
+            std::fwrite(&Version, sizeof Version, 1, F) == 1 &&
+            std::fwrite(&Reserved, sizeof Reserved, 1, F) == 1;
+  for (const auto &[Key, Ob] : Index)
+    Ok = Ok && writeRecord(RecObligation, encodeObligation(Ob));
+  if (!Solver.empty())
+    Ok = Ok && writeRecord(RecSolverBlock, encodeSolverBlock(Solver));
+  Ok = std::fflush(F) == 0 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Report blobs
+//===----------------------------------------------------------------------===//
+
+std::string gilr::incr::encodeVerifyReport(const engine::VerifyReport &R) {
+  Writer W;
+  W.str(R.Func);
+  W.u8(R.Ok ? 1 : 0);
+  W.u8(R.TimedOut ? 1 : 0);
+  W.f64(R.Seconds);
+  W.u32(R.PathsCompleted);
+  W.u32(R.StatesExplored);
+  W.u32(R.GhostAnnotations);
+  W.u32(static_cast<uint32_t>(R.Errors.size()));
+  for (const std::string &E : R.Errors)
+    W.str(E);
+  writeSolverStats(W, R.Solver);
+  W.u32(static_cast<uint32_t>(R.Phases.size()));
+  for (const trace::PhaseStat &P : R.Phases) {
+    W.str(P.Key);
+    W.u64(P.Count);
+    W.u64(P.Nanos);
+  }
+  return std::move(W.Out);
+}
+
+bool gilr::incr::decodeVerifyReport(const std::string &Blob,
+                                    engine::VerifyReport &Out) {
+  Reader R(Blob);
+  uint8_t Ok, TimedOut;
+  uint32_t NErrors, NPhases;
+  if (!R.str(Out.Func) || !R.u8(Ok) || !R.u8(TimedOut) || !R.f64(Out.Seconds))
+    return false;
+  uint32_t Paths, States, Ghosts;
+  if (!R.u32(Paths) || !R.u32(States) || !R.u32(Ghosts) || !R.u32(NErrors))
+    return false;
+  Out.Ok = Ok != 0;
+  Out.TimedOut = TimedOut != 0;
+  Out.PathsCompleted = Paths;
+  Out.StatesExplored = States;
+  Out.GhostAnnotations = Ghosts;
+  Out.Errors.clear();
+  Out.Errors.resize(NErrors);
+  for (std::string &E : Out.Errors)
+    if (!R.str(E))
+      return false;
+  if (!readSolverStats(R, Out.Solver) || !R.u32(NPhases))
+    return false;
+  Out.Phases.clear();
+  Out.Phases.resize(NPhases);
+  for (trace::PhaseStat &P : Out.Phases)
+    if (!R.str(P.Key) || !R.u64(P.Count) || !R.u64(P.Nanos))
+      return false;
+  return R.done();
+}
+
+std::string gilr::incr::encodeSafeReport(const creusot::SafeReport &R) {
+  Writer W;
+  W.str(R.Func);
+  W.u8(R.Ok ? 1 : 0);
+  W.u8(R.TimedOut ? 1 : 0);
+  W.f64(R.Seconds);
+  W.u32(static_cast<uint32_t>(R.Obligations.size()));
+  for (const creusot::SafeObligation &O : R.Obligations) {
+    W.str(O.Where);
+    W.str(O.What);
+    W.u8(O.Ok ? 1 : 0);
+  }
+  W.u32(static_cast<uint32_t>(R.Errors.size()));
+  for (const std::string &E : R.Errors)
+    W.str(E);
+  writeSolverStats(W, R.Solver);
+  return std::move(W.Out);
+}
+
+bool gilr::incr::decodeSafeReport(const std::string &Blob,
+                                  creusot::SafeReport &Out) {
+  Reader R(Blob);
+  uint8_t Ok, TimedOut;
+  uint32_t NObl, NErrors;
+  if (!R.str(Out.Func) || !R.u8(Ok) || !R.u8(TimedOut) ||
+      !R.f64(Out.Seconds) || !R.u32(NObl))
+    return false;
+  Out.Ok = Ok != 0;
+  Out.TimedOut = TimedOut != 0;
+  Out.Obligations.clear();
+  Out.Obligations.resize(NObl);
+  for (creusot::SafeObligation &O : Out.Obligations) {
+    uint8_t OOk;
+    if (!R.str(O.Where) || !R.str(O.What) || !R.u8(OOk))
+      return false;
+    O.Ok = OOk != 0;
+  }
+  if (!R.u32(NErrors))
+    return false;
+  Out.Errors.clear();
+  Out.Errors.resize(NErrors);
+  for (std::string &E : Out.Errors)
+    if (!R.str(E))
+      return false;
+  return readSolverStats(R, Out.Solver) && R.done();
+}

@@ -1,0 +1,188 @@
+//===- incr/Session.cpp -----------------------------------------------------------===//
+
+#include "incr/Session.h"
+
+#include "support/Trace.h"
+
+using namespace gilr;
+using namespace gilr::incr;
+
+namespace {
+
+/// Fingerprint of an entity that does not (currently) exist. A fixed
+/// sentinel, so an obligation recorded while an entity was missing stays
+/// valid as long as it remains missing and invalidates when it appears.
+constexpr uint64_t MissingEntityFp = 0x6d69'7373'696e'67ull; // "missing".
+
+} // namespace
+
+Session::Session(const IncrConfig &Cfg, engine::VerifEnv &Env,
+                 const creusot::PearliteSpecTable *Contracts)
+    : Cfg(Cfg), Env(Env), Contracts(Contracts), Store(Cfg.StorePath) {
+  ConfigFp = fpAutomation(Env.Auto, Env.Solv.MaxBranches);
+  if (!Cfg.StorePath.empty()) {
+    Stats.StoreLoaded = Store.load();
+    Stats.StoreTruncated = Store.truncated();
+  }
+}
+
+uint64_t Session::currentFp(const DepKey &Key) {
+  // Callers hold Mu (public callers go through lookup*/record*); the
+  // test-facing direct call is single-threaded by contract.
+  auto It = FpMemo.find(Key);
+  if (It != FpMemo.end())
+    return It->second;
+
+  uint64_t Fp = MissingEntityFp;
+  switch (Key.K) {
+  case deps::Kind::Function:
+    if (const rmir::Function *F = Env.Prog.lookup(Key.Name))
+      Fp = fpFunction(*F);
+    break;
+  case deps::Kind::Spec:
+    if (const gilsonite::Spec *S = Env.Specs.lookup(Key.Name))
+      Fp = fpSpec(*S);
+    break;
+  case deps::Kind::Pred:
+    if (const gilsonite::PredDecl *P = Env.Preds.lookup(Key.Name))
+      Fp = fpPred(*P);
+    break;
+  case deps::Kind::Lemma:
+    if (const std::variant<engine::FreezeLemma, engine::ExtractLemma> *L =
+            Env.Lemmas.lookup(Key.Name))
+      Fp = fpLemma(*L);
+    break;
+  case deps::Kind::Contract:
+    if (Contracts)
+      if (const creusot::PearliteSpec *C = Contracts->lookup(Key.Name))
+        Fp = fpContract(*C);
+    break;
+  }
+  FpMemo.emplace(Key, Fp);
+  return Fp;
+}
+
+bool Session::depsStillValid(const StoredObligation &Ob) {
+  for (const StoredDep &D : Ob.Deps)
+    if (currentFp(DepKey{D.K, D.Name}) != D.Fp)
+      return false;
+  return true;
+}
+
+std::vector<StoredDep> Session::snapshotDeps(const std::set<DepKey> &Deps) {
+  std::vector<StoredDep> Out;
+  Out.reserve(Deps.size());
+  for (const DepKey &K : Deps)
+    Out.push_back(StoredDep{K.K, K.Name, currentFp(K)});
+  return Out;
+}
+
+bool Session::lookupUnsafe(const std::string &Func,
+                           engine::VerifyReport &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const StoredObligation *Ob = Store.lookup(Side::Unsafe, Func);
+  if (!Ob)
+    return false;
+  uint64_t SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
+  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp ||
+      !depsStillValid(*Ob)) {
+    ++Stats.Invalidated;
+    return false;
+  }
+  if (!decodeVerifyReport(Ob->Blob, Out))
+    return false; // Malformed blob: treat as a miss, re-verify.
+  Out.Cached = true;
+  ++Stats.CachedUnsafe;
+  if (trace::enabled())
+    metrics::Registry::get().add("incr.cached");
+  // The stored deps stay current (nothing changed), so the graph keeps
+  // answering dependentsOf precisely on warm runs too.
+  std::set<DepKey> Deps;
+  for (const StoredDep &D : Ob->Deps)
+    Deps.insert(DepKey{D.K, D.Name});
+  Graph.record(ObligationId{Side::Unsafe, Func}, std::move(Deps));
+  return true;
+}
+
+void Session::recordUnsafe(const std::string &Func,
+                           const std::set<DepKey> &Deps,
+                           const engine::VerifyReport &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.VerifiedUnsafe;
+  if (trace::enabled())
+    metrics::Registry::get().add("incr.verified");
+  Graph.record(ObligationId{Side::Unsafe, Func}, std::set<DepKey>(Deps));
+  if (R.TimedOut)
+    return; // Budget-degraded results are transient; never cache them.
+  StoredObligation Ob;
+  Ob.S = Side::Unsafe;
+  Ob.Name = Func;
+  Ob.SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
+  Ob.ConfigFp = ConfigFp;
+  Ob.Deps = snapshotDeps(Deps);
+  Ob.Blob = encodeVerifyReport(R);
+  Store.put(std::move(Ob));
+}
+
+bool Session::lookupSafe(const creusot::SafeFn &F, creusot::SafeReport &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const StoredObligation *Ob = Store.lookup(Side::Safe, F.Name);
+  if (!Ob)
+    return false;
+  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != fpSafeFn(F) ||
+      !depsStillValid(*Ob)) {
+    ++Stats.Invalidated;
+    return false;
+  }
+  if (!decodeSafeReport(Ob->Blob, Out))
+    return false;
+  Out.Cached = true;
+  ++Stats.CachedSafe;
+  if (trace::enabled())
+    metrics::Registry::get().add("incr.cached");
+  std::set<DepKey> Deps;
+  for (const StoredDep &D : Ob->Deps)
+    Deps.insert(DepKey{D.K, D.Name});
+  Graph.record(ObligationId{Side::Safe, F.Name}, std::move(Deps));
+  return true;
+}
+
+void Session::recordSafe(const creusot::SafeFn &F,
+                         const std::set<DepKey> &Deps,
+                         const creusot::SafeReport &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.VerifiedSafe;
+  if (trace::enabled())
+    metrics::Registry::get().add("incr.verified");
+  Graph.record(ObligationId{Side::Safe, F.Name}, std::set<DepKey>(Deps));
+  if (R.TimedOut)
+    return;
+  StoredObligation Ob;
+  Ob.S = Side::Safe;
+  Ob.Name = F.Name;
+  Ob.SelfFp = fpSafeFn(F);
+  Ob.ConfigFp = ConfigFp;
+  Ob.Deps = snapshotDeps(Deps);
+  Ob.Blob = encodeSafeReport(R);
+  Store.put(std::move(Ob));
+}
+
+std::vector<SavedQueryVerdict> Session::solverEntriesToLoad() const {
+  if (!Cfg.LoadSolverCache)
+    return {};
+  return Store.solverEntries();
+}
+
+void Session::saveSolverEntries(std::vector<SavedQueryVerdict> Entries) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Cfg.SaveSolverCache)
+    return;
+  Store.setSolverEntries(std::move(Entries));
+}
+
+bool Session::flush() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Cfg.ReadOnly || Cfg.StorePath.empty())
+    return true;
+  return Store.flush();
+}

@@ -1,0 +1,136 @@
+//===- incr/Session.h - One incremental verification session ---------------===//
+///
+/// \file
+/// The orchestration point of incremental verification: owns the proof
+/// store and the dependency graph for one run, answers the scheduler's
+/// "is this obligation's cached verdict still valid?" question, and records
+/// fresh results. An obligation's cached verdict is reused iff
+///
+///   * the store holds a record for it,
+///   * the configuration fingerprint (automation knobs + solver budget)
+///     matches,
+///   * its own entity's fingerprint matches, and
+///   * *every* recorded dependency's current fingerprint matches the one it
+///     had when the proof ran.
+///
+/// Fingerprint comparisons are against the *current* tables, so editing one
+/// lemma invalidates exactly the obligations whose proofs consulted it —
+/// the dependency sets are closures (a proof consults everything it
+/// transitively uses), so checking the directly recorded deps covers the
+/// transitive case.
+///
+/// Thread-safe: the scheduler's workers call lookup*/record* concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_INCR_SESSION_H
+#define GILR_INCR_SESSION_H
+
+#include "incr/DepGraph.h"
+#include "incr/Fingerprint.h"
+#include "incr/ProofStore.h"
+
+#include <mutex>
+
+namespace gilr {
+namespace incr {
+
+/// Knobs of incremental verification. Off by default: a default-constructed
+/// config makes the drivers behave exactly as before.
+struct IncrConfig {
+  /// Master switch; when false the overloads fall through to the plain
+  /// scheduler path and never touch the disk.
+  bool Enabled = false;
+  /// The proof-store file. Created on first flush; a missing or corrupt
+  /// file means a cold run, never an error.
+  std::string StorePath;
+  /// Pre-warm the scheduler's QueryCache shards with the persisted solver
+  /// entries.
+  bool LoadSolverCache = true;
+  /// Persist the QueryCache contents at the end of the run.
+  bool SaveSolverCache = true;
+  /// Use the store without writing it back (e.g. CI replay).
+  bool ReadOnly = false;
+};
+
+/// Counters of one incremental run.
+struct IncrRunStats {
+  uint64_t CachedUnsafe = 0;
+  uint64_t CachedSafe = 0;
+  uint64_t VerifiedUnsafe = 0;
+  uint64_t VerifiedSafe = 0;
+  /// Store records found but rejected because a fingerprint changed.
+  uint64_t Invalidated = 0;
+  bool StoreLoaded = false;
+  bool StoreTruncated = false;
+
+  uint64_t cached() const { return CachedUnsafe + CachedSafe; }
+  uint64_t verified() const { return VerifiedUnsafe + VerifiedSafe; }
+};
+
+class Session {
+public:
+  /// Loads the store (if any). \p Contracts may be null for unsafe-only
+  /// runs (engine::Verifier::verifyAll); Contract deps then never validate
+  /// unless absent from the record.
+  Session(const IncrConfig &Cfg, engine::VerifEnv &Env,
+          const creusot::PearliteSpecTable *Contracts);
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Returns true and fills \p Out (with \c Cached set) when the store
+  /// holds a still-valid verdict for unsafe obligation \p Func.
+  bool lookupUnsafe(const std::string &Func, engine::VerifyReport &Out);
+
+  /// Records a freshly computed unsafe verdict with the dependencies its
+  /// proof consulted. Budget-degraded (TimedOut) results are never cached.
+  void recordUnsafe(const std::string &Func, const std::set<DepKey> &Deps,
+                    const engine::VerifyReport &R);
+
+  /// Safe-side counterparts (the obligation's own fingerprint is the
+  /// client body's, which lives in no table).
+  bool lookupSafe(const creusot::SafeFn &F, creusot::SafeReport &Out);
+  void recordSafe(const creusot::SafeFn &F, const std::set<DepKey> &Deps,
+                  const creusot::SafeReport &R);
+
+  /// The persisted solver-cache entries to pre-warm the QueryCache with
+  /// (empty when LoadSolverCache is off or the store had none).
+  std::vector<SavedQueryVerdict> solverEntriesToLoad() const;
+
+  /// Hands the run's QueryCache contents to the store (no-op when
+  /// SaveSolverCache is off).
+  void saveSolverEntries(std::vector<SavedQueryVerdict> Entries);
+
+  /// Writes the store back (atomic rename). No-op (success) when ReadOnly.
+  bool flush();
+
+  const IncrRunStats &stats() const { return Stats; }
+  const DepGraph &graph() const { return Graph; }
+  const IncrConfig &config() const { return Cfg; }
+  const ProofStore &store() const { return Store; }
+
+  /// The current fingerprint of \p Key against the session's tables
+  /// (memoised; a missing entity maps to a fixed sentinel, so "was missing
+  /// then, still missing now" validates). Exposed for tests.
+  uint64_t currentFp(const DepKey &Key);
+
+private:
+  bool depsStillValid(const StoredObligation &Ob);
+  std::vector<StoredDep> snapshotDeps(const std::set<DepKey> &Deps);
+
+  IncrConfig Cfg;
+  engine::VerifEnv &Env;
+  const creusot::PearliteSpecTable *Contracts;
+  ProofStore Store;
+  DepGraph Graph;
+  IncrRunStats Stats;
+  uint64_t ConfigFp = 0;
+  std::mutex Mu;
+  std::map<DepKey, uint64_t> FpMemo;
+};
+
+} // namespace incr
+} // namespace gilr
+
+#endif // GILR_INCR_SESSION_H

@@ -175,9 +175,11 @@ enum class GhostKind : uint8_t {
   AssertPure,         ///< Ghost assertion of a pure fact.
 };
 
-/// A ghost statement.
+/// A ghost statement. Kind must be initialized even in the default-constructed
+/// Ghost embedded in every non-ghost Statement: structural fingerprints
+/// (incr/Fingerprint.cpp) hash every field unconditionally.
 struct Ghost {
-  GhostKind Kind;
+  GhostKind Kind = GhostKind::Unfold;
   std::string Name;          ///< Predicate / lemma name.
   std::vector<Operand> Args; ///< Program-value arguments.
   Expr PureArg;              ///< AssertPure payload.

@@ -7,8 +7,9 @@
 using namespace gilr;
 using namespace gilr::sched;
 
-QueryCache::QueryCache(std::size_t Capacity)
-    : Shards(new Shard[NumShards]), TotalCapacity(Capacity) {
+QueryCache::QueryCache(std::size_t Capacity, bool StableKeys)
+    : Shards(new Shard[NumShards]), TotalCapacity(Capacity),
+      StableKeys(StableKeys) {
   std::size_t PerShard = Capacity / NumShards;
   if (PerShard == 0 && Capacity > 0)
     PerShard = 1;
@@ -33,11 +34,13 @@ bool QueryCache::lookup(uint64_t Fp, uint64_t Fp2, QueryVerdict &Out) {
       // Touch: move to the front of the LRU list.
       S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
       Out = It->second->V;
+      ++S.Hits;
       Hits.fetch_add(1, std::memory_order_relaxed);
       if (trace::enabled())
         metrics::Registry::get().add("cache.hit");
       return true;
     }
+    ++S.Misses;
   }
   Misses.fetch_add(1, std::memory_order_relaxed);
   if (trace::enabled())
@@ -100,5 +103,47 @@ CacheStatsSnapshot QueryCache::stats() const {
   Snap.Misses = Misses.load(std::memory_order_relaxed);
   Snap.Insertions = Insertions.load(std::memory_order_relaxed);
   Snap.Evictions = Evictions.load(std::memory_order_relaxed);
+  Snap.Shards.resize(NumShards);
+  for (std::size_t I = 0; I != NumShards; ++I) {
+    Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Snap.Shards[I].Hits = S.Hits;
+    Snap.Shards[I].Misses = S.Misses;
+  }
   return Snap;
+}
+
+std::vector<SavedQueryVerdict> QueryCache::exportEntries() const {
+  std::vector<SavedQueryVerdict> Out;
+  for (std::size_t I = 0; I != NumShards; ++I) {
+    Shard &S = Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const Entry &E : S.LRU)
+      Out.push_back(SavedQueryVerdict{E.Fp, E.Fp2, E.V});
+  }
+  return Out;
+}
+
+void QueryCache::preload(const std::vector<SavedQueryVerdict> &Entries) {
+  for (const SavedQueryVerdict &E : Entries) {
+    if (E.V.R == SatResult::Unknown)
+      continue; // Never admitted; a corrupt store must not smuggle one in.
+    Shard &S = Shards[shardOf(E.Fp)];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (S.Capacity == 0)
+      continue;
+    auto It = S.Map.find(E.Fp);
+    if (It != S.Map.end()) {
+      It->second->Fp2 = E.Fp2;
+      It->second->V = E.V;
+      continue;
+    }
+    if (S.LRU.size() >= S.Capacity) {
+      S.Map.erase(S.LRU.back().Fp);
+      S.LRU.pop_back();
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    S.LRU.push_front(Entry{E.Fp, E.Fp2, E.V});
+    S.Map[E.Fp] = S.LRU.begin();
+  }
 }

@@ -33,9 +33,22 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace gilr {
 namespace sched {
+
+/// Hit/miss counts of one shard.
+struct ShardStatsSnapshot {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
 
 /// Snapshot of cache activity (values, not atomics).
 struct CacheStatsSnapshot {
@@ -43,6 +56,10 @@ struct CacheStatsSnapshot {
   uint64_t Misses = 0;
   uint64_t Insertions = 0;
   uint64_t Evictions = 0;
+  /// Per-shard hit/miss breakdown (empty if the snapshot predates a cache,
+  /// e.g. caching disabled). Surfaced in the telemetry JSON so shard
+  /// balance is observable.
+  std::vector<ShardStatsSnapshot> Shards;
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;
@@ -57,8 +74,12 @@ public:
   static constexpr std::size_t NumShards = 16;
 
   /// \p Capacity bounds the total number of entries across all shards
-  /// (each shard holds Capacity/NumShards, at least 1).
-  explicit QueryCache(std::size_t Capacity);
+  /// (each shard holds Capacity/NumShards, at least 1). \p StableKeys makes
+  /// the solver key entries with the process-stable fingerprint
+  /// (stableQueryFingerprint) instead of the intern-id one — required when
+  /// the cache contents are persisted or preloaded across processes (the
+  /// incremental runs of src/incr/).
+  explicit QueryCache(std::size_t Capacity, bool StableKeys = false);
   ~QueryCache() override;
 
   QueryCache(const QueryCache &) = delete;
@@ -67,6 +88,17 @@ public:
   // QueryMemo interface (thread-safe).
   bool lookup(uint64_t Fp, uint64_t Fp2, QueryVerdict &Out) override;
   void insert(uint64_t Fp, uint64_t Fp2, const QueryVerdict &V) override;
+  bool wantsStableKeys() const override { return StableKeys; }
+
+  /// Snapshot of every resident entry (for persisting the cache). Entries
+  /// are only meaningful across processes when the cache runs in
+  /// stable-keys mode.
+  std::vector<SavedQueryVerdict> exportEntries() const;
+
+  /// Inserts \p Entries (e.g. loaded from the proof store) without touching
+  /// the hit/miss statistics. Entries beyond a shard's capacity are dropped
+  /// (counted as evictions).
+  void preload(const std::vector<SavedQueryVerdict> &Entries);
 
   /// Drops every entry (stats are kept).
   void clear();
@@ -95,10 +127,15 @@ private:
     std::list<Entry> LRU;
     std::unordered_map<uint64_t, std::list<Entry>::iterator> Map;
     std::size_t Capacity = 0;
+    /// Per-shard activity, maintained under Mu (the shard lock is already
+    /// taken on every path that bumps these).
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
   };
 
   std::unique_ptr<Shard[]> Shards;
   std::size_t TotalCapacity;
+  bool StableKeys = false;
 
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};

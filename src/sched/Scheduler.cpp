@@ -9,22 +9,35 @@
 
 #include "sched/Scheduler.h"
 
+#include "incr/Session.h"
 #include "sched/WorkerPool.h"
 #include "support/Budget.h"
 #include "support/Trace.h"
+
+#include <optional>
 
 using namespace gilr;
 using namespace gilr::sched;
 
 Scheduler::Scheduler(const SchedulerConfig &C) : Config(C) {
   if (Config.CacheCapacity > 0)
-    Cache = std::make_unique<QueryCache>(Config.CacheCapacity);
+    Cache = std::make_unique<QueryCache>(Config.CacheCapacity,
+                                         Config.StableCacheKeys);
 }
 
 Scheduler::~Scheduler() = default;
 
 CacheStatsSnapshot Scheduler::cacheStats() const {
   return Cache ? Cache->stats() : CacheStatsSnapshot{};
+}
+
+void Scheduler::preloadCache(const std::vector<SavedQueryVerdict> &Entries) {
+  if (Cache)
+    Cache->preload(Entries);
+}
+
+std::vector<SavedQueryVerdict> Scheduler::exportCacheEntries() const {
+  return Cache ? Cache->exportEntries() : std::vector<SavedQueryVerdict>{};
 }
 
 namespace {
@@ -45,6 +58,19 @@ void markBudgetExhausted(std::vector<std::string> &Errors, bool &Ok,
                    budget::describe() + "): result is Unknown");
 }
 
+/// Snapshots the dependency set and uninstalls the recorder *before* the
+/// session records the result: the session's own fingerprint lookups go
+/// through the same instrumented tables and must not mutate the set while
+/// it is being read.
+std::set<incr::DepKey> finishRecording(std::optional<incr::DepRecorder> &Rec) {
+  std::set<incr::DepKey> Deps;
+  if (Rec) {
+    Deps = Rec->taken();
+    Rec.reset();
+  }
+  return Deps;
+}
+
 } // namespace
 
 void Scheduler::runJobs(
@@ -60,6 +86,7 @@ void Scheduler::runJobs(
   if (Config.Threads <= 1 || G.Jobs.size() <= 1) {
     for (const ProofJob &J : G.Jobs)
       RunOne(J);
+    recordCacheReport();
     return;
   }
 
@@ -72,13 +99,31 @@ void Scheduler::runJobs(
   Pool.wait();
   if (trace::enabled())
     metrics::Registry::get().add("sched.steals", Pool.steals());
+  recordCacheReport();
+}
+
+void Scheduler::recordCacheReport() const {
+  if (!Cache)
+    return;
+  CacheStatsSnapshot Snap = Cache->stats();
+  metrics::QueryCacheReport R;
+  R.Valid = true;
+  R.Hits = Snap.Hits;
+  R.Misses = Snap.Misses;
+  R.Insertions = Snap.Insertions;
+  R.Evictions = Snap.Evictions;
+  R.Shards.reserve(Snap.Shards.size());
+  for (const ShardStatsSnapshot &S : Snap.Shards)
+    R.Shards.push_back({S.Hits, S.Misses});
+  metrics::Registry::get().setQueryCacheReport(std::move(R));
 }
 
 hybrid::HybridReport
 Scheduler::runHybrid(engine::VerifEnv &Env,
                      const creusot::PearliteSpecTable &Contracts,
                      const std::vector<std::string> &UnsafeFuncs,
-                     const std::vector<creusot::SafeFn> &Clients) {
+                     const std::vector<creusot::SafeFn> &Clients,
+                     incr::Session *Incr) {
   hybrid::HybridReport Report;
   Report.UnsafeSide.resize(UnsafeFuncs.size());
   Report.SafeSide.resize(Clients.size());
@@ -90,21 +135,41 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
     GILR_TRACE_SCOPE_D("sched", "job", J.Name);
     if (J.K == ProofJob::UnsafeFn) {
       engine::VerifyReport R;
+      if (Incr && Incr->lookupUnsafe(J.Name, R)) {
+        Report.UnsafeSide[J.Slot] = std::move(R);
+        return;
+      }
+      std::optional<incr::DepRecorder> Rec;
+      if (Incr)
+        Rec.emplace();
       bool Exhausted = withJobBudget(Config, [&] {
         engine::Verifier V(Env);
         R = V.verifyFunction(J.Name);
       });
       if (Exhausted)
         markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
+      std::set<incr::DepKey> Deps = finishRecording(Rec);
+      if (Incr)
+        Incr->recordUnsafe(J.Name, Deps, R);
       Report.UnsafeSide[J.Slot] = std::move(R);
     } else {
       creusot::SafeReport R;
+      if (Incr && Incr->lookupSafe(*J.Client, R)) {
+        Report.SafeSide[J.Slot] = std::move(R);
+        return;
+      }
+      std::optional<incr::DepRecorder> Rec;
+      if (Incr)
+        Rec.emplace();
       bool Exhausted = withJobBudget(Config, [&] {
         creusot::SafeVerifier SV(Contracts, Env.Solv);
         R = SV.verify(*J.Client);
       });
       if (Exhausted)
         markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
+      std::set<incr::DepKey> Deps = finishRecording(Rec);
+      if (Incr)
+        Incr->recordSafe(*J.Client, Deps, R);
       Report.SafeSide[J.Slot] = std::move(R);
     }
   });
@@ -113,18 +178,29 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
 
 std::vector<engine::VerifyReport>
 Scheduler::verifyAll(engine::VerifEnv &Env,
-                     const std::vector<std::string> &Names) {
+                     const std::vector<std::string> &Names,
+                     incr::Session *Incr) {
   std::vector<engine::VerifyReport> Reports(Names.size());
   JobGraph G = JobGraph::build(Names, {});
   runJobs(G, [&](const ProofJob &J) {
     GILR_TRACE_SCOPE_D("sched", "job", J.Name);
     engine::VerifyReport R;
+    if (Incr && Incr->lookupUnsafe(J.Name, R)) {
+      Reports[J.Slot] = std::move(R);
+      return;
+    }
+    std::optional<incr::DepRecorder> Rec;
+    if (Incr)
+      Rec.emplace();
     bool Exhausted = withJobBudget(Config, [&] {
       engine::Verifier V(Env);
       R = V.verifyFunction(J.Name);
     });
     if (Exhausted)
       markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
+    std::set<incr::DepKey> Deps = finishRecording(Rec);
+    if (Incr)
+      Incr->recordUnsafe(J.Name, Deps, R);
     Reports[J.Slot] = std::move(R);
   });
   return Reports;
@@ -147,4 +223,62 @@ engine::Verifier::verifyAll(const std::vector<std::string> &Names,
                             const sched::SchedulerConfig &Config) {
   Scheduler S(Config);
   return S.verifyAll(Env, Names);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental entry points (incr::IncrConfig overloads)
+//===----------------------------------------------------------------------===//
+
+hybrid::HybridReport
+hybrid::HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
+                          const std::vector<creusot::SafeFn> &Clients,
+                          const sched::SchedulerConfig &Config,
+                          const incr::IncrConfig &Inc,
+                          incr::IncrRunStats *StatsOut) {
+  if (!Inc.Enabled) {
+    if (StatsOut)
+      *StatsOut = incr::IncrRunStats();
+    return run(UnsafeFuncs, Clients, Config);
+  }
+  sched::SchedulerConfig C = Config;
+  // Persisted / preloaded cache entries are only meaningful under the
+  // process-stable key scheme.
+  C.StableCacheKeys = true;
+  Scheduler S(C);
+  incr::Session Sess(Inc, Env, &Contracts);
+  if (Inc.LoadSolverCache)
+    S.preloadCache(Sess.solverEntriesToLoad());
+  hybrid::HybridReport Report =
+      S.runHybrid(Env, Contracts, UnsafeFuncs, Clients, &Sess);
+  if (Inc.SaveSolverCache)
+    Sess.saveSolverEntries(S.exportCacheEntries());
+  Sess.flush();
+  if (StatsOut)
+    *StatsOut = Sess.stats();
+  return Report;
+}
+
+std::vector<engine::VerifyReport>
+engine::Verifier::verifyAll(const std::vector<std::string> &Names,
+                            const sched::SchedulerConfig &Config,
+                            const incr::IncrConfig &Inc,
+                            incr::IncrRunStats *StatsOut) {
+  if (!Inc.Enabled) {
+    if (StatsOut)
+      *StatsOut = incr::IncrRunStats();
+    return verifyAll(Names, Config);
+  }
+  sched::SchedulerConfig C = Config;
+  C.StableCacheKeys = true;
+  Scheduler S(C);
+  incr::Session Sess(Inc, Env, /*Contracts=*/nullptr);
+  if (Inc.LoadSolverCache)
+    S.preloadCache(Sess.solverEntriesToLoad());
+  std::vector<engine::VerifyReport> Reports = S.verifyAll(Env, Names, &Sess);
+  if (Inc.SaveSolverCache)
+    Sess.saveSolverEntries(S.exportCacheEntries());
+  Sess.flush();
+  if (StatsOut)
+    *StatsOut = Sess.stats();
+  return Reports;
 }

@@ -27,6 +27,10 @@
 #include <memory>
 
 namespace gilr {
+namespace incr {
+class Session;
+} // namespace incr
+
 namespace sched {
 
 /// Knobs of one scheduled run.
@@ -42,6 +46,11 @@ struct SchedulerConfig {
   uint64_t JobTimeoutMs = 0;
   /// Per-job cap on DPLL branches; 0 = unlimited.
   uint64_t JobBranchCap = 0;
+  /// Key the entailment cache with the process-stable structural
+  /// fingerprint instead of the intern-id one. Required (and turned on
+  /// automatically) for incremental runs that persist or preload cache
+  /// entries across processes; slightly slower to hash.
+  bool StableCacheKeys = false;
 };
 
 /// Orchestrates one or more verification runs under a single cache. The
@@ -57,15 +66,20 @@ public:
   Scheduler &operator=(const Scheduler &) = delete;
 
   /// Verifies both hybrid sides: every unsafe function and every safe
-  /// client is an independent job. Reports come back in input order.
+  /// client is an independent job. Reports come back in input order. With
+  /// \p Incr, jobs whose stored verdict is still valid short-circuit to the
+  /// cached report (marked Cached), and freshly proved jobs are recorded
+  /// with the dependencies their proof consulted.
   hybrid::HybridReport runHybrid(engine::VerifEnv &Env,
                                  const creusot::PearliteSpecTable &Contracts,
                                  const std::vector<std::string> &UnsafeFuncs,
-                                 const std::vector<creusot::SafeFn> &Clients);
+                                 const std::vector<creusot::SafeFn> &Clients,
+                                 incr::Session *Incr = nullptr);
 
   /// Unsafe side only (the engine::Verifier::verifyAll path).
   std::vector<engine::VerifyReport>
-  verifyAll(engine::VerifEnv &Env, const std::vector<std::string> &Names);
+  verifyAll(engine::VerifEnv &Env, const std::vector<std::string> &Names,
+            incr::Session *Incr = nullptr);
 
   const SchedulerConfig &config() const { return Config; }
 
@@ -75,12 +89,23 @@ public:
   /// Cache activity so far (zeros when caching is disabled).
   CacheStatsSnapshot cacheStats() const;
 
+  /// Preloads the entailment cache with persisted entries (no-op when
+  /// caching is disabled). Only sound in stable-keys mode.
+  void preloadCache(const std::vector<SavedQueryVerdict> &Entries);
+
+  /// Every resident cache entry, for persisting (empty when disabled).
+  std::vector<SavedQueryVerdict> exportCacheEntries() const;
+
 private:
   /// Runs every job of \p G, writing results through \p RunOne (which
   /// receives the job and must store into its slot). Parallel iff
   /// Threads > 1.
   void runJobs(const JobGraph &G,
                const std::function<void(const ProofJob &)> &RunOne);
+
+  /// Publishes the end-of-run cache snapshot to the metrics registry so the
+  /// telemetry JSON can report hit rates (no-op when caching is disabled).
+  void recordCacheReport() const;
 
   SchedulerConfig Config;
   std::unique_ptr<QueryCache> Cache;

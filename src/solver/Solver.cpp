@@ -97,6 +97,17 @@ void gilr::satQueryFingerprint(const std::vector<Expr> &Work,
   satFingerprintFromIds(Ids, MaxBranches, Fp, Fp2);
 }
 
+void gilr::stableQueryFingerprint(const std::vector<Expr> &Work,
+                                  unsigned MaxBranches, uint64_t &Fp,
+                                  uint64_t &Fp2) {
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Work.size());
+  for (const Expr &A : Work)
+    Ids.push_back(exprStableHash(A));
+  std::sort(Ids.begin(), Ids.end()); // Assertion order is irrelevant.
+  satFingerprintFromIds(Ids, MaxBranches, Fp, Fp2);
+}
+
 QueryMemo *gilr::setQueryMemo(QueryMemo *M) {
   return ActiveMemo.exchange(M);
 }
@@ -124,7 +135,10 @@ SatResult Solver::checkSat(const std::vector<Expr> &Assertions) {
   QueryMemo *Memo = queryMemo();
   uint64_t Fp = 0, Fp2 = 0;
   if (Memo) {
-    satQueryFingerprint(Work, MaxBranches, Fp, Fp2);
+    if (Memo->wantsStableKeys())
+      stableQueryFingerprint(Work, MaxBranches, Fp, Fp2);
+    else
+      satQueryFingerprint(Work, MaxBranches, Fp, Fp2);
     QueryVerdict V;
     if (Memo->lookup(Fp, Fp2, V)) {
       SolverStats &TS = metrics::threadSolverStats();

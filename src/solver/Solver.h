@@ -46,6 +46,16 @@ struct QueryVerdict {
   uint64_t TheoryChecks = 0;
 };
 
+/// One memo entry as an exchangeable value: the (stable) fingerprint pair
+/// plus the verdict. The incremental proof store persists vectors of these
+/// and the scheduler's QueryCache exports/preloads them to round-trip the
+/// cache across processes.
+struct SavedQueryVerdict {
+  uint64_t Fp = 0;
+  uint64_t Fp2 = 0;
+  QueryVerdict V;
+};
+
 /// Abstract memo consulted by \c Solver::checkSat before the DPLL search.
 /// Implementations must be thread-safe; the scheduler's sharded LRU cache
 /// (sched/QueryCache.h) is the production one. \p Fp is the normalized
@@ -56,6 +66,17 @@ public:
   virtual ~QueryMemo() = default;
   virtual bool lookup(uint64_t Fp, uint64_t Fp2, QueryVerdict &Out) = 0;
   virtual void insert(uint64_t Fp, uint64_t Fp2, const QueryVerdict &V) = 0;
+
+  /// When true, \c Solver::checkSat keys this memo with
+  /// \c stableQueryFingerprint instead of \c satQueryFingerprint. Stable
+  /// keys are required whenever entries outlive the process (the
+  /// incremental proof store persists them): CanonIds are assigned in
+  /// interning order, which is racy under the parallel scheduler, so a
+  /// CanonId-based key pair from one process could systematically collide
+  /// with a *different* query's pair in the next — not a random collision
+  /// but a reproducible unsound hit. The stable fingerprint depends only on
+  /// expression structure (sym::exprStableHash).
+  virtual bool wantsStableKeys() const { return false; }
 };
 
 /// Computes the memo fingerprint of a checkSat query over the simplified
@@ -72,6 +93,15 @@ void satQueryFingerprint(const std::vector<Expr> &Work, unsigned MaxBranches,
 /// on crafted id multisets.
 void satFingerprintFromIds(const std::vector<uint64_t> &SortedIds,
                            unsigned MaxBranches, uint64_t &Fp, uint64_t &Fp2);
+
+/// Process-stable variant of \c satQueryFingerprint: identical sort-and-
+/// hash-positionally construction, but assertions are identified by
+/// \c exprStableHash rather than by their process-local intern CanonIds, so
+/// the resulting key pair is reproducible across processes and safe to
+/// persist (see \c QueryMemo::wantsStableKeys).
+void stableQueryFingerprint(const std::vector<Expr> &Work,
+                            unsigned MaxBranches, uint64_t &Fp,
+                            uint64_t &Fp2);
 
 /// Installs \p M as the process-wide query memo (nullptr uninstalls).
 /// Returns the previously installed memo. The memo must outlive all solver

@@ -1,0 +1,34 @@
+//===- support/Deps.cpp -----------------------------------------------------------===//
+
+#include "support/Deps.h"
+
+using namespace gilr;
+using namespace gilr::deps;
+
+namespace {
+thread_local Sink *ActiveSink = nullptr;
+} // namespace
+
+const char *gilr::deps::kindName(Kind K) {
+  switch (K) {
+  case Kind::Function:
+    return "function";
+  case Kind::Spec:
+    return "spec";
+  case Kind::Pred:
+    return "pred";
+  case Kind::Lemma:
+    return "lemma";
+  case Kind::Contract:
+    return "contract";
+  }
+  return "?";
+}
+
+Sink *gilr::deps::setSink(Sink *S) {
+  Sink *Prev = ActiveSink;
+  ActiveSink = S;
+  return Prev;
+}
+
+Sink *gilr::deps::sink() { return ActiveSink; }

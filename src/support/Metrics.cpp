@@ -59,6 +59,16 @@ uint64_t Registry::entailSeenOverflow() const {
   return EntailSeenDropped;
 }
 
+void Registry::setQueryCacheReport(QueryCacheReport R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CacheReport = std::move(R);
+}
+
+QueryCacheReport Registry::queryCacheReport() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return CacheReport;
+}
+
 std::map<std::string, uint64_t> Registry::counters() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Counters;
@@ -76,4 +86,33 @@ void Registry::reset() {
   EntailSeenDropped = 0;
   Latency.fill(0);
   Solver = SolverStats();
+  CacheReport = QueryCacheReport();
+}
+
+namespace {
+
+void addInto(SolverStats &Dst, const SolverStats &Src) {
+  Dst.SatQueries += Src.SatQueries;
+  Dst.EntailQueries += Src.EntailQueries;
+  Dst.Branches += Src.Branches;
+  Dst.TheoryChecks += Src.TheoryChecks;
+  Dst.UnknownResults += Src.UnknownResults;
+  Dst.EntailRepeats += Src.EntailRepeats;
+}
+
+} // namespace
+
+ScopedSolverStatsReset::ScopedSolverStatsReset()
+    : SavedProcess(Registry::get().Solver), SavedThread(threadSolverStats()) {
+  Registry::get().Solver = SolverStats();
+  threadSolverStats() = SolverStats();
+}
+
+SolverStats ScopedSolverStatsReset::accrued() const {
+  return Registry::get().Solver;
+}
+
+ScopedSolverStatsReset::~ScopedSolverStatsReset() {
+  addInto(Registry::get().Solver, SavedProcess);
+  addInto(threadSolverStats(), SavedThread);
 }

@@ -116,6 +116,26 @@ constexpr std::size_t LatencyBuckets = 32;
 /// overflow counter counts the drops.
 constexpr std::size_t EntailSeenCap = 1u << 20; // ~1M entries.
 
+/// Hit/miss counts of one query-cache shard, as recorded into the registry.
+struct QueryCacheShardStat {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Snapshot of the scheduler's entailment cache at the end of the most
+/// recent scheduled run. The scheduler (src/sched/) records it here so the
+/// telemetry JSON (support/Trace.cpp) can report totals and per-shard hit
+/// rates without the support layer depending on sched.
+struct QueryCacheReport {
+  /// False until a scheduled run with caching enabled has completed.
+  bool Valid = false;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  std::vector<QueryCacheShardStat> Shards;
+};
+
 class Registry {
 public:
   /// The process-wide registry.
@@ -141,6 +161,13 @@ public:
   /// means the reported entail_repeat_rate is a lower bound.
   uint64_t entailSeenOverflow() const;
 
+  /// Records the final cache snapshot of a scheduled run (overwrites the
+  /// previous run's; cleared by reset()).
+  void setQueryCacheReport(QueryCacheReport R);
+
+  /// The last recorded cache snapshot (Valid == false if none).
+  QueryCacheReport queryCacheReport() const;
+
   /// Snapshot of the named counters.
   std::map<std::string, uint64_t> counters() const;
 
@@ -158,6 +185,7 @@ private:
   std::unordered_set<uint64_t> EntailSeen;
   uint64_t EntailSeenDropped = 0;
   std::array<uint64_t, LatencyBuckets> Latency = {};
+  QueryCacheReport CacheReport;
 };
 
 /// Shorthand for Registry::get().Solver — the live process-wide stats.
@@ -171,6 +199,27 @@ inline SolverStats &solverStats() { return Registry::get().Solver; }
 /// per-job reports byte-identical whether the query was computed or served
 /// from the cache.
 SolverStats &threadSolverStats();
+
+/// RAII for tests that assert on solver work within a scope (e.g. "a warm
+/// incremental run performs zero solver queries"): zeroes the process-wide
+/// and calling-thread solver stats on construction; on destruction, restores
+/// the saved counts *plus* whatever accrued inside the scope, so the
+/// surrounding run's totals are not lost. Only the constructing thread's
+/// thread-local stats are touched — use from serial code.
+class ScopedSolverStatsReset {
+public:
+  ScopedSolverStatsReset();
+  ~ScopedSolverStatsReset();
+  ScopedSolverStatsReset(const ScopedSolverStatsReset &) = delete;
+  ScopedSolverStatsReset &operator=(const ScopedSolverStatsReset &) = delete;
+
+  /// Solver work accrued since construction (process-wide view).
+  SolverStats accrued() const;
+
+private:
+  SolverStats SavedProcess;
+  SolverStats SavedThread;
+};
 
 } // namespace metrics
 } // namespace gilr

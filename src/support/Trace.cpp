@@ -356,6 +356,37 @@ gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
          (Overflow ? "true" : "false");
   Out += "},\n";
 
+  // The scheduler's entailment-cache snapshot (recorded at the end of the
+  // most recent scheduled run); omitted until one has completed.
+  metrics::QueryCacheReport QC = R.queryCacheReport();
+  if (QC.Valid) {
+    auto FmtRate = [](uint64_t Hits, uint64_t Misses) {
+      char Buf[32];
+      uint64_t Total = Hits + Misses;
+      std::snprintf(Buf, sizeof(Buf), "%.4f",
+                    Total ? static_cast<double>(Hits) /
+                                static_cast<double>(Total)
+                          : 0.0);
+      return std::string(Buf);
+    };
+    Out += "  \"query_cache\": {";
+    Out += "\"hits\": " + std::to_string(QC.Hits);
+    Out += ", \"misses\": " + std::to_string(QC.Misses);
+    Out += ", \"insertions\": " + std::to_string(QC.Insertions);
+    Out += ", \"evictions\": " + std::to_string(QC.Evictions);
+    Out += ", \"hit_rate\": " + FmtRate(QC.Hits, QC.Misses);
+    Out += ", \"shards\": [";
+    for (std::size_t I = 0; I != QC.Shards.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "{\"hits\": " + std::to_string(QC.Shards[I].Hits) +
+             ", \"misses\": " + std::to_string(QC.Shards[I].Misses) +
+             ", \"hit_rate\": " +
+             FmtRate(QC.Shards[I].Hits, QC.Shards[I].Misses) + "}";
+    }
+    Out += "]},\n";
+  }
+
   Out += "  \"solver_latency_log2_ns\": [";
   auto Histo = R.latencyHistogram();
   for (std::size_t I = 0; I != Histo.size(); ++I) {

@@ -326,3 +326,107 @@ bool gilr::isProphecyVarName(const std::string &Name) {
 bool gilr::mentionsProphecy(const Expr &E) {
   return E && E->HasProph;
 }
+
+//===----------------------------------------------------------------------===//
+// Process-stable structural hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// splitmix64 finaliser; fixed constants, so the value stream is identical
+/// in every process.
+uint64_t stableMix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// FNV-1a over a byte string (names).
+uint64_t stableHashString(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Whether operands of \p K are canonicalised order-insensitively by the
+/// builders (mkAnd/mkOr/mkAdd/mkMul/mkEq sort or orient their operands with
+/// exprLess); the stable hash combines their kid hashes as a multiset so
+/// that any operand permutation of the same node agrees.
+bool isCommutativeKind(ExprKind K) {
+  switch (K) {
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Add:
+  case ExprKind::Mul:
+  case ExprKind::Eq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+uint64_t gilr::exprStableHash(const Expr &E) {
+  if (!E)
+    return 0x9e3779b97f4a7c15ull; // Distinct marker for "no expression".
+  uint64_t Cached = E->StableHashCache.load(std::memory_order_relaxed);
+  if (Cached)
+    return Cached;
+
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto feed = [&H](uint64_t V) { H = stableMix(H ^ V); };
+
+  feed(static_cast<uint64_t>(E->Kind));
+  feed(static_cast<uint64_t>(E->NodeSort));
+  switch (E->Kind) {
+  case ExprKind::Var:
+  case ExprKind::App:
+    feed(stableHashString(E->Name));
+    break;
+  case ExprKind::IntLit:
+    feed(static_cast<uint64_t>(E->IntVal));
+    feed(static_cast<uint64_t>(E->IntVal >> 64));
+    break;
+  case ExprKind::RealLit:
+    feed(static_cast<uint64_t>(E->RatVal.Num));
+    feed(static_cast<uint64_t>(E->RatVal.Num >> 64));
+    feed(static_cast<uint64_t>(E->RatVal.Den));
+    feed(static_cast<uint64_t>(E->RatVal.Den >> 64));
+    break;
+  case ExprKind::BoolLit:
+    feed(E->BoolVal ? 1 : 2);
+    break;
+  case ExprKind::LocLit:
+    feed(E->LocId);
+    break;
+  case ExprKind::TupleGet:
+    feed(E->Index);
+    break;
+  default:
+    break;
+  }
+
+  feed(E->Kids.size());
+  if (isCommutativeKind(E->Kind) && E->Kids.size() > 1) {
+    std::vector<uint64_t> KidHs;
+    KidHs.reserve(E->Kids.size());
+    for (const Expr &K : E->Kids)
+      KidHs.push_back(exprStableHash(K));
+    std::sort(KidHs.begin(), KidHs.end());
+    for (uint64_t KH : KidHs)
+      feed(KH);
+  } else {
+    for (const Expr &K : E->Kids)
+      feed(exprStableHash(K));
+  }
+
+  if (H == 0)
+    H = 1; // 0 is reserved for "not yet computed".
+  E->StableHashCache.store(H, std::memory_order_relaxed);
+  return H;
+}

@@ -197,6 +197,11 @@ public:
   /// holder of the node. Thread-safe: first caller installs via CAS.
   mutable std::atomic<const std::vector<std::string> *> VarsCache{nullptr};
 
+  /// Memo for \c exprStableHash (0 = not yet computed; the hash itself is
+  /// never 0). Thread-safe: the hash is a pure function of the structure,
+  /// so racing writers store the same value.
+  mutable std::atomic<uint64_t> StableHashCache{0};
+
 private:
   std::size_t Hash = 0;
 };
@@ -211,6 +216,16 @@ bool exprEquals(const Expr &A, const Expr &B);
 /// which is racy under the parallel scheduler (the determinism suite
 /// requires byte-identical reports at any worker count).
 bool exprLess(const Expr &A, const Expr &B);
+
+/// A *process-stable* structural hash of \p E: a pure function of kind,
+/// sort, payload and kid hashes, never of the interning-order-dependent
+/// Id / CanonId / NameSym fields — so the value is reproducible across
+/// processes and may be persisted (the incremental proof store keys solver
+/// verdicts by it). Operands of the commutative kinds (And, Or, Add, Mul,
+/// Eq) are combined order-insensitively, matching the canonical operand
+/// ordering the builders apply, so builder-normalised and hand-permuted
+/// forms agree. Memoised per node; never returns 0.
+uint64_t exprStableHash(const Expr &E);
 
 /// The sorted, deduplicated free-variable names of \p E. Memoised per node
 /// (computed once per process for shared subterms); the reference stays
