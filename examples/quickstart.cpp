@@ -70,7 +70,8 @@ int main() {
 
   // 3. Verify.
   engine::VerifEnv Env{Prog,   Preds, Specs, Ownables,
-                       Lemmas, Solv,  engine::Automation{}};
+                       Lemmas, Solv,  engine::Automation{},
+                       analysis::AnalysisConfig{}};
   engine::Verifier V(Env);
   engine::VerifyReport R = V.verifyFunction("swap");
 

@@ -1,0 +1,174 @@
+//===- analysis/Analysis.cpp - Pre-verification analysis driver ------------===//
+
+#include "analysis/Analysis.h"
+
+#include "gilsonite/Parser.h"
+#include "support/Deps.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+using namespace gilr;
+using namespace gilr::analysis;
+
+EntityVerdict gilr::analysis::lintEntity(const AnalysisInput &In,
+                                         const std::string &Name) {
+  GILR_TRACE_SCOPE_D("analysis", "lint-entity", Name);
+  EntityVerdict V;
+  if (!In.Cfg.Enabled)
+    return V;
+
+  DiagnosticEngine DE(In.Cfg);
+
+  const rmir::Function *F = In.Prog ? In.Prog->lookup(Name) : nullptr;
+  if (F) {
+    // Program::lookup is header-inline (no deps hook); note it here, exactly
+    // as engine::Verifier::verifyFunction does, so a DepRecorder installed
+    // around a lint job captures the body dependency.
+    deps::note(deps::Kind::Function, Name);
+    for (const std::string &Code : F->LintSuppress)
+      DE.suppress(Name, Code);
+  }
+
+  // SpecTable::lookup notes the Spec dependency itself.
+  const gilsonite::Spec *S =
+      In.Specs ? In.Specs->lookup(Name) : nullptr;
+
+  if (F && In.Cfg.FunctionLints) {
+    checkWellFormed(*F, DE);
+    checkDeadCode(*F, DE);
+    checkUnsafeSurface(*F, S, DE);
+  }
+  if (S && In.Cfg.SpecLints && In.Solv)
+    checkSpec(*S, *In.Solv, DE);
+
+  V.Diags = DE.sorted();
+  V.Suppressed = DE.suppressedCount();
+  V.Blocked = In.Cfg.FailOnError && DE.errorCount() > 0;
+  return V;
+}
+
+std::vector<Diagnostic>
+gilr::analysis::lintProgramLevel(const AnalysisInput &In) {
+  GILR_TRACE_SCOPE("analysis", "lint-program");
+  if (!In.Cfg.Enabled || !In.Cfg.SpecLints || !In.Prog || !In.Preds ||
+      !In.Specs)
+    return {};
+  DiagnosticEngine DE(In.Cfg);
+  checkUnusedEntities(*In.Prog, *In.Preds, *In.Specs, In.LemmaNames,
+                      In.ExtraUsedPreds, In.ExtraUsedLemmas, DE);
+  return DE.sorted();
+}
+
+AnalysisResult gilr::analysis::finalizeAnalysis(
+    const AnalysisConfig &Cfg,
+    const std::vector<std::pair<std::string, EntityVerdict>> &PerEntity,
+    std::vector<Diagnostic> ProgramDiags, double Seconds) {
+  AnalysisResult R;
+  R.Enabled = Cfg.Enabled;
+  R.Seconds = Seconds;
+  R.Diags = std::move(ProgramDiags);
+  for (const auto &[Name, V] : PerEntity) {
+    (void)Name;
+    R.Diags.insert(R.Diags.end(), V.Diags.begin(), V.Diags.end());
+    R.Suppressed += V.Suppressed;
+    if (V.Cached)
+      ++R.EntitiesCached;
+    else
+      ++R.EntitiesAnalyzed;
+    if (V.Blocked)
+      ++R.EntitiesBlocked;
+  }
+  std::sort(R.Diags.begin(), R.Diags.end(), diagnosticLess);
+  for (const Diagnostic &D : R.Diags)
+    (D.Sev == Severity::Error ? R.Errors : R.Warnings) += 1;
+
+  if (trace::enabled()) {
+    metrics::Registry::get().add("analysis.entities",
+                                 R.EntitiesAnalyzed + R.EntitiesCached);
+    metrics::Registry::get().add("analysis.cached", R.EntitiesCached);
+    metrics::Registry::get().add("analysis.blocked", R.EntitiesBlocked);
+    metrics::Registry::get().add("analysis.errors", R.Errors);
+    metrics::Registry::get().add("analysis.warnings", R.Warnings);
+  }
+
+  metrics::AnalysisReport M;
+  M.Valid = true;
+  M.Enabled = Cfg.Enabled;
+  M.Entities = R.EntitiesAnalyzed + R.EntitiesCached;
+  M.Cached = R.EntitiesCached;
+  M.Blocked = R.EntitiesBlocked;
+  M.Errors = R.Errors;
+  M.Warnings = R.Warnings;
+  M.Suppressed = R.Suppressed;
+  M.Seconds = R.Seconds;
+  metrics::Registry::get().setAnalysisReport(std::move(M));
+  return R;
+}
+
+AnalysisResult
+gilr::analysis::analyzeProgram(const AnalysisInput &In,
+                               const std::vector<std::string> &Entities) {
+  GILR_TRACE_SCOPE("analysis", "pre-pass");
+  const auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::pair<std::string, EntityVerdict>> PerEntity;
+  if (In.Cfg.Enabled)
+    for (const std::string &Name : Entities)
+      PerEntity.emplace_back(Name, lintEntity(In, Name));
+  std::vector<Diagnostic> ProgDiags = lintProgramLevel(In);
+  const double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  return finalizeAnalysis(In.Cfg, PerEntity, std::move(ProgDiags), Seconds);
+}
+
+std::string AnalysisResult::renderText() const {
+  std::ostringstream OS;
+  OS << "== pre-verification analysis ==\n";
+  if (!Enabled) {
+    OS << "disabled\n";
+    return OS.str();
+  }
+  OS << renderDiagnosticsText(Diags);
+  OS << Errors << " error(s), " << Warnings << " warning(s), " << Suppressed
+     << " suppressed; " << EntitiesAnalyzed << " entit"
+     << (EntitiesAnalyzed == 1 ? "y" : "ies") << " analyzed, "
+     << EntitiesCached << " cached, " << EntitiesBlocked << " blocked\n";
+  return OS.str();
+}
+
+std::string AnalysisResult::renderJson() const {
+  // Deliberately omits Seconds and the analyzed/cached split: report JSON
+  // is byte-identical across worker counts and across cold/warm incremental
+  // runs (the determinism contract of docs/SCHEDULER.md), and those fields
+  // are run-dependent. They are published to the metrics registry instead
+  // (the \c analysis section of the gilr-telemetry-v1 stats).
+  std::ostringstream OS;
+  OS << "{\"enabled\":" << (Enabled ? "true" : "false")
+     << ",\"errors\":" << Errors << ",\"warnings\":" << Warnings
+     << ",\"suppressed\":" << Suppressed
+     << ",\"entities_blocked\":" << EntitiesBlocked
+     << ",\"diagnostics\":" << renderDiagnosticsJson(Diags) << "}";
+  return OS.str();
+}
+
+std::optional<gilsonite::Spec>
+gilr::analysis::parseSpecChecked(const std::string &Text,
+                                 const rmir::TyCtx &Types,
+                                 const std::string &Entity,
+                                 std::vector<Diagnostic> &Diags) {
+  Outcome<gilsonite::Spec> O = gilsonite::parseSpec(Text, Types);
+  if (O.ok())
+    return std::move(O.value());
+  Diagnostic D;
+  D.Code = code::ParseError;
+  D.Sev = Severity::Error;
+  D.Entity = Entity;
+  D.Message = "malformed Gilsonite specification: " +
+              (O.failed() ? O.error() : std::string("assertion vanished"));
+  Diags.push_back(std::move(D));
+  return std::nullopt;
+}

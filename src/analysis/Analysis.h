@@ -1,0 +1,117 @@
+//===- analysis/Analysis.h - The pre-verification analysis driver ----------===//
+///
+/// \file
+/// Entry points of the static pre-verification pass. The drivers
+/// (engine::Verifier, hybrid::HybridDriver, the scheduler's lint jobs) call
+/// \c lintEntity per verification obligation and \c lintProgramLevel once,
+/// then fold the verdicts into an \c AnalysisResult via \c finalizeAnalysis
+/// — which also publishes the summary to the metrics registry so the
+/// gilr-telemetry-v1 JSON gains its \c analysis section.
+///
+/// Layering: analysis sits between gilsonite and engine. It cannot see
+/// engine::LemmaTable or incr::DepGraph; lemma names and externally-known
+/// entity uses are passed in as plain data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ANALYSIS_ANALYSIS_H
+#define GILR_ANALYSIS_ANALYSIS_H
+
+#include "analysis/Diagnostic.h"
+#include "analysis/Passes.h"
+
+#include <optional>
+#include <utility>
+
+namespace gilr {
+namespace analysis {
+
+/// Everything the passes need, as plain references/data (see the layering
+/// note in the file comment).
+struct AnalysisInput {
+  const rmir::Program *Prog = nullptr;
+  const gilsonite::PredTable *Preds = nullptr;
+  const gilsonite::SpecTable *Specs = nullptr;
+  /// Solver for the spec lints; null skips the solver-backed checks.
+  Solver *Solv = nullptr;
+  /// Declared lemma names (engine::LemmaTable::names(), passed down).
+  std::vector<std::string> LemmaNames;
+  /// Entity uses known to outer layers only — e.g. predicates/lemmas that
+  /// appear in the incremental DepGraph's recorded proof dependencies.
+  std::set<std::string> ExtraUsedPreds;
+  std::set<std::string> ExtraUsedLemmas;
+  AnalysisConfig Cfg;
+};
+
+/// The lint verdict for one verification entity (a function + its spec).
+/// This is the unit the incremental layer fingerprints and caches.
+struct EntityVerdict {
+  std::vector<Diagnostic> Diags; ///< Deterministically sorted.
+  /// Error-severity findings present and FailOnError set: the entity is
+  /// rejected before symbolic execution.
+  bool Blocked = false;
+  /// Replayed from the incremental proof store (set by the caller).
+  bool Cached = false;
+  uint64_t Suppressed = 0;
+};
+
+/// Lints one entity: CFG/dataflow passes over its RMIR body (if it has
+/// one), spec lints over its registered spec. Thread-safe — scheduler lint
+/// jobs call this concurrently. Notes Function/Spec dependencies through
+/// the support/Deps.h hook, so a DepRecorder captures exactly what the
+/// verdict depends on.
+EntityVerdict lintEntity(const AnalysisInput &In, const std::string &Name);
+
+/// Program-level lints (unused predicates / lemmas). Run once per
+/// verification run, not per entity.
+std::vector<Diagnostic> lintProgramLevel(const AnalysisInput &In);
+
+/// The aggregated result surfaced in HybridReport and the telemetry JSON.
+struct AnalysisResult {
+  bool Enabled = false;
+  std::vector<Diagnostic> Diags; ///< All findings, deterministically sorted.
+  uint64_t Errors = 0;
+  uint64_t Warnings = 0;
+  uint64_t Suppressed = 0;
+  uint64_t EntitiesAnalyzed = 0; ///< Entities linted this run (not cached).
+  uint64_t EntitiesCached = 0;   ///< Verdicts replayed from the proof store.
+  uint64_t EntitiesBlocked = 0;  ///< Entities rejected before execution.
+  double Seconds = 0.0;
+
+  /// No error-severity findings.
+  bool ok() const { return Errors == 0; }
+
+  std::string renderText() const;
+  /// JSON object (embedded in HybridReport::renderJson()). Contains only
+  /// run-independent fields — Seconds and the analyzed/cached split go to
+  /// the telemetry stats instead — so report JSON stays byte-identical
+  /// across worker counts and across cold/warm incremental runs.
+  std::string renderJson() const;
+};
+
+/// Folds per-entity verdicts + program-level findings into one result,
+/// re-sorts globally, and publishes the summary to
+/// metrics::Registry::setAnalysisReport (so trace::renderStatsJson can emit
+/// the \c analysis section).
+AnalysisResult finalizeAnalysis(
+    const AnalysisConfig &Cfg,
+    const std::vector<std::pair<std::string, EntityVerdict>> &PerEntity,
+    std::vector<Diagnostic> ProgramDiags, double Seconds);
+
+/// Serial whole-program convenience: lints \p Entities in order plus the
+/// program level, and finalizes. Used by the serial driver paths and tests.
+AnalysisResult analyzeProgram(const AnalysisInput &In,
+                              const std::vector<std::string> &Entities);
+
+/// Parses a textual Gilsonite spec, converting a parse failure into a
+/// GILR-E007 diagnostic against \p Entity instead of a fatal error
+/// (gilsonite::Parser reports failures as Outcome; this adapter is the
+/// diagnostic-engine bridge). Returns the spec on success.
+std::optional<gilsonite::Spec>
+parseSpecChecked(const std::string &Text, const rmir::TyCtx &Types,
+                 const std::string &Entity, std::vector<Diagnostic> &Diags);
+
+} // namespace analysis
+} // namespace gilr
+
+#endif // GILR_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,72 @@
+//===- analysis/Dataflow.cpp -----------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+using namespace gilr;
+using namespace gilr::analysis;
+using namespace gilr::rmir;
+
+void Cfg::terminatorTargets(const Terminator &T, std::vector<unsigned> &Out) {
+  Out.clear();
+  switch (T.Kind) {
+  case Terminator::Goto:
+  case Terminator::Call:
+    Out.push_back(T.Target);
+    break;
+  case Terminator::SwitchInt:
+    for (const auto &Arm : T.Arms)
+      Out.push_back(Arm.second);
+    Out.push_back(T.Otherwise);
+    break;
+  case Terminator::Return:
+  case Terminator::Unreachable:
+    break;
+  }
+}
+
+Cfg Cfg::build(const Function &F) {
+  Cfg C;
+  C.F = &F;
+  const std::size_t N = F.Blocks.size();
+  C.Succs.resize(N);
+  C.Preds.resize(N);
+  C.Reachable.assign(N, false);
+
+  std::vector<unsigned> Targets;
+  for (std::size_t B = 0; B < N; ++B) {
+    terminatorTargets(F.Blocks[B].Term, Targets);
+    for (unsigned T : Targets) {
+      if (T >= N) {
+        C.BadEdges = true;
+        continue;
+      }
+      // Duplicate edges (e.g. two switch arms to one block) are harmless to
+      // the solvers but bloat the worklists; keep the edge set a set.
+      bool Seen = false;
+      for (unsigned S : C.Succs[B])
+        if (S == T) {
+          Seen = true;
+          break;
+        }
+      if (Seen)
+        continue;
+      C.Succs[B].push_back(T);
+      C.Preds[T].push_back(static_cast<unsigned>(B));
+    }
+  }
+
+  if (N > 0) {
+    std::deque<unsigned> Work{0};
+    C.Reachable[0] = true;
+    while (!Work.empty()) {
+      unsigned B = Work.front();
+      Work.pop_front();
+      for (unsigned S : C.Succs[B])
+        if (!C.Reachable[S]) {
+          C.Reachable[S] = true;
+          Work.push_back(S);
+        }
+    }
+  }
+  return C;
+}

@@ -1,0 +1,121 @@
+//===- analysis/Dataflow.h - Generic dataflow over the RMIR CFG ------------===//
+///
+/// \file
+/// A small forward/backward dataflow framework over RMIR control-flow
+/// graphs, shared by the pre-verification lint passes (definite
+/// initialization, moved-local tracking, liveness, reachability).
+///
+/// The CFG is built defensively: RMIR produced through rmir::FunctionBuilder
+/// is structurally valid by construction, but the well-formedness pass must
+/// diagnose hand-built (or future frontend-emitted) bodies without crashing,
+/// so out-of-range terminator targets are *dropped* from the edge set (and
+/// flagged via \c Cfg::BadEdges) rather than followed.
+///
+/// Client analyses plug into \c solveDataflow as a policy object:
+///
+///   struct MyAnalysis {
+///     using Domain = ...;                  // lattice values
+///     static constexpr Direction Dir = Direction::Forward;
+///     Domain boundary();                   // entry (fwd) / exit (bwd) value
+///     Domain top();                        // initial value elsewhere
+///     bool meetInto(Domain &Into, const Domain &From); // true if changed
+///     Domain transfer(unsigned Block, Domain In);      // whole-block
+///   };
+///
+/// \c solveDataflow returns the converged value at each block's *start* in
+/// the direction of travel: block-entry states for forward analyses,
+/// block-exit (live-out style) states for backward ones. Passes that need
+/// per-statement precision replay the block transfer statement by statement
+/// from the returned state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ANALYSIS_DATAFLOW_H
+#define GILR_ANALYSIS_DATAFLOW_H
+
+#include "rmir/Program.h"
+
+#include <deque>
+#include <vector>
+
+namespace gilr {
+namespace analysis {
+
+enum class Direction { Forward, Backward };
+
+/// Explicit successor/predecessor edge sets of an RMIR function body, with
+/// entry reachability precomputed.
+struct Cfg {
+  const rmir::Function *F = nullptr;
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+  /// Blocks reachable from the entry block (block 0) along kept edges.
+  std::vector<bool> Reachable;
+  /// True if any terminator referenced an out-of-range block (the edge was
+  /// dropped; the well-formedness pass reports it as GILR-E001).
+  bool BadEdges = false;
+
+  static Cfg build(const rmir::Function &F);
+
+  /// The successor block ids a terminator names, in declaration order,
+  /// including out-of-range ones (callers that need only valid edges use
+  /// \c Succs).
+  static void terminatorTargets(const rmir::Terminator &T,
+                                std::vector<unsigned> &Out);
+};
+
+/// Round-robin worklist solver. See the file comment for the Analysis
+/// policy-object contract.
+template <typename Analysis>
+std::vector<typename Analysis::Domain> solveDataflow(const Cfg &C,
+                                                     Analysis &A) {
+  using Domain = typename Analysis::Domain;
+  const std::size_t N = C.F->Blocks.size();
+  constexpr bool Fwd = Analysis::Dir == Direction::Forward;
+
+  // In[b]: the meet-over-edges value at the block's start of travel.
+  std::vector<Domain> In;
+  In.reserve(N);
+  for (std::size_t B = 0; B < N; ++B)
+    In.push_back(A.top());
+
+  std::deque<unsigned> Work;
+  std::vector<bool> Queued(N, false);
+  if (Fwd) {
+    if (N > 0) {
+      A.meetInto(In[0], A.boundary());
+      Work.push_back(0);
+      Queued[0] = true;
+    }
+  } else {
+    // Every block flows from the exit boundary: blocks ending in Return (or
+    // stuck blocks with no successors) have no out-edges, so their "In" (the
+    // block-exit state) is the boundary value.
+    for (std::size_t B = 0; B < N; ++B) {
+      if (C.Succs[B].empty())
+        A.meetInto(In[B], A.boundary());
+      Work.push_back(static_cast<unsigned>(B));
+      Queued[B] = true;
+    }
+  }
+
+  while (!Work.empty()) {
+    unsigned B = Work.front();
+    Work.pop_front();
+    Queued[B] = false;
+    Domain Out = A.transfer(B, In[B]);
+    const std::vector<unsigned> &Next = Fwd ? C.Succs[B] : C.Preds[B];
+    for (unsigned S : Next) {
+      if (A.meetInto(In[S], Out) && !Queued[S]) {
+        Work.push_back(S);
+        Queued[S] = true;
+      }
+    }
+  }
+  return In;
+}
+
+} // namespace analysis
+} // namespace gilr
+
+#endif // GILR_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,208 @@
+//===- analysis/DeadCode.cpp - Unreachable blocks + dead stores ------------===//
+///
+/// GILR-W001 (block unreachable from entry) and GILR-W002 (store to a plain
+/// local whose value is never read — backward liveness). Side-effecting
+/// assignments are exempt from W002: Alloc (allocation), RefOf (borrow
+/// creation attaches a prophecy), AddrOf (pointer identity escapes), and any
+/// store to the return slot (unit-returning bodies conventionally assign _0
+/// without a matching read at Return).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+#include "analysis/Passes.h"
+
+using namespace gilr;
+using namespace gilr::analysis;
+using namespace gilr::rmir;
+
+namespace {
+
+struct LiveState {
+  std::vector<uint8_t> Live; // 1 = live (read before any overwrite).
+};
+
+struct Liveness {
+  using Domain = LiveState;
+  static constexpr Direction Dir = Direction::Backward;
+
+  const Function &F;
+  explicit Liveness(const Function &F) : F(F) {}
+
+  Domain boundary() {
+    LiveState S;
+    S.Live.assign(F.Locals.size(), 0);
+    // Return reads the return slot for non-unit functions.
+    if (!F.Locals.empty() && F.Locals[0].Ty &&
+        F.Locals[0].Ty->Kind != TypeKind::Unit)
+      S.Live[0] = 1;
+    return S;
+  }
+  Domain top() {
+    LiveState S;
+    S.Live.assign(F.Locals.size(), 0);
+    return S;
+  }
+  bool meetInto(Domain &Into, const Domain &From) {
+    bool Changed = false;
+    for (std::size_t I = 0; I < Into.Live.size(); ++I)
+      if (From.Live[I] && !Into.Live[I]) {
+        Into.Live[I] = 1;
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  void gen(LiveState &S, LocalId L) {
+    if (L < S.Live.size())
+      S.Live[L] = 1;
+  }
+  void genPlace(LiveState &S, const Place &P) { gen(S, P.Local); }
+  void genOperand(LiveState &S, const Operand &Op) {
+    if (Op.Kind != Operand::Const)
+      genPlace(S, Op.P);
+  }
+
+  /// Transfers one statement backwards over \p S (kill def, then gen uses).
+  void stepBack(LiveState &S, const Statement &St) {
+    switch (St.Kind) {
+    case Statement::Assign:
+    case Statement::Alloc:
+      if (St.Dest.Elems.empty()) {
+        if (St.Dest.Local < S.Live.size())
+          S.Live[St.Dest.Local] = 0;
+      } else {
+        genPlace(S, St.Dest); // Writing through a projection reads the base.
+      }
+      if (St.Kind == Statement::Alloc)
+        return;
+      switch (St.RV.Kind) {
+      case Rvalue::Use:
+      case Rvalue::BinaryOp:
+      case Rvalue::UnaryOp:
+      case Rvalue::Aggregate:
+      case Rvalue::PtrOffset:
+        for (const Operand &Op : St.RV.Ops)
+          genOperand(S, Op);
+        return;
+      case Rvalue::Discriminant:
+      case Rvalue::RefOf:
+      case Rvalue::AddrOf:
+        genPlace(S, St.RV.P);
+        return;
+      }
+      return;
+    case Statement::Free:
+      genOperand(S, St.FreeArg);
+      return;
+    case Statement::GhostStmt:
+      // Ghost arguments read program values: a store feeding only a proof
+      // step is *not* dead.
+      for (const Operand &Op : St.G.Args)
+        genOperand(S, Op);
+      return;
+    case Statement::Nop:
+      return;
+    }
+  }
+
+  void stepBackTerminator(LiveState &S, const Terminator &T) {
+    switch (T.Kind) {
+    case Terminator::SwitchInt:
+      genOperand(S, T.Discr);
+      return;
+    case Terminator::Call:
+      if (T.Dest.Elems.empty()) {
+        if (T.Dest.Local < S.Live.size())
+          S.Live[T.Dest.Local] = 0;
+      } else {
+        genPlace(S, T.Dest);
+      }
+      for (const Operand &Op : T.Args)
+        genOperand(S, Op);
+      return;
+    case Terminator::Goto:
+    case Terminator::Return:
+    case Terminator::Unreachable:
+      return;
+    }
+  }
+
+  Domain transfer(unsigned B, Domain Out) {
+    const BasicBlock &BB = F.Blocks[B];
+    stepBackTerminator(Out, BB.Term);
+    for (std::size_t I = BB.Stmts.size(); I-- > 0;)
+      stepBack(Out, BB.Stmts[I]);
+    return Out;
+  }
+};
+
+/// True if overwriting the result of \p St discards only a value (no
+/// allocation, borrow or pointer-identity side effect).
+bool storeIsPureValue(const Statement &St) {
+  if (St.Kind != Statement::Assign)
+    return false;
+  switch (St.RV.Kind) {
+  case Rvalue::Use:
+  case Rvalue::BinaryOp:
+  case Rvalue::UnaryOp:
+  case Rvalue::Aggregate:
+  case Rvalue::Discriminant:
+  case Rvalue::PtrOffset:
+    return true;
+  case Rvalue::RefOf:
+  case Rvalue::AddrOf:
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+void gilr::analysis::checkDeadCode(const Function &F, DiagnosticEngine &DE) {
+  if (F.Blocks.empty() || F.Locals.empty())
+    return; // Well-formedness already rejects the body.
+
+  Cfg C = Cfg::build(F);
+
+  for (std::size_t B = 0; B < F.Blocks.size(); ++B)
+    if (!C.Reachable[B]) {
+      Diagnostic D;
+      D.Code = code::UnreachableBlock;
+      D.Entity = F.Name;
+      D.Block = static_cast<int>(B);
+      D.Message = "basic block bb" + std::to_string(B) +
+                  " is unreachable from the entry block";
+      DE.report(std::move(D));
+    }
+
+  Liveness A(F);
+  std::vector<LiveState> Out = solveDataflow(C, A);
+
+  for (std::size_t B = 0; B < F.Blocks.size(); ++B) {
+    if (!C.Reachable[B])
+      continue; // Already covered by W001; liveness there is meaningless.
+    LiveState S = Out[B];
+    A.stepBackTerminator(S, F.Blocks[B].Term);
+    for (std::size_t I = F.Blocks[B].Stmts.size(); I-- > 0;) {
+      const Statement &St = F.Blocks[B].Stmts[I];
+      if (storeIsPureValue(St) && St.Dest.Elems.empty() &&
+          St.Dest.Local != 0 && St.Dest.Local < F.Locals.size() &&
+          !S.Live[St.Dest.Local]) {
+        Diagnostic D;
+        D.Code = code::DeadStore;
+        D.Entity = F.Name;
+        D.Block = static_cast<int>(B);
+        D.Stmt = static_cast<int>(I);
+        D.Message = "value stored to local _" +
+                    std::to_string(St.Dest.Local) +
+                    (F.Locals[St.Dest.Local].Name.empty()
+                         ? std::string()
+                         : " '" + F.Locals[St.Dest.Local].Name + "'") +
+                    " is never read";
+        DE.report(std::move(D));
+      }
+      A.stepBack(S, St);
+    }
+  }
+}

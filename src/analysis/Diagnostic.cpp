@@ -1,0 +1,168 @@
+//===- analysis/Diagnostic.cpp ---------------------------------------------===//
+
+#include "analysis/Diagnostic.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace gilr;
+using namespace gilr::analysis;
+
+const char *gilr::analysis::severityName(Severity S) {
+  return S == Severity::Error ? "error" : "warning";
+}
+
+Severity gilr::analysis::codeSeverity(const std::string &Code) {
+  // Codes are "GILR-E..." / "GILR-W...". Unknown shapes default to warning
+  // (the gentle direction for a diagnostic about diagnostics).
+  if (Code.size() > 5 && Code[5] == 'E')
+    return Severity::Error;
+  return Severity::Warning;
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << severityName(Sev) << '[' << Code << "] " << Entity << ": " << Message;
+  if (Block >= 0) {
+    OS << " (bb" << Block;
+    if (Stmt >= 0)
+      OS << ", st " << Stmt;
+    OS << ')';
+  }
+  return OS.str();
+}
+
+bool gilr::analysis::diagnosticLess(const Diagnostic &A, const Diagnostic &B) {
+  auto Key = [](const Diagnostic &D) {
+    return std::tie(D.Entity, D.Block, D.Stmt, D.Code, D.Message, D.Notes);
+  };
+  return Key(A) < Key(B);
+}
+
+void DiagnosticEngine::suppress(const std::string &Entity,
+                                const std::string &Code) {
+  std::lock_guard<std::mutex> L(Mu);
+  Suppressions.insert({Entity, Code});
+}
+
+bool DiagnosticEngine::report(Diagnostic D) {
+  D.Sev = codeSeverity(D.Code);
+  if (Cfg.WarningsAsErrors)
+    D.Sev = Severity::Error;
+  std::lock_guard<std::mutex> L(Mu);
+  if (Cfg.DisabledCodes.count(D.Code) ||
+      Suppressions.count({D.Entity, D.Code}) ||
+      Suppressions.count({D.Entity, "all"})) {
+    ++Suppressed;
+    return false;
+  }
+  Diags.push_back(std::move(D));
+  return true;
+}
+
+std::vector<Diagnostic> DiagnosticEngine::sorted() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<Diagnostic> Out = Diags;
+  std::sort(Out.begin(), Out.end(), diagnosticLess);
+  return Out;
+}
+
+uint64_t DiagnosticEngine::errorCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Severity::Error)
+      ++N;
+  return N;
+}
+
+uint64_t DiagnosticEngine::warningCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Severity::Warning)
+      ++N;
+  return N;
+}
+
+uint64_t DiagnosticEngine::suppressedCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Suppressed;
+}
+
+std::string
+gilr::analysis::renderDiagnosticsText(const std::vector<Diagnostic> &Diags) {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    OS << D.str() << '\n';
+    for (const std::string &N : D.Notes)
+      OS << "  note: " << N << '\n';
+  }
+  return OS.str();
+}
+
+static void jsonEscape(std::ostringstream &OS, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+std::string
+gilr::analysis::renderDiagnosticsJson(const std::vector<Diagnostic> &Diags) {
+  std::ostringstream OS;
+  OS << '[';
+  bool First = true;
+  for (const Diagnostic &D : Diags) {
+    if (!First)
+      OS << ',';
+    First = false;
+    OS << "{\"code\":\"";
+    jsonEscape(OS, D.Code);
+    OS << "\",\"severity\":\"" << severityName(D.Sev) << "\",\"entity\":\"";
+    jsonEscape(OS, D.Entity);
+    OS << "\"";
+    if (D.Block >= 0) {
+      OS << ",\"block\":" << D.Block;
+      if (D.Stmt >= 0)
+        OS << ",\"stmt\":" << D.Stmt;
+    }
+    OS << ",\"message\":\"";
+    jsonEscape(OS, D.Message);
+    OS << "\"";
+    if (!D.Notes.empty()) {
+      OS << ",\"notes\":[";
+      for (std::size_t I = 0; I < D.Notes.size(); ++I) {
+        if (I)
+          OS << ',';
+        OS << '"';
+        jsonEscape(OS, D.Notes[I]);
+        OS << '"';
+      }
+      OS << ']';
+    }
+    OS << '}';
+  }
+  OS << ']';
+  return OS.str();
+}

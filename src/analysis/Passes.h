@@ -1,0 +1,92 @@
+//===- analysis/Passes.h - The concrete pre-verification lint passes -------===//
+///
+/// \file
+/// The individual lint passes run by analysis/Analysis.cpp. Each pass is a
+/// free function reporting into a DiagnosticEngine; passes never abort on
+/// malformed input (that is the point: they run *before* the executor and
+/// rmir::placeType, both of which assume well-formed bodies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ANALYSIS_PASSES_H
+#define GILR_ANALYSIS_PASSES_H
+
+#include "analysis/Diagnostic.h"
+#include "gilsonite/PredDecl.h"
+#include "gilsonite/Spec.h"
+#include "rmir/Program.h"
+#include "solver/Solver.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace analysis {
+
+/// A non-aborting variant of rmir::placeType: returns the type of \p P in
+/// \p F, or nullptr with \p Why set when the projection is ill-typed
+/// (deref of a non-pointer, field out of range, downcast of a non-enum,
+/// undeclared base local, ...).
+rmir::TypeRef placeTypeGentle(const rmir::Function &F, const rmir::Place &P,
+                              std::string &Why);
+
+/// Non-aborting operand typing (nullptr + \p Why on failure, including
+/// untyped constants).
+rmir::TypeRef operandTypeGentle(const rmir::Function &F,
+                                const rmir::Operand &Op, std::string &Why);
+
+/// Well-formedness (GILR-E001..E005): terminator targets in range, locals
+/// declared, place/operand types agree with declared locals, and a forward
+/// may-dataflow rejecting uses of possibly-uninitialized (E004) or moved
+/// (E005) locals.
+void checkWellFormed(const rmir::Function &F, DiagnosticEngine &DE);
+
+/// Dead code (GILR-W001/W002): blocks unreachable from entry and stores to
+/// plain locals whose value is never read (backward liveness). Side-effecting
+/// assignments (Alloc, RefOf/AddrOf — borrow/pointer creation) and the
+/// return slot are exempt.
+void checkDeadCode(const rmir::Function &F, DiagnosticEngine &DE);
+
+/// Unsafe-surface lint (GILR-W003): the body performs raw-pointer
+/// operations (AddrOf, PtrOffset, Alloc, Free, raw deref) but the function's
+/// spec carries no ownership assertion (no spatial part — points-to,
+/// array, predicate call — in pre or post). \p S may be null (no spec).
+void checkUnsafeSurface(const rmir::Function &F, const gilsonite::Spec *S,
+                        DiagnosticEngine &DE);
+
+/// Solver-backed spec lints for one function:
+///  * GILR-E006 vacuous precondition — the pure fragment of Pre is UNSAT;
+///    the message carries a greedily minimized unsat core (assertion spans).
+///  * GILR-W004 trivially-true postcondition — a pure conjunct of Post holds
+///    under the empty context.
+/// \p F may be null (spec-only entities); \p Solv must outlive the call.
+void checkSpec(const gilsonite::Spec &S, Solver &Solv, DiagnosticEngine &DE);
+
+/// Program-level cross-reference (GILR-W005/W006): predicates never
+/// referenced by any spec, predicate clause or ghost statement, and lemmas
+/// never applied. \p LemmaNames is the declared lemma set (the analysis
+/// layer cannot see engine::LemmaTable); \p ExtraUsedPreds /
+/// \p ExtraUsedLemmas inject uses known to outer layers (e.g. harvested
+/// from the incremental DepGraph's recorded proof dependencies).
+void checkUnusedEntities(const rmir::Program &Prog,
+                         const gilsonite::PredTable &Preds,
+                         const gilsonite::SpecTable &Specs,
+                         const std::vector<std::string> &LemmaNames,
+                         const std::set<std::string> &ExtraUsedPreds,
+                         const std::set<std::string> &ExtraUsedLemmas,
+                         DiagnosticEngine &DE);
+
+/// Collects the predicate names referenced by \p A (PredCall/GuardedCall,
+/// recursively through Star/Exists).
+void collectPredNames(const gilsonite::AssertionP &A,
+                      std::set<std::string> &Out);
+
+/// True if \p A contains any spatial/ownership part (points-to variants,
+/// array points-to, predicate or guarded predicate call).
+bool hasOwnershipAssertion(const gilsonite::AssertionP &A);
+
+} // namespace analysis
+} // namespace gilr
+
+#endif // GILR_ANALYSIS_PASSES_H

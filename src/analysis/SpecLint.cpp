@@ -1,0 +1,233 @@
+//===- analysis/SpecLint.cpp - Solver-backed specification lints -----------===//
+///
+/// GILR-E006 (vacuous precondition), GILR-W004 (trivially-true postcondition
+/// conjunct), GILR-W005/W006 (unused predicates / lemmas).
+///
+/// Vacuity uses the existing SMT-lite solver on the *pure fragment* of the
+/// precondition (pure facts and observations; spatial parts are ignored).
+/// The check is sound in the useful direction: the solver's Unsat answers
+/// are proofs, so a GILR-E006 is a real contradiction — every proof
+/// obligation of the function would hold vacuously. An Unsat verdict is
+/// then greedily minimized to an unsat core, and the core's assertion spans
+/// are attached as notes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+#include "sym/Printer.h"
+
+using namespace gilr;
+using namespace gilr::analysis;
+using namespace gilr::gilsonite;
+
+namespace {
+
+/// Collects the pure formulas of \p A (Pure and Observation parts, through
+/// Star and Exists; existential binders are simply free variables of the
+/// satisfiability query, which is the right reading for vacuity).
+void collectPureFormulas(const AssertionP &A, std::vector<Expr> &Out) {
+  if (!A)
+    return;
+  switch (A->Kind) {
+  case AsrtKind::Pure:
+  case AsrtKind::Observation:
+    if (A->Formula)
+      Out.push_back(A->Formula);
+    return;
+  case AsrtKind::Star:
+    for (const AssertionP &P : A->Parts)
+      collectPureFormulas(P, Out);
+    return;
+  case AsrtKind::Exists:
+    collectPureFormulas(A->Body, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Collects the top-level *pure* conjuncts of a postcondition (not
+/// observations: prophecy facts routinely look tautological before
+/// resolution).
+void collectPureConjuncts(const AssertionP &A, std::vector<Expr> &Out) {
+  if (!A)
+    return;
+  switch (A->Kind) {
+  case AsrtKind::Pure:
+    if (A->Formula)
+      Out.push_back(A->Formula);
+    return;
+  case AsrtKind::Star:
+    for (const AssertionP &P : A->Parts)
+      collectPureConjuncts(P, Out);
+    return;
+  case AsrtKind::Exists:
+    collectPureConjuncts(A->Body, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Greedy unsat-core minimization: try dropping each formula in turn; keep
+/// the drop whenever the remainder is still Unsat. Quadratic in the number
+/// of pure conjuncts, which is tiny for hand-written specs.
+std::vector<Expr> minimizeCore(Solver &Solv, std::vector<Expr> Core) {
+  for (std::size_t I = 0; I < Core.size();) {
+    std::vector<Expr> Rest;
+    Rest.reserve(Core.size() - 1);
+    for (std::size_t J = 0; J < Core.size(); ++J)
+      if (J != I)
+        Rest.push_back(Core[J]);
+    if (!Rest.empty() && Solv.checkSat(Rest) == SatResult::Unsat)
+      Core = std::move(Rest); // Drop kept; retry the same index.
+    else
+      ++I;
+  }
+  return Core;
+}
+
+} // namespace
+
+void gilr::analysis::checkSpec(const Spec &S, Solver &Solv,
+                               DiagnosticEngine &DE) {
+  // --- GILR-E006: vacuous precondition. ---
+  std::vector<Expr> PreFormulas;
+  collectPureFormulas(S.Pre, PreFormulas);
+  if (!PreFormulas.empty() &&
+      Solv.checkSat(PreFormulas) == SatResult::Unsat) {
+    std::vector<Expr> Core = minimizeCore(Solv, PreFormulas);
+    Diagnostic D;
+    D.Code = code::VacuousPre;
+    D.Entity = S.Func;
+    D.Message =
+        "precondition is unsatisfiable — every proof obligation of this "
+        "function holds vacuously (unsat core of " +
+        std::to_string(Core.size()) + " of " +
+        std::to_string(PreFormulas.size()) + " pure conjuncts)";
+    for (const Expr &E : Core)
+      D.Notes.push_back("core: " + exprToString(E));
+    DE.report(std::move(D));
+  }
+
+  // --- GILR-W004: trivially-true postcondition conjuncts. ---
+  std::vector<Expr> PostConjuncts;
+  collectPureConjuncts(S.Post, PostConjuncts);
+  for (const Expr &E : PostConjuncts) {
+    bool Trivial = (E->Kind == ExprKind::BoolLit && E->BoolVal) ||
+                   Solv.entails({}, E);
+    if (Trivial) {
+      Diagnostic D;
+      D.Code = code::TrivialPost;
+      D.Entity = S.Func;
+      D.Message = "postcondition conjunct is trivially true (holds in the "
+                  "empty context)";
+      D.Notes.push_back("conjunct: " + exprToString(E));
+      DE.report(std::move(D));
+    }
+  }
+}
+
+void gilr::analysis::collectPredNames(const AssertionP &A,
+                                      std::set<std::string> &Out) {
+  if (!A)
+    return;
+  switch (A->Kind) {
+  case AsrtKind::PredCall:
+  case AsrtKind::GuardedCall:
+    Out.insert(A->Name);
+    return;
+  case AsrtKind::Star:
+    for (const AssertionP &P : A->Parts)
+      collectPredNames(P, Out);
+    return;
+  case AsrtKind::Exists:
+    collectPredNames(A->Body, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+void gilr::analysis::checkUnusedEntities(
+    const rmir::Program &Prog, const PredTable &Preds, const SpecTable &Specs,
+    const std::vector<std::string> &LemmaNames,
+    const std::set<std::string> &ExtraUsedPreds,
+    const std::set<std::string> &ExtraUsedLemmas, DiagnosticEngine &DE) {
+  // Roots: predicates referenced by specs, by ghost statements, or by outer
+  // layers (e.g. the incremental DepGraph's recorded proof dependencies).
+  // Predicate-to-predicate references only count when the referrer is
+  // itself reachable — a recursive predicate does not keep itself alive.
+  std::set<std::string> UsedPreds = ExtraUsedPreds;
+  std::set<std::string> UsedLemmas = ExtraUsedLemmas;
+
+  for (const auto &[Name, S] : Specs.all()) {
+    (void)Name;
+    collectPredNames(S.Pre, UsedPreds);
+    collectPredNames(S.Post, UsedPreds);
+  }
+  for (const auto &[FName, F] : Prog.Funcs) {
+    (void)FName;
+    for (const rmir::BasicBlock &BB : F.Blocks)
+      for (const rmir::Statement &St : BB.Stmts) {
+        if (St.Kind != rmir::Statement::GhostStmt)
+          continue;
+        switch (St.G.Kind) {
+        case rmir::GhostKind::Unfold:
+        case rmir::GhostKind::Fold:
+        case rmir::GhostKind::GUnfold:
+        case rmir::GhostKind::GFold:
+          UsedPreds.insert(St.G.Name);
+          break;
+        case rmir::GhostKind::ApplyLemma:
+          UsedLemmas.insert(St.G.Name);
+          break;
+        default:
+          break;
+        }
+      }
+  }
+
+  // Closure through the clause bodies of reachable predicates.
+  std::vector<std::string> Work(UsedPreds.begin(), UsedPreds.end());
+  while (!Work.empty()) {
+    std::string Name = std::move(Work.back());
+    Work.pop_back();
+    const PredDecl *D = Preds.lookup(Name);
+    if (!D)
+      continue;
+    std::set<std::string> Here;
+    for (const AssertionP &Cl : D->Clauses)
+      collectPredNames(Cl, Here);
+    for (const std::string &N : Here)
+      if (UsedPreds.insert(N).second)
+        Work.push_back(N);
+  }
+
+  for (const auto &[Name, D] : Preds.all()) {
+    // Derived predicates (own$T, mutref_inner$T, ...) are materialised on
+    // demand by the Ownable registry; their "uses" are dynamic. Abstract
+    // predicates exist to be opaque. Neither is lintable as unused.
+    if (D.Abstract || Name.find('$') != std::string::npos)
+      continue;
+    if (UsedPreds.count(Name))
+      continue;
+    Diagnostic Diag;
+    Diag.Code = code::UnusedPred;
+    Diag.Entity = "pred:" + Name;
+    Diag.Message = "predicate '" + Name +
+                   "' is never referenced by any specification, reachable "
+                   "predicate clause or ghost statement";
+    DE.report(std::move(Diag));
+  }
+  for (const std::string &Name : LemmaNames) {
+    if (UsedLemmas.count(Name))
+      continue;
+    Diagnostic Diag;
+    Diag.Code = code::UnusedLemma;
+    Diag.Entity = "lemma:" + Name;
+    Diag.Message =
+        "lemma '" + Name + "' is never applied by any ghost statement";
+    DE.report(std::move(Diag));
+  }
+}

@@ -1,0 +1,170 @@
+//===- analysis/UnsafeSurface.cpp - Raw-pointer surface lint ---------------===//
+///
+/// GILR-W003: the body performs raw-pointer operations — allocation,
+/// deallocation, raw borrows (AddrOf), pointer arithmetic (PtrOffset) or
+/// dereferences through a *mut — but the function's specification carries no
+/// ownership assertion (no points-to, array points-to or predicate call in
+/// pre or post), so nothing in the proof constrains what the raw pointers
+/// may touch. This is the static face of the paper's division of labour:
+/// unsafe code is exactly the code that must carry separation-logic
+/// ownership (§2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+
+using namespace gilr;
+using namespace gilr::analysis;
+using namespace gilr::rmir;
+
+bool gilr::analysis::hasOwnershipAssertion(const gilsonite::AssertionP &A) {
+  if (!A)
+    return false;
+  using gilsonite::AsrtKind;
+  switch (A->Kind) {
+  case AsrtKind::PointsTo:
+  case AsrtKind::UninitPT:
+  case AsrtKind::MaybeUninit:
+  case AsrtKind::ArrayPT:
+  case AsrtKind::ArrayUninit:
+  case AsrtKind::PredCall:
+  case AsrtKind::GuardedCall:
+    return true;
+  case AsrtKind::Star:
+    for (const gilsonite::AssertionP &P : A->Parts)
+      if (hasOwnershipAssertion(P))
+        return true;
+    return false;
+  case AsrtKind::Exists:
+    return hasOwnershipAssertion(A->Body);
+  case AsrtKind::Pure:
+  case AsrtKind::LftAlive:
+  case AsrtKind::LftDead:
+  case AsrtKind::Observation:
+  case AsrtKind::ValueObs:
+  case AsrtKind::ProphCtrl:
+    return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// True if walking \p P's projections dereferences a raw pointer at some
+/// step (deref of a &mut reference does not count — that is the safe side).
+bool placeDerefsRawPtr(const Function &F, const Place &P) {
+  std::string Why;
+  if (P.Local >= F.Locals.size())
+    return false;
+  TypeRef Ty = F.Locals[P.Local].Ty;
+  Place Prefix(P.Local);
+  for (const PlaceElem &E : P.Elems) {
+    if (E.Kind == PlaceElem::Deref && Ty && Ty->Kind == TypeKind::RawPtr)
+      return true;
+    Prefix.Elems.push_back(E);
+    Ty = placeTypeGentle(F, Prefix, Why);
+    if (!Ty)
+      return false; // Ill-typed; well-formedness reports it.
+  }
+  return false;
+}
+
+struct RawOpScan {
+  const Function &F;
+  std::vector<std::string> Sites; // "bb0 st1: raw allocation" notes.
+  int FirstBlock = -1, FirstStmt = -1;
+
+  void found(int B, int S, const std::string &What) {
+    if (FirstBlock < 0) {
+      FirstBlock = B;
+      FirstStmt = S;
+    }
+    if (Sites.size() < 8)
+      Sites.push_back("bb" + std::to_string(B) +
+                      (S >= 0 ? " st " + std::to_string(S) : "") + ": " +
+                      What);
+    else if (Sites.size() == 8)
+      Sites.push_back("...");
+  }
+
+  void scanPlace(const Place &P, int B, int S) {
+    if (placeDerefsRawPtr(F, P))
+      found(B, S, "raw-pointer dereference");
+  }
+  void scanOperand(const Operand &Op, int B, int S) {
+    if (Op.Kind != Operand::Const)
+      scanPlace(Op.P, B, S);
+  }
+
+  void run() {
+    for (std::size_t B = 0; B < F.Blocks.size(); ++B) {
+      const BasicBlock &BB = F.Blocks[B];
+      for (std::size_t S = 0; S < BB.Stmts.size(); ++S) {
+        const Statement &St = BB.Stmts[S];
+        const int Bi = static_cast<int>(B), Si = static_cast<int>(S);
+        switch (St.Kind) {
+        case Statement::Alloc:
+          found(Bi, Si, "raw allocation");
+          scanPlace(St.Dest, Bi, Si);
+          break;
+        case Statement::Free:
+          found(Bi, Si, "raw deallocation");
+          scanOperand(St.FreeArg, Bi, Si);
+          break;
+        case Statement::Assign:
+          if (St.RV.Kind == Rvalue::AddrOf)
+            found(Bi, Si, "raw borrow (&raw mut)");
+          if (St.RV.Kind == Rvalue::PtrOffset)
+            found(Bi, Si, "pointer arithmetic");
+          scanPlace(St.Dest, Bi, Si);
+          for (const Operand &Op : St.RV.Ops)
+            scanOperand(Op, Bi, Si);
+          if (St.RV.Kind == Rvalue::Discriminant ||
+              St.RV.Kind == Rvalue::RefOf || St.RV.Kind == Rvalue::AddrOf)
+            scanPlace(St.RV.P, Bi, Si);
+          break;
+        case Statement::GhostStmt:
+        case Statement::Nop:
+          break;
+        }
+      }
+      const Terminator &T = BB.Term;
+      if (T.Kind == Terminator::SwitchInt)
+        scanOperand(T.Discr, static_cast<int>(B), -1);
+      if (T.Kind == Terminator::Call) {
+        for (const Operand &Op : T.Args)
+          scanOperand(Op, static_cast<int>(B), -1);
+        scanPlace(T.Dest, static_cast<int>(B), -1);
+      }
+    }
+  }
+};
+
+} // namespace
+
+void gilr::analysis::checkUnsafeSurface(const Function &F,
+                                        const gilsonite::Spec *S,
+                                        DiagnosticEngine &DE) {
+  RawOpScan Scan{F, {}, -1, -1};
+  Scan.run();
+  if (Scan.FirstBlock < 0)
+    return; // No raw-pointer surface.
+
+  const bool Owned =
+      S && (hasOwnershipAssertion(S->Pre) || hasOwnershipAssertion(S->Post));
+  if (Owned)
+    return;
+
+  Diagnostic D;
+  D.Code = code::UnsafeSurface;
+  D.Entity = F.Name;
+  D.Block = Scan.FirstBlock;
+  D.Stmt = Scan.FirstStmt;
+  D.Message =
+      S ? "function performs raw-pointer operations but its specification "
+          "carries no ownership assertion (no points-to or predicate)"
+        : "function performs raw-pointer operations but has no "
+          "specification";
+  D.Notes = std::move(Scan.Sites);
+  DE.report(std::move(D));
+}

@@ -1,0 +1,602 @@
+//===- analysis/WellFormed.cpp - Structural + dataflow well-formedness -----===//
+///
+/// GILR-E001..E005. Everything here must stay total on arbitrary Function
+/// values: unlike rmir::placeType (which asserts), the gentle typing walk
+/// returns nullptr with a reason, and the CFG builder drops out-of-range
+/// edges, so a malformed body produces diagnostics instead of aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+#include "analysis/Passes.h"
+
+#include <sstream>
+
+using namespace gilr;
+using namespace gilr::analysis;
+using namespace gilr::rmir;
+
+rmir::TypeRef gilr::analysis::placeTypeGentle(const Function &F,
+                                              const Place &P,
+                                              std::string &Why) {
+  if (P.Local >= F.Locals.size()) {
+    Why = "undeclared local _" + std::to_string(P.Local);
+    return nullptr;
+  }
+  TypeRef Ty = F.Locals[P.Local].Ty;
+  if (!Ty) {
+    Why = "local _" + std::to_string(P.Local) + " has no type";
+    return nullptr;
+  }
+  unsigned Variant = 0;
+  bool Downcasted = false;
+  for (const PlaceElem &E : P.Elems) {
+    switch (E.Kind) {
+    case PlaceElem::Deref:
+      if (!Ty->isPointerLike()) {
+        Why = "deref of non-pointer type " + Ty->str();
+        return nullptr;
+      }
+      Ty = Ty->Pointee;
+      Downcasted = false;
+      break;
+    case PlaceElem::Downcast:
+      if (Ty->Kind != TypeKind::Enum) {
+        Why = "downcast of non-enum type " + Ty->str();
+        return nullptr;
+      }
+      if (E.Index >= Ty->Variants.size()) {
+        Why = "downcast to variant " + std::to_string(E.Index) + " of " +
+              Ty->str() + " (has " + std::to_string(Ty->Variants.size()) +
+              " variants)";
+        return nullptr;
+      }
+      Variant = E.Index;
+      Downcasted = true;
+      break;
+    case PlaceElem::Field:
+      if (Ty->Kind == TypeKind::Struct) {
+        if (Downcasted) {
+          Why = "downcast of struct type " + Ty->str();
+          return nullptr;
+        }
+        if (E.Index >= Ty->Fields.size()) {
+          Why = "field " + std::to_string(E.Index) + " out of range for " +
+                Ty->str();
+          return nullptr;
+        }
+        Ty = Ty->Fields[E.Index].Ty;
+      } else if (Ty->Kind == TypeKind::Enum && Downcasted) {
+        if (E.Index >= Ty->Variants[Variant].Fields.size()) {
+          Why = "field " + std::to_string(E.Index) +
+                " out of range for variant " + std::to_string(Variant) +
+                " of " + Ty->str();
+          return nullptr;
+        }
+        Ty = Ty->Variants[Variant].Fields[E.Index].Ty;
+        Downcasted = false;
+      } else {
+        Why = "field projection on type " + Ty->str() +
+              (Ty->Kind == TypeKind::Enum ? " without downcast" : "");
+        return nullptr;
+      }
+      break;
+    }
+    if (!Ty) {
+      Why = "projection reaches an incomplete type";
+      return nullptr;
+    }
+  }
+  return Ty;
+}
+
+rmir::TypeRef gilr::analysis::operandTypeGentle(const Function &F,
+                                                const Operand &Op,
+                                                std::string &Why) {
+  switch (Op.Kind) {
+  case Operand::Copy:
+  case Operand::Move:
+    return placeTypeGentle(F, Op.P, Why);
+  case Operand::Const:
+    if (!Op.ConstTy)
+      Why = "untyped constant operand";
+    return Op.ConstTy;
+  }
+  Why = "unknown operand kind";
+  return nullptr;
+}
+
+namespace {
+
+std::string localName(const Function &F, LocalId L) {
+  std::string S = "_" + std::to_string(L);
+  if (L < F.Locals.size() && !F.Locals[L].Name.empty())
+    S += " '" + F.Locals[L].Name + "'";
+  return S;
+}
+
+/// Reporting context for one function body.
+struct WFCtx {
+  const Function &F;
+  DiagnosticEngine &DE;
+
+  void report(const char *Code, int Block, int Stmt, std::string Msg) {
+    Diagnostic D;
+    D.Code = Code;
+    D.Entity = F.Name;
+    D.Block = Block;
+    D.Stmt = Stmt;
+    D.Message = std::move(Msg);
+    DE.report(std::move(D));
+  }
+
+  /// Types a place; diagnoses E002 (undeclared base local) / E003 (bad
+  /// projection) on failure.
+  TypeRef typePlace(const Place &P, int B, int S) {
+    if (P.Local >= F.Locals.size()) {
+      report(code::BadLocal, B, S,
+             "reference to undeclared local _" + std::to_string(P.Local) +
+                 " (function declares " + std::to_string(F.Locals.size()) +
+                 " locals)");
+      return nullptr;
+    }
+    std::string Why;
+    TypeRef Ty = placeTypeGentle(F, P, Why);
+    if (!Ty)
+      report(code::TypeMismatch, B, S, "ill-typed place: " + Why);
+    return Ty;
+  }
+
+  TypeRef typeOperand(const Operand &Op, int B, int S) {
+    if (Op.Kind != Operand::Const)
+      return typePlace(Op.P, B, S);
+    if (!Op.ConstTy) {
+      report(code::TypeMismatch, B, S, "untyped constant operand");
+      return nullptr;
+    }
+    return Op.ConstTy;
+  }
+
+  void requireEqual(TypeRef Got, TypeRef Want, const char *What, int B,
+                    int S) {
+    if (Got && Want && Got != Want)
+      report(code::TypeMismatch, B, S,
+             std::string(What) + ": have " + Got->str() + ", expected " +
+                 Want->str());
+  }
+};
+
+bool isIntOrParam(TypeRef T) {
+  return T && (T->isInt() || T->isParam());
+}
+
+void checkRvalue(WFCtx &C, const Place &Dest, const Rvalue &RV, int B,
+                 int S) {
+  TypeRef DestTy = C.typePlace(Dest, B, S);
+  switch (RV.Kind) {
+  case Rvalue::Use: {
+    if (RV.Ops.size() != 1) {
+      C.report(code::TypeMismatch, B, S, "use rvalue without an operand");
+      return;
+    }
+    TypeRef Ty = C.typeOperand(RV.Ops[0], B, S);
+    C.requireEqual(Ty, DestTy, "assigned value", B, S);
+    return;
+  }
+  case Rvalue::BinaryOp: {
+    if (RV.Ops.size() != 2) {
+      C.report(code::TypeMismatch, B, S, "binary rvalue needs two operands");
+      return;
+    }
+    TypeRef A = C.typeOperand(RV.Ops[0], B, S);
+    TypeRef Bt = C.typeOperand(RV.Ops[1], B, S);
+    C.requireEqual(Bt, A, "binary operand", B, S);
+    switch (RV.BOp) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+      if (A && !isIntOrParam(A))
+        C.report(code::TypeMismatch, B, S,
+                 "arithmetic on non-integer type " + A->str());
+      C.requireEqual(DestTy, A, "arithmetic result", B, S);
+      return;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      if (DestTy && DestTy->Kind != TypeKind::Bool)
+        C.report(code::TypeMismatch, B, S,
+                 "comparison result stored in non-bool type " +
+                     DestTy->str());
+      return;
+    }
+    return;
+  }
+  case Rvalue::UnaryOp: {
+    if (RV.Ops.size() != 1) {
+      C.report(code::TypeMismatch, B, S, "unary rvalue needs one operand");
+      return;
+    }
+    TypeRef A = C.typeOperand(RV.Ops[0], B, S);
+    if (RV.UOp == UnOp::Neg && A && !isIntOrParam(A))
+      C.report(code::TypeMismatch, B, S,
+               "negation of non-integer type " + A->str());
+    if (RV.UOp == UnOp::Not && A && A->Kind != TypeKind::Bool && !A->isInt())
+      C.report(code::TypeMismatch, B, S,
+               "logical not of non-bool, non-integer type " + A->str());
+    C.requireEqual(DestTy, A, "unary result", B, S);
+    return;
+  }
+  case Rvalue::Aggregate: {
+    if (!RV.AggTy) {
+      C.report(code::TypeMismatch, B, S, "aggregate without a type");
+      return;
+    }
+    C.requireEqual(RV.AggTy, DestTy, "aggregate", B, S);
+    const std::vector<FieldDef> *Fields = nullptr;
+    if (RV.AggTy->Kind == TypeKind::Struct) {
+      Fields = &RV.AggTy->Fields;
+    } else if (RV.AggTy->Kind == TypeKind::Enum) {
+      if (RV.Variant >= RV.AggTy->Variants.size()) {
+        C.report(code::TypeMismatch, B, S,
+                 "aggregate variant " + std::to_string(RV.Variant) +
+                     " out of range for " + RV.AggTy->str());
+        return;
+      }
+      Fields = &RV.AggTy->Variants[RV.Variant].Fields;
+    } else {
+      C.report(code::TypeMismatch, B, S,
+               "aggregate of non-struct, non-enum type " + RV.AggTy->str());
+      return;
+    }
+    if (RV.Ops.size() != Fields->size()) {
+      C.report(code::TypeMismatch, B, S,
+               "aggregate of " + RV.AggTy->str() + " has " +
+                   std::to_string(RV.Ops.size()) + " operands, expected " +
+                   std::to_string(Fields->size()));
+      return;
+    }
+    for (std::size_t I = 0; I < RV.Ops.size(); ++I) {
+      TypeRef Ty = C.typeOperand(RV.Ops[I], B, S);
+      C.requireEqual(Ty, (*Fields)[I].Ty, "aggregate field", B, S);
+    }
+    return;
+  }
+  case Rvalue::Discriminant: {
+    TypeRef Ty = C.typePlace(RV.P, B, S);
+    if (Ty && Ty->Kind != TypeKind::Enum)
+      C.report(code::TypeMismatch, B, S,
+               "discriminant of non-enum type " + Ty->str());
+    if (DestTy && !DestTy->isInt())
+      C.report(code::TypeMismatch, B, S,
+               "discriminant stored in non-integer type " + DestTy->str());
+    return;
+  }
+  case Rvalue::RefOf:
+  case Rvalue::AddrOf: {
+    TypeRef Ty = C.typePlace(RV.P, B, S);
+    const bool WantRef = RV.Kind == Rvalue::RefOf;
+    if (DestTy) {
+      if ((WantRef && DestTy->Kind != TypeKind::Ref) ||
+          (!WantRef && DestTy->Kind != TypeKind::RawPtr)) {
+        C.report(code::TypeMismatch, B, S,
+                 std::string(WantRef ? "borrow" : "raw borrow") +
+                     " stored in non-" + (WantRef ? "reference" : "pointer") +
+                     " type " + DestTy->str());
+        return;
+      }
+      C.requireEqual(Ty, DestTy->Pointee, "borrowed place", B, S);
+    }
+    return;
+  }
+  case Rvalue::PtrOffset: {
+    if (RV.Ops.size() != 2) {
+      C.report(code::TypeMismatch, B, S, "ptr offset needs two operands");
+      return;
+    }
+    TypeRef P = C.typeOperand(RV.Ops[0], B, S);
+    TypeRef N = C.typeOperand(RV.Ops[1], B, S);
+    if (P && P->Kind != TypeKind::RawPtr)
+      C.report(code::TypeMismatch, B, S,
+               "pointer offset on non-pointer type " + P->str());
+    if (N && !N->isInt())
+      C.report(code::TypeMismatch, B, S,
+               "pointer offset count of non-integer type " + N->str());
+    C.requireEqual(DestTy, P, "offset pointer", B, S);
+    return;
+  }
+  }
+}
+
+void checkStatementTypes(WFCtx &C, const Statement &St, int B, int S) {
+  switch (St.Kind) {
+  case Statement::Assign:
+    checkRvalue(C, St.Dest, St.RV, B, S);
+    return;
+  case Statement::Alloc: {
+    TypeRef DestTy = C.typePlace(St.Dest, B, S);
+    if (!St.AllocTy) {
+      C.report(code::TypeMismatch, B, S, "allocation without a type");
+      return;
+    }
+    if (DestTy) {
+      if (DestTy->Kind != TypeKind::RawPtr)
+        C.report(code::TypeMismatch, B, S,
+                 "allocation result stored in non-pointer type " +
+                     DestTy->str());
+      else
+        C.requireEqual(St.AllocTy, DestTy->Pointee, "allocated type", B, S);
+    }
+    return;
+  }
+  case Statement::Free: {
+    TypeRef Ty = C.typeOperand(St.FreeArg, B, S);
+    if (Ty && Ty->Kind != TypeKind::RawPtr)
+      C.report(code::TypeMismatch, B, S,
+               "deallocation of non-pointer type " + Ty->str());
+    return;
+  }
+  case Statement::GhostStmt:
+    // Ghost arguments still reference program locals.
+    for (const Operand &Op : St.G.Args)
+      if (Op.Kind != Operand::Const)
+        (void)C.typePlace(Op.P, B, S);
+    return;
+  case Statement::Nop:
+    return;
+  }
+}
+
+void checkTerminatorTypes(WFCtx &C, const Terminator &T, int B) {
+  switch (T.Kind) {
+  case Terminator::SwitchInt: {
+    TypeRef Ty = C.typeOperand(T.Discr, B, -1);
+    if (Ty && !Ty->isInt() && Ty->Kind != TypeKind::Bool &&
+        Ty->Kind != TypeKind::Enum)
+      C.report(code::TypeMismatch, B, -1,
+               "switch on non-integer type " + Ty->str());
+    return;
+  }
+  case Terminator::Call: {
+    for (const Operand &Op : T.Args)
+      (void)C.typeOperand(Op, B, -1);
+    (void)C.typePlace(T.Dest, B, -1);
+    return;
+  }
+  case Terminator::Goto:
+  case Terminator::Return:
+  case Terminator::Unreachable:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Definite initialization + moved locals (forward may-analysis).
+//===----------------------------------------------------------------------===//
+
+constexpr uint8_t MaybeUninit = 1;
+constexpr uint8_t MaybeMoved = 2;
+
+struct InitState {
+  /// Per-local bitset of MaybeUninit / MaybeMoved. A may-analysis: a set
+  /// bit means "some path reaches here with the local uninitialized /
+  /// moved"; union meet.
+  std::vector<uint8_t> Bits;
+};
+
+/// Reporting sink for the replay walk; null during fixpoint solving.
+struct InitReporter {
+  WFCtx *C = nullptr;
+  int Block = -1;
+  int Stmt = -1;
+  /// A statement may read the same local several times; one finding each.
+  std::set<std::pair<LocalId, const char *>> SeenHere;
+
+  void at(int B, int S) {
+    Block = B;
+    Stmt = S;
+    SeenHere.clear();
+  }
+  void flag(const Function &F, LocalId L, uint8_t Bad) {
+    if (!C)
+      return;
+    if (Bad & MaybeUninit) {
+      if (SeenHere.insert({L, code::UninitUse}).second)
+        C->report(code::UninitUse, Block, Stmt,
+                  "use of possibly-uninitialized local " + localName(F, L));
+    }
+    if (Bad & MaybeMoved) {
+      if (SeenHere.insert({L, code::MovedUse}).second)
+        C->report(code::MovedUse, Block, Stmt,
+                  "use of moved local " + localName(F, L));
+    }
+  }
+};
+
+struct InitAnalysis {
+  using Domain = InitState;
+  static constexpr Direction Dir = Direction::Forward;
+
+  const Function &F;
+  InitReporter *Rep = nullptr;
+
+  explicit InitAnalysis(const Function &F) : F(F) {}
+
+  Domain boundary() {
+    InitState S;
+    S.Bits.assign(F.Locals.size(), MaybeUninit);
+    for (unsigned I = 1; I <= F.NumParams && I < F.Locals.size(); ++I)
+      S.Bits[I] = 0;
+    return S;
+  }
+  Domain top() {
+    InitState S;
+    S.Bits.assign(F.Locals.size(), 0);
+    return S;
+  }
+  bool meetInto(Domain &Into, const Domain &From) {
+    bool Changed = false;
+    for (std::size_t I = 0; I < Into.Bits.size(); ++I) {
+      uint8_t Merged = Into.Bits[I] | From.Bits[I];
+      if (Merged != Into.Bits[I]) {
+        Into.Bits[I] = Merged;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  void readPlace(InitState &S, const Place &P) {
+    if (P.Local >= S.Bits.size())
+      return; // E002 already reported by the structural pass.
+    if (uint8_t Bad = S.Bits[P.Local]; Bad && Rep)
+      Rep->flag(F, P.Local, Bad);
+  }
+  void readOperand(InitState &S, const Operand &Op, bool GhostUse = false) {
+    if (Op.Kind == Operand::Const)
+      return;
+    readPlace(S, Op.P);
+    // A whole-local move leaves the local unusable. Projected moves (moving
+    // out of a field) keep base-local granularity: tracked as a read only.
+    // Ghost uses never change program state.
+    if (Op.Kind == Operand::Move && Op.P.Elems.empty() && !GhostUse &&
+        Op.P.Local < S.Bits.size())
+      S.Bits[Op.P.Local] = MaybeMoved;
+  }
+  void writePlace(InitState &S, const Place &P) {
+    if (P.Local >= S.Bits.size())
+      return;
+    if (P.Elems.empty()) {
+      S.Bits[P.Local] = 0;
+    } else {
+      // Writing through a projection reads the base (e.g. *p = v needs p).
+      readPlace(S, P);
+    }
+  }
+
+  void stepStatement(InitState &S, const Statement &St) {
+    switch (St.Kind) {
+    case Statement::Assign:
+      switch (St.RV.Kind) {
+      case Rvalue::Use:
+      case Rvalue::BinaryOp:
+      case Rvalue::UnaryOp:
+      case Rvalue::Aggregate:
+      case Rvalue::PtrOffset:
+        for (const Operand &Op : St.RV.Ops)
+          readOperand(S, Op);
+        break;
+      case Rvalue::Discriminant:
+      case Rvalue::RefOf:
+      case Rvalue::AddrOf:
+        readPlace(S, St.RV.P);
+        break;
+      }
+      writePlace(S, St.Dest);
+      return;
+    case Statement::Alloc:
+      writePlace(S, St.Dest);
+      return;
+    case Statement::Free:
+      readOperand(S, St.FreeArg);
+      return;
+    case Statement::GhostStmt:
+      for (const Operand &Op : St.G.Args)
+        readOperand(S, Op, /*GhostUse=*/true);
+      return;
+    case Statement::Nop:
+      return;
+    }
+  }
+
+  void stepTerminator(InitState &S, const Terminator &T) {
+    switch (T.Kind) {
+    case Terminator::SwitchInt:
+      readOperand(S, T.Discr);
+      return;
+    case Terminator::Call:
+      for (const Operand &Op : T.Args)
+        readOperand(S, Op);
+      // The callee's return value initializes Dest on the return edge.
+      writePlace(S, T.Dest);
+      return;
+    case Terminator::Return:
+      // Returning reads the return slot — unless the function returns unit,
+      // where the slot is conventionally never materialised.
+      if (!F.Locals.empty() && F.Locals[0].Ty &&
+          F.Locals[0].Ty->Kind != TypeKind::Unit)
+        readPlace(S, Place(0));
+      return;
+    case Terminator::Goto:
+    case Terminator::Unreachable:
+      return;
+    }
+  }
+
+  Domain transfer(unsigned B, Domain In) {
+    const BasicBlock &BB = F.Blocks[B];
+    for (std::size_t I = 0; I < BB.Stmts.size(); ++I) {
+      if (Rep)
+        Rep->at(static_cast<int>(B), static_cast<int>(I));
+      stepStatement(In, BB.Stmts[I]);
+    }
+    if (Rep)
+      Rep->at(static_cast<int>(B), -1);
+    stepTerminator(In, BB.Term);
+    return In;
+  }
+};
+
+} // namespace
+
+void gilr::analysis::checkWellFormed(const Function &F,
+                                     DiagnosticEngine &DE) {
+  WFCtx C{F, DE};
+
+  if (F.Blocks.empty()) {
+    C.report(code::BadTarget, -1, -1, "function has no basic blocks");
+    return;
+  }
+  if (F.Locals.empty()) {
+    C.report(code::BadLocal, -1, -1,
+             "function declares no locals (missing return slot)");
+    return;
+  }
+  if (F.NumParams + 1 > F.Locals.size())
+    C.report(code::BadLocal, -1, -1,
+             "function declares " + std::to_string(F.NumParams) +
+                 " parameters but only " + std::to_string(F.Locals.size()) +
+                 " locals");
+
+  // Structural checks: terminator targets + per-statement typing.
+  std::vector<unsigned> Targets;
+  for (std::size_t B = 0; B < F.Blocks.size(); ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    Cfg::terminatorTargets(BB.Term, Targets);
+    for (unsigned T : Targets)
+      if (T >= F.Blocks.size())
+        C.report(code::BadTarget, static_cast<int>(B), -1,
+                 "terminator targets nonexistent block bb" +
+                     std::to_string(T) + " (function has " +
+                     std::to_string(F.Blocks.size()) + " blocks)");
+    for (std::size_t S = 0; S < BB.Stmts.size(); ++S)
+      checkStatementTypes(C, BB.Stmts[S], static_cast<int>(B),
+                          static_cast<int>(S));
+    checkTerminatorTypes(C, BB.Term, static_cast<int>(B));
+  }
+
+  // Definite initialization / moved locals: solve to fixpoint silently,
+  // then replay reachable blocks once with reporting enabled (so every
+  // finding is emitted exactly once, against the converged states).
+  Cfg C2 = Cfg::build(F);
+  InitAnalysis A(F);
+  std::vector<InitState> In = solveDataflow(C2, A);
+  InitReporter Rep;
+  Rep.C = &C;
+  A.Rep = &Rep;
+  for (std::size_t B = 0; B < F.Blocks.size(); ++B)
+    if (C2.Reachable[B])
+      (void)A.transfer(static_cast<unsigned>(B), In[B]);
+}

@@ -84,6 +84,10 @@ void Executor::enqueue(Frame Fr) { Work.push_back(std::move(Fr)); }
 ExecResult Executor::run(const rmir::Function &Fn,
                          const gilsonite::Spec &S) {
   GILR_TRACE_SCOPE_D("engine", "run", Fn.Name);
+  // Counted so the telemetry can assert "the pre-pass rejected this entity
+  // before any symbolic execution" (zero executor runs for blocked entities).
+  if (trace::enabled())
+    metrics::Registry::get().add("engine.executor_runs");
   F = &Fn;
   Spec = &S;
   Result = ExecResult();

@@ -83,6 +83,19 @@ public:
   bool contains(const std::string &Name) const { return Map.count(Name); }
   std::size_t size() const { return Map.size(); }
 
+  /// The registered lemma names, sorted. Passed down to the pre-verification
+  /// analysis (src/analysis/), which cannot see this table (layering), for
+  /// the unused-lemma cross-reference.
+  std::vector<std::string> names() const {
+    std::vector<std::string> Out;
+    Out.reserve(Map.size());
+    for (const auto &[Name, L] : Map) {
+      (void)L;
+      Out.push_back(Name);
+    }
+    return Out;
+  }
+
   /// The registered lemma named \p Name, or nullptr. Used by the
   /// incremental layer to fingerprint lemma statements.
   const std::variant<FreezeLemma, ExtractLemma> *

@@ -13,6 +13,7 @@
 #ifndef GILR_ENGINE_SYMSTATE_H
 #define GILR_ENGINE_SYMSTATE_H
 
+#include "analysis/Diagnostic.h"
 #include "gilsonite/Ownable.h"
 #include "gilsonite/PredDecl.h"
 #include "gilsonite/Spec.h"
@@ -61,6 +62,10 @@ struct VerifEnv {
   LemmaTable &Lemmas;
   Solver &Solv;
   Automation Auto;
+  /// Pre-verification static analysis knobs (src/analysis/). Trailing
+  /// defaulted member: existing aggregate initializations keep working and
+  /// get the production default (enabled, fail-on-error).
+  analysis::AnalysisConfig Lint;
 };
 
 /// The symbolic state σ plus execution bookkeeping.

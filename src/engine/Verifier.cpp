@@ -9,6 +9,36 @@
 using namespace gilr;
 using namespace gilr::engine;
 
+analysis::AnalysisInput gilr::engine::lintInput(VerifEnv &Env) {
+  analysis::AnalysisInput In;
+  In.Prog = &Env.Prog;
+  In.Preds = &Env.Preds;
+  In.Specs = &Env.Specs;
+  In.Solv = &Env.Solv;
+  In.LemmaNames = Env.Lemmas.names();
+  In.Cfg = Env.Lint;
+  return In;
+}
+
+VerifyReport gilr::engine::lintBlockedReport(const std::string &Func,
+                                             const analysis::EntityVerdict &V) {
+  VerifyReport R;
+  R.Func = Func;
+  R.Ok = false;
+  R.LintBlocked = true;
+  R.Diags = V.Diags;
+  uint64_t NErrors = 0;
+  for (const analysis::Diagnostic &D : V.Diags)
+    NErrors += D.Sev == analysis::Severity::Error;
+  R.Errors.push_back("rejected by pre-verification analysis (" +
+                     std::to_string(NErrors) +
+                     " error diagnostic(s)); symbolic execution skipped");
+  for (const analysis::Diagnostic &D : V.Diags)
+    if (D.Sev == analysis::Severity::Error)
+      R.Errors.push_back(D.str());
+  return R;
+}
+
 unsigned gilr::engine::countGhostAnnotations(const rmir::Function &F) {
   unsigned Count = 0;
   for (const rmir::BasicBlock &B : F.Blocks)
@@ -76,7 +106,36 @@ std::vector<VerifyReport>
 Verifier::verifyAll(const std::vector<std::string> &Names) {
   std::vector<VerifyReport> Reports;
   Reports.reserve(Names.size());
+  LastAnalysis = analysis::AnalysisResult();
+  if (!Env.Lint.Enabled) {
+    for (const std::string &Name : Names)
+      Reports.push_back(verifyFunction(Name));
+    return Reports;
+  }
+
+  // Pre-verification analysis: lint every entity first, then prove only the
+  // ones the pre-pass did not reject. Diagnostics ride along on the reports.
+  analysis::AnalysisInput In = lintInput(Env);
+  std::vector<std::pair<std::string, analysis::EntityVerdict>> Verdicts;
+  Verdicts.reserve(Names.size());
+  auto Start = std::chrono::steady_clock::now();
   for (const std::string &Name : Names)
-    Reports.push_back(verifyFunction(Name));
+    Verdicts.emplace_back(Name, analysis::lintEntity(In, Name));
+  std::vector<analysis::Diagnostic> ProgDiags = analysis::lintProgramLevel(In);
+  auto End = std::chrono::steady_clock::now();
+  LastAnalysis = analysis::finalizeAnalysis(
+      In.Cfg, Verdicts, std::move(ProgDiags),
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count());
+
+  for (const auto &[Name, V] : Verdicts) {
+    if (V.Blocked) {
+      Reports.push_back(lintBlockedReport(Name, V));
+      continue;
+    }
+    VerifyReport R = verifyFunction(Name);
+    R.Diags = V.Diags;
+    Reports.push_back(std::move(R));
+  }
   return Reports;
 }

@@ -182,8 +182,19 @@ Outcome<Expr> toExpr(const SExpr &S) {
   if (Op == "tuple")
     return Outcome<Expr>::success(mkTuple(std::move(Args)));
   if (startsWith(Op, "get-") && need(1)) {
-    unsigned Idx = static_cast<unsigned>(std::stoul(Op.substr(4)));
-    return Outcome<Expr>::success(mkTupleGet(Args[0], Idx));
+    // Only an all-digit suffix is a tuple projection; anything else (e.g.
+    // "get-x", or an index too large for unsigned) falls through to an
+    // uninterpreted application below instead of aborting in std::stoul.
+    const std::string Suffix = Op.substr(4);
+    bool IsIndex = !Suffix.empty() && Suffix.size() <= 9;
+    for (char C : Suffix)
+      IsIndex = IsIndex && std::isdigit(static_cast<unsigned char>(C));
+    if (IsIndex) {
+      unsigned Idx = 0;
+      for (char C : Suffix)
+        Idx = Idx * 10 + static_cast<unsigned>(C - '0');
+      return Outcome<Expr>::success(mkTupleGet(Args[0], Idx));
+    }
   }
   if (Op == "ite" && need(3))
     return Outcome<Expr>::success(mkIte(Args[0], Args[1], Args[2]));

@@ -67,8 +67,8 @@ HybridReport HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
   {
     GILR_TRACE_SCOPE("hybrid", "unsafe-side");
     engine::Verifier V(Env);
-    for (const std::string &Func : UnsafeFuncs)
-      Report.UnsafeSide.push_back(V.verifyFunction(Func));
+    Report.UnsafeSide = V.verifyAll(UnsafeFuncs);
+    Report.Analysis = V.lastAnalysis();
   }
 
   {
@@ -84,10 +84,14 @@ HybridReport HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
 std::string HybridReport::summaryText() const {
   std::string Out;
   Out += "hybrid verification: " + std::string(ok() ? "OK" : "FAILED") + "\n";
+  if (Analysis.Enabled)
+    Out += Analysis.renderText();
   for (const engine::VerifyReport &R : UnsafeSide) {
     Out += "  [gillian] " + R.Func + ": " +
            (R.Ok ? (R.Cached ? "ok (cached)" : "ok")
-                 : R.TimedOut ? "UNKNOWN (budget)" : "FAIL") +
+                 : R.LintBlocked ? "REJECTED (pre-verification analysis)"
+                 : R.TimedOut   ? "UNKNOWN (budget)"
+                                : "FAIL") +
            " (" +
            fmtSeconds(R.Seconds) + ", " + std::to_string(R.PathsCompleted) +
            " paths, " + std::to_string(R.Solver.EntailQueries) +
@@ -122,6 +126,7 @@ std::string HybridReport::summaryText() const {
 
 std::string HybridReport::renderJson() const {
   std::string Out = "{\n  \"ok\": " + std::string(ok() ? "true" : "false") +
+                    ",\n  \"analysis\": " + Analysis.renderJson() +
                     ",\n  \"unsafe_side\": [";
   for (std::size_t I = 0; I != UnsafeSide.size(); ++I) {
     const engine::VerifyReport &R = UnsafeSide[I];
@@ -132,6 +137,10 @@ std::string HybridReport::renderJson() const {
       Out += ", \"timed_out\": true";
     if (R.Cached)
       Out += ", \"cached\": true";
+    if (R.LintBlocked)
+      Out += ", \"lint_blocked\": true";
+    if (!R.Diags.empty())
+      Out += ", \"diagnostics\": " + analysis::renderDiagnosticsJson(R.Diags);
     Out += ", \"seconds\": " + std::to_string(R.Seconds);
     Out += ", \"paths\": " + std::to_string(R.PathsCompleted);
     Out += ", \"states\": " + std::to_string(R.StatesExplored);

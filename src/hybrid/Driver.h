@@ -12,6 +12,7 @@
 #ifndef GILR_HYBRID_DRIVER_H
 #define GILR_HYBRID_DRIVER_H
 
+#include "analysis/Analysis.h"
 #include "creusot/SafeVerifier.h"
 #include "engine/Verifier.h"
 #include "hybrid/Encode.h"
@@ -31,7 +32,13 @@ namespace hybrid {
 struct HybridReport {
   std::vector<engine::VerifyReport> UnsafeSide;
   std::vector<creusot::SafeReport> SafeSide;
+  /// The pre-verification analysis verdict (src/analysis/): every finding
+  /// of the run, deterministically ordered. Default (disabled) when
+  /// Env.Lint.Enabled is off.
+  analysis::AnalysisResult Analysis;
   bool ok() const {
+    if (!Analysis.ok())
+      return false;
     for (const engine::VerifyReport &R : UnsafeSide)
       if (!R.Ok)
         return false;

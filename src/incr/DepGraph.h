@@ -31,6 +31,7 @@ namespace incr {
 enum class Side : uint8_t {
   Unsafe = 0, ///< Gillian-Rust side (engine::Verifier).
   Safe = 1,   ///< Creusot side (creusot::SafeVerifier).
+  Lint = 2,   ///< Pre-verification analysis verdict (analysis::lintEntity).
 };
 
 /// One dependable entity, identified by namespace + name.

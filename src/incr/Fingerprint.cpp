@@ -196,6 +196,12 @@ uint64_t gilr::incr::fpFunction(const rmir::Function &F) {
       hashStatement(HS, S);
     hashTerminator(HS, B.Term);
   }
+  // Lint suppressions are part of the body identity: toggling one must
+  // invalidate the cached lint verdict (it changes which diagnostics the
+  // pre-verification pass reports).
+  HS.size(F.LintSuppress.size());
+  for (const std::string &Code : F.LintSuppress)
+    HS.str(Code);
   return HS.result();
 }
 
@@ -398,6 +404,21 @@ uint64_t gilr::incr::fpAutomation(const engine::Automation &A,
   HS.boolean(A.ObsExtraction);
   HS.boolean(A.PanicsAllowed);
   HS.u32(A.HeuristicFuel);
+  HS.u32(MaxBranches);
+  return HS.result();
+}
+
+uint64_t gilr::incr::fpAnalysisConfig(const analysis::AnalysisConfig &C,
+                                      unsigned MaxBranches) {
+  Hasher HS;
+  HS.boolean(C.Enabled);
+  HS.boolean(C.FailOnError);
+  HS.boolean(C.WarningsAsErrors);
+  HS.boolean(C.FunctionLints);
+  HS.boolean(C.SpecLints);
+  HS.size(C.DisabledCodes.size());
+  for (const std::string &Code : C.DisabledCodes)
+    HS.str(Code);
   HS.u32(MaxBranches);
   return HS.result();
 }

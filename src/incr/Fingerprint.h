@@ -23,6 +23,7 @@
 #ifndef GILR_INCR_FINGERPRINT_H
 #define GILR_INCR_FINGERPRINT_H
 
+#include "analysis/Diagnostic.h"
 #include "creusot/SafeVerifier.h"
 #include "creusot/StdSpecs.h"
 #include "engine/Lemma.h"
@@ -82,6 +83,13 @@ uint64_t fpSafeFn(const creusot::SafeFn &F);
 /// they cannot change a definite verdict (the determinism contract of
 /// docs/SCHEDULER.md), so serial and parallel runs share cache entries.
 uint64_t fpAutomation(const engine::Automation &A, unsigned MaxBranches);
+
+/// Fingerprint of the pre-verification analysis configuration: the lint
+/// knobs plus the solver branch budget (spec-vacuity verdicts depend on
+/// it). Cached lint verdicts are keyed by this the way proof verdicts are
+/// keyed by \c fpAutomation.
+uint64_t fpAnalysisConfig(const analysis::AnalysisConfig &C,
+                          unsigned MaxBranches);
 
 } // namespace incr
 } // namespace gilr

@@ -11,7 +11,9 @@ using namespace gilr::incr;
 namespace {
 
 constexpr char Magic[8] = {'G', 'I', 'L', 'R', 'P', 'R', 'F', '1'};
-constexpr uint32_t FormatVersion = 1;
+// Version 2 added Side::Lint obligation records (pre-verification analysis
+// verdicts). Version-1 stores are rejected by load(), i.e. a cold run.
+constexpr uint32_t FormatVersion = 2;
 constexpr uint8_t RecObligation = 1;
 constexpr uint8_t RecSolverBlock = 2;
 
@@ -118,7 +120,7 @@ bool decodeObligation(const std::string &Payload, StoredObligation &Ob) {
   Reader R(Payload);
   uint8_t S;
   uint32_t NDeps;
-  if (!R.u8(S) || S > static_cast<uint8_t>(Side::Safe) || !R.str(Ob.Name) ||
+  if (!R.u8(S) || S > static_cast<uint8_t>(Side::Lint) || !R.str(Ob.Name) ||
       !R.u64(Ob.SelfFp) || !R.u64(Ob.ConfigFp) || !R.u32(NDeps))
     return false;
   Ob.S = static_cast<Side>(S);
@@ -359,6 +361,56 @@ bool gilr::incr::decodeVerifyReport(const std::string &Blob,
   for (trace::PhaseStat &P : Out.Phases)
     if (!R.str(P.Key) || !R.u64(P.Count) || !R.u64(P.Nanos))
       return false;
+  return R.done();
+}
+
+std::string gilr::incr::encodeLintVerdict(const analysis::EntityVerdict &V) {
+  Writer W;
+  W.u8(V.Blocked ? 1 : 0);
+  W.u64(V.Suppressed);
+  W.u32(static_cast<uint32_t>(V.Diags.size()));
+  for (const analysis::Diagnostic &D : V.Diags) {
+    W.str(D.Code);
+    W.u8(static_cast<uint8_t>(D.Sev));
+    W.str(D.Entity);
+    W.u64(static_cast<uint64_t>(static_cast<int64_t>(D.Block)));
+    W.u64(static_cast<uint64_t>(static_cast<int64_t>(D.Stmt)));
+    W.str(D.Message);
+    W.u32(static_cast<uint32_t>(D.Notes.size()));
+    for (const std::string &N : D.Notes)
+      W.str(N);
+  }
+  return std::move(W.Out);
+}
+
+bool gilr::incr::decodeLintVerdict(const std::string &Blob,
+                                   analysis::EntityVerdict &Out) {
+  Reader R(Blob);
+  uint8_t Blocked;
+  uint32_t NDiags;
+  if (!R.u8(Blocked) || !R.u64(Out.Suppressed) || !R.u32(NDiags))
+    return false;
+  Out.Blocked = Blocked != 0;
+  Out.Diags.clear();
+  Out.Diags.resize(NDiags);
+  for (analysis::Diagnostic &D : Out.Diags) {
+    uint8_t Sev;
+    uint64_t Block, Stmt;
+    uint32_t NNotes;
+    if (!R.str(D.Code) || !R.u8(Sev) ||
+        Sev > static_cast<uint8_t>(analysis::Severity::Warning) ||
+        !R.str(D.Entity) || !R.u64(Block) || !R.u64(Stmt) ||
+        !R.str(D.Message) || !R.u32(NNotes))
+      return false;
+    D.Sev = static_cast<analysis::Severity>(Sev);
+    D.Block = static_cast<int>(static_cast<int64_t>(Block));
+    D.Stmt = static_cast<int>(static_cast<int64_t>(Stmt));
+    D.Notes.clear();
+    D.Notes.resize(NNotes);
+    for (std::string &N : D.Notes)
+      if (!R.str(N))
+        return false;
+  }
   return R.done();
 }
 

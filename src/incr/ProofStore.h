@@ -26,6 +26,7 @@
 #ifndef GILR_INCR_PROOFSTORE_H
 #define GILR_INCR_PROOFSTORE_H
 
+#include "analysis/Analysis.h"
 #include "creusot/SafeVerifier.h"
 #include "engine/Verifier.h"
 #include "incr/DepGraph.h"
@@ -112,6 +113,11 @@ std::string encodeVerifyReport(const engine::VerifyReport &R);
 bool decodeVerifyReport(const std::string &Blob, engine::VerifyReport &Out);
 std::string encodeSafeReport(const creusot::SafeReport &R);
 bool decodeSafeReport(const std::string &Blob, creusot::SafeReport &Out);
+
+/// Lint-verdict blobs (Side::Lint records): the per-entity diagnostics of
+/// the pre-verification analysis, cached the way proof verdicts are.
+std::string encodeLintVerdict(const analysis::EntityVerdict &V);
+bool decodeLintVerdict(const std::string &Blob, analysis::EntityVerdict &Out);
 
 } // namespace incr
 } // namespace gilr

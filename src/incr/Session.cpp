@@ -20,6 +20,7 @@ Session::Session(const IncrConfig &Cfg, engine::VerifEnv &Env,
                  const creusot::PearliteSpecTable *Contracts)
     : Cfg(Cfg), Env(Env), Contracts(Contracts), Store(Cfg.StorePath) {
   ConfigFp = fpAutomation(Env.Auto, Env.Solv.MaxBranches);
+  LintConfigFp = fpAnalysisConfig(Env.Lint, Env.Solv.MaxBranches);
   if (!Cfg.StorePath.empty()) {
     Stats.StoreLoaded = Store.load();
     Stats.StoreTruncated = Store.truncated();
@@ -164,6 +165,49 @@ void Session::recordSafe(const creusot::SafeFn &F,
   Ob.ConfigFp = ConfigFp;
   Ob.Deps = snapshotDeps(Deps);
   Ob.Blob = encodeSafeReport(R);
+  Store.put(std::move(Ob));
+}
+
+bool Session::lookupLint(const std::string &Func,
+                         analysis::EntityVerdict &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const StoredObligation *Ob = Store.lookup(Side::Lint, Func);
+  if (!Ob)
+    return false;
+  uint64_t SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
+  if (Ob->ConfigFp != LintConfigFp || Ob->SelfFp != SelfFp ||
+      !depsStillValid(*Ob)) {
+    ++Stats.Invalidated;
+    return false;
+  }
+  if (!decodeLintVerdict(Ob->Blob, Out))
+    return false; // Malformed blob: treat as a miss, re-lint.
+  Out.Cached = true;
+  ++Stats.CachedLint;
+  if (trace::enabled())
+    metrics::Registry::get().add("incr.lint_cached");
+  std::set<DepKey> Deps;
+  for (const StoredDep &D : Ob->Deps)
+    Deps.insert(DepKey{D.K, D.Name});
+  Graph.record(ObligationId{Side::Lint, Func}, std::move(Deps));
+  return true;
+}
+
+void Session::recordLint(const std::string &Func,
+                         const std::set<DepKey> &Deps,
+                         const analysis::EntityVerdict &V) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.AnalyzedLint;
+  if (trace::enabled())
+    metrics::Registry::get().add("incr.lint_analyzed");
+  Graph.record(ObligationId{Side::Lint, Func}, std::set<DepKey>(Deps));
+  StoredObligation Ob;
+  Ob.S = Side::Lint;
+  Ob.Name = Func;
+  Ob.SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
+  Ob.ConfigFp = LintConfigFp;
+  Ob.Deps = snapshotDeps(Deps);
+  Ob.Blob = encodeLintVerdict(V);
   Store.put(std::move(Ob));
 }
 

@@ -59,6 +59,10 @@ struct IncrRunStats {
   uint64_t CachedSafe = 0;
   uint64_t VerifiedUnsafe = 0;
   uint64_t VerifiedSafe = 0;
+  /// Pre-verification lint verdicts replayed from the store / computed
+  /// fresh. Kept out of cached()/verified(), which count proof obligations.
+  uint64_t CachedLint = 0;
+  uint64_t AnalyzedLint = 0;
   /// Store records found but rejected because a fingerprint changed.
   uint64_t Invalidated = 0;
   bool StoreLoaded = false;
@@ -94,6 +98,14 @@ public:
   void recordSafe(const creusot::SafeFn &F, const std::set<DepKey> &Deps,
                   const creusot::SafeReport &R);
 
+  /// Pre-verification lint verdicts, cached like proofs but keyed by the
+  /// analysis configuration fingerprint (incr::fpAnalysisConfig) instead of
+  /// the automation one — toggling a lint knob re-lints without
+  /// invalidating proofs, and vice versa.
+  bool lookupLint(const std::string &Func, analysis::EntityVerdict &Out);
+  void recordLint(const std::string &Func, const std::set<DepKey> &Deps,
+                  const analysis::EntityVerdict &V);
+
   /// The persisted solver-cache entries to pre-warm the QueryCache with
   /// (empty when LoadSolverCache is off or the store had none).
   std::vector<SavedQueryVerdict> solverEntriesToLoad() const;
@@ -126,6 +138,7 @@ private:
   DepGraph Graph;
   IncrRunStats Stats;
   uint64_t ConfigFp = 0;
+  uint64_t LintConfigFp = 0;
   std::mutex Mu;
   std::map<DepKey, uint64_t> FpMemo;
 };

@@ -25,6 +25,10 @@ void FunctionBuilder::addLifetime(const std::string &Name) {
   F.Lifetimes.push_back(Name);
 }
 
+void FunctionBuilder::suppressLint(const std::string &Code) {
+  F.LintSuppress.push_back(Code);
+}
+
 LocalId FunctionBuilder::addParam(const std::string &Name, TypeRef Ty) {
   assert(!SawNonParamLocal && "parameters must precede plain locals");
   F.Locals.push_back({Name, Ty});

@@ -36,6 +36,9 @@ public:
   void addTypeParam(const std::string &Name);
   /// Declares a lifetime parameter (e.g. "'a").
   void addLifetime(const std::string &Name);
+  /// Suppresses a pre-verification lint (a "GILR-Exxx"/"GILR-Wxxx" code, or
+  /// "all") for this function — the #[allow(...)] of the analysis pass.
+  void suppressLint(const std::string &Code);
 
   /// Adds a parameter local; must be called before any plain local.
   LocalId addParam(const std::string &Name, TypeRef Ty);

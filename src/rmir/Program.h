@@ -306,6 +306,12 @@ struct Function {
   std::vector<BasicBlock> Blocks;
   std::vector<std::string> TypeParams;
   std::vector<std::string> Lifetimes; ///< Lifetime parameters, usually one.
+  /// Per-function lint suppressions: diagnostic codes (e.g. "GILR-W002")
+  /// the pre-verification analysis must not report against this function;
+  /// "all" mutes every lint. The static-analysis analogue of #[allow(...)].
+  /// Part of the function's structural fingerprint (incr/Fingerprint.cpp):
+  /// toggling a suppression invalidates the cached lint verdict.
+  std::vector<std::string> LintSuppress;
 
   TypeRef returnType() const { return Locals.at(0).Ty; }
   TypeRef paramType(unsigned I) const { return Locals.at(1 + I).Ty; }

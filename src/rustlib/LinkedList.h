@@ -59,7 +59,7 @@ struct LinkedListLib {
 
   engine::VerifEnv env() {
     return engine::VerifEnv{Prog, Preds, Specs, *Ownables, Lemmas, Solv,
-                            Auto};
+                            Auto, analysis::AnalysisConfig{}};
   }
 };
 

@@ -48,7 +48,7 @@ struct StackLib {
 
   engine::VerifEnv env() {
     return engine::VerifEnv{Prog, Preds, Specs, *Ownables, Lemmas, Solv,
-                            Auto};
+                            Auto, analysis::AnalysisConfig{}};
   }
 };
 

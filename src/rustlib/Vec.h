@@ -35,7 +35,7 @@ struct VecLib {
 
   engine::VerifEnv env() {
     return engine::VerifEnv{Prog, Preds, Specs, *Ownables, Lemmas, Solv,
-                            Auto};
+                            Auto, analysis::AnalysisConfig{}};
   }
 };
 

@@ -14,6 +14,7 @@
 #include "support/Budget.h"
 #include "support/Trace.h"
 
+#include <chrono>
 #include <optional>
 
 using namespace gilr;
@@ -118,6 +119,44 @@ void Scheduler::recordCacheReport() const {
   metrics::Registry::get().setQueryCacheReport(std::move(R));
 }
 
+analysis::AnalysisResult Scheduler::lintPhase(
+    engine::VerifEnv &Env, const std::vector<std::string> &Names,
+    incr::Session *Incr,
+    std::vector<std::pair<std::string, analysis::EntityVerdict>> &Verdicts) {
+  Verdicts.assign(Names.size(),
+                  std::pair<std::string, analysis::EntityVerdict>());
+  analysis::AnalysisInput In = engine::lintInput(Env);
+  auto Start = std::chrono::steady_clock::now();
+  // Lint jobs ride the same pool as proof jobs. No job budget: lint
+  // verdicts must stay deterministic at any worker count (the budget's
+  // wall-clock component is the one nondeterminism source runJobs has).
+  JobGraph G = JobGraph::build(Names, {});
+  runJobs(G, [&](const ProofJob &J) {
+    GILR_TRACE_SCOPE_D("sched", "lint-job", J.Name);
+    analysis::EntityVerdict V;
+    if (Incr && Incr->lookupLint(J.Name, V)) {
+      Verdicts[J.Slot] = {J.Name, std::move(V)};
+      return;
+    }
+    std::optional<incr::DepRecorder> Rec;
+    if (Incr)
+      Rec.emplace();
+    V = analysis::lintEntity(In, J.Name);
+    std::set<incr::DepKey> Deps = finishRecording(Rec);
+    if (Incr)
+      Incr->recordLint(J.Name, Deps, V);
+    Verdicts[J.Slot] = {J.Name, std::move(V)};
+  });
+  // Program-level lints are whole-table cross-references; they are cheap
+  // and depend on everything, so they run serially and are never cached.
+  std::vector<analysis::Diagnostic> ProgDiags = analysis::lintProgramLevel(In);
+  auto End = std::chrono::steady_clock::now();
+  return analysis::finalizeAnalysis(
+      In.Cfg, Verdicts, std::move(ProgDiags),
+      std::chrono::duration_cast<std::chrono::duration<double>>(End - Start)
+          .count());
+}
+
 hybrid::HybridReport
 Scheduler::runHybrid(engine::VerifEnv &Env,
                      const creusot::PearliteSpecTable &Contracts,
@@ -128,14 +167,26 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
   Report.UnsafeSide.resize(UnsafeFuncs.size());
   Report.SafeSide.resize(Clients.size());
 
+  std::vector<std::pair<std::string, analysis::EntityVerdict>> Verdicts;
+  if (Env.Lint.Enabled)
+    Report.Analysis = lintPhase(Env, UnsafeFuncs, Incr, Verdicts);
+
   JobGraph G = JobGraph::build(UnsafeFuncs, Clients);
   runJobs(G, [&](const ProofJob &J) {
     // The per-job root span: everything the worker does for this obligation
     // nests under it, so GILR_TRACE output stays attributable per job.
     GILR_TRACE_SCOPE_D("sched", "job", J.Name);
     if (J.K == ProofJob::UnsafeFn) {
+      const analysis::EntityVerdict *V =
+          Verdicts.empty() ? nullptr : &Verdicts[J.Slot].second;
+      if (V && V->Blocked) {
+        Report.UnsafeSide[J.Slot] = engine::lintBlockedReport(J.Name, *V);
+        return;
+      }
       engine::VerifyReport R;
       if (Incr && Incr->lookupUnsafe(J.Name, R)) {
+        if (V)
+          R.Diags = V->Diags;
         Report.UnsafeSide[J.Slot] = std::move(R);
         return;
       }
@@ -143,14 +194,16 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
       if (Incr)
         Rec.emplace();
       bool Exhausted = withJobBudget(Config, [&] {
-        engine::Verifier V(Env);
-        R = V.verifyFunction(J.Name);
+        engine::Verifier V2(Env);
+        R = V2.verifyFunction(J.Name);
       });
       if (Exhausted)
         markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
       std::set<incr::DepKey> Deps = finishRecording(Rec);
       if (Incr)
         Incr->recordUnsafe(J.Name, Deps, R);
+      if (V)
+        R.Diags = V->Diags;
       Report.UnsafeSide[J.Slot] = std::move(R);
     } else {
       creusot::SafeReport R;
@@ -179,13 +232,30 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
 std::vector<engine::VerifyReport>
 Scheduler::verifyAll(engine::VerifEnv &Env,
                      const std::vector<std::string> &Names,
-                     incr::Session *Incr) {
+                     incr::Session *Incr,
+                     analysis::AnalysisResult *AnalysisOut) {
   std::vector<engine::VerifyReport> Reports(Names.size());
+
+  std::vector<std::pair<std::string, analysis::EntityVerdict>> Verdicts;
+  analysis::AnalysisResult AR;
+  if (Env.Lint.Enabled)
+    AR = lintPhase(Env, Names, Incr, Verdicts);
+  if (AnalysisOut)
+    *AnalysisOut = std::move(AR);
+
   JobGraph G = JobGraph::build(Names, {});
   runJobs(G, [&](const ProofJob &J) {
     GILR_TRACE_SCOPE_D("sched", "job", J.Name);
+    const analysis::EntityVerdict *V =
+        Verdicts.empty() ? nullptr : &Verdicts[J.Slot].second;
+    if (V && V->Blocked) {
+      Reports[J.Slot] = engine::lintBlockedReport(J.Name, *V);
+      return;
+    }
     engine::VerifyReport R;
     if (Incr && Incr->lookupUnsafe(J.Name, R)) {
+      if (V)
+        R.Diags = V->Diags;
       Reports[J.Slot] = std::move(R);
       return;
     }
@@ -193,14 +263,16 @@ Scheduler::verifyAll(engine::VerifEnv &Env,
     if (Incr)
       Rec.emplace();
     bool Exhausted = withJobBudget(Config, [&] {
-      engine::Verifier V(Env);
-      R = V.verifyFunction(J.Name);
+      engine::Verifier V2(Env);
+      R = V2.verifyFunction(J.Name);
     });
     if (Exhausted)
       markBudgetExhausted(R.Errors, R.Ok, R.TimedOut, J.Name);
     std::set<incr::DepKey> Deps = finishRecording(Rec);
     if (Incr)
       Incr->recordUnsafe(J.Name, Deps, R);
+    if (V)
+      R.Diags = V->Diags;
     Reports[J.Slot] = std::move(R);
   });
   return Reports;
@@ -222,7 +294,7 @@ std::vector<engine::VerifyReport>
 engine::Verifier::verifyAll(const std::vector<std::string> &Names,
                             const sched::SchedulerConfig &Config) {
   Scheduler S(Config);
-  return S.verifyAll(Env, Names);
+  return S.verifyAll(Env, Names, nullptr, &LastAnalysis);
 }
 
 //===----------------------------------------------------------------------===//
@@ -274,7 +346,8 @@ engine::Verifier::verifyAll(const std::vector<std::string> &Names,
   incr::Session Sess(Inc, Env, /*Contracts=*/nullptr);
   if (Inc.LoadSolverCache)
     S.preloadCache(Sess.solverEntriesToLoad());
-  std::vector<engine::VerifyReport> Reports = S.verifyAll(Env, Names, &Sess);
+  std::vector<engine::VerifyReport> Reports =
+      S.verifyAll(Env, Names, &Sess, &LastAnalysis);
   if (Inc.SaveSolverCache)
     Sess.saveSolverEntries(S.exportCacheEntries());
   Sess.flush();

@@ -70,16 +70,23 @@ public:
   /// \p Incr, jobs whose stored verdict is still valid short-circuit to the
   /// cached report (marked Cached), and freshly proved jobs are recorded
   /// with the dependencies their proof consulted.
+  ///
+  /// When Env.Lint.Enabled, a lint phase runs first (its jobs on the same
+  /// pool): entities the pre-pass rejects are reported failed without a
+  /// proof job, and every report carries its entity's diagnostics. The
+  /// aggregated analysis verdict lands in HybridReport::Analysis.
   hybrid::HybridReport runHybrid(engine::VerifEnv &Env,
                                  const creusot::PearliteSpecTable &Contracts,
                                  const std::vector<std::string> &UnsafeFuncs,
                                  const std::vector<creusot::SafeFn> &Clients,
                                  incr::Session *Incr = nullptr);
 
-  /// Unsafe side only (the engine::Verifier::verifyAll path).
+  /// Unsafe side only (the engine::Verifier::verifyAll path). \p AnalysisOut,
+  /// if given, receives the aggregated pre-verification analysis result.
   std::vector<engine::VerifyReport>
   verifyAll(engine::VerifEnv &Env, const std::vector<std::string> &Names,
-            incr::Session *Incr = nullptr);
+            incr::Session *Incr = nullptr,
+            analysis::AnalysisResult *AnalysisOut = nullptr);
 
   const SchedulerConfig &config() const { return Config; }
 
@@ -106,6 +113,17 @@ private:
   /// Publishes the end-of-run cache snapshot to the metrics registry so the
   /// telemetry JSON can report hit rates (no-op when caching is disabled).
   void recordCacheReport() const;
+
+  /// The pre-verification lint phase: one lint job per entity on the pool
+  /// (cached verdicts replayed through \p Incr), then the program-level
+  /// lints, finalized into the returned result. \p Verdicts receives the
+  /// per-entity verdicts in input order (the proof phase consults them to
+  /// skip blocked entities and attach diagnostics).
+  analysis::AnalysisResult
+  lintPhase(engine::VerifEnv &Env, const std::vector<std::string> &Names,
+            incr::Session *Incr,
+            std::vector<std::pair<std::string, analysis::EntityVerdict>>
+                &Verdicts);
 
   SchedulerConfig Config;
   std::unique_ptr<QueryCache> Cache;

@@ -69,6 +69,16 @@ QueryCacheReport Registry::queryCacheReport() const {
   return CacheReport;
 }
 
+void Registry::setAnalysisReport(AnalysisReport R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  AnalysisRep = std::move(R);
+}
+
+AnalysisReport Registry::analysisReport() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return AnalysisRep;
+}
+
 std::map<std::string, uint64_t> Registry::counters() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Counters;
@@ -87,6 +97,7 @@ void Registry::reset() {
   Latency.fill(0);
   Solver = SolverStats();
   CacheReport = QueryCacheReport();
+  AnalysisRep = AnalysisReport();
 }
 
 namespace {

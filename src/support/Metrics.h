@@ -136,6 +136,24 @@ struct QueryCacheReport {
   std::vector<QueryCacheShardStat> Shards;
 };
 
+/// Summary of the pre-verification static analysis pass of the most recent
+/// run. The analysis layer (src/analysis/) records it here so the telemetry
+/// JSON (support/Trace.cpp) can emit an \c analysis section without the
+/// support layer depending on analysis — the same inversion as
+/// \c QueryCacheReport.
+struct AnalysisReport {
+  /// False until an analysis pass has completed.
+  bool Valid = false;
+  bool Enabled = false;
+  uint64_t Entities = 0; ///< Entities linted (analyzed + cache replays).
+  uint64_t Cached = 0;   ///< Verdicts replayed from the proof store.
+  uint64_t Blocked = 0;  ///< Entities rejected before symbolic execution.
+  uint64_t Errors = 0;
+  uint64_t Warnings = 0;
+  uint64_t Suppressed = 0;
+  double Seconds = 0.0;
+};
+
 class Registry {
 public:
   /// The process-wide registry.
@@ -168,6 +186,13 @@ public:
   /// The last recorded cache snapshot (Valid == false if none).
   QueryCacheReport queryCacheReport() const;
 
+  /// Records the summary of a pre-verification analysis pass (overwrites
+  /// the previous run's; cleared by reset()).
+  void setAnalysisReport(AnalysisReport R);
+
+  /// The last recorded analysis summary (Valid == false if none).
+  AnalysisReport analysisReport() const;
+
   /// Snapshot of the named counters.
   std::map<std::string, uint64_t> counters() const;
 
@@ -186,6 +211,7 @@ private:
   uint64_t EntailSeenDropped = 0;
   std::array<uint64_t, LatencyBuckets> Latency = {};
   QueryCacheReport CacheReport;
+  AnalysisReport AnalysisRep;
 };
 
 /// Shorthand for Registry::get().Solver — the live process-wide stats.

@@ -387,6 +387,25 @@ gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
     Out += "]},\n";
   }
 
+  // Summary of the pre-verification static analysis pass (recorded by
+  // src/analysis/ at the end of the most recent run); omitted until one has
+  // completed. Full diagnostics live in the driver reports, not here.
+  metrics::AnalysisReport AR = R.analysisReport();
+  if (AR.Valid) {
+    char Secs[32];
+    std::snprintf(Secs, sizeof(Secs), "%.6f", AR.Seconds);
+    Out += "  \"analysis\": {";
+    Out += std::string("\"enabled\": ") + (AR.Enabled ? "true" : "false");
+    Out += ", \"entities\": " + std::to_string(AR.Entities);
+    Out += ", \"cached\": " + std::to_string(AR.Cached);
+    Out += ", \"blocked\": " + std::to_string(AR.Blocked);
+    Out += ", \"errors\": " + std::to_string(AR.Errors);
+    Out += ", \"warnings\": " + std::to_string(AR.Warnings);
+    Out += ", \"suppressed\": " + std::to_string(AR.Suppressed);
+    Out += std::string(", \"seconds\": ") + Secs;
+    Out += "},\n";
+  }
+
   Out += "  \"solver_latency_log2_ns\": [";
   auto Histo = R.latencyHistogram();
   for (std::size_t I = 0; I != Histo.size(); ++I) {

@@ -30,7 +30,8 @@ protected:
   }
 
   VerifyReport verify(const std::string &Name) {
-    VerifEnv Env{Prog, Preds, Specs, Ownables, Lemmas, Solv, Auto};
+    VerifEnv Env{Prog, Preds, Specs, Ownables, Lemmas, Solv, Auto,
+                 analysis::AnalysisConfig{}};
     Verifier V(Env);
     return V.verifyFunction(Name);
   }
@@ -423,7 +424,8 @@ TEST_F(ExecutorTest, VerifyAllCollectsReports) {
   B.ret();
   addFn(B.finish());
   addSpec("va1", emp(), emp());
-  VerifEnv Env{Prog, Preds, Specs, Ownables, Lemmas, Solv, Auto};
+  VerifEnv Env{Prog, Preds, Specs, Ownables, Lemmas, Solv, Auto,
+               analysis::AnalysisConfig{}};
   Verifier V(Env);
   std::vector<VerifyReport> Rs = V.verifyAll({"va1", "missing"});
   ASSERT_EQ(Rs.size(), 2u);

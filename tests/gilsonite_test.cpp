@@ -247,7 +247,8 @@ TEST(ParsedSpecTest, ParsesAndVerifiesSwap) {
   Solver Solv;
   Specs.add(std::move(S.value()));
   engine::VerifEnv Env{Prog,   Preds, Specs, Ownables,
-                       Lemmas, Solv,  engine::Automation{}};
+                       Lemmas, Solv,  engine::Automation{},
+                       analysis::AnalysisConfig{}};
   engine::Verifier V(Env);
   engine::VerifyReport R = V.verifyFunction("swap");
   EXPECT_TRUE(R.Ok) << (R.Errors.empty() ? "" : R.Errors.front());
