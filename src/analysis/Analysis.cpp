@@ -3,6 +3,7 @@
 #include "analysis/Analysis.h"
 
 #include "gilsonite/Parser.h"
+#include "solver/Flight.h"
 #include "support/Deps.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -17,6 +18,9 @@ using namespace gilr::analysis;
 EntityVerdict gilr::analysis::lintEntity(const AnalysisInput &In,
                                          const std::string &Name) {
   GILR_TRACE_SCOPE_D("analysis", "lint-entity", Name);
+  // Flight-recorder provenance: the spec lints below may issue solver
+  // queries (vacuity checks); attribute them to this entity.
+  flight::ObligationScope FlightScope(Name, 'L');
   EntityVerdict V;
   if (!In.Cfg.Enabled)
     return V;

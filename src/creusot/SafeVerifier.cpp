@@ -2,6 +2,7 @@
 
 #include "creusot/SafeVerifier.h"
 
+#include "solver/Flight.h"
 #include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 #include "sym/Printer.h"
@@ -17,6 +18,9 @@ SafeReport SafeVerifier::verify(const SafeFn &F) {
   SafeReport Report;
   Report.Func = F.Name;
   GILR_TRACE_SCOPE_D("creusot", "verify", F.Name);
+  // Flight-recorder provenance: queries below belong to this obligation on
+  // the safe/Creusot side.
+  flight::ObligationScope FlightScope(F.Name, 'S');
   // Thread-local snapshot: exact per-job attribution under the scheduler.
   SolverStats Before = metrics::threadSolverStats();
   auto Start = std::chrono::steady_clock::now();

@@ -2,6 +2,7 @@
 
 #include "engine/Verifier.h"
 
+#include "solver/Flight.h"
 #include "support/Deps.h"
 
 #include <chrono>
@@ -76,6 +77,9 @@ VerifyReport Verifier::verifyFunction(const std::string &FuncName) {
   Report.GhostAnnotations = countGhostAnnotations(*F);
 
   GILR_TRACE_SCOPE_D("verify", "function", FuncName);
+  // Flight-recorder provenance: queries below belong to this obligation on
+  // the unsafe/Gillian side.
+  flight::ObligationScope FlightScope(FuncName, 'U');
   // Thread-local snapshot: attributes exactly this job's solver work, even
   // while other scheduler workers run queries concurrently.
   SolverStats Before = metrics::threadSolverStats();

@@ -2,8 +2,10 @@
 
 #include "hybrid/Driver.h"
 
+#include "support/Metrics.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace gilr;
@@ -16,6 +18,20 @@ std::string fmtSeconds(double S) {
   std::snprintf(Buf, sizeof(Buf), "%.3fs", S);
   return Buf;
 }
+
+std::string fmtMs(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2fms", Ns / 1e6);
+  return Buf;
+}
+
+const char *sampleVerdictName(uint8_t V) {
+  return V == 0 ? "sat" : V == 1 ? "unsat" : "unknown";
+}
+
+/// How many slowest queries summaryText() prints (the full capped list is
+/// in the telemetry JSON's solver_queries section).
+constexpr std::size_t SummarySlowestN = 5;
 
 std::string solverStatsJson(const SolverStats &S) {
   return "{\"sat_queries\": " + std::to_string(S.SatQueries) +
@@ -121,6 +137,60 @@ std::string HybridReport::summaryText() const {
            std::to_string(R.Obligations.size()) + " obligations, " +
            std::to_string(R.Solver.EntailQueries) + " entailments)\n";
   }
+
+  // Proof flight recorder: per-query aggregates and the slowest queries
+  // with provenance. Only present when the timing decorator ran
+  // (GILR_TIMING / GILR_JOURNAL, see solver/Flight.h).
+  metrics::SolverQueriesReport FQ =
+      metrics::Registry::get().solverQueriesReport();
+  if (FQ.Valid && FQ.Queries) {
+    Out += "  [solver-queries] " + std::to_string(FQ.Queries) +
+           " queries (" + std::to_string(FQ.CacheHits) + " cache hits, " +
+           std::to_string(FQ.Unknowns) + " unknown), total " +
+           fmtMs(FQ.TotalNs) + ", max " + fmtMs(FQ.MaxNs);
+    if (FQ.JournalRecords)
+      Out += ", " + std::to_string(FQ.JournalRecords) + " journaled";
+    if (FQ.JournalDropped)
+      Out += " (" + std::to_string(FQ.JournalDropped) + " DROPPED)";
+    Out += "\n";
+    std::size_t N = std::min(FQ.Slowest.size(), SummarySlowestN);
+    for (std::size_t I = 0; I != N; ++I) {
+      const metrics::SolverQuerySample &S = FQ.Slowest[I];
+      Out += "    slowest #" + std::to_string(I + 1) + ": " +
+             (S.Obligation.empty() ? "<no obligation>" : S.Obligation) +
+             " [" + S.Side + std::string("] query ") +
+             std::to_string(S.QueryIdx) + " -> " +
+             sampleVerdictName(S.Verdict) + " in " + fmtMs(S.DurationNs) +
+             " (" + std::to_string(S.PcSize) + " assertions)\n";
+    }
+  }
+
+  // Scheduler entailment cache: totals plus the per-shard distribution
+  // (uneven shards indicate fingerprint skew).
+  metrics::QueryCacheReport QC = metrics::Registry::get().queryCacheReport();
+  if (QC.Valid) {
+    uint64_t Total = QC.Hits + QC.Misses;
+    char Rate[16];
+    std::snprintf(Rate, sizeof(Rate), "%.1f%%",
+                  Total ? 100.0 * QC.Hits / Total : 0.0);
+    Out += "  [query-cache] " + std::to_string(QC.Hits) + " hits / " +
+           std::to_string(QC.Misses) + " misses (" + Rate + "), " +
+           std::to_string(QC.Insertions) + " insertions, " +
+           std::to_string(QC.Evictions) + " evictions\n";
+    if (!QC.Shards.empty()) {
+      Out += "    shards (hits/misses):";
+      for (const metrics::QueryCacheShardStat &S : QC.Shards)
+        Out += " " + std::to_string(S.Hits) + "/" + std::to_string(S.Misses);
+      Out += "\n";
+    }
+  }
+
+  // The repeat-entailment telemetry saturates at a fixed fingerprint-set
+  // cap; when that happened, say so — the repeat rate is a lower bound.
+  if (uint64_t Overflow = metrics::Registry::get().entailSeenOverflow())
+    Out += "  [telemetry] entail-seen set saturated: " +
+           std::to_string(Overflow) +
+           " fingerprints dropped; repeat rate is a lower bound\n";
   return Out;
 }
 

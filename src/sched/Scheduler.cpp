@@ -11,6 +11,7 @@
 
 #include "incr/Session.h"
 #include "sched/WorkerPool.h"
+#include "solver/Flight.h"
 #include "support/Budget.h"
 #include "support/Trace.h"
 
@@ -135,6 +136,7 @@ analysis::AnalysisResult Scheduler::lintPhase(
     GILR_TRACE_SCOPE_D("sched", "lint-job", J.Name);
     analysis::EntityVerdict V;
     if (Incr && Incr->lookupLint(J.Name, V)) {
+      flight::noteCachedObligation(J.Name, 'L', !V.Blocked);
       Verdicts[J.Slot] = {J.Name, std::move(V)};
       return;
     }
@@ -185,6 +187,7 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
       }
       engine::VerifyReport R;
       if (Incr && Incr->lookupUnsafe(J.Name, R)) {
+        flight::noteCachedObligation(J.Name, 'U', R.Ok);
         if (V)
           R.Diags = V->Diags;
         Report.UnsafeSide[J.Slot] = std::move(R);
@@ -208,6 +211,7 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
     } else {
       creusot::SafeReport R;
       if (Incr && Incr->lookupSafe(*J.Client, R)) {
+        flight::noteCachedObligation(J.Name, 'S', R.Ok);
         Report.SafeSide[J.Slot] = std::move(R);
         return;
       }
@@ -254,6 +258,7 @@ Scheduler::verifyAll(engine::VerifEnv &Env,
     }
     engine::VerifyReport R;
     if (Incr && Incr->lookupUnsafe(J.Name, R)) {
+      flight::noteCachedObligation(J.Name, 'U', R.Ok);
       if (V)
         R.Diags = V->Diags;
       Reports[J.Slot] = std::move(R);

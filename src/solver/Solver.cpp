@@ -3,6 +3,7 @@
 #include "solver/Solver.h"
 
 #include "solver/Congruence.h"
+#include "solver/Flight.h"
 #include "solver/LinArith.h"
 #include "solver/Simplify.h"
 #include "support/Budget.h"
@@ -116,6 +117,95 @@ QueryMemo *gilr::queryMemo() {
   return ActiveMemo.load(std::memory_order_relaxed);
 }
 
+void ChainQuery::stableFingerprint(uint64_t &Fp, uint64_t &Fp2) const {
+  if (!StableFpReady) {
+    stableQueryFingerprint(Work, MaxBranches, StableFp, StableFp2);
+    StableFpReady = true;
+  }
+  Fp = StableFp;
+  Fp2 = StableFp2;
+}
+
+namespace gilr {
+
+/// The innermost chain layer: the DPLL(T) search itself, with the latency
+/// histogram sample the pre-chain code recorded (full searches only, while
+/// tracing is on).
+class CoreSolverLayer final : public SolverLayer {
+public:
+  explicit CoreSolverLayer(Solver &S) : S(S) {}
+
+  ChainOutcome solve(const ChainQuery &Q) override {
+    uint64_t T0 = trace::enabled() ? trace::nowNs() : 0;
+    SolverStats TBefore = metrics::threadSolverStats();
+    unsigned Budget = Q.MaxBranches;
+    std::vector<Expr> Work = Q.Work;
+    ChainOutcome O;
+    O.R = S.solveRec(std::move(Work), {}, 0, Budget);
+    if (O.R == SatResult::Unknown) {
+      bump(&SolverStats::UnknownResults);
+      trace::instant("solver", "unknown");
+    }
+    SolverStats Delta = metrics::threadSolverStats() - TBefore;
+    O.Branches = Delta.Branches;
+    O.TheoryChecks = Delta.TheoryChecks;
+    if (T0)
+      metrics::Registry::get().recordSolverLatencyNs(trace::nowNs() - T0);
+    return O;
+  }
+
+private:
+  Solver &S;
+};
+
+} // namespace gilr
+
+namespace {
+
+/// The memo layer: consults the process-wide QueryMemo (the scheduler's
+/// QueryCache) before delegating to the core search. Only Sat/Unsat are
+/// ever stored, so a hit returns exactly what the search would compute; the
+/// memoised work delta is replayed into the thread-local job stats to keep
+/// per-job reports independent of cache state.
+class MemoSolverLayer final : public SolverLayer {
+public:
+  MemoSolverLayer(QueryMemo *Memo, SolverLayer &Next)
+      : Memo(Memo), Next(Next) {}
+
+  ChainOutcome solve(const ChainQuery &Q) override {
+    if (!Memo)
+      return Next.solve(Q);
+    uint64_t Fp = 0, Fp2 = 0;
+    if (Memo->wantsStableKeys())
+      Q.stableFingerprint(Fp, Fp2);
+    else
+      satQueryFingerprint(Q.Work, Q.MaxBranches, Fp, Fp2);
+    QueryVerdict V;
+    if (Memo->lookup(Fp, Fp2, V)) {
+      SolverStats &TS = metrics::threadSolverStats();
+      TS.Branches += V.Branches;
+      TS.TheoryChecks += V.TheoryChecks;
+      trace::instant("solver", "cache-hit");
+      ChainOutcome O;
+      O.R = V.R;
+      O.CacheHit = true;
+      O.Branches = V.Branches;
+      O.TheoryChecks = V.TheoryChecks;
+      return O;
+    }
+    ChainOutcome O = Next.solve(Q);
+    if (O.R != SatResult::Unknown)
+      Memo->insert(Fp, Fp2, QueryVerdict{O.R, O.Branches, O.TheoryChecks});
+    return O;
+  }
+
+private:
+  QueryMemo *Memo;
+  SolverLayer &Next;
+};
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Query entry points
 //===----------------------------------------------------------------------===//
@@ -128,42 +218,19 @@ SatResult Solver::checkSat(const std::vector<Expr> &Assertions) {
   for (const Expr &A : Assertions)
     Work.push_back(simplify(A));
 
-  // Consult the memo before searching. Only Sat/Unsat are ever stored, so a
-  // hit returns exactly what the search below would compute; the memoised
-  // work delta is replayed into the thread-local job stats to keep per-job
-  // reports independent of cache state.
-  QueryMemo *Memo = queryMemo();
-  uint64_t Fp = 0, Fp2 = 0;
-  if (Memo) {
-    if (Memo->wantsStableKeys())
-      stableQueryFingerprint(Work, MaxBranches, Fp, Fp2);
-    else
-      satQueryFingerprint(Work, MaxBranches, Fp, Fp2);
-    QueryVerdict V;
-    if (Memo->lookup(Fp, Fp2, V)) {
-      SolverStats &TS = metrics::threadSolverStats();
-      TS.Branches += V.Branches;
-      TS.TheoryChecks += V.TheoryChecks;
-      trace::instant("solver", "cache-hit");
-      return V.R;
-    }
-  }
-
-  uint64_t T0 = trace::enabled() ? trace::nowNs() : 0;
-  SolverStats TBefore = metrics::threadSolverStats();
-  unsigned Budget = MaxBranches;
-  SatResult R = solveRec(std::move(Work), {}, 0, Budget);
-  if (R == SatResult::Unknown) {
-    bump(&SolverStats::UnknownResults);
-    trace::instant("solver", "unknown");
-  } else if (Memo) {
-    SolverStats Delta = metrics::threadSolverStats() - TBefore;
-    Memo->insert(Fp, Fp2, QueryVerdict{R, Delta.Branches,
-                                       Delta.TheoryChecks});
-  }
-  if (T0)
-    metrics::Registry::get().recordSolverLatencyNs(trace::nowNs() - T0);
-  return R;
+  ChainQuery Q{Work, MaxBranches};
+  CoreSolverLayer Core(*this);
+  MemoSolverLayer Memo(queryMemo(), Core);
+  // The flight recorder stacks its timing/journal decorators above the memo
+  // when enabled; otherwise Top is the memo layer and the only extra cost
+  // of the chain is one virtual dispatch.
+  flight::TimingSolver Timing(Memo);
+  flight::QueryJournalSolver Journal(Timing);
+  SolverLayer *Top = &Memo;
+  if (flight::timingEnabled())
+    Top = flight::journalEnabled() ? static_cast<SolverLayer *>(&Journal)
+                                   : &Timing;
+  return Top->solve(Q).R;
 }
 
 bool Solver::entails(const std::vector<Expr> &Ctx, const Expr &Goal) {

@@ -20,12 +20,20 @@
 /// results (budget or depth exhaustion) are recomputed every time — so a
 /// cached answer is always the answer the full search would produce.
 ///
+/// Observability: every query runs through the decorator chain of
+/// SolverChain.h — when the proof flight recorder (solver/Flight.h) is
+/// enabled, a TimingSolver and a QueryJournalSolver layer stack above the
+/// memo, so per-query wall time, provenance and a replayable journal record
+/// are captured for cache-served and searched queries alike. Both layers
+/// are absent (a relaxed flag load) in the default configuration.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GILR_SOLVER_SOLVER_H
 #define GILR_SOLVER_SOLVER_H
 
 #include "solver/SeqTheory.h"
+#include "solver/SolverChain.h"
 #include "support/Metrics.h"
 #include "sym/Expr.h"
 
@@ -33,8 +41,6 @@
 #include <vector>
 
 namespace gilr {
-
-enum class SatResult { Sat, Unsat, Unknown };
 
 /// A memoised query verdict plus the DPLL work the original computation
 /// performed. On a hit the work counts are replayed into the thread-local
@@ -144,6 +150,9 @@ public:
   unsigned MaxBranches = 50000;
 
 private:
+  /// The innermost chain layer (Solver.cpp) runs the private DPLL search.
+  friend class CoreSolverLayer;
+
   SatResult solveRec(std::vector<Expr> Work, std::vector<Literal> Lits,
                      unsigned Depth, unsigned &Budget);
   SatResult theoryCheck(const std::vector<Literal> &Lits, unsigned &Budget);

@@ -1,0 +1,88 @@
+//===- support/Files.cpp ----------------------------------------------------------===//
+
+#include "support/Files.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+using namespace gilr;
+
+namespace {
+
+void diagnose(const std::string &Verb, const std::string &What,
+              const std::string &Path, const std::string &Reason) {
+  std::fprintf(stderr, "gilr: cannot %s %s %s %s: %s\n", Verb.c_str(),
+               What.c_str(), Verb == "write" ? "to" : "from", Path.c_str(),
+               Reason.c_str());
+}
+
+} // namespace
+
+bool gilr::files::writeFile(const std::string &Path, const std::string &Data,
+                            const std::string &What) {
+  std::filesystem::path P(Path);
+  std::filesystem::path Dir = P.parent_path();
+  if (!Dir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Dir, EC);
+    if (EC) {
+      diagnose("write", What, Path,
+               "creating directory " + Dir.string() + ": " + EC.message());
+      return false;
+    }
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    diagnose("write", What, Path, std::strerror(errno));
+    return false;
+  }
+  std::size_t Written = std::fwrite(Data.data(), 1, Data.size(), F);
+  bool Closed = std::fclose(F) == 0;
+  if (Written != Data.size() || !Closed) {
+    diagnose("write", What, Path, "short write");
+    return false;
+  }
+  return true;
+}
+
+bool gilr::files::readFile(const std::string &Path, std::string &Out,
+                           const std::string &What) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    diagnose("read", What, Path, std::strerror(errno));
+    return false;
+  }
+  Out.clear();
+  char Buf[1 << 16];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  if (!Ok) {
+    diagnose("read", What, Path, "read error");
+    return false;
+  }
+  return true;
+}
+
+std::string gilr::files::expandPidPlaceholder(const std::string &Path) {
+  std::size_t Pos = Path.find("%p");
+  if (Pos == std::string::npos)
+    return Path;
+#ifdef _WIN32
+  long Pid = _getpid();
+#else
+  long Pid = static_cast<long>(getpid());
+#endif
+  return Path.substr(0, Pos) + std::to_string(Pid) + Path.substr(Pos + 2);
+}

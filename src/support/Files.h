@@ -1,0 +1,41 @@
+//===- support/Files.h - Output-file helpers -------------------------------===//
+///
+/// \file
+/// Shared file-output plumbing for every artifact the verifier writes from
+/// environment-derived paths (GILR_TRACE_FILE, GILR_STATS_FILE,
+/// GILR_JOURNAL, the bench reports): parent directories are created on
+/// demand and failures produce a diagnostic naming the artifact, the path
+/// and the OS error instead of silently dropping the output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SUPPORT_FILES_H
+#define GILR_SUPPORT_FILES_H
+
+#include <string>
+
+namespace gilr {
+namespace files {
+
+/// Writes \p Data to \p Path, creating missing parent directories first.
+/// On any failure a one-line diagnostic ("gilr: cannot write <what> to
+/// <path>: <reason>") is printed to stderr and false is returned; the
+/// caller decides whether that is fatal. \p What names the artifact in the
+/// diagnostic ("query journal", "stats JSON", ...).
+bool writeFile(const std::string &Path, const std::string &Data,
+               const std::string &What);
+
+/// Reads the entire file at \p Path into \p Out. Returns false (with a
+/// diagnostic naming \p What) when the file cannot be opened or read.
+bool readFile(const std::string &Path, std::string &Out,
+              const std::string &What);
+
+/// Expands the process-id placeholder "%p" in \p Path (used by
+/// GILR_JOURNAL so concurrently running test binaries do not clobber one
+/// journal file). Paths without the placeholder are returned unchanged.
+std::string expandPidPlaceholder(const std::string &Path);
+
+} // namespace files
+} // namespace gilr
+
+#endif // GILR_SUPPORT_FILES_H

@@ -1,0 +1,260 @@
+//===- support/Json.cpp -----------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace gilr;
+using namespace gilr::json;
+
+namespace {
+
+struct Parser {
+  const std::string &Text;
+  std::size_t Pos = 0;
+  std::string Error;
+
+  explicit Parser(const std::string &T) : Text(T) {}
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool literal(const char *Lit) {
+    std::size_t N = std::string(Lit).size();
+    if (Text.compare(Pos, N, Lit) == 0) {
+      Pos += N;
+      return true;
+    }
+    return fail(std::string("expected '") + Lit + "'");
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = static_cast<unsigned>(
+            std::strtoul(Text.substr(Pos, 4).c_str(), nullptr, 16));
+        Pos += 4;
+        // Raw UTF-8 of the BMP code point (no surrogate pairing; our own
+        // emitters only escape control characters).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  ValuePtr parseValue() {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    char C = Text[Pos];
+    auto V = std::make_shared<Value>();
+    if (C == '{') {
+      ++Pos;
+      V->K = Value::Kind::Object;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return V;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return nullptr;
+        if (!consume(':'))
+          return nullptr;
+        ValuePtr Member = parseValue();
+        if (!Member)
+          return nullptr;
+        V->Obj[Key] = std::move(Member);
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (!consume('}'))
+          return nullptr;
+        return V;
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      V->K = Value::Kind::Array;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return V;
+      }
+      while (true) {
+        ValuePtr Elem = parseValue();
+        if (!Elem)
+          return nullptr;
+        V->Arr.push_back(std::move(Elem));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (!consume(']'))
+          return nullptr;
+        return V;
+      }
+    }
+    if (C == '"') {
+      V->K = Value::Kind::String;
+      if (!parseString(V->Str))
+        return nullptr;
+      return V;
+    }
+    if (C == 't') {
+      if (!literal("true"))
+        return nullptr;
+      V->K = Value::Kind::Bool;
+      V->B = true;
+      return V;
+    }
+    if (C == 'f') {
+      if (!literal("false"))
+        return nullptr;
+      V->K = Value::Kind::Bool;
+      V->B = false;
+      return V;
+    }
+    if (C == 'n') {
+      if (!literal("null"))
+        return nullptr;
+      return V;
+    }
+    // Number.
+    char *End = nullptr;
+    double Num = std::strtod(Text.c_str() + Pos, &End);
+    if (End == Text.c_str() + Pos) {
+      fail("expected value");
+      return nullptr;
+    }
+    V->K = Value::Kind::Number;
+    V->Num = Num;
+    Pos = static_cast<std::size_t>(End - Text.c_str());
+    return V;
+  }
+};
+
+} // namespace
+
+ValuePtr Value::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? nullptr : It->second;
+}
+
+ValuePtr Value::at(const std::string &DottedPath) const {
+  // The root is not a ValuePtr, so resolve the first step directly.
+  const Value *Cur = this;
+  ValuePtr Hold;
+  std::size_t Pos = 0;
+  while (Pos <= DottedPath.size()) {
+    std::size_t Dot = DottedPath.find('.', Pos);
+    if (Dot == std::string::npos)
+      Dot = DottedPath.size();
+    std::string Step = DottedPath.substr(Pos, Dot - Pos);
+    ValuePtr Next;
+    if (Cur->K == Kind::Object) {
+      Next = Cur->get(Step);
+    } else if (Cur->K == Kind::Array) {
+      char *End = nullptr;
+      unsigned long Idx = std::strtoul(Step.c_str(), &End, 10);
+      if (End && *End == '\0' && Idx < Cur->Arr.size())
+        Next = Cur->Arr[Idx];
+    }
+    if (!Next)
+      return nullptr;
+    Hold = Next;
+    Cur = Hold.get();
+    if (Dot == DottedPath.size())
+      return Hold;
+    Pos = Dot + 1;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Value::keys() const {
+  std::vector<std::string> Out;
+  Out.reserve(Obj.size());
+  for (const auto &[Key, V] : Obj)
+    Out.push_back(Key);
+  return Out;
+}
+
+ValuePtr gilr::json::parse(const std::string &Text, std::string *ErrorOut) {
+  Parser P(Text);
+  ValuePtr V = P.parseValue();
+  if (V) {
+    P.skipWs();
+    if (P.Pos != Text.size()) {
+      P.fail("trailing garbage");
+      V = nullptr;
+    }
+  }
+  if (!V && ErrorOut)
+    *ErrorOut = P.Error;
+  return V;
+}

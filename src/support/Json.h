@@ -1,0 +1,69 @@
+//===- support/Json.h - Minimal JSON reader --------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser for the verifier's own machine
+/// artifacts (the telemetry stats JSON, the BENCH_*.json reports). It
+/// exists so the bench-trend aggregator and the schema golden tests can
+/// consume those files without an external dependency; it is not a
+/// general-purpose JSON library (no streaming, whole documents only,
+/// numbers are doubles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SUPPORT_JSON_H
+#define GILR_SUPPORT_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace json {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+/// One parsed JSON value. Objects keep their members in a sorted map —
+/// member order is not part of the data model anywhere we produce JSON.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<ValuePtr> Arr;
+  std::map<std::string, ValuePtr> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  ValuePtr get(const std::string &Key) const;
+
+  /// Path lookup through nested objects/arrays: "suites.0.seconds".
+  /// Array steps are decimal indices. nullptr when any step is missing.
+  ValuePtr at(const std::string &DottedPath) const;
+
+  /// The member names of an object, sorted.
+  std::vector<std::string> keys() const;
+
+  /// Numeric value with a default for absent/mistyped members.
+  double numberOr(double Default) const {
+    return K == Kind::Number ? Num : Default;
+  }
+};
+
+/// Parses \p Text as one JSON document. Returns nullptr on malformed input
+/// and, if \p ErrorOut is given, stores a one-line description with the
+/// failing offset.
+ValuePtr parse(const std::string &Text, std::string *ErrorOut = nullptr);
+
+} // namespace json
+} // namespace gilr
+
+#endif // GILR_SUPPORT_JSON_H

@@ -69,6 +69,47 @@ QueryCacheReport Registry::queryCacheReport() const {
   return CacheReport;
 }
 
+void Registry::recordSolverQuery(const SolverQuerySample &Q) {
+  std::size_t Bucket = 0;
+  while (Bucket + 1 < FlightRep.Histogram.size() &&
+         (Q.DurationNs >> (Bucket + 1)) != 0)
+    ++Bucket;
+  std::lock_guard<std::mutex> Lock(Mu);
+  FlightRep.Valid = true;
+  ++FlightRep.Queries;
+  FlightRep.CacheHits += Q.CacheHit;
+  FlightRep.Unknowns += Q.Verdict == 2;
+  FlightRep.TotalNs += Q.DurationNs;
+  if (Q.DurationNs > FlightRep.MaxNs)
+    FlightRep.MaxNs = Q.DurationNs;
+  ++FlightRep.Histogram[Bucket];
+  // Slowest-N, kept sorted by descending duration. Cache hits are counted
+  // above but never compete for a slowest slot — a hit's duration is the
+  // memo lookup, not the query's real cost.
+  std::vector<SolverQuerySample> &Slow = FlightRep.Slowest;
+  if (!Q.CacheHit &&
+      (Slow.size() < SlowestQueryCap || Q.DurationNs > Slow.back().DurationNs)) {
+    auto It = Slow.begin();
+    while (It != Slow.end() && It->DurationNs >= Q.DurationNs)
+      ++It;
+    Slow.insert(It, Q);
+    if (Slow.size() > SlowestQueryCap)
+      Slow.pop_back();
+  }
+}
+
+void Registry::noteJournalActivity(uint64_t Records, uint64_t Dropped) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  FlightRep.Valid = true;
+  FlightRep.JournalRecords += Records;
+  FlightRep.JournalDropped += Dropped;
+}
+
+SolverQueriesReport Registry::solverQueriesReport() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return FlightRep;
+}
+
 void Registry::setAnalysisReport(AnalysisReport R) {
   std::lock_guard<std::mutex> Lock(Mu);
   AnalysisRep = std::move(R);
@@ -98,6 +139,7 @@ void Registry::reset() {
   Solver = SolverStats();
   CacheReport = QueryCacheReport();
   AnalysisRep = AnalysisReport();
+  FlightRep = SolverQueriesReport();
 }
 
 namespace {

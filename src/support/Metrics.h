@@ -136,6 +136,49 @@ struct QueryCacheReport {
   std::vector<QueryCacheShardStat> Shards;
 };
 
+/// One solver query as observed by the flight recorder's TimingSolver
+/// decorator (solver/Flight.h): where it came from, what it cost, and what
+/// it answered. \c Side is 'U' (unsafe/Gillian side), 'S' (safe/Creusot
+/// side), 'L' (pre-verification lint) or '?' (no obligation scope open).
+/// \c Verdict encodes SatResult: 0 Sat, 1 Unsat, 2 Unknown.
+struct SolverQuerySample {
+  std::string Obligation;
+  char Side = '?';
+  uint32_t QueryIdx = 0; ///< Per-obligation query sequence number.
+  uint32_t PcSize = 0;   ///< Assertion count of the query.
+  uint64_t Fp = 0;       ///< Process-stable query fingerprint.
+  uint8_t Verdict = 2;
+  bool CacheHit = false;
+  uint64_t DurationNs = 0;
+};
+
+/// Aggregate view of all flight-recorded solver queries of the process,
+/// surfaced as the \c solver_queries section of the telemetry JSON and the
+/// "slowest queries" block of HybridReport::summaryText(). Populated only
+/// while the flight recorder's timing decorator is enabled
+/// (solver/Flight.h); Valid stays false otherwise.
+struct SolverQueriesReport {
+  bool Valid = false;
+  uint64_t Queries = 0;
+  uint64_t CacheHits = 0;
+  uint64_t Unknowns = 0;
+  uint64_t TotalNs = 0;
+  uint64_t MaxNs = 0;
+  /// Log2 latency buckets over *all* queries (cache hits included — unlike
+  /// the trace-gated solver_latency_log2_ns histogram, which only times
+  /// full searches).
+  std::array<uint64_t, 32> Histogram = {};
+  /// The slowest queries seen, sorted by descending duration.
+  std::vector<SolverQuerySample> Slowest;
+  /// Journal activity (recorded by the QueryJournalSolver decorator).
+  uint64_t JournalRecords = 0;
+  uint64_t JournalDropped = 0;
+};
+
+/// How many slowest-query samples the registry retains (and the JSON /
+/// summary report at most shows).
+constexpr std::size_t SlowestQueryCap = 16;
+
 /// Summary of the pre-verification static analysis pass of the most recent
 /// run. The analysis layer (src/analysis/) records it here so the telemetry
 /// JSON (support/Trace.cpp) can emit an \c analysis section without the
@@ -186,6 +229,19 @@ public:
   /// The last recorded cache snapshot (Valid == false if none).
   QueryCacheReport queryCacheReport() const;
 
+  /// Records one flight-recorded solver query into the solver_queries
+  /// aggregates (totals, latency histogram, slowest-N). Called by the
+  /// TimingSolver decorator only while the flight recorder is enabled, so
+  /// the per-query lock is never taken in the default configuration.
+  void recordSolverQuery(const SolverQuerySample &Q);
+
+  /// Adds to the journal activity counters of the solver_queries report.
+  void noteJournalActivity(uint64_t Records, uint64_t Dropped);
+
+  /// Snapshot of the flight-recorded query aggregates (Valid == false until
+  /// the first recorded query).
+  SolverQueriesReport solverQueriesReport() const;
+
   /// Records the summary of a pre-verification analysis pass (overwrites
   /// the previous run's; cleared by reset()).
   void setAnalysisReport(AnalysisReport R);
@@ -212,6 +268,9 @@ private:
   std::array<uint64_t, LatencyBuckets> Latency = {};
   QueryCacheReport CacheReport;
   AnalysisReport AnalysisRep;
+  /// Flight-recorder aggregates; Slowest kept sorted descending, capped at
+  /// SlowestQueryCap.
+  SolverQueriesReport FlightRep;
 };
 
 /// Shorthand for Registry::get().Solver — the live process-wide stats.

@@ -2,6 +2,7 @@
 
 #include "support/Trace.h"
 
+#include "support/Files.h"
 #include "support/Metrics.h"
 #include "support/StringUtils.h"
 
@@ -406,6 +407,45 @@ gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
     Out += "},\n";
   }
 
+  // Flight-recorded per-query aggregates (solver/Flight.h); omitted unless
+  // the timing decorator ran (GILR_TIMING / GILR_JOURNAL).
+  metrics::SolverQueriesReport FQ = R.solverQueriesReport();
+  if (FQ.Valid) {
+    Out += "  \"solver_queries\": {";
+    Out += "\"queries\": " + std::to_string(FQ.Queries);
+    Out += ", \"cache_hits\": " + std::to_string(FQ.CacheHits);
+    Out += ", \"unknowns\": " + std::to_string(FQ.Unknowns);
+    Out += ", \"total_ns\": " + std::to_string(FQ.TotalNs);
+    Out += ", \"max_ns\": " + std::to_string(FQ.MaxNs);
+    Out += ", \"journal_records\": " + std::to_string(FQ.JournalRecords);
+    Out += ", \"journal_dropped\": " + std::to_string(FQ.JournalDropped);
+    Out += ",\n    \"latency_log2_ns\": [";
+    for (std::size_t I = 0; I != FQ.Histogram.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(FQ.Histogram[I]);
+    }
+    Out += "],\n    \"slowest\": [";
+    for (std::size_t I = 0; I != FQ.Slowest.size(); ++I) {
+      const metrics::SolverQuerySample &Q = FQ.Slowest[I];
+      if (I)
+        Out += ",";
+      char Fp[32];
+      std::snprintf(Fp, sizeof(Fp), "%016llx",
+                    static_cast<unsigned long long>(Q.Fp));
+      Out += "\n      {\"obligation\": \"" + jsonEscape(Q.Obligation) +
+             "\", \"side\": \"" + Q.Side +
+             std::string("\", \"query_idx\": ") + std::to_string(Q.QueryIdx) +
+             ", \"pc_size\": " + std::to_string(Q.PcSize) +
+             ", \"verdict\": \"" +
+             (Q.Verdict == 0 ? "sat" : Q.Verdict == 1 ? "unsat" : "unknown") +
+             "\", \"cache_hit\": " + (Q.CacheHit ? "true" : "false") +
+             ", \"duration_ns\": " + std::to_string(Q.DurationNs) +
+             ", \"fp\": \"" + Fp + "\"}";
+    }
+    Out += FQ.Slowest.empty() ? "]},\n" : "\n    ]},\n";
+  }
+
   Out += "  \"solver_latency_log2_ns\": [";
   auto Histo = R.latencyHistogram();
   for (std::size_t I = 0; I != Histo.size(); ++I) {
@@ -452,7 +492,7 @@ gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
   return Out;
 }
 
-void gilr::trace::flush() {
+bool gilr::trace::flush() {
   SinkState &S = sink();
   Options O;
   uint64_t Dropped;
@@ -462,35 +502,23 @@ void gilr::trace::flush() {
     Dropped = S.DroppedEvents;
   }
   if (O.M == Mode::Off)
-    return;
+    return true;
   if (O.M == Mode::Text) {
     std::string Report = phaseReportText(phases());
     std::fprintf(stderr, "=== gilr trace: per-phase breakdown ===\n%s",
                  Report.c_str());
-    return;
+    return true;
   }
   if (Dropped)
     std::fprintf(stderr,
                  "gilr trace: event buffer full, %llu event(s) dropped\n",
                  static_cast<unsigned long long>(Dropped));
-  if (!O.TraceFile.empty()) {
-    if (std::FILE *F = std::fopen(O.TraceFile.c_str(), "w")) {
-      std::string J = renderTraceJson();
-      std::fwrite(J.data(), 1, J.size(), F);
-      std::fclose(F);
-    } else {
-      std::fprintf(stderr, "gilr trace: cannot open %s\n",
-                   O.TraceFile.c_str());
-    }
-  }
-  if (!O.StatsFile.empty()) {
-    if (std::FILE *F = std::fopen(O.StatsFile.c_str(), "w")) {
-      std::string J = renderStatsJson();
-      std::fwrite(J.data(), 1, J.size(), F);
-      std::fclose(F);
-    } else {
-      std::fprintf(stderr, "gilr trace: cannot open %s\n",
-                   O.StatsFile.c_str());
-    }
-  }
+  // files::writeFile creates missing parent directories and diagnoses
+  // failures (env-configured paths must never drop output silently).
+  bool Ok = true;
+  if (!O.TraceFile.empty())
+    Ok = files::writeFile(O.TraceFile, renderTraceJson(), "trace JSON") && Ok;
+  if (!O.StatsFile.empty())
+    Ok = files::writeFile(O.StatsFile, renderStatsJson(), "stats JSON") && Ok;
+  return Ok;
 }

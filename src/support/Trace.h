@@ -75,8 +75,10 @@ void configureFromEnv();
 void reset();
 
 /// Writes the configured outputs: in Json mode the Chrome trace file and
-/// the stats JSON; in Text mode a per-phase breakdown to stderr.
-void flush();
+/// the stats JSON; in Text mode a per-phase breakdown to stderr. Missing
+/// parent directories are created; returns false (after printing a
+/// diagnostic) if any output could not be written.
+bool flush();
 
 /// Monotonic nanoseconds since an arbitrary process-local origin.
 uint64_t nowNs();

@@ -1,0 +1,85 @@
+//===- tools/gilr_replay.cpp - Offline query journal replay ----------------===//
+//
+// gilr-replay: re-runs a proof flight recorder journal (GILR_JOURNAL=...)
+// against the in-tree solver and diffs the verdicts. See docs/TELEMETRY.md
+// ("Debugging a slow proof") for the workflow.
+//
+//   gilr-replay [--diff] [--obligation NAME] [--slowest N] [--limit N]
+//               <journal-file>
+//
+//   --diff            exit non-zero if any definite verdict diverges (also
+//                     the default; the flag exists for self-documenting CI
+//                     invocations).
+//   --obligation NAME replay only queries of the named obligation.
+//   --slowest N       replay only the N slowest recorded queries.
+//   --limit N         hard cap on replayed queries after filtering.
+//
+// Exit status: 0 on clean replay, 1 on verdict divergence or journal parse
+// error, 2 on usage / I/O error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Replay.h"
+#include "support/Files.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--diff] [--obligation NAME] [--slowest N] "
+               "[--limit N] <journal-file>\n",
+               Argv0);
+  return 2;
+}
+
+bool parseCount(const char *S, std::size_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (!End || *End != '\0')
+    return false;
+  Out = (std::size_t)V;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  gilr::replay::ReplayOptions Opts;
+  std::string JournalPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--diff") {
+      // Divergences always gate the exit status; accepted for explicitness.
+    } else if (Arg == "--obligation" && I + 1 < argc) {
+      Opts.ObligationFilter = argv[++I];
+    } else if (Arg == "--slowest" && I + 1 < argc) {
+      if (!parseCount(argv[++I], Opts.SlowestN))
+        return usage(argv[0]);
+    } else if (Arg == "--limit" && I + 1 < argc) {
+      if (!parseCount(argv[++I], Opts.Limit))
+        return usage(argv[0]);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (JournalPath.empty()) {
+      JournalPath = Arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (JournalPath.empty())
+    return usage(argv[0]);
+
+  std::string Text;
+  if (!gilr::files::readFile(JournalPath, Text, "query journal"))
+    return 2;
+
+  gilr::replay::ReplayResult R =
+      gilr::replay::replayJournalText(Text, Opts);
+  std::fputs(gilr::replay::summaryText(R).c_str(), stdout);
+  return R.ok() ? 0 : 1;
+}
