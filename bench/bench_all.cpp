@@ -2,7 +2,7 @@
 //
 // Merges the per-experiment bench reports (BENCH_telemetry.json,
 // BENCH_parallel.json, BENCH_incr.json, BENCH_analysis.json,
-// BENCH_intern.json) into one BENCH_all.json trend record, measures the
+// BENCH_intern.json, BENCH_frontend.json) into one BENCH_all.json trend record, measures the
 // proof flight recorder's overhead on a cold verify (writing the journal it
 // records to BENCH_journal.jrn for gilr-replay), and compares the result
 // against the committed trend record bench/BENCH_all.json.
@@ -187,6 +187,28 @@ void mergeAnalysis(const json::Value &V, TrendInput &T) {
   }
   if (json::ValuePtr N = V.get("analysis_ratio"))
     T.Timings["analysis.ratio"] = N->numberOr(0);
+}
+
+void mergeFrontend(const json::Value &V, TrendInput &T) {
+  json::ValuePtr Files = V.get("files");
+  if (Files && Files->isArray()) {
+    for (const json::ValuePtr &F : Files->Arr) {
+      json::ValuePtr NameV = F->get("name");
+      if (!NameV || !NameV->isString())
+        continue;
+      const std::string Base = "frontend." + NameV->Str;
+      if (json::ValuePtr N = F->get("functions"))
+        T.Metrics[Base + ".functions"] = N->numberOr(0);
+      if (json::ValuePtr N = F->get("predicates"))
+        T.Metrics[Base + ".predicates"] = N->numberOr(0);
+      if (json::ValuePtr N = F->get("parse_seconds"))
+        T.Timings[Base + ".parse_seconds"] = N->numberOr(0);
+    }
+  }
+  if (json::ValuePtr N = V.get("total_bytes"))
+    T.Metrics["frontend.total_bytes"] = N->numberOr(0);
+  if (json::ValuePtr N = V.get("parse_mb_per_s"))
+    T.Timings["frontend.parse_mb_per_s"] = N->numberOr(0);
 }
 
 void mergeIntern(const json::Value &V, TrendInput &T) {
@@ -427,6 +449,7 @@ int main(int argc, char **argv) {
       {"BENCH_incr.json", mergeIncr},
       {"BENCH_analysis.json", mergeAnalysis},
       {"BENCH_intern.json", mergeIntern},
+      {"BENCH_frontend.json", mergeFrontend},
   };
   for (const Source &S : Sources) {
     std::string Text;

@@ -1,0 +1,166 @@
+//===- bench/bench_frontend.cpp - Textual frontend throughput ---------------===//
+//
+// Measures the .gilr frontend (src/frontend/) on the committed corpus:
+//
+//   * parse wall time per module (best of N) and aggregate throughput;
+//   * print wall time (the round-trip printer);
+//   * the round-trip property itself: print -> parse -> print must be a
+//     fixpoint for every module — the benchmark fails (exit 1) otherwise,
+//     so CI can gate on it;
+//   * deterministic per-module counters (functions, predicates, clients)
+//     for the trend wall.
+//
+// Usage: bench_frontend [out-file]
+//   default: BENCH_frontend.json
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "frontend/Printer.h"
+#include "support/Files.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace gilr;
+
+namespace {
+
+constexpr int Repetitions = 5;
+
+const char *CorpusFiles[] = {
+    "linkedlist_safety", "linkedlist_functional", "linkedlist_buggy",
+    "clients_bad",       "stack_safety",          "stack_functional",
+    "vec",
+};
+
+double now() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct FileResult {
+  std::string Name;
+  std::size_t Bytes = 0;
+  std::size_t Functions = 0;
+  std::size_t Predicates = 0;
+  std::size_t Clients = 0;
+  double ParseSeconds = 0.0;
+  double PrintSeconds = 0.0;
+  bool RoundTripOk = false;
+
+  double mbPerSecond() const {
+    return ParseSeconds > 0.0 ? Bytes / (1e6 * ParseSeconds) : 0.0;
+  }
+};
+
+std::string fmt(double V, const char *Spec = "%.6f") {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), Spec, V);
+  return Buf;
+}
+
+std::string renderFile(const FileResult &R) {
+  std::string Out = "    {\"name\": \"" + jsonEscape(R.Name) + "\"";
+  Out += ", \"bytes\": " + std::to_string(R.Bytes);
+  Out += ", \"functions\": " + std::to_string(R.Functions);
+  Out += ", \"predicates\": " + std::to_string(R.Predicates);
+  Out += ", \"clients\": " + std::to_string(R.Clients);
+  Out += ", \"roundtrip_ok\": " + std::string(R.RoundTripOk ? "true" : "false");
+  Out += ",\n     \"parse_seconds\": " + fmt(R.ParseSeconds);
+  Out += ", \"print_seconds\": " + fmt(R.PrintSeconds);
+  Out += ", \"parse_mb_per_s\": " + fmt(R.mbPerSecond(), "%.2f");
+  return Out + "}";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutFile = argc > 1 ? argv[1] : "BENCH_frontend.json";
+  std::vector<FileResult> Results;
+  bool AllOk = true;
+  std::size_t TotalBytes = 0;
+  double TotalParse = 0.0;
+
+  for (const char *Name : CorpusFiles) {
+    std::string Path = std::string(GILR_CORPUS_DIR) + "/" + Name + ".gilr";
+    std::string Text;
+    if (!files::readFile(Path, Text, "corpus module")) {
+      AllOk = false;
+      continue;
+    }
+
+    FileResult R;
+    R.Name = Name;
+    R.Bytes = Text.size();
+
+    // Parse: best of N from the in-memory text (no I/O in the timing).
+    for (int Rep = 0; Rep != Repetitions; ++Rep) {
+      double Start = now();
+      frontend::ParseResult P = frontend::parseString(Path, Text);
+      double S = now() - Start;
+      if (!P.ok()) {
+        for (const analysis::Diagnostic &D : P.Diags)
+          std::fprintf(stderr, "%s\n", D.str().c_str());
+        AllOk = false;
+        break;
+      }
+      if (Rep == 0 || S < R.ParseSeconds)
+        R.ParseSeconds = S;
+      R.Functions = P.Mod->Prog.Funcs.size();
+      R.Predicates = P.Mod->Preds.all().size();
+      R.Clients = P.Mod->Clients.size();
+    }
+
+    // Print + the round-trip fixpoint check.
+    frontend::ParseResult P1 = frontend::parseString(Path, Text);
+    if (P1.ok()) {
+      std::string Printed;
+      for (int Rep = 0; Rep != Repetitions; ++Rep) {
+        double Start = now();
+        Printed = frontend::printModule(*P1.Mod);
+        double S = now() - Start;
+        if (Rep == 0 || S < R.PrintSeconds)
+          R.PrintSeconds = S;
+      }
+      frontend::ParseResult P2 = frontend::parseString(Path, Printed);
+      R.RoundTripOk = P2.ok() && frontend::printModule(*P2.Mod) == Printed;
+    }
+    AllOk = AllOk && R.RoundTripOk;
+
+    TotalBytes += R.Bytes;
+    TotalParse += R.ParseSeconds;
+    std::printf("%-24s %6zu bytes  parse %7.3fms  print %7.3fms  %s\n",
+                R.Name.c_str(), R.Bytes, 1e3 * R.ParseSeconds,
+                1e3 * R.PrintSeconds,
+                R.RoundTripOk ? "roundtrip ok" : "ROUNDTRIP FAIL");
+    Results.push_back(std::move(R));
+  }
+
+  double Throughput = TotalParse > 0.0 ? TotalBytes / (1e6 * TotalParse) : 0.0;
+  std::string Json = "{\n  \"bench\": \"frontend\"";
+  Json += ",\n  \"files\": [\n";
+  for (std::size_t I = 0; I != Results.size(); ++I) {
+    Json += renderFile(Results[I]);
+    Json += I + 1 != Results.size() ? ",\n" : "\n";
+  }
+  Json += "  ],\n  \"total_bytes\": " + std::to_string(TotalBytes);
+  Json += ",\n  \"total_parse_seconds\": " + fmt(TotalParse);
+  Json += ",\n  \"parse_mb_per_s\": " + fmt(Throughput, "%.2f");
+  Json += ",\n  \"ok\": " + std::string(AllOk ? "true" : "false") + "\n}\n";
+
+  std::FILE *F = std::fopen(OutFile.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", OutFile.c_str());
+    return 1;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  std::printf("wrote %s (%.2f MB/s aggregate parse)\n", OutFile.c_str(),
+              Throughput);
+  return AllOk ? 0 : 1;
+}

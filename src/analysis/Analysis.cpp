@@ -6,6 +6,7 @@
 #include "solver/Flight.h"
 #include "support/Deps.h"
 #include "support/Metrics.h"
+#include "support/SourceMgr.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -164,7 +165,8 @@ gilr::analysis::parseSpecChecked(const std::string &Text,
                                  const rmir::TyCtx &Types,
                                  const std::string &Entity,
                                  std::vector<Diagnostic> &Diags) {
-  Outcome<gilsonite::Spec> O = gilsonite::parseSpec(Text, Types);
+  gilsonite::ParseDiag PD;
+  Outcome<gilsonite::Spec> O = gilsonite::parseSpec(Text, Types, &PD);
   if (O.ok())
     return std::move(O.value());
   Diagnostic D;
@@ -173,6 +175,19 @@ gilr::analysis::parseSpecChecked(const std::string &Text,
   D.Entity = Entity;
   D.Message = "malformed Gilsonite specification: " +
               (O.failed() ? O.error() : std::string("assertion vanished"));
+  if (!PD.Message.empty()) {
+    // Position-tracked failure: record where in the spec text it happened
+    // and attach a caret snippet. The location stays in the notes (not
+    // File/Line/Col) because the "file" here is an inline spec string.
+    support::SourceMgr SM("<spec>", Text);
+    support::LineCol LC = SM.lineCol(PD.Offset);
+    D.Line = LC.Line;
+    D.Col = LC.Col;
+    D.Notes.push_back("at " + SM.locString(PD.Offset));
+    D.Notes.push_back(SM.lineText(LC.Line));
+    std::string Caret = SM.caretSnippet(PD.Offset);
+    D.Notes.push_back(Caret.substr(Caret.find('\n') + 1));
+  }
   Diags.push_back(std::move(D));
   return std::nullopt;
 }

@@ -22,6 +22,8 @@ Severity gilr::analysis::codeSeverity(const std::string &Code) {
 
 std::string Diagnostic::str() const {
   std::ostringstream OS;
+  if (!File.empty())
+    OS << File << ':' << Line << ':' << Col << ": ";
   OS << severityName(Sev) << '[' << Code << "] " << Entity << ": " << Message;
   if (Block >= 0) {
     OS << " (bb" << Block;
@@ -34,7 +36,8 @@ std::string Diagnostic::str() const {
 
 bool gilr::analysis::diagnosticLess(const Diagnostic &A, const Diagnostic &B) {
   auto Key = [](const Diagnostic &D) {
-    return std::tie(D.Entity, D.Block, D.Stmt, D.Code, D.Message, D.Notes);
+    return std::tie(D.Entity, D.Block, D.Stmt, D.Code, D.Message, D.Notes,
+                    D.File, D.Line, D.Col);
   };
   return Key(A) < Key(B);
 }
@@ -150,6 +153,11 @@ gilr::analysis::renderDiagnosticsJson(const std::vector<Diagnostic> &Diags) {
     OS << ",\"message\":\"";
     jsonEscape(OS, D.Message);
     OS << "\"";
+    if (!D.File.empty()) {
+      OS << ",\"file\":\"";
+      jsonEscape(OS, D.File);
+      OS << "\",\"line\":" << D.Line << ",\"col\":" << D.Col;
+    }
     if (!D.Notes.empty()) {
       OS << ",\"notes\":[";
       for (std::size_t I = 0; I < D.Notes.size(); ++I) {

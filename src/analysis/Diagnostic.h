@@ -49,6 +49,9 @@ inline constexpr const char *UninitUse = "GILR-E004";      ///< Use of a possibl
 inline constexpr const char *MovedUse = "GILR-E005";       ///< Use of a moved local.
 inline constexpr const char *VacuousPre = "GILR-E006";     ///< UNSAT precondition.
 inline constexpr const char *ParseError = "GILR-E007";     ///< Malformed Gilsonite spec/assertion.
+inline constexpr const char *SyntaxError = "GILR-E008";    ///< .gilr syntax error (frontend).
+inline constexpr const char *NameError = "GILR-E009";      ///< Unresolved name in a .gilr module.
+inline constexpr const char *FrontendError = "GILR-E010";  ///< Other .gilr lowering/typecheck error.
 inline constexpr const char *UnreachableBlock = "GILR-W001"; ///< Block unreachable from entry.
 inline constexpr const char *DeadStore = "GILR-W002";      ///< Store whose value is never read.
 inline constexpr const char *UnsafeSurface = "GILR-W003";  ///< Raw-pointer ops outside ownership predicates.
@@ -74,12 +77,21 @@ struct Diagnostic {
   /// Supporting details, e.g. the unsat-core assertion spans of a vacuous
   /// precondition.
   std::vector<std::string> Notes;
+  /// Source location for findings that point into a textual .gilr module
+  /// (frontend syntax/name/type errors, position-tracked spec bridge
+  /// failures). \c File empty means "no source location" — the historical
+  /// builder-API rendering is unchanged.
+  std::string File;
+  unsigned Line = 0; ///< 1-based; meaningful only when File is non-empty.
+  unsigned Col = 0;  ///< 1-based; meaningful only when File is non-empty.
 
-  /// One-line rendering: "error[GILR-E006] push_front: message (bb1, st 2)".
+  /// One-line rendering: "error[GILR-E006] push_front: message (bb1, st 2)";
+  /// with a source location, "file.gilr:3:7: error[GILR-E008] ...".
   std::string str() const;
 };
 
-/// Deterministic ordering: (Entity, Block, Stmt, Code, Message, Notes).
+/// Deterministic ordering: (Entity, Block, Stmt, Code, Message, Notes,
+/// File, Line, Col).
 bool diagnosticLess(const Diagnostic &A, const Diagnostic &B);
 
 /// Knobs of the pre-verification pass. A default-constructed config is the

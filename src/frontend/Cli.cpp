@@ -1,0 +1,326 @@
+//===- frontend/Cli.cpp - The gilr command-line driver ----------------------===//
+
+#include "frontend/Cli.h"
+
+#include "analysis/Analysis.h"
+#include "frontend/Frontend.h"
+#include "hybrid/Driver.h"
+#include "incr/Session.h"
+#include "sched/Scheduler.h"
+#include "support/Files.h"
+#include "support/SourceMgr.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace gilr;
+using namespace gilr::frontend;
+
+namespace {
+
+// Exit codes of the contract in Cli.h. Worst-wins aggregation relies on the
+// numeric order 3 > 2 > 1 > 0.
+constexpr int ExitOk = 0;
+constexpr int ExitProofFailure = 1;
+constexpr int ExitLintError = 2;
+constexpr int ExitParseError = 3;
+
+const char *Usage =
+    "usage: gilr <check|lint|verify> [options] file.gilr...\n"
+    "\n"
+    "subcommands:\n"
+    "  check    parse and typecheck the modules\n"
+    "  lint     check + the static pre-verification analysis\n"
+    "  verify   lint + the full hybrid verification run\n"
+    "\n"
+    "options:\n"
+    "  --json              machine-readable output (one object per file;\n"
+    "                      an array when several files are given)\n"
+    "  --jobs N            scheduler worker threads for verify (default 1)\n"
+    "  --incr-store PATH   persistent proof store for verify\n"
+    "\n"
+    "exit codes: 0 verified, 1 proof failures, 2 lint errors,\n"
+    "            3 parse/type errors (worst code wins across files)\n";
+
+struct CliOptions {
+  std::string Command;
+  std::vector<std::string> Files;
+  bool Json = false;
+  unsigned Jobs = 1;
+  std::string IncrStore;
+};
+
+/// The byte offset of (1-based) \p Line / \p Col in \p Text, for caret
+/// rendering (Diagnostic stores line/col, SourceMgr wants the offset back).
+std::size_t offsetOf(const std::string &Text, unsigned Line, unsigned Col) {
+  std::size_t Off = 0;
+  for (unsigned L = 1; L < Line && Off < Text.size();)
+    if (Text[Off++] == '\n')
+      ++L;
+  return Off + (Col ? Col - 1 : 0);
+}
+
+/// Prints \p Diags one per line; when a diagnostic carries a source
+/// location into \p SM's buffer, the two-line caret snippet follows.
+void printDiagnostics(std::ostream &Err,
+                      const std::vector<analysis::Diagnostic> &Diags,
+                      const support::SourceMgr *SM) {
+  for (const analysis::Diagnostic &D : Diags) {
+    Err << D.str() << "\n";
+    if (SM && !D.File.empty() && D.File == SM->name() && D.Line > 0)
+      Err << SM->caretSnippet(offsetOf(SM->text(), D.Line, D.Col));
+    for (const std::string &N : D.Notes)
+      Err << "  note: " << N << "\n";
+  }
+}
+
+/// Per-file result: the exit code and (in --json mode) the rendered object.
+struct FileResult {
+  int Exit = ExitOk;
+  std::string Json;
+};
+
+/// The shared wrapper of every per-file JSON object.
+std::string jsonHead(const CliOptions &Opt, const std::string &Path) {
+  return "{\"file\": \"" + jsonEscape(Path) + "\", \"command\": \"" +
+         jsonEscape(Opt.Command) + "\"";
+}
+
+/// The entities the lint pass runs over: the verify list when present,
+/// otherwise every RMIR function (name order — Funcs is a std::map).
+std::vector<std::string> lintEntities(const Module &M) {
+  if (!M.VerifyList.empty())
+    return M.verifyFuncs();
+  std::vector<std::string> Names;
+  for (const auto &KV : M.Prog.Funcs)
+    Names.push_back(KV.first);
+  return Names;
+}
+
+/// Builds the analysis input over \p M. Lemma names come from the parsed
+/// declarations — lint must not pay for lemma registration (hypothesis
+/// proofs), which only `verify` runs.
+analysis::AnalysisInput lintInput(Module &M) {
+  analysis::AnalysisInput In;
+  In.Prog = &M.Prog;
+  In.Preds = &M.Preds;
+  In.Specs = &M.Specs;
+  In.Solv = &M.Solv;
+  for (const engine::FreezeLemma &L : M.FreezeDecls)
+    In.LemmaNames.push_back(L.Name);
+  for (const engine::ExtractLemma &L : M.ExtractDecls)
+    In.LemmaNames.push_back(L.Name);
+  return In;
+}
+
+FileResult runCheck(const CliOptions &Opt, const std::string &Path,
+                    std::ostream &Out, std::ostream &Err) {
+  FileResult R;
+  ParseResult P = parseFile(Path);
+  std::string Text;
+  files::readFile(Path, Text, ".gilr module");
+  support::SourceMgr SM(Path, Text);
+  if (!P.ok()) {
+    R.Exit = ExitParseError;
+    if (!Opt.Json)
+      printDiagnostics(Err, P.Diags, &SM);
+  } else if (!Opt.Json) {
+    Out << Path << ": ok (" << P.Mod->Prog.Funcs.size() << " functions, "
+        << P.Mod->Clients.size() << " clients, " << P.Mod->Preds.all().size()
+        << " predicates)\n";
+  }
+  if (Opt.Json)
+    R.Json = jsonHead(Opt, Path) + ", \"exit\": " + std::to_string(R.Exit) +
+             ", \"diagnostics\": " +
+             analysis::renderDiagnosticsJson(P.Diags) + "}";
+  return R;
+}
+
+FileResult runLint(const CliOptions &Opt, const std::string &Path,
+                   std::ostream &Out, std::ostream &Err) {
+  FileResult R;
+  ParseResult P = parseFile(Path);
+  std::string Text;
+  files::readFile(Path, Text, ".gilr module");
+  support::SourceMgr SM(Path, Text);
+  if (!P.ok()) {
+    R.Exit = ExitParseError;
+    if (!Opt.Json)
+      printDiagnostics(Err, P.Diags, &SM);
+    else
+      R.Json = jsonHead(Opt, Path) + ", \"exit\": 3, \"diagnostics\": " +
+               analysis::renderDiagnosticsJson(P.Diags) + "}";
+    return R;
+  }
+  Module &M = *P.Mod;
+  analysis::AnalysisInput In = lintInput(M);
+  analysis::AnalysisResult A = analysis::analyzeProgram(In, lintEntities(M));
+  if (!A.ok() || A.EntitiesBlocked > 0)
+    R.Exit = ExitLintError;
+  if (Opt.Json) {
+    R.Json = jsonHead(Opt, Path) + ", \"exit\": " + std::to_string(R.Exit) +
+             ", \"diagnostics\": " +
+             analysis::renderDiagnosticsJson(P.Diags) +
+             ", \"analysis\": " + A.renderJson() + "}";
+  } else {
+    printDiagnostics(Err, A.Diags, &SM);
+    Out << Path << ": " << A.renderText();
+  }
+  return R;
+}
+
+FileResult runVerify(const CliOptions &Opt, const std::string &Path,
+                     std::ostream &Out, std::ostream &Err) {
+  FileResult R;
+  ParseResult P = parseFile(Path);
+  std::string Text;
+  files::readFile(Path, Text, ".gilr module");
+  support::SourceMgr SM(Path, Text);
+  if (!P.ok()) {
+    R.Exit = ExitParseError;
+    if (!Opt.Json)
+      printDiagnostics(Err, P.Diags, &SM);
+    else
+      R.Json = jsonHead(Opt, Path) + ", \"exit\": 3, \"diagnostics\": " +
+               analysis::renderDiagnosticsJson(P.Diags) + "}";
+    return R;
+  }
+  Module &M = *P.Mod;
+
+  // Lemma hypothesis proofs run now; a failed registration is a proof
+  // failure (the lemma's soundness obligation did not verify).
+  std::vector<std::string> Errors = M.registerLemmas();
+
+  engine::VerifEnv Env = M.env();
+  hybrid::HybridDriver Driver(Env, M.Contracts);
+  // No `verify` item means "verify everything" (same default as lint).
+  std::vector<std::string> UnsafeFuncs = M.verifyFuncs();
+  std::vector<creusot::SafeFn> Clients = M.verifyClients();
+  if (M.VerifyList.empty()) {
+    UnsafeFuncs = lintEntities(M);
+    Clients = M.Clients;
+  }
+  // Functions with a Pearlite contract but no hand-written Gilsonite spec
+  // get the systematic encoding of the contract (the hybrid bridge).
+  for (const std::string &Fn : UnsafeFuncs)
+    if (!M.Specs.lookup(Fn) && M.Contracts.lookup(Fn))
+      if (Outcome<Unit> E = Driver.encodeAndRegister(Fn); !E.ok())
+        Errors.push_back("encode " + Fn + ": " + E.error());
+
+  sched::SchedulerConfig SC;
+  SC.Threads = Opt.Jobs;
+  incr::IncrConfig IC;
+  IC.Enabled = !Opt.IncrStore.empty();
+  IC.StorePath = Opt.IncrStore;
+  incr::IncrRunStats Stats;
+  hybrid::HybridReport Report =
+      Driver.run(UnsafeFuncs, Clients, SC, IC, &Stats);
+
+  if (!Report.Analysis.ok() || Report.Analysis.EntitiesBlocked > 0)
+    R.Exit = ExitLintError;
+  else if (!Report.ok() || !Errors.empty())
+    R.Exit = ExitProofFailure;
+
+  if (Opt.Json) {
+    std::string ErrJson = "[";
+    for (std::size_t I = 0; I < Errors.size(); ++I)
+      ErrJson += std::string(I ? ", " : "") + "\"" + jsonEscape(Errors[I]) +
+                 "\"";
+    ErrJson += "]";
+    R.Json = jsonHead(Opt, Path) + ", \"exit\": " + std::to_string(R.Exit) +
+             ", \"errors\": " + ErrJson +
+             ", \"report\": " + Report.renderJson() + "}";
+  } else {
+    printDiagnostics(Err, Report.Analysis.Diags, &SM);
+    for (const std::string &E : Errors)
+      Err << "error: " << E << "\n";
+    Out << Path << ":\n" << Report.summaryText();
+    if (IC.Enabled)
+      Out << "incremental: " << Stats.cached() << " cached, "
+          << Stats.verified() << " verified, " << Stats.Invalidated
+          << " invalidated\n";
+  }
+  return R;
+}
+
+} // namespace
+
+int gilr::frontend::runCli(const std::vector<std::string> &Args,
+                           std::ostream &Out, std::ostream &Err) {
+  CliOptions Opt;
+  for (std::size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    if (A == "--help" || A == "-h") {
+      Out << Usage;
+      return ExitOk;
+    }
+    if (A == "--json") {
+      Opt.Json = true;
+    } else if (A == "--jobs") {
+      if (I + 1 >= Args.size()) {
+        Err << "gilr: --jobs needs a value\n" << Usage;
+        return ExitParseError;
+      }
+      try {
+        Opt.Jobs = static_cast<unsigned>(std::stoul(Args[++I]));
+      } catch (...) {
+        Err << "gilr: bad --jobs value '" << Args[I] << "'\n";
+        return ExitParseError;
+      }
+      if (Opt.Jobs == 0)
+        Opt.Jobs = 1;
+    } else if (A == "--incr-store") {
+      if (I + 1 >= Args.size()) {
+        Err << "gilr: --incr-store needs a value\n" << Usage;
+        return ExitParseError;
+      }
+      Opt.IncrStore = Args[++I];
+    } else if (!A.empty() && A[0] == '-') {
+      Err << "gilr: unknown option '" << A << "'\n" << Usage;
+      return ExitParseError;
+    } else if (Opt.Command.empty()) {
+      Opt.Command = A;
+    } else {
+      Opt.Files.push_back(A);
+    }
+  }
+  if (Opt.Command.empty()) {
+    Err << Usage;
+    return ExitParseError;
+  }
+  if (Opt.Command != "check" && Opt.Command != "lint" &&
+      Opt.Command != "verify") {
+    Err << "gilr: unknown subcommand '" << Opt.Command << "'\n" << Usage;
+    return ExitParseError;
+  }
+  if (Opt.Files.empty()) {
+    Err << "gilr: no input files\n" << Usage;
+    return ExitParseError;
+  }
+
+  int Exit = ExitOk;
+  std::vector<std::string> JsonParts;
+  for (const std::string &Path : Opt.Files) {
+    FileResult R;
+    if (Opt.Command == "check")
+      R = runCheck(Opt, Path, Out, Err);
+    else if (Opt.Command == "lint")
+      R = runLint(Opt, Path, Out, Err);
+    else
+      R = runVerify(Opt, Path, Out, Err);
+    Exit = std::max(Exit, R.Exit);
+    if (Opt.Json)
+      JsonParts.push_back(R.Json);
+  }
+  if (Opt.Json) {
+    if (JsonParts.size() == 1) {
+      Out << JsonParts[0] << "\n";
+    } else {
+      Out << "[";
+      for (std::size_t I = 0; I < JsonParts.size(); ++I)
+        Out << (I ? ",\n " : "") << JsonParts[I];
+      Out << "]\n";
+    }
+  }
+  return Exit;
+}

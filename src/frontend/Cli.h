@@ -1,0 +1,43 @@
+//===- frontend/Cli.h - The gilr command-line driver ------------------------===//
+///
+/// \file
+/// Implementation of the `gilr` tool (tools/gilr.cpp is a thin main). Three
+/// subcommands over .gilr modules:
+///
+///   gilr check  file.gilr...   parse + typecheck only
+///   gilr lint   file.gilr...   + the static pre-verification pass
+///   gilr verify file.gilr...   + the full hybrid verification run
+///
+/// Flags: --json (machine-readable output), --jobs N (scheduler threads for
+/// verify), --incr-store PATH (persistent proof store for verify).
+///
+/// Exit-code contract (asserted by tests/frontend_test.cpp):
+///   0  everything verified / no findings
+///   1  proof failures (hybrid run not ok, lemma hypothesis failures)
+///   2  lint errors (analysis findings that block verification)
+///   3  parse / type errors (or usage errors)
+/// With multiple files the worst code wins (3 > 2 > 1 > 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_FRONTEND_CLI_H
+#define GILR_FRONTEND_CLI_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace frontend {
+
+/// Runs the gilr driver on \p Args (argv[1..]); returns the process exit
+/// code. All human-readable output goes to \p Out, diagnostics and usage
+/// errors to \p Err. In --json mode the JSON document goes to \p Out: a
+/// single object for one input file, an array (input order) for several.
+int runCli(const std::vector<std::string> &Args, std::ostream &Out,
+           std::ostream &Err);
+
+} // namespace frontend
+} // namespace gilr
+
+#endif // GILR_FRONTEND_CLI_H

@@ -1,0 +1,403 @@
+//===- frontend/Lexer.cpp --------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <set>
+
+using namespace gilr;
+using namespace gilr::frontend;
+
+namespace {
+
+bool identStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool identChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+/// Words with a syntactic role somewhere in the grammar. Conservative: a
+/// name colliding with any of these is |...|-quoted by the printer so the
+/// parser never has to disambiguate.
+const std::set<std::string> &keywords() {
+  static const std::set<std::string> KW = {
+      // Items.
+      "param", "struct", "enum", "pred", "lemma", "fn", "spec", "contract",
+      "client", "automation", "verify",
+      // Function bodies.
+      "params", "let", "suppress", "ghost", "nop", "free", "call", "goto",
+      "switch", "return", "unreachable", "alloc",
+      // Operands / rvalues.
+      "copy", "move", "const", "add", "sub", "mul", "eq", "ne", "lt", "le",
+      "gt", "ge", "not", "neg", "aggregate", "discriminant", "offset", "mut",
+      // Ghost kinds.
+      "unfold", "fold", "gunfold", "gfold", "apply", "resolve", "update",
+      "assert_pure",
+      // Clause keywords.
+      "in", "out", "pre", "post", "var", "doc", "trusted", "abstract",
+      "guardable", "clause", "freeze", "extract", "from", "to", "given",
+      "mutref", "persistent", "requires", "prophecy", "assert", "true",
+      "false",
+  };
+  return KW;
+}
+
+} // namespace
+
+Lexer::Lexer(const std::string &Text, std::size_t At) : Text(Text), Pos(At) {}
+
+void Lexer::skipWs() {
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+    } else if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+    } else {
+      break;
+    }
+  }
+}
+
+const Token &Lexer::peek() {
+  if (!HasAhead) {
+    Ahead = lex();
+    HasAhead = true;
+  }
+  return Ahead;
+}
+
+Token Lexer::next() {
+  if (HasAhead) {
+    HasAhead = false;
+    return Ahead;
+  }
+  return lex();
+}
+
+std::size_t Lexer::pos() {
+  if (HasAhead)
+    return Ahead.Begin;
+  skipWs();
+  return Pos;
+}
+
+Token Lexer::lex() {
+  skipWs();
+  Token T;
+  T.Begin = Pos;
+  if (Pos >= Text.size()) {
+    T.Kind = Tok::End;
+    T.End = Pos;
+    return T;
+  }
+  char C = Text[Pos];
+
+  auto error = [&](const std::string &Msg) {
+    T.Kind = Tok::Error;
+    T.Text = Msg;
+    T.End = Pos;
+    return T;
+  };
+
+  if (identStart(C)) {
+    while (Pos < Text.size() && identChar(Text[Pos]))
+      ++Pos;
+    // Glue a balanced <...> suffix: instantiated nominal names.
+    if (Pos < Text.size() && Text[Pos] == '<') {
+      int Depth = 0;
+      std::size_t P = Pos;
+      while (P < Text.size()) {
+        if (Text[P] == '<')
+          ++Depth;
+        else if (Text[P] == '>' && --Depth == 0) {
+          ++P;
+          break;
+        }
+        ++P;
+      }
+      if (Depth != 0)
+        return error("unbalanced '<' in name");
+      Pos = P;
+    }
+    T.Kind = Tok::Ident;
+    T.Text = Text.substr(T.Begin, Pos - T.Begin);
+    T.End = Pos;
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '-' && Pos + 1 < Text.size() &&
+       std::isdigit(static_cast<unsigned char>(Text[Pos + 1])))) {
+    bool Neg = C == '-';
+    if (Neg)
+      ++Pos;
+    __int128 V = 0;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      V = V * 10 + (Text[Pos] - '0');
+      ++Pos;
+    }
+    T.Kind = Tok::Int;
+    T.IntVal = Neg ? -V : V;
+    T.Text = Text.substr(T.Begin, Pos - T.Begin);
+    T.End = Pos;
+    return T;
+  }
+
+  if (C == '\'') {
+    ++Pos;
+    std::size_t Start = Pos;
+    while (Pos < Text.size() && identChar(Text[Pos]))
+      ++Pos;
+    if (Pos == Start)
+      return error("expected a name after '");
+    T.Kind = Tok::Lifetime;
+    T.Text = Text.substr(T.Begin, Pos - T.Begin); // Includes the quote.
+    T.End = Pos;
+    return T;
+  }
+
+  if (C == '|') {
+    ++Pos;
+    std::string Out;
+    while (true) {
+      if (Pos >= Text.size())
+        return error("unterminated |...| name");
+      char D = Text[Pos++];
+      if (D == '|')
+        break;
+      if (D == '\\') {
+        if (Pos >= Text.size())
+          return error("unterminated |...| name");
+        D = Text[Pos++];
+      }
+      Out += D;
+    }
+    T.Kind = Tok::Ident;
+    T.Quoted = true;
+    T.Text = std::move(Out);
+    T.End = Pos;
+    return T;
+  }
+
+  if (C == '"') {
+    ++Pos;
+    std::string Out;
+    while (true) {
+      if (Pos >= Text.size())
+        return error("unterminated string literal");
+      char D = Text[Pos++];
+      if (D == '"')
+        break;
+      if (D == '\\') {
+        if (Pos >= Text.size())
+          return error("unterminated string literal");
+        D = Text[Pos++];
+        if (D == 'n')
+          D = '\n';
+        else if (D == 't')
+          D = '\t';
+        // \\ and \" decode to themselves.
+      }
+      Out += D;
+    }
+    T.Kind = Tok::Str;
+    T.Text = std::move(Out);
+    T.End = Pos;
+    return T;
+  }
+
+  // Multi-character punctuation.
+  if (C == '-' && Pos + 1 < Text.size() && Text[Pos + 1] == '>') {
+    Pos += 2;
+    T.Kind = Tok::Punct;
+    T.Text = "->";
+    T.End = Pos;
+    return T;
+  }
+  if (C == '=' && Pos + 1 < Text.size() && Text[Pos + 1] == '>') {
+    Pos += 2;
+    T.Kind = Tok::Punct;
+    T.Text = "=>";
+    T.End = Pos;
+    return T;
+  }
+
+  ++Pos;
+  T.Kind = Tok::Punct;
+  T.Text = std::string(1, C);
+  T.End = Pos;
+  return T;
+}
+
+bool Lexer::rawSexpr(std::string &Out, std::size_t &Begin) {
+  if (HasAhead) { // Rewind the lookahead: raw scans are positional.
+    Pos = Ahead.Begin;
+    HasAhead = false;
+  }
+  skipWs();
+  Begin = Pos;
+  if (Pos >= Text.size())
+    return false;
+  if (Text[Pos] == '(') {
+    int Depth = 0;
+    std::size_t P = Pos;
+    bool InQuote = false;
+    while (P < Text.size()) {
+      char C = Text[P];
+      if (InQuote) {
+        if (C == '\\' && P + 1 < Text.size())
+          ++P;
+        else if (C == '|')
+          InQuote = false;
+      } else if (C == '|') {
+        InQuote = true;
+      } else if (C == '(') {
+        ++Depth;
+      } else if (C == ')') {
+        if (--Depth == 0) {
+          ++P;
+          Out = Text.substr(Begin, P - Begin);
+          Pos = P;
+          return true;
+        }
+      }
+      ++P;
+    }
+    return false;
+  }
+  // Single atom (possibly |quoted|).
+  std::size_t P = Pos;
+  if (Text[P] == '|') {
+    ++P;
+    while (P < Text.size()) {
+      if (Text[P] == '\\' && P + 1 < Text.size())
+        P += 2;
+      else if (Text[P] == '|') {
+        ++P;
+        break;
+      } else
+        ++P;
+    }
+  } else {
+    while (P < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[P])) &&
+           std::string("();{}[],:").find(Text[P]) == std::string::npos)
+      ++P;
+  }
+  if (P == Pos)
+    return false;
+  Out = Text.substr(Begin, P - Begin);
+  Pos = P;
+  return true;
+}
+
+bool Lexer::rawUntilSemi(std::string &Out, std::size_t &Begin) {
+  if (HasAhead) {
+    Pos = Ahead.Begin;
+    HasAhead = false;
+  }
+  skipWs();
+  Begin = Pos;
+  int Depth = 0;
+  std::size_t P = Pos;
+  while (P < Text.size()) {
+    char C = Text[P];
+    if (C == '(' || C == '[' || C == '{')
+      ++Depth;
+    else if (C == ')' || C == ']' || C == '}')
+      --Depth;
+    else if (C == ';' && Depth == 0) {
+      std::size_t E = P;
+      while (E > Begin &&
+             std::isspace(static_cast<unsigned char>(Text[E - 1])))
+        --E;
+      Out = Text.substr(Begin, E - Begin);
+      Pos = P + 1;
+      return true;
+    }
+    ++P;
+  }
+  return false;
+}
+
+bool Lexer::rawItemTail() {
+  if (HasAhead) {
+    Pos = Ahead.Begin;
+    HasAhead = false;
+  }
+  int Depth = 0;
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '"' || C == '|') {
+      ++Pos;
+      while (Pos < Text.size()) {
+        char D = Text[Pos++];
+        if (D == '\\' && Pos < Text.size())
+          ++Pos;
+        else if (D == C)
+          break;
+      }
+      continue;
+    }
+    ++Pos;
+    if (C == '{') {
+      ++Depth;
+    } else if (C == '}') {
+      if (--Depth <= 0)
+        return Depth == 0;
+    } else if (C == ';' && Depth == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool gilr::frontend::isPlainIdent(const std::string &Name) {
+  if (Name.empty() || !identStart(Name[0]))
+    return false;
+  std::size_t I = 0;
+  while (I < Name.size() && identChar(Name[I]))
+    ++I;
+  if (I < Name.size()) {
+    // The rest must be exactly one balanced <...> group.
+    if (Name[I] != '<')
+      return false;
+    int Depth = 0;
+    for (; I < Name.size(); ++I) {
+      char C = Name[I];
+      if (C == '|' || C == '"' || C == '\\' || C == '\n')
+        return false;
+      if (C == '<')
+        ++Depth;
+      else if (C == '>' && --Depth == 0) {
+        ++I;
+        break;
+      }
+    }
+    if (Depth != 0 || I != Name.size())
+      return false;
+  }
+  return !keywords().count(Name);
+}
+
+std::string gilr::frontend::quoteIdent(const std::string &Name) {
+  if (isPlainIdent(Name))
+    return Name;
+  std::string Out = "|";
+  for (char C : Name) {
+    if (C == '|' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += "|";
+  return Out;
+}

@@ -1,0 +1,108 @@
+//===- frontend/Lexer.h - Tokenizer for textual RMIR (.gilr) ---------------===//
+///
+/// \file
+/// The token stream of the .gilr surface syntax (docs/FRONTEND.md). Tokens
+/// carry byte offsets so every parse diagnostic can point at real source.
+///
+/// Lexical notes:
+///  * `//` comments run to end of line.
+///  * Identifiers are [A-Za-z_][A-Za-z0-9_$]*; an identifier immediately
+///    followed by `<` absorbs the balanced angle-bracket suffix (including
+///    internal whitespace), so instantiated nominal names like
+///    `Option<*mut Node<T>>` are single tokens — exactly the strings TyCtx
+///    uses as nominal names.
+///  * `|...|` quotes an identifier that the plain rules cannot spell
+///    (backslash escapes `\|` and `\\`), e.g. `|own$&mut LinkedList<T>|`.
+///  * `'name` is a lifetime token.
+///  * `"..."` is a string literal (doc text, suppression codes).
+///  * Embedded S-expressions (Gilsonite assertions/expressions, constants)
+///    and Pearlite terms are NOT tokenized here: the parser asks for their
+///    raw source via \c rawSexpr / \c rawUntilSemi and hands the substring
+///    to the dedicated parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_FRONTEND_LEXER_H
+#define GILR_FRONTEND_LEXER_H
+
+#include <cstddef>
+#include <string>
+
+namespace gilr {
+namespace frontend {
+
+/// Token kinds.
+enum class Tok : uint8_t {
+  End,      ///< End of input.
+  Ident,    ///< Identifier (possibly |quoted| or with glued <...>).
+  Int,      ///< Decimal integer literal (optional leading -).
+  Lifetime, ///< 'name.
+  Str,      ///< "..." literal (Text holds the decoded content).
+  Punct,    ///< One punctuation mark (Text holds it, e.g. "(", "->", ".").
+  Error,    ///< Lexical error (Text holds the message).
+};
+
+/// One token with its source span [Begin, End).
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;      ///< Decoded text / punctuation spelling / message.
+  __int128 IntVal = 0;   ///< Int.
+  bool Quoted = false;   ///< Ident came from |...| (exempt from keywords).
+  std::size_t Begin = 0;
+  std::size_t End = 0;
+};
+
+/// Streaming tokenizer with one token of lookahead.
+class Lexer {
+public:
+  /// Tokenizes \p Text starting at byte offset \p At (token spans stay
+  /// absolute offsets into the full buffer, so diagnostics are uniform).
+  explicit Lexer(const std::string &Text, std::size_t At = 0);
+
+  const Token &peek();
+  Token next();
+
+  /// Raw-scan (from the current position, before any pending lookahead is
+  /// consumed) one balanced S-expression: a parenthesized form — respecting
+  /// nested parens and |...| quotes — or a single atom. Returns false on
+  /// unbalanced input. \p Begin receives the start offset, \p Out the
+  /// substring.
+  bool rawSexpr(std::string &Out, std::size_t &Begin);
+
+  /// Raw-scan to the next `;` at bracket depth 0 (tracking (), [], {}),
+  /// trimming surrounding whitespace. Used for embedded Pearlite terms.
+  /// The terminating `;` is consumed. Returns false if no `;` follows.
+  bool rawUntilSemi(std::string &Out, std::size_t &Begin);
+
+  /// Raw-scan to the end of the current item: the matching `}` of the first
+  /// top-level brace group, or a `;` at brace depth 0 — whichever comes
+  /// first. Skips `//` comments, `"..."` strings and `|...|` quotes, but is
+  /// otherwise character-level: item bodies may contain embedded S-expr /
+  /// Pearlite text that is not tokenizable by this lexer (the item-splitting
+  /// pass must not care). Returns false on unterminated/unbalanced input.
+  bool rawItemTail();
+
+  /// The offset lexing has reached (start of the next token).
+  std::size_t pos();
+
+private:
+  Token lex();
+  void skipWs();
+
+  const std::string &Text;
+  std::size_t Pos = 0;
+  Token Ahead;
+  bool HasAhead = false;
+};
+
+/// True if \p Name can be written as a plain .gilr identifier token
+/// (i.e. without |...| quoting).
+bool isPlainIdent(const std::string &Name);
+
+/// Quotes \p Name as |...| when needed; returns it unchanged otherwise.
+std::string quoteIdent(const std::string &Name);
+
+} // namespace frontend
+} // namespace gilr
+
+#endif // GILR_FRONTEND_LEXER_H

@@ -1,0 +1,58 @@
+//===- frontend/Module.cpp -------------------------------------------------===//
+
+#include "frontend/Module.h"
+
+using namespace gilr;
+using namespace gilr::frontend;
+
+Module::Module()
+    : Ownables(
+          std::make_unique<gilsonite::OwnableRegistry>(Prog.Types, Preds)) {}
+
+engine::VerifEnv Module::env() {
+  return engine::VerifEnv{Prog, Preds, Specs, *Ownables, Lemmas, Solv, Auto,
+                          {}};
+}
+
+std::vector<std::string> Module::registerLemmas() {
+  std::vector<std::string> Errors;
+  engine::VerifEnv Env = env();
+  for (const engine::FreezeLemma &L : FreezeDecls) {
+    if (Lemmas.contains(L.Name))
+      continue;
+    Outcome<Unit> R = Lemmas.registerFreeze(L, Env);
+    if (R.failed())
+      Errors.push_back("lemma " + L.Name + ": " + R.error());
+  }
+  for (const engine::ExtractLemma &L : ExtractDecls) {
+    if (Lemmas.contains(L.Name))
+      continue;
+    Outcome<Unit> R = Lemmas.registerExtract(L, Env);
+    if (R.failed())
+      Errors.push_back("lemma " + L.Name + ": " + R.error());
+  }
+  return Errors;
+}
+
+const creusot::SafeFn *Module::lookupClient(const std::string &Name) const {
+  for (const creusot::SafeFn &F : Clients)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+std::vector<std::string> Module::verifyFuncs() const {
+  std::vector<std::string> Out;
+  for (const std::string &N : VerifyList)
+    if (Prog.lookup(N))
+      Out.push_back(N);
+  return Out;
+}
+
+std::vector<creusot::SafeFn> Module::verifyClients() const {
+  std::vector<creusot::SafeFn> Out;
+  for (const std::string &N : VerifyList)
+    if (const creusot::SafeFn *F = lookupClient(N))
+      Out.push_back(*F);
+  return Out;
+}

@@ -12,16 +12,38 @@ using namespace gilr::gilsonite;
 
 namespace {
 
-/// A parsed S-expression: an atom or a list.
+/// A parsed S-expression: an atom or a list. \c Pos is the byte offset of
+/// the first character (the opening parenthesis for lists, the first atom
+/// character — or the opening quote — for atoms) so conversion errors can
+/// point back into the source. \c IsQuoted marks |...| atoms, which are
+/// always names: they are exempt from literal/operator interpretation.
 struct SExpr {
   bool IsAtom = false;
+  bool IsQuoted = false;
+  std::size_t Pos = 0;
   std::string Atom;
   std::vector<SExpr> List;
 };
 
+/// Records the innermost failure position. Failures propagate outward
+/// without overwriting, so the first recorded diagnostic wins.
+void noteDiag(ParseDiag *Diag, std::size_t Pos, const std::string &Msg) {
+  if (Diag && Diag->Message.empty()) {
+    Diag->Offset = Pos;
+    Diag->Message = Msg;
+  }
+}
+
+template <typename T>
+Outcome<T> failAt(ParseDiag *Diag, std::size_t Pos, const std::string &Msg) {
+  noteDiag(Diag, Pos, Msg);
+  return Outcome<T>::failure(Msg);
+}
+
 class Tokenizer {
 public:
-  explicit Tokenizer(const std::string &Text) : Text(Text) {}
+  Tokenizer(const std::string &Text, ParseDiag *Diag)
+      : Text(Text), Diag(Diag) {}
 
   Outcome<SExpr> parse() {
     skipWs();
@@ -30,8 +52,8 @@ public:
       return S;
     skipWs();
     if (Pos != Text.size())
-      return Outcome<SExpr>::failure("trailing input at offset " +
-                                     std::to_string(Pos));
+      return failAt<SExpr>(Diag, Pos,
+                           "trailing input at offset " + std::to_string(Pos));
     return S;
   }
 
@@ -52,14 +74,16 @@ private:
   Outcome<SExpr> parseOne() {
     skipWs();
     if (Pos >= Text.size())
-      return Outcome<SExpr>::failure("unexpected end of input");
+      return failAt<SExpr>(Diag, Pos, "unexpected end of input");
+    std::size_t Start = Pos;
     if (Text[Pos] == '(') {
       ++Pos;
       SExpr S;
+      S.Pos = Start;
       while (true) {
         skipWs();
         if (Pos >= Text.size())
-          return Outcome<SExpr>::failure("unterminated list");
+          return failAt<SExpr>(Diag, Start, "unterminated list");
         if (Text[Pos] == ')') {
           ++Pos;
           return Outcome<SExpr>::success(std::move(S));
@@ -71,29 +95,76 @@ private:
       }
     }
     if (Text[Pos] == ')')
-      return Outcome<SExpr>::failure("unexpected ')'");
-    // Atom: everything until whitespace or parenthesis.
-    std::size_t Start = Pos;
-    while (Pos < Text.size() && !std::isspace(static_cast<unsigned char>(Text[Pos])) &&
-           Text[Pos] != '(' && Text[Pos] != ')')
+      return failAt<SExpr>(Diag, Pos, "unexpected ')'");
+    if (Text[Pos] == '|') {
+      // Quoted atom: |...| with backslash escaping the next character.
+      ++Pos;
+      SExpr S;
+      S.IsAtom = true;
+      S.IsQuoted = true;
+      S.Pos = Start;
+      while (true) {
+        if (Pos >= Text.size())
+          return failAt<SExpr>(Diag, Start, "unterminated quoted atom");
+        char C = Text[Pos++];
+        if (C == '|')
+          return Outcome<SExpr>::success(std::move(S));
+        if (C == '\\') {
+          if (Pos >= Text.size())
+            return failAt<SExpr>(Diag, Start, "unterminated quoted atom");
+          C = Text[Pos++];
+        }
+        S.Atom += C;
+      }
+    }
+    // Atom: everything until whitespace, parenthesis, quote or comment.
+    while (Pos < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[Pos])) &&
+           Text[Pos] != '(' && Text[Pos] != ')' && Text[Pos] != '|' &&
+           Text[Pos] != ';')
       ++Pos;
     SExpr S;
     S.IsAtom = true;
+    S.Pos = Start;
     S.Atom = Text.substr(Start, Pos - Start);
     return Outcome<SExpr>::success(std::move(S));
   }
 
   const std::string &Text;
+  ParseDiag *Diag;
   std::size_t Pos = 0;
 };
 
-Outcome<Expr> toExpr(const SExpr &S);
+/// Parses a (possibly signed) decimal integer atom.
+bool parseInt128(const std::string &A, __int128 &Out) {
+  if (A.empty())
+    return false;
+  bool Neg = A[0] == '-';
+  if (Neg && A.size() == 1)
+    return false;
+  __int128 V = 0;
+  for (std::size_t I = Neg ? 1 : 0; I < A.size(); ++I) {
+    if (!std::isdigit(static_cast<unsigned char>(A[I])))
+      return false;
+    V = V * 10 + (A[I] - '0');
+  }
+  Out = Neg ? -V : V;
+  return true;
+}
+
+/// The bare-variable sort prediction shared by the parser and printer:
+/// 'names are lifetimes, everything else is Any.
+Sort predictSort(const std::string &Name) {
+  return !Name.empty() && Name[0] == '\'' ? Sort::Lft : Sort::Any;
+}
+
+Outcome<Expr> toExpr(const SExpr &S, ParseDiag *Diag);
 
 Outcome<std::vector<Expr>> toExprs(const std::vector<SExpr> &List,
-                                   std::size_t From) {
+                                   std::size_t From, ParseDiag *Diag) {
   std::vector<Expr> Out;
   for (std::size_t I = From; I < List.size(); ++I) {
-    Outcome<Expr> E = toExpr(List[I]);
+    Outcome<Expr> E = toExpr(List[I], Diag);
     if (!E.ok())
       return E.forward<std::vector<Expr>>();
     Out.push_back(E.value());
@@ -101,116 +172,181 @@ Outcome<std::vector<Expr>> toExprs(const std::vector<SExpr> &List,
   return Outcome<std::vector<Expr>>::success(std::move(Out));
 }
 
-Outcome<Expr> toExpr(const SExpr &S) {
+Outcome<Expr> toExpr(const SExpr &S, ParseDiag *Diag) {
   if (S.IsAtom) {
     const std::string &A = S.Atom;
-    if (A == "true")
-      return Outcome<Expr>::success(mkTrue());
-    if (A == "false")
-      return Outcome<Expr>::success(mkFalse());
-    if (A == "none")
-      return Outcome<Expr>::success(mkNone());
-    if (A == "nil")
-      return Outcome<Expr>::success(mkSeqNil());
-    if (A == "unit")
-      return Outcome<Expr>::success(mkUnit());
-    if (!A.empty() &&
-        (std::isdigit(static_cast<unsigned char>(A[0])) ||
-         (A[0] == '-' && A.size() > 1))) {
-      __int128 V = 0;
-      bool Neg = A[0] == '-';
-      for (std::size_t I = Neg ? 1 : 0; I < A.size(); ++I) {
-        if (!std::isdigit(static_cast<unsigned char>(A[I])))
-          return Outcome<Expr>::failure("bad integer literal: " + A);
-        V = V * 10 + (A[I] - '0');
+    // Quoted atoms are names verbatim — never literals.
+    if (!S.IsQuoted) {
+      if (A == "true")
+        return Outcome<Expr>::success(mkTrue());
+      if (A == "false")
+        return Outcome<Expr>::success(mkFalse());
+      if (A == "none")
+        return Outcome<Expr>::success(mkNone());
+      if (A == "nil")
+        return Outcome<Expr>::success(mkSeqNil());
+      if (A == "unit")
+        return Outcome<Expr>::success(mkUnit());
+      if (!A.empty() &&
+          (std::isdigit(static_cast<unsigned char>(A[0])) ||
+           (A[0] == '-' && A.size() > 1))) {
+        __int128 V = 0;
+        if (!parseInt128(A, V))
+          return failAt<Expr>(Diag, S.Pos, "bad integer literal: " + A);
+        return Outcome<Expr>::success(mkInt(V));
       }
-      return Outcome<Expr>::success(mkInt(Neg ? -V : V));
     }
-    // Names starting with ' are lifetimes; others untyped variables.
-    Sort VS = !A.empty() && A[0] == '\'' ? Sort::Lft : Sort::Any;
-    return Outcome<Expr>::success(mkVar(A, VS));
+    return Outcome<Expr>::success(mkVar(A, predictSort(A)));
   }
   if (S.List.empty() || !S.List[0].IsAtom)
-    return Outcome<Expr>::failure("expected operator at list head");
+    return failAt<Expr>(Diag, S.Pos, "expected operator at list head");
   const std::string &Op = S.List[0].Atom;
-  Outcome<std::vector<Expr>> ArgsO = toExprs(S.List, 1);
+
+  // Escape forms whose operands are not themselves expressions.
+  if (!S.List[0].IsQuoted) {
+    if (Op == "var") {
+      if (S.List.size() != 3 || !S.List[1].IsAtom || !S.List[2].IsAtom)
+        return failAt<Expr>(Diag, S.Pos, "expected (var NAME SORT)");
+      Sort VS;
+      if (!parseSortName(S.List[2].Atom, VS))
+        return failAt<Expr>(Diag, S.List[2].Pos,
+                            "unknown sort: " + S.List[2].Atom);
+      return Outcome<Expr>::success(mkVar(S.List[1].Atom, VS));
+    }
+    if (Op == "app") {
+      if (S.List.size() < 2 || !S.List[1].IsAtom)
+        return failAt<Expr>(Diag, S.Pos, "expected (app NAME ARGS...)");
+      Outcome<std::vector<Expr>> Args = toExprs(S.List, 2, Diag);
+      if (!Args.ok())
+        return Args.forward<Expr>();
+      return Outcome<Expr>::success(
+          mkApp(S.List[1].Atom, std::move(Args.value())));
+    }
+    if (Op == "real") {
+      __int128 Num = 0, Den = 0;
+      if (S.List.size() != 3 || !S.List[1].IsAtom || !S.List[2].IsAtom ||
+          S.List[1].IsQuoted || S.List[2].IsQuoted ||
+          !parseInt128(S.List[1].Atom, Num) ||
+          !parseInt128(S.List[2].Atom, Den) || Den == 0)
+        return failAt<Expr>(Diag, S.Pos, "expected (real NUM DEN)");
+      return Outcome<Expr>::success(mkReal(Rational(Num, Den)));
+    }
+    if (Op == "loc") {
+      __int128 Id = 0;
+      if (S.List.size() != 2 || !S.List[1].IsAtom || S.List[1].IsQuoted ||
+          !parseInt128(S.List[1].Atom, Id) || Id < 0)
+        return failAt<Expr>(Diag, S.Pos, "expected (loc ID)");
+      return Outcome<Expr>::success(mkLoc(static_cast<uint64_t>(Id)));
+    }
+  }
+
+  Outcome<std::vector<Expr>> ArgsO = toExprs(S.List, 1, Diag);
   if (!ArgsO.ok())
     return ArgsO.forward<Expr>();
   std::vector<Expr> &Args = ArgsO.value();
   auto need = [&](std::size_t N) { return Args.size() == N; };
 
-  if (Op == "=" && need(2))
-    return Outcome<Expr>::success(mkEq(Args[0], Args[1]));
-  if (Op == "!=" && need(2))
-    return Outcome<Expr>::success(mkNe(Args[0], Args[1]));
-  if (Op == "<" && need(2))
-    return Outcome<Expr>::success(mkLt(Args[0], Args[1]));
-  if (Op == "<=" && need(2))
-    return Outcome<Expr>::success(mkLe(Args[0], Args[1]));
-  if (Op == "+")
-    return Outcome<Expr>::success(mkAdd(std::move(Args)));
-  if (Op == "-" && need(2))
-    return Outcome<Expr>::success(mkSub(Args[0], Args[1]));
-  if (Op == "*" && need(2))
-    return Outcome<Expr>::success(mkMul(Args[0], Args[1]));
-  if (Op == "not" && need(1))
-    return Outcome<Expr>::success(mkNot(Args[0]));
-  if (Op == "and")
-    return Outcome<Expr>::success(mkAnd(std::move(Args)));
-  if (Op == "or")
-    return Outcome<Expr>::success(mkOr(std::move(Args)));
-  if (Op == "=>" && need(2))
-    return Outcome<Expr>::success(mkImplies(Args[0], Args[1]));
-  if (Op == "some" && need(1))
-    return Outcome<Expr>::success(mkSome(Args[0]));
-  if (Op == "unwrap" && need(1))
-    return Outcome<Expr>::success(mkUnwrap(Args[0]));
-  if (Op == "is-some" && need(1))
-    return Outcome<Expr>::success(mkIsSome(Args[0]));
-  if (Op == "len" && need(1))
-    return Outcome<Expr>::success(mkSeqLen(Args[0]));
-  if (Op == "nth" && need(2))
-    return Outcome<Expr>::success(mkSeqNth(Args[0], Args[1]));
-  if (Op == "sub" && need(3))
-    return Outcome<Expr>::success(mkSeqSub(Args[0], Args[1], Args[2]));
-  if (Op == "seq")
-    return Outcome<Expr>::success(mkSeqLit(Args));
-  if (Op == "++")
-    return Outcome<Expr>::success(mkSeqConcat(std::move(Args)));
-  if (Op == "cons" && need(2))
-    return Outcome<Expr>::success(mkSeqCons(Args[0], Args[1]));
-  if (Op == "tuple")
-    return Outcome<Expr>::success(mkTuple(std::move(Args)));
-  if (startsWith(Op, "get-") && need(1)) {
-    // Only an all-digit suffix is a tuple projection; anything else (e.g.
-    // "get-x", or an index too large for unsigned) falls through to an
-    // uninterpreted application below instead of aborting in std::stoul.
-    const std::string Suffix = Op.substr(4);
-    bool IsIndex = !Suffix.empty() && Suffix.size() <= 9;
-    for (char C : Suffix)
-      IsIndex = IsIndex && std::isdigit(static_cast<unsigned char>(C));
-    if (IsIndex) {
-      unsigned Idx = 0;
+  // A quoted head is an uninterpreted application, no operator matching.
+  if (!S.List[0].IsQuoted) {
+    if (Op == "=" && need(2))
+      return Outcome<Expr>::success(mkEq(Args[0], Args[1]));
+    if (Op == "!=" && need(2))
+      return Outcome<Expr>::success(mkNe(Args[0], Args[1]));
+    if (Op == "<" && need(2))
+      return Outcome<Expr>::success(mkLt(Args[0], Args[1]));
+    if (Op == "<=" && need(2))
+      return Outcome<Expr>::success(mkLe(Args[0], Args[1]));
+    if (Op == "+")
+      return Outcome<Expr>::success(mkAdd(std::move(Args)));
+    if (Op == "-" && need(2))
+      return Outcome<Expr>::success(mkSub(Args[0], Args[1]));
+    if (Op == "*" && need(2))
+      return Outcome<Expr>::success(mkMul(Args[0], Args[1]));
+    if (Op == "not" && need(1))
+      return Outcome<Expr>::success(mkNot(Args[0]));
+    if (Op == "neg" && need(1))
+      return Outcome<Expr>::success(mkNeg(Args[0]));
+    if (Op == "and")
+      return Outcome<Expr>::success(mkAnd(std::move(Args)));
+    if (Op == "or")
+      return Outcome<Expr>::success(mkOr(std::move(Args)));
+    if (Op == "=>" && need(2))
+      return Outcome<Expr>::success(mkImplies(Args[0], Args[1]));
+    if (Op == "some" && need(1))
+      return Outcome<Expr>::success(mkSome(Args[0]));
+    if (Op == "unwrap" && need(1))
+      return Outcome<Expr>::success(mkUnwrap(Args[0]));
+    if (Op == "is-some" && need(1))
+      return Outcome<Expr>::success(mkIsSome(Args[0]));
+    if (Op == "len" && need(1))
+      return Outcome<Expr>::success(mkSeqLen(Args[0]));
+    if (Op == "nth" && need(2))
+      return Outcome<Expr>::success(mkSeqNth(Args[0], Args[1]));
+    if (Op == "sub" && need(3))
+      return Outcome<Expr>::success(mkSeqSub(Args[0], Args[1], Args[2]));
+    if (Op == "seq")
+      return Outcome<Expr>::success(mkSeqLit(Args));
+    if (Op == "++")
+      return Outcome<Expr>::success(mkSeqConcat(std::move(Args)));
+    if (Op == "cons" && need(2))
+      return Outcome<Expr>::success(mkSeqCons(Args[0], Args[1]));
+    if (Op == "tuple")
+      return Outcome<Expr>::success(mkTuple(std::move(Args)));
+    if (Op == "lft-incl" && need(2))
+      return Outcome<Expr>::success(mkLftIncl(Args[0], Args[1]));
+    if (startsWith(Op, "get-") && need(1)) {
+      // Only an all-digit suffix is a tuple projection; anything else (e.g.
+      // "get-x", or an index too large for unsigned) falls through to an
+      // uninterpreted application below instead of aborting in std::stoul.
+      const std::string Suffix = Op.substr(4);
+      bool IsIndex = !Suffix.empty() && Suffix.size() <= 9;
       for (char C : Suffix)
-        Idx = Idx * 10 + static_cast<unsigned>(C - '0');
-      return Outcome<Expr>::success(mkTupleGet(Args[0], Idx));
+        IsIndex = IsIndex && std::isdigit(static_cast<unsigned char>(C));
+      if (IsIndex) {
+        unsigned Idx = 0;
+        for (char C : Suffix)
+          Idx = Idx * 10 + static_cast<unsigned>(C - '0');
+        return Outcome<Expr>::success(mkTupleGet(Args[0], Idx));
+      }
     }
+    if (Op == "ite" && need(3))
+      return Outcome<Expr>::success(mkIte(Args[0], Args[1], Args[2]));
   }
-  if (Op == "ite" && need(3))
-    return Outcome<Expr>::success(mkIte(Args[0], Args[1], Args[2]));
   // Unknown operators become uninterpreted applications.
   return Outcome<Expr>::success(mkApp(Op, std::move(Args)));
 }
 
-Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types) {
-  if (S.IsAtom) {
-    if (S.Atom == "emp")
-      return Outcome<AssertionP>::success(emp());
-    return Outcome<AssertionP>::failure("unexpected atom assertion: " +
-                                        S.Atom);
+/// Parses one exists/vars binder: a bare atom (predicted sort) or an
+/// explicitly sorted (NAME SORT) pair. \p Predicted computes the sort of a
+/// bare atom, so exists (historically Any) and spec vars (Lft for 'names)
+/// keep their established defaults.
+Outcome<Binder> toBinder(const SExpr &B, Sort (*Predicted)(const std::string &),
+                         ParseDiag *Diag) {
+  if (B.IsAtom)
+    return Outcome<Binder>::success(Binder{B.Atom, Predicted(B.Atom)});
+  if (B.List.size() == 2 && B.List[0].IsAtom && B.List[1].IsAtom &&
+      !B.List[1].IsQuoted) {
+    Sort BS;
+    if (!parseSortName(B.List[1].Atom, BS))
+      return failAt<Binder>(Diag, B.List[1].Pos,
+                            "unknown sort: " + B.List[1].Atom);
+    return Outcome<Binder>::success(Binder{B.List[0].Atom, BS});
   }
-  if (S.List.empty() || !S.List[0].IsAtom)
-    return Outcome<AssertionP>::failure("expected assertion head");
+  return failAt<Binder>(Diag, B.Pos, "bad binder: expected NAME or (NAME Sort)");
+}
+
+Sort anySort(const std::string &) { return Sort::Any; }
+
+Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types,
+                                ParseDiag *Diag) {
+  if (S.IsAtom) {
+    if (!S.IsQuoted && S.Atom == "emp")
+      return Outcome<AssertionP>::success(emp());
+    return failAt<AssertionP>(Diag, S.Pos,
+                              "unexpected atom assertion: " + S.Atom);
+  }
+  if (S.List.empty() || !S.List[0].IsAtom || S.List[0].IsQuoted)
+    return failAt<AssertionP>(Diag, S.Pos, "expected assertion head");
   const std::string &Op = S.List[0].Atom;
 
   auto typeArg = [&](const SExpr &T) -> rmir::TypeRef {
@@ -220,7 +356,7 @@ Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types) {
   if (Op == "star") {
     std::vector<AssertionP> Parts;
     for (std::size_t I = 1; I < S.List.size(); ++I) {
-      Outcome<AssertionP> P = toAssertion(S.List[I], Types);
+      Outcome<AssertionP> P = toAssertion(S.List[I], Types, Diag);
       if (!P.ok())
         return P;
       Parts.push_back(P.value());
@@ -230,53 +366,54 @@ Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types) {
   if (Op == "exists" && S.List.size() == 3 && !S.List[1].IsAtom) {
     std::vector<Binder> Bs;
     for (const SExpr &B : S.List[1].List) {
-      if (!B.IsAtom)
-        return Outcome<AssertionP>::failure("bad exists binder");
-      Bs.push_back(Binder{B.Atom, Sort::Any});
+      Outcome<Binder> BO = toBinder(B, anySort, Diag);
+      if (!BO.ok())
+        return BO.forward<AssertionP>();
+      Bs.push_back(BO.value());
     }
-    Outcome<AssertionP> Body = toAssertion(S.List[2], Types);
+    Outcome<AssertionP> Body = toAssertion(S.List[2], Types, Diag);
     if (!Body.ok())
       return Body;
     return Outcome<AssertionP>::success(exists(std::move(Bs), Body.value()));
   }
   if (Op == "pure" && S.List.size() == 2) {
-    Outcome<Expr> E = toExpr(S.List[1]);
+    Outcome<Expr> E = toExpr(S.List[1], Diag);
     if (!E.ok())
       return E.forward<AssertionP>();
     return Outcome<AssertionP>::success(pure(E.value()));
   }
   if (Op == "pt" && S.List.size() == 4) {
-    Outcome<Expr> P = toExpr(S.List[1]);
+    Outcome<Expr> P = toExpr(S.List[1], Diag);
     if (!P.ok())
       return P.forward<AssertionP>();
     rmir::TypeRef Ty = typeArg(S.List[2]);
     if (!Ty)
-      return Outcome<AssertionP>::failure("unknown type in pt");
-    Outcome<Expr> V = toExpr(S.List[3]);
+      return failAt<AssertionP>(Diag, S.List[2].Pos, "unknown type in pt");
+    Outcome<Expr> V = toExpr(S.List[3], Diag);
     if (!V.ok())
       return V.forward<AssertionP>();
     return Outcome<AssertionP>::success(pointsTo(P.value(), Ty, V.value()));
   }
   if (Op == "pred" && S.List.size() >= 2 && S.List[1].IsAtom) {
-    Outcome<std::vector<Expr>> Args = toExprs(S.List, 2);
+    Outcome<std::vector<Expr>> Args = toExprs(S.List, 2, Diag);
     if (!Args.ok())
       return Args.forward<AssertionP>();
     return Outcome<AssertionP>::success(
         predCall(S.List[1].Atom, std::move(Args.value())));
   }
   if (Op == "guarded" && S.List.size() >= 3 && S.List[2].IsAtom) {
-    Outcome<Expr> K = toExpr(S.List[1]);
+    Outcome<Expr> K = toExpr(S.List[1], Diag);
     if (!K.ok())
       return K.forward<AssertionP>();
-    Outcome<std::vector<Expr>> Args = toExprs(S.List, 3);
+    Outcome<std::vector<Expr>> Args = toExprs(S.List, 3, Diag);
     if (!Args.ok())
       return Args.forward<AssertionP>();
     return Outcome<AssertionP>::success(
         guardedCall(K.value(), S.List[2].Atom, std::move(Args.value())));
   }
   if (Op == "alive" && S.List.size() == 3) {
-    Outcome<Expr> K = toExpr(S.List[1]);
-    Outcome<Expr> Q = toExpr(S.List[2]);
+    Outcome<Expr> K = toExpr(S.List[1], Diag);
+    Outcome<Expr> Q = toExpr(S.List[2], Diag);
     if (!K.ok())
       return K.forward<AssertionP>();
     if (!Q.ok())
@@ -284,20 +421,20 @@ Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types) {
     return Outcome<AssertionP>::success(lftAlive(K.value(), Q.value()));
   }
   if (Op == "dead" && S.List.size() == 2) {
-    Outcome<Expr> K = toExpr(S.List[1]);
+    Outcome<Expr> K = toExpr(S.List[1], Diag);
     if (!K.ok())
       return K.forward<AssertionP>();
     return Outcome<AssertionP>::success(lftDead(K.value()));
   }
   if (Op == "obs" && S.List.size() == 2) {
-    Outcome<Expr> E = toExpr(S.List[1]);
+    Outcome<Expr> E = toExpr(S.List[1], Diag);
     if (!E.ok())
       return E.forward<AssertionP>();
     return Outcome<AssertionP>::success(observation(E.value()));
   }
   if ((Op == "vo" || Op == "pc") && S.List.size() == 3) {
-    Outcome<Expr> X = toExpr(S.List[1]);
-    Outcome<Expr> V = toExpr(S.List[2]);
+    Outcome<Expr> X = toExpr(S.List[1], Diag);
+    Outcome<Expr> V = toExpr(S.List[2], Diag);
     if (!X.ok())
       return X.forward<AssertionP>();
     if (!V.ok())
@@ -307,23 +444,35 @@ Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types) {
                    : prophCtrl(X.value(), V.value()));
   }
   if (Op == "uninit" && S.List.size() == 3) {
-    Outcome<Expr> P = toExpr(S.List[1]);
+    Outcome<Expr> P = toExpr(S.List[1], Diag);
     if (!P.ok())
       return P.forward<AssertionP>();
     rmir::TypeRef Ty = typeArg(S.List[2]);
     if (!Ty)
-      return Outcome<AssertionP>::failure("unknown type in uninit");
+      return failAt<AssertionP>(Diag, S.List[2].Pos, "unknown type in uninit");
     return Outcome<AssertionP>::success(uninitPT(P.value(), Ty));
   }
-  if (Op == "array" && S.List.size() == 5) {
-    Outcome<Expr> P = toExpr(S.List[1]);
+  if (Op == "maybe" && S.List.size() == 4) {
+    Outcome<Expr> P = toExpr(S.List[1], Diag);
     if (!P.ok())
       return P.forward<AssertionP>();
     rmir::TypeRef Ty = typeArg(S.List[2]);
     if (!Ty)
-      return Outcome<AssertionP>::failure("unknown type in array");
-    Outcome<Expr> N = toExpr(S.List[3]);
-    Outcome<Expr> Sq = toExpr(S.List[4]);
+      return failAt<AssertionP>(Diag, S.List[2].Pos, "unknown type in maybe");
+    Outcome<Expr> V = toExpr(S.List[3], Diag);
+    if (!V.ok())
+      return V.forward<AssertionP>();
+    return Outcome<AssertionP>::success(maybeUninit(P.value(), Ty, V.value()));
+  }
+  if (Op == "array" && S.List.size() == 5) {
+    Outcome<Expr> P = toExpr(S.List[1], Diag);
+    if (!P.ok())
+      return P.forward<AssertionP>();
+    rmir::TypeRef Ty = typeArg(S.List[2]);
+    if (!Ty)
+      return failAt<AssertionP>(Diag, S.List[2].Pos, "unknown type in array");
+    Outcome<Expr> N = toExpr(S.List[3], Diag);
+    Outcome<Expr> Sq = toExpr(S.List[4], Diag);
     if (!N.ok())
       return N.forward<AssertionP>();
     if (!Sq.ok())
@@ -331,39 +480,56 @@ Outcome<AssertionP> toAssertion(const SExpr &S, const rmir::TyCtx &Types) {
     return Outcome<AssertionP>::success(
         arrayPT(P.value(), Ty, N.value(), Sq.value()));
   }
-  return Outcome<AssertionP>::failure("unknown assertion form: " + Op);
+  if (Op == "uninit-array" && S.List.size() == 4) {
+    Outcome<Expr> P = toExpr(S.List[1], Diag);
+    if (!P.ok())
+      return P.forward<AssertionP>();
+    rmir::TypeRef Ty = typeArg(S.List[2]);
+    if (!Ty)
+      return failAt<AssertionP>(Diag, S.List[2].Pos,
+                                "unknown type in uninit-array");
+    Outcome<Expr> N = toExpr(S.List[3], Diag);
+    if (!N.ok())
+      return N.forward<AssertionP>();
+    return Outcome<AssertionP>::success(
+        arrayUninit(P.value(), Ty, N.value()));
+  }
+  return failAt<AssertionP>(Diag, S.Pos, "unknown assertion form: " + Op);
 }
 
 } // namespace
 
 Outcome<AssertionP> gilr::gilsonite::parseAssertion(const std::string &Text,
-                                                    const rmir::TyCtx &Types) {
-  Tokenizer T(Text);
+                                                    const rmir::TyCtx &Types,
+                                                    ParseDiag *Diag) {
+  Tokenizer T(Text, Diag);
   Outcome<SExpr> S = T.parse();
   if (!S.ok())
     return S.forward<AssertionP>();
-  return toAssertion(S.value(), Types);
+  return toAssertion(S.value(), Types, Diag);
 }
 
-Outcome<Expr> gilr::gilsonite::parseExpr(const std::string &Text) {
-  Tokenizer T(Text);
+Outcome<Expr> gilr::gilsonite::parseExpr(const std::string &Text,
+                                         ParseDiag *Diag) {
+  Tokenizer T(Text, Diag);
   Outcome<SExpr> S = T.parse();
   if (!S.ok())
     return S.forward<Expr>();
-  return toExpr(S.value());
+  return toExpr(S.value(), Diag);
 }
 
 Outcome<Spec> gilr::gilsonite::parseSpec(const std::string &Text,
-                                         const rmir::TyCtx &Types) {
-  Tokenizer T(Text);
+                                         const rmir::TyCtx &Types,
+                                         ParseDiag *Diag) {
+  Tokenizer T(Text, Diag);
   Outcome<SExpr> SO = T.parse();
   if (!SO.ok())
     return SO.forward<Spec>();
   const SExpr &S = SO.value();
   if (S.IsAtom || S.List.size() != 5 || !S.List[0].IsAtom ||
       S.List[0].Atom != "spec" || !S.List[1].IsAtom)
-    return Outcome<Spec>::failure(
-        "expected (spec name (vars ...) (pre A) (post A))");
+    return failAt<Spec>(Diag, S.Pos,
+                        "expected (spec name (vars ...) (pre A) (post A))");
   Spec Out;
   Out.Func = S.List[1].Atom;
   Out.Doc = "parsed Gilsonite spec";
@@ -371,22 +537,22 @@ Outcome<Spec> gilr::gilsonite::parseSpec(const std::string &Text,
   const SExpr &Vars = S.List[2];
   if (Vars.IsAtom || Vars.List.empty() || !Vars.List[0].IsAtom ||
       Vars.List[0].Atom != "vars")
-    return Outcome<Spec>::failure("expected a (vars ...) clause");
+    return failAt<Spec>(Diag, Vars.Pos, "expected a (vars ...) clause");
   for (std::size_t I = 1; I < Vars.List.size(); ++I) {
-    if (!Vars.List[I].IsAtom)
-      return Outcome<Spec>::failure("spec variables must be atoms");
-    const std::string &Name = Vars.List[I].Atom;
-    Sort SortOf = !Name.empty() && Name[0] == '\'' ? Sort::Lft : Sort::Any;
-    Out.SpecVars.push_back(Binder{Name, SortOf});
+    Outcome<Binder> BO = toBinder(Vars.List[I], predictSort, Diag);
+    if (!BO.ok())
+      return BO.forward<Spec>();
+    Out.SpecVars.push_back(BO.value());
   }
 
   auto clause = [&](const SExpr &C,
                     const char *Tag) -> Outcome<AssertionP> {
     if (C.IsAtom || C.List.size() != 2 || !C.List[0].IsAtom ||
         C.List[0].Atom != Tag)
-      return Outcome<AssertionP>::failure(std::string("expected a (") + Tag +
-                                          " ...) clause");
-    return toAssertion(C.List[1], Types);
+      return failAt<AssertionP>(Diag, C.Pos,
+                                std::string("expected a (") + Tag +
+                                    " ...) clause");
+    return toAssertion(C.List[1], Types, Diag);
   };
   Outcome<AssertionP> Pre = clause(S.List[3], "pre");
   if (!Pre.ok())
@@ -397,4 +563,50 @@ Outcome<Spec> gilr::gilsonite::parseSpec(const std::string &Text,
   Out.Pre = Pre.value();
   Out.Post = Post.value();
   return Outcome<Spec>::success(std::move(Out));
+}
+
+bool gilr::gilsonite::parseSortName(const std::string &Name, Sort &Out) {
+  static const std::pair<const char *, Sort> Sorts[] = {
+      {"Unit", Sort::Unit}, {"Bool", Sort::Bool},   {"Int", Sort::Int},
+      {"Real", Sort::Real}, {"Loc", Sort::Loc},     {"Lft", Sort::Lft},
+      {"Seq", Sort::Seq},   {"Opt", Sort::Opt},     {"Tuple", Sort::Tuple},
+      {"Any", Sort::Any},
+  };
+  for (const auto &[N, S] : Sorts)
+    if (Name == N) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
+bool gilr::gilsonite::isPlainAtom(const std::string &Atom) {
+  if (Atom.empty())
+    return false;
+  for (char C : Atom)
+    if (std::isspace(static_cast<unsigned char>(C)) || C == '(' || C == ')' ||
+        C == '|' || C == ';' || C == '\\')
+      return false;
+  // Atoms that the reader would interpret as something other than a name.
+  if (Atom == "true" || Atom == "false" || Atom == "none" || Atom == "nil" ||
+      Atom == "unit" || Atom == "emp")
+    return false;
+  // The reader treats any -X (X non-empty) as an integer literal attempt.
+  if (std::isdigit(static_cast<unsigned char>(Atom[0])) ||
+      (Atom[0] == '-' && Atom.size() > 1))
+    return false;
+  return true;
+}
+
+std::string gilr::gilsonite::quoteAtom(const std::string &Name) {
+  if (isPlainAtom(Name))
+    return Name;
+  std::string Out = "|";
+  for (char C : Name) {
+    if (C == '|' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += "|";
+  return Out;
 }

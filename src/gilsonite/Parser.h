@@ -2,20 +2,34 @@
 ///
 /// \file
 /// A small S-expression front-end for Gilsonite assertions and expressions,
-/// used by tests, examples and documentation. The surface syntax the paper
-/// shows (the gilsonite! macro) is Rust-proc-macro flavoured; this parser
-/// accepts an equivalent prefix notation:
+/// used by the textual RMIR frontend (src/frontend/), tests, examples and
+/// documentation. The surface syntax the paper shows (the gilsonite! macro)
+/// is Rust-proc-macro flavoured; this parser accepts an equivalent prefix
+/// notation:
 ///
 ///   (star (pure (= x 1))
 ///         (pt p LinkedList<i32> v)
-///         (exists (v r) (pred own$i32 v r 'a))
+///         (exists ((v Int) r) (pred own$i32 v r 'a))
 ///         (guarded 'a mutref_inner$i32 p x)
 ///         (alive 'a q) (dead 'b)
 ///         (obs (= (fut x) r)) (vo x cur) (pc x a))
 ///
-/// Expressions: integers, true/false, none, (), names, and the operators
-/// = != < <= + - * not and or some unwrap is-some len nth sub seq tuple
-/// get-N cons.
+/// Expressions: integers, true/false, none, nil, unit, names, and the
+/// operators = != < <= + - * not and or => ite some unwrap is-some len nth
+/// sub seq ++ cons tuple get-N neg lft-incl, plus the escape forms
+/// (real NUM DEN), (loc ID), (var NAME SORT) for an explicitly sorted
+/// variable, and (app NAME ARGS...) for an uninterpreted application whose
+/// name would otherwise read as a reserved operator or a literal.
+///
+/// Atoms may be quoted as |...| (backslash escapes \| and \\) so names
+/// containing whitespace, parentheses or the quote character itself — e.g.
+/// the derived predicate "own$&mut LinkedList<T>" or the type atom
+/// "*mut Node<T>" — can appear anywhere a name or type is expected.
+///
+/// Every entry point has an overload taking a \c ParseDiag out-parameter
+/// that receives the byte offset of the failure, so callers (the frontend,
+/// analysis::parseSpecChecked) can render file:line:col caret diagnostics
+/// instead of a bare message.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,17 +43,43 @@
 namespace gilr {
 namespace gilsonite {
 
+/// Position-tracked parse failure: the byte offset into the parsed text
+/// where the error was detected, plus the message (the same message the
+/// Outcome carries).
+struct ParseDiag {
+  std::size_t Offset = 0;
+  std::string Message;
+};
+
 /// Parses a Gilsonite assertion; type names are resolved against \p Types.
+/// On failure, \p Diag (when non-null) receives the error offset.
 Outcome<AssertionP> parseAssertion(const std::string &Text,
-                                   const rmir::TyCtx &Types);
+                                   const rmir::TyCtx &Types,
+                                   ParseDiag *Diag = nullptr);
 
 /// Parses a bare expression.
-Outcome<Expr> parseExpr(const std::string &Text);
+Outcome<Expr> parseExpr(const std::string &Text, ParseDiag *Diag = nullptr);
 
 /// Parses a whole specification:
 ///   (spec <function-name> (vars x y ...) (pre ASSERTION) (post ASSERTION))
-/// The vars clause lists the universally quantified spec variables.
-Outcome<Spec> parseSpec(const std::string &Text, const rmir::TyCtx &Types);
+/// The vars clause lists the universally quantified spec variables; each
+/// may be a bare atom (Any-sorted, Lft for 'names) or a (name Sort) pair.
+Outcome<Spec> parseSpec(const std::string &Text, const rmir::TyCtx &Types,
+                        ParseDiag *Diag = nullptr);
+
+/// Parses a sort name as rendered by \c sortName ("Int", "Seq", ...).
+/// Returns false if \p Name is not a sort.
+bool parseSortName(const std::string &Name, Sort &Out);
+
+/// True if \p Atom can be printed bare (unquoted) and re-read as the same
+/// variable/name atom: non-empty, no whitespace/parens/quote/comment
+/// characters, and not confusable with an integer or reserved literal.
+bool isPlainAtom(const std::string &Atom);
+
+/// Quotes \p Name as a |...| atom when \c isPlainAtom rejects it; returns
+/// it unchanged otherwise. The printer-side dual of the tokenizer's quoted
+/// atoms.
+std::string quoteAtom(const std::string &Name);
 
 } // namespace gilsonite
 } // namespace gilr

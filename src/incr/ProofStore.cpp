@@ -12,8 +12,9 @@ namespace {
 
 constexpr char Magic[8] = {'G', 'I', 'L', 'R', 'P', 'R', 'F', '1'};
 // Version 2 added Side::Lint obligation records (pre-verification analysis
-// verdicts). Version-1 stores are rejected by load(), i.e. a cold run.
-constexpr uint32_t FormatVersion = 2;
+// verdicts). Version 3 added source locations (File/Line/Col) to persisted
+// diagnostics. Older stores are rejected by load(), i.e. a cold run.
+constexpr uint32_t FormatVersion = 3;
 constexpr uint8_t RecObligation = 1;
 constexpr uint8_t RecSolverBlock = 2;
 
@@ -379,6 +380,9 @@ std::string gilr::incr::encodeLintVerdict(const analysis::EntityVerdict &V) {
     W.u32(static_cast<uint32_t>(D.Notes.size()));
     for (const std::string &N : D.Notes)
       W.str(N);
+    W.str(D.File);
+    W.u32(D.Line);
+    W.u32(D.Col);
   }
   return std::move(W.Out);
 }
@@ -410,6 +414,8 @@ bool gilr::incr::decodeLintVerdict(const std::string &Blob,
     for (std::string &N : D.Notes)
       if (!R.str(N))
         return false;
+    if (!R.str(D.File) || !R.u32(D.Line) || !R.u32(D.Col))
+      return false;
   }
   return R.done();
 }

@@ -309,6 +309,13 @@ TypeRef TyCtx::lookup(const std::string &Name) const {
   return It == Nominals.end() ? nullptr : It->second;
 }
 
+std::vector<TypeRef> TyCtx::allNominals() const {
+  std::vector<TypeRef> Out;
+  for (const auto &[Name, T] : Nominals)
+    Out.push_back(T);
+  return Out;
+}
+
 TypeRef TyCtx::byName(const std::string &Name) const {
   std::lock_guard<std::mutex> Lock(ByNameMu);
   auto It = AllByName.find(Name);

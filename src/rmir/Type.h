@@ -164,6 +164,10 @@ public:
   /// Finds a nominal type by name, or nullptr.
   TypeRef lookup(const std::string &Name) const;
 
+  /// All declared nominal types (structs, enums, params) in name order;
+  /// used by the textual frontend's printer to emit type declarations.
+  std::vector<TypeRef> allNominals() const;
+
   /// Finds *any* interned type (including derived pointer/array types) by
   /// its rendered name; used when decoding pointer values back into typed
   /// projections (heap/Projection.h).

@@ -1,0 +1,52 @@
+//===- support/SourceMgr.cpp ----------------------------------------------===//
+
+#include "support/SourceMgr.h"
+
+#include <algorithm>
+
+using namespace gilr;
+using namespace gilr::support;
+
+SourceMgr::SourceMgr(std::string NameIn, std::string TextIn)
+    : Name(std::move(NameIn)), Text(std::move(TextIn)) {
+  LineStarts.push_back(0);
+  for (std::size_t I = 0; I < Text.size(); ++I)
+    if (Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+LineCol SourceMgr::lineCol(std::size_t Offset) const {
+  if (Offset > Text.size())
+    Offset = Text.size();
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Offset);
+  std::size_t LineIdx = static_cast<std::size_t>(It - LineStarts.begin()) - 1;
+  LineCol LC;
+  LC.Line = static_cast<unsigned>(LineIdx + 1);
+  LC.Col = static_cast<unsigned>(Offset - LineStarts[LineIdx] + 1);
+  return LC;
+}
+
+std::string SourceMgr::lineText(unsigned Line) const {
+  if (Line == 0 || Line > LineStarts.size())
+    return "";
+  std::size_t Begin = LineStarts[Line - 1];
+  std::size_t End = Line < LineStarts.size() ? LineStarts[Line] : Text.size();
+  while (End > Begin && (Text[End - 1] == '\n' || Text[End - 1] == '\r'))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string SourceMgr::caretSnippet(std::size_t Offset) const {
+  LineCol LC = lineCol(Offset);
+  std::string Line = lineText(LC.Line);
+  std::string Caret;
+  for (unsigned I = 1; I < LC.Col && I <= Line.size(); ++I)
+    Caret += Line[I - 1] == '\t' ? '\t' : ' ';
+  Caret += '^';
+  return Line + "\n" + Caret;
+}
+
+std::string SourceMgr::locString(std::size_t Offset) const {
+  LineCol LC = lineCol(Offset);
+  return Name + ":" + std::to_string(LC.Line) + ":" + std::to_string(LC.Col);
+}

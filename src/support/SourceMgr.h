@@ -1,0 +1,63 @@
+//===- support/SourceMgr.h - Source text positions and snippets -----------===//
+///
+/// \file
+/// Byte-offset to line/column translation and caret-snippet rendering for
+/// diagnostics that point into source text: the textual RMIR frontend
+/// (src/frontend/) and the Gilsonite assertion parser's position-tracked
+/// errors (gilsonite/Parser.h) both report offsets; this utility turns them
+/// into the "file:line:col" + underlined-line form the CLI prints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SUPPORT_SOURCEMGR_H
+#define GILR_SUPPORT_SOURCEMGR_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace support {
+
+/// A resolved source position (1-based line and column).
+struct LineCol {
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+/// Wraps one source buffer and answers offset -> line/col queries in
+/// O(log #lines) via a precomputed line-start index.
+class SourceMgr {
+public:
+  SourceMgr(std::string Name, std::string Text);
+
+  const std::string &name() const { return Name; }
+  const std::string &text() const { return Text; }
+
+  /// The line/column of byte \p Offset (clamped to the buffer).
+  LineCol lineCol(std::size_t Offset) const;
+
+  /// The full text of the (1-based) \p Line, without the newline.
+  std::string lineText(unsigned Line) const;
+
+  /// Renders the classic two-line caret snippet for \p Offset:
+  ///
+  ///   let x: i33;
+  ///          ^
+  ///
+  /// Tabs in the prefix are preserved so the caret stays aligned.
+  std::string caretSnippet(std::size_t Offset) const;
+
+  /// "name:line:col" for \p Offset.
+  std::string locString(std::size_t Offset) const;
+
+private:
+  std::string Name;
+  std::string Text;
+  std::vector<std::size_t> LineStarts; ///< Byte offset of each line start.
+};
+
+} // namespace support
+} // namespace gilr
+
+#endif // GILR_SUPPORT_SOURCEMGR_H

@@ -1,0 +1,17 @@
+//===- tools/gilr.cpp - The gilr command-line tool --------------------------===//
+///
+/// \file
+/// Thin main over frontend::runCli. See src/frontend/Cli.h for the
+/// subcommands, flags and exit-code contract, docs/FRONTEND.md for the
+/// .gilr grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Cli.h"
+
+#include <iostream>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  return gilr::frontend::runCli(Args, std::cout, std::cerr);
+}

@@ -1,0 +1,152 @@
+//===- tools/gilr_export.cpp - Regenerating the .gilr corpus ----------------===//
+///
+/// \file
+/// Builds the case-study libraries (LinkedList, Stack, Vec and the safe
+/// clients) through the builder APIs and prints each as a .gilr module via
+/// the frontend printer — the source of truth for examples/corpus/.
+/// frontend_test checks that parsing these files reproduces the builder
+/// state (identical verdicts, fingerprint-stable round trip).
+///
+/// Usage: gilr-export OUTDIR
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Printer.h"
+#include "rustlib/Clients.h"
+#include "rustlib/LinkedList.h"
+#include "rustlib/Stack.h"
+#include "rustlib/Vec.h"
+#include "support/Files.h"
+
+#include <iostream>
+#include <variant>
+
+using namespace gilr;
+
+namespace {
+
+/// Splits a registered lemma table back into the declaration lists the
+/// printer (and the .gilr grammar) works with.
+void collectLemmas(const engine::LemmaTable &T,
+                   std::vector<engine::FreezeLemma> &Freezes,
+                   std::vector<engine::ExtractLemma> &Extracts) {
+  for (const std::string &N : T.names()) {
+    const std::variant<engine::FreezeLemma, engine::ExtractLemma> *V =
+        T.lookup(N);
+    if (!V)
+      continue;
+    if (const auto *F = std::get_if<engine::FreezeLemma>(V))
+      Freezes.push_back(*F);
+    else
+      Extracts.push_back(std::get<engine::ExtractLemma>(*V));
+  }
+}
+
+bool emit(const std::string &Dir, const std::string &Name,
+          const frontend::PrintInput &In) {
+  std::string Path = Dir + "/" + Name + ".gilr";
+  if (!files::writeFile(Path, frontend::printGilr(In), "corpus module"))
+    return false;
+  std::cout << "wrote " << Path << "\n";
+  return true;
+}
+
+const creusot::PearliteSpecTable &emptyContracts() {
+  static const creusot::PearliteSpecTable T;
+  return T;
+}
+
+const std::vector<creusot::SafeFn> &noClients() {
+  static const std::vector<creusot::SafeFn> V;
+  return V;
+}
+
+bool exportLinkedList(const std::string &Dir) {
+  bool Ok = true;
+
+  // E1: type safety, unsafe side only.
+  {
+    auto L = rustlib::buildLinkedListLib(rustlib::SpecMode::TypeSafety);
+    std::vector<engine::FreezeLemma> Fr;
+    std::vector<engine::ExtractLemma> Ex;
+    collectLemmas(L->Lemmas, Fr, Ex);
+    std::vector<std::string> Verify = rustlib::typeSafetyFunctions();
+    Ok &= emit(Dir, "linkedlist_safety",
+               {L->Prog, L->Preds, L->Specs, L->Contracts, noClients(), Fr,
+                Ex, L->Auto, Verify});
+
+    // The negative corpus: buggy push_front_node variants that must fail.
+    std::vector<std::string> Buggy = rustlib::registerBuggyVariants(*L);
+    Ok &= emit(Dir, "linkedlist_buggy",
+               {L->Prog, L->Preds, L->Specs, L->Contracts, noClients(), Fr,
+                Ex, L->Auto, Buggy});
+  }
+
+  // E2: functional correctness plus the passing hybrid clients.
+  {
+    auto L = rustlib::buildLinkedListLib(rustlib::SpecMode::Functional);
+    std::vector<engine::FreezeLemma> Fr;
+    std::vector<engine::ExtractLemma> Ex;
+    collectLemmas(L->Lemmas, Fr, Ex);
+
+    std::vector<creusot::SafeFn> Passing = rustlib::makeClients();
+    std::vector<std::string> Verify = rustlib::functionalFunctions();
+    for (const creusot::SafeFn &C : Passing)
+      Verify.push_back(C.Name);
+    Ok &= emit(Dir, "linkedlist_functional",
+               {L->Prog, L->Preds, L->Specs, L->Contracts, Passing, Fr, Ex,
+                L->Auto, Verify});
+
+    // Clients whose verification must fail (exit code 1).
+    std::vector<creusot::SafeFn> Failing = {rustlib::makeBadClient()};
+    std::vector<std::string> VerifyBad;
+    for (const creusot::SafeFn &C : Failing)
+      VerifyBad.push_back(C.Name);
+    Ok &= emit(Dir, "clients_bad",
+               {L->Prog, L->Preds, L->Specs, L->Contracts, Failing, Fr, Ex,
+                L->Auto, VerifyBad});
+  }
+  return Ok;
+}
+
+bool exportStack(const std::string &Dir) {
+  bool Ok = true;
+  const std::pair<rustlib::StackSpecMode, const char *> Modes[] = {
+      {rustlib::StackSpecMode::TypeSafety, "stack_safety"},
+      {rustlib::StackSpecMode::Functional, "stack_functional"},
+  };
+  for (const auto &[Mode, Name] : Modes) {
+    auto L = rustlib::buildStackLib(Mode);
+    std::vector<engine::FreezeLemma> Fr;
+    std::vector<engine::ExtractLemma> Ex;
+    collectLemmas(L->Lemmas, Fr, Ex);
+    std::vector<std::string> Verify = rustlib::stackFunctions();
+    Ok &= emit(Dir, Name,
+               {L->Prog, L->Preds, L->Specs, L->Contracts, noClients(), Fr,
+                Ex, L->Auto, Verify});
+  }
+  return Ok;
+}
+
+bool exportVec(const std::string &Dir) {
+  auto L = rustlib::buildVecLib();
+  std::vector<engine::FreezeLemma> Fr;
+  std::vector<engine::ExtractLemma> Ex;
+  collectLemmas(L->Lemmas, Fr, Ex);
+  std::vector<std::string> Verify = rustlib::vecFunctions();
+  return emit(Dir, "vec",
+              {L->Prog, L->Preds, L->Specs, emptyContracts(), noClients(),
+               Fr, Ex, L->Auto, Verify});
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc != 2) {
+    std::cerr << "usage: gilr-export OUTDIR\n";
+    return 2;
+  }
+  std::string Dir = argv[1];
+  bool Ok = exportLinkedList(Dir) && exportStack(Dir) && exportVec(Dir);
+  return Ok ? 0 : 1;
+}
