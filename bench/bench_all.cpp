@@ -164,6 +164,28 @@ void mergeIncr(const json::Value &V, TrendInput &T) {
       T.Metrics[Base + ".store_bytes"] = N->numberOr(0);
     if (json::ValuePtr N = S->get("warm_speedup"))
       T.Timings[Base + ".warm_speedup"] = N->numberOr(0);
+    // Semantic spec-diff salvage: the edit run's salvage counters are
+    // deterministic (how many warm verdicts survived the edit and how many
+    // implication queries that cost), so they gate; the wall-clock ratio is
+    // machine-dependent and only recorded.
+    json::ValuePtr Salv = S->at("edit.salvaged");
+    json::ValuePtr Impl = S->at("edit.implied");
+    if (Salv || Impl)
+      T.Metrics[Base + ".edit_salvaged"] =
+          (Salv ? Salv->numberOr(0) : 0) + (Impl ? Impl->numberOr(0) : 0);
+    if (json::ValuePtr N = S->at("edit.salvage_queries"))
+      T.Metrics[Base + ".edit_salvage_queries"] = N->numberOr(0);
+    if (json::ValuePtr N = S->get("edit_vs_blanket_speedup"))
+      T.Timings[Base + ".edit_vs_blanket_speedup"] = N->numberOr(0);
+  }
+  if (json::ValuePtr N = V.get("edit_vs_blanket_speedup")) {
+    double Speedup = N->numberOr(0);
+    T.Timings["incr.edit_vs_blanket_speedup"] = Speedup;
+    // Boolean gate for the >=5x edit-to-verdict acceptance bar (mirrors
+    // bench_incr's own MinEditSpeedup exit gate): committed as 1, any run
+    // below the bar drops it to 0 and trips the trend wall regardless of
+    // how fast this machine happens to be.
+    T.Metrics["incr.edit_speedup_ok"] = Speedup >= 5.0 ? 1.0 : 0.0;
   }
 }
 

@@ -4,12 +4,16 @@
 //
 //   * cold run (empty store) vs. warm run (every verdict replayed) wall
 //     time, and the warm-run speedup — the headline number;
-//   * single-lemma-edit re-verification time: only the edited lemma's
-//     dependents are re-proved, everything else is replayed;
+//   * edit-to-verdict latency: a warm run after a semantics-preserving spec
+//     or lemma edit, measured twice — with semantic salvage (implication
+//     queries keep the cached verdicts) and with blanket invalidation
+//     (every dependent re-proves) — and their ratio, the salvage payoff;
 //   * proof-store overhead: load and flush wall time, and the file size.
 //
-// A warm run must re-prove zero obligations; the benchmark fails (exit 1)
-// if it does not, so CI can gate on it.
+// A warm run must re-prove zero obligations, a salvage run must re-prove
+// zero and salvage all dependents, and the generated multi-module suite
+// must show an edit-vs-blanket speedup of at least MinEditSpeedup; the
+// benchmark fails (exit 1) otherwise, so CI can gate on it.
 //
 // Usage: bench_incr [out-file]
 //   default: BENCH_incr.json
@@ -18,6 +22,7 @@
 
 #include "incr/ProofStore.h"
 #include "incr/Session.h"
+#include "rmir/Builder.h"
 #include "rustlib/Clients.h"
 #include "rustlib/LinkedList.h"
 #include "rustlib/Vec.h"
@@ -28,6 +33,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -38,6 +44,8 @@ using namespace gilr::rustlib;
 namespace {
 
 constexpr int Repetitions = 3;
+/// The edit-vs-blanket ratio the generated multi-module suite must reach.
+constexpr double MinEditSpeedup = 5.0;
 
 /// One run of a suite through the incremental entry point: wall time plus
 /// the session counters.
@@ -52,9 +60,14 @@ struct SuiteResult {
   std::size_t Obligations = 0;
   TimedRun Cold;
   TimedRun Warm;
-  /// Warm run after a one-lemma edit (only on suites with a lemma lever).
+  /// Warm runs after a semantics-preserving edit (only on suites with an
+  /// edit lever): with semantic salvage, and with blanket invalidation.
   bool HasEdit = false;
   TimedRun Edit;
+  TimedRun BlanketEdit;
+  /// The suite's edit-vs-blanket ratio must reach this for ok() (0 = no
+  /// gate).
+  double EditSpeedupFloor = 0.0;
   double StoreLoadSeconds = 0.0;
   double StoreFlushSeconds = 0.0;
   std::size_t StoreBytes = 0;
@@ -62,9 +75,14 @@ struct SuiteResult {
   double warmSpeedup() const {
     return Warm.Seconds > 0.0 ? Cold.Seconds / Warm.Seconds : 0.0;
   }
+  double editVsBlanketSpeedup() const {
+    return HasEdit && Edit.Seconds > 0.0 ? BlanketEdit.Seconds / Edit.Seconds
+                                         : 0.0;
+  }
   bool ok() const {
-    return Cold.Ok && Warm.Ok && (!HasEdit || Edit.Ok) &&
-           Warm.Stats.verified() == 0 && Warm.Stats.cached() == Obligations;
+    return Cold.Ok && Warm.Ok && (!HasEdit || (Edit.Ok && BlanketEdit.Ok)) &&
+           Warm.Stats.verified() == 0 && Warm.Stats.cached() == Obligations &&
+           editVsBlanketSpeedup() >= EditSpeedupFloor;
   }
 };
 
@@ -137,7 +155,11 @@ std::string renderRun(const TimedRun &R) {
          ", \"ok\": " + (R.Ok ? "true" : "false") +
          ", \"cached\": " + std::to_string(R.Stats.cached()) +
          ", \"reproved\": " + std::to_string(R.Stats.verified()) +
-         ", \"invalidated\": " + std::to_string(R.Stats.Invalidated) + "}";
+         ", \"invalidated\": " + std::to_string(R.Stats.Invalidated) +
+         ", \"salvaged\": " + std::to_string(R.Stats.Salvaged) +
+         ", \"implied\": " + std::to_string(R.Stats.Implied) +
+         ", \"salvage_queries\": " + std::to_string(R.Stats.SalvageQueries) +
+         "}";
 }
 
 std::string renderSuite(const SuiteResult &S) {
@@ -145,10 +167,15 @@ std::string renderSuite(const SuiteResult &S) {
   Out += ", \"obligations\": " + std::to_string(S.Obligations);
   Out += ", \"ok\": " + std::string(S.ok() ? "true" : "false");
   Out += ", \"warm_speedup\": " + fmt(S.warmSpeedup(), "%.3f");
+  if (S.HasEdit)
+    Out += ", \"edit_vs_blanket_speedup\": " +
+           fmt(S.editVsBlanketSpeedup(), "%.3f");
   Out += ",\n     \"cold\": " + renderRun(S.Cold);
   Out += ",\n     \"warm\": " + renderRun(S.Warm);
-  if (S.HasEdit)
-    Out += ",\n     \"lemma_edit\": " + renderRun(S.Edit);
+  if (S.HasEdit) {
+    Out += ",\n     \"edit\": " + renderRun(S.Edit);
+    Out += ",\n     \"edit_blanket\": " + renderRun(S.BlanketEdit);
+  }
   Out += ",\n     \"store_bytes\": " + std::to_string(S.StoreBytes);
   Out += ", \"store_load_seconds\": " + fmt(S.StoreLoadSeconds);
   Out += ", \"store_flush_seconds\": " + fmt(S.StoreFlushSeconds);
@@ -164,11 +191,19 @@ void printSuite(const SuiteResult &S) {
               S.Warm.Seconds, S.warmSpeedup(),
               static_cast<unsigned long long>(S.Warm.Stats.cached()),
               static_cast<unsigned long long>(S.Warm.Stats.verified()));
-  if (S.HasEdit)
-    std::printf("  edit  %8.3fs  (%llu re-proved, %llu cached)\n",
+  if (S.HasEdit) {
+    std::printf("  edit  %8.3fs  (%llu salvaged via %llu queries, "
+                "%llu re-proved)\n",
                 S.Edit.Seconds,
-                static_cast<unsigned long long>(S.Edit.Stats.verified()),
-                static_cast<unsigned long long>(S.Edit.Stats.cached()));
+                static_cast<unsigned long long>(S.Edit.Stats.salvaged()),
+                static_cast<unsigned long long>(S.Edit.Stats.SalvageQueries),
+                static_cast<unsigned long long>(S.Edit.Stats.verified()));
+    std::printf("  blnkt %8.3fs  (%llu re-proved)  edit speedup %6.2fx\n",
+                S.BlanketEdit.Seconds,
+                static_cast<unsigned long long>(
+                    S.BlanketEdit.Stats.verified()),
+                S.editVsBlanketSpeedup());
+  }
   std::printf("  store %zu bytes, load %.1fms, flush %.1fms\n", S.StoreBytes,
               1e3 * S.StoreLoadSeconds, 1e3 * S.StoreFlushSeconds);
 }
@@ -176,6 +211,113 @@ void printSuite(const SuiteResult &S) {
 std::string storePath(const std::string &Suite) {
   return "bench_incr_" + Suite + ".prf";
 }
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+/// The generated multi-module program of the edit-to-verdict benchmark: one
+/// shared `core::step` with a multi-conjunct pure spec, plus N caller
+/// modules each proved against that spec. Editing one conjunct of the
+/// shared spec touches every module's recorded deps; semantic salvage keeps
+/// all N+1 verdicts through a handful of implication queries, while blanket
+/// invalidation re-proves the whole program.
+struct GenModules {
+  rmir::Program Prog;
+  gilsonite::PredTable Preds;
+  gilsonite::SpecTable Specs;
+  std::unique_ptr<gilsonite::OwnableRegistry> Ownables;
+  engine::LemmaTable Lemmas;
+  Solver Solv;
+  engine::Automation Auto;
+  std::vector<std::string> Funcs;
+
+  explicit GenModules(int Modules) {
+    using namespace gilr::rmir;
+    using namespace gilr::gilsonite;
+    Ownables = std::make_unique<OwnableRegistry>(Prog.Types, Preds);
+    TypeRef U32 = Prog.Types.intTy(IntKind::U32);
+    Expr XV = mkVar("x", Sort::Int);
+    Expr Ret = mkVar(retVarName(), Sort::Int);
+
+    {
+      FunctionBuilder B("core::step", Prog.Types);
+      LocalId X = B.addParam("x", U32);
+      B.setReturnType(U32);
+      BlockId E = B.newBlock();
+      B.atBlock(E);
+      B.assign(Place(0),
+               Rvalue::binary(BinOp::Add, Operand::copy(Place(X)),
+                              Operand::constant(mkInt(1), U32)));
+      B.ret();
+      addFn(B.finish());
+      Spec S;
+      S.Func = "core::step";
+      S.Pre = star({pure(mkLe(mkInt(0), XV)), pure(mkLt(XV, mkInt(1000))),
+                    pure(mkLe(XV, mkInt(100000)))});
+      S.Post = star({pure(mkEq(Ret, mkAdd(XV, mkInt(1)))),
+                     pure(mkLe(Ret, mkInt(1000)))});
+      Specs.add(std::move(S));
+      Funcs.push_back("core::step");
+    }
+
+    // Each module chains Steps calls through core::step's spec, so its
+    // re-proof is an order of magnitude more work than the one implication
+    // query that salvages it.
+    constexpr int Steps = 10;
+    for (int I = 0; I != Modules; ++I) {
+      std::string Name = "mod" + std::to_string(I) + "::call_step";
+      FunctionBuilder B(Name, Prog.Types);
+      LocalId X = B.addParam("x", U32);
+      B.setReturnType(U32);
+      std::vector<LocalId> T;
+      for (int K = 0; K != Steps; ++K)
+        T.push_back(B.addLocal("t" + std::to_string(K), U32));
+      BlockId E = B.newBlock();
+      B.atBlock(E);
+      LocalId Prev = X;
+      for (int K = 0; K != Steps; ++K) {
+        BlockId Cont = B.newBlock();
+        B.call("core::step", {Operand::copy(Place(Prev))}, Place(T[K]),
+               Cont);
+        B.atBlock(Cont);
+        Prev = T[K];
+      }
+      B.assign(Place(0), Rvalue::use(Operand::copy(Place(Prev))));
+      B.ret();
+      addFn(B.finish());
+      Spec S;
+      S.Func = Name;
+      // Per-module bound so the specs are not all identical.
+      S.Pre = star({pure(mkLe(mkInt(0), XV)),
+                    pure(mkLt(XV, mkInt(10 + I % 7)))});
+      S.Post = star({pure(mkEq(Ret, mkAdd(XV, mkInt(Steps))))});
+      Specs.add(std::move(S));
+      Funcs.push_back(std::move(Name));
+    }
+  }
+
+  void addFn(rmir::Function F) {
+    std::string N = F.Name;
+    Prog.Funcs.emplace(std::move(N), std::move(F));
+  }
+
+  engine::VerifEnv env() {
+    engine::VerifEnv E{Prog,   Preds, Specs, *Ownables,
+                       Lemmas, Solv,  Auto,  analysis::AnalysisConfig{}};
+    // Lints never salvage (they quote spec text); keep the edit-to-verdict
+    // measurement a pure proof-obligation workload.
+    E.Lint.Enabled = false;
+    return E;
+  }
+};
 
 } // namespace
 
@@ -215,8 +357,9 @@ int main(int argc, char **argv) {
 
     // Single-lemma edit: conjoin a LinArith-true but syntactically
     // irreducible fact onto the extraction lemma's requirement. Meaning is
-    // unchanged; the fingerprint is not, so exactly the lemma's dependents
-    // (front_mut) re-verify.
+    // unchanged; the fingerprint is not. With semantic salvage the lemma's
+    // dependent (front_mut) is rescued by one implication query; under
+    // blanket invalidation it re-proves — and only it.
     auto *LV = Lib->Lemmas.lookupMutable("ll_extract_head");
     if (LV) {
       auto &Ex = std::get<engine::ExtractLemma>(*LV);
@@ -224,10 +367,25 @@ int main(int argc, char **argv) {
       Expr Z = mkVar("incr$edit", Sort::Int);
       Ex.Requires = mkAnd(Old, mkLe(Z, mkAdd(Z, mkInt(1))));
       Suite.HasEdit = true;
-      Suite.Edit = timeRun(RunOnce);
-      // An edit run re-proves exactly the dependents, not everything.
-      Suite.Edit.Ok = Suite.Edit.Ok && Suite.Edit.Stats.verified() > 0 &&
-                      Suite.Edit.Stats.verified() < Suite.Obligations;
+      std::string WarmStore = readFileBytes(Path);
+      auto ResetStore = [&] { writeFileBytes(Path, WarmStore); };
+      Suite.Edit = best(ResetStore, RunOnce);
+      Suite.Edit.Ok = Suite.Edit.Ok && Suite.Edit.Stats.verified() == 0 &&
+                      Suite.Edit.Stats.salvaged() >= 1;
+      incr::IncrConfig Blanket = Inc;
+      Blanket.SemanticSalvage = false;
+      auto RunBlanket = [&](incr::IncrRunStats &Stats) {
+        engine::VerifEnv Env = Lib->env();
+        hybrid::HybridDriver D(Env, Lib->Contracts);
+        sched::SchedulerConfig C;
+        return D.run(Funcs, Clients, C, Blanket, &Stats).ok();
+      };
+      Suite.BlanketEdit = best(ResetStore, RunBlanket);
+      // A blanket edit run re-proves exactly the dependents, not everything.
+      Suite.BlanketEdit.Ok = Suite.BlanketEdit.Ok &&
+                             Suite.BlanketEdit.Stats.verified() > 0 &&
+                             Suite.BlanketEdit.Stats.verified() <
+                                 Suite.Obligations;
       Ex.Requires = Old;
     }
 
@@ -270,8 +428,77 @@ int main(int argc, char **argv) {
     std::remove(Path.c_str());
   }
 
+  {
+    // Generated multi-module program: the ISSUE's edit-to-verdict headline.
+    // Editing one conjunct of the shared core::step spec — `x < 1000`
+    // becomes the equivalent `x <= 999` — touches every module's recorded
+    // deps. Semantic salvage keeps all verdicts through implication
+    // queries; blanket invalidation re-proves the whole program.
+    GenModules Gen(32);
+
+    SuiteResult Suite;
+    Suite.Name = "gen-modules-shared-spec";
+    Suite.Obligations = Gen.Funcs.size();
+    Suite.EditSpeedupFloor = MinEditSpeedup;
+    std::string Path = storePath("gen_modules");
+    incr::IncrConfig Inc;
+    Inc.Enabled = true;
+    Inc.StorePath = Path;
+
+    auto RunWith = [&](const incr::IncrConfig &Cfg,
+                       incr::IncrRunStats &Stats) {
+      engine::VerifEnv Env = Gen.env();
+      engine::Verifier V(Env);
+      sched::SchedulerConfig C;
+      for (const engine::VerifyReport &R :
+           V.verifyAll(Gen.Funcs, C, Cfg, &Stats))
+        if (!R.Ok)
+          return false;
+      return true;
+    };
+    auto RunOnce = [&](incr::IncrRunStats &Stats) {
+      return RunWith(Inc, Stats);
+    };
+
+    Suite.Cold = best([&] { std::remove(Path.c_str()); }, RunOnce);
+    Suite.Warm = best([] {}, RunOnce);
+    measureStoreOverhead(Suite, Path);
+
+    // The conjunct edit, applied once; both edit runs restart from the
+    // pristine warm store (a salvage run refreshes the records on disk).
+    gilsonite::Spec *Sp = Gen.Specs.lookupMutable("core::step");
+    if (Sp) {
+      Expr XV = mkVar("x", Sort::Int);
+      std::vector<gilsonite::AssertionP> Parts = Sp->Pre->Parts;
+      Parts[1] = gilsonite::pure(mkLe(XV, mkInt(999)));
+      Sp->Pre = gilsonite::star(std::move(Parts));
+      Suite.HasEdit = true;
+      std::string WarmStore = readFileBytes(Path);
+      auto ResetStore = [&] { writeFileBytes(Path, WarmStore); };
+      Suite.Edit = best(ResetStore, RunOnce);
+      // Every obligation must be salvaged, none re-proved.
+      Suite.Edit.Ok = Suite.Edit.Ok && Suite.Edit.Stats.verified() == 0 &&
+                      Suite.Edit.Stats.salvaged() == Suite.Obligations;
+      incr::IncrConfig Blanket = Inc;
+      Blanket.SemanticSalvage = false;
+      auto RunBlanket = [&](incr::IncrRunStats &Stats) {
+        return RunWith(Blanket, Stats);
+      };
+      Suite.BlanketEdit = best(ResetStore, RunBlanket);
+      // Blanket invalidation re-proves the whole program.
+      Suite.BlanketEdit.Ok = Suite.BlanketEdit.Ok &&
+                             Suite.BlanketEdit.Stats.verified() ==
+                                 Suite.Obligations;
+    }
+
+    printSuite(Suite);
+    Suites.push_back(std::move(Suite));
+    std::remove(Path.c_str());
+  }
+
   bool AllOk = true;
   double MinSpeedup = 0.0;
+  double EditSpeedup = 0.0;
   std::string Json = "{\n  \"bench\": \"incremental-verification\"";
   Json += ",\n  \"suites\": [\n";
   for (std::size_t I = 0; I != Suites.size(); ++I) {
@@ -279,10 +506,14 @@ int main(int argc, char **argv) {
     double S = Suites[I].warmSpeedup();
     if (I == 0 || S < MinSpeedup)
       MinSpeedup = S;
+    if (Suites[I].EditSpeedupFloor > 0.0)
+      EditSpeedup = Suites[I].editVsBlanketSpeedup();
     Json += renderSuite(Suites[I]);
     Json += I + 1 != Suites.size() ? ",\n" : "\n";
   }
-  Json += "  ],\n  \"min_warm_speedup\": " + fmt(MinSpeedup, "%.3f") + "\n}\n";
+  Json += "  ],\n  \"min_warm_speedup\": " + fmt(MinSpeedup, "%.3f");
+  Json +=
+      ",\n  \"edit_vs_blanket_speedup\": " + fmt(EditSpeedup, "%.3f") + "\n}\n";
 
   std::FILE *F = std::fopen(OutFile.c_str(), "w");
   if (!F) {
@@ -291,7 +522,7 @@ int main(int argc, char **argv) {
   }
   std::fwrite(Json.data(), 1, Json.size(), F);
   std::fclose(F);
-  std::printf("wrote %s (min warm speedup %.2fx)\n", OutFile.c_str(),
-              MinSpeedup);
+  std::printf("wrote %s (min warm speedup %.2fx, edit vs blanket %.2fx)\n",
+              OutFile.c_str(), MinSpeedup, EditSpeedup);
   return AllOk ? 0 : 1;
 }

@@ -58,6 +58,8 @@ inline constexpr const char *UnsafeSurface = "GILR-W003";  ///< Raw-pointer ops 
 inline constexpr const char *TrivialPost = "GILR-W004";    ///< Trivially-true postcondition conjunct.
 inline constexpr const char *UnusedPred = "GILR-W005";     ///< Predicate never referenced.
 inline constexpr const char *UnusedLemma = "GILR-W006";    ///< Lemma never applied.
+inline constexpr const char *PostImpliedByPre = "GILR-W007"; ///< Post conjunct already follows from the pre.
+inline constexpr const char *PostUnsatGivenPre = "GILR-E011"; ///< Post contradicts the pre.
 } // namespace code
 
 /// The severity a code carries by default ("GILR-E..." are errors,

@@ -60,6 +60,12 @@ void checkUnsafeSurface(const rmir::Function &F, const gilsonite::Spec *S,
 ///    the message carries a greedily minimized unsat core (assertion spans).
 ///  * GILR-W004 trivially-true postcondition — a pure conjunct of Post holds
 ///    under the empty context.
+///  * GILR-W007 post conjunct implied by the pre alone — not trivially true,
+///    but the pure pre fragment already entails it, so it promises nothing
+///    about the function's behaviour.
+///  * GILR-E011 post unsatisfiable given the pre — the combined pure
+///    fragments are UNSAT while the pre alone is satisfiable: no
+///    implementation can meet the contract. Carries a minimized core.
 /// \p F may be null (spec-only entities); \p Solv must outlive the call.
 void checkSpec(const gilsonite::Spec &S, Solver &Solv, DiagnosticEngine &DE);
 

@@ -1,7 +1,9 @@
 //===- analysis/SpecLint.cpp - Solver-backed specification lints -----------===//
 ///
 /// GILR-E006 (vacuous precondition), GILR-W004 (trivially-true postcondition
-/// conjunct), GILR-W005/W006 (unused predicates / lemmas).
+/// conjunct), GILR-W005/W006 (unused predicates / lemmas), GILR-W007
+/// (postcondition conjunct already implied by the precondition alone),
+/// GILR-E011 (postcondition unsatisfiable given the precondition).
 ///
 /// Vacuity uses the existing SMT-lite solver on the *pure fragment* of the
 /// precondition (pure facts and observations; spatial parts are ignored).
@@ -9,7 +11,10 @@
 /// are proofs, so a GILR-E006 is a real contradiction — every proof
 /// obligation of the function would hold vacuously. An Unsat verdict is
 /// then greedily minimized to an unsat core, and the core's assertion spans
-/// are attached as notes.
+/// are attached as notes. W007 and E011 reuse the same query shape against
+/// the combined pre/post pure fragments: a W007 conjunct adds no
+/// information the caller did not already have, and an E011 post can never
+/// be established by any implementation admitted by the pre.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -94,8 +99,9 @@ void gilr::analysis::checkSpec(const Spec &S, Solver &Solv,
   // --- GILR-E006: vacuous precondition. ---
   std::vector<Expr> PreFormulas;
   collectPureFormulas(S.Pre, PreFormulas);
-  if (!PreFormulas.empty() &&
-      Solv.checkSat(PreFormulas) == SatResult::Unsat) {
+  bool PreVacuous =
+      !PreFormulas.empty() && Solv.checkSat(PreFormulas) == SatResult::Unsat;
+  if (PreVacuous) {
     std::vector<Expr> Core = minimizeCore(Solv, PreFormulas);
     Diagnostic D;
     D.Code = code::VacuousPre;
@@ -111,6 +117,7 @@ void gilr::analysis::checkSpec(const Spec &S, Solver &Solv,
   }
 
   // --- GILR-W004: trivially-true postcondition conjuncts. ---
+  // --- GILR-W007: post conjuncts already implied by the pre alone. ---
   std::vector<Expr> PostConjuncts;
   collectPureConjuncts(S.Post, PostConjuncts);
   for (const Expr &E : PostConjuncts) {
@@ -123,6 +130,47 @@ void gilr::analysis::checkSpec(const Spec &S, Solver &Solv,
       D.Message = "postcondition conjunct is trivially true (holds in the "
                   "empty context)";
       D.Notes.push_back("conjunct: " + exprToString(E));
+      DE.report(std::move(D));
+      continue;
+    }
+    // Not trivially true on its own, but the precondition alone already
+    // forces it: the conjunct promises the caller nothing about what the
+    // function *did* (frame conjuncts like `x == old(x)` over unmodified
+    // inputs land here). Skipped under a vacuous pre — everything follows
+    // from a contradiction, and E006 already fired.
+    if (!PreVacuous && !PreFormulas.empty() && Solv.entails(PreFormulas, E)) {
+      Diagnostic D;
+      D.Code = code::PostImpliedByPre;
+      D.Entity = S.Func;
+      D.Message = "postcondition conjunct already follows from the "
+                  "precondition alone — it promises nothing about the "
+                  "function's behaviour";
+      D.Notes.push_back("conjunct: " + exprToString(E));
+      DE.report(std::move(D));
+    }
+  }
+
+  // --- GILR-E011: postcondition unsatisfiable given the precondition. ---
+  // Sound in the same direction as E006: Unsat is a proof that no final
+  // state admitted by the pre can establish the post, so every verification
+  // of this spec must fail (or the function never returns). Skipped when
+  // the pre alone is already contradictory — that is E006's finding.
+  if (!PreVacuous && !PostConjuncts.empty()) {
+    std::vector<Expr> Combined = PreFormulas;
+    Combined.insert(Combined.end(), PostConjuncts.begin(),
+                    PostConjuncts.end());
+    if (Solv.checkSat(Combined) == SatResult::Unsat) {
+      std::vector<Expr> Core = minimizeCore(Solv, Combined);
+      Diagnostic D;
+      D.Code = code::PostUnsatGivenPre;
+      D.Entity = S.Func;
+      D.Message =
+          "postcondition is unsatisfiable under the precondition — no "
+          "implementation can meet this contract (unsat core of " +
+          std::to_string(Core.size()) + " of " +
+          std::to_string(Combined.size()) + " pure conjuncts)";
+      for (const Expr &E : Core)
+        D.Notes.push_back("core: " + exprToString(E));
       DE.report(std::move(D));
     }
   }

@@ -227,8 +227,20 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
       ErrJson += std::string(I ? ", " : "") + "\"" + jsonEscape(Errors[I]) +
                  "\"";
     ErrJson += "]";
+    std::string IncrJson;
+    if (IC.Enabled)
+      IncrJson = ", \"incremental\": {\"cached\": " +
+                 std::to_string(Stats.cached()) +
+                 ", \"verified\": " + std::to_string(Stats.verified()) +
+                 ", \"invalidated\": " + std::to_string(Stats.Invalidated) +
+                 ", \"salvaged\": " + std::to_string(Stats.Salvaged) +
+                 ", \"implied\": " + std::to_string(Stats.Implied) +
+                 ", \"salvage_queries\": " +
+                 std::to_string(Stats.SalvageQueries) +
+                 ", \"compactions\": " + std::to_string(Stats.Compactions) +
+                 "}";
     R.Json = jsonHead(Opt, Path) + ", \"exit\": " + std::to_string(R.Exit) +
-             ", \"errors\": " + ErrJson +
+             ", \"errors\": " + ErrJson + IncrJson +
              ", \"report\": " + Report.renderJson() + "}";
   } else {
     printDiagnostics(Err, Report.Analysis.Diags, &SM);
@@ -238,7 +250,9 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
     if (IC.Enabled)
       Out << "incremental: " << Stats.cached() << " cached, "
           << Stats.verified() << " verified, " << Stats.Invalidated
-          << " invalidated\n";
+          << " invalidated, " << Stats.Salvaged << " salvaged, "
+          << Stats.Implied << " implied, " << Stats.Compactions
+          << " compactions\n";
   }
   return R;
 }

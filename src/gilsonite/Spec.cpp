@@ -20,3 +20,8 @@ const Spec *SpecTable::lookup(const std::string &Func) const {
   auto It = Map.find(Func);
   return It == Map.end() ? nullptr : &It->second;
 }
+
+Spec *SpecTable::lookupMutable(const std::string &Func) {
+  auto It = Map.find(Func);
+  return It == Map.end() ? nullptr : &It->second;
+}

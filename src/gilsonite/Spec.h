@@ -47,6 +47,9 @@ class SpecTable {
 public:
   void add(Spec S);
   const Spec *lookup(const std::string &Func) const;
+  /// Mutable access for edit simulation (tests, benchmarks). Does not note
+  /// a proof dependency.
+  Spec *lookupMutable(const std::string &Func);
   const std::map<std::string, Spec> &all() const { return Map; }
 
 private:

@@ -2,8 +2,10 @@
 
 #include "incr/ProofStore.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <tuple>
 
 using namespace gilr;
 using namespace gilr::incr;
@@ -13,8 +15,14 @@ namespace {
 constexpr char Magic[8] = {'G', 'I', 'L', 'R', 'P', 'R', 'F', '1'};
 // Version 2 added Side::Lint obligation records (pre-verification analysis
 // verdicts). Version 3 added source locations (File/Line/Col) to persisted
-// diagnostics. Older stores are rejected by load(), i.e. a cold run.
-constexpr uint32_t FormatVersion = 3;
+// diagnostics. Version 4 added clause-level dependency signatures (skeleton
+// fingerprint + per-clause fingerprints, pure clauses persisted as journal
+// text) for semantic salvage. v3 stores still load — their deps simply
+// carry no signature and fall back to plain fingerprint equality — and are
+// upgraded by the load-time compaction rewrite. Older stores are rejected
+// by load(), i.e. a cold run.
+constexpr uint32_t FormatVersion = 4;
+constexpr uint32_t MinFormatVersion = 3;
 constexpr uint8_t RecObligation = 1;
 constexpr uint8_t RecSolverBlock = 2;
 
@@ -112,12 +120,26 @@ std::string encodeObligation(const StoredObligation &Ob) {
     W.u8(static_cast<uint8_t>(D.K));
     W.str(D.Name);
     W.u64(D.Fp);
+    // v4: the clause-level signature (incr/SpecDiff.h). Live formulas are
+    // not persisted — pure clauses round-trip through their journal text.
+    W.u8(D.HasSig ? 1 : 0);
+    if (D.HasSig) {
+      W.u64(D.Sig.SkeletonFp);
+      W.u32(static_cast<uint32_t>(D.Sig.Clauses.size()));
+      for (const ClauseSig &C : D.Sig.Clauses) {
+        W.u8(static_cast<uint8_t>(C.Role));
+        W.u8(C.Pure ? 1 : 0);
+        W.u64(C.Fp);
+        W.str(C.Text);
+      }
+    }
   }
   W.str(Ob.Blob);
   return std::move(W.Out);
 }
 
-bool decodeObligation(const std::string &Payload, StoredObligation &Ob) {
+bool decodeObligation(const std::string &Payload, StoredObligation &Ob,
+                      uint32_t Version) {
   Reader R(Payload);
   uint8_t S;
   uint32_t NDeps;
@@ -134,6 +156,29 @@ bool decodeObligation(const std::string &Payload, StoredObligation &Ob) {
         !R.str(D.Name) || !R.u64(D.Fp))
       return false;
     D.K = static_cast<deps::Kind>(K);
+    if (Version >= 4) {
+      uint8_t HasSig;
+      if (!R.u8(HasSig) || HasSig > 1)
+        return false;
+      D.HasSig = HasSig != 0;
+      if (D.HasSig) {
+        uint32_t NClauses;
+        if (!R.u64(D.Sig.SkeletonFp) || !R.u32(NClauses))
+          return false;
+        D.Sig.Clauses.reserve(NClauses);
+        for (uint32_t J = 0; J != NClauses; ++J) {
+          ClauseSig C;
+          uint8_t Role, Pure;
+          if (!R.u8(Role) ||
+              Role > static_cast<uint8_t>(ClauseRole::ContractPost) ||
+              !R.u8(Pure) || Pure > 1 || !R.u64(C.Fp) || !R.str(C.Text))
+            return false;
+          C.Role = static_cast<ClauseRole>(Role);
+          C.Pure = Pure != 0;
+          D.Sig.Clauses.push_back(std::move(C));
+        }
+      }
+    }
     Ob.Deps.push_back(std::move(D));
   }
   return R.str(Ob.Blob) && R.done();
@@ -202,10 +247,13 @@ bool readSolverStats(Reader &R, SolverStats &S) {
 // Load / flush
 //===----------------------------------------------------------------------===//
 
-bool ProofStore::load() {
+bool ProofStore::load(bool AllowCompaction) {
   Index.clear();
   Solver.clear();
   Truncated = false;
+  Dirty.clear();
+  SolverDirty = false;
+  DiskValid = false;
 
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
@@ -216,12 +264,16 @@ bool ProofStore::load() {
   if (std::fread(Head, 1, sizeof Head, F) != sizeof Head ||
       std::memcmp(Head, Magic, sizeof Magic) != 0 ||
       std::fread(&Version, sizeof Version, 1, F) != 1 ||
-      Version != FormatVersion ||
+      Version < MinFormatVersion || Version > FormatVersion ||
       std::fread(&Reserved, sizeof Reserved, 1, F) != 1) {
     std::fclose(F);
     return false;
   }
 
+  // Superseded records: obligation records replaced by a later one for the
+  // same key, and solver blocks replaced by a later block. They are the
+  // growth of the append-log that load-time compaction reclaims.
+  uint64_t Superseded = 0;
   for (;;) {
     uint8_t Type;
     uint32_t Len;
@@ -241,24 +293,42 @@ bool ProofStore::load() {
     }
     if (Type == RecObligation) {
       StoredObligation Ob;
-      if (!decodeObligation(Payload, Ob)) {
+      if (!decodeObligation(Payload, Ob, Version)) {
         Truncated = true;
         break;
       }
       // Append-log semantics: the last record for a key wins.
-      Index[{static_cast<uint8_t>(Ob.S), Ob.Name}] = std::move(Ob);
+      std::pair<uint8_t, std::string> Key{static_cast<uint8_t>(Ob.S),
+                                          Ob.Name};
+      if (!Index.emplace(Key, Ob).second) {
+        ++Superseded;
+        Index[Key] = std::move(Ob);
+      }
     } else if (Type == RecSolverBlock) {
       std::vector<SavedQueryVerdict> Es;
       if (!decodeSolverBlock(Payload, Es)) {
         Truncated = true;
         break;
       }
+      if (!Solver.empty())
+        ++Superseded;
       Solver = std::move(Es);
     }
     // Unknown record types are skipped: forward-compatible within a
     // version, since the checksum already validated the payload length.
   }
   std::fclose(F);
+
+  DiskValid = !Truncated && Version == FormatVersion;
+  if (AllowCompaction &&
+      (Superseded > 0 || Version != FormatVersion || Truncated)) {
+    // Rewrite the log as a compacted current-version snapshot: supersede
+    // chains collapse, torn tails are dropped, v3 stores are upgraded.
+    if (writeSnapshot()) {
+      ++Compactions;
+      DiskValid = true;
+    }
+  }
   return true;
 }
 
@@ -270,32 +340,62 @@ const StoredObligation *ProofStore::lookup(Side S,
 
 void ProofStore::put(StoredObligation Ob) {
   std::pair<uint8_t, std::string> Key{static_cast<uint8_t>(Ob.S), Ob.Name};
+  Dirty.insert(Key);
   Index[std::move(Key)] = std::move(Ob);
 }
 
-bool ProofStore::flush() const {
+void ProofStore::setSolverEntries(std::vector<SavedQueryVerdict> Entries) {
+  // A fully warm run exports the same entries it loaded (possibly in a
+  // different shard order); comparing as sorted multisets keeps the flush a
+  // no-op then, so an unchanged store file stays byte-identical on disk.
+  auto Less = [](const SavedQueryVerdict &A, const SavedQueryVerdict &B) {
+    return std::tie(A.Fp, A.Fp2) < std::tie(B.Fp, B.Fp2);
+  };
+  auto Same = [](const SavedQueryVerdict &A, const SavedQueryVerdict &B) {
+    return A.Fp == B.Fp && A.Fp2 == B.Fp2 && A.V.R == B.V.R &&
+           A.V.Branches == B.V.Branches && A.V.TheoryChecks == B.V.TheoryChecks;
+  };
+  if (Entries.size() == Solver.size()) {
+    std::vector<SavedQueryVerdict> A = Entries, B = Solver;
+    std::sort(A.begin(), A.end(), Less);
+    std::sort(B.begin(), B.end(), Less);
+    bool Equal = true;
+    for (std::size_t I = 0; I != A.size() && Equal; ++I)
+      Equal = Same(A[I], B[I]);
+    if (Equal)
+      return;
+  }
+  Solver = std::move(Entries);
+  SolverDirty = true;
+}
+
+namespace {
+
+bool writeStoreRecord(std::FILE *F, uint8_t Type, const std::string &Payload) {
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  uint64_t Checksum = recordChecksum(Type, Payload);
+  return std::fwrite(&Type, 1, 1, F) == 1 &&
+         std::fwrite(&Len, sizeof Len, 1, F) == 1 &&
+         (!Len || std::fwrite(Payload.data(), 1, Len, F) == Len) &&
+         std::fwrite(&Checksum, sizeof Checksum, 1, F) == 1;
+}
+
+} // namespace
+
+bool ProofStore::writeSnapshot() {
   std::string Tmp = Path + ".tmp";
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return false;
-
-  auto writeRecord = [&](uint8_t Type, const std::string &Payload) {
-    uint32_t Len = static_cast<uint32_t>(Payload.size());
-    uint64_t Checksum = recordChecksum(Type, Payload);
-    return std::fwrite(&Type, 1, 1, F) == 1 &&
-           std::fwrite(&Len, sizeof Len, 1, F) == 1 &&
-           (!Len || std::fwrite(Payload.data(), 1, Len, F) == Len) &&
-           std::fwrite(&Checksum, sizeof Checksum, 1, F) == 1;
-  };
 
   uint32_t Version = FormatVersion, Reserved = 0;
   bool Ok = std::fwrite(Magic, 1, sizeof Magic, F) == sizeof Magic &&
             std::fwrite(&Version, sizeof Version, 1, F) == 1 &&
             std::fwrite(&Reserved, sizeof Reserved, 1, F) == 1;
   for (const auto &[Key, Ob] : Index)
-    Ok = Ok && writeRecord(RecObligation, encodeObligation(Ob));
+    Ok = Ok && writeStoreRecord(F, RecObligation, encodeObligation(Ob));
   if (!Solver.empty())
-    Ok = Ok && writeRecord(RecSolverBlock, encodeSolverBlock(Solver));
+    Ok = Ok && writeStoreRecord(F, RecSolverBlock, encodeSolverBlock(Solver));
   Ok = std::fflush(F) == 0 && Ok;
   Ok = std::fclose(F) == 0 && Ok;
   if (!Ok) {
@@ -306,6 +406,46 @@ bool ProofStore::flush() const {
     std::remove(Tmp.c_str());
     return false;
   }
+  Dirty.clear();
+  SolverDirty = false;
+  return true;
+}
+
+bool ProofStore::flush() {
+  if (DiskValid && Dirty.empty() && !SolverDirty)
+    return true; // Nothing changed since load: leave the file untouched.
+
+  if (DiskValid) {
+    // Cheap warm-loop write: append only the changed records. The log's
+    // last-record-wins semantics make them supersede the on-disk ones, and
+    // the next writable load compacts the chain away.
+    std::FILE *F = std::fopen(Path.c_str(), "ab");
+    if (!F)
+      return false;
+    bool Ok = true;
+    for (const auto &Key : Dirty) {
+      auto It = Index.find(Key);
+      if (It != Index.end())
+        Ok = Ok && writeStoreRecord(F, RecObligation,
+                                    encodeObligation(It->second));
+    }
+    if (SolverDirty && !Solver.empty())
+      Ok = Ok &&
+           writeStoreRecord(F, RecSolverBlock, encodeSolverBlock(Solver));
+    Ok = std::fflush(F) == 0 && Ok;
+    Ok = std::fclose(F) == 0 && Ok;
+    if (Ok) {
+      Dirty.clear();
+      SolverDirty = false;
+      return true;
+    }
+    // A torn append degrades the next load to the valid prefix; fall back
+    // to the atomic snapshot path to leave a consistent file behind.
+  }
+
+  if (!writeSnapshot())
+    return false;
+  DiskValid = true;
   return true;
 }
 

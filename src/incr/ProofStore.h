@@ -18,8 +18,11 @@
 /// safety: \c load verifies the header and every record checksum, stopping
 /// at the first malformed/truncated record while keeping everything before
 /// it — a torn write degrades to a partially warm run, never to an error or
-/// a wrong verdict. \c flush writes a compacted snapshot to "<path>.tmp"
-/// and renames it over the store atomically.
+/// a wrong verdict. \c flush appends only the records that changed since
+/// load when the on-disk log is intact (cheap warm-loop writes; superseded
+/// records accumulate and are dropped by a load-time compaction rewrite),
+/// and otherwise writes a full snapshot to "<path>.tmp" and renames it over
+/// the store atomically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,10 +33,12 @@
 #include "creusot/SafeVerifier.h"
 #include "engine/Verifier.h"
 #include "incr/DepGraph.h"
+#include "incr/SpecDiff.h"
 #include "solver/Solver.h"
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -41,11 +46,17 @@ namespace gilr {
 namespace incr {
 
 /// One recorded dependency: the entity and the fingerprint it had when the
-/// proof ran.
+/// proof ran, plus (format v4) its clause-level signature so a later
+/// session can diff the edit and attempt salvage (incr/SpecDiff.h).
 struct StoredDep {
   deps::Kind K = deps::Kind::Function;
   std::string Name;
   uint64_t Fp = 0;
+  /// Whether \c Sig below was recorded. False for entity kinds without
+  /// clause structure (RMIR functions) and for deps loaded from a v3
+  /// store, which then fall back to plain fingerprint equality.
+  bool HasSig = false;
+  EntitySig Sig;
 };
 
 /// One cached obligation verdict.
@@ -72,36 +83,54 @@ public:
   /// Reads the store file. Returns false when there is no usable store
   /// (missing file, foreign magic, unsupported version) — the caller runs
   /// cold. A valid header followed by a torn tail loads the valid prefix
-  /// and reports \c truncated().
-  bool load();
+  /// and reports \c truncated(). With \p AllowCompaction (writable
+  /// sessions), a log containing superseded records, a previous-version
+  /// header, or a torn tail is rewritten in place as a compacted snapshot —
+  /// the GILRPRF1 append-log would otherwise grow without bound across
+  /// sessions; \c compactions() counts the rewrites.
+  bool load(bool AllowCompaction = false);
 
   /// Whether the last \c load stopped early at a malformed record.
   bool truncated() const { return Truncated; }
+
+  /// Number of load-time compaction rewrites performed (0 or 1 per load).
+  uint64_t compactions() const { return Compactions; }
 
   const StoredObligation *lookup(Side S, const std::string &Name) const;
 
   /// Inserts or replaces the verdict for (Ob.S, Ob.Name).
   void put(StoredObligation Ob);
 
-  void setSolverEntries(std::vector<SavedQueryVerdict> Entries) {
-    Solver = std::move(Entries);
-  }
+  void setSolverEntries(std::vector<SavedQueryVerdict> Entries);
   const std::vector<SavedQueryVerdict> &solverEntries() const {
     return Solver;
   }
 
-  /// Writes a compacted snapshot atomically (tmp file + rename). Returns
-  /// false on I/O failure; the previous store file is left intact.
-  bool flush() const;
+  /// Persists the store. When the on-disk log is intact this appends only
+  /// the records changed since \c load (append-log semantics make the new
+  /// records win on the next load); otherwise it writes a full snapshot to
+  /// "<path>.tmp" and renames it over the store atomically. Returns false
+  /// on I/O failure; the previous store file is left intact.
+  bool flush();
 
   std::size_t size() const { return Index.size(); }
   const std::string &path() const { return Path; }
 
 private:
+  bool writeSnapshot();
+
   std::string Path;
   std::map<std::pair<uint8_t, std::string>, StoredObligation> Index;
   std::vector<SavedQueryVerdict> Solver;
   bool Truncated = false;
+  /// Keys put() since the last load/flush (the append set), and whether the
+  /// solver block changed. DiskValid means the on-disk file is a current-
+  /// version log whose replayed state equals Index minus the dirty set, so
+  /// appending is safe.
+  std::set<std::pair<uint8_t, std::string>> Dirty;
+  bool SolverDirty = false;
+  bool DiskValid = false;
+  uint64_t Compactions = 0;
 };
 
 /// Report serialization. Every field round-trips (timing included, stored

@@ -2,6 +2,7 @@
 
 #include "incr/Session.h"
 
+#include "solver/Flight.h"
 #include "support/Trace.h"
 
 using namespace gilr;
@@ -22,8 +23,14 @@ Session::Session(const IncrConfig &Cfg, engine::VerifEnv &Env,
   ConfigFp = fpAutomation(Env.Auto, Env.Solv.MaxBranches);
   LintConfigFp = fpAnalysisConfig(Env.Lint, Env.Solv.MaxBranches);
   if (!Cfg.StorePath.empty()) {
-    Stats.StoreLoaded = Store.load();
+    // Writable sessions compact the append-log on load (superseded records
+    // dropped, previous-version stores upgraded); read-only ones must not
+    // touch the file.
+    Stats.StoreLoaded = Store.load(/*AllowCompaction=*/!Cfg.ReadOnly);
     Stats.StoreTruncated = Store.truncated();
+    Stats.Compactions = Store.compactions();
+    if (trace::enabled() && Stats.Compactions)
+      metrics::Registry::get().add("incr.compactions", Stats.Compactions);
   }
 }
 
@@ -63,20 +70,125 @@ uint64_t Session::currentFp(const DepKey &Key) {
   return Fp;
 }
 
-bool Session::depsStillValid(const StoredObligation &Ob) {
-  for (const StoredDep &D : Ob.Deps)
-    if (currentFp(DepKey{D.K, D.Name}) != D.Fp)
-      return false;
-  return true;
+const EntitySig &Session::currentSig(const DepKey &Key) {
+  // Callers hold Mu, like currentFp.
+  auto It = SigMemo.find(Key);
+  if (It != SigMemo.end())
+    return It->second;
+
+  EntitySig Sig;
+  switch (Key.K) {
+  case deps::Kind::Function:
+    break; // RMIR bodies have no clause structure: whole-fp only.
+  case deps::Kind::Spec:
+    if (const gilsonite::Spec *S = Env.Specs.lookup(Key.Name))
+      Sig = sigSpec(*S);
+    break;
+  case deps::Kind::Pred:
+    if (const gilsonite::PredDecl *P = Env.Preds.lookup(Key.Name))
+      Sig = sigPred(*P);
+    break;
+  case deps::Kind::Lemma:
+    if (const std::variant<engine::FreezeLemma, engine::ExtractLemma> *L =
+            Env.Lemmas.lookup(Key.Name))
+      Sig = sigLemma(*L);
+    break;
+  case deps::Kind::Contract:
+    if (Contracts)
+      if (const creusot::PearliteSpec *C = Contracts->lookup(Key.Name))
+        Sig = sigContract(*C);
+    break;
+  }
+  return SigMemo.emplace(Key, std::move(Sig)).first->second;
+}
+
+Session::DepsVerdict Session::checkDeps(const StoredObligation &Ob,
+                                        char FlightSide) {
+  bool AnySalvage = false;
+  std::vector<SalvageObligation> Queries;
+  for (const StoredDep &D : Ob.Deps) {
+    if (currentFp(DepKey{D.K, D.Name}) == D.Fp)
+      continue;
+    // Lint verdicts never salvage: their diagnostics quote spec text, so a
+    // semantically neutral rewrite would still change the rendered output.
+    if (!Cfg.SemanticSalvage || Ob.S == Side::Lint || !D.HasSig)
+      return DepsVerdict::Invalid;
+    const EntitySig &Cur = currentSig(DepKey{D.K, D.Name});
+    // A proof is verified *against* its own spec and may also consume it at
+    // recursive call sites; diffForSalvage then requires both directions.
+    bool SelfDep = D.K == deps::Kind::Spec && D.Name == Ob.Name;
+    SalvageVerdict V = diffForSalvage(D.Sig, Cur, SelfDep, Queries);
+    if (V == SalvageVerdict::Invalid)
+      return DepsVerdict::Invalid;
+    AnySalvage = true;
+  }
+  if (!AnySalvage)
+    return DepsVerdict::Clean;
+  if (Queries.empty())
+    return DepsVerdict::Salvaged;
+  // Discharge the implications through the solver chain, attributed to
+  // this obligation in the flight journal. Queries go through the memo
+  // layer like any other, so a repeated edit re-salvages from cache.
+  flight::ObligationScope Scope(Ob.Name, FlightSide);
+  for (const SalvageObligation &Q : Queries) {
+    ++Stats.SalvageQueries;
+    if (trace::enabled())
+      metrics::Registry::get().add("incr.salvage_queries");
+    if (!Env.Solv.entails(Q.Ctx, Q.Goal))
+      return DepsVerdict::Invalid;
+  }
+  return DepsVerdict::Implied;
 }
 
 std::vector<StoredDep> Session::snapshotDeps(const std::set<DepKey> &Deps) {
   std::vector<StoredDep> Out;
   Out.reserve(Deps.size());
-  for (const DepKey &K : Deps)
-    Out.push_back(StoredDep{K.K, K.Name, currentFp(K)});
+  for (const DepKey &K : Deps) {
+    StoredDep D;
+    D.K = K.K;
+    D.Name = K.Name;
+    D.Fp = currentFp(K);
+    const EntitySig &Sig = currentSig(K);
+    if (Sig.valid()) {
+      D.HasSig = true;
+      D.Sig = Sig;
+    }
+    Out.push_back(std::move(D));
+  }
   return Out;
 }
+
+void Session::refreshRecord(const StoredObligation &Ob, uint64_t SelfFp,
+                            const std::set<DepKey> &DepKeys) {
+  if (Cfg.ReadOnly)
+    return;
+  StoredObligation Fresh;
+  Fresh.S = Ob.S;
+  Fresh.Name = Ob.Name;
+  Fresh.SelfFp = SelfFp;
+  Fresh.ConfigFp = Ob.ConfigFp;
+  Fresh.Deps = snapshotDeps(DepKeys);
+  Fresh.Blob = Ob.Blob;
+  Store.put(std::move(Fresh)); // Replaces Ob: the caller's pointer dies.
+}
+
+namespace {
+
+/// Bumps the salvage counters for a non-Clean replay and reports to the
+/// metrics registry.
+void noteSalvage(IncrRunStats &Stats, bool ViaImplication) {
+  if (ViaImplication) {
+    ++Stats.Implied;
+    if (trace::enabled())
+      metrics::Registry::get().add("incr.implied");
+  } else {
+    ++Stats.Salvaged;
+    if (trace::enabled())
+      metrics::Registry::get().add("incr.salvaged");
+  }
+}
+
+} // namespace
 
 bool Session::lookupUnsafe(const std::string &Func,
                            engine::VerifyReport &Out) {
@@ -85,8 +197,12 @@ bool Session::lookupUnsafe(const std::string &Func,
   if (!Ob)
     return false;
   uint64_t SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
-  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp ||
-      !depsStillValid(*Ob)) {
+  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp) {
+    ++Stats.Invalidated;
+    return false;
+  }
+  DepsVerdict DV = checkDeps(*Ob, 'U');
+  if (DV == DepsVerdict::Invalid) {
     ++Stats.Invalidated;
     return false;
   }
@@ -101,6 +217,10 @@ bool Session::lookupUnsafe(const std::string &Func,
   std::set<DepKey> Deps;
   for (const StoredDep &D : Ob->Deps)
     Deps.insert(DepKey{D.K, D.Name});
+  if (DV != DepsVerdict::Clean) {
+    noteSalvage(Stats, DV == DepsVerdict::Implied);
+    refreshRecord(*Ob, SelfFp, Deps); // Ob dangles from here on.
+  }
   Graph.record(ObligationId{Side::Unsafe, Func}, std::move(Deps));
   return true;
 }
@@ -130,8 +250,13 @@ bool Session::lookupSafe(const creusot::SafeFn &F, creusot::SafeReport &Out) {
   const StoredObligation *Ob = Store.lookup(Side::Safe, F.Name);
   if (!Ob)
     return false;
-  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != fpSafeFn(F) ||
-      !depsStillValid(*Ob)) {
+  uint64_t SelfFp = fpSafeFn(F);
+  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp) {
+    ++Stats.Invalidated;
+    return false;
+  }
+  DepsVerdict DV = checkDeps(*Ob, 'S');
+  if (DV == DepsVerdict::Invalid) {
     ++Stats.Invalidated;
     return false;
   }
@@ -144,6 +269,10 @@ bool Session::lookupSafe(const creusot::SafeFn &F, creusot::SafeReport &Out) {
   std::set<DepKey> Deps;
   for (const StoredDep &D : Ob->Deps)
     Deps.insert(DepKey{D.K, D.Name});
+  if (DV != DepsVerdict::Clean) {
+    noteSalvage(Stats, DV == DepsVerdict::Implied);
+    refreshRecord(*Ob, SelfFp, Deps); // Ob dangles from here on.
+  }
   Graph.record(ObligationId{Side::Safe, F.Name}, std::move(Deps));
   return true;
 }
@@ -176,7 +305,7 @@ bool Session::lookupLint(const std::string &Func,
     return false;
   uint64_t SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
   if (Ob->ConfigFp != LintConfigFp || Ob->SelfFp != SelfFp ||
-      !depsStillValid(*Ob)) {
+      checkDeps(*Ob, 'L') != DepsVerdict::Clean) {
     ++Stats.Invalidated;
     return false;
   }

@@ -19,6 +19,17 @@
 /// transitively uses), so checking the directly recorded deps covers the
 /// transitive case.
 ///
+/// When a dependency's whole-entity fingerprint *has* moved, the session
+/// does not give up immediately: it diffs the stored clause-level signature
+/// against the current entity (incr/SpecDiff.h). An edit confined to
+/// clauses the proof could not have relied on (reorders, doc strings)
+/// revalidates with zero solver work ("salvaged"); an edit to pure clauses
+/// is justified by implication queries through the solver chain — prove
+/// new-spec => old-spec in the direction the use site requires — and keeps
+/// the cached verdict when they hold ("implied"). Anything else falls back
+/// to full re-verification. Lint verdicts never salvage: their rendered
+/// diagnostics quote spec text, so they require strict equality.
+///
 /// Thread-safe: the scheduler's workers call lookup*/record* concurrently.
 ///
 //===----------------------------------------------------------------------===//
@@ -29,6 +40,7 @@
 #include "incr/DepGraph.h"
 #include "incr/Fingerprint.h"
 #include "incr/ProofStore.h"
+#include "incr/SpecDiff.h"
 
 #include <mutex>
 
@@ -51,6 +63,11 @@ struct IncrConfig {
   bool SaveSolverCache = true;
   /// Use the store without writing it back (e.g. CI replay).
   bool ReadOnly = false;
+  /// Clause-level semantic salvage across spec edits (incr/SpecDiff.h).
+  /// Off = blanket invalidation: any dependency fingerprint change
+  /// re-verifies the dependent, the pre-salvage behaviour (the baseline
+  /// bench_incr measures the edit-to-verdict speedup against).
+  bool SemanticSalvage = true;
 };
 
 /// Counters of one incremental run.
@@ -65,11 +82,22 @@ struct IncrRunStats {
   uint64_t AnalyzedLint = 0;
   /// Store records found but rejected because a fingerprint changed.
   uint64_t Invalidated = 0;
+  /// Obligations replayed although a dependency fingerprint moved, because
+  /// the edit touched no clause the proof relied on (zero solver work) /
+  /// because the salvage implications held. Both also count in cached().
+  uint64_t Salvaged = 0;
+  uint64_t Implied = 0;
+  /// Solver queries spent discharging salvage implications.
+  uint64_t SalvageQueries = 0;
+  /// Load-time store compaction rewrites (superseded append-log records
+  /// dropped, previous-version stores upgraded).
+  uint64_t Compactions = 0;
   bool StoreLoaded = false;
   bool StoreTruncated = false;
 
   uint64_t cached() const { return CachedUnsafe + CachedSafe; }
   uint64_t verified() const { return VerifiedUnsafe + VerifiedSafe; }
+  uint64_t salvaged() const { return Salvaged + Implied; }
 };
 
 class Session {
@@ -127,9 +155,25 @@ public:
   /// then, still missing now" validates). Exposed for tests.
   uint64_t currentFp(const DepKey &Key);
 
+  /// The current clause-level signature of \p Key (memoised; invalid for
+  /// missing entities and for kinds without clause structure). Exposed for
+  /// tests.
+  const EntitySig &currentSig(const DepKey &Key);
+
 private:
-  bool depsStillValid(const StoredObligation &Ob);
+  /// Outcome of validating a stored obligation's dependency set.
+  enum class DepsVerdict {
+    Clean,    ///< Every fingerprint matches: plain warm hit.
+    Salvaged, ///< Some moved, but no relied-on clause changed (zero work).
+    Implied,  ///< Some moved; the salvage implications all held.
+    Invalid,  ///< Re-verify.
+  };
+  DepsVerdict checkDeps(const StoredObligation &Ob, char FlightSide);
   std::vector<StoredDep> snapshotDeps(const std::set<DepKey> &Deps);
+  /// Re-records a salvaged obligation under the current fingerprints (same
+  /// blob), so the next run takes the plain warm path. Invalidates \p Ob.
+  void refreshRecord(const StoredObligation &Ob, uint64_t SelfFp,
+                     const std::set<DepKey> &DepKeys);
 
   IncrConfig Cfg;
   engine::VerifEnv &Env;
@@ -141,6 +185,7 @@ private:
   uint64_t LintConfigFp = 0;
   std::mutex Mu;
   std::map<DepKey, uint64_t> FpMemo;
+  std::map<DepKey, EntitySig> SigMemo;
 };
 
 } // namespace incr

@@ -1,0 +1,304 @@
+//===- incr/SpecDiff.cpp ----------------------------------------------------------===//
+
+#include "incr/SpecDiff.h"
+
+#include "incr/Fingerprint.h"
+#include "solver/Journal.h"
+
+#include <map>
+
+using namespace gilr;
+using namespace gilr::incr;
+
+//===----------------------------------------------------------------------===//
+// Clause splitting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t fpExprClause(const Expr &E) {
+  Hasher HS;
+  HS.expr(E);
+  return HS.result();
+}
+
+/// Splits \p A into its top-level `*`-conjuncts. Every non-Star node is one
+/// clause; an Exists stays opaque (any edit inside it is a clause change).
+void splitAssertion(const gilsonite::AssertionP &A, ClauseRole Role,
+                    std::vector<ClauseSig> &Out) {
+  if (!A)
+    return;
+  if (A->Kind == gilsonite::AsrtKind::Star) {
+    for (const gilsonite::AssertionP &P : A->Parts)
+      splitAssertion(P, Role, Out);
+    return;
+  }
+  ClauseSig C;
+  C.Role = Role;
+  C.Fp = fpAssertion(A);
+  if (A->Kind == gilsonite::AsrtKind::Pure && A->Formula) {
+    C.Pure = true;
+    C.Formula = A->Formula;
+    C.Text = journal::exprToJournal(A->Formula);
+  }
+  Out.push_back(std::move(C));
+}
+
+/// Splits a pure formula into its top-level `&&`-conjuncts.
+void splitExpr(const Expr &E, ClauseRole Role, std::vector<ClauseSig> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == ExprKind::And) {
+    for (const Expr &K : E->Kids)
+      splitExpr(K, Role, Out);
+    return;
+  }
+  ClauseSig C;
+  C.Role = Role;
+  C.Fp = fpExprClause(E);
+  C.Pure = true;
+  C.Formula = E;
+  C.Text = journal::exprToJournal(E);
+  Out.push_back(std::move(C));
+}
+
+/// Splits a Pearlite term into its top-level `&&`-conjuncts. Contract
+/// clauses carry no journal text (PTerms have no journal grammar), so they
+/// only support the zero-solver-work salvage case.
+void splitPTerm(const creusot::PTermP &T, ClauseRole Role,
+                std::vector<ClauseSig> &Out) {
+  if (!T)
+    return;
+  if (T->Kind == creusot::PKind::And) {
+    for (const creusot::PTermP &K : T->Kids)
+      splitPTerm(K, Role, Out);
+    return;
+  }
+  ClauseSig C;
+  C.Role = Role;
+  C.Fp = fpPTerm(T);
+  Out.push_back(std::move(C));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entity signatures
+//===----------------------------------------------------------------------===//
+
+EntitySig gilr::incr::sigSpec(const gilsonite::Spec &S) {
+  EntitySig Sig;
+  Hasher HS;
+  HS.u8(1); // Entity tag, so skeletons of different kinds never alias.
+  HS.str(S.Func);
+  HS.size(S.SpecVars.size());
+  for (const gilsonite::Binder &B : S.SpecVars) {
+    HS.str(B.Name);
+    HS.u8(static_cast<uint8_t>(B.S));
+  }
+  HS.boolean(S.Trusted);
+  // Doc and the Pre/Post clause lists are deliberately excluded: doc edits
+  // and clause reorders must leave the skeleton unchanged.
+  Sig.SkeletonFp = HS.result();
+  splitAssertion(S.Pre, ClauseRole::Pre, Sig.Clauses);
+  splitAssertion(S.Post, ClauseRole::Post, Sig.Clauses);
+  return Sig;
+}
+
+EntitySig gilr::incr::sigPred(const gilsonite::PredDecl &P) {
+  EntitySig Sig;
+  Hasher HS;
+  HS.u8(2);
+  HS.str(P.Name);
+  HS.size(P.Params.size());
+  for (const gilsonite::PredParam &PP : P.Params) {
+    HS.str(PP.Name);
+    HS.u8(static_cast<uint8_t>(PP.S));
+    HS.boolean(PP.In);
+  }
+  HS.boolean(P.Abstract);
+  HS.boolean(P.Guardable);
+  Sig.SkeletonFp = HS.result();
+  // Predicate clauses are *disjuncts*: adding or removing one changes the
+  // predicate's extension in both directions (folds and unfolds), so they
+  // never get implication salvage — only the unchanged-multiset case.
+  for (const gilsonite::AssertionP &C : P.Clauses) {
+    ClauseSig CS;
+    CS.Role = ClauseRole::PredClause;
+    CS.Fp = fpAssertion(C);
+    Sig.Clauses.push_back(std::move(CS));
+  }
+  return Sig;
+}
+
+EntitySig gilr::incr::sigLemma(
+    const std::variant<engine::FreezeLemma, engine::ExtractLemma> &L) {
+  EntitySig Sig;
+  if (const engine::FreezeLemma *F = std::get_if<engine::FreezeLemma>(&L)) {
+    Hasher HS;
+    HS.u8(3);
+    HS.u64(fpLemma(*F)); // No clause structure: the whole lemma is skeleton.
+    Sig.SkeletonFp = HS.result();
+    return Sig;
+  }
+  const engine::ExtractLemma &E = std::get<engine::ExtractLemma>(L);
+  Hasher HS;
+  HS.u8(4);
+  HS.str(E.Name);
+  HS.size(E.Params.size());
+  for (const std::string &P : E.Params)
+    HS.str(P);
+  HS.size(E.GivenParams);
+  HS.size(E.MutRefParams.size());
+  for (const std::string &P : E.MutRefParams)
+    HS.str(P);
+  HS.str(E.FromPred);
+  HS.size(E.FromArgs.size());
+  for (const Expr &A : E.FromArgs)
+    HS.expr(A);
+  HS.expr(E.Persistent);
+  HS.str(E.ToPred);
+  HS.size(E.ToArgs.size());
+  for (const Expr &A : E.ToArgs)
+    HS.expr(A);
+  HS.str(E.NewProphecyHole);
+  Sig.SkeletonFp = HS.result();
+  // Requires is the lemma's "statement" clause list: checked where the
+  // lemma is applied, so its conjuncts behave like precondition conjuncts.
+  splitExpr(E.Requires, ClauseRole::LemmaReq, Sig.Clauses);
+  return Sig;
+}
+
+EntitySig gilr::incr::sigContract(const creusot::PearliteSpec &S) {
+  EntitySig Sig;
+  Hasher HS;
+  HS.u8(5);
+  HS.str(S.Func);
+  HS.size(S.Params.size());
+  for (const creusot::PearliteParam &P : S.Params) {
+    HS.str(P.Name);
+    HS.boolean(P.IsMutRef);
+  }
+  HS.boolean(S.HasResult);
+  Sig.SkeletonFp = HS.result();
+  splitPTerm(S.Pre, ClauseRole::ContractPre, Sig.Clauses);
+  splitPTerm(S.Post, ClauseRole::ContractPost, Sig.Clauses);
+  return Sig;
+}
+
+//===----------------------------------------------------------------------===//
+// Diff
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The formula of a clause: the live Expr when present, otherwise parsed
+/// back from the persisted journal text. Null on parse failure.
+Expr clauseFormula(const ClauseSig &C) {
+  if (C.Formula)
+    return C.Formula;
+  if (C.Text.empty())
+    return nullptr;
+  return journal::exprFromJournal(C.Text);
+}
+
+/// All pure formulas of \p Sig under \p Role that can be reconstructed.
+/// Dropping an unparseable clause only *weakens* the implication premise,
+/// which is sound (the implication gets harder to prove, never easier).
+std::vector<Expr> pureContext(const EntitySig &Sig, ClauseRole Role) {
+  std::vector<Expr> Out;
+  for (const ClauseSig &C : Sig.Clauses)
+    if (C.Role == Role && C.Pure)
+      if (Expr E = clauseFormula(C))
+        Out.push_back(std::move(E));
+  return Out;
+}
+
+bool implicationRole(ClauseRole R) {
+  return R == ClauseRole::Pre || R == ClauseRole::Post ||
+         R == ClauseRole::LemmaReq;
+}
+
+} // namespace
+
+SalvageVerdict gilr::incr::diffForSalvage(const EntitySig &Old,
+                                          const EntitySig &New, bool SelfDep,
+                                          std::vector<SalvageObligation> &Out) {
+  if (!Old.valid() || !New.valid() || Old.SkeletonFp != New.SkeletonFp)
+    return SalvageVerdict::Invalid;
+
+  // Multiset diff per (role, clause fingerprint).
+  std::map<std::pair<uint8_t, uint64_t>, int> Counts;
+  for (const ClauseSig &C : New.Clauses)
+    ++Counts[{static_cast<uint8_t>(C.Role), C.Fp}];
+  for (const ClauseSig &C : Old.Clauses)
+    --Counts[{static_cast<uint8_t>(C.Role), C.Fp}];
+
+  std::vector<const ClauseSig *> Added, Removed;
+  {
+    std::map<std::pair<uint8_t, uint64_t>, int> Need = Counts;
+    for (const ClauseSig &C : New.Clauses) {
+      int &N = Need[{static_cast<uint8_t>(C.Role), C.Fp}];
+      if (N > 0) {
+        Added.push_back(&C);
+        --N;
+      }
+    }
+    for (const ClauseSig &C : Old.Clauses) {
+      int &N = Need[{static_cast<uint8_t>(C.Role), C.Fp}];
+      if (N < 0) {
+        Removed.push_back(&C);
+        ++N;
+      }
+    }
+  }
+
+  if (Added.empty() && Removed.empty())
+    return SalvageVerdict::Identical; // Reorder / excluded-field edit.
+
+  // Every changed clause must be a pure boolean conjunct in a role that
+  // supports implications; spatial resources, predicate disjuncts and
+  // contract clauses cannot be added *or* dropped soundly.
+  for (const ClauseSig *C : Added)
+    if (!C->Pure || !implicationRole(C->Role))
+      return SalvageVerdict::Invalid;
+  for (const ClauseSig *C : Removed)
+    if (!C->Pure || !implicationRole(C->Role))
+      return SalvageVerdict::Invalid;
+
+  // Direction table (see the header comment). Use site: an added pre
+  // conjunct must follow from the old pre (the caller proved the stronger
+  // obligation) and a removed post conjunct must follow from the new post
+  // (the caller's assumption is still provided); removals from pre and
+  // additions to post are free. Verified-against-self flips both; a self
+  // dep takes the union, which covers recursive consumers.
+  auto require = [&](const EntitySig &CtxSide, ClauseRole Role,
+                     const ClauseSig &Goal) -> bool {
+    Expr G = clauseFormula(Goal);
+    if (!G)
+      return false; // Unparseable goal: cannot justify the edit.
+    Out.push_back(SalvageObligation{pureContext(CtxSide, Role), std::move(G)});
+    return true;
+  };
+  for (const ClauseSig *C : Added) {
+    bool PreLike = C->Role != ClauseRole::Post;
+    if (PreLike) {
+      if (!require(Old, C->Role, *C)) // old-pre => added.
+        return SalvageVerdict::Invalid;
+    } else if (SelfDep) {
+      if (!require(Old, C->Role, *C)) // old-post => added.
+        return SalvageVerdict::Invalid;
+    }
+  }
+  for (const ClauseSig *C : Removed) {
+    bool PreLike = C->Role != ClauseRole::Post;
+    if (PreLike) {
+      if (SelfDep && !require(New, C->Role, *C)) // new-pre => removed.
+        return SalvageVerdict::Invalid;
+    } else {
+      if (!require(New, C->Role, *C)) // new-post => removed.
+        return SalvageVerdict::Invalid;
+    }
+  }
+  return SalvageVerdict::NeedsProof;
+}

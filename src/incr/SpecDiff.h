@@ -1,0 +1,128 @@
+//===- incr/SpecDiff.h - Sub-entity clause signatures and semantic diff ----===//
+///
+/// \file
+/// Clause-level change analysis for the incremental layer. The whole-entity
+/// Merkle fingerprints of incr/Fingerprint.h answer "did anything change?";
+/// this module answers the finer question "did anything that the cached
+/// proof *relied on* change?" by splitting each dependable entity into a
+/// skeleton plus a multiset of top-level clauses:
+///
+///   * Gilsonite specs: the `*`-conjuncts of Pre and Post;
+///   * Pearlite contracts: the `&&`-conjuncts of requires/ensures;
+///   * extract lemmas: the `&&`-conjuncts of the Requires statement;
+///   * predicate declarations: the clause list (disjuncts).
+///
+/// Each clause carries a stable fingerprint; pure boolean clauses
+/// additionally persist their formula as journal text (solver/Journal.h), so
+/// a later session can reconstruct the *old* clause and ask the solver for
+/// an implication between old and new spec — the salvage query of
+/// docs/INCREMENTAL.md ("Semantic invalidation").
+///
+/// \c diffForSalvage encodes the soundness direction per use site. A cached
+/// proof that consumed a callee spec at a call site stays valid when the old
+/// pre implies every added pre conjunct (the caller proved the old, stronger
+/// obligation) and the new post implies every removed post conjunct (the
+/// caller assumed nothing the new spec fails to provide). A proof verified
+/// *against* its own spec flips both directions; since a recursive function
+/// consumes its own spec too, self deps conservatively require the union of
+/// both directions. Lemma Requires clauses behave like preconditions at the
+/// application site. Spatial clauses, predicate disjuncts and contract
+/// clauses never get implication salvage — only the zero-solver-work case
+/// where the clause multiset is unchanged (reorders, doc edits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_INCR_SPECDIFF_H
+#define GILR_INCR_SPECDIFF_H
+
+#include "creusot/StdSpecs.h"
+#include "engine/Lemma.h"
+#include "gilsonite/PredDecl.h"
+#include "gilsonite/Spec.h"
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gilr {
+namespace incr {
+
+/// Which slot of its entity a clause lives in. Clause multisets are diffed
+/// per role. On-disk in StoredDep records: append only, never renumber.
+enum class ClauseRole : uint8_t {
+  Pre = 0,          ///< Gilsonite spec precondition conjunct.
+  Post = 1,         ///< Gilsonite spec postcondition conjunct.
+  PredClause = 2,   ///< Predicate declaration clause (a disjunct).
+  LemmaReq = 3,     ///< Extract-lemma Requires conjunct.
+  ContractPre = 4,  ///< Pearlite requires conjunct.
+  ContractPost = 5, ///< Pearlite ensures conjunct.
+};
+
+/// One top-level clause of an entity.
+struct ClauseSig {
+  ClauseRole Role = ClauseRole::Pre;
+  /// Stable structural fingerprint of the clause (role-independent).
+  uint64_t Fp = 0;
+  /// True for a pure boolean conjunct whose formula is persisted below.
+  bool Pure = false;
+  /// Journal rendering of the formula (solver/Journal.h); empty when not
+  /// pure. This is what lets a later session rebuild the *old* clause.
+  std::string Text;
+  /// The live formula when the signature was built from the current tables
+  /// (never persisted; parsed back from \c Text for stored signatures).
+  Expr Formula;
+};
+
+/// An entity split into skeleton + clauses. The skeleton fingerprint covers
+/// every field *except* the clause lists and documentation strings, so a
+/// doc edit or clause reorder leaves it unchanged while any structural edit
+/// (params, spec vars, trusted flag, ...) moves it.
+struct EntitySig {
+  uint64_t SkeletonFp = 0; ///< 0 = "entity has no clause signature".
+  std::vector<ClauseSig> Clauses;
+
+  bool valid() const { return SkeletonFp != 0; }
+};
+
+EntitySig sigSpec(const gilsonite::Spec &S);
+EntitySig sigPred(const gilsonite::PredDecl &P);
+EntitySig sigLemma(
+    const std::variant<engine::FreezeLemma, engine::ExtractLemma> &L);
+EntitySig sigContract(const creusot::PearliteSpec &S);
+
+/// Outcome of diffing a stored dependency signature against the current
+/// entity.
+enum class SalvageVerdict : uint8_t {
+  /// Clause multisets identical per role: the edit touched nothing the
+  /// proof could have relied on (reorder, doc string). Zero solver work.
+  Identical,
+  /// Only pure clauses changed, in roles that support implication salvage;
+  /// the verdict survives iff every implication in \c Out holds.
+  NeedsProof,
+  /// Skeleton, spatial clause, predicate disjunct or contract clause
+  /// changed — the cached verdict must be re-proved.
+  Invalid,
+};
+
+/// One implication the salvage pass must discharge: conj(Ctx) => Goal.
+struct SalvageObligation {
+  std::vector<Expr> Ctx;
+  Expr Goal;
+};
+
+/// Diffs \p Old (from the proof store) against \p New (from the current
+/// tables) and, when the change is confined to pure clauses, appends the
+/// implication obligations that justify keeping the cached verdict to
+/// \p Out. \p SelfDep selects the direction: false = the proof consumed the
+/// entity at a use site (strengthen-pre / weaken-post must be re-proved),
+/// true = the proof was verified against the entity itself (union of both
+/// directions — sound for recursive consumers).
+SalvageVerdict diffForSalvage(const EntitySig &Old, const EntitySig &New,
+                              bool SelfDep,
+                              std::vector<SalvageObligation> &Out);
+
+} // namespace incr
+} // namespace gilr
+
+#endif // GILR_INCR_SPECDIFF_H

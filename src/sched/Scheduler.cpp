@@ -306,6 +306,29 @@ engine::Verifier::verifyAll(const std::vector<std::string> &Names,
 // Incremental entry points (incr::IncrConfig overloads)
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Publishes the session's counters as the registry's `incremental`
+/// telemetry section (support/Metrics.h), mirroring how the cache snapshot
+/// and the analysis summary reach the support layer.
+void recordIncrReport(const gilr::incr::IncrRunStats &St) {
+  gilr::metrics::IncrReport R;
+  R.Valid = true;
+  R.Cached = St.cached();
+  R.Verified = St.verified();
+  R.Invalidated = St.Invalidated;
+  R.Salvaged = St.Salvaged;
+  R.Implied = St.Implied;
+  R.SalvageQueries = St.SalvageQueries;
+  R.Compactions = St.Compactions;
+  R.CachedLint = St.CachedLint;
+  R.AnalyzedLint = St.AnalyzedLint;
+  R.StoreLoaded = St.StoreLoaded;
+  gilr::metrics::Registry::get().setIncrReport(std::move(R));
+}
+
+} // namespace
+
 hybrid::HybridReport
 hybrid::HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
                           const std::vector<creusot::SafeFn> &Clients,
@@ -330,6 +353,7 @@ hybrid::HybridDriver::run(const std::vector<std::string> &UnsafeFuncs,
   if (Inc.SaveSolverCache)
     Sess.saveSolverEntries(S.exportCacheEntries());
   Sess.flush();
+  recordIncrReport(Sess.stats());
   if (StatsOut)
     *StatsOut = Sess.stats();
   return Report;
@@ -356,6 +380,7 @@ engine::Verifier::verifyAll(const std::vector<std::string> &Names,
   if (Inc.SaveSolverCache)
     Sess.saveSolverEntries(S.exportCacheEntries());
   Sess.flush();
+  recordIncrReport(Sess.stats());
   if (StatsOut)
     *StatsOut = Sess.stats();
   return Reports;

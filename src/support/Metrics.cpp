@@ -120,6 +120,16 @@ AnalysisReport Registry::analysisReport() const {
   return AnalysisRep;
 }
 
+void Registry::setIncrReport(IncrReport R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  IncrRep = std::move(R);
+}
+
+IncrReport Registry::incrReport() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return IncrRep;
+}
+
 std::map<std::string, uint64_t> Registry::counters() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Counters;
@@ -139,6 +149,7 @@ void Registry::reset() {
   Solver = SolverStats();
   CacheReport = QueryCacheReport();
   AnalysisRep = AnalysisReport();
+  IncrRep = IncrReport();
   FlightRep = SolverQueriesReport();
 }
 

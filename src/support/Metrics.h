@@ -197,6 +197,31 @@ struct AnalysisReport {
   double Seconds = 0.0;
 };
 
+/// Summary of the incremental-verification session of the most recent run.
+/// The incremental layer (src/incr/ via the scheduler entry points) records
+/// it here so the telemetry JSON (support/Trace.cpp) can emit an
+/// \c incremental section without the support layer depending on incr —
+/// the same inversion as \c QueryCacheReport and \c AnalysisReport.
+struct IncrReport {
+  /// False until an incremental run has completed.
+  bool Valid = false;
+  uint64_t Cached = 0;      ///< Proof verdicts replayed from the store.
+  uint64_t Verified = 0;    ///< Proof obligations re-verified.
+  uint64_t Invalidated = 0; ///< Store records rejected (fingerprint moved).
+  /// Verdicts replayed although a dependency fingerprint moved: the edit
+  /// touched no relied-on clause (Salvaged, zero solver work) / the salvage
+  /// implications held (Implied). Both also count in Cached.
+  uint64_t Salvaged = 0;
+  uint64_t Implied = 0;
+  /// Solver queries spent discharging salvage implications.
+  uint64_t SalvageQueries = 0;
+  /// Load-time store compaction rewrites.
+  uint64_t Compactions = 0;
+  uint64_t CachedLint = 0;
+  uint64_t AnalyzedLint = 0;
+  bool StoreLoaded = false;
+};
+
 class Registry {
 public:
   /// The process-wide registry.
@@ -249,6 +274,13 @@ public:
   /// The last recorded analysis summary (Valid == false if none).
   AnalysisReport analysisReport() const;
 
+  /// Records the summary of an incremental session (overwrites the previous
+  /// run's; cleared by reset()).
+  void setIncrReport(IncrReport R);
+
+  /// The last recorded incremental summary (Valid == false if none).
+  IncrReport incrReport() const;
+
   /// Snapshot of the named counters.
   std::map<std::string, uint64_t> counters() const;
 
@@ -268,6 +300,7 @@ private:
   std::array<uint64_t, LatencyBuckets> Latency = {};
   QueryCacheReport CacheReport;
   AnalysisReport AnalysisRep;
+  IncrReport IncrRep;
   /// Flight-recorder aggregates; Slowest kept sorted descending, capped at
   /// SlowestQueryCap.
   SolverQueriesReport FlightRep;

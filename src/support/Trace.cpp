@@ -407,6 +407,27 @@ gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
     Out += "},\n";
   }
 
+  // Summary of the incremental session (recorded by the scheduler's incr
+  // entry points at the end of the most recent run); omitted until one has
+  // completed. salvaged/implied count verdicts replayed across a dependency
+  // edit (also included in cached).
+  metrics::IncrReport IR = R.incrReport();
+  if (IR.Valid) {
+    Out += "  \"incremental\": {";
+    Out += "\"cached\": " + std::to_string(IR.Cached);
+    Out += ", \"verified\": " + std::to_string(IR.Verified);
+    Out += ", \"invalidated\": " + std::to_string(IR.Invalidated);
+    Out += ", \"salvaged\": " + std::to_string(IR.Salvaged);
+    Out += ", \"implied\": " + std::to_string(IR.Implied);
+    Out += ", \"salvage_queries\": " + std::to_string(IR.SalvageQueries);
+    Out += ", \"compactions\": " + std::to_string(IR.Compactions);
+    Out += ", \"cached_lint\": " + std::to_string(IR.CachedLint);
+    Out += ", \"analyzed_lint\": " + std::to_string(IR.AnalyzedLint);
+    Out += std::string(", \"store_loaded\": ") +
+           (IR.StoreLoaded ? "true" : "false");
+    Out += "},\n";
+  }
+
   // Flight-recorded per-query aggregates (solver/Flight.h); omitted unless
   // the timing decorator ran (GILR_TIMING / GILR_JOURNAL).
   metrics::SolverQueriesReport FQ = R.solverQueriesReport();

@@ -1,7 +1,7 @@
 //===- tests/analysis_test.cpp - Pre-verification analysis tests -----------===//
 //
-// Positive and negative cases for every lint pass (GILR-E001..E007,
-// GILR-W001..W006), suppression (per-entity attribute and global config),
+// Positive and negative cases for every lint pass (GILR-E001..E007, E011,
+// GILR-W001..W007), suppression (per-entity attribute and global config),
 // parser negative inputs (malformed specs become diagnostics, not aborts),
 // driver integration (blocked entities never reach the executor), scheduler
 // determinism (byte-identical diagnostics at 1 vs 4 workers) and the
@@ -325,6 +325,59 @@ TEST_F(AnalysisTest, TriviallyTruePostconditionWarned) {
   EntityVerdict V = lintEntity(input(), "triv");
   EXPECT_TRUE(hasCode(V.Diags, code::TrivialPost));
   EXPECT_FALSE(V.Blocked);
+}
+
+TEST_F(AnalysisTest, PostConjunctImpliedByPreAloneWarned) {
+  // `x < 20` follows from the pre `x < 10` without looking at the body: a
+  // frame-style conjunct that promises nothing. `r == x` is a genuine
+  // promise and must stay clean.
+  Expr X = mkVar("x", Sort::Int);
+  Expr R = mkVar("r", Sort::Int);
+  addSpec("framed", pure(mkLt(X, mkInt(10))),
+          star({pure(mkLt(X, mkInt(20))), pure(mkEq(R, X))}),
+          {{"x", Sort::Int}});
+  EntityVerdict V = lintEntity(input(), "framed");
+  EXPECT_EQ(countCode(V.Diags, code::PostImpliedByPre), 1u);
+  EXPECT_FALSE(hasCode(V.Diags, code::TrivialPost));
+  EXPECT_FALSE(V.Blocked); // W-severity: advisory only.
+}
+
+TEST_F(AnalysisTest, GenuinePostconditionNotFlaggedAsImplied) {
+  Expr X = mkVar("x", Sort::Int);
+  addSpec("honest", pure(mkLt(X, mkInt(100))),
+          pure(mkEq(mkVar("r", Sort::Int), mkAdd(X, mkInt(1)))),
+          {{"x", Sort::Int}});
+  EntityVerdict V = lintEntity(input(), "honest");
+  EXPECT_FALSE(hasCode(V.Diags, code::PostImpliedByPre));
+  EXPECT_FALSE(hasCode(V.Diags, code::PostUnsatGivenPre));
+}
+
+TEST_F(AnalysisTest, PostContradictingPreIsError) {
+  // Pre admits callers (x > 0) but the post demands x < 0 of the same
+  // unmodified spec variable: no implementation can meet the contract.
+  Expr X = mkVar("x", Sort::Int);
+  addSpec("impossible", pure(mkGt(X, mkInt(0))), pure(mkLt(X, mkInt(0))),
+          {{"x", Sort::Int}});
+  EntityVerdict V = lintEntity(input(), "impossible");
+  ASSERT_TRUE(hasCode(V.Diags, code::PostUnsatGivenPre));
+  EXPECT_FALSE(hasCode(V.Diags, code::VacuousPre)); // Pre alone is fine.
+  EXPECT_TRUE(V.Blocked);
+  const Diagnostic &D = *std::find_if(
+      V.Diags.begin(), V.Diags.end(),
+      [](const Diagnostic &X2) { return X2.Code == code::PostUnsatGivenPre; });
+  EXPECT_FALSE(D.Notes.empty()); // The minimized unsat core.
+}
+
+TEST_F(AnalysisTest, VacuousPreSuppressesPostLints) {
+  // Everything follows from a contradictory pre; only E006 should fire,
+  // not a pile of W007/E011 noise on top.
+  Expr X = mkVar("x", Sort::Int);
+  addSpec("vac2", star({pure(mkLt(X, mkInt(0))), pure(mkGt(X, mkInt(0)))}),
+          pure(mkEq(mkVar("r", Sort::Int), mkInt(0))), {{"x", Sort::Int}});
+  EntityVerdict V = lintEntity(input(), "vac2");
+  EXPECT_TRUE(hasCode(V.Diags, code::VacuousPre));
+  EXPECT_FALSE(hasCode(V.Diags, code::PostImpliedByPre));
+  EXPECT_FALSE(hasCode(V.Diags, code::PostUnsatGivenPre));
 }
 
 TEST_F(AnalysisTest, ParseFailureBecomesDiagnostic) {

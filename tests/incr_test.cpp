@@ -8,21 +8,28 @@
 //    degrading to a cold run, never an error;
 //  * a warm run replays every verdict (zero solver work) and its report is
 //    byte-identical to the cold run's, modulo the "cached" markers;
-//  * editing one lemma / contract re-verifies exactly its dependents.
+//  * editing one lemma / contract re-verifies exactly its dependents;
+//  * semantic salvage (incr/SpecDiff.h): clause reorders and doc edits
+//    revalidate with zero solver work, equivalence-preserving pure-clause
+//    rewrites revalidate through implication queries, and deleting a clause
+//    the proof relied on falls back to full re-verification.
 //
 //===----------------------------------------------------------------------===//
 
+#include "creusot/Pearlite.h"
 #include "incr/Fingerprint.h"
 #include "incr/ProofStore.h"
 #include "incr/Session.h"
 #include "rustlib/Clients.h"
 #include "rustlib/LinkedList.h"
+#include "rustlib/Vec.h"
 #include "sched/Scheduler.h"
 #include "support/Trace.h"
 #include "sym/ExprBuilder.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -157,8 +164,8 @@ TEST_F(IncrTest, ProofStoreRoundTrips) {
   Ob.Name = "f";
   Ob.SelfFp = 0xabc;
   Ob.ConfigFp = 0xdef;
-  Ob.Deps = {{deps::Kind::Lemma, "ll_extract_head", 42},
-             {deps::Kind::Spec, "f", 43}};
+  Ob.Deps = {{deps::Kind::Lemma, "ll_extract_head", 42, false, {}},
+             {deps::Kind::Spec, "f", 43, false, {}}};
   Ob.Blob = incr::encodeVerifyReport(sampleReport());
   W.put(Ob);
   W.setSolverEntries({{11, 22, {SatResult::Unsat, 9, 4}}});
@@ -251,6 +258,142 @@ TEST_F(IncrTest, TruncatedStoreKeepsValidPrefix) {
   EXPECT_TRUE(Rd2.load());
   EXPECT_TRUE(Rd2.truncated());
   EXPECT_LT(Rd2.size(), 2u);
+}
+
+// Raw little helpers mirroring the store's wire format, for hand-rolling a
+// previous-version file the current writer can no longer produce.
+void appendU32(std::string &S, uint32_t V) {
+  S.append(reinterpret_cast<const char *>(&V), sizeof V);
+}
+void appendU64(std::string &S, uint64_t V) {
+  S.append(reinterpret_cast<const char *>(&V), sizeof V);
+}
+void appendStr(std::string &S, const std::string &T) {
+  appendU32(S, static_cast<uint32_t>(T.size()));
+  S += T;
+}
+uint64_t recordFnv1a(uint8_t Type, const std::string &Payload) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Step = [&H](unsigned char C) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  };
+  Step(Type);
+  for (unsigned char C : Payload)
+    Step(C);
+  return H;
+}
+
+TEST_F(IncrTest, V3StoreLoadsAndUpgradesOnCompaction) {
+  // A hand-rolled format-v3 store: one obligation whose dep carries no
+  // clause signature (the field did not exist yet).
+  std::string Payload;
+  Payload.push_back(0); // Side::Unsafe.
+  appendStr(Payload, "f");
+  appendU64(Payload, 0xabc);
+  appendU64(Payload, 0xdef);
+  appendU32(Payload, 1); // One dep, v3 layout: kind | name | fp.
+  Payload.push_back(static_cast<char>(deps::Kind::Spec));
+  appendStr(Payload, "f");
+  appendU64(Payload, 42);
+  appendStr(Payload, "blob");
+
+  std::string File = "GILRPRF1";
+  appendU32(File, 3); // Previous format version.
+  appendU32(File, 0); // Reserved.
+  File.push_back(1);  // RecObligation.
+  appendU32(File, static_cast<uint32_t>(Payload.size()));
+  File += Payload;
+  appendU64(File, recordFnv1a(1, Payload));
+
+  std::string Path = tempStorePath("v3_compat");
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(File.data(), static_cast<std::streamsize>(File.size()));
+  }
+
+  // A read-only load understands v3 — deps simply carry no signature (so
+  // they fall back to plain fingerprint equality) — and leaves the file
+  // byte-identical.
+  incr::ProofStore RO(Path);
+  ASSERT_TRUE(RO.load(/*AllowCompaction=*/false));
+  EXPECT_FALSE(RO.truncated());
+  EXPECT_EQ(RO.compactions(), 0u);
+  ASSERT_EQ(RO.size(), 1u);
+  const incr::StoredObligation *Got = RO.lookup(incr::Side::Unsafe, "f");
+  ASSERT_NE(Got, nullptr);
+  EXPECT_EQ(Got->SelfFp, 0xabcu);
+  EXPECT_EQ(Got->ConfigFp, 0xdefu);
+  ASSERT_EQ(Got->Deps.size(), 1u);
+  EXPECT_EQ(Got->Deps[0].K, deps::Kind::Spec);
+  EXPECT_EQ(Got->Deps[0].Fp, 42u);
+  EXPECT_FALSE(Got->Deps[0].HasSig);
+  EXPECT_EQ(Got->Blob, "blob");
+  EXPECT_EQ(readFileBytes(Path), File);
+
+  // A writable load upgrades the file to the current version in a single
+  // compaction rewrite; afterwards loads are rewrite-free.
+  incr::ProofStore W(Path);
+  ASSERT_TRUE(W.load(/*AllowCompaction=*/true));
+  EXPECT_EQ(W.compactions(), 1u);
+  EXPECT_NE(readFileBytes(Path), File);
+
+  incr::ProofStore Again(Path);
+  ASSERT_TRUE(Again.load(/*AllowCompaction=*/true));
+  EXPECT_EQ(Again.compactions(), 0u);
+  const incr::StoredObligation *G2 = Again.lookup(incr::Side::Unsafe, "f");
+  ASSERT_NE(G2, nullptr);
+  EXPECT_EQ(G2->Blob, "blob");
+  ASSERT_EQ(G2->Deps.size(), 1u);
+  EXPECT_FALSE(G2->Deps[0].HasSig);
+}
+
+TEST_F(IncrTest, LoadCompactionDropsSupersededRecords) {
+  std::string Path = tempStorePath("compaction");
+  auto MakeOb = [](const std::string &Blob) {
+    incr::StoredObligation Ob;
+    Ob.S = incr::Side::Unsafe;
+    Ob.Name = "f";
+    Ob.SelfFp = 1;
+    Ob.ConfigFp = 1;
+    Ob.Blob = Blob;
+    return Ob;
+  };
+  {
+    incr::ProofStore W(Path);
+    W.put(MakeOb("first"));
+    ASSERT_TRUE(W.flush());
+  }
+  std::size_t Snapshot = readFileBytes(Path).size();
+
+  // Re-putting the same key onto an intact log appends a superseding
+  // record: cheap warm-loop write, growing file.
+  {
+    incr::ProofStore W(Path);
+    ASSERT_TRUE(W.load(/*AllowCompaction=*/true));
+    EXPECT_EQ(W.compactions(), 0u);
+    W.put(MakeOb("second blob, strictly longer than the first"));
+    ASSERT_TRUE(W.flush());
+  }
+  std::size_t Appended = readFileBytes(Path).size();
+  EXPECT_GT(Appended, Snapshot);
+
+  // The next writable load collapses the supersede chain: one compaction,
+  // the last record wins, and the file shrinks back to one record.
+  {
+    incr::ProofStore R(Path);
+    ASSERT_TRUE(R.load(/*AllowCompaction=*/true));
+    EXPECT_EQ(R.compactions(), 1u);
+    ASSERT_EQ(R.size(), 1u);
+    const incr::StoredObligation *Got = R.lookup(incr::Side::Unsafe, "f");
+    ASSERT_NE(Got, nullptr);
+    EXPECT_EQ(Got->Blob, "second blob, strictly longer than the first");
+  }
+  EXPECT_LT(readFileBytes(Path).size(), Appended);
+
+  incr::ProofStore R2(Path);
+  ASSERT_TRUE(R2.load(/*AllowCompaction=*/true));
+  EXPECT_EQ(R2.compactions(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -419,6 +562,10 @@ TEST_F(IncrTest, LemmaEditReverifiesExactlyItsDependents) {
   incr::IncrConfig Inc;
   Inc.Enabled = true;
   Inc.StorePath = Path;
+  // Blanket invalidation: any dependency fingerprint change re-verifies the
+  // dependent. (With semantic salvage on, this particular edit is instead
+  // rescued by an implication query — the companion test below.)
+  Inc.SemanticSalvage = false;
   sched::SchedulerConfig C;
   std::vector<std::string> Funcs = unsafeFuncs();
   std::vector<creusot::SafeFn> Clients = makeClients();
@@ -454,8 +601,113 @@ TEST_F(IncrTest, LemmaEditReverifiesExactlyItsDependents) {
     EXPECT_TRUE(R.Cached) << R.Func;
 }
 
-TEST_F(IncrTest, ContractEditReverifiesExactlyItsDependents) {
-  std::string Path = tempStorePath("contract_edit");
+TEST_F(IncrTest, LemmaEditSalvagesThroughImplication) {
+  std::string Path = tempStorePath("lemma_salvage");
+  incr::IncrConfig Inc;
+  Inc.Enabled = true;
+  Inc.StorePath = Path;
+  sched::SchedulerConfig C;
+  std::vector<std::string> Funcs = unsafeFuncs();
+  std::vector<creusot::SafeFn> Clients = makeClients();
+  std::size_t Total = Funcs.size() + Clients.size();
+
+  engine::VerifEnv E1 = Lib->env();
+  hybrid::HybridDriver D1(E1, Lib->Contracts);
+  ASSERT_TRUE(D1.run(Funcs, Clients, C, Inc).ok());
+
+  // The same equivalence-preserving edit as the blanket test: conjoin a
+  // LinArith-true fact onto the extraction lemma's requirement. A lemma
+  // requirement behaves like a precondition at the application site, so the
+  // salvage obligation is old-requires => added-conjunct — which the solver
+  // discharges, keeping front_mut's cached verdict.
+  auto *LV = Lib->Lemmas.lookupMutable("ll_extract_head");
+  ASSERT_NE(LV, nullptr);
+  auto &Ex = std::get<engine::ExtractLemma>(*LV);
+  Expr Old = Ex.Requires;
+  Expr Z = mkVar("incr$edit", Sort::Int);
+  Ex.Requires = mkAnd(Old, mkLe(Z, mkAdd(Z, mkInt(1))));
+
+  incr::IncrRunStats S;
+  engine::VerifEnv E2 = Lib->env();
+  hybrid::HybridDriver D2(E2, Lib->Contracts);
+  hybrid::HybridReport Warm = D2.run(Funcs, Clients, C, Inc, &S);
+  ASSERT_TRUE(Warm.ok());
+  EXPECT_EQ(S.Invalidated, 0u);
+  EXPECT_EQ(S.verified(), 0u);
+  EXPECT_EQ(S.cached(), Total);
+  EXPECT_EQ(S.Implied, 1u);
+  EXPECT_EQ(S.Salvaged, 0u);
+  EXPECT_GE(S.SalvageQueries, 1u);
+  for (const engine::VerifyReport &R : Warm.UnsafeSide)
+    EXPECT_TRUE(R.Cached) << R.Func;
+  for (const creusot::SafeReport &R : Warm.SafeSide)
+    EXPECT_TRUE(R.Cached) << R.Func;
+
+  // The salvaged record was refreshed under the current fingerprints, so
+  // the next run (same edited lemma) is a plain warm hit.
+  incr::IncrRunStats S3;
+  engine::VerifEnv E3 = Lib->env();
+  hybrid::HybridDriver D3(E3, Lib->Contracts);
+  hybrid::HybridReport Again = D3.run(Funcs, Clients, C, Inc, &S3);
+  Ex.Requires = Old; // Restore before asserting (the fixture is shared).
+  ASSERT_TRUE(Again.ok());
+  EXPECT_EQ(S3.cached(), Total);
+  EXPECT_EQ(S3.verified(), 0u);
+  EXPECT_EQ(S3.Salvaged + S3.Implied, 0u);
+  EXPECT_EQ(S3.SalvageQueries, 0u);
+}
+
+TEST_F(IncrTest, SalvagedWarmRunIsWorkerCountIndependent) {
+  std::string Path = tempStorePath("salvage_parallel");
+  incr::IncrConfig Inc;
+  Inc.Enabled = true;
+  Inc.StorePath = Path;
+  std::vector<std::string> Funcs = unsafeFuncs();
+  std::vector<creusot::SafeFn> Clients = makeClients();
+
+  sched::SchedulerConfig Serial;
+  engine::VerifEnv E1 = Lib->env();
+  hybrid::HybridDriver D1(E1, Lib->Contracts);
+  hybrid::HybridReport Cold = D1.run(Funcs, Clients, Serial, Inc);
+  ASSERT_TRUE(Cold.ok());
+  std::string ColdStore = readFileBytes(Path);
+  ASSERT_FALSE(ColdStore.empty());
+
+  auto *LV = Lib->Lemmas.lookupMutable("ll_extract_head");
+  ASSERT_NE(LV, nullptr);
+  auto &Ex = std::get<engine::ExtractLemma>(*LV);
+  Expr Old = Ex.Requires;
+  Expr Z = mkVar("incr$edit", Sort::Int);
+  Ex.Requires = mkAnd(Old, mkLe(Z, mkAdd(Z, mkInt(1))));
+
+  // Both runs start from the cold store bytes (a salvage refreshes the
+  // record on disk), so each takes the implication-salvage path; the
+  // rendered reports must not depend on the worker count.
+  std::vector<std::string> Rendered;
+  for (unsigned Threads : {1u, 4u}) {
+    {
+      std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+      Out.write(ColdStore.data(),
+                static_cast<std::streamsize>(ColdStore.size()));
+    }
+    sched::SchedulerConfig C;
+    C.Threads = Threads;
+    incr::IncrRunStats S;
+    engine::VerifEnv E = Lib->env();
+    hybrid::HybridDriver D(E, Lib->Contracts);
+    hybrid::HybridReport Warm = D.run(Funcs, Clients, C, Inc, &S);
+    ASSERT_TRUE(Warm.ok()) << Threads;
+    EXPECT_EQ(S.Implied, 1u) << Threads;
+    EXPECT_EQ(S.verified(), 0u) << Threads;
+    Rendered.push_back(Warm.renderJson());
+  }
+  Ex.Requires = Old;
+  EXPECT_EQ(Rendered[0], Rendered[1]);
+  EXPECT_EQ(Cold.renderJson(), stripCachedMarkers(Rendered[0]));
+}
+
+TEST_F(IncrTest, ContractDocEditSalvagesWithZeroSolverWork) {
+  std::string Path = tempStorePath("contract_doc_edit");
   incr::IncrConfig Inc;
   Inc.Enabled = true;
   Inc.StorePath = Path;
@@ -474,13 +726,79 @@ TEST_F(IncrTest, ContractEditReverifiesExactlyItsDependents) {
     ASSERT_TRUE(Cold.flush());
   }
 
-  // An edited contract: push_front's documentation string changes, which
-  // conservatively invalidates (doc strings are deliberately covered).
+  // An edited contract: push_front's documentation string changes. The
+  // whole-entity fingerprint moves, but the clause multiset is untouched
+  // (doc strings are outside the skeleton), so every dependent client is
+  // salvaged with zero solver work instead of re-verified.
   creusot::PearliteSpecTable Edited;
   for (const auto &[Name, Spec] : Lib->Contracts.all()) {
     creusot::PearliteSpec Copy = Spec;
     if (Name == "LinkedList::push_front")
       Copy.Doc += " (edited)";
+    Edited.add(std::move(Copy));
+  }
+
+  incr::DepKey EditedKey{deps::Kind::Contract, "LinkedList::push_front"};
+  unsigned Users = 0;
+  for (const creusot::SafeFn &F : Clients) {
+    const std::set<incr::DepKey> *Deps =
+        Cold.graph().depsOf(incr::ObligationId{incr::Side::Safe, F.Name});
+    ASSERT_NE(Deps, nullptr) << F.Name;
+    Users += Deps->count(EditedKey) != 0;
+  }
+  ASSERT_GE(Users, 1u);
+
+  engine::VerifEnv E2 = Lib->env();
+  incr::Session WarmSess(Inc, E2, &Edited);
+  sched::Scheduler S2(SC);
+  hybrid::HybridReport Warm;
+  {
+    metrics::ScopedSolverStatsReset Zero;
+    Warm = S2.runHybrid(E2, Edited, Funcs, Clients, &WarmSess);
+    EXPECT_EQ(static_cast<uint64_t>(Zero.accrued().SatQueries), 0u);
+    EXPECT_EQ(static_cast<uint64_t>(Zero.accrued().EntailQueries), 0u);
+  }
+  ASSERT_TRUE(Warm.ok());
+  for (const engine::VerifyReport &R : Warm.UnsafeSide)
+    EXPECT_TRUE(R.Cached) << R.Func;
+  for (const creusot::SafeReport &R : Warm.SafeSide)
+    EXPECT_TRUE(R.Cached) << R.Func;
+  EXPECT_EQ(WarmSess.stats().verified(), 0u);
+  EXPECT_EQ(WarmSess.stats().Invalidated, 0u);
+  EXPECT_EQ(WarmSess.stats().Salvaged, Users);
+  EXPECT_EQ(WarmSess.stats().Implied, 0u);
+  EXPECT_EQ(WarmSess.stats().SalvageQueries, 0u);
+}
+
+TEST_F(IncrTest, ContractClauseEditReverifiesExactlyItsDependents) {
+  std::string Path = tempStorePath("contract_clause_edit");
+  incr::IncrConfig Inc;
+  Inc.Enabled = true;
+  Inc.StorePath = Path;
+  sched::SchedulerConfig SC;
+  SC.StableCacheKeys = true;
+  std::vector<std::string> Funcs = unsafeFuncs();
+  std::vector<creusot::SafeFn> Clients = makeClients();
+
+  engine::VerifEnv E1 = Lib->env();
+  incr::Session Cold(Inc, E1, &Lib->Contracts);
+  {
+    sched::Scheduler S(SC);
+    ASSERT_TRUE(
+        S.runHybrid(E1, Lib->Contracts, Funcs, Clients, &Cold).ok());
+    Cold.saveSolverEntries(S.exportCacheEntries());
+    ASSERT_TRUE(Cold.flush());
+  }
+
+  // A real clause edit: conjoin `true` onto push_front's ensures. Contract
+  // clauses never get implication salvage (Pearlite terms have no journal
+  // grammar), so every client whose cold proof consulted the contract must
+  // re-verify — and only those.
+  creusot::PearliteSpecTable Edited;
+  for (const auto &[Name, Spec] : Lib->Contracts.all()) {
+    creusot::PearliteSpec Copy = Spec;
+    if (Name == "LinkedList::push_front")
+      Copy.Post = creusot::pAnd(Copy.Post, creusot::pBool(true));
     Edited.add(std::move(Copy));
   }
 
@@ -508,6 +826,140 @@ TEST_F(IncrTest, ContractEditReverifiesExactlyItsDependents) {
   }
   EXPECT_GE(Reverified, 1u);
   EXPECT_EQ(WarmSess.stats().VerifiedSafe, Reverified);
+  EXPECT_EQ(WarmSess.stats().Invalidated, Reverified);
+  EXPECT_EQ(WarmSess.stats().Salvaged + WarmSess.stats().Implied, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic salvage across Gilsonite spec edits (Vec universe)
+//===----------------------------------------------------------------------===//
+
+/// Scaffold for the spec-edit tests: a private Vec universe (the edits
+/// mutate the spec table in place), lints off so the runs measure proof
+/// obligations only.
+struct VecEditRun {
+  std::unique_ptr<VecLib> VL = buildVecLib();
+  std::vector<std::string> Funcs = vecFunctions();
+  incr::IncrConfig Inc;
+  sched::SchedulerConfig C;
+
+  explicit VecEditRun(const std::string &StoreName) {
+    Inc.Enabled = true;
+    Inc.StorePath = tempStorePath(StoreName);
+  }
+
+  std::vector<engine::VerifyReport> run(incr::IncrRunStats &S) {
+    engine::VerifEnv E = VL->env();
+    E.Lint.Enabled = false;
+    engine::Verifier V(E);
+    return V.verifyAll(Funcs, C, Inc, &S);
+  }
+};
+
+TEST_F(IncrTest, SpecConjunctReorderSalvagesWithZeroSolverWork) {
+  VecEditRun R("spec_reorder");
+  incr::IncrRunStats S1;
+  for (const engine::VerifyReport &Rep : R.run(S1))
+    ASSERT_TRUE(Rep.Ok) << Rep.Func;
+  EXPECT_EQ(S1.verified(), R.Funcs.size());
+
+  // Rotate the *-conjuncts of get_raw's precondition. Star parts are
+  // hashed in order, so the whole-entity fingerprint moves — but the
+  // clause multiset is unchanged, so the cached verdict is salvaged
+  // without a single solver query.
+  gilsonite::Spec *Sp = R.VL->Specs.lookupMutable("Vec::get_raw");
+  ASSERT_NE(Sp, nullptr);
+  uint64_t FpBefore = incr::fpSpec(*Sp);
+  std::vector<gilsonite::AssertionP> Parts = Sp->Pre->Parts;
+  ASSERT_GE(Parts.size(), 2u);
+  std::rotate(Parts.begin(), Parts.begin() + 1, Parts.end());
+  Sp->Pre = gilsonite::star(std::move(Parts));
+  ASSERT_NE(incr::fpSpec(*Sp), FpBefore); // The premise: order is hashed.
+
+  incr::IncrRunStats S2;
+  {
+    metrics::ScopedSolverStatsReset Zero;
+    for (const engine::VerifyReport &Rep : R.run(S2)) {
+      EXPECT_TRUE(Rep.Ok) << Rep.Func;
+      EXPECT_TRUE(Rep.Cached) << Rep.Func;
+    }
+    EXPECT_EQ(static_cast<uint64_t>(Zero.accrued().SatQueries), 0u);
+    EXPECT_EQ(static_cast<uint64_t>(Zero.accrued().EntailQueries), 0u);
+  }
+  EXPECT_EQ(S2.cached(), R.Funcs.size());
+  EXPECT_EQ(S2.verified(), 0u);
+  EXPECT_EQ(S2.Invalidated, 0u);
+  EXPECT_EQ(S2.Salvaged, 1u);
+  EXPECT_EQ(S2.Implied, 0u);
+  EXPECT_EQ(S2.SalvageQueries, 0u);
+}
+
+TEST_F(IncrTest, SpecConjunctStrengthenSalvagesThroughImplication) {
+  VecEditRun R("spec_strengthen");
+  incr::IncrRunStats S1;
+  for (const engine::VerifyReport &Rep : R.run(S1))
+    ASSERT_TRUE(Rep.Ok) << Rep.Func;
+
+  // An equivalence-preserving rewrite of one pure pre conjunct of get_raw:
+  // `i < len` becomes `i + 1 <= len`. The salvage pass reconstructs the old
+  // clause from its journal text and proves both implication directions
+  // (the spec is a self dependency), keeping the cached verdict.
+  gilsonite::Spec *Sp = R.VL->Specs.lookupMutable("Vec::get_raw");
+  ASSERT_NE(Sp, nullptr);
+  Expr I = mkVar("i", Sort::Int);
+  Expr Len = mkVar("len", Sort::Int);
+  std::vector<gilsonite::AssertionP> Parts = Sp->Pre->Parts;
+  ASSERT_GE(Parts.size(), 2u);
+  Parts[1] = gilsonite::pure(mkLe(mkAdd(I, mkInt(1)), Len));
+  Sp->Pre = gilsonite::star(std::move(Parts));
+
+  incr::IncrRunStats S2;
+  for (const engine::VerifyReport &Rep : R.run(S2)) {
+    EXPECT_TRUE(Rep.Ok) << Rep.Func;
+    EXPECT_TRUE(Rep.Cached) << Rep.Func;
+  }
+  EXPECT_EQ(S2.cached(), R.Funcs.size());
+  EXPECT_EQ(S2.verified(), 0u);
+  EXPECT_EQ(S2.Invalidated, 0u);
+  EXPECT_EQ(S2.Implied, 1u);
+  EXPECT_EQ(S2.Salvaged, 0u);
+  // One removed pre conjunct (self direction) + one added (use direction).
+  EXPECT_GE(S2.SalvageQueries, 2u);
+
+  // The refreshed record makes the next run a plain warm hit.
+  incr::IncrRunStats S3;
+  for (const engine::VerifyReport &Rep : R.run(S3))
+    EXPECT_TRUE(Rep.Cached) << Rep.Func;
+  EXPECT_EQ(S3.cached(), R.Funcs.size());
+  EXPECT_EQ(S3.Salvaged + S3.Implied, 0u);
+  EXPECT_EQ(S3.SalvageQueries, 0u);
+}
+
+TEST_F(IncrTest, SpecConjunctDeleteOnUsedSideReverifies) {
+  VecEditRun R("spec_delete");
+  incr::IncrRunStats S1;
+  for (const engine::VerifyReport &Rep : R.run(S1))
+    ASSERT_TRUE(Rep.Ok) << Rep.Func;
+
+  // Delete the pure post conjunct `ret == s[i]` the proof established. The
+  // salvage obligation (new post must imply the removed conjunct) has an
+  // empty context and fails, so the verdict is re-proved from scratch —
+  // successfully, since the remaining post is weaker.
+  gilsonite::Spec *Sp = R.VL->Specs.lookupMutable("Vec::get_raw");
+  ASSERT_NE(Sp, nullptr);
+  std::vector<gilsonite::AssertionP> Parts = Sp->Post->Parts;
+  ASSERT_GE(Parts.size(), 2u);
+  ASSERT_EQ(Parts[0]->Kind, gilsonite::AsrtKind::Pure);
+  Parts.erase(Parts.begin());
+  Sp->Post = gilsonite::star(std::move(Parts));
+
+  incr::IncrRunStats S2;
+  for (const engine::VerifyReport &Rep : R.run(S2))
+    EXPECT_TRUE(Rep.Ok) << Rep.Func;
+  EXPECT_EQ(S2.Invalidated, 1u);
+  EXPECT_EQ(S2.VerifiedUnsafe, 1u);
+  EXPECT_EQ(S2.CachedUnsafe, R.Funcs.size() - 1);
+  EXPECT_EQ(S2.Salvaged + S2.Implied, 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "hybrid/Driver.h"
+#include "incr/Session.h"
 #include "rustlib/Clients.h"
 #include "rustlib/LinkedList.h"
 #include "sched/Scheduler.h"
@@ -23,6 +24,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 using namespace gilr;
 using namespace gilr::rustlib;
 
@@ -31,8 +34,9 @@ namespace {
 TEST(TelemetrySchema, TopLevelKeysAreExactlyTheDocumentedSet) {
   // A full run with every telemetry source active: a scheduled hybrid run
   // (validates the query-cache snapshot and, via the default-enabled lint
-  // pre-pass, the analysis summary) under the flight recorder's timing
-  // decorator (validates solver_queries).
+  // pre-pass, the analysis summary) with an incremental store (validates
+  // the incremental summary) under the flight recorder's timing decorator
+  // (validates solver_queries).
   metrics::Registry::get().reset();
   flight::Options FO;
   FO.Timing = true;
@@ -43,8 +47,13 @@ TEST(TelemetrySchema, TopLevelKeysAreExactlyTheDocumentedSet) {
   engine::VerifEnv Env = Lib->env();
   hybrid::HybridDriver Driver(Env, Lib->Contracts);
   sched::SchedulerConfig C;
-  ASSERT_TRUE(Driver.run(functionalFunctions(), makeClients(), C).ok());
+  incr::IncrConfig IC;
+  IC.Enabled = true;
+  IC.StorePath = ::testing::TempDir() + "gilr_telemetry_schema.prf";
+  std::remove(IC.StorePath.c_str());
+  ASSERT_TRUE(Driver.run(functionalFunctions(), makeClients(), C, IC).ok());
   flight::reset();
+  std::remove(IC.StorePath.c_str());
 
   std::string Text =
       trace::renderStatsJson({"{\"name\": \"golden-case\", \"ok\": true}"});
@@ -55,9 +64,10 @@ TEST(TelemetrySchema, TopLevelKeysAreExactlyTheDocumentedSet) {
 
   const std::vector<std::string> Golden = {
       "analysis",      "cases",
-      "counters",      "phases",
-      "query_cache",   "schema",
-      "solver",        "solver_latency_log2_ns",
+      "counters",      "incremental",
+      "phases",        "query_cache",
+      "schema",        "solver",
+      "solver_latency_log2_ns",
       "solver_queries",
   };
   EXPECT_EQ(Doc->keys(), Golden)
@@ -75,7 +85,10 @@ TEST(TelemetrySchema, TopLevelKeysAreExactlyTheDocumentedSet) {
         "analysis.entities", "analysis.errors", "analysis.seconds",
         "solver_queries.queries", "solver_queries.cache_hits",
         "solver_queries.total_ns", "solver_queries.max_ns",
-        "solver_queries.journal_records"}) {
+        "solver_queries.journal_records", "incremental.cached",
+        "incremental.verified", "incremental.salvaged",
+        "incremental.implied", "incremental.salvage_queries",
+        "incremental.compactions"}) {
     json::ValuePtr V = Doc->at(Path);
     ASSERT_TRUE(V) << Path;
     EXPECT_TRUE(V->isNumber()) << Path;
