@@ -233,6 +233,29 @@ void mergeFrontend(const json::Value &V, TrendInput &T) {
     T.Timings["frontend.parse_mb_per_s"] = N->numberOr(0);
 }
 
+void mergeServer(const json::Value &V, TrendInput &T) {
+  // Deterministic counters gate; latencies and speedups are recorded as
+  // machine-dependent timings.
+  if (json::ValuePtr N = V.get("modules"))
+    T.Metrics["server.modules"] = N->numberOr(0);
+  if (json::ValuePtr N = V.get("resident_warm_verified"))
+    T.Metrics["server.resident_warm_verified"] = N->numberOr(0);
+  if (json::ValuePtr N = V.get("shared_warm_verified"))
+    T.Metrics["server.shared_warm_verified"] = N->numberOr(0);
+  if (json::ValuePtr N = V.get("verdicts_identical"))
+    T.Metrics["server.verdicts_identical"] =
+        N->K == json::Value::Kind::Bool ? (N->B ? 1.0 : 0.0)
+                                        : N->numberOr(0);
+  if (json::ValuePtr N = V.get("cold_seconds"))
+    T.Timings["server.cold_seconds"] = N->numberOr(0);
+  if (json::ValuePtr N = V.get("resident_warm_speedup"))
+    T.Timings["server.resident_warm_speedup"] = N->numberOr(0);
+  if (json::ValuePtr N = V.get("shared_warm_speedup"))
+    T.Timings["server.shared_warm_speedup"] = N->numberOr(0);
+  if (json::ValuePtr N = V.at("throughput.requests_per_second"))
+    T.Timings["server.requests_per_second"] = N->numberOr(0);
+}
+
 void mergeIntern(const json::Value &V, TrendInput &T) {
   if (json::ValuePtr N = V.get("intern_hit_rate"))
     T.Metrics["intern.hit_rate"] = N->numberOr(0);
@@ -472,6 +495,7 @@ int main(int argc, char **argv) {
       {"BENCH_analysis.json", mergeAnalysis},
       {"BENCH_intern.json", mergeIntern},
       {"BENCH_frontend.json", mergeFrontend},
+      {"BENCH_server.json", mergeServer},
   };
   for (const Source &S : Sources) {
     std::string Text;

@@ -1,0 +1,252 @@
+//===- bench/bench_server.cpp - Verification-as-a-service -------------------===//
+//
+// Measures the gilrd session layer (src/server/) on the committed .gilr
+// corpus:
+//
+//   * cold submission latency: a fresh daemon with an empty shared cache
+//     verifies the corpus over the socket;
+//   * resident-warm latency: the same daemon replays the unchanged corpus
+//     from its resident state (solver cache + shared backend);
+//   * shared-cache-warm latency: a *fresh* daemon pointed at the populated
+//     cache directory — the cross-process warmth the shared backend buys;
+//   * N-client throughput: N concurrent connections submitting the warm
+//     corpus, measuring end-to-end requests/second through admission.
+//
+// Warm runs must re-verify zero obligations and render byte-identical
+// `verdicts` arrays; the benchmark fails (exit 1) otherwise, so CI can
+// gate on it.
+//
+// Usage: bench_server [out-file]
+//   default: BENCH_server.json
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+#include "server/Server.h"
+#include "support/Files.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gilr;
+
+namespace {
+
+/// Corpus modules that verify clean (the buggy variants exercise error
+/// paths and are benchmarked nowhere).
+const char *Modules[] = {
+    "vec.gilr",
+    "stack_safety.gilr",
+    "stack_functional.gilr",
+    "linkedlist_safety.gilr",
+    "linkedlist_functional.gilr",
+};
+
+constexpr unsigned ThroughputClients = 4;
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+std::string corpusPath(const char *Name) {
+  return std::string(GILR_CORPUS_DIR) + "/" + Name;
+}
+
+struct Submission {
+  int Exit = -1;
+  uint64_t Verified = 0;
+  uint64_t Cached = 0;
+  uint64_t SharedHits = 0;
+  std::string Verdicts; ///< The raw `verdicts` slice, byte-compared.
+};
+
+/// Submits one module over the socket and pulls the gating fields out of
+/// the result line.
+Submission submit(const std::string &Socket, const char *Module) {
+  server::ClientOptions Opt;
+  Opt.SocketPath = Socket;
+  Opt.Files = {corpusPath(Module)};
+  Opt.Json = true;
+  std::ostringstream Out, Err;
+  Submission S;
+  S.Exit = server::runClient(Opt, Out, Err);
+  std::string Line = Out.str();
+  if (json::ValuePtr V = json::parse(Line)) {
+    auto Field = [&](const char *Path) -> uint64_t {
+      json::ValuePtr F = V->at(Path);
+      return F ? static_cast<uint64_t>(F->numberOr(0)) : 0;
+    };
+    S.Verified = Field("incremental.verified");
+    S.Cached = Field("incremental.cached");
+    S.SharedHits = Field("incremental.shared_hits");
+  }
+  std::size_t Start = Line.find("\"verdicts\": [");
+  std::size_t End = Start == std::string::npos ? Start : Line.find(']', Start);
+  if (End != std::string::npos)
+    S.Verdicts = Line.substr(Start, End - Start + 1);
+  return S;
+}
+
+struct Pass {
+  double Seconds = 0.0;
+  uint64_t Verified = 0;
+  uint64_t Cached = 0;
+  uint64_t SharedHits = 0;
+  int WorstExit = 0;
+  std::vector<std::string> Verdicts;
+};
+
+/// One sequential pass over the corpus.
+Pass runPass(const std::string &Socket) {
+  Pass P;
+  double T0 = now();
+  for (const char *M : Modules) {
+    Submission S = submit(Socket, M);
+    P.Verified += S.Verified;
+    P.Cached += S.Cached;
+    P.SharedHits += S.SharedHits;
+    P.WorstExit = std::max(P.WorstExit, S.Exit);
+    P.Verdicts.push_back(S.Verdicts);
+  }
+  P.Seconds = now() - T0;
+  return P;
+}
+
+std::string fmtNum(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const std::string OutPath = argc > 1 ? argv[1] : "BENCH_server.json";
+  std::string Dir = std::filesystem::temp_directory_path().string() +
+                    "/gilr_bench_server";
+  std::filesystem::remove_all(Dir);
+
+  server::ServerConfig Cfg;
+  Cfg.SocketPath = Dir + ".sock";
+  Cfg.CacheDir = Dir;
+  Cfg.Jobs = 2;
+
+  Pass Cold, ResidentWarm, SharedWarm;
+  double ThroughputSeconds = 0.0;
+  uint64_t ThroughputRequests = 0;
+
+  {
+    server::Server S(Cfg);
+    std::string Err;
+    if (!S.start(Err)) {
+      std::fprintf(stderr, "bench-server: start: %s\n", Err.c_str());
+      return 2;
+    }
+    std::thread Serving([&S] { S.serve(); });
+
+    std::printf("bench-server: cold pass...\n");
+    Cold = runPass(Cfg.SocketPath);
+    std::printf("bench-server: resident-warm pass...\n");
+    ResidentWarm = runPass(Cfg.SocketPath);
+
+    // Throughput: N clients, each a full warm pass on its own connection.
+    std::printf("bench-server: %u-client throughput...\n", ThroughputClients);
+    double T0 = now();
+    std::vector<std::thread> Clients;
+    for (unsigned I = 0; I < ThroughputClients; ++I)
+      Clients.emplace_back([&] { runPass(Cfg.SocketPath); });
+    for (std::thread &T : Clients)
+      T.join();
+    ThroughputSeconds = now() - T0;
+    ThroughputRequests =
+        ThroughputClients * (sizeof(Modules) / sizeof(Modules[0]));
+
+    S.stop();
+    Serving.join();
+  }
+
+  // A fresh daemon over the populated cache directory: warm from disk.
+  {
+    server::Server S(Cfg);
+    std::string Err;
+    if (!S.start(Err)) {
+      std::fprintf(stderr, "bench-server: restart: %s\n", Err.c_str());
+      return 2;
+    }
+    std::thread Serving([&S] { S.serve(); });
+    std::printf("bench-server: shared-cache-warm pass (fresh daemon)...\n");
+    SharedWarm = runPass(Cfg.SocketPath);
+    S.stop();
+    Serving.join();
+  }
+
+  bool VerdictsIdentical = Cold.Verdicts == ResidentWarm.Verdicts &&
+                           Cold.Verdicts == SharedWarm.Verdicts;
+  bool Ok = Cold.WorstExit == 0 && ResidentWarm.WorstExit == 0 &&
+            SharedWarm.WorstExit == 0 && ResidentWarm.Verified == 0 &&
+            SharedWarm.Verified == 0 && VerdictsIdentical;
+
+  std::string Out = "{\n  \"schema\": \"gilr-bench-server-v1\",\n";
+  Out += "  \"modules\": " +
+         std::to_string(sizeof(Modules) / sizeof(Modules[0])) + ",\n";
+  Out += "  \"cold_seconds\": " + fmtNum(Cold.Seconds) + ",\n";
+  Out += "  \"cold_verified\": " + std::to_string(Cold.Verified) + ",\n";
+  Out += "  \"resident_warm_seconds\": " + fmtNum(ResidentWarm.Seconds) +
+         ",\n";
+  Out += "  \"resident_warm_verified\": " +
+         std::to_string(ResidentWarm.Verified) + ",\n";
+  Out += "  \"resident_warm_speedup\": " +
+         fmtNum(ResidentWarm.Seconds > 0
+                    ? Cold.Seconds / ResidentWarm.Seconds
+                    : 0) +
+         ",\n";
+  Out += "  \"shared_warm_seconds\": " + fmtNum(SharedWarm.Seconds) + ",\n";
+  Out += "  \"shared_warm_verified\": " +
+         std::to_string(SharedWarm.Verified) + ",\n";
+  Out += "  \"shared_warm_speedup\": " +
+         fmtNum(SharedWarm.Seconds > 0 ? Cold.Seconds / SharedWarm.Seconds
+                                       : 0) +
+         ",\n";
+  Out += "  \"shared_warm_hits\": " + std::to_string(SharedWarm.SharedHits) +
+         ",\n";
+  Out += "  \"verdicts_identical\": " +
+         std::string(VerdictsIdentical ? "true" : "false") + ",\n";
+  Out += "  \"throughput\": {\"clients\": " +
+         std::to_string(ThroughputClients) +
+         ", \"requests\": " + std::to_string(ThroughputRequests) +
+         ", \"seconds\": " + fmtNum(ThroughputSeconds) +
+         ", \"requests_per_second\": " +
+         fmtNum(ThroughputSeconds > 0 ? ThroughputRequests / ThroughputSeconds
+                                      : 0) +
+         "},\n";
+  Out += "  \"ok\": " + std::string(Ok ? "true" : "false") + "\n}\n";
+
+  if (!files::writeFile(OutPath, Out, "server bench report"))
+    return 2;
+  std::printf(
+      "bench-server: cold %.2fs, resident-warm %.2fs (%.1fx), shared-warm "
+      "%.2fs (%.1fx), %s\n",
+      Cold.Seconds, ResidentWarm.Seconds,
+      ResidentWarm.Seconds > 0 ? Cold.Seconds / ResidentWarm.Seconds : 0.0,
+      SharedWarm.Seconds,
+      SharedWarm.Seconds > 0 ? Cold.Seconds / SharedWarm.Seconds : 0.0,
+      Ok ? "ok" : "GATE FAILED");
+  if (!Ok) {
+    std::fprintf(stderr,
+                 "bench-server: gate failed: exits %d/%d/%d, warm verified "
+                 "%llu/%llu, verdicts %s\n",
+                 Cold.WorstExit, ResidentWarm.WorstExit, SharedWarm.WorstExit,
+                 (unsigned long long)ResidentWarm.Verified,
+                 (unsigned long long)SharedWarm.Verified,
+                 VerdictsIdentical ? "identical" : "DIVERGED");
+    return 1;
+  }
+  return 0;
+}

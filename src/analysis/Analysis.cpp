@@ -49,6 +49,8 @@ EntityVerdict gilr::analysis::lintEntity(const AnalysisInput &In,
   }
   if (S && In.Cfg.SpecLints && In.Solv)
     checkSpec(*S, *In.Solv, DE);
+  if (F && S && In.Cfg.FunctionLints && In.Cfg.SpecLints)
+    checkFrameRule(*F, *S, DE);
 
   V.Diags = DE.sorted();
   V.Suppressed = DE.suppressedCount();

@@ -60,6 +60,7 @@ inline constexpr const char *UnusedPred = "GILR-W005";     ///< Predicate never 
 inline constexpr const char *UnusedLemma = "GILR-W006";    ///< Lemma never applied.
 inline constexpr const char *PostImpliedByPre = "GILR-W007"; ///< Post conjunct already follows from the pre.
 inline constexpr const char *PostUnsatGivenPre = "GILR-E011"; ///< Post contradicts the pre.
+inline constexpr const char *FrameWiderThanFootprint = "GILR-W008"; ///< Spec owns memory the body never touches.
 } // namespace code
 
 /// The severity a code carries by default ("GILR-E..." are errors,

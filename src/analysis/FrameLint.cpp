@@ -1,0 +1,278 @@
+//===- analysis/FrameLint.cpp - Frame-rule footprint lint (GILR-W008) ------===//
+///
+/// \file
+/// Warns when a spec's spatial footprint is strictly wider than the memory
+/// the body touches: the precondition claims ownership rooted at a
+/// parameter that the body never reads through, writes through, frees,
+/// passes to a callee, mentions in a ghost command, or returns. Such a spec
+/// is not wrong — the frame rule lets a proof carry untouched memory
+/// through unchanged — but it is needlessly strong: every caller must
+/// surrender ownership the function does not use, and every proof of the
+/// function pays to thread it through.
+///
+/// The footprint comparison is deliberately a cheap syntactic
+/// approximation, biased hard toward silence:
+///
+///  * Only points-to-family parts of the *pre*condition contribute roots
+///    (PointsTo, UninitPT, MaybeUninit, ArrayPT, ArrayUninit), and only
+///    when the pointer expression mentions a parameter by name (the
+///    executor binds parameter locals to symbolic variables of the same
+///    name, engine/Executor.cpp).
+///  * A predicate or guarded-predicate call anywhere in the pre makes the
+///    footprint opaque (the predicate's unfolding may reach any argument),
+///    so the lint stays silent.
+///  * Pointer variables bound by an Exists are not parameters; skipped.
+///  * The body's touched set is closed under aliasing: locals assigned
+///    from a parameter (moves, copies, borrows, raw addresses, pointer
+///    offsets, aggregates, arithmetic) inherit its root, and any deref,
+///    free, call argument, ghost mention or flow into the return slot of
+///    an aliasing local marks the root as touched.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Passes.h"
+
+#include <map>
+
+using namespace gilr;
+using namespace gilr::analysis;
+
+namespace {
+
+/// Walks \p A collecting parameter-named points-to roots of the spec's
+/// spatial parts. Sets \p Opaque when a predicate call makes the footprint
+/// syntactically unknowable.
+void collectSpecRoots(const gilsonite::AssertionP &A,
+                      const std::map<std::string, rmir::LocalId> &Params,
+                      std::set<std::string> Bound,
+                      std::set<std::string> &Roots, bool &Opaque) {
+  if (!A || Opaque)
+    return;
+  switch (A->Kind) {
+  case gilsonite::AsrtKind::Star:
+    for (const gilsonite::AssertionP &P : A->Parts)
+      collectSpecRoots(P, Params, Bound, Roots, Opaque);
+    return;
+  case gilsonite::AsrtKind::Exists: {
+    for (const gilsonite::Binder &B : A->Binders)
+      Bound.insert(B.Name);
+    collectSpecRoots(A->Body, Params, std::move(Bound), Roots, Opaque);
+    return;
+  }
+  case gilsonite::AsrtKind::PointsTo:
+  case gilsonite::AsrtKind::UninitPT:
+  case gilsonite::AsrtKind::MaybeUninit:
+  case gilsonite::AsrtKind::ArrayPT:
+  case gilsonite::AsrtKind::ArrayUninit: {
+    std::set<std::string> Vars;
+    collectVars(A->Ptr, Vars);
+    for (const std::string &V : Vars)
+      if (!Bound.count(V) && Params.count(V))
+        Roots.insert(V);
+    return;
+  }
+  case gilsonite::AsrtKind::PredCall:
+  case gilsonite::AsrtKind::GuardedCall:
+    Opaque = true;
+    return;
+  default:
+    return;
+  }
+}
+
+/// The syntactic touch analysis over one body: which parameter roots does
+/// the function read through, write through, free, pass on or return?
+class TouchAnalysis {
+public:
+  explicit TouchAnalysis(const rmir::Function &F) : F(F) {
+    Aliases.resize(F.Locals.size());
+    for (unsigned I = 0; I != F.NumParams && 1 + I < F.Locals.size(); ++I)
+      Aliases[1 + I].insert(1 + I);
+  }
+
+  /// Runs the alias/touch fixpoint and returns the touched parameter
+  /// locals.
+  const std::set<rmir::LocalId> &run() {
+    // The alias sets only grow and are bounded by the local count, so
+    // |Locals| passes reach the fixpoint; +2 for safety on empty bodies.
+    for (std::size_t Pass = 0; Pass != F.Locals.size() + 2; ++Pass) {
+      Changed = false;
+      for (const rmir::BasicBlock &B : F.Blocks) {
+        for (const rmir::Statement &S : B.Stmts)
+          visitStatement(S);
+        visitTerminator(B.Term);
+      }
+      if (!Changed)
+        break;
+    }
+    return Touched;
+  }
+
+private:
+  const std::set<rmir::LocalId> &rootsOf(rmir::LocalId L) const {
+    static const std::set<rmir::LocalId> Empty;
+    return L < Aliases.size() ? Aliases[L] : Empty;
+  }
+
+  void touchRoots(rmir::LocalId L) {
+    for (rmir::LocalId R : rootsOf(L))
+      Changed |= Touched.insert(R).second;
+  }
+
+  /// A place used as a value: a deref reads (or writes) through the base
+  /// local's referent.
+  void usePlace(const rmir::Place &P) {
+    for (const rmir::PlaceElem &E : P.Elems)
+      if (E.Kind == rmir::PlaceElem::Deref) {
+        touchRoots(P.Local);
+        return;
+      }
+  }
+
+  void useOperand(const rmir::Operand &Op) {
+    if (Op.Kind != rmir::Operand::Const)
+      usePlace(Op.P);
+  }
+
+  /// An operand handed to something that may do anything with it (callee,
+  /// ghost command, free): the referent counts as touched outright.
+  void escapeOperand(const rmir::Operand &Op) {
+    if (Op.Kind != rmir::Operand::Const)
+      touchRoots(Op.P.Local);
+  }
+
+  void propagate(rmir::LocalId Dest, rmir::LocalId Src) {
+    if (Dest >= Aliases.size())
+      return;
+    for (rmir::LocalId R : rootsOf(Src))
+      Changed |= Aliases[Dest].insert(R).second;
+  }
+
+  void visitStatement(const rmir::Statement &S) {
+    switch (S.Kind) {
+    case rmir::Statement::Assign: {
+      // A projected destination writes through its base local.
+      usePlace(S.Dest);
+      for (const rmir::Operand &Op : S.RV.Ops)
+        useOperand(Op);
+      usePlace(S.RV.P);
+      // Alias propagation into a plain-local destination: the new value
+      // may carry (point into) any root of any source local.
+      if (S.Dest.Elems.empty()) {
+        for (const rmir::Operand &Op : S.RV.Ops)
+          if (Op.Kind != rmir::Operand::Const)
+            propagate(S.Dest.Local, Op.P.Local);
+        switch (S.RV.Kind) {
+        case rmir::Rvalue::Discriminant:
+        case rmir::Rvalue::RefOf:
+        case rmir::Rvalue::AddrOf:
+          propagate(S.Dest.Local, S.RV.P.Local);
+          break;
+        default:
+          break;
+        }
+        // Flow into the return slot hands the memory back to the caller.
+        if (S.Dest.Local == 0)
+          touchRoots(S.Dest.Local);
+      }
+      break;
+    }
+    case rmir::Statement::Alloc:
+      usePlace(S.Dest);
+      break;
+    case rmir::Statement::Free:
+      escapeOperand(S.FreeArg);
+      break;
+    case rmir::Statement::GhostStmt: {
+      // A fold/unfold/lemma about a parameter's memory is a proof step
+      // over it — very much "touched".
+      for (const rmir::Operand &Op : S.G.Args)
+        escapeOperand(Op);
+      std::set<std::string> Vars;
+      collectVars(S.G.PureArg, Vars);
+      for (const std::string &V : Vars) {
+        auto It = ParamByName.find(V);
+        if (It != ParamByName.end())
+          Changed |= Touched.insert(It->second).second;
+      }
+      break;
+    }
+    case rmir::Statement::Nop:
+      break;
+    }
+  }
+
+  void visitTerminator(const rmir::Terminator &T) {
+    switch (T.Kind) {
+    case rmir::Terminator::SwitchInt:
+      useOperand(T.Discr);
+      break;
+    case rmir::Terminator::Call:
+      for (const rmir::Operand &Op : T.Args)
+        escapeOperand(Op);
+      usePlace(T.Dest);
+      break;
+    case rmir::Terminator::Return:
+      touchRoots(0);
+      break;
+    default:
+      break;
+    }
+  }
+
+public:
+  /// Registers parameter names so ghost pure arguments can be matched.
+  void setParamNames(const std::map<std::string, rmir::LocalId> &M) {
+    ParamByName = M;
+  }
+
+private:
+  const rmir::Function &F;
+  std::vector<std::set<rmir::LocalId>> Aliases;
+  std::set<rmir::LocalId> Touched;
+  std::map<std::string, rmir::LocalId> ParamByName;
+  bool Changed = false;
+};
+
+} // namespace
+
+void gilr::analysis::checkFrameRule(const rmir::Function &F,
+                                    const gilsonite::Spec &S,
+                                    DiagnosticEngine &DE) {
+  // Trusted specs are assumed, never proved: their footprint is the
+  // caller-facing contract, not a proof burden.
+  if (S.Trusted || F.Blocks.empty())
+    return;
+
+  std::map<std::string, rmir::LocalId> Params;
+  for (unsigned I = 0; I != F.NumParams && 1 + I < F.Locals.size(); ++I)
+    Params[F.Locals[1 + I].Name] = 1 + I;
+  if (Params.empty())
+    return;
+
+  std::set<std::string> Roots;
+  bool Opaque = false;
+  collectSpecRoots(S.Pre, Params, {}, Roots, Opaque);
+  if (Opaque || Roots.empty())
+    return;
+
+  TouchAnalysis TA(F);
+  TA.setParamNames(Params);
+  const std::set<rmir::LocalId> &Touched = TA.run();
+
+  for (const std::string &Root : Roots) {
+    if (Touched.count(Params.at(Root)))
+      continue;
+    Diagnostic D;
+    D.Code = code::FrameWiderThanFootprint;
+    D.Sev = codeSeverity(D.Code);
+    D.Entity = F.Name;
+    D.Message = "precondition claims ownership rooted at parameter '" +
+                Root + "' but the body never touches it";
+    D.Notes.push_back(
+        "the frame rule carries untouched memory through any proof: "
+        "narrow the spec's footprint or drop the points-to on '" + Root +
+        "'");
+    DE.report(std::move(D));
+  }
+}

@@ -69,6 +69,15 @@ void checkUnsafeSurface(const rmir::Function &F, const gilsonite::Spec *S,
 /// \p F may be null (spec-only entities); \p Solv must outlive the call.
 void checkSpec(const gilsonite::Spec &S, Solver &Solv, DiagnosticEngine &DE);
 
+/// Frame-rule footprint lint (GILR-W008): the spec's precondition claims
+/// ownership (a points-to-family part) rooted at a parameter the body
+/// never reads through, writes through, frees, passes on, mentions in a
+/// ghost command or returns. Cheap syntactic approximation biased toward
+/// silence: predicate calls in the pre make the footprint opaque and mute
+/// the lint, and the body analysis closes over aliases conservatively.
+void checkFrameRule(const rmir::Function &F, const gilsonite::Spec &S,
+                    DiagnosticEngine &DE);
+
 /// Program-level cross-reference (GILR-W005/W006): predicates never
 /// referenced by any spec, predicate clause or ghost statement, and lemmas
 /// never applied. \p LemmaNames is the declared lemma set (the analysis

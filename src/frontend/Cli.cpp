@@ -4,9 +4,11 @@
 
 #include "analysis/Analysis.h"
 #include "frontend/Frontend.h"
+#include "frontend/Printer.h"
 #include "hybrid/Driver.h"
 #include "incr/Session.h"
 #include "sched/Scheduler.h"
+#include "server/Client.h"
 #include "support/Files.h"
 #include "support/SourceMgr.h"
 #include "support/StringUtils.h"
@@ -26,21 +28,37 @@ constexpr int ExitLintError = 2;
 constexpr int ExitParseError = 3;
 
 const char *Usage =
-    "usage: gilr <check|lint|verify> [options] file.gilr...\n"
+    "usage: gilr <check|lint|verify|fmt|client> [options] file.gilr...\n"
     "\n"
     "subcommands:\n"
     "  check    parse and typecheck the modules\n"
     "  lint     check + the static pre-verification analysis\n"
     "  verify   lint + the full hybrid verification run\n"
+    "  fmt      pretty-print modules (stdout; -i in place; --check for CI)\n"
+    "  client   submit modules to a running gilrd daemon\n"
     "\n"
     "options:\n"
     "  --json              machine-readable output (one object per file;\n"
     "                      an array when several files are given)\n"
     "  --jobs N            scheduler worker threads for verify (default 1)\n"
     "  --incr-store PATH   persistent proof store for verify\n"
+    "  --shared-cache DIR  shared content-addressed proof cache for verify\n"
+    "\n"
+    "fmt options:\n"
+    "  -i, --in-place      rewrite the files instead of printing\n"
+    "  --check             exit 1 when any file is not already formatted\n"
+    "\n"
+    "client options:\n"
+    "  --socket PATH       gilrd socket ($GILRD_SOCKET or /tmp/gilrd.sock)\n"
+    "  --client ID         multi-tenant client identity\n"
+    "  --timeout-ms N      per-job budget for submitted runs\n"
+    "  --check-only        submit with method 'check' instead of 'verify'\n"
+    "  --ping | --stats | --shutdown\n"
+    "                      control requests (no files)\n"
     "\n"
     "exit codes: 0 verified, 1 proof failures, 2 lint errors,\n"
-    "            3 parse/type errors (worst code wins across files)\n";
+    "            3 parse/type errors (worst code wins across files),\n"
+    "            4 daemon unavailable (client mode)\n";
 
 struct CliOptions {
   std::string Command;
@@ -48,6 +66,15 @@ struct CliOptions {
   bool Json = false;
   unsigned Jobs = 1;
   std::string IncrStore;
+  std::string SharedCache;
+  // fmt
+  bool InPlace = false;
+  bool FmtCheck = false;
+  // client
+  std::string Socket;
+  std::string ClientId;
+  uint64_t TimeoutMs = 0;
+  std::string ClientMethod = "verify";
 };
 
 /// The byte offset of (1-based) \p Line / \p Col in \p Text, for caret
@@ -210,8 +237,9 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
   sched::SchedulerConfig SC;
   SC.Threads = Opt.Jobs;
   incr::IncrConfig IC;
-  IC.Enabled = !Opt.IncrStore.empty();
+  IC.Enabled = !Opt.IncrStore.empty() || !Opt.SharedCache.empty();
   IC.StorePath = Opt.IncrStore;
+  IC.SharedCacheDir = Opt.SharedCache;
   incr::IncrRunStats Stats;
   hybrid::HybridReport Report =
       Driver.run(UnsafeFuncs, Clients, SC, IC, &Stats);
@@ -237,6 +265,8 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
                  ", \"implied\": " + std::to_string(Stats.Implied) +
                  ", \"salvage_queries\": " +
                  std::to_string(Stats.SalvageQueries) +
+                 ", \"shared_hits\": " + std::to_string(Stats.SharedHits) +
+                 ", \"shared_puts\": " + std::to_string(Stats.SharedPuts) +
                  ", \"compactions\": " + std::to_string(Stats.Compactions) +
                  "}";
     R.Json = jsonHead(Opt, Path) + ", \"exit\": " + std::to_string(R.Exit) +
@@ -251,10 +281,59 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
       Out << "incremental: " << Stats.cached() << " cached, "
           << Stats.verified() << " verified, " << Stats.Invalidated
           << " invalidated, " << Stats.Salvaged << " salvaged, "
-          << Stats.Implied << " implied, " << Stats.Compactions
-          << " compactions\n";
+          << Stats.Implied << " implied, " << Stats.SharedHits
+          << " shared hits, " << Stats.SharedPuts << " shared puts, "
+          << Stats.Compactions << " compactions\n";
   }
   return R;
+}
+
+/// `gilr fmt`: round-trips \p Path through the parser and printer. The
+/// printed form is the canonical format; --check compares without
+/// writing (CI gate), -i rewrites only when the bytes differ.
+FileResult runFmt(const CliOptions &Opt, const std::string &Path,
+                  std::ostream &Out, std::ostream &Err) {
+  FileResult R;
+  ParseResult P = parseFile(Path);
+  std::string Text;
+  files::readFile(Path, Text, ".gilr module");
+  support::SourceMgr SM(Path, Text);
+  if (!P.ok()) {
+    R.Exit = ExitParseError;
+    printDiagnostics(Err, P.Diags, &SM);
+    return R;
+  }
+  std::string Pretty = printModule(*P.Mod);
+  if (Opt.FmtCheck) {
+    if (Pretty != Text) {
+      Err << Path << ": not formatted (run `gilr fmt -i`)\n";
+      R.Exit = ExitProofFailure;
+    }
+  } else if (Opt.InPlace) {
+    if (Pretty != Text &&
+        !files::writeFile(Path, Pretty, "formatted module"))
+      R.Exit = ExitParseError;
+  } else if (!Opt.Json) {
+    Out << Pretty;
+  }
+  if (Opt.Json)
+    R.Json = jsonHead(Opt, Path) + ", \"exit\": " + std::to_string(R.Exit) +
+             ", \"formatted\": " + (Pretty == Text ? "true" : "false") + "}";
+  return R;
+}
+
+/// `gilr client`: delegates to the server-protocol pump.
+int runClientCommand(const CliOptions &Opt, std::ostream &Out,
+                     std::ostream &Err) {
+  server::ClientOptions CO;
+  CO.SocketPath = Opt.Socket;
+  CO.Method = Opt.ClientMethod;
+  CO.Files = Opt.Files;
+  CO.ClientId = Opt.ClientId;
+  CO.Json = Opt.Json;
+  CO.Jobs = Opt.Jobs;
+  CO.TimeoutMs = Opt.TimeoutMs;
+  return server::runClient(CO, Out, Err);
 }
 
 } // namespace
@@ -289,6 +368,47 @@ int gilr::frontend::runCli(const std::vector<std::string> &Args,
         return ExitParseError;
       }
       Opt.IncrStore = Args[++I];
+    } else if (A == "--shared-cache") {
+      if (I + 1 >= Args.size()) {
+        Err << "gilr: --shared-cache needs a value\n" << Usage;
+        return ExitParseError;
+      }
+      Opt.SharedCache = Args[++I];
+    } else if (A == "-i" || A == "--in-place") {
+      Opt.InPlace = true;
+    } else if (A == "--check") {
+      Opt.FmtCheck = true;
+    } else if (A == "--socket") {
+      if (I + 1 >= Args.size()) {
+        Err << "gilr: --socket needs a value\n" << Usage;
+        return ExitParseError;
+      }
+      Opt.Socket = Args[++I];
+    } else if (A == "--client") {
+      if (I + 1 >= Args.size()) {
+        Err << "gilr: --client needs a value\n" << Usage;
+        return ExitParseError;
+      }
+      Opt.ClientId = Args[++I];
+    } else if (A == "--timeout-ms") {
+      if (I + 1 >= Args.size()) {
+        Err << "gilr: --timeout-ms needs a value\n" << Usage;
+        return ExitParseError;
+      }
+      try {
+        Opt.TimeoutMs = std::stoull(Args[++I]);
+      } catch (...) {
+        Err << "gilr: bad --timeout-ms value '" << Args[I] << "'\n";
+        return ExitParseError;
+      }
+    } else if (A == "--check-only") {
+      Opt.ClientMethod = "check";
+    } else if (A == "--ping") {
+      Opt.ClientMethod = "ping";
+    } else if (A == "--stats") {
+      Opt.ClientMethod = "stats";
+    } else if (A == "--shutdown") {
+      Opt.ClientMethod = "shutdown";
     } else if (!A.empty() && A[0] == '-') {
       Err << "gilr: unknown option '" << A << "'\n" << Usage;
       return ExitParseError;
@@ -303,14 +423,21 @@ int gilr::frontend::runCli(const std::vector<std::string> &Args,
     return ExitParseError;
   }
   if (Opt.Command != "check" && Opt.Command != "lint" &&
-      Opt.Command != "verify") {
+      Opt.Command != "verify" && Opt.Command != "fmt" &&
+      Opt.Command != "client") {
     Err << "gilr: unknown subcommand '" << Opt.Command << "'\n" << Usage;
     return ExitParseError;
   }
-  if (Opt.Files.empty()) {
+  // Control requests carry no files; everything else needs at least one.
+  bool ControlRequest =
+      Opt.Command == "client" && Opt.ClientMethod != "verify" &&
+      Opt.ClientMethod != "check";
+  if (Opt.Files.empty() && !ControlRequest) {
     Err << "gilr: no input files\n" << Usage;
     return ExitParseError;
   }
+  if (Opt.Command == "client")
+    return runClientCommand(Opt, Out, Err);
 
   int Exit = ExitOk;
   std::vector<std::string> JsonParts;
@@ -320,6 +447,8 @@ int gilr::frontend::runCli(const std::vector<std::string> &Args,
       R = runCheck(Opt, Path, Out, Err);
     else if (Opt.Command == "lint")
       R = runLint(Opt, Path, Out, Err);
+    else if (Opt.Command == "fmt")
+      R = runFmt(Opt, Path, Out, Err);
     else
       R = runVerify(Opt, Path, Out, Err);
     Exit = std::max(Exit, R.Exit);

@@ -606,3 +606,22 @@ bool gilr::incr::decodeSafeReport(const std::string &Blob,
       return false;
   return readSolverStats(R, Out.Solver) && R.done();
 }
+
+std::vector<const StoredObligation *> ProofStore::records() const {
+  std::vector<const StoredObligation *> Out;
+  Out.reserve(Index.size());
+  for (const auto &[Key, Ob] : Index) {
+    (void)Key;
+    Out.push_back(&Ob);
+  }
+  return Out;
+}
+
+std::string gilr::incr::encodeObligationRecord(const StoredObligation &Ob) {
+  return encodeObligation(Ob);
+}
+
+bool gilr::incr::decodeObligationRecord(const std::string &Payload,
+                                        StoredObligation &Out) {
+  return decodeObligation(Payload, Out, FormatVersion);
+}

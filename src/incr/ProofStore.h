@@ -98,6 +98,11 @@ public:
 
   const StoredObligation *lookup(Side S, const std::string &Name) const;
 
+  /// Every record, in (side, name) order — for backends that index the
+  /// store by content address (incr/CacheBackend.h). Pointers are
+  /// invalidated by put().
+  std::vector<const StoredObligation *> records() const;
+
   /// Inserts or replaces the verdict for (Ob.S, Ob.Name).
   void put(StoredObligation Ob);
 
@@ -147,6 +152,13 @@ bool decodeSafeReport(const std::string &Blob, creusot::SafeReport &Out);
 /// the pre-verification analysis, cached the way proof verdicts are.
 std::string encodeLintVerdict(const analysis::EntityVerdict &V);
 bool decodeLintVerdict(const std::string &Blob, analysis::EntityVerdict &Out);
+
+/// Whole-record codec at the current format version, shared with the
+/// content-addressed cache backends (incr/CacheBackend.h): a backend blob
+/// is exactly a GILRPRF1 obligation record payload. The decoder is
+/// bounds-checked and returns false on malformed input.
+std::string encodeObligationRecord(const StoredObligation &Ob);
+bool decodeObligationRecord(const std::string &Payload, StoredObligation &Out);
 
 } // namespace incr
 } // namespace gilr

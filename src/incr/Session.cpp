@@ -32,6 +32,46 @@ Session::Session(const IncrConfig &Cfg, engine::VerifEnv &Env,
     if (trace::enabled() && Stats.Compactions)
       metrics::Registry::get().add("incr.compactions", Stats.Compactions);
   }
+  if (Cfg.Backend) {
+    Remote = Cfg.Backend;
+  } else if (!Cfg.SharedCacheDir.empty()) {
+    SharedDirConfig SC;
+    SC.Dir = Cfg.SharedCacheDir;
+    SC.SizeBudgetBytes = Cfg.SharedCacheBudgetBytes;
+    SC.ReadOnly = Cfg.ReadOnly;
+    OwnedRemote = std::make_unique<SharedDirBackend>(std::move(SC));
+    Remote = OwnedRemote.get();
+  }
+}
+
+bool Session::fetchShared(Side S, const std::string &Name, uint64_t SelfFp,
+                          uint64_t CfgFp, StoredObligation &Out) {
+  if (!Remote)
+    return false;
+  CacheKey K = obligationCacheKey(S, Name, SelfFp, CfgFp);
+  // Pin regardless of the outcome: a concurrent GC must not evict the
+  // record between this get and the run's own put of the same key.
+  Remote->pin(K);
+  std::string Blob;
+  if (!Remote->get(K, Blob))
+    return false;
+  if (!decodeObligationRecord(Blob, Out))
+    return false;
+  // The key is derived from the record's identity; a blob whose decoded
+  // identity disagrees (corrupt share) must not masquerade as a hit.
+  return Out.S == S && Out.Name == Name && Out.SelfFp == SelfFp &&
+         Out.ConfigFp == CfgFp;
+}
+
+void Session::publishShared(const StoredObligation &Ob) {
+  if (!Remote || Cfg.ReadOnly)
+    return;
+  CacheKey K = obligationCacheKey(Ob.S, Ob.Name, Ob.SelfFp, Ob.ConfigFp);
+  Remote->pin(K);
+  Remote->put(K, encodeObligationRecord(Ob));
+  ++Stats.SharedPuts;
+  if (trace::enabled())
+    metrics::Registry::get().add("incr.shared_puts");
 }
 
 uint64_t Session::currentFp(const DepKey &Key) {
@@ -193,12 +233,25 @@ void noteSalvage(IncrRunStats &Stats, bool ViaImplication) {
 bool Session::lookupUnsafe(const std::string &Func,
                            engine::VerifyReport &Out) {
   std::lock_guard<std::mutex> Lock(Mu);
-  const StoredObligation *Ob = Store.lookup(Side::Unsafe, Func);
-  if (!Ob)
-    return false;
   uint64_t SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
-  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp) {
-    ++Stats.Invalidated;
+  const StoredObligation *Ob = Store.lookup(Side::Unsafe, Func);
+  bool LocalInvalid = false;
+  if (Ob && (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp)) {
+    LocalInvalid = true;
+    Ob = nullptr;
+  }
+  // Local miss: consult the shared backend under the *current*
+  // fingerprints. Its record, if any, was produced for byte-identical
+  // inputs; the dependency validation below still applies.
+  StoredObligation Shared;
+  bool FromShared = false;
+  if (!Ob && fetchShared(Side::Unsafe, Func, SelfFp, ConfigFp, Shared)) {
+    Ob = &Shared;
+    FromShared = true;
+  }
+  if (!Ob) {
+    if (LocalInvalid)
+      ++Stats.Invalidated;
     return false;
   }
   DepsVerdict DV = checkDeps(*Ob, 'U');
@@ -212,6 +265,11 @@ bool Session::lookupUnsafe(const std::string &Func,
   ++Stats.CachedUnsafe;
   if (trace::enabled())
     metrics::Registry::get().add("incr.cached");
+  if (FromShared) {
+    ++Stats.SharedHits;
+    if (trace::enabled())
+      metrics::Registry::get().add("incr.shared_hits");
+  }
   // The stored deps stay current (nothing changed), so the graph keeps
   // answering dependentsOf precisely on warm runs too.
   std::set<DepKey> Deps;
@@ -220,6 +278,8 @@ bool Session::lookupUnsafe(const std::string &Func,
   if (DV != DepsVerdict::Clean) {
     noteSalvage(Stats, DV == DepsVerdict::Implied);
     refreshRecord(*Ob, SelfFp, Deps); // Ob dangles from here on.
+  } else if (FromShared && !Cfg.ReadOnly) {
+    Store.put(StoredObligation(Shared)); // Warm the local store too.
   }
   Graph.record(ObligationId{Side::Unsafe, Func}, std::move(Deps));
   return true;
@@ -242,17 +302,28 @@ void Session::recordUnsafe(const std::string &Func,
   Ob.ConfigFp = ConfigFp;
   Ob.Deps = snapshotDeps(Deps);
   Ob.Blob = encodeVerifyReport(R);
+  publishShared(Ob);
   Store.put(std::move(Ob));
 }
 
 bool Session::lookupSafe(const creusot::SafeFn &F, creusot::SafeReport &Out) {
   std::lock_guard<std::mutex> Lock(Mu);
-  const StoredObligation *Ob = Store.lookup(Side::Safe, F.Name);
-  if (!Ob)
-    return false;
   uint64_t SelfFp = fpSafeFn(F);
-  if (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp) {
-    ++Stats.Invalidated;
+  const StoredObligation *Ob = Store.lookup(Side::Safe, F.Name);
+  bool LocalInvalid = false;
+  if (Ob && (Ob->ConfigFp != ConfigFp || Ob->SelfFp != SelfFp)) {
+    LocalInvalid = true;
+    Ob = nullptr;
+  }
+  StoredObligation Shared;
+  bool FromShared = false;
+  if (!Ob && fetchShared(Side::Safe, F.Name, SelfFp, ConfigFp, Shared)) {
+    Ob = &Shared;
+    FromShared = true;
+  }
+  if (!Ob) {
+    if (LocalInvalid)
+      ++Stats.Invalidated;
     return false;
   }
   DepsVerdict DV = checkDeps(*Ob, 'S');
@@ -266,12 +337,19 @@ bool Session::lookupSafe(const creusot::SafeFn &F, creusot::SafeReport &Out) {
   ++Stats.CachedSafe;
   if (trace::enabled())
     metrics::Registry::get().add("incr.cached");
+  if (FromShared) {
+    ++Stats.SharedHits;
+    if (trace::enabled())
+      metrics::Registry::get().add("incr.shared_hits");
+  }
   std::set<DepKey> Deps;
   for (const StoredDep &D : Ob->Deps)
     Deps.insert(DepKey{D.K, D.Name});
   if (DV != DepsVerdict::Clean) {
     noteSalvage(Stats, DV == DepsVerdict::Implied);
     refreshRecord(*Ob, SelfFp, Deps); // Ob dangles from here on.
+  } else if (FromShared && !Cfg.ReadOnly) {
+    Store.put(StoredObligation(Shared));
   }
   Graph.record(ObligationId{Side::Safe, F.Name}, std::move(Deps));
   return true;
@@ -294,18 +372,34 @@ void Session::recordSafe(const creusot::SafeFn &F,
   Ob.ConfigFp = ConfigFp;
   Ob.Deps = snapshotDeps(Deps);
   Ob.Blob = encodeSafeReport(R);
+  publishShared(Ob);
   Store.put(std::move(Ob));
 }
 
 bool Session::lookupLint(const std::string &Func,
                          analysis::EntityVerdict &Out) {
   std::lock_guard<std::mutex> Lock(Mu);
-  const StoredObligation *Ob = Store.lookup(Side::Lint, Func);
-  if (!Ob)
-    return false;
   uint64_t SelfFp = currentFp(DepKey{deps::Kind::Function, Func});
-  if (Ob->ConfigFp != LintConfigFp || Ob->SelfFp != SelfFp ||
-      checkDeps(*Ob, 'L') != DepsVerdict::Clean) {
+  const StoredObligation *Ob = Store.lookup(Side::Lint, Func);
+  bool LocalInvalid = false;
+  if (Ob && (Ob->ConfigFp != LintConfigFp || Ob->SelfFp != SelfFp)) {
+    LocalInvalid = true;
+    Ob = nullptr;
+  }
+  StoredObligation Shared;
+  bool FromShared = false;
+  if (!Ob && fetchShared(Side::Lint, Func, SelfFp, LintConfigFp, Shared)) {
+    Ob = &Shared;
+    FromShared = true;
+  }
+  if (!Ob) {
+    if (LocalInvalid)
+      ++Stats.Invalidated;
+    return false;
+  }
+  // Lint verdicts never salvage (diagnostics quote spec text), so only a
+  // Clean dependency set replays.
+  if (checkDeps(*Ob, 'L') != DepsVerdict::Clean) {
     ++Stats.Invalidated;
     return false;
   }
@@ -315,6 +409,13 @@ bool Session::lookupLint(const std::string &Func,
   ++Stats.CachedLint;
   if (trace::enabled())
     metrics::Registry::get().add("incr.lint_cached");
+  if (FromShared) {
+    ++Stats.SharedHits;
+    if (trace::enabled())
+      metrics::Registry::get().add("incr.shared_hits");
+    if (!Cfg.ReadOnly)
+      Store.put(StoredObligation(Shared));
+  }
   std::set<DepKey> Deps;
   for (const StoredDep &D : Ob->Deps)
     Deps.insert(DepKey{D.K, D.Name});
@@ -337,6 +438,7 @@ void Session::recordLint(const std::string &Func,
   Ob.ConfigFp = LintConfigFp;
   Ob.Deps = snapshotDeps(Deps);
   Ob.Blob = encodeLintVerdict(V);
+  publishShared(Ob);
   Store.put(std::move(Ob));
 }
 
@@ -355,7 +457,12 @@ void Session::saveSolverEntries(std::vector<SavedQueryVerdict> Entries) {
 
 bool Session::flush() {
   std::lock_guard<std::mutex> Lock(Mu);
+  bool Ok = true;
+  // Only the session-owned backend is flushed (running its size-budget
+  // GC); an externally owned Cfg.Backend is the host's to maintain.
+  if (OwnedRemote && !Cfg.ReadOnly)
+    Ok = OwnedRemote->flush();
   if (Cfg.ReadOnly || Cfg.StorePath.empty())
-    return true;
-  return Store.flush();
+    return Ok;
+  return Store.flush() && Ok;
 }

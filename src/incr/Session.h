@@ -37,11 +37,13 @@
 #ifndef GILR_INCR_SESSION_H
 #define GILR_INCR_SESSION_H
 
+#include "incr/CacheBackend.h"
 #include "incr/DepGraph.h"
 #include "incr/Fingerprint.h"
 #include "incr/ProofStore.h"
 #include "incr/SpecDiff.h"
 
+#include <memory>
 #include <mutex>
 
 namespace gilr {
@@ -68,6 +70,20 @@ struct IncrConfig {
   /// re-verifies the dependent, the pre-salvage behaviour (the baseline
   /// bench_incr measures the edit-to-verdict speedup against).
   bool SemanticSalvage = true;
+  /// Shared content-addressed cache directory (incr/CacheBackend.h), the
+  /// second cache level behind the local store: local misses consult it,
+  /// fresh verdicts are published to it. Empty = no shared cache. The
+  /// session owns the backend; ReadOnly above also makes it read-only.
+  std::string SharedCacheDir;
+  /// Size budget of the shared directory in bytes, enforced by its LRU GC
+  /// at flush time (0 = unlimited).
+  uint64_t SharedCacheBudgetBytes = 0;
+  /// Externally owned backend, overriding SharedCacheDir — the gilrd
+  /// daemon shares one resident backend across requests. Non-owning: the
+  /// session never flushes it (the owner runs GC on its own schedule), but
+  /// pins every key the run touches so a host-driven GC cannot evict them
+  /// mid-run.
+  CacheBackend *Backend = nullptr;
 };
 
 /// Counters of one incremental run.
@@ -92,6 +108,11 @@ struct IncrRunStats {
   /// Load-time store compaction rewrites (superseded append-log records
   /// dropped, previous-version stores upgraded).
   uint64_t Compactions = 0;
+  /// Verdicts replayed from the shared content-addressed backend after a
+  /// local-store miss (also counted in cached()/CachedLint), and fresh
+  /// verdicts published to it.
+  uint64_t SharedHits = 0;
+  uint64_t SharedPuts = 0;
   bool StoreLoaded = false;
   bool StoreTruncated = false;
 
@@ -149,6 +170,8 @@ public:
   const DepGraph &graph() const { return Graph; }
   const IncrConfig &config() const { return Cfg; }
   const ProofStore &store() const { return Store; }
+  /// The shared cache backend in use (configured or owned), or nullptr.
+  CacheBackend *backend() const { return Remote; }
 
   /// The current fingerprint of \p Key against the session's tables
   /// (memoised; a missing entity maps to a fixed sentinel, so "was missing
@@ -170,6 +193,13 @@ private:
   };
   DepsVerdict checkDeps(const StoredObligation &Ob, char FlightSide);
   std::vector<StoredDep> snapshotDeps(const std::set<DepKey> &Deps);
+  /// Consults the shared backend for (S, Name) under the *current*
+  /// fingerprints and pins the key for the run. False on miss or when no
+  /// backend is configured; a hit still goes through checkDeps.
+  bool fetchShared(Side S, const std::string &Name, uint64_t SelfFp,
+                   uint64_t CfgFp, StoredObligation &Out);
+  /// Publishes \p Ob to the shared backend (no-op without one).
+  void publishShared(const StoredObligation &Ob);
   /// Re-records a salvaged obligation under the current fingerprints (same
   /// blob), so the next run takes the plain warm path. Invalidates \p Ob.
   void refreshRecord(const StoredObligation &Ob, uint64_t SelfFp,
@@ -179,6 +209,10 @@ private:
   engine::VerifEnv &Env;
   const creusot::PearliteSpecTable *Contracts;
   ProofStore Store;
+  /// SharedCacheDir-owned backend (flushed by this session) — Remote
+  /// points at it, or at the externally owned Cfg.Backend.
+  std::unique_ptr<CacheBackend> OwnedRemote;
+  CacheBackend *Remote = nullptr;
   DepGraph Graph;
   IncrRunStats Stats;
   uint64_t ConfigFp = 0;

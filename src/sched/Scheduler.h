@@ -90,8 +90,12 @@ public:
 
   const SchedulerConfig &config() const { return Config; }
 
-  /// The entailment cache (nullptr when CacheCapacity == 0).
+  /// The entailment cache (nullptr when CacheCapacity == 0). The mutable
+  /// form exists so a caller can install the cache as the query memo
+  /// (ScopedQueryCache) around pre-run solver work — lemma registration,
+  /// contract encoding — which runs before runHybrid installs it itself.
   const QueryCache *cache() const { return Cache.get(); }
+  QueryCache *cache() { return Cache.get(); }
 
   /// Cache activity so far (zeros when caching is disabled).
   CacheStatsSnapshot cacheStats() const;

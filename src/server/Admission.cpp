@@ -1,0 +1,95 @@
+//===- server/Admission.cpp - Multi-tenant batch admission ------------------===//
+
+#include "server/Admission.h"
+
+#include <algorithm>
+
+using namespace gilr;
+using namespace gilr::server;
+
+uint64_t AdmissionQueue::enqueue(const std::string &Client,
+                                 std::size_t &QueuePos) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Stopped) {
+    ++St.Rejected;
+    return 0;
+  }
+  const std::string Key = Client.empty() ? "anonymous" : Client;
+  std::deque<uint64_t> &Q = Waiting[Key];
+  // Budget accounting counts the client's running request too: Active
+  // belongs to some client's popped ticket, tracked via ActiveClientOf.
+  std::size_t ClientOutstanding = Q.size() + (ActiveClient == Key ? 1 : 0);
+  if (ClientOutstanding >= Cfg.PerClientMaxQueued ||
+      Depth >= Cfg.MaxQueued) {
+    ++St.Rejected;
+    return 0;
+  }
+  if (std::find(Rotation.begin(), Rotation.end(), Key) == Rotation.end()) {
+    Rotation.push_back(Key);
+    ++St.Clients;
+  }
+  uint64_t Ticket = NextTicket++;
+  QueuePos = Depth;
+  Q.push_back(Ticket);
+  ++Depth;
+  ++St.Admitted;
+  scheduleLocked();
+  Cv.notify_all();
+  return Ticket;
+}
+
+void AdmissionQueue::scheduleLocked() {
+  if (Active != 0 || Rotation.empty())
+    return;
+  // Start scanning just past the client that last held the slot, resolved
+  // by name at schedule time — the rotation may have grown since.
+  std::size_t Start = 0;
+  if (!LastClient.empty()) {
+    auto It = std::find(Rotation.begin(), Rotation.end(), LastClient);
+    if (It != Rotation.end())
+      Start = static_cast<std::size_t>(It - Rotation.begin()) + 1;
+  }
+  for (std::size_t I = 0; I < Rotation.size(); ++I) {
+    const std::size_t Slot = (Start + I) % Rotation.size();
+    std::deque<uint64_t> &Q = Waiting[Rotation[Slot]];
+    if (Q.empty())
+      continue;
+    Active = Q.front();
+    ActiveClient = Rotation[Slot];
+    LastClient = ActiveClient;
+    Q.pop_front();
+    return;
+  }
+}
+
+bool AdmissionQueue::waitTurn(uint64_t Ticket) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Cv.wait(Lock, [&] { return Stopped || Active == Ticket; });
+  return !Stopped && Active == Ticket;
+}
+
+void AdmissionQueue::done(uint64_t Ticket) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Active != Ticket)
+    return;
+  Active = 0;
+  ActiveClient.clear();
+  if (Depth)
+    --Depth;
+  ++St.Completed;
+  scheduleLocked();
+  Cv.notify_all();
+}
+
+void AdmissionQueue::shutdown() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stopped = true;
+  Cv.notify_all();
+}
+
+AdmissionStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  AdmissionStats S = St;
+  S.Queued = Depth;
+  return S;
+}

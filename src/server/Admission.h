@@ -1,0 +1,101 @@
+//===- server/Admission.h - Multi-tenant batch admission --------------------===//
+///
+/// \file
+/// The daemon's admission queue: verification runs share one engine (the
+/// interned expression tables and the scheduler's query cache are process
+/// state), so at most one run executes at a time; everything else waits
+/// here. The queue is multi-tenant fair:
+///
+///  * each client identity has a job budget — more than
+///    \c PerClientMaxQueued outstanding requests from one client are
+///    rejected up front (a busy tenant cannot starve the socket), as is
+///    anything beyond the global \c MaxQueued cap;
+///  * dispatch is round-robin across clients with waiting work, FIFO
+///    within a client — a tenant submitting a large batch interleaves
+///    with, rather than blocks, everyone else's single requests.
+///
+/// Handlers call \c enqueue (admission decision), \c waitTurn (blocks
+/// until scheduled or shutdown), run their request, then \c done.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SERVER_ADMISSION_H
+#define GILR_SERVER_ADMISSION_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace server {
+
+/// Knobs of the admission queue.
+struct AdmissionConfig {
+  /// Global cap on queued-or-running requests.
+  std::size_t MaxQueued = 64;
+  /// Per-client budget of queued-or-running requests.
+  std::size_t PerClientMaxQueued = 8;
+};
+
+/// Counters of one queue instance (monotonic, plus the live depth).
+struct AdmissionStats {
+  uint64_t Admitted = 0;
+  uint64_t Rejected = 0;
+  uint64_t Completed = 0;
+  std::size_t Queued = 0;  ///< Currently waiting or running.
+  std::size_t Clients = 0; ///< Client identities ever seen.
+};
+
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(AdmissionConfig Cfg) : Cfg(Cfg) {}
+
+  /// Admission decision for one request from \p Client. Returns a non-zero
+  /// ticket and sets \p QueuePos (requests ahead of it) when admitted;
+  /// returns 0 when the client's budget or the global cap is exhausted, or
+  /// the queue has shut down.
+  uint64_t enqueue(const std::string &Client, std::size_t &QueuePos);
+
+  /// Blocks until \p Ticket holds the engine slot (true) or the queue shuts
+  /// down first (false; the caller must not run).
+  bool waitTurn(uint64_t Ticket);
+
+  /// Releases the engine slot held by \p Ticket.
+  void done(uint64_t Ticket);
+
+  /// Wakes every waiter with "do not run". Idempotent.
+  void shutdown();
+
+  AdmissionStats stats() const;
+
+private:
+  /// Picks the next ticket to run when the slot is free. Caller holds Mu.
+  void scheduleLocked();
+
+  AdmissionConfig Cfg;
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  /// FIFO of waiting tickets per client identity.
+  std::map<std::string, std::deque<uint64_t>> Waiting;
+  /// Round-robin order over client identities (insertion order; entries
+  /// stay once seen so the rotation is stable).
+  std::vector<std::string> Rotation;
+  /// The client last granted the slot; the next scan starts just past it.
+  /// Tracked by name, not index — the rotation grows as clients appear.
+  std::string LastClient;
+  uint64_t NextTicket = 1;
+  uint64_t Active = 0; ///< Ticket holding the engine slot; 0 = free.
+  std::string ActiveClient; ///< Identity the active ticket belongs to.
+  std::size_t Depth = 0;
+  bool Stopped = false;
+  AdmissionStats St;
+};
+
+} // namespace server
+} // namespace gilr
+
+#endif // GILR_SERVER_ADMISSION_H

@@ -1,0 +1,223 @@
+//===- server/Client.cpp - gilr client mode ---------------------------------===//
+
+#include "server/Client.h"
+
+#include "server/Protocol.h"
+#include "support/Files.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace gilr;
+using namespace gilr::server;
+
+namespace {
+
+constexpr int ExitTransport = 4;
+
+int connectTo(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0) {
+    Err = "connect " + Path + ": " + std::strerror(errno) +
+          " (is gilrd running?)";
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool sendAll(int Fd, const std::string &Data) {
+  std::size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+/// Reads lines from \p Fd through \p Buf; false on EOF/error with no
+/// complete line buffered.
+bool readLine(int Fd, std::string &Buf, std::string &Line) {
+  for (;;) {
+    std::size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return true;
+    }
+    char Tmp[4096];
+    ssize_t N = ::read(Fd, Tmp, sizeof Tmp);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Buf.append(Tmp, static_cast<std::size_t>(N));
+  }
+}
+
+/// The request line for \p Opt / \p Method with an inline module.
+std::string requestLine(const ClientOptions &Opt, const std::string &Id,
+                        const std::string &Method, const std::string &Name,
+                        const std::string &Module) {
+  std::string S = std::string("{\"gilr\": \"") + protocolVersion() +
+                  "\", \"id\": \"" + jsonEscape(Id) + "\", \"method\": \"" +
+                  jsonEscape(Method) + "\"";
+  if (!Name.empty())
+    S += ", \"name\": \"" + jsonEscape(Name) + "\"";
+  if (!Module.empty())
+    S += ", \"module\": \"" + jsonEscape(Module) + "\"";
+  if (!Opt.ClientId.empty())
+    S += ", \"client\": \"" + jsonEscape(Opt.ClientId) + "\"";
+  if (Opt.Jobs)
+    S += ", \"jobs\": " + std::to_string(Opt.Jobs);
+  if (Opt.TimeoutMs)
+    S += ", \"timeout_ms\": " + std::to_string(Opt.TimeoutMs);
+  return S + "}\n";
+}
+
+/// Pumps events for request \p Id until its result/error event; returns
+/// the exit code. Non-JSON mode renders diagnostics to \p Err and a
+/// per-file summary line to \p Out.
+int pumpEvents(int Fd, std::string &Buf, const std::string &Id,
+               const std::string &Label, bool Json, std::ostream &Out,
+               std::ostream &Err) {
+  std::string Line;
+  while (readLine(Fd, Buf, Line)) {
+    if (Line.empty())
+      continue;
+    json::ValuePtr V = json::parse(Line);
+    if (!V || !V->isObject())
+      continue; // Foreign line; skip.
+    json::ValuePtr Ev = V->get("event");
+    json::ValuePtr EvId = V->get("id");
+    if (!Ev || !Ev->isString() || !EvId || !EvId->isString() ||
+        EvId->Str != Id)
+      continue;
+    if (Ev->Str == "accepted")
+      continue;
+    if (Ev->Str == "diagnostic") {
+      if (json::ValuePtr T = V->get("text"); T && T->isString() && !Json)
+        Err << T->Str << "\n";
+      continue;
+    }
+    if (Ev->Str == "error") {
+      std::string Msg = "server error";
+      if (json::ValuePtr E = V->get("error"); E && E->isString())
+        Msg = E->Str;
+      Err << "gilr client: " << Label << ": " << Msg << "\n";
+      if (json::ValuePtr X = V->get("exit"); X && X->isNumber())
+        return static_cast<int>(X->Num);
+      return ExitTransport;
+    }
+    if (Ev->Str == "result") {
+      int Exit = 0;
+      if (json::ValuePtr X = V->get("exit"); X && X->isNumber())
+        Exit = static_cast<int>(X->Num);
+      if (Json) {
+        Out << Line << "\n";
+      } else {
+        Out << Label << ": exit " << Exit;
+        if (json::ValuePtr Inc = V->get("incremental");
+            Inc && Inc->isObject()) {
+          auto Field = [&](const char *K) -> uint64_t {
+            json::ValuePtr F = Inc->get(K);
+            return F ? static_cast<uint64_t>(F->numberOr(0)) : 0;
+          };
+          Out << " (" << Field("cached") << " cached, " << Field("verified")
+              << " verified, " << Field("shared_hits") << " shared hits)";
+        }
+        Out << "\n";
+      }
+      return Exit;
+    }
+  }
+  Err << "gilr client: " << Label << ": connection closed before result\n";
+  return ExitTransport;
+}
+
+} // namespace
+
+std::string gilr::server::defaultSocketPath() {
+  if (const char *Env = std::getenv("GILRD_SOCKET"); Env && *Env)
+    return Env;
+  return "/tmp/gilrd.sock";
+}
+
+int gilr::server::runClient(const ClientOptions &Opt, std::ostream &Out,
+                            std::ostream &Err) {
+  const std::string Socket =
+      Opt.SocketPath.empty() ? defaultSocketPath() : Opt.SocketPath;
+  std::string ConnErr;
+  int Fd = connectTo(Socket, ConnErr);
+  if (Fd < 0) {
+    Err << "gilr client: " << ConnErr << "\n";
+    return ExitTransport;
+  }
+
+  int Exit = 0;
+  std::string Buf;
+  if (Opt.Method == "verify" || Opt.Method == "check") {
+    unsigned Seq = 0;
+    for (const std::string &Path : Opt.Files) {
+      std::string Text;
+      if (!files::readFile(Path, Text, ".gilr module")) {
+        Exit = std::max(Exit, ExitTransport);
+        continue;
+      }
+      // Module name from the file stem, mirroring `gilr verify` naming.
+      std::string Name = Path;
+      if (std::size_t Slash = Name.find_last_of('/');
+          Slash != std::string::npos)
+        Name = Name.substr(Slash + 1);
+      if (Name.size() > 5 && Name.substr(Name.size() - 5) == ".gilr")
+        Name = Name.substr(0, Name.size() - 5);
+      std::string Id = Name + "-" + std::to_string(++Seq);
+      if (!sendAll(Fd, requestLine(Opt, Id, Opt.Method, Name, Text))) {
+        Err << "gilr client: send failed for " << Path << "\n";
+        Exit = std::max(Exit, ExitTransport);
+        break;
+      }
+      Exit = std::max(Exit, pumpEvents(Fd, Buf, Id, Path, Opt.Json, Out, Err));
+    }
+  } else {
+    // Control request: ping / stats / shutdown.
+    std::string Id = Opt.Method + "-1";
+    if (!sendAll(Fd, requestLine(Opt, Id, Opt.Method, "", ""))) {
+      Err << "gilr client: send failed\n";
+      ::close(Fd);
+      return ExitTransport;
+    }
+    Exit = pumpEvents(Fd, Buf, Id, Opt.Method, Opt.Json, Out, Err);
+    // Control results carry no verification exit semantics; any well-formed
+    // result is success.
+    if (Exit >= 0 && Exit != ExitTransport)
+      Exit = 0;
+  }
+  ::close(Fd);
+  return Exit;
+}

@@ -1,0 +1,54 @@
+//===- server/Client.h - gilr client mode -----------------------------------===//
+///
+/// \file
+/// The client side of the gilr-server-v1 protocol: `gilr client` connects
+/// to a running gilrd daemon over its Unix-domain socket, submits `.gilr`
+/// modules (or control requests), streams the daemon's events back to the
+/// terminal, and exits with the CLI's exit-code contract — so a warm
+/// daemon behind `gilr client verify` is a drop-in for `gilr verify`.
+///
+/// The client owns no verification state; it is a thin line-oriented
+/// socket pump, deliberately independent of the frontend and engine
+/// libraries so tools can link it without pulling in the world.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SERVER_CLIENT_H
+#define GILR_SERVER_CLIENT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace server {
+
+/// Options of one `gilr client` invocation.
+struct ClientOptions {
+  /// Socket to connect to. Empty = \c defaultSocketPath().
+  std::string SocketPath;
+  /// verify | check | ping | stats | shutdown.
+  std::string Method = "verify";
+  /// Module files to submit (verify/check).
+  std::vector<std::string> Files;
+  /// Multi-tenant identity sent with each request ("" = anonymous).
+  std::string ClientId;
+  bool Json = false;
+  unsigned Jobs = 0;      ///< 0 = server default.
+  uint64_t TimeoutMs = 0; ///< 0 = server default.
+};
+
+/// $GILRD_SOCKET when set, else /tmp/gilrd.sock.
+std::string defaultSocketPath();
+
+/// Runs the client: submits one request per file (or a single control
+/// request), streaming events to \p Out / \p Err. Returns the worst exit
+/// code across requests (0/1/2/3 per the CLI contract) or 4 on transport
+/// failure / server rejection.
+int runClient(const ClientOptions &Opt, std::ostream &Out, std::ostream &Err);
+
+} // namespace server
+} // namespace gilr
+
+#endif // GILR_SERVER_CLIENT_H

@@ -1,0 +1,90 @@
+//===- server/Protocol.cpp - gilr-server-v1 parsing and rendering ----------===//
+
+#include "server/Protocol.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+using namespace gilr;
+using namespace gilr::server;
+
+bool gilr::server::parseRequest(const std::string &Line, Request &Out,
+                                std::string &Err) {
+  Out = Request{}; // Reused Request objects must not leak prior fields.
+  std::string JErr;
+  json::ValuePtr V = json::parse(Line, &JErr);
+  if (!V || !V->isObject()) {
+    Err = "malformed request JSON" + (JErr.empty() ? "" : ": " + JErr);
+    return false;
+  }
+  json::ValuePtr Tag = V->get("gilr");
+  if (!Tag || !Tag->isString() || Tag->Str != protocolVersion()) {
+    Err = std::string("missing or unsupported protocol tag (expected \"") +
+          protocolVersion() + "\")";
+    return false;
+  }
+  if (json::ValuePtr Id = V->get("id"); Id && Id->isString())
+    Out.Id = Id->Str;
+  json::ValuePtr M = V->get("method");
+  if (!M || !M->isString()) {
+    Err = "missing method";
+    return false;
+  }
+  Out.Method = M->Str;
+  if (Out.Method != "verify" && Out.Method != "check" &&
+      Out.Method != "ping" && Out.Method != "stats" &&
+      Out.Method != "shutdown") {
+    Err = "unknown method '" + Out.Method + "'";
+    return false;
+  }
+  if (json::ValuePtr N = V->get("name"); N && N->isString())
+    Out.Name = N->Str;
+  if (json::ValuePtr Mod = V->get("module"); Mod && Mod->isString())
+    Out.Module = Mod->Str;
+  if (json::ValuePtr C = V->get("client"); C && C->isString())
+    Out.Client = C->Str;
+  if (json::ValuePtr J = V->get("jobs"); J && J->isNumber())
+    Out.Jobs = static_cast<unsigned>(J->Num);
+  if (json::ValuePtr T = V->get("timeout_ms"); T && T->isNumber())
+    Out.TimeoutMs = static_cast<uint64_t>(T->Num);
+  if ((Out.Method == "verify" || Out.Method == "check") &&
+      Out.Module.empty()) {
+    Err = "method '" + Out.Method + "' needs a non-empty \"module\"";
+    return false;
+  }
+  return true;
+}
+
+std::string gilr::server::renderVerdicts(const std::vector<Verdict> &Vs) {
+  std::string S = "[";
+  for (std::size_t I = 0; I < Vs.size(); ++I) {
+    S += std::string(I ? ", " : "") + "{\"name\": \"" + jsonEscape(Vs[I].Name) +
+         "\", \"side\": \"" + (Vs[I].Safe ? "safe" : "unsafe") +
+         "\", \"ok\": " + (Vs[I].Ok ? "true" : "false") + "}";
+  }
+  return S + "]";
+}
+
+std::string gilr::server::eventHead(const char *Event, const std::string &Id) {
+  return std::string("{\"gilr\": \"") + protocolVersion() +
+         "\", \"event\": \"" + Event + "\", \"id\": \"" + jsonEscape(Id) +
+         "\"";
+}
+
+std::string gilr::server::renderAccepted(const std::string &Id,
+                                         std::size_t Queue) {
+  return eventHead("accepted", Id) +
+         ", \"queue\": " + std::to_string(Queue) + "}";
+}
+
+std::string gilr::server::renderDiagnostic(const std::string &Id,
+                                           const std::string &Text) {
+  return eventHead("diagnostic", Id) + ", \"text\": \"" + jsonEscape(Text) +
+         "\"}";
+}
+
+std::string gilr::server::renderError(const std::string &Id,
+                                      const std::string &Msg, int Exit) {
+  return eventHead("error", Id) + ", \"error\": \"" + jsonEscape(Msg) +
+         "\", \"exit\": " + std::to_string(Exit) + "}";
+}

@@ -1,0 +1,82 @@
+//===- server/Protocol.h - The gilr-server-v1 wire protocol ----------------===//
+///
+/// \file
+/// The newline-delimited JSON protocol between the gilrd daemon and its
+/// clients (docs/SERVER.md). Every line in both directions is one JSON
+/// object tagged `"gilr": "gilr-server-v1"`; unversioned or
+/// foreign-versioned lines are rejected, so the protocol can evolve by
+/// bumping the tag.
+///
+/// Requests carry a client-chosen `id` echoed on every event about them,
+/// so one connection can (in principle) interleave several requests.
+/// Methods: `verify` and `check` submit a `.gilr` module inline; `ping`,
+/// `stats` and `shutdown` are control messages.
+///
+/// Events streamed back per request:
+///   * `accepted`   — the request passed admission (queue depth attached),
+///   * `diagnostic` — one rendered finding, streamed as produced,
+///   * `result`     — the terminal event: exit code, per-obligation
+///     verdicts, incremental + solver-delta telemetry, the full report,
+///   * `error`      — terminal protocol/admission failure.
+///
+/// The `verdicts` array of a result is deliberately timing- and
+/// cache-marker-free: a warm replay of an unchanged module renders the
+/// byte-identical array the cold run produced (the determinism contract
+/// the server tests and the CI smoke job gate on). Timing and cache
+/// provenance live in the `seconds`, `incremental` and `report` fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_SERVER_PROTOCOL_H
+#define GILR_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace server {
+
+inline const char *protocolVersion() { return "gilr-server-v1"; }
+
+/// One parsed request line.
+struct Request {
+  std::string Id;       ///< Client-chosen correlation id (echoed back).
+  std::string Method;   ///< verify | check | ping | stats | shutdown.
+  std::string Name;     ///< Module name (diagnostics, verdict naming).
+  std::string Module;   ///< Inline .gilr text (verify/check).
+  std::string Client;   ///< Multi-tenant identity; "" = "anonymous".
+  unsigned Jobs = 0;    ///< Scheduler threads; 0 = server default.
+  uint64_t TimeoutMs = 0; ///< Per-job budget; 0 = server default.
+};
+
+/// Parses one request line. False + \p Err on malformed JSON, a missing or
+/// foreign protocol tag, or an unknown method.
+bool parseRequest(const std::string &Line, Request &Out, std::string &Err);
+
+/// One per-obligation verdict of a result event (replay-stable: no timing,
+/// no cache marker).
+struct Verdict {
+  std::string Name;
+  bool Safe = false; ///< Safe-side (Creusot) obligation.
+  bool Ok = false;
+};
+
+/// Renders \p Vs as the stable `verdicts` JSON array.
+std::string renderVerdicts(const std::vector<Verdict> &Vs);
+
+/// The common prefix of every event line: version tag, event kind, id.
+/// Returns an unterminated object ("{...,"): the caller appends fields and
+/// the closing brace.
+std::string eventHead(const char *Event, const std::string &Id);
+
+/// Complete single-purpose event lines (no trailing newline).
+std::string renderAccepted(const std::string &Id, std::size_t Queue);
+std::string renderDiagnostic(const std::string &Id, const std::string &Text);
+std::string renderError(const std::string &Id, const std::string &Msg,
+                        int Exit);
+
+} // namespace server
+} // namespace gilr
+
+#endif // GILR_SERVER_PROTOCOL_H

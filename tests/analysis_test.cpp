@@ -290,6 +290,88 @@ TEST_F(AnalysisTest, RawPointerOpsWithOwnershipSpecClean) {
 }
 
 //===----------------------------------------------------------------------===//
+// Frame-rule footprint lint (GILR-W008)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// `ret = *p` with a second pointer parameter `q` the body never touches.
+Function derefFirstOfTwo(rmir::Program &Prog, TypeRef U32, TypeRef P32) {
+  FunctionBuilder B("deref_first", Prog.Types);
+  LocalId P = B.addParam("p", P32);
+  B.addParam("q", P32);
+  B.setReturnType(U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(0), Rvalue::use(Operand::copy(Place(P).deref())));
+  B.ret();
+  return B.finish();
+}
+
+} // namespace
+
+TEST_F(AnalysisTest, UntouchedOwnedParameterWarned) {
+  addFn(derefFirstOfTwo(Prog, U32, P32));
+  Expr Pv = mkVar("p", Sort::Loc), Qv = mkVar("q", Sort::Loc);
+  Expr Vv = mkVar("v", Sort::Int), Wv = mkVar("w", Sort::Int);
+  addSpec("deref_first", star({pointsTo(Pv, U32, Vv), pointsTo(Qv, U32, Wv)}),
+          pure(mkTrue()),
+          {{"p", Sort::Loc}, {"q", Sort::Loc}, {"v", Sort::Int},
+           {"w", Sort::Int}});
+
+  EntityVerdict V = lintEntity(input(), "deref_first");
+  ASSERT_TRUE(hasCode(V.Diags, code::FrameWiderThanFootprint));
+  EXPECT_FALSE(V.Blocked); // A wide frame is a warning, never a gate.
+  const Diagnostic &D = *std::find_if(
+      V.Diags.begin(), V.Diags.end(), [](const Diagnostic &X2) {
+        return X2.Code == code::FrameWiderThanFootprint;
+      });
+  // The finding names the untouched root, not the used one.
+  EXPECT_NE(D.Message.find("q"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, TouchedOwnedParameterClean) {
+  FunctionBuilder B("deref_both", Prog.Types);
+  LocalId P = B.addParam("p", P32);
+  LocalId Q = B.addParam("q", P32);
+  B.setReturnType(U32);
+  BlockId E = B.newBlock();
+  B.atBlock(E);
+  B.assign(Place(0), Rvalue::binary(BinOp::Add, Operand::copy(Place(P).deref()),
+                                    Operand::copy(Place(Q).deref())));
+  B.ret();
+  addFn(B.finish());
+  Expr Pv = mkVar("p", Sort::Loc), Qv = mkVar("q", Sort::Loc);
+  Expr Vv = mkVar("v", Sort::Int), Wv = mkVar("w", Sort::Int);
+  addSpec("deref_both", star({pointsTo(Pv, U32, Vv), pointsTo(Qv, U32, Wv)}),
+          pure(mkTrue()),
+          {{"p", Sort::Loc}, {"q", Sort::Loc}, {"v", Sort::Int},
+           {"w", Sort::Int}});
+
+  EntityVerdict V = lintEntity(input(), "deref_both");
+  EXPECT_FALSE(hasCode(V.Diags, code::FrameWiderThanFootprint));
+}
+
+TEST_F(AnalysisTest, AbstractPredicateMakesFootprintOpaque) {
+  addFn(derefFirstOfTwo(Prog, U32, P32));
+  PredDecl Abs;
+  Abs.Name = "inv";
+  Abs.Params = {{"x", Sort::Loc, /*In=*/true}};
+  Abs.Abstract = true;
+  Preds.declare(std::move(Abs));
+  Expr Pv = mkVar("p", Sort::Loc), Qv = mkVar("q", Sort::Loc);
+  Expr Wv = mkVar("w", Sort::Int);
+  // `q` is owned and untouched, but the predicate call hides an unknown
+  // footprint, so the lint must stay silent.
+  addSpec("deref_first", star({predCall("inv", {Pv}), pointsTo(Qv, U32, Wv)}),
+          pure(mkTrue()),
+          {{"p", Sort::Loc}, {"q", Sort::Loc}, {"w", Sort::Int}});
+
+  EntityVerdict V = lintEntity(input(), "deref_first");
+  EXPECT_FALSE(hasCode(V.Diags, code::FrameWiderThanFootprint));
+}
+
+//===----------------------------------------------------------------------===//
 // Spec lints (GILR-E006/W004) and parse diagnostics (GILR-E007)
 //===----------------------------------------------------------------------===//
 
