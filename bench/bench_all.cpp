@@ -2,7 +2,8 @@
 //
 // Merges the per-experiment bench reports (BENCH_telemetry.json,
 // BENCH_parallel.json, BENCH_incr.json, BENCH_analysis.json,
-// BENCH_intern.json, BENCH_frontend.json) into one BENCH_all.json trend record, measures the
+// BENCH_interproc.json, BENCH_intern.json, BENCH_frontend.json) into one
+// BENCH_all.json trend record, measures the
 // proof flight recorder's overhead on a cold verify (writing the journal it
 // records to BENCH_journal.jrn for gilr-replay), and compares the result
 // against the committed trend record bench/BENCH_all.json.
@@ -209,6 +210,28 @@ void mergeAnalysis(const json::Value &V, TrendInput &T) {
   }
   if (json::ValuePtr N = V.get("analysis_ratio"))
     T.Timings["analysis.ratio"] = N->numberOr(0);
+}
+
+void mergeInterproc(const json::Value &V, TrendInput &T) {
+  json::ValuePtr Suites = V.get("suites");
+  if (!Suites || !Suites->isArray())
+    return;
+  for (const json::ValuePtr &S : Suites->Arr) {
+    json::ValuePtr NameV = S->get("name");
+    if (!NameV || !NameV->isString())
+      continue;
+    const std::string Base = "interproc." + NameV->Str;
+    // Summary counts and triage decisions are deterministic, so they gate;
+    // the phase's wall-time share is machine noise and only recorded.
+    if (json::ValuePtr N = S->get("fn_summaries"))
+      T.Metrics[Base + ".fn_summaries"] = N->numberOr(0);
+    if (json::ValuePtr N = S->get("pred_summaries"))
+      T.Metrics[Base + ".pred_summaries"] = N->numberOr(0);
+    if (json::ValuePtr N = S->get("triaged_static"))
+      T.Metrics[Base + ".triaged_static"] = N->numberOr(0);
+  }
+  if (json::ValuePtr N = V.get("summary_ratio"))
+    T.Timings["interproc.summary_ratio"] = N->numberOr(0);
 }
 
 void mergeFrontend(const json::Value &V, TrendInput &T) {
@@ -493,6 +516,7 @@ int main(int argc, char **argv) {
       {"BENCH_parallel.json", mergeParallel},
       {"BENCH_incr.json", mergeIncr},
       {"BENCH_analysis.json", mergeAnalysis},
+      {"BENCH_interproc.json", mergeInterproc},
       {"BENCH_intern.json", mergeIntern},
       {"BENCH_frontend.json", mergeFrontend},
       {"BENCH_server.json", mergeServer},

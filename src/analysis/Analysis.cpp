@@ -2,6 +2,7 @@
 
 #include "analysis/Analysis.h"
 
+#include "analysis/Interproc.h"
 #include "gilsonite/Parser.h"
 #include "solver/Flight.h"
 #include "support/Deps.h"
@@ -46,11 +47,13 @@ EntityVerdict gilr::analysis::lintEntity(const AnalysisInput &In,
     checkWellFormed(*F, DE);
     checkDeadCode(*F, DE);
     checkUnsafeSurface(*F, S, DE);
+    if (In.Summaries)
+      checkUnsafeEscape(*F, S, *In.Summaries, DE);
   }
   if (S && In.Cfg.SpecLints && In.Solv)
     checkSpec(*S, *In.Solv, DE);
   if (F && S && In.Cfg.FunctionLints && In.Cfg.SpecLints)
-    checkFrameRule(*F, *S, DE);
+    checkFrameRule(*F, *S, In.Summaries, DE);
 
   V.Diags = DE.sorted();
   V.Suppressed = DE.suppressedCount();
@@ -67,6 +70,8 @@ gilr::analysis::lintProgramLevel(const AnalysisInput &In) {
   DiagnosticEngine DE(In.Cfg);
   checkUnusedEntities(*In.Prog, *In.Preds, *In.Specs, In.LemmaNames,
                       In.ExtraUsedPreds, In.ExtraUsedLemmas, DE);
+  if (In.Summaries)
+    checkRecursionVariant(*In.Prog, *In.Specs, *In.Summaries, DE);
   return DE.sorted();
 }
 
@@ -121,11 +126,21 @@ gilr::analysis::analyzeProgram(const AnalysisInput &In,
                                const std::vector<std::string> &Entities) {
   GILR_TRACE_SCOPE("analysis", "pre-pass");
   const auto T0 = std::chrono::steady_clock::now();
+  // The serial convenience path computes its own summary table when the
+  // caller did not supply one (the scheduler computes/caches its table and
+  // passes it down instead).
+  AnalysisInput Local = In;
+  SummaryTable Computed;
+  if (!Local.Summaries && Local.Cfg.Enabled && Local.Prog && Local.Preds &&
+      Local.Specs) {
+    Computed = computeSummaries(*Local.Prog, *Local.Preds, *Local.Specs);
+    Local.Summaries = &Computed;
+  }
   std::vector<std::pair<std::string, EntityVerdict>> PerEntity;
-  if (In.Cfg.Enabled)
+  if (Local.Cfg.Enabled)
     for (const std::string &Name : Entities)
-      PerEntity.emplace_back(Name, lintEntity(In, Name));
-  std::vector<Diagnostic> ProgDiags = lintProgramLevel(In);
+      PerEntity.emplace_back(Name, lintEntity(Local, Name));
+  std::vector<Diagnostic> ProgDiags = lintProgramLevel(Local);
   const double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();

@@ -40,6 +40,13 @@ struct AnalysisInput {
   /// appear in the incremental DepGraph's recorded proof dependencies.
   std::set<std::string> ExtraUsedPreds;
   std::set<std::string> ExtraUsedLemmas;
+  /// Interprocedural summaries (analysis/Summary.h). When non-null the
+  /// summary-powered lints run: W008 sees through predicate calls, W009
+  /// (unsafe-escape) fires at call sites in spec-free callers, and W010
+  /// (recursion without a variant) fires per recursive SCC. Null keeps the
+  /// historical purely-syntactic behaviour; \c analyzeProgram computes a
+  /// table itself when given none.
+  const SummaryTable *Summaries = nullptr;
   AnalysisConfig Cfg;
 };
 

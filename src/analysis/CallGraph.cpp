@@ -1,0 +1,151 @@
+//===- analysis/CallGraph.cpp - Call/reference graph construction ----------===//
+
+#include "analysis/CallGraph.h"
+
+#include "analysis/Passes.h"
+
+#include <algorithm>
+
+using namespace gilr;
+using namespace gilr::analysis;
+
+CallGraph CallGraph::build(const rmir::Program &Prog,
+                           const gilsonite::PredTable &Preds,
+                           const gilsonite::SpecTable &Specs) {
+  CallGraph G;
+  for (const auto &KV : Prog.Funcs) {
+    const std::string &Name = KV.first;
+    const rmir::Function &F = KV.second;
+    // Every function is a node even when it has no edges.
+    std::set<std::string> &Calls = G.FnCalls[Name];
+    for (const rmir::BasicBlock &B : F.Blocks) {
+      for (const rmir::Statement &S : B.Stmts) {
+        if (S.Kind != rmir::Statement::GhostStmt)
+          continue;
+        switch (S.G.Kind) {
+        case rmir::GhostKind::Unfold:
+        case rmir::GhostKind::Fold:
+        case rmir::GhostKind::GUnfold:
+        case rmir::GhostKind::GFold:
+          G.FnPreds[Name].insert(S.G.Name);
+          break;
+        case rmir::GhostKind::ApplyLemma:
+          G.FnLemmas[Name].insert(S.G.Name);
+          break;
+        default:
+          break;
+        }
+      }
+      if (B.Term.Kind == rmir::Terminator::Call) {
+        if (Prog.lookup(B.Term.Callee))
+          Calls.insert(B.Term.Callee);
+        else
+          G.FnUnknownCallees[Name].insert(B.Term.Callee);
+      }
+    }
+    if (const gilsonite::Spec *S = Specs.lookup(Name)) {
+      std::set<std::string> SpecPreds;
+      collectPredNames(S->Pre, SpecPreds);
+      collectPredNames(S->Post, SpecPreds);
+      if (!SpecPreds.empty())
+        G.FnPreds[Name].insert(SpecPreds.begin(), SpecPreds.end());
+    }
+  }
+  for (const auto &KV : Preds.all()) {
+    std::set<std::string> &Refs = G.PredRefs[KV.first];
+    for (const gilsonite::AssertionP &Clause : KV.second.Clauses)
+      collectPredNames(Clause, Refs);
+  }
+  return G;
+}
+
+namespace {
+
+/// Iterative Tarjan: recursion on user-shaped graphs (deep predicate
+/// reference chains, generated thousand-function programs) would risk the
+/// thread stack.
+struct TarjanState {
+  const std::vector<std::vector<unsigned>> &Adj;
+  std::vector<unsigned> Index, Low;
+  std::vector<bool> OnStack, Visited;
+  std::vector<unsigned> Stack;
+  unsigned Counter = 1;
+
+  explicit TarjanState(const std::vector<std::vector<unsigned>> &Adj)
+      : Adj(Adj), Index(Adj.size(), 0), Low(Adj.size(), 0),
+        OnStack(Adj.size(), false), Visited(Adj.size(), false) {}
+};
+
+} // namespace
+
+std::vector<Scc> gilr::analysis::condenseSccs(
+    const std::map<std::string, std::set<std::string>> &Edges) {
+  std::vector<std::string> Nodes;
+  std::map<std::string, unsigned> Id;
+  Nodes.reserve(Edges.size());
+  for (const auto &KV : Edges) {
+    Id.emplace(KV.first, static_cast<unsigned>(Nodes.size()));
+    Nodes.push_back(KV.first);
+  }
+  std::vector<std::vector<unsigned>> Adj(Nodes.size());
+  for (const auto &KV : Edges)
+    for (const std::string &To : KV.second) {
+      auto It = Id.find(To);
+      if (It != Id.end())
+        Adj[Id.at(KV.first)].push_back(It->second);
+    }
+
+  TarjanState T(Adj);
+  std::vector<Scc> Out;
+  struct Frame {
+    unsigned V;
+    std::size_t Edge;
+  };
+  for (unsigned Root = 0; Root < Nodes.size(); ++Root) {
+    if (T.Visited[Root])
+      continue;
+    std::vector<Frame> Call{{Root, 0}};
+    T.Visited[Root] = true;
+    T.Index[Root] = T.Low[Root] = T.Counter++;
+    T.Stack.push_back(Root);
+    T.OnStack[Root] = true;
+    while (!Call.empty()) {
+      Frame &F = Call.back();
+      if (F.Edge < T.Adj[F.V].size()) {
+        unsigned W = T.Adj[F.V][F.Edge++];
+        if (!T.Visited[W]) {
+          T.Visited[W] = true;
+          T.Index[W] = T.Low[W] = T.Counter++;
+          T.Stack.push_back(W);
+          T.OnStack[W] = true;
+          Call.push_back({W, 0});
+        } else if (T.OnStack[W]) {
+          T.Low[F.V] = std::min(T.Low[F.V], T.Index[W]);
+        }
+      } else {
+        if (T.Low[F.V] == T.Index[F.V]) {
+          Scc S;
+          unsigned W;
+          do {
+            W = T.Stack.back();
+            T.Stack.pop_back();
+            T.OnStack[W] = false;
+            S.Members.push_back(Nodes[W]);
+          } while (W != F.V);
+          std::sort(S.Members.begin(), S.Members.end());
+          bool SelfLoop = false;
+          for (unsigned To : T.Adj[F.V])
+            if (To == F.V)
+              SelfLoop = true;
+          S.Recursive = S.Members.size() > 1 || SelfLoop;
+          Out.push_back(std::move(S));
+        }
+        unsigned V = F.V;
+        Call.pop_back();
+        if (!Call.empty())
+          T.Low[Call.back().V] = std::min(T.Low[Call.back().V], T.Low[V]);
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- analysis/CallGraph.h - Call/reference graphs + SCC condensation -----===//
+///
+/// \file
+/// The interprocedural skeleton of the summary analysis (analysis/Summary.h):
+/// a call graph over RMIR `Terminator::Call` edges, a reference graph over
+/// predicate mentions (spec pre/posts, ghost fold/unfold commands, predicate
+/// clause bodies), and a deterministic Tarjan SCC condensation that yields
+/// the bottom-up (callees-first) order the summary fixpoint runs in.
+///
+/// Determinism contract: nodes are visited in name order and edges in set
+/// order, so the condensation — member lists, SCC order, recursion flags —
+/// is a pure function of the program, independent of worker count or
+/// insertion order. The scheduler's byte-identity guarantee rests on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GILR_ANALYSIS_CALLGRAPH_H
+#define GILR_ANALYSIS_CALLGRAPH_H
+
+#include "gilsonite/PredDecl.h"
+#include "gilsonite/Spec.h"
+#include "rmir/Program.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gilr {
+namespace analysis {
+
+/// The call and reference edges of one program. Every function of the
+/// program and every declared predicate appears as a node (possibly with an
+/// empty edge set), so the condensations below cover the whole program.
+struct CallGraph {
+  /// Function -> callees that exist in the program (Terminator::Call).
+  std::map<std::string, std::set<std::string>> FnCalls;
+  /// Function -> called names with *no* body in the program. These make the
+  /// caller's summary conservative (top) at the call site.
+  std::map<std::string, std::set<std::string>> FnUnknownCallees;
+  /// Function -> predicate names it mentions directly (its spec's pre/post
+  /// plus fold/unfold/guarded ghost commands in the body).
+  std::map<std::string, std::set<std::string>> FnPreds;
+  /// Function -> lemma names applied by ApplyLemma ghost commands.
+  std::map<std::string, std::set<std::string>> FnLemmas;
+  /// Predicate -> predicate names referenced by its clauses.
+  std::map<std::string, std::set<std::string>> PredRefs;
+
+  static CallGraph build(const rmir::Program &Prog,
+                         const gilsonite::PredTable &Preds,
+                         const gilsonite::SpecTable &Specs);
+};
+
+/// One strongly connected component of a call/reference graph.
+struct Scc {
+  std::vector<std::string> Members; ///< Sorted by name.
+  /// More than one member, or a single member with a self-edge.
+  bool Recursive = false;
+};
+
+/// Tarjan condensation of \p Edges in deterministic bottom-up order: an SCC
+/// appears *before* every SCC that can reach it, so a left-to-right walk
+/// always sees callees' summaries before callers'. Edge targets that are
+/// not nodes (keys of \p Edges) are ignored — unknown callees are handled
+/// by the summary layer, not the graph.
+std::vector<Scc>
+condenseSccs(const std::map<std::string, std::set<std::string>> &Edges);
+
+} // namespace analysis
+} // namespace gilr
+
+#endif // GILR_ANALYSIS_CALLGRAPH_H

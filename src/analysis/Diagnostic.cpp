@@ -20,6 +20,91 @@ Severity gilr::analysis::codeSeverity(const std::string &Code) {
   return Severity::Warning;
 }
 
+const std::vector<CodeDoc> &gilr::analysis::codeRegistry() {
+  static const std::vector<CodeDoc> Registry = {
+      {code::BadTarget, "terminator target out of range",
+       "A Goto/SwitchInt/Call terminator names a basic block the function "
+       "does not declare. The CFG edge is dropped for analysis; the body "
+       "cannot be executed."},
+      {code::BadLocal, "reference to an undeclared local",
+       "A place or operand names a local beyond the function's declared "
+       "local list."},
+      {code::TypeMismatch, "place/operand type disagreement",
+       "A projection or operand's type does not match the declared local "
+       "types (deref of a non-pointer, field out of range, downcast of a "
+       "non-enum, ...)."},
+      {code::UninitUse, "use of a possibly-uninitialized local",
+       "A forward may-analysis found a path on which the local is read "
+       "before any assignment reaches it."},
+      {code::MovedUse, "use of a moved local",
+       "A local is read after an operand moved its value out on some "
+       "path."},
+      {code::VacuousPre, "unsatisfiable precondition",
+       "The pure fragment of the spec's precondition is UNSAT: no caller "
+       "can ever invoke the function, so the proof is vacuous. The message "
+       "carries a minimized unsat core."},
+      {code::ParseError, "malformed Gilsonite spec or assertion",
+       "The textual spec failed to parse; the entity is skipped."},
+      {code::SyntaxError, ".gilr syntax error",
+       "The frontend lexer/parser rejected the module text."},
+      {code::NameError, "unresolved name in a .gilr module",
+       "A reference names a function, predicate, lemma or type the module "
+       "does not declare."},
+      {code::FrontendError, ".gilr lowering or typecheck error",
+       "The module parsed but could not be lowered onto the verification "
+       "tables."},
+      {code::UnreachableBlock, "basic block unreachable from entry",
+       "No CFG path from block 0 reaches the block; its code is dead."},
+      {code::DeadStore, "store whose value is never read",
+       "A backward liveness pass found an assignment to a plain local that "
+       "no later use observes. Side-effecting assignments are exempt."},
+      {code::UnsafeSurface, "raw-pointer operations outside ownership",
+       "The body performs raw-pointer operations (AddrOf, PtrOffset, "
+       "Alloc, Free, raw deref) but its spec carries no ownership "
+       "assertion to contain them."},
+      {code::TrivialPost, "trivially-true postcondition conjunct",
+       "A pure conjunct of the postcondition holds in the empty context: "
+       "it promises nothing."},
+      {code::UnusedPred, "predicate never referenced",
+       "No spec, predicate clause or ghost statement mentions the "
+       "predicate."},
+      {code::UnusedLemma, "lemma never applied",
+       "No ghost statement applies the lemma."},
+      {code::PostImpliedByPre, "postcondition conjunct implied by the pre",
+       "The pure precondition fragment alone already entails the conjunct, "
+       "so it says nothing about the function's behaviour."},
+      {code::PostUnsatGivenPre, "postcondition contradicts the precondition",
+       "The combined pure fragments are UNSAT while the pre alone is "
+       "satisfiable: no implementation can meet the contract. Carries a "
+       "minimized core."},
+      {code::FrameWiderThanFootprint, "spec owns memory the body never touches",
+       "The precondition claims ownership rooted at a parameter the body "
+       "never reads through, writes through, frees, passes on or returns. "
+       "With interprocedural summaries available, predicate calls in the "
+       "pre are resolved through their footprint summaries instead of "
+       "muting the lint; a residual opaque (abstract) predicate call is "
+       "named in the note."},
+      {code::UnsafeEscape, "callee's unsafe surface escapes into a spec-free caller",
+       "The function has no spec and calls a function whose interprocedural "
+       "summary says its raw-pointer operations are not contained by any "
+       "ownership-bearing spec on the call chain: the unsafety leaks "
+       "through two unguarded layers."},
+      {code::RecursionNoVariant, "recursive cycle with no decreasing argument",
+       "A call-graph SCC is recursive (self or mutual), yet no member's "
+       "body applies a lemma and no member's spec mentions an inductive "
+       "predicate: nothing in the cycle justifies termination of a proof "
+       "by unfolding."},
+  };
+  return Registry;
+}
+
+const CodeDoc *gilr::analysis::lookupCodeDoc(const std::string &Code) {
+  for (const CodeDoc &D : codeRegistry())
+    if (Code == D.Code)
+      return &D;
+  return nullptr;
+}
+
 std::string Diagnostic::str() const {
   std::ostringstream OS;
   if (!File.empty())

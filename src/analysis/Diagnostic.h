@@ -61,7 +61,25 @@ inline constexpr const char *UnusedLemma = "GILR-W006";    ///< Lemma never appl
 inline constexpr const char *PostImpliedByPre = "GILR-W007"; ///< Post conjunct already follows from the pre.
 inline constexpr const char *PostUnsatGivenPre = "GILR-E011"; ///< Post contradicts the pre.
 inline constexpr const char *FrameWiderThanFootprint = "GILR-W008"; ///< Spec owns memory the body never touches.
+inline constexpr const char *UnsafeEscape = "GILR-W009";   ///< Callee's unsafe surface escapes into a spec-free caller.
+inline constexpr const char *RecursionNoVariant = "GILR-W010"; ///< Recursive cycle with no decreasing lemma/variant.
 } // namespace code
+
+/// One entry of the diagnostic-code registry: the stable code plus the
+/// documentation `gilr lint --explain GILR-<code>` prints.
+struct CodeDoc {
+  const char *Code;
+  const char *Summary; ///< One line.
+  const char *Detail;  ///< Longer explanation, possibly multi-sentence.
+};
+
+/// The full registry, in code order (E001.., then W001..). Stable: append
+/// only.
+const std::vector<CodeDoc> &codeRegistry();
+
+/// Looks up \p Code (e.g. "GILR-W008") in the registry; nullptr when
+/// unknown.
+const CodeDoc *lookupCodeDoc(const std::string &Code);
 
 /// The severity a code carries by default ("GILR-E..." are errors,
 /// "GILR-W..." warnings).

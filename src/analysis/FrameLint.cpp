@@ -32,6 +32,9 @@
 
 #include "analysis/Passes.h"
 
+#include "analysis/Summary.h"
+#include "support/Deps.h"
+
 #include <map>
 
 using namespace gilr;
@@ -39,24 +42,38 @@ using namespace gilr::analysis;
 
 namespace {
 
+/// Accumulator of the precondition walk. In syntactic mode (no summaries) a
+/// predicate call just sets \c Opaque; in summary mode it either widens
+/// \c Roots through the predicate's footprint summary or — when the summary
+/// itself is opaque — shields the parameters its arguments mention and
+/// records which call stayed opaque (name + position in the pre) for the
+/// W008 note.
+struct SpecRoots {
+  std::set<std::string> Roots;
+  std::set<std::string> Shielded;
+  bool Opaque = false;
+  std::vector<std::string> OpaqueNotes;
+  int PredIx = 0; ///< DFS ordinal of predicate calls in the pre.
+};
+
 /// Walks \p A collecting parameter-named points-to roots of the spec's
-/// spatial parts. Sets \p Opaque when a predicate call makes the footprint
-/// syntactically unknowable.
+/// spatial parts into \p Out, resolving predicate calls through
+/// \p Summaries when available.
 void collectSpecRoots(const gilsonite::AssertionP &A,
                       const std::map<std::string, rmir::LocalId> &Params,
                       std::set<std::string> Bound,
-                      std::set<std::string> &Roots, bool &Opaque) {
-  if (!A || Opaque)
+                      const SummaryTable *Summaries, SpecRoots &Out) {
+  if (!A || (Out.Opaque && !Summaries))
     return;
   switch (A->Kind) {
   case gilsonite::AsrtKind::Star:
     for (const gilsonite::AssertionP &P : A->Parts)
-      collectSpecRoots(P, Params, Bound, Roots, Opaque);
+      collectSpecRoots(P, Params, Bound, Summaries, Out);
     return;
   case gilsonite::AsrtKind::Exists: {
     for (const gilsonite::Binder &B : A->Binders)
       Bound.insert(B.Name);
-    collectSpecRoots(A->Body, Params, std::move(Bound), Roots, Opaque);
+    collectSpecRoots(A->Body, Params, std::move(Bound), Summaries, Out);
     return;
   }
   case gilsonite::AsrtKind::PointsTo:
@@ -68,13 +85,51 @@ void collectSpecRoots(const gilsonite::AssertionP &A,
     collectVars(A->Ptr, Vars);
     for (const std::string &V : Vars)
       if (!Bound.count(V) && Params.count(V))
-        Roots.insert(V);
+        Out.Roots.insert(V);
     return;
   }
   case gilsonite::AsrtKind::PredCall:
-  case gilsonite::AsrtKind::GuardedCall:
-    Opaque = true;
+  case gilsonite::AsrtKind::GuardedCall: {
+    ++Out.PredIx;
+    if (!Summaries) {
+      Out.Opaque = true;
+      return;
+    }
+    // The verdict now depends on the predicate's unfolding (transitively):
+    // record the closure so a cached lint verdict invalidates when any
+    // clause in it changes.
+    const PredSummary *PS = Summaries->pred(A->Name);
+    deps::note(deps::Kind::Pred, A->Name);
+    if (PS)
+      for (const std::string &Dep : PS->DepPreds)
+        deps::note(deps::Kind::Pred, Dep);
+    if (PS && PS->Known && !PS->OwnsUnknown) {
+      for (std::size_t I = 0; I != A->Args.size(); ++I) {
+        if (I >= PS->MayOwnParam.size() || !PS->MayOwnParam[I])
+          continue;
+        std::set<std::string> Vars;
+        collectVars(A->Args[I], Vars);
+        for (const std::string &V : Vars)
+          if (!Bound.count(V) && Params.count(V))
+            Out.Roots.insert(V);
+      }
+      return;
+    }
+    // Residual opacity: never report a parameter this call mentions, and
+    // name the culprit on whatever still fires.
+    for (const Expr &Arg : A->Args) {
+      std::set<std::string> Vars;
+      collectVars(Arg, Vars);
+      for (const std::string &V : Vars)
+        if (!Bound.count(V) && Params.count(V))
+          Out.Shielded.insert(V);
+    }
+    Out.OpaqueNotes.push_back("predicate '" + A->Name +
+                              "' (precondition, spatial call #" +
+                              std::to_string(Out.PredIx) +
+                              ") keeps its footprint opaque");
     return;
+  }
   default:
     return;
   }
@@ -239,6 +294,13 @@ private:
 void gilr::analysis::checkFrameRule(const rmir::Function &F,
                                     const gilsonite::Spec &S,
                                     DiagnosticEngine &DE) {
+  checkFrameRule(F, S, nullptr, DE);
+}
+
+void gilr::analysis::checkFrameRule(const rmir::Function &F,
+                                    const gilsonite::Spec &S,
+                                    const SummaryTable *Summaries,
+                                    DiagnosticEngine &DE) {
   // Trusted specs are assumed, never proved: their footprint is the
   // caller-facing contract, not a proof burden.
   if (S.Trusted || F.Blocks.empty())
@@ -250,17 +312,20 @@ void gilr::analysis::checkFrameRule(const rmir::Function &F,
   if (Params.empty())
     return;
 
-  std::set<std::string> Roots;
-  bool Opaque = false;
-  collectSpecRoots(S.Pre, Params, {}, Roots, Opaque);
-  if (Opaque || Roots.empty())
+  SpecRoots SR;
+  collectSpecRoots(S.Pre, Params, {}, Summaries, SR);
+  if (!Summaries && SR.Opaque)
+    return;
+  for (const std::string &V : SR.Shielded)
+    SR.Roots.erase(V);
+  if (SR.Roots.empty())
     return;
 
   TouchAnalysis TA(F);
   TA.setParamNames(Params);
   const std::set<rmir::LocalId> &Touched = TA.run();
 
-  for (const std::string &Root : Roots) {
+  for (const std::string &Root : SR.Roots) {
     if (Touched.count(Params.at(Root)))
       continue;
     Diagnostic D;
@@ -273,6 +338,8 @@ void gilr::analysis::checkFrameRule(const rmir::Function &F,
         "the frame rule carries untouched memory through any proof: "
         "narrow the spec's footprint or drop the points-to on '" + Root +
         "'");
+    for (const std::string &N : SR.OpaqueNotes)
+      D.Notes.push_back(N);
     DE.report(std::move(D));
   }
 }

@@ -69,6 +69,8 @@ void checkUnsafeSurface(const rmir::Function &F, const gilsonite::Spec *S,
 /// \p F may be null (spec-only entities); \p Solv must outlive the call.
 void checkSpec(const gilsonite::Spec &S, Solver &Solv, DiagnosticEngine &DE);
 
+struct SummaryTable; // analysis/Summary.h
+
 /// Frame-rule footprint lint (GILR-W008): the spec's precondition claims
 /// ownership (a points-to-family part) rooted at a parameter the body
 /// never reads through, writes through, frees, passes on, mentions in a
@@ -77,6 +79,17 @@ void checkSpec(const gilsonite::Spec &S, Solver &Solv, DiagnosticEngine &DE);
 /// the lint, and the body analysis closes over aliases conservatively.
 void checkFrameRule(const rmir::Function &F, const gilsonite::Spec &S,
                     DiagnosticEngine &DE);
+
+/// Summary-powered variant. With \p Summaries non-null, a predicate call in
+/// the pre no longer mutes the lint: a predicate with a known footprint
+/// summary contributes roots exactly at its may-own argument positions,
+/// while a residual opaque predicate (abstract, or owning through unknown
+/// structure) merely shields the parameters its arguments mention and is
+/// named — with its position in the pre — in the note of any W008 that
+/// still fires. Passing null reproduces the syntactic behaviour above
+/// byte for byte.
+void checkFrameRule(const rmir::Function &F, const gilsonite::Spec &S,
+                    const SummaryTable *Summaries, DiagnosticEngine &DE);
 
 /// Program-level cross-reference (GILR-W005/W006): predicates never
 /// referenced by any spec, predicate clause or ghost statement, and lemmas

@@ -43,6 +43,9 @@ const char *Usage =
     "  --jobs N            scheduler worker threads for verify (default 1)\n"
     "  --incr-store PATH   persistent proof store for verify\n"
     "  --shared-cache DIR  shared content-addressed proof cache for verify\n"
+    "  --Werror            promote analysis warnings to errors (lint/verify)\n"
+    "  --explain CODE      print the registry entry for a diagnostic code\n"
+    "                      (e.g. --explain GILR-W008; no files needed)\n"
     "\n"
     "fmt options:\n"
     "  -i, --in-place      rewrite the files instead of printing\n"
@@ -67,6 +70,8 @@ struct CliOptions {
   unsigned Jobs = 1;
   std::string IncrStore;
   std::string SharedCache;
+  bool Werror = false;
+  std::string Explain;
   // fmt
   bool InPlace = false;
   bool FmtCheck = false;
@@ -181,6 +186,7 @@ FileResult runLint(const CliOptions &Opt, const std::string &Path,
   }
   Module &M = *P.Mod;
   analysis::AnalysisInput In = lintInput(M);
+  In.Cfg.WarningsAsErrors = Opt.Werror;
   analysis::AnalysisResult A = analysis::analyzeProgram(In, lintEntities(M));
   if (!A.ok() || A.EntitiesBlocked > 0)
     R.Exit = ExitLintError;
@@ -219,6 +225,7 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
   std::vector<std::string> Errors = M.registerLemmas();
 
   engine::VerifEnv Env = M.env();
+  Env.Lint.WarningsAsErrors = Opt.Werror;
   hybrid::HybridDriver Driver(Env, M.Contracts);
   // No `verify` item means "verify everything" (same default as lint).
   std::vector<std::string> UnsafeFuncs = M.verifyFuncs();
@@ -268,7 +275,12 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
                  ", \"shared_hits\": " + std::to_string(Stats.SharedHits) +
                  ", \"shared_puts\": " + std::to_string(Stats.SharedPuts) +
                  ", \"compactions\": " + std::to_string(Stats.Compactions) +
-                 "}";
+                 "}, \"interproc\": {\"summaries_computed\": " +
+                 std::to_string(Stats.SummariesComputed) +
+                 ", \"summaries_reused\": " +
+                 std::to_string(Stats.SummariesReused) +
+                 ", \"triaged_static\": " +
+                 std::to_string(Stats.TriagedStatic) + "}";
     R.Json = jsonHead(Opt, Path) + ", \"exit\": " + std::to_string(R.Exit) +
              ", \"errors\": " + ErrJson + IncrJson +
              ", \"report\": " + Report.renderJson() + "}";
@@ -277,13 +289,17 @@ FileResult runVerify(const CliOptions &Opt, const std::string &Path,
     for (const std::string &E : Errors)
       Err << "error: " << E << "\n";
     Out << Path << ":\n" << Report.summaryText();
-    if (IC.Enabled)
+    if (IC.Enabled) {
       Out << "incremental: " << Stats.cached() << " cached, "
           << Stats.verified() << " verified, " << Stats.Invalidated
           << " invalidated, " << Stats.Salvaged << " salvaged, "
           << Stats.Implied << " implied, " << Stats.SharedHits
           << " shared hits, " << Stats.SharedPuts << " shared puts, "
           << Stats.Compactions << " compactions\n";
+      Out << "interproc: " << Stats.SummariesComputed
+          << " summaries computed, " << Stats.SummariesReused << " reused, "
+          << Stats.TriagedStatic << " triaged static\n";
+    }
   }
   return R;
 }
@@ -374,6 +390,14 @@ int gilr::frontend::runCli(const std::vector<std::string> &Args,
         return ExitParseError;
       }
       Opt.SharedCache = Args[++I];
+    } else if (A == "--Werror") {
+      Opt.Werror = true;
+    } else if (A == "--explain") {
+      if (I + 1 >= Args.size()) {
+        Err << "gilr: --explain needs a diagnostic code\n" << Usage;
+        return ExitParseError;
+      }
+      Opt.Explain = Args[++I];
     } else if (A == "-i" || A == "--in-place") {
       Opt.InPlace = true;
     } else if (A == "--check") {
@@ -427,6 +451,24 @@ int gilr::frontend::runCli(const std::vector<std::string> &Args,
       Opt.Command != "client") {
     Err << "gilr: unknown subcommand '" << Opt.Command << "'\n" << Usage;
     return ExitParseError;
+  }
+  // `--explain CODE` answers from the diagnostic registry; it needs no
+  // input files and runs no pass.
+  if (!Opt.Explain.empty()) {
+    const analysis::CodeDoc *Doc = analysis::lookupCodeDoc(Opt.Explain);
+    if (!Doc) {
+      Err << "gilr: unknown diagnostic code '" << Opt.Explain
+          << "' (codes run GILR-E001..E011 and GILR-W001..W010)\n";
+      return ExitParseError;
+    }
+    if (Opt.Json)
+      Out << "{\"code\": \"" << jsonEscape(Doc->Code) << "\", \"summary\": \""
+          << jsonEscape(Doc->Summary) << "\", \"detail\": \""
+          << jsonEscape(Doc->Detail) << "\"}\n";
+    else
+      Out << Doc->Code << ": " << Doc->Summary << "\n\n"
+          << Doc->Detail << "\n";
+    return ExitOk;
   }
   // Control requests carry no files; everything else needs at least one.
   bool ControlRequest =

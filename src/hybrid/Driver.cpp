@@ -104,7 +104,9 @@ std::string HybridReport::summaryText() const {
     Out += Analysis.renderText();
   for (const engine::VerifyReport &R : UnsafeSide) {
     Out += "  [gillian] " + R.Func + ": " +
-           (R.Ok ? (R.Cached ? "ok (cached)" : "ok")
+           (R.Ok ? (R.Static   ? "ok (static)"
+                    : R.Cached ? "ok (cached)"
+                               : "ok")
                  : R.LintBlocked ? "REJECTED (pre-verification analysis)"
                  : R.TimedOut   ? "UNKNOWN (budget)"
                                 : "FAIL") +
@@ -209,6 +211,8 @@ std::string HybridReport::renderJson() const {
       Out += ", \"cached\": true";
     if (R.LintBlocked)
       Out += ", \"lint_blocked\": true";
+    if (R.Static)
+      Out += ", \"static\": true";
     if (!R.Diags.empty())
       Out += ", \"diagnostics\": " + analysis::renderDiagnosticsJson(R.Diags);
     Out += ", \"seconds\": " + std::to_string(R.Seconds);

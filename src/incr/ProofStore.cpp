@@ -17,11 +17,14 @@ constexpr char Magic[8] = {'G', 'I', 'L', 'R', 'P', 'R', 'F', '1'};
 // verdicts). Version 3 added source locations (File/Line/Col) to persisted
 // diagnostics. Version 4 added clause-level dependency signatures (skeleton
 // fingerprint + per-clause fingerprints, pure clauses persisted as journal
-// text) for semantic salvage. v3 stores still load — their deps simply
-// carry no signature and fall back to plain fingerprint equality — and are
-// upgraded by the load-time compaction rewrite. Older stores are rejected
-// by load(), i.e. a cold run.
-constexpr uint32_t FormatVersion = 4;
+// text) for semantic salvage. Version 5 added Side::Summary obligation
+// records (interprocedural summaries, analysis/Summary.h) and a trailing
+// Static byte on VerifyReport blobs (decoded tolerantly, so v4/v3 blobs
+// still replay). v3/v4 stores still load — their deps simply carry no
+// signature (v3) and they contain no summary records — and are upgraded by
+// the load-time compaction rewrite. Older stores are rejected by load(),
+// i.e. a cold run.
+constexpr uint32_t FormatVersion = 5;
 constexpr uint32_t MinFormatVersion = 3;
 constexpr uint8_t RecObligation = 1;
 constexpr uint8_t RecSolverBlock = 2;
@@ -143,7 +146,7 @@ bool decodeObligation(const std::string &Payload, StoredObligation &Ob,
   Reader R(Payload);
   uint8_t S;
   uint32_t NDeps;
-  if (!R.u8(S) || S > static_cast<uint8_t>(Side::Lint) || !R.str(Ob.Name) ||
+  if (!R.u8(S) || S > static_cast<uint8_t>(Side::Summary) || !R.str(Ob.Name) ||
       !R.u64(Ob.SelfFp) || !R.u64(Ob.ConfigFp) || !R.u32(NDeps))
     return false;
   Ob.S = static_cast<Side>(S);
@@ -472,6 +475,9 @@ std::string gilr::incr::encodeVerifyReport(const engine::VerifyReport &R) {
     W.u64(P.Count);
     W.u64(P.Nanos);
   }
+  // v5 tail: the static-triage marker. Decoded tolerantly so v4 blobs
+  // (which end at the phase list) still replay as Static=false.
+  W.u8(R.Static ? 1 : 0);
   return std::move(W.Out);
 }
 
@@ -502,6 +508,13 @@ bool gilr::incr::decodeVerifyReport(const std::string &Blob,
   for (trace::PhaseStat &P : Out.Phases)
     if (!R.str(P.Key) || !R.u64(P.Count) || !R.u64(P.Nanos))
       return false;
+  Out.Static = false;
+  if (R.done())
+    return true; // v4 blob: no Static tail byte.
+  uint8_t Static;
+  if (!R.u8(Static) || Static > 1)
+    return false;
+  Out.Static = Static != 0;
   return R.done();
 }
 
@@ -605,6 +618,134 @@ bool gilr::incr::decodeSafeReport(const std::string &Blob,
     if (!R.str(E))
       return false;
   return readSolverStats(R, Out.Solver) && R.done();
+}
+
+std::string gilr::incr::encodeFnSummary(const analysis::FnSummary &S) {
+  Writer W;
+  const bool Bools[] = {S.Known,          S.Recursive,     S.Leaf,
+                        S.Pure,           S.HeapReads,     S.HeapWrites,
+                        S.UnsafeOps,      S.UnsafeEscapes, S.HasGhost,
+                        S.HasCheckedArith, S.HasUnreachable, S.HasLemmaApply,
+                        S.WritesReturn};
+  for (bool B : Bools)
+    W.u8(B ? 1 : 0);
+  W.u32(static_cast<uint32_t>(S.Params.size()));
+  for (const analysis::ParamEffect &E : S.Params) {
+    W.u8(E.Read ? 1 : 0);
+    W.u8(E.Written ? 1 : 0);
+    W.u8(E.Escaped ? 1 : 0);
+  }
+  W.u32(static_cast<uint32_t>(S.MayAliasParams.size()));
+  for (const auto &[A, B] : S.MayAliasParams) {
+    W.u32(A);
+    W.u32(B);
+  }
+  W.u32(static_cast<uint32_t>(S.DepFns.size()));
+  for (const std::string &N : S.DepFns)
+    W.str(N);
+  W.u32(static_cast<uint32_t>(S.DepPreds.size()));
+  for (const std::string &N : S.DepPreds)
+    W.str(N);
+  return std::move(W.Out);
+}
+
+bool gilr::incr::decodeFnSummary(const std::string &Blob,
+                                 analysis::FnSummary &Out) {
+  Reader R(Blob);
+  bool *const Bools[] = {&Out.Known,          &Out.Recursive,
+                         &Out.Leaf,           &Out.Pure,
+                         &Out.HeapReads,      &Out.HeapWrites,
+                         &Out.UnsafeOps,      &Out.UnsafeEscapes,
+                         &Out.HasGhost,       &Out.HasCheckedArith,
+                         &Out.HasUnreachable, &Out.HasLemmaApply,
+                         &Out.WritesReturn};
+  for (bool *B : Bools) {
+    uint8_t V;
+    if (!R.u8(V) || V > 1)
+      return false;
+    *B = V != 0;
+  }
+  uint32_t N;
+  if (!R.u32(N))
+    return false;
+  Out.Params.clear();
+  Out.Params.resize(N);
+  for (analysis::ParamEffect &E : Out.Params) {
+    uint8_t Rd, Wr, Esc;
+    if (!R.u8(Rd) || Rd > 1 || !R.u8(Wr) || Wr > 1 || !R.u8(Esc) || Esc > 1)
+      return false;
+    E.Read = Rd != 0;
+    E.Written = Wr != 0;
+    E.Escaped = Esc != 0;
+  }
+  if (!R.u32(N))
+    return false;
+  Out.MayAliasParams.clear();
+  Out.MayAliasParams.resize(N);
+  for (auto &[A, B] : Out.MayAliasParams)
+    if (!R.u32(A) || !R.u32(B))
+      return false;
+  if (!R.u32(N))
+    return false;
+  Out.DepFns.clear();
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string S;
+    if (!R.str(S))
+      return false;
+    Out.DepFns.insert(std::move(S));
+  }
+  if (!R.u32(N))
+    return false;
+  Out.DepPreds.clear();
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string S;
+    if (!R.str(S))
+      return false;
+    Out.DepPreds.insert(std::move(S));
+  }
+  return R.done();
+}
+
+std::string gilr::incr::encodePredSummary(const analysis::PredSummary &S) {
+  Writer W;
+  W.u8(S.Known ? 1 : 0);
+  W.u8(S.OwnsUnknown ? 1 : 0);
+  W.u32(static_cast<uint32_t>(S.MayOwnParam.size()));
+  for (bool B : S.MayOwnParam)
+    W.u8(B ? 1 : 0);
+  W.u32(static_cast<uint32_t>(S.DepPreds.size()));
+  for (const std::string &N : S.DepPreds)
+    W.str(N);
+  return std::move(W.Out);
+}
+
+bool gilr::incr::decodePredSummary(const std::string &Blob,
+                                   analysis::PredSummary &Out) {
+  Reader R(Blob);
+  uint8_t Known, Owns;
+  uint32_t N;
+  if (!R.u8(Known) || Known > 1 || !R.u8(Owns) || Owns > 1 || !R.u32(N))
+    return false;
+  Out.Known = Known != 0;
+  Out.OwnsUnknown = Owns != 0;
+  Out.MayOwnParam.clear();
+  Out.MayOwnParam.resize(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    uint8_t B;
+    if (!R.u8(B) || B > 1)
+      return false;
+    Out.MayOwnParam[I] = B != 0;
+  }
+  if (!R.u32(N))
+    return false;
+  Out.DepPreds.clear();
+  for (uint32_t I = 0; I != N; ++I) {
+    std::string S;
+    if (!R.str(S))
+      return false;
+    Out.DepPreds.insert(std::move(S));
+  }
+  return R.done();
 }
 
 std::vector<const StoredObligation *> ProofStore::records() const {

@@ -30,6 +30,7 @@
 #define GILR_INCR_PROOFSTORE_H
 
 #include "analysis/Analysis.h"
+#include "analysis/Summary.h"
 #include "creusot/SafeVerifier.h"
 #include "engine/Verifier.h"
 #include "incr/DepGraph.h"
@@ -152,6 +153,14 @@ bool decodeSafeReport(const std::string &Blob, creusot::SafeReport &Out);
 /// the pre-verification analysis, cached the way proof verdicts are.
 std::string encodeLintVerdict(const analysis::EntityVerdict &V);
 bool decodeLintVerdict(const std::string &Blob, analysis::EntityVerdict &Out);
+
+/// Summary blobs (Side::Summary records, format v5): one interprocedural
+/// function or predicate summary (analysis/Summary.h). Function summaries
+/// are keyed by the function name, predicate summaries by "pred:<name>".
+std::string encodeFnSummary(const analysis::FnSummary &S);
+bool decodeFnSummary(const std::string &Blob, analysis::FnSummary &Out);
+std::string encodePredSummary(const analysis::PredSummary &S);
+bool decodePredSummary(const std::string &Blob, analysis::PredSummary &Out);
 
 /// Whole-record codec at the current format version, shared with the
 /// content-addressed cache backends (incr/CacheBackend.h): a backend blob

@@ -96,6 +96,15 @@ struct IncrRunStats {
   /// fresh. Kept out of cached()/verified(), which count proof obligations.
   uint64_t CachedLint = 0;
   uint64_t AnalyzedLint = 0;
+  /// Interprocedural summaries (Side::Summary) computed this run vs.
+  /// replayed from the store. Like lint verdicts, kept out of
+  /// cached()/verified().
+  uint64_t SummariesComputed = 0;
+  uint64_t SummariesReused = 0;
+  /// Obligations the triage tier discharged statically (summary proves them
+  /// trivially safe; the executor never ran). Bumped by the scheduler, not
+  /// the session.
+  uint64_t TriagedStatic = 0;
   /// Store records found but rejected because a fingerprint changed.
   uint64_t Invalidated = 0;
   /// Obligations replayed although a dependency fingerprint moved, because
@@ -154,6 +163,25 @@ public:
   bool lookupLint(const std::string &Func, analysis::EntityVerdict &Out);
   void recordLint(const std::string &Func, const std::set<DepKey> &Deps,
                   const analysis::EntityVerdict &V);
+
+  /// Interprocedural summaries (Side::Summary), cached like lint verdicts
+  /// but keyed by the summary version salt (incr::fpSummaryConfig) — they
+  /// are a pure function of the program tables, so no knob invalidates
+  /// them. Function summaries are keyed by the function name; predicate
+  /// summaries by "pred:<name>". The dependency sets are the summaries' own
+  /// reachable closures (FnSummary::DepFns/DepPreds), so an edit
+  /// invalidates exactly the reverse-reachable summaries.
+  bool lookupSummaryFn(const std::string &Func, analysis::FnSummary &Out);
+  void recordSummaryFn(const std::string &Func, const std::set<DepKey> &Deps,
+                       const analysis::FnSummary &S);
+  bool lookupSummaryPred(const std::string &Pred, analysis::PredSummary &Out);
+  void recordSummaryPred(const std::string &Pred,
+                         const std::set<DepKey> &Deps,
+                         const analysis::PredSummary &S);
+
+  /// Bumps the static-triage counter (the scheduler's triage tier reports
+  /// through the session so the counters travel with the run stats).
+  void noteTriagedStatic();
 
   /// The persisted solver-cache entries to pre-warm the QueryCache with
   /// (empty when LoadSolverCache is off or the store had none).
@@ -217,6 +245,7 @@ private:
   IncrRunStats Stats;
   uint64_t ConfigFp = 0;
   uint64_t LintConfigFp = 0;
+  uint64_t SummaryConfigFp = 0;
   std::mutex Mu;
   std::map<DepKey, uint64_t> FpMemo;
   std::map<DepKey, EntitySig> SigMemo;

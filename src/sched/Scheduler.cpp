@@ -9,12 +9,15 @@
 
 #include "sched/Scheduler.h"
 
+#include "analysis/Interproc.h"
+#include "analysis/Summary.h"
 #include "incr/Session.h"
 #include "sched/WorkerPool.h"
 #include "solver/Flight.h"
 #include "support/Budget.h"
 #include "support/Trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <optional>
 
@@ -73,6 +76,49 @@ std::set<incr::DepKey> finishRecording(std::optional<incr::DepRecorder> &Rec) {
   return Deps;
 }
 
+/// A summary's store dependency set is its own reachable closure: every
+/// function it saw (body and spec — purity and unsafe-escape read both) and
+/// every predicate. Unknown callees are in DepFns too, so a summary
+/// invalidates when one gains a body.
+std::set<incr::DepKey> fnSummaryDeps(const analysis::FnSummary &S) {
+  std::set<incr::DepKey> Deps;
+  for (const std::string &D : S.DepFns) {
+    Deps.insert({deps::Kind::Function, D});
+    Deps.insert({deps::Kind::Spec, D});
+  }
+  for (const std::string &D : S.DepPreds)
+    Deps.insert({deps::Kind::Pred, D});
+  return Deps;
+}
+
+std::set<incr::DepKey> predSummaryDeps(const analysis::PredSummary &S) {
+  std::set<incr::DepKey> Deps;
+  for (const std::string &D : S.DepPreds)
+    Deps.insert({deps::Kind::Pred, D});
+  return Deps;
+}
+
+/// Publishes the interproc telemetry section at the end of a scheduled run.
+/// Counts come from the session when there is one (replay vs. fresh split);
+/// a plain run computed the whole table fresh.
+void recordInterprocReport(const analysis::SummaryTable &T,
+                           const incr::Session *Incr, uint64_t Triaged,
+                           double Seconds) {
+  metrics::InterprocReport R;
+  R.Valid = true;
+  R.FnSummaries = T.Fns.size();
+  R.PredSummaries = T.Preds.size();
+  if (Incr) {
+    R.SummariesComputed = Incr->stats().SummariesComputed;
+    R.SummariesReused = Incr->stats().SummariesReused;
+  } else {
+    R.SummariesComputed = T.Fns.size() + T.Preds.size();
+  }
+  R.TriagedStatic = Triaged;
+  R.Seconds = Seconds;
+  metrics::Registry::get().setInterprocReport(std::move(R));
+}
+
 } // namespace
 
 void Scheduler::runJobs(
@@ -120,13 +166,79 @@ void Scheduler::recordCacheReport() const {
   metrics::Registry::get().setQueryCacheReport(std::move(R));
 }
 
+analysis::SummaryTable Scheduler::summaryPhase(engine::VerifEnv &Env,
+                                               incr::Session *Incr) {
+  GILR_TRACE_SCOPE("sched", "summary-phase");
+  if (!Incr)
+    return analysis::computeSummaries(Env.Prog, Env.Preds, Env.Specs);
+
+  analysis::SummaryTable T;
+  analysis::CallGraph G =
+      analysis::CallGraph::build(Env.Prog, Env.Preds, Env.Specs);
+  T.PredSccs = analysis::condenseSccs(G.PredRefs);
+  T.FnSccs = analysis::condenseSccs(G.FnCalls);
+
+  // Bottom-up, SCC-grouped: every member of an SCC must replay or the whole
+  // SCC recomputes — summaries inside one SCC are a joint fixpoint, so a
+  // partial replay could mix facts from different program versions. (The
+  // grouping costs nothing in practice: each member's dependency closure
+  // contains the whole SCC, so the members invalidate together anyway.)
+  for (const analysis::Scc &S : T.PredSccs) {
+    std::map<std::string, analysis::PredSummary> Hits;
+    bool AllHit = true;
+    for (const std::string &Name : S.Members) {
+      analysis::PredSummary PS;
+      if (Incr->lookupSummaryPred(Name, PS))
+        Hits.emplace(Name, std::move(PS));
+      else {
+        AllHit = false;
+        break;
+      }
+    }
+    if (AllHit) {
+      for (auto &[Name, PS] : Hits)
+        T.Preds[Name] = std::move(PS);
+      continue;
+    }
+    analysis::summarizePredScc(Env.Preds, G, S, T);
+    for (const std::string &Name : S.Members)
+      if (const analysis::PredSummary *PS = T.pred(Name))
+        Incr->recordSummaryPred(Name, predSummaryDeps(*PS), *PS);
+  }
+
+  for (const analysis::Scc &S : T.FnSccs) {
+    std::map<std::string, analysis::FnSummary> Hits;
+    bool AllHit = true;
+    for (const std::string &Name : S.Members) {
+      analysis::FnSummary FS;
+      if (Incr->lookupSummaryFn(Name, FS))
+        Hits.emplace(Name, std::move(FS));
+      else {
+        AllHit = false;
+        break;
+      }
+    }
+    if (AllHit) {
+      for (auto &[Name, FS] : Hits)
+        T.Fns[Name] = std::move(FS);
+      continue;
+    }
+    analysis::summarizeFnScc(Env.Prog, Env.Specs, G, S, T);
+    for (const std::string &Name : S.Members)
+      if (const analysis::FnSummary *FS = T.fn(Name))
+        Incr->recordSummaryFn(Name, fnSummaryDeps(*FS), *FS);
+  }
+  return T;
+}
+
 analysis::AnalysisResult Scheduler::lintPhase(
     engine::VerifEnv &Env, const std::vector<std::string> &Names,
-    incr::Session *Incr,
+    incr::Session *Incr, const analysis::SummaryTable *Summaries,
     std::vector<std::pair<std::string, analysis::EntityVerdict>> &Verdicts) {
   Verdicts.assign(Names.size(),
                   std::pair<std::string, analysis::EntityVerdict>());
   analysis::AnalysisInput In = engine::lintInput(Env);
+  In.Summaries = Summaries;
   auto Start = std::chrono::steady_clock::now();
   // Lint jobs ride the same pool as proof jobs. No job budget: lint
   // verdicts must stay deterministic at any worker count (the budget's
@@ -170,8 +282,17 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
   Report.SafeSide.resize(Clients.size());
 
   std::vector<std::pair<std::string, analysis::EntityVerdict>> Verdicts;
-  if (Env.Lint.Enabled)
-    Report.Analysis = lintPhase(Env, UnsafeFuncs, Incr, Verdicts);
+  std::optional<analysis::SummaryTable> Summaries;
+  double SummarySeconds = 0.0;
+  std::atomic<uint64_t> Triaged{0};
+  if (Env.Lint.Enabled) {
+    auto S0 = std::chrono::steady_clock::now();
+    Summaries.emplace(summaryPhase(Env, Incr));
+    SummarySeconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         std::chrono::steady_clock::now() - S0)
+                         .count();
+    Report.Analysis = lintPhase(Env, UnsafeFuncs, Incr, &*Summaries, Verdicts);
+  }
 
   JobGraph G = JobGraph::build(UnsafeFuncs, Clients);
   runJobs(G, [&](const ProofJob &J) {
@@ -184,6 +305,25 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
       if (V && V->Blocked) {
         Report.UnsafeSide[J.Slot] = engine::lintBlockedReport(J.Name, *V);
         return;
+      }
+      // Triage tier: an obligation whose summary proves it trivially safe
+      // never reaches the executor (or the proof store — the static verdict
+      // is cheaper to recompute than to validate). The predicate is a pure
+      // function of the program, so the verdict is byte-stable at any
+      // worker count.
+      if (Summaries) {
+        const rmir::Function *F = Env.Prog.lookup(J.Name);
+        const gilsonite::Spec *Sp = Env.Specs.lookup(J.Name);
+        if (F && Sp && analysis::triviallyStatic(*F, *Sp, *Summaries)) {
+          engine::VerifyReport TR = engine::staticTriageReport(J.Name, *F);
+          if (V)
+            TR.Diags = V->Diags;
+          ++Triaged;
+          if (Incr)
+            Incr->noteTriagedStatic();
+          Report.UnsafeSide[J.Slot] = std::move(TR);
+          return;
+        }
       }
       engine::VerifyReport R;
       if (Incr && Incr->lookupUnsafe(J.Name, R)) {
@@ -230,6 +370,8 @@ Scheduler::runHybrid(engine::VerifEnv &Env,
       Report.SafeSide[J.Slot] = std::move(R);
     }
   });
+  if (Summaries)
+    recordInterprocReport(*Summaries, Incr, Triaged.load(), SummarySeconds);
   return Report;
 }
 
@@ -241,9 +383,18 @@ Scheduler::verifyAll(engine::VerifEnv &Env,
   std::vector<engine::VerifyReport> Reports(Names.size());
 
   std::vector<std::pair<std::string, analysis::EntityVerdict>> Verdicts;
+  std::optional<analysis::SummaryTable> Summaries;
+  double SummarySeconds = 0.0;
+  std::atomic<uint64_t> Triaged{0};
   analysis::AnalysisResult AR;
-  if (Env.Lint.Enabled)
-    AR = lintPhase(Env, Names, Incr, Verdicts);
+  if (Env.Lint.Enabled) {
+    auto S0 = std::chrono::steady_clock::now();
+    Summaries.emplace(summaryPhase(Env, Incr));
+    SummarySeconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         std::chrono::steady_clock::now() - S0)
+                         .count();
+    AR = lintPhase(Env, Names, Incr, &*Summaries, Verdicts);
+  }
   if (AnalysisOut)
     *AnalysisOut = std::move(AR);
 
@@ -255,6 +406,22 @@ Scheduler::verifyAll(engine::VerifEnv &Env,
     if (V && V->Blocked) {
       Reports[J.Slot] = engine::lintBlockedReport(J.Name, *V);
       return;
+    }
+    // Triage tier (see runHybrid): summary-proved obligations skip the
+    // executor and report a deterministic static verdict.
+    if (Summaries) {
+      const rmir::Function *F = Env.Prog.lookup(J.Name);
+      const gilsonite::Spec *Sp = Env.Specs.lookup(J.Name);
+      if (F && Sp && analysis::triviallyStatic(*F, *Sp, *Summaries)) {
+        engine::VerifyReport TR = engine::staticTriageReport(J.Name, *F);
+        if (V)
+          TR.Diags = V->Diags;
+        ++Triaged;
+        if (Incr)
+          Incr->noteTriagedStatic();
+        Reports[J.Slot] = std::move(TR);
+        return;
+      }
     }
     engine::VerifyReport R;
     if (Incr && Incr->lookupUnsafe(J.Name, R)) {
@@ -280,6 +447,8 @@ Scheduler::verifyAll(engine::VerifEnv &Env,
       R.Diags = V->Diags;
     Reports[J.Slot] = std::move(R);
   });
+  if (Summaries)
+    recordInterprocReport(*Summaries, Incr, Triaged.load(), SummarySeconds);
   return Reports;
 }
 

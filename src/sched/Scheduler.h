@@ -118,14 +118,25 @@ private:
   /// telemetry JSON can report hit rates (no-op when caching is disabled).
   void recordCacheReport() const;
 
+  /// The interprocedural summary phase (analysis/Summary.h): serial,
+  /// bottom-up over the SCC condensation. With \p Incr, an SCC whose every
+  /// member's stored summary still validates replays from the store;
+  /// otherwise the whole SCC is recomputed and recorded with its reachable
+  /// closure as the dependency set — so an edit invalidates exactly the
+  /// reverse-reachable summaries. The resulting table is a pure function of
+  /// the program, whatever mix of replay and recompute built it.
+  analysis::SummaryTable summaryPhase(engine::VerifEnv &Env,
+                                      incr::Session *Incr);
+
   /// The pre-verification lint phase: one lint job per entity on the pool
   /// (cached verdicts replayed through \p Incr), then the program-level
   /// lints, finalized into the returned result. \p Verdicts receives the
   /// per-entity verdicts in input order (the proof phase consults them to
-  /// skip blocked entities and attach diagnostics).
+  /// skip blocked entities and attach diagnostics). \p Summaries (from
+  /// summaryPhase) powers the interprocedural lints; may be null.
   analysis::AnalysisResult
   lintPhase(engine::VerifEnv &Env, const std::vector<std::string> &Names,
-            incr::Session *Incr,
+            incr::Session *Incr, const analysis::SummaryTable *Summaries,
             std::vector<std::pair<std::string, analysis::EntityVerdict>>
                 &Verdicts);
 

@@ -130,6 +130,16 @@ IncrReport Registry::incrReport() const {
   return IncrRep;
 }
 
+void Registry::setInterprocReport(InterprocReport R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  InterprocRep = std::move(R);
+}
+
+InterprocReport Registry::interprocReport() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return InterprocRep;
+}
+
 std::map<std::string, uint64_t> Registry::counters() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Counters;
@@ -150,6 +160,7 @@ void Registry::reset() {
   CacheReport = QueryCacheReport();
   AnalysisRep = AnalysisReport();
   IncrRep = IncrReport();
+  InterprocRep = InterprocReport();
   FlightRep = SolverQueriesReport();
 }
 

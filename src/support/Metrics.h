@@ -222,6 +222,28 @@ struct IncrReport {
   bool StoreLoaded = false;
 };
 
+/// Summary of the interprocedural summary phase and triage tier of the most
+/// recent scheduled run (analysis/Summary.h, sched/Scheduler.cpp). Recorded
+/// by the scheduler so the telemetry JSON can emit an \c interproc section
+/// without the support layer depending on sched — the same inversion as
+/// \c IncrReport.
+struct InterprocReport {
+  /// False until a run with the summary phase enabled has completed.
+  bool Valid = false;
+  /// Function/predicate summaries in the table this run ended with.
+  uint64_t FnSummaries = 0;
+  uint64_t PredSummaries = 0;
+  /// Summaries computed fresh vs. replayed from the incremental store
+  /// (non-incremental runs compute everything fresh).
+  uint64_t SummariesComputed = 0;
+  uint64_t SummariesReused = 0;
+  /// Obligations the triage tier discharged statically (the executor never
+  /// ran; see engine::staticTriageReport).
+  uint64_t TriagedStatic = 0;
+  /// Wall time of the (serial) summary phase.
+  double Seconds = 0.0;
+};
+
 class Registry {
 public:
   /// The process-wide registry.
@@ -281,6 +303,13 @@ public:
   /// The last recorded incremental summary (Valid == false if none).
   IncrReport incrReport() const;
 
+  /// Records the summary of the interprocedural phase of a scheduled run
+  /// (overwrites the previous run's; cleared by reset()).
+  void setInterprocReport(InterprocReport R);
+
+  /// The last recorded interprocedural summary (Valid == false if none).
+  InterprocReport interprocReport() const;
+
   /// Snapshot of the named counters.
   std::map<std::string, uint64_t> counters() const;
 
@@ -301,6 +330,7 @@ private:
   QueryCacheReport CacheReport;
   AnalysisReport AnalysisRep;
   IncrReport IncrRep;
+  InterprocReport InterprocRep;
   /// Flight-recorder aggregates; Slowest kept sorted descending, capped at
   /// SlowestQueryCap.
   SolverQueriesReport FlightRep;

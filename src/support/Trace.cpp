@@ -428,6 +428,23 @@ gilr::trace::renderStatsJson(const std::vector<std::string> &CaseStudies) {
     Out += "},\n";
   }
 
+  // Summary of the interprocedural summary phase and triage tier (recorded
+  // by the scheduler at the end of the most recent run); omitted until a
+  // run with the phase enabled has completed.
+  metrics::InterprocReport IP = R.interprocReport();
+  if (IP.Valid) {
+    char IpSecs[32];
+    std::snprintf(IpSecs, sizeof(IpSecs), "%.6f", IP.Seconds);
+    Out += "  \"interproc\": {";
+    Out += "\"fn_summaries\": " + std::to_string(IP.FnSummaries);
+    Out += ", \"pred_summaries\": " + std::to_string(IP.PredSummaries);
+    Out += ", \"summaries_computed\": " + std::to_string(IP.SummariesComputed);
+    Out += ", \"summaries_reused\": " + std::to_string(IP.SummariesReused);
+    Out += ", \"triaged_static\": " + std::to_string(IP.TriagedStatic);
+    Out += std::string(", \"seconds\": ") + IpSecs;
+    Out += "},\n";
+  }
+
   // Flight-recorded per-query aggregates (solver/Flight.h); omitted unless
   // the timing decorator ran (GILR_TIMING / GILR_JOURNAL).
   metrics::SolverQueriesReport FQ = R.solverQueriesReport();

@@ -65,9 +65,9 @@ TEST(TelemetrySchema, TopLevelKeysAreExactlyTheDocumentedSet) {
   const std::vector<std::string> Golden = {
       "analysis",      "cases",
       "counters",      "incremental",
-      "phases",        "query_cache",
-      "schema",        "solver",
-      "solver_latency_log2_ns",
+      "interproc",     "phases",
+      "query_cache",   "schema",
+      "solver",        "solver_latency_log2_ns",
       "solver_queries",
   };
   EXPECT_EQ(Doc->keys(), Golden)
@@ -88,7 +88,10 @@ TEST(TelemetrySchema, TopLevelKeysAreExactlyTheDocumentedSet) {
         "solver_queries.journal_records", "incremental.cached",
         "incremental.verified", "incremental.salvaged",
         "incremental.implied", "incremental.salvage_queries",
-        "incremental.compactions"}) {
+        "incremental.compactions", "interproc.fn_summaries",
+        "interproc.pred_summaries", "interproc.summaries_computed",
+        "interproc.summaries_reused", "interproc.triaged_static",
+        "interproc.seconds"}) {
     json::ValuePtr V = Doc->at(Path);
     ASSERT_TRUE(V) << Path;
     EXPECT_TRUE(V->isNumber()) << Path;
